@@ -1,0 +1,126 @@
+//! Criterion micro-benchmarks of the framework's hot paths: the cost of
+//! one RL environment step decomposed into its parts (pass application,
+//! scheduling, profiling, feature extraction), plus ablations called out
+//! in DESIGN.md (chaining on/off, filtered vs. full observations).
+
+use autophase_benchmarks::suite;
+use autophase_core::env::{sequence_cycles, EnvConfig, PhaseOrderEnv};
+use autophase_features::extract;
+use autophase_hls::{profile::profile_module, schedule::schedule_function, HlsConfig};
+use autophase_rl::env::Environment;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn bench_passes(c: &mut Criterion) {
+    let gsm = suite().into_iter().find(|b| b.name == "gsm").unwrap().module;
+    c.bench_function("pass/mem2reg on gsm", |b| {
+        b.iter(|| {
+            let mut m = gsm.clone();
+            autophase_passes::mem2reg::run(&mut m);
+            black_box(m.num_insts())
+        })
+    });
+    c.bench_function("pass/O3 pipeline on gsm", |b| {
+        b.iter(|| {
+            let mut m = gsm.clone();
+            autophase_passes::o3::o3(&mut m);
+            black_box(m.num_insts())
+        })
+    });
+}
+
+fn bench_hls(c: &mut Criterion) {
+    let cfg = HlsConfig::default();
+    let matmul = suite()
+        .into_iter()
+        .find(|b| b.name == "matmul")
+        .unwrap()
+        .module;
+    c.bench_function("hls/schedule matmul", |b| {
+        b.iter(|| {
+            let fid = matmul.main().unwrap();
+            black_box(schedule_function(matmul.func(fid), &cfg).total_states)
+        })
+    });
+    c.bench_function("hls/profile matmul (trace + schedule)", |b| {
+        b.iter(|| black_box(profile_module(&matmul, &cfg).unwrap().cycles))
+    });
+    // Ablation: operator chaining off (tiny clock period forces one op per
+    // state) vs. the default 5 ns budget.
+    let no_chain = HlsConfig {
+        clock_period_ns: 0.1,
+        ..HlsConfig::default()
+    };
+    c.bench_function("hls/profile matmul without chaining", |b| {
+        b.iter(|| black_box(profile_module(&matmul, &no_chain).unwrap().cycles))
+    });
+}
+
+fn bench_features(c: &mut Criterion) {
+    let aes = suite().into_iter().find(|b| b.name == "aes").unwrap().module;
+    c.bench_function("features/extract aes", |b| {
+        b.iter(|| black_box(extract(&aes)))
+    });
+}
+
+fn bench_env(c: &mut Criterion) {
+    let gsm = suite().into_iter().find(|b| b.name == "gsm").unwrap().module;
+    c.bench_function("env/reset+3 steps on gsm", |b| {
+        b.iter(|| {
+            let mut env = PhaseOrderEnv::single(gsm.clone(), EnvConfig::default());
+            env.reset();
+            env.step(38);
+            env.step(23);
+            env.step(31);
+            black_box(env.last_cycles())
+        })
+    });
+    // Ablation: filtered observation/action spaces vs. the full ones.
+    let filtered = EnvConfig {
+        filtered_features: true,
+        filtered_passes: true,
+        ..EnvConfig::default()
+    };
+    c.bench_function("env/reset+3 steps on gsm (filtered spaces)", |b| {
+        b.iter(|| {
+            let mut env = PhaseOrderEnv::single(gsm.clone(), filtered.clone());
+            env.reset();
+            env.step(16); // -mem2reg in the filtered list
+            env.step(6);
+            env.step(13);
+            black_box(env.last_cycles())
+        })
+    });
+    let hls = HlsConfig::default();
+    c.bench_function("env/sequence_cycles 12-pass gsm", |b| {
+        b.iter(|| {
+            black_box(sequence_cycles(
+                &gsm,
+                &[38, 29, 23, 36, 30, 31, 7, 28, 32, 33, 30, 31],
+                &hls,
+            ))
+        })
+    });
+}
+
+fn bench_progen(c: &mut Criterion) {
+    c.bench_function("progen/generate_valid", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            black_box(autophase_progen::generate_valid(
+                &autophase_progen::GenConfig::default(),
+                seed,
+            ))
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_passes,
+    bench_hls,
+    bench_features,
+    bench_env,
+    bench_progen
+);
+criterion_main!(benches);

@@ -1,0 +1,16 @@
+//! Figure 5: random-forest importance of program features per pass.
+use autophase_bench::Scale;
+
+fn main() {
+    let scale = Scale::from_args();
+    let n_programs = scale.pick(6, 30, 100);
+    let analysis = autophase_core::experiment::fig5_fig6(n_programs, 5);
+    print!(
+        "{}",
+        autophase_core::report::heatmap(&analysis.feature_importance, "pass", "feature")
+    );
+    println!("\nTop features overall:");
+    for f in analysis.impactful_features(16) {
+        println!("  {:>2}  {}", f, autophase_features::feature_names()[f]);
+    }
+}

@@ -1,0 +1,16 @@
+//! Figure 6: random-forest importance of previously applied passes.
+use autophase_bench::Scale;
+
+fn main() {
+    let scale = Scale::from_args();
+    let n_programs = scale.pick(6, 30, 100);
+    let analysis = autophase_core::experiment::fig5_fig6(n_programs, 6);
+    print!(
+        "{}",
+        autophase_core::report::heatmap(&analysis.history_importance, "pass", "previous pass")
+    );
+    println!("\nMost impactful passes:");
+    for p in analysis.impactful_passes(16) {
+        println!("  {:>2}  {}", p, autophase_passes::registry::pass_name(p));
+    }
+}

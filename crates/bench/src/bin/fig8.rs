@@ -1,0 +1,18 @@
+//! Figure 8: episode reward mean vs. step for filtered-norm1,
+//! filtered-norm2, and original-norm2 on random programs.
+use autophase_bench::Scale;
+
+fn main() {
+    let scale = Scale::from_args();
+    let (n_programs, iterations) = scale.pick((4, 6), (20, 50), (100, 170));
+    let curves = autophase_core::experiment::fig8(n_programs, iterations, 8);
+    print!("{}", autophase_core::report::fig8_table(&curves));
+    println!("\nConvergence (steps to 80% of final level):");
+    for c in &curves {
+        println!(
+            "  {:<16} {:?}",
+            c.label,
+            c.steps_to_reach(0.8)
+        );
+    }
+}

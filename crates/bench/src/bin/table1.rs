@@ -1,0 +1,4 @@
+//! Regenerates Table 1 (the 45 transform passes + -terminate).
+fn main() {
+    print!("{}", autophase_core::report::table1());
+}

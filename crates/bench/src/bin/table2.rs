@@ -1,0 +1,4 @@
+//! Regenerates Table 2 (the 56 program features).
+fn main() {
+    print!("{}", autophase_core::report::table2());
+}

@@ -1,0 +1,4 @@
+//! Regenerates Table 3 (deep-RL observation/action spaces).
+fn main() {
+    print!("{}", autophase_core::report::table3());
+}

@@ -1,0 +1,63 @@
+//! Shared helpers for the benchmark/experiment binaries.
+//!
+//! Each paper table/figure has a binary target:
+//!
+//! | target | regenerates |
+//! |--------|-------------|
+//! | `table1` | Table 1 (pass list) |
+//! | `table2` | Table 2 (feature list) |
+//! | `table3` | Table 3 (algorithm spaces) |
+//! | `fig5` | Figure 5 (feature-importance heat map) |
+//! | `fig6` | Figure 6 (pass-history-importance heat map) |
+//! | `fig7` | Figure 7 (per-program speedups + samples) |
+//! | `fig8` | Figure 8 (learning curves) |
+//! | `fig9` | Figure 9 (generalization) |
+//! | `generalize_random` | §6.2's random-program generalization number |
+//!
+//! Run with `--scale small|medium|paper` (default `small`); `paper`
+//! approaches the paper's sample counts and takes correspondingly long.
+
+/// Experiment scale from the command line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Seconds-scale smoke run.
+    Small,
+    /// Minutes-scale run with meaningful statistics.
+    Medium,
+    /// Hours-scale run approaching the paper's sample counts.
+    Paper,
+}
+
+impl Scale {
+    /// Parse `--scale <s>` from argv (defaults to `Small`).
+    pub fn from_args() -> Scale {
+        let args: Vec<String> = std::env::args().collect();
+        for w in args.windows(2) {
+            if w[0] == "--scale" {
+                return match w[1].as_str() {
+                    "paper" => Scale::Paper,
+                    "medium" => Scale::Medium,
+                    _ => Scale::Small,
+                };
+            }
+        }
+        Scale::Small
+    }
+
+    /// Scale-dependent pick.
+    pub fn pick<T>(self, small: T, medium: T, paper: T) -> T {
+        match self {
+            Scale::Small => small,
+            Scale::Medium => medium,
+            Scale::Paper => paper,
+        }
+    }
+}
+
+/// The benchmark suite as `(name, module)` pairs for the experiment APIs.
+pub fn named_suite() -> Vec<(String, autophase_ir::Module)> {
+    autophase_benchmarks::suite()
+        .into_iter()
+        .map(|b| (b.name.to_string(), b.module))
+        .collect()
+}

@@ -1,0 +1,752 @@
+//! The nine benchmark kernels.
+//!
+//! Construction conventions (deliberately `-O0`-like):
+//! * scalars live behind 1-element allocas (`var`/`get`/`set` helpers);
+//! * loops are built with [`FunctionBuilder::counted_loop`], i.e. in
+//!   top-tested "while" form that `-loop-rotate` can improve;
+//! * helper routines are real functions, so `-inline`/`-functionattrs`
+//!   matter;
+//! * constant tables are module globals, so `-globalopt`/`-memcpyopt`
+//!   matter.
+
+use autophase_ir::builder::FunctionBuilder;
+use autophase_ir::{BinOp, CmpPred, FuncId, Global, Module, Type, Value};
+
+/// Allocate a scalar local initialized to `init`.
+fn var(b: &mut FunctionBuilder, init: Value) -> Value {
+    let p = b.alloca(Type::I32, 1);
+    b.store(p, init);
+    p
+}
+
+fn get(b: &mut FunctionBuilder, p: Value) -> Value {
+    b.load(Type::I32, p)
+}
+
+fn set(b: &mut FunctionBuilder, p: Value, v: Value) {
+    b.store(p, v);
+}
+
+/// Clamp helper used by several kernels: `clamp(x, lo, hi)`.
+fn add_clamp(m: &mut Module) -> FuncId {
+    let mut b = FunctionBuilder::new("clamp", vec![Type::I32, Type::I32, Type::I32], Type::I32);
+    let lo_bb = b.new_block();
+    let hi_chk = b.new_block();
+    let hi_bb = b.new_block();
+    let ok = b.new_block();
+    let x = b.arg(0);
+    let lo = b.arg(1);
+    let hi = b.arg(2);
+    let c1 = b.icmp(CmpPred::Slt, x, lo);
+    b.cond_br(c1, lo_bb, hi_chk);
+    b.switch_to(lo_bb);
+    b.ret(Some(lo));
+    b.switch_to(hi_chk);
+    let c2 = b.icmp(CmpPred::Sgt, x, hi);
+    b.cond_br(c2, hi_bb, ok);
+    b.switch_to(hi_bb);
+    b.ret(Some(hi));
+    b.switch_to(ok);
+    b.ret(Some(x));
+    m.add_function(b.finish())
+}
+
+/// Fold an array region into a running checksum local.
+fn checksum_array(b: &mut FunctionBuilder, acc: Value, arr: Value, len: i32) {
+    b.counted_loop(Value::i32(len), |b, i| {
+        let p = b.gep(arr, i);
+        let v = b.load(Type::I32, p);
+        let c = get(b, acc);
+        let x = b.binary(BinOp::Xor, c, v);
+        let r = b.binary(BinOp::Mul, x, Value::i32(16777619));
+        set(b, acc, r);
+    });
+}
+
+/// `adpcm`: ADPCM encoder over a synthetic waveform — step-size table,
+/// sign logic, saturation.
+pub fn adpcm() -> Module {
+    let mut m = Module::new("adpcm");
+    let step_tab: Vec<i64> = (0..32).map(|i| 7 + i * i * 3).collect();
+    let steps = m.add_global(Global::constant("step_table", Type::I32, step_tab));
+    let clamp = add_clamp(&mut m);
+
+    let n = 64;
+    let mut b = FunctionBuilder::new("main", vec![], Type::I32);
+    let input = b.alloca(Type::I32, n as u32);
+    // Synthetic triangle-ish waveform.
+    b.counted_loop(Value::i32(n), |b, i| {
+        let t = b.binary(BinOp::Mul, i, Value::i32(37));
+        let w = b.binary(BinOp::URem, t, Value::i32(255));
+        let centered = b.binary(BinOp::Sub, w, Value::i32(128));
+        let p = b.gep(input, i);
+        b.store(p, centered);
+    });
+
+    let out = b.alloca(Type::I32, n as u32);
+    let valpred = var(&mut b, Value::i32(0));
+    let index = var(&mut b, Value::i32(0));
+    b.counted_loop(Value::i32(n), |b, i| {
+        let p = b.gep(input, i);
+        let sample = b.load(Type::I32, p);
+        let vp = get(b, valpred);
+        let diff0 = b.binary(BinOp::Sub, sample, vp);
+        // sign/magnitude
+        let neg = b.icmp(CmpPred::Slt, diff0, Value::i32(0));
+        let negd = b.binary(BinOp::Sub, Value::i32(0), diff0);
+        let mag = b.select(neg, negd, diff0);
+        let idx = get(b, index);
+        let sp = b.gep(Value::Global(steps), idx);
+        let step = b.load(Type::I32, sp);
+        // delta = min(mag * 4 / step, 7)
+        let m4 = b.binary(BinOp::Mul, mag, Value::i32(4));
+        let d = b.binary(BinOp::SDiv, m4, step);
+        let delta = b.call(clamp, Type::I32, vec![d, Value::i32(0), Value::i32(7)]);
+        // predictor update: vp += sign ? -(delta*step/4) : delta*step/4
+        let ds = b.binary(BinOp::Mul, delta, step);
+        let upd = b.binary(BinOp::AShr, ds, Value::i32(2));
+        let nupd = b.binary(BinOp::Sub, Value::i32(0), upd);
+        let sel = b.select(neg, nupd, upd);
+        let vp2 = b.binary(BinOp::Add, vp, sel);
+        let vp3 = b.call(
+            clamp,
+            Type::I32,
+            vec![vp2, Value::i32(-32768), Value::i32(32767)],
+        );
+        set(b, valpred, vp3);
+        // index update
+        let step_change = b.binary(BinOp::Sub, delta, Value::i32(3));
+        let idx2 = b.binary(BinOp::Add, idx, step_change);
+        let idx3 = b.call(clamp, Type::I32, vec![idx2, Value::i32(0), Value::i32(31)]);
+        set(b, index, idx3);
+        // emit code
+        let zneg = b.cast(autophase_ir::CastOp::ZExt, Type::I32, neg);
+        let signbit = b.binary(BinOp::Shl, zneg, Value::i32(3));
+        let code = b.binary(BinOp::Or, delta, signbit);
+        let op = b.gep(out, i);
+        b.store(op, code);
+    });
+
+    let acc = var(&mut b, Value::i32(0));
+    checksum_array(&mut b, acc, out, n);
+    let vpf = get(&mut b, valpred);
+    let af = get(&mut b, acc);
+    let r = b.binary(BinOp::Add, af, vpf);
+    b.ret(Some(r));
+    m.add_function(b.finish());
+    m
+}
+
+/// `aes`: byte-substitution + mix rounds over a 16-byte state with an
+/// S-box table.
+pub fn aes() -> Module {
+    let mut m = Module::new("aes");
+    // A bijective-ish "sbox": affine over GF-ish arithmetic (not real AES,
+    // same access pattern).
+    let sbox: Vec<i64> = (0..256).map(|i| ((i * 167 + 91) % 256) as i64).collect();
+    let sbox_g = m.add_global(Global::constant("sbox", Type::I32, sbox));
+    let rkeys: Vec<i64> = (0..176).map(|i| ((i * 73 + 13) % 256) as i64).collect();
+    let rk_g = m.add_global(Global::constant("round_keys", Type::I32, rkeys));
+
+    let mut b = FunctionBuilder::new("main", vec![], Type::I32);
+    let state = b.alloca(Type::I32, 16);
+    b.counted_loop(Value::i32(16), |b, i| {
+        let v = b.binary(BinOp::Mul, i, Value::i32(17));
+        let v = b.binary(BinOp::And, v, Value::i32(255));
+        let p = b.gep(state, i);
+        b.store(p, v);
+    });
+
+    // 10 rounds: sub-bytes, shift-ish rotate, add round key.
+    b.counted_loop(Value::i32(10), |b, round| {
+        // SubBytes
+        b.counted_loop(Value::i32(16), |b, i| {
+            let p = b.gep(state, i);
+            let v = b.load(Type::I32, p);
+            let sp = b.gep(Value::Global(sbox_g), v);
+            let s = b.load(Type::I32, sp);
+            b.store(p, s);
+        });
+        // MixColumns-ish: state[i] ^= state[(i+4)%16] * 2 (mod 256)
+        b.counted_loop(Value::i32(16), |b, i| {
+            let j0 = b.binary(BinOp::Add, i, Value::i32(4));
+            let j = b.binary(BinOp::URem, j0, Value::i32(16));
+            let pj = b.gep(state, j);
+            let vj = b.load(Type::I32, pj);
+            let dv = b.binary(BinOp::Shl, vj, Value::i32(1));
+            let dv = b.binary(BinOp::And, dv, Value::i32(255));
+            let pi = b.gep(state, i);
+            let vi = b.load(Type::I32, pi);
+            let x = b.binary(BinOp::Xor, vi, dv);
+            b.store(pi, x);
+        });
+        // AddRoundKey
+        b.counted_loop(Value::i32(16), |b, i| {
+            let off = b.binary(BinOp::Mul, round, Value::i32(16));
+            let k = b.binary(BinOp::Add, off, i);
+            let kp = b.gep(Value::Global(rk_g), k);
+            let kv = b.load(Type::I32, kp);
+            let pi = b.gep(state, i);
+            let vi = b.load(Type::I32, pi);
+            let x = b.binary(BinOp::Xor, vi, kv);
+            b.store(pi, x);
+        });
+    });
+
+    let acc = var(&mut b, Value::i32(0));
+    checksum_array(&mut b, acc, state, 16);
+    let r = get(&mut b, acc);
+    b.ret(Some(r));
+    m.add_function(b.finish());
+    m
+}
+
+/// `blowfish`: Feistel network with P-array and an S-box-driven F
+/// function implemented as a helper call.
+pub fn blowfish() -> Module {
+    let mut m = Module::new("blowfish");
+    let p_arr: Vec<i64> = (0..18u32)
+        .map(|i| 0x243F_6A88u32.wrapping_add(i.wrapping_mul(0x9E37_79B9)) as i32 as i64)
+        .collect();
+    let p_g = m.add_global(Global::constant("p_array", Type::I32, p_arr));
+    let sbox: Vec<i64> = (0..256).map(|i| ((i * 2654435761u64) % 4294967296) as i64 as i32 as i64).collect();
+    let s_g = m.add_global(Global::constant("sbox", Type::I32, sbox));
+
+    // F(x) = (S[x&255] + S[(x>>8)&255]) ^ S[(x>>16)&255]
+    let f_fn = {
+        let mut b = FunctionBuilder::new("feistel_f", vec![Type::I32], Type::I32);
+        let x = b.arg(0);
+        let b0 = b.binary(BinOp::And, x, Value::i32(255));
+        let x8 = b.binary(BinOp::LShr, x, Value::i32(8));
+        let b1 = b.binary(BinOp::And, x8, Value::i32(255));
+        let x16 = b.binary(BinOp::LShr, x, Value::i32(16));
+        let b2 = b.binary(BinOp::And, x16, Value::i32(255));
+        let p0 = b.gep(Value::Global(s_g), b0);
+        let s0 = b.load(Type::I32, p0);
+        let p1 = b.gep(Value::Global(s_g), b1);
+        let s1 = b.load(Type::I32, p1);
+        let p2 = b.gep(Value::Global(s_g), b2);
+        let s2 = b.load(Type::I32, p2);
+        let t = b.binary(BinOp::Add, s0, s1);
+        let r = b.binary(BinOp::Xor, t, s2);
+        b.ret(Some(r));
+        m.add_function(b.finish())
+    };
+
+    let n_blocks = 8;
+    let mut b = FunctionBuilder::new("main", vec![], Type::I32);
+    let data = b.alloca(Type::I32, (n_blocks * 2) as u32);
+    b.counted_loop(Value::i32(n_blocks * 2), |b, i| {
+        let v = b.binary(BinOp::Mul, i, Value::i32(0x01010101u32 as i32));
+        let p = b.gep(data, i);
+        b.store(p, v);
+    });
+
+    b.counted_loop(Value::i32(n_blocks), |b, blk| {
+        let li = b.binary(BinOp::Mul, blk, Value::i32(2));
+        let ri = b.binary(BinOp::Add, li, Value::i32(1));
+        let lp = b.gep(data, li);
+        let rp = b.gep(data, ri);
+        let l_var = var(b, Value::i32(0));
+        let r_var = var(b, Value::i32(0));
+        let l0 = b.load(Type::I32, lp);
+        set(b, l_var, l0);
+        let r0 = b.load(Type::I32, rp);
+        set(b, r_var, r0);
+        // 16 Feistel rounds.
+        b.counted_loop(Value::i32(16), |b, round| {
+            let l = get(b, l_var);
+            let pp = b.gep(Value::Global(p_g), round);
+            let pv = b.load(Type::I32, pp);
+            let lx = b.binary(BinOp::Xor, l, pv);
+            let f = b.call(f_fn, Type::I32, vec![lx]);
+            let r = get(b, r_var);
+            let rx = b.binary(BinOp::Xor, r, f);
+            set(b, l_var, rx);
+            set(b, r_var, lx);
+        });
+        let lf = get(b, l_var);
+        let rf = get(b, r_var);
+        b.store(lp, lf);
+        b.store(rp, rf);
+    });
+
+    let acc = var(&mut b, Value::i32(0));
+    checksum_array(&mut b, acc, data, n_blocks * 2);
+    let r = get(&mut b, acc);
+    b.ret(Some(r));
+    m.add_function(b.finish());
+    m
+}
+
+/// `dhrystone`: the classic integer mix — record copies through arrays,
+/// arithmetic procedures, character-ish comparisons.
+pub fn dhrystone() -> Module {
+    let mut m = Module::new("dhrystone");
+
+    // Proc: f(a, b) = (a + b) * 3 - 1 through branches.
+    let proc7 = {
+        let mut b = FunctionBuilder::new("proc7", vec![Type::I32, Type::I32], Type::I32);
+        let s = b.binary(BinOp::Add, b.arg(0), b.arg(1));
+        let t = b.binary(BinOp::Mul, s, Value::i32(3));
+        let r = b.binary(BinOp::Sub, t, Value::i32(1));
+        b.ret(Some(r));
+        m.add_function(b.finish())
+    };
+    // Func2-ish comparison helper.
+    let func2 = {
+        let mut b = FunctionBuilder::new("func2", vec![Type::I32, Type::I32], Type::I32);
+        let gt = b.new_block();
+        let le = b.new_block();
+        let c = b.icmp(CmpPred::Sgt, b.arg(0), b.arg(1));
+        b.cond_br(c, gt, le);
+        b.switch_to(gt);
+        let d = b.binary(BinOp::Sub, b.arg(0), b.arg(1));
+        b.ret(Some(d));
+        b.switch_to(le);
+        b.ret(Some(Value::i32(0)));
+        m.add_function(b.finish())
+    };
+
+    let runs = 40;
+    let mut b = FunctionBuilder::new("main", vec![], Type::I32);
+    let arr1 = b.alloca(Type::I32, 32);
+    let arr2 = b.alloca(Type::I32, 32);
+    let int_glob = var(&mut b, Value::i32(0));
+    let bool_glob = var(&mut b, Value::i32(0));
+
+    b.counted_loop(Value::i32(runs), |b, run| {
+        // Proc1-ish: arr1[run % 32] = proc7(run, int_glob)
+        let ig = get(b, int_glob);
+        let v = b.call(proc7, Type::I32, vec![run, ig]);
+        let idx = b.binary(BinOp::URem, run, Value::i32(32));
+        let p1 = b.gep(arr1, idx);
+        b.store(p1, v);
+        // Proc8-ish: arr2[i] = arr1[i] + run for a stripe
+        b.counted_loop(Value::i32(8), |b, i| {
+            let j = b.binary(BinOp::Add, i, Value::i32(4));
+            let j = b.binary(BinOp::URem, j, Value::i32(32));
+            let src = b.gep(arr1, j);
+            let sv = b.load(Type::I32, src);
+            let dv = b.binary(BinOp::Add, sv, run);
+            let dst = b.gep(arr2, j);
+            b.store(dst, dv);
+        });
+        // Func2-ish comparisons update bool_glob / int_glob.
+        let a0 = b.gep(arr2, Value::i32(4));
+        let av = b.load(Type::I32, a0);
+        let cres = b.call(func2, Type::I32, vec![av, run]);
+        let bg = get(b, bool_glob);
+        let bg2 = b.binary(BinOp::Add, bg, cres);
+        set(b, bool_glob, bg2);
+        let ig2 = b.binary(BinOp::Add, ig, Value::i32(1));
+        set(b, int_glob, ig2);
+    });
+
+    let acc = var(&mut b, Value::i32(0));
+    checksum_array(&mut b, acc, arr1, 32);
+    checksum_array(&mut b, acc, arr2, 32);
+    let a = get(&mut b, acc);
+    let bg = get(&mut b, bool_glob);
+    let ig = get(&mut b, int_glob);
+    let t = b.binary(BinOp::Add, a, bg);
+    let r = b.binary(BinOp::Add, t, ig);
+    b.ret(Some(r));
+    m.add_function(b.finish());
+    m
+}
+
+/// `gsm`: LPC autocorrelation — the multiply-accumulate heart of the
+/// CHStone gsm kernel.
+pub fn gsm() -> Module {
+    let mut m = Module::new("gsm");
+    let n = 64;
+    let lags = 9;
+    let mut b = FunctionBuilder::new("main", vec![], Type::I32);
+    let signal = b.alloca(Type::I32, n as u32);
+    b.counted_loop(Value::i32(n), |b, i| {
+        let t = b.binary(BinOp::Mul, i, Value::i32(89));
+        let t2 = b.binary(BinOp::URem, t, Value::i32(127));
+        let v = b.binary(BinOp::Sub, t2, Value::i32(63));
+        let p = b.gep(signal, i);
+        b.store(p, v);
+    });
+    let autoc = b.alloca(Type::I32, lags as u32);
+    b.counted_loop(Value::i32(lags), |b, k| {
+        let acc = var(b, Value::i32(0));
+        let bound = b.binary(BinOp::Sub, Value::i32(n), k);
+        b.counted_loop(bound, |b, i| {
+            let pi = b.gep(signal, i);
+            let xi = b.load(Type::I32, pi);
+            let ik = b.binary(BinOp::Add, i, k);
+            let pk = b.gep(signal, ik);
+            let xk = b.load(Type::I32, pk);
+            let prod = b.binary(BinOp::Mul, xi, xk);
+            let scaled = b.binary(BinOp::AShr, prod, Value::i32(2));
+            let a = get(b, acc);
+            let s = b.binary(BinOp::Add, a, scaled);
+            set(b, acc, s);
+        });
+        let a = get(b, acc);
+        let p = b.gep(autoc, k);
+        b.store(p, a);
+    });
+    let acc = var(&mut b, Value::i32(0));
+    checksum_array(&mut b, acc, autoc, lags);
+    let r = get(&mut b, acc);
+    b.ret(Some(r));
+    m.add_function(b.finish());
+    m
+}
+
+/// `matmul`: 8×8 integer matrix multiply, triple loop.
+pub fn matmul() -> Module {
+    let mut m = Module::new("matmul");
+    let n = 8;
+    let mut b = FunctionBuilder::new("main", vec![], Type::I32);
+    let a = b.alloca(Type::I32, (n * n) as u32);
+    let bb_ = b.alloca(Type::I32, (n * n) as u32);
+    let c = b.alloca(Type::I32, (n * n) as u32);
+    b.counted_loop(Value::i32(n * n), |b, i| {
+        let va = b.binary(BinOp::URem, i, Value::i32(7));
+        let pa = b.gep(a, i);
+        b.store(pa, va);
+        let t = b.binary(BinOp::Mul, i, Value::i32(3));
+        let vb = b.binary(BinOp::URem, t, Value::i32(5));
+        let pb = b.gep(bb_, i);
+        b.store(pb, vb);
+    });
+    b.counted_loop(Value::i32(n), |b, i| {
+        b.counted_loop(Value::i32(n), |b, j| {
+            let acc = var(b, Value::i32(0));
+            b.counted_loop(Value::i32(n), |b, k| {
+                let in_ = b.binary(BinOp::Mul, i, Value::i32(n));
+                let aik = b.binary(BinOp::Add, in_, k);
+                let pa = b.gep(a, aik);
+                let va = b.load(Type::I32, pa);
+                let kn = b.binary(BinOp::Mul, k, Value::i32(n));
+                let bkj = b.binary(BinOp::Add, kn, j);
+                let pb = b.gep(bb_, bkj);
+                let vb = b.load(Type::I32, pb);
+                let prod = b.binary(BinOp::Mul, va, vb);
+                let cur = get(b, acc);
+                let s = b.binary(BinOp::Add, cur, prod);
+                set(b, acc, s);
+            });
+            let in_ = b.binary(BinOp::Mul, i, Value::i32(n));
+            let cij = b.binary(BinOp::Add, in_, j);
+            let pc = b.gep(c, cij);
+            let s = get(b, acc);
+            b.store(pc, s);
+        });
+    });
+    let acc = var(&mut b, Value::i32(0));
+    checksum_array(&mut b, acc, c, n * n);
+    let r = get(&mut b, acc);
+    b.ret(Some(r));
+    m.add_function(b.finish());
+    m
+}
+
+/// `mpeg2`: an 8-point IDCT-like butterfly applied to the rows and
+/// columns of an 8×8 block (the CHStone mpeg2 kernel's hot loop).
+pub fn mpeg2() -> Module {
+    let mut m = Module::new("mpeg2");
+    let w: Vec<i64> = vec![2048, 2841, 2676, 2408, 2048, 1609, 1108, 565];
+    let w_g = m.add_global(Global::constant("idct_w", Type::I32, w));
+    let n = 8;
+    let mut b = FunctionBuilder::new("main", vec![], Type::I32);
+    let block = b.alloca(Type::I32, (n * n) as u32);
+    b.counted_loop(Value::i32(n * n), |b, i| {
+        let t = b.binary(BinOp::Mul, i, Value::i32(7));
+        let v0 = b.binary(BinOp::URem, t, Value::i32(64));
+        let v = b.binary(BinOp::Sub, v0, Value::i32(32));
+        let p = b.gep(block, i);
+        b.store(p, v);
+    });
+    // Row pass then column pass.
+    for pass in 0..2 {
+        b.counted_loop(Value::i32(n), |b, row| {
+            b.counted_loop(Value::i32(n / 2), |b, k| {
+                let stride = Value::i32(if pass == 0 { 1 } else { n });
+                let base = b.binary(
+                    BinOp::Mul,
+                    row,
+                    Value::i32(if pass == 0 { n } else { 1 }),
+                );
+                let ks = b.binary(BinOp::Mul, k, stride);
+                let i0 = b.binary(BinOp::Add, base, ks);
+                let off = b.binary(BinOp::Mul, Value::i32(n / 2), stride);
+                let i1 = b.binary(BinOp::Add, i0, off);
+                let p0 = b.gep(block, i0);
+                let x0 = b.load(Type::I32, p0);
+                let p1 = b.gep(block, i1);
+                let x1 = b.load(Type::I32, p1);
+                let wp = b.gep(Value::Global(w_g), k);
+                let wk = b.load(Type::I32, wp);
+                let scaled = b.binary(BinOp::Mul, x1, wk);
+                let scaled = b.binary(BinOp::AShr, scaled, Value::i32(11));
+                let s = b.binary(BinOp::Add, x0, scaled);
+                let d = b.binary(BinOp::Sub, x0, scaled);
+                b.store(p0, s);
+                b.store(p1, d);
+            });
+        });
+    }
+    let acc = var(&mut b, Value::i32(0));
+    checksum_array(&mut b, acc, block, n * n);
+    let r = get(&mut b, acc);
+    b.ret(Some(r));
+    m.add_function(b.finish());
+    m
+}
+
+/// `qsort`: iterative quicksort with an explicit stack (CHstone's qsort
+/// is the classic recursive one; the iterative form exercises the same
+/// partition loop without unbounded recursion).
+pub fn qsort() -> Module {
+    let mut m = Module::new("qsort");
+    let n = 48;
+    let mut b = FunctionBuilder::new("main", vec![], Type::I32);
+    let arr = b.alloca(Type::I32, n as u32);
+    b.counted_loop(Value::i32(n), |b, i| {
+        let t = b.binary(BinOp::Mul, i, Value::i32(1103515245i64 as i32));
+        let t = b.binary(BinOp::Add, t, Value::i32(12345));
+        let v = b.binary(BinOp::URem, t, Value::i32(1000));
+        let p = b.gep(arr, i);
+        b.store(p, v);
+    });
+
+    // Explicit stack of (lo, hi) ranges.
+    let stack = b.alloca(Type::I32, 64);
+    let sp = var(&mut b, Value::i32(2));
+    // push (0, n-1)
+    let s0 = b.gep(stack, Value::i32(0));
+    b.store(s0, Value::i32(0));
+    let s1 = b.gep(stack, Value::i32(1));
+    b.store(s1, Value::i32(n - 1));
+
+    // while (sp > 0)
+    let header = b.new_block();
+    let body = b.new_block();
+    let exit = b.new_block();
+    b.br(header);
+    b.switch_to(header);
+    let spv = get(&mut b, sp);
+    let more = b.icmp(CmpPred::Sgt, spv, Value::i32(0));
+    b.cond_br(more, body, exit);
+
+    b.switch_to(body);
+    {
+        let b = &mut b;
+        // pop hi, lo
+        let spv = get(b, sp);
+        let hi_i = b.binary(BinOp::Sub, spv, Value::i32(1));
+        let lo_i = b.binary(BinOp::Sub, spv, Value::i32(2));
+        let hp = b.gep(stack, hi_i);
+        let hi = b.load(Type::I32, hp);
+        let lp = b.gep(stack, lo_i);
+        let lo = b.load(Type::I32, lp);
+        set(b, sp, lo_i);
+
+        let valid = b.new_block();
+        let next_iter = b.new_block();
+        let c = b.icmp(CmpPred::Slt, lo, hi);
+        b.cond_br(c, valid, next_iter);
+
+        b.switch_to(valid);
+        // Lomuto partition with pivot = arr[hi].
+        let pp = b.gep(arr, hi);
+        let pivot = b.load(Type::I32, pp);
+        let store_i = var(b, lo);
+        let span = b.binary(BinOp::Sub, hi, lo);
+        b.counted_loop(span, |b, off| {
+            let j = b.binary(BinOp::Add, lo, off);
+            let pj = b.gep(arr, j);
+            let vj = b.load(Type::I32, pj);
+            let lt = b.icmp(CmpPred::Slt, vj, pivot);
+            let swap_bb = b.new_block();
+            let cont_bb = b.new_block();
+            b.cond_br(lt, swap_bb, cont_bb);
+            b.switch_to(swap_bb);
+            let si = get(b, store_i);
+            let psi = b.gep(arr, si);
+            let vsi = b.load(Type::I32, psi);
+            b.store(psi, vj);
+            b.store(pj, vsi);
+            let si2 = b.binary(BinOp::Add, si, Value::i32(1));
+            set(b, store_i, si2);
+            b.br(cont_bb);
+            b.switch_to(cont_bb);
+        });
+        // move pivot into place
+        let si = get(b, store_i);
+        let psi = b.gep(arr, si);
+        let vsi = b.load(Type::I32, psi);
+        b.store(psi, pivot);
+        b.store(pp, vsi);
+        // push (lo, si-1) and (si+1, hi)
+        let spv = get(b, sp);
+        let a0 = b.gep(stack, spv);
+        b.store(a0, lo);
+        let sp1 = b.binary(BinOp::Add, spv, Value::i32(1));
+        let a1 = b.gep(stack, sp1);
+        let sim1 = b.binary(BinOp::Sub, si, Value::i32(1));
+        b.store(a1, sim1);
+        let sp2 = b.binary(BinOp::Add, spv, Value::i32(2));
+        let a2 = b.gep(stack, sp2);
+        let sip1 = b.binary(BinOp::Add, si, Value::i32(1));
+        b.store(a2, sip1);
+        let sp3 = b.binary(BinOp::Add, spv, Value::i32(3));
+        let a3 = b.gep(stack, sp3);
+        b.store(a3, hi);
+        let sp4 = b.binary(BinOp::Add, spv, Value::i32(4));
+        set(b, sp, sp4);
+        b.br(next_iter);
+
+        b.switch_to(next_iter);
+        b.br(header);
+    }
+
+    b.switch_to(exit);
+    // Checksum must depend on order: acc = acc*31 + arr[i].
+    let acc = var(&mut b, Value::i32(0));
+    b.counted_loop(Value::i32(n), |b, i| {
+        let p = b.gep(arr, i);
+        let v = b.load(Type::I32, p);
+        let c = get(b, acc);
+        let t = b.binary(BinOp::Mul, c, Value::i32(31));
+        let s = b.binary(BinOp::Add, t, v);
+        set(b, acc, s);
+    });
+    let r = get(&mut b, acc);
+    b.ret(Some(r));
+    m.add_function(b.finish());
+    m
+}
+
+/// `sha`: SHA-1-style compression rounds — rotations, round functions,
+/// message schedule.
+pub fn sha() -> Module {
+    let mut m = Module::new("sha");
+
+    // rotl(x, n) helper.
+    let rotl = {
+        let mut b = FunctionBuilder::new("rotl", vec![Type::I32, Type::I32], Type::I32);
+        let x = b.arg(0);
+        let s = b.arg(1);
+        let l = b.binary(BinOp::Shl, x, s);
+        let inv = b.binary(BinOp::Sub, Value::i32(32), s);
+        let r = b.binary(BinOp::LShr, x, inv);
+        let o = b.binary(BinOp::Or, l, r);
+        b.ret(Some(o));
+        m.add_function(b.finish())
+    };
+
+    let mut b = FunctionBuilder::new("main", vec![], Type::I32);
+    // Message schedule W[0..80].
+    let w = b.alloca(Type::I32, 80);
+    b.counted_loop(Value::i32(16), |b, i| {
+        let v = b.binary(BinOp::Mul, i, Value::i32(0x0badf00du32 as i32));
+        let p = b.gep(w, i);
+        b.store(p, v);
+    });
+    b.counted_loop(Value::i32(64), |b, t| {
+        let i = b.binary(BinOp::Add, t, Value::i32(16));
+        let i3 = b.binary(BinOp::Sub, i, Value::i32(3));
+        let i8 = b.binary(BinOp::Sub, i, Value::i32(8));
+        let i14 = b.binary(BinOp::Sub, i, Value::i32(14));
+        let i16 = b.binary(BinOp::Sub, i, Value::i32(16));
+        let p3 = b.gep(w, i3);
+        let l3 = b.load(Type::I32, p3);
+        let l8 = {
+            let p = b.gep(w, i8);
+            b.load(Type::I32, p)
+        };
+        let l14 = {
+            let p = b.gep(w, i14);
+            b.load(Type::I32, p)
+        };
+        let l16 = {
+            let p = b.gep(w, i16);
+            b.load(Type::I32, p)
+        };
+        let x1 = b.binary(BinOp::Xor, l3, l8);
+        let x2 = b.binary(BinOp::Xor, x1, l14);
+        let x3 = b.binary(BinOp::Xor, x2, l16);
+        let rot = b.call(rotl, Type::I32, vec![x3, Value::i32(1)]);
+        let p = b.gep(w, i);
+        b.store(p, rot);
+    });
+
+    // Compression.
+    let a = var(&mut b, Value::i32(0x67452301u32 as i32));
+    let b_ = var(&mut b, Value::i32(0xEFCDAB89u32 as i32));
+    let c_ = var(&mut b, Value::i32(0x98BADCFEu32 as i32));
+    let d = var(&mut b, Value::i32(0x10325476u32 as i32));
+    let e = var(&mut b, Value::i32(0xC3D2E1F0u32 as i32));
+    b.counted_loop(Value::i32(80), |b, t| {
+        let va = get(b, a);
+        let vb = get(b, b_);
+        let vc = get(b, c_);
+        let vd = get(b, d);
+        let ve = get(b, e);
+        // Round function by quarter: (b&c)|(~b&d), b^c^d, majority, b^c^d.
+        let quarter = b.binary(BinOp::SDiv, t, Value::i32(20));
+        let f_ch = {
+            let bc = b.binary(BinOp::And, vb, vc);
+            let nb = b.binary(BinOp::Xor, vb, Value::i32(-1));
+            let nbd = b.binary(BinOp::And, nb, vd);
+            b.binary(BinOp::Or, bc, nbd)
+        };
+        let f_par = {
+            let x = b.binary(BinOp::Xor, vb, vc);
+            b.binary(BinOp::Xor, x, vd)
+        };
+        let f_maj = {
+            let bc = b.binary(BinOp::And, vb, vc);
+            let bd = b.binary(BinOp::And, vb, vd);
+            let cd = b.binary(BinOp::And, vc, vd);
+            let o1 = b.binary(BinOp::Or, bc, bd);
+            b.binary(BinOp::Or, o1, cd)
+        };
+        let q0 = b.icmp(CmpPred::Eq, quarter, Value::i32(0));
+        let q2 = b.icmp(CmpPred::Eq, quarter, Value::i32(2));
+        let f12 = b.select(q2, f_maj, f_par);
+        let f = b.select(q0, f_ch, f12);
+        let k0 = Value::i32(0x5A827999u32 as i32);
+        let k1 = Value::i32(0x6ED9EBA1u32 as i32);
+        let k2 = Value::i32(0x8F1BBCDCu32 as i32);
+        let k3 = Value::i32(0xCA62C1D6u32 as i32);
+        let q1 = b.icmp(CmpPred::Eq, quarter, Value::i32(1));
+        let k23 = b.select(q2, k2, k3);
+        let k123 = b.select(q1, k1, k23);
+        let k = b.select(q0, k0, k123);
+        let rot5 = b.call(rotl, Type::I32, vec![va, Value::i32(5)]);
+        let t1 = b.binary(BinOp::Add, rot5, f);
+        let t2 = b.binary(BinOp::Add, t1, ve);
+        let wp = b.gep(w, t);
+        let wt = b.load(Type::I32, wp);
+        let t3 = b.binary(BinOp::Add, t2, wt);
+        let temp = b.binary(BinOp::Add, t3, k);
+        set(b, e, vd);
+        set(b, d, vc);
+        let rot30 = b.call(rotl, Type::I32, vec![vb, Value::i32(30)]);
+        set(b, c_, rot30);
+        set(b, b_, va);
+        set(b, a, temp);
+    });
+
+    let va = get(&mut b, a);
+    let vb = get(&mut b, b_);
+    let vc = get(&mut b, c_);
+    let vd = get(&mut b, d);
+    let ve = get(&mut b, e);
+    let s1 = b.binary(BinOp::Xor, va, vb);
+    let s2 = b.binary(BinOp::Xor, s1, vc);
+    let s3 = b.binary(BinOp::Xor, s2, vd);
+    let s4 = b.binary(BinOp::Xor, s3, ve);
+    b.ret(Some(s4));
+    m.add_function(b.finish());
+    m
+}

@@ -1,0 +1,31 @@
+//! The nine-benchmark evaluation suite (§6.1).
+//!
+//! The paper evaluates on nine real HLS programs "adapted from CHStone and
+//! LegUp examples": adpcm, aes, blowfish, dhrystone, gsm, matmul, mpeg2,
+//! qsort, and sha. This crate rebuilds each as a faithful-in-structure
+//! integer kernel in `autophase-ir`, emitted the way a `-O0` C frontend
+//! would: every local behind an alloca, loops in top-tested "while" form,
+//! helpers called rather than inlined — leaving exactly the optimization
+//! headroom the pass-ordering search is supposed to exploit.
+//!
+//! Every benchmark's `main` returns a checksum of its outputs, so the
+//! semantics-preservation oracle covers the whole computation, and runs
+//! within a few hundred thousand interpreter steps.
+//!
+//! # Example
+//!
+//! ```
+//! let suite = autophase_benchmarks::suite();
+//! assert_eq!(suite.len(), 9);
+//! for b in &suite {
+//!     autophase_ir::verify::verify_module(&b.module)?;
+//! }
+//! # Ok::<(), autophase_ir::verify::VerifyError>(())
+//! ```
+#![warn(missing_docs)]
+
+
+pub mod kernels;
+pub mod suite;
+
+pub use suite::{suite, Benchmark};

@@ -1,0 +1,26 @@
+//! Per-benchmark headroom probe: how much better than `-O3` can the
+//! black-box searches get with paper-scale budgets? (A diagnostic used
+//! while calibrating Figure 7; kept as a handy standalone utility.)
+//!
+//! ```sh
+//! cargo run --release -p autophase-core --example headroom
+//! ```
+
+use autophase_core::env::{o3_cycles, sequence_cycles};
+use autophase_hls::HlsConfig;
+use autophase_search::{greedy, genetic, Objective};
+
+fn main() {
+    let hls = HlsConfig::default();
+    for b in autophase_benchmarks::suite() {
+        let o3 = o3_cycles(&b.module, &hls);
+        let mut obj = Objective::new(|seq: &[usize]| sequence_cycles(&b.module, seq, &hls) as f64);
+        let g = greedy::search(&mut obj, 45, 45, 2484, None);
+        let mut obj2 = Objective::new(|seq: &[usize]| sequence_cycles(&b.module, seq, &hls) as f64);
+        let ga = genetic::search(&mut obj2, 45, 45, 6080, &genetic::GaConfig::default(), 3);
+        println!("{:<10} o3={:<6} greedy={:<6} ({:+.1}%, {} smp) ga={:<6} ({:+.1}%, {} smp)",
+            b.name, o3,
+            g.best_cost as u64, (o3 as f64 - g.best_cost)/o3 as f64*100.0, g.samples,
+            ga.best_cost as u64, (o3 as f64 - ga.best_cost)/o3 as f64*100.0, ga.samples);
+    }
+}

@@ -1,0 +1,421 @@
+//! Table 3 + Figure 7: every evaluated algorithm behind one interface.
+//!
+//! | Algorithm    | Kind            | Observation space                  | Action space  |
+//! |--------------|-----------------|------------------------------------|---------------|
+//! | RL-PPO1      | PPO (zero rwd)  | Program features                   | Single-action |
+//! | RL-PPO2      | PPO             | Action history                     | Single-action |
+//! | RL-PPO3      | PPO             | Action history + program features  | Multi-action  |
+//! | RL-A3C       | A2C             | Program features                   | Single-action |
+//! | RL-ES        | ES              | Program features                   | Single-action |
+//! | Greedy / OpenTuner / Genetic-DEAP / random — black-box searches.    |
+
+use crate::env::{
+    o0_cycles, o3_cycles, sequence_cycles, EnvConfig, ObservationKind, PhaseOrderEnv,
+    RewardKind,
+};
+use crate::multi::{MultiActionAgent, MultiConfig};
+use autophase_hls::HlsConfig;
+use autophase_ir::Module;
+use autophase_rl::a2c::{A2cAgent, A2cConfig};
+use autophase_rl::env::Environment;
+use autophase_rl::es::{EsAgent, EsConfig};
+use autophase_rl::ppo::{PpoAgent, PpoConfig};
+use autophase_search::{genetic, greedy, opentuner, random, Objective};
+
+/// The algorithms of Figure 7, in the paper's bar order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Algorithm {
+    /// No optimization.
+    O0,
+    /// The fixed reference pipeline.
+    O3,
+    /// PPO with program-feature observations and zeroed rewards (control).
+    RlPpo1,
+    /// PPO observing the applied-pass histogram.
+    RlPpo2,
+    /// Actor-critic observing program features.
+    RlA3c,
+    /// Insertion greedy (Huang et al., FCCM'13).
+    Greedy,
+    /// Multi-action PPO over a whole sequence (§5.2).
+    RlPpo3,
+    /// AUC-bandit ensemble of PSO and GA sub-techniques.
+    OpenTuner,
+    /// Evolution strategies over policy weights.
+    RlEs,
+    /// DEAP-style genetic algorithm.
+    GeneticDeap,
+    /// Uniform random whole-sequence sampling.
+    Random,
+}
+
+impl Algorithm {
+    /// All algorithms in Figure-7 order.
+    pub const ALL: [Algorithm; 11] = [
+        Algorithm::O0,
+        Algorithm::O3,
+        Algorithm::RlPpo1,
+        Algorithm::RlPpo2,
+        Algorithm::RlA3c,
+        Algorithm::Greedy,
+        Algorithm::RlPpo3,
+        Algorithm::OpenTuner,
+        Algorithm::RlEs,
+        Algorithm::GeneticDeap,
+        Algorithm::Random,
+    ];
+
+    /// Display name matching the paper's figure labels.
+    pub fn name(self) -> &'static str {
+        match self {
+            Algorithm::O0 => "-O0",
+            Algorithm::O3 => "-O3",
+            Algorithm::RlPpo1 => "RL-PPO1",
+            Algorithm::RlPpo2 => "RL-PPO2",
+            Algorithm::RlA3c => "RL-A3C",
+            Algorithm::Greedy => "Greedy",
+            Algorithm::RlPpo3 => "RL-PPO3",
+            Algorithm::OpenTuner => "OpenTuner",
+            Algorithm::RlEs => "RL-ES",
+            Algorithm::GeneticDeap => "Genetic-DEAP",
+            Algorithm::Random => "random",
+        }
+    }
+}
+
+/// Per-algorithm effort settings, scaled down from the paper's sample
+/// counts so a full Figure-7 run fits in CI; the *relative* budgets keep
+/// the paper's ordering (RL ≪ greedy < OpenTuner/ES < GA < random).
+#[derive(Debug, Clone)]
+pub struct Budget {
+    /// RL training iterations (PPO/A2C).
+    pub rl_iterations: usize,
+    /// Transitions per RL iteration.
+    pub rl_horizon: usize,
+    /// Episode length (sequence length for searches).
+    pub episode_len: usize,
+    /// ES generations.
+    pub es_generations: usize,
+    /// Greedy sample cap.
+    pub greedy_budget: u64,
+    /// OpenTuner sample budget.
+    pub opentuner_budget: u64,
+    /// GA sample budget.
+    pub genetic_budget: u64,
+    /// Random-search sample budget.
+    pub random_budget: u64,
+    /// RL-PPO3 training iterations.
+    pub multi_iterations: usize,
+}
+
+impl Default for Budget {
+    fn default() -> Budget {
+        Budget {
+            rl_iterations: 24,
+            rl_horizon: 90,
+            episode_len: 45,
+            es_generations: 40,
+            greedy_budget: 1200,
+            opentuner_budget: 1500,
+            genetic_budget: 2000,
+            random_budget: 2500,
+            multi_iterations: 24,
+        }
+    }
+}
+
+impl Budget {
+    /// A tiny budget for unit tests.
+    pub fn tiny() -> Budget {
+        Budget {
+            rl_iterations: 2,
+            rl_horizon: 16,
+            episode_len: 8,
+            es_generations: 2,
+            greedy_budget: 60,
+            opentuner_budget: 60,
+            genetic_budget: 60,
+            random_budget: 60,
+            multi_iterations: 2,
+        }
+    }
+}
+
+/// Outcome of running one algorithm on one program.
+#[derive(Debug, Clone)]
+pub struct AlgoResult {
+    /// Which algorithm.
+    pub algorithm: Algorithm,
+    /// Best cycle count it achieved.
+    pub cycles: u64,
+    /// Fractional improvement over `-O3` (`(o3 − c)/o3`; positive = faster
+    /// circuit than `-O3`).
+    pub improvement_over_o3: f64,
+    /// Objective evaluations / simulator calls used.
+    pub samples: u64,
+}
+
+/// Run one algorithm on one program.
+pub fn run_algorithm(
+    algorithm: Algorithm,
+    program: &Module,
+    budget: &Budget,
+    hls: &HlsConfig,
+    seed: u64,
+) -> AlgoResult {
+    let o3 = o3_cycles(program, hls);
+    let (cycles, samples) = match algorithm {
+        Algorithm::O0 => (o0_cycles(program, hls), 1),
+        Algorithm::O3 => (o3, 1),
+        Algorithm::RlPpo1 => run_single_action_rl(program, budget, hls, seed, RlKind::Ppo {
+            obs: ObservationKind::ProgramFeatures,
+            reward: RewardKind::Zero,
+        }),
+        Algorithm::RlPpo2 => run_single_action_rl(program, budget, hls, seed, RlKind::Ppo {
+            obs: ObservationKind::ActionHistory,
+            reward: RewardKind::Raw,
+        }),
+        Algorithm::RlA3c => run_single_action_rl(program, budget, hls, seed, RlKind::A2c),
+        Algorithm::RlEs => run_single_action_rl(program, budget, hls, seed, RlKind::Es),
+        Algorithm::RlPpo3 => {
+            let cfg = MultiConfig {
+                seq_len: budget.episode_len.max(8),
+                // Long episodes: every step perturbs the whole sequence by
+                // ±1 per slot, so reachable sequences lie within episode_len
+                // of the all-K/2 start — short episodes barely explore.
+                episode_len: 24,
+                episodes_per_iter: 3,
+                ..MultiConfig::default()
+            };
+            let mut agent = MultiActionAgent::new(&cfg, seed);
+            let (_, best) = agent.train(program, hls, budget.multi_iterations);
+            (best, agent.samples())
+        }
+        Algorithm::Greedy => {
+            let mut obj = Objective::new(|seq: &[usize]| sequence_cycles(program, seq, hls) as f64);
+            let r = greedy::search(
+                &mut obj,
+                autophase_passes::registry::NUM_PASSES,
+                budget.episode_len,
+                budget.greedy_budget,
+                None,
+            );
+            (r.best_cost as u64, r.samples)
+        }
+        Algorithm::OpenTuner => {
+            let mut obj = Objective::new(|seq: &[usize]| sequence_cycles(program, seq, hls) as f64);
+            let r = opentuner::search(
+                &mut obj,
+                autophase_passes::registry::NUM_PASSES,
+                budget.episode_len,
+                budget.opentuner_budget,
+                &opentuner::TunerConfig::default(),
+                seed,
+            );
+            (r.best_cost as u64, r.samples)
+        }
+        Algorithm::GeneticDeap => {
+            let mut obj = Objective::new(|seq: &[usize]| sequence_cycles(program, seq, hls) as f64);
+            let r = genetic::search(
+                &mut obj,
+                autophase_passes::registry::NUM_PASSES,
+                budget.episode_len,
+                budget.genetic_budget,
+                &genetic::GaConfig::default(),
+                seed,
+            );
+            (r.best_cost as u64, r.samples)
+        }
+        Algorithm::Random => {
+            let mut obj = Objective::new(|seq: &[usize]| sequence_cycles(program, seq, hls) as f64);
+            let r = random::search(
+                &mut obj,
+                autophase_passes::registry::NUM_PASSES,
+                budget.episode_len,
+                budget.random_budget,
+                seed,
+            );
+            (r.best_cost as u64, r.samples)
+        }
+    };
+    AlgoResult {
+        algorithm,
+        cycles,
+        improvement_over_o3: (o3 as f64 - cycles as f64) / o3 as f64,
+        samples,
+    }
+}
+
+enum RlKind {
+    Ppo {
+        obs: ObservationKind,
+        reward: RewardKind,
+    },
+    A2c,
+    Es,
+}
+
+/// Train a single-action RL agent on one program, tracking the best state
+/// ever profiled (the search result, analogous to the paper evaluating
+/// the discovered ordering).
+fn run_single_action_rl(
+    program: &Module,
+    budget: &Budget,
+    hls: &HlsConfig,
+    seed: u64,
+    kind: RlKind,
+) -> (u64, u64) {
+    // The environment always profiles (Raw reward) so the best-visited
+    // state is tracked with the paper's sample accounting; the RL-PPO1
+    // control zeroes the reward in the wrapper instead, "to test if the
+    // rewards are meaningful" (§6.1) without changing what gets compiled.
+    let zero_rewards = matches!(
+        kind,
+        RlKind::Ppo {
+            reward: RewardKind::Zero,
+            ..
+        }
+    );
+    let env_cfg = EnvConfig {
+        observation: match &kind {
+            RlKind::Ppo { obs, .. } => *obs,
+            _ => ObservationKind::ProgramFeatures,
+        },
+        reward: RewardKind::Raw,
+        episode_len: budget.episode_len,
+        hls: hls.clone(),
+        ..EnvConfig::default()
+    };
+    let mut env = BestTracking::new(PhaseOrderEnv::single(program.clone(), env_cfg), zero_rewards);
+    let obs_dim = env.observation_dim();
+    let n_actions = env.num_actions();
+    match kind {
+        RlKind::Ppo { .. } => {
+            let cfg = PpoConfig {
+                hidden: vec![64, 64],
+                horizon: budget.rl_horizon,
+                minibatch: 32,
+                max_episode_len: budget.episode_len,
+                // Phase ordering rewards are sparse; keep exploration up.
+                entropy_coef: 0.03,
+                ..PpoConfig::default()
+            };
+            let mut agent = PpoAgent::new(obs_dim, n_actions, &cfg, seed);
+            agent.train(&mut env, budget.rl_iterations);
+        }
+        RlKind::A2c => {
+            let cfg = A2cConfig {
+                hidden: vec![64, 64],
+                horizon: budget.rl_horizon,
+                max_episode_len: budget.episode_len,
+                ..A2cConfig::default()
+            };
+            let mut agent = A2cAgent::new(obs_dim, n_actions, &cfg, seed);
+            agent.train(&mut env, budget.rl_iterations);
+        }
+        RlKind::Es => {
+            let cfg = EsConfig {
+                hidden: vec![32, 32],
+                population: 6,
+                max_episode_len: budget.episode_len,
+                ..EsConfig::default()
+            };
+            let mut agent = EsAgent::new(obs_dim, n_actions, &cfg, seed);
+            agent.train(&mut env, budget.es_generations);
+        }
+    }
+    (env.best_cycles, env.inner.samples())
+}
+
+/// Wraps the environment to remember the best cycle count ever reached,
+/// optionally zeroing rewards (the RL-PPO1 control).
+struct BestTracking {
+    inner: PhaseOrderEnv,
+    best_cycles: u64,
+    cur_cycles: u64,
+    zero_rewards: bool,
+}
+
+impl BestTracking {
+    fn new(inner: PhaseOrderEnv, zero_rewards: bool) -> BestTracking {
+        BestTracking {
+            inner,
+            best_cycles: u64::MAX,
+            cur_cycles: u64::MAX,
+            zero_rewards,
+        }
+    }
+}
+
+impl Environment for BestTracking {
+    fn observation_dim(&self) -> usize {
+        self.inner.observation_dim()
+    }
+    fn num_actions(&self) -> usize {
+        self.inner.num_actions()
+    }
+    fn reset(&mut self) -> Vec<f64> {
+        let o = self.inner.reset();
+        self.cur_cycles = self.inner.last_cycles();
+        self.best_cycles = self.best_cycles.min(self.cur_cycles);
+        o
+    }
+    fn step(&mut self, action: usize) -> autophase_rl::env::StepResult {
+        let mut r = self.inner.step(action);
+        self.cur_cycles = self.inner.last_cycles();
+        self.best_cycles = self.best_cycles.min(self.cur_cycles);
+        if self.zero_rewards {
+            r.reward = 0.0;
+        }
+        r
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autophase_benchmarks::suite;
+
+    fn program() -> Module {
+        suite().into_iter().find(|b| b.name == "gsm").unwrap().module
+    }
+
+    #[test]
+    fn o0_and_o3_reference_points() {
+        let hls = HlsConfig::default();
+        let p = program();
+        let o0 = run_algorithm(Algorithm::O0, &p, &Budget::tiny(), &hls, 1);
+        let o3 = run_algorithm(Algorithm::O3, &p, &Budget::tiny(), &hls, 1);
+        assert!(o0.improvement_over_o3 < 0.0, "O0 must be worse than O3");
+        assert_eq!(o3.improvement_over_o3, 0.0);
+        assert_eq!(o3.samples, 1);
+    }
+
+    #[test]
+    fn searches_beat_o0_with_tiny_budget() {
+        let hls = HlsConfig::default();
+        let p = program();
+        let o0 = o0_cycles(&p, &hls);
+        for alg in [Algorithm::Greedy, Algorithm::Random, Algorithm::GeneticDeap] {
+            let r = run_algorithm(alg, &p, &Budget::tiny(), &hls, 3);
+            assert!(r.cycles < o0, "{} did not beat O0", alg.name());
+            assert!(r.samples > 0);
+        }
+    }
+
+    #[test]
+    fn rl_ppo2_improves_program() {
+        let hls = HlsConfig::default();
+        let p = program();
+        let o0 = o0_cycles(&p, &hls);
+        let r = run_algorithm(Algorithm::RlPpo2, &p, &Budget::tiny(), &hls, 5);
+        assert!(r.cycles < o0, "RL-PPO2 found nothing: {} vs {}", r.cycles, o0);
+    }
+
+    #[test]
+    fn names_match_figure_labels() {
+        assert_eq!(Algorithm::ALL.len(), 11);
+        assert_eq!(Algorithm::GeneticDeap.name(), "Genetic-DEAP");
+        assert_eq!(Algorithm::RlPpo3.name(), "RL-PPO3");
+    }
+}

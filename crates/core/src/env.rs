@@ -1,0 +1,563 @@
+//! The phase-ordering RL environment (§5.1).
+
+use autophase_features::{
+    extract, filter_features, log_normalize, normalize_to_inst_count, FILTERED_FEATURES,
+    NUM_FEATURES,
+};
+use autophase_hls::{profile::profile_module, HlsConfig};
+use autophase_ir::Module;
+use autophase_passes::registry::{self, NUM_PASSES};
+use autophase_rl::env::{Environment, StepResult};
+
+/// What the agent observes (§5.1's two input-feature types and their
+/// combination; Table 3's "Observation Space" row).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ObservationKind {
+    /// The Table-2 program features.
+    ProgramFeatures,
+    /// The histogram of previously applied passes.
+    ActionHistory,
+    /// Both, concatenated (the generalization setup of §6.2).
+    Combined,
+}
+
+/// Feature normalization (§5.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FeatureNorm {
+    /// Raw counts (the per-program experiments of §6.1).
+    Raw,
+    /// Technique ①: `log(1+x)`.
+    Log,
+    /// Technique ②: divide by total instruction count.
+    InstCount,
+}
+
+/// Reward shaping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RewardKind {
+    /// `R = c_prev − c_cur` (§5.1).
+    Raw,
+    /// `sign(Δ)·ln(1+|Δ|)` — "the logarithm of the improvement in cycle
+    /// count" used for cross-program training (§6.2).
+    Log,
+    /// Always zero (the paper's RL-PPO1 control).
+    Zero,
+}
+
+/// What the agent optimizes (§5.1: "the reward could be defined as the
+/// negative of the area and thus the RL agent will optimize for the area.
+/// It is also possible to co-optimize multiple objectives").
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Objective {
+    /// Circuit execution time in cycles (the paper's main experiments).
+    Cycles,
+    /// Resource usage (the area model's scalar total).
+    Area,
+    /// `cycle_weight·cycles + area_weight·area` (multi-objective).
+    Weighted {
+        /// Weight on the cycle count.
+        cycle_weight: f64,
+        /// Weight on the area total.
+        area_weight: f64,
+    },
+    /// Dynamic instruction count — the software-compilation objective the
+    /// paper's conclusion proposes extending to ("we believe that the same
+    /// approach can be successfully applied to software compilation").
+    DynamicInsts,
+}
+
+/// Environment configuration.
+#[derive(Debug, Clone)]
+pub struct EnvConfig {
+    /// Observation space.
+    pub observation: ObservationKind,
+    /// Feature normalization.
+    pub feature_norm: FeatureNorm,
+    /// Reward shaping.
+    pub reward: RewardKind,
+    /// Episode length (the paper sets the pass length to 45 in §6.1).
+    pub episode_len: usize,
+    /// Restrict features to the §4-filtered subset.
+    pub filtered_features: bool,
+    /// Restrict actions to the §4-filtered impactful passes.
+    pub filtered_passes: bool,
+    /// Expose Table 1's `-terminate` pseudo-action (index 45): choosing it
+    /// ends the episode immediately. Off by default (the §6.1 runs use
+    /// fixed-length episodes).
+    pub include_terminate: bool,
+    /// What the reward measures.
+    pub objective: Objective,
+    /// HLS settings (200 MHz by default).
+    pub hls: HlsConfig,
+}
+
+impl Default for EnvConfig {
+    fn default() -> EnvConfig {
+        EnvConfig {
+            observation: ObservationKind::ProgramFeatures,
+            feature_norm: FeatureNorm::Raw,
+            reward: RewardKind::Raw,
+            episode_len: 45,
+            filtered_features: false,
+            filtered_passes: false,
+            include_terminate: false,
+            objective: Objective::Cycles,
+            hls: HlsConfig::default(),
+        }
+    }
+}
+
+/// The pass subset §4.2 finds impactful ("-scalarrepl, -gvn,
+/// -scalarrepl-ssa, -loop-reduce, -loop-deletion, -reassociate,
+/// -loop-rotate, -partial-inliner, -early-cse, -adce, -instcombine,
+/// -simplifycfg, -dse, -loop-unroll, -mem2reg, -sroa"), plus the loop
+/// canonicalizers they depend on.
+pub const FILTERED_PASSES: [usize; 18] = [
+    1,  // -scalarrepl
+    7,  // -gvn
+    11, // -scalarrepl-ssa
+    12, // -loop-reduce
+    14, // -loop-deletion
+    15, // -reassociate
+    23, // -loop-rotate
+    24, // -partial-inliner
+    25, // -inline
+    26, // -early-cse
+    28, // -adce
+    29, // -loop-simplify
+    30, // -instcombine
+    31, // -simplifycfg
+    32, // -dse
+    33, // -loop-unroll
+    38, // -mem2reg
+    43, // -sroa
+];
+
+/// The phase-ordering environment over one or more programs.
+///
+/// Each episode picks the next program (round-robin), resets it to its
+/// unoptimized form, and lets the agent apply passes one at a time. The
+/// reward of a step is the improvement in the HLS cycle estimate.
+pub struct PhaseOrderEnv {
+    programs: Vec<Module>,
+    cfg: EnvConfig,
+    current: Module,
+    program_cursor: usize,
+    steps_taken: usize,
+    action_histogram: Vec<f64>,
+    prev_cycles: u64,
+    /// Number of cycle-profiler invocations ("samples" in Figure 7).
+    samples: u64,
+    episode_done: bool,
+}
+
+impl PhaseOrderEnv {
+    /// Create an environment over a set of programs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `programs` is empty.
+    pub fn new(programs: Vec<Module>, cfg: EnvConfig) -> PhaseOrderEnv {
+        assert!(!programs.is_empty(), "need at least one program");
+        let current = programs[0].clone();
+        let mut env = PhaseOrderEnv {
+            programs,
+            cfg,
+            current,
+            program_cursor: 0,
+            steps_taken: 0,
+            action_histogram: Vec::new(),
+            prev_cycles: 0,
+            samples: 0,
+            episode_done: false,
+        };
+        env.action_histogram = vec![0.0; env.num_actions()];
+        env
+    }
+
+    /// Single-program convenience constructor.
+    pub fn single(program: Module, cfg: EnvConfig) -> PhaseOrderEnv {
+        PhaseOrderEnv::new(vec![program], cfg)
+    }
+
+    /// The action index list (Table-1 ids) this environment exposes.
+    /// When `include_terminate` is set the last action is index 45.
+    pub fn action_passes(&self) -> Vec<usize> {
+        let mut passes = if self.cfg.filtered_passes {
+            FILTERED_PASSES.to_vec()
+        } else {
+            (0..NUM_PASSES).collect::<Vec<_>>()
+        };
+        if self.cfg.include_terminate {
+            passes.push(registry::TERMINATE);
+        }
+        passes
+    }
+
+    /// Objective value (cycles / area / weighted) of the current module
+    /// state. For the default configuration this is the cycle count.
+    pub fn cycles(&mut self) -> u64 {
+        self.samples += 1;
+        let report = match profile_module(&self.current, &self.cfg.hls) {
+            Ok(r) => r,
+            Err(_) => return u64::MAX / 4,
+        };
+        match self.cfg.objective {
+            Objective::Cycles => report.cycles,
+            Objective::Area => report.area.total(),
+            Objective::Weighted {
+                cycle_weight,
+                area_weight,
+            } => (cycle_weight * report.cycles as f64
+                + area_weight * report.area.total() as f64)
+                .max(0.0) as u64,
+            Objective::DynamicInsts => report.insts_executed,
+        }
+    }
+
+    /// Cycle-profiler invocations so far.
+    pub fn samples(&self) -> u64 {
+        self.samples
+    }
+
+    /// Cycle count of the current state as of the last profile — free to
+    /// read (no re-profiling).
+    pub fn last_cycles(&self) -> u64 {
+        self.prev_cycles
+    }
+
+    /// The module in its current (partially optimized) state.
+    pub fn module(&self) -> &Module {
+        &self.current
+    }
+
+    /// Number of feature slots in the observation.
+    fn feature_len(&self) -> usize {
+        if self.cfg.filtered_features {
+            FILTERED_FEATURES.len()
+        } else {
+            NUM_FEATURES
+        }
+    }
+
+    fn features(&self) -> Vec<f64> {
+        let raw = extract(&self.current);
+        let normed: Vec<f64> = match self.cfg.feature_norm {
+            FeatureNorm::Raw => raw.iter().map(|&x| x as f64).collect(),
+            FeatureNorm::Log => log_normalize(&raw),
+            FeatureNorm::InstCount => normalize_to_inst_count(&raw),
+        };
+        if self.cfg.filtered_features {
+            filter_features(&normed)
+        } else {
+            normed
+        }
+    }
+
+    fn observe(&self) -> Vec<f64> {
+        match self.cfg.observation {
+            ObservationKind::ProgramFeatures => self.features(),
+            ObservationKind::ActionHistory => self.action_histogram.clone(),
+            ObservationKind::Combined => {
+                let mut o = self.features();
+                o.extend(&self.action_histogram);
+                o
+            }
+        }
+    }
+
+    fn reward(&self, prev: u64, cur: u64) -> f64 {
+        match self.cfg.reward {
+            RewardKind::Zero => 0.0,
+            RewardKind::Raw => prev as f64 - cur as f64,
+            RewardKind::Log => {
+                let d = prev as f64 - cur as f64;
+                d.signum() * (1.0 + d.abs()).ln()
+            }
+        }
+    }
+}
+
+impl Environment for PhaseOrderEnv {
+    fn observation_dim(&self) -> usize {
+        match self.cfg.observation {
+            ObservationKind::ProgramFeatures => self.feature_len(),
+            ObservationKind::ActionHistory => self.num_actions(),
+            ObservationKind::Combined => self.feature_len() + self.num_actions(),
+        }
+    }
+
+    fn num_actions(&self) -> usize {
+        let base = if self.cfg.filtered_passes {
+            FILTERED_PASSES.len()
+        } else {
+            NUM_PASSES
+        };
+        base + usize::from(self.cfg.include_terminate)
+    }
+
+    fn reset(&mut self) -> Vec<f64> {
+        self.current = self.programs[self.program_cursor].clone();
+        self.program_cursor = (self.program_cursor + 1) % self.programs.len();
+        self.steps_taken = 0;
+        self.action_histogram = vec![0.0; self.num_actions()];
+        self.episode_done = false;
+        self.prev_cycles = self.cycles();
+        self.observe()
+    }
+
+    fn step(&mut self, action: usize) -> StepResult {
+        assert!(!self.episode_done, "step() after episode end; call reset()");
+        let pass_id = self.action_passes()[action];
+        if pass_id == registry::TERMINATE {
+            self.episode_done = true;
+            return StepResult {
+                observation: self.observe(),
+                reward: 0.0,
+                done: true,
+            };
+        }
+        let changed = registry::apply(&mut self.current, pass_id);
+        self.action_histogram[action] += 1.0;
+        self.steps_taken += 1;
+
+        // A pass that reports "no change" cannot move the cycle count;
+        // skip the (expensive) re-profiling, exactly like caching the
+        // simulator result. Zero-reward configurations (RL-PPO1, and
+        // one-shot inference) never need intermediate profiles at all —
+        // that is what makes Figure 9's "one sample per program" honest.
+        let cur = if changed && self.cfg.reward != RewardKind::Zero {
+            self.cycles()
+        } else {
+            self.prev_cycles
+        };
+        let reward = self.reward(self.prev_cycles, cur);
+        self.prev_cycles = cur;
+        let done = self.steps_taken >= self.cfg.episode_len;
+        self.episode_done = done;
+        StepResult {
+            observation: self.observe(),
+            reward,
+            done,
+        }
+    }
+}
+
+/// Apply a full pass sequence to a fresh copy of `program` and return the
+/// resulting cycle count (the objective the black-box searchers optimize).
+pub fn sequence_cycles(program: &Module, seq: &[usize], hls: &HlsConfig) -> u64 {
+    apply_and_profile(program, seq, hls).1
+}
+
+/// Apply a pass sequence and return both the optimized module and its
+/// cycle count (one compilation — used where the caller also wants the
+/// program's features, e.g. the §5.2 multi-action observation).
+pub fn apply_and_profile(program: &Module, seq: &[usize], hls: &HlsConfig) -> (Module, u64) {
+    let mut m = program.clone();
+    registry::apply_sequence(&mut m, seq);
+    let cycles = profile_module(&m, hls).map(|r| r.cycles).unwrap_or(u64::MAX / 4);
+    (m, cycles)
+}
+
+/// Cycle count of the unoptimized (`-O0`) program.
+pub fn o0_cycles(program: &Module, hls: &HlsConfig) -> u64 {
+    profile_module(program, hls)
+        .map(|r| r.cycles)
+        .unwrap_or(u64::MAX / 4)
+}
+
+/// Cycle count after the reference `-O3` pipeline.
+pub fn o3_cycles(program: &Module, hls: &HlsConfig) -> u64 {
+    let mut m = program.clone();
+    autophase_passes::o3::o3(&mut m);
+    profile_module(&m, hls).map(|r| r.cycles).unwrap_or(u64::MAX / 4)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autophase_benchmarks::suite;
+    use autophase_rl::env::Environment;
+
+    fn small_program() -> Module {
+        suite().into_iter().find(|b| b.name == "gsm").unwrap().module
+    }
+
+    #[test]
+    fn reset_and_step_shapes() {
+        let mut env = PhaseOrderEnv::single(small_program(), EnvConfig::default());
+        let o = env.reset();
+        assert_eq!(o.len(), 56);
+        assert_eq!(env.num_actions(), 45);
+        let r = env.step(38); // -mem2reg
+        assert_eq!(r.observation.len(), 56);
+        assert!(!r.done);
+    }
+
+    #[test]
+    fn mem2reg_gives_positive_reward() {
+        let mut env = PhaseOrderEnv::single(small_program(), EnvConfig::default());
+        env.reset();
+        let r = env.step(38);
+        assert!(r.reward > 0.0, "mem2reg reward {}", r.reward);
+    }
+
+    #[test]
+    fn noop_pass_zero_reward_and_no_sample() {
+        let mut env = PhaseOrderEnv::single(small_program(), EnvConfig::default());
+        env.reset();
+        let s0 = env.samples();
+        // -loweratomic (44) is a guaranteed no-op.
+        let r = env.step(44);
+        assert_eq!(r.reward, 0.0);
+        assert_eq!(env.samples(), s0, "no-op must not consume a sample");
+    }
+
+    #[test]
+    fn terminate_action_ends_episode() {
+        let cfg = EnvConfig {
+            include_terminate: true,
+            episode_len: 10,
+            ..EnvConfig::default()
+        };
+        let mut env = PhaseOrderEnv::single(small_program(), cfg);
+        env.reset();
+        assert_eq!(env.num_actions(), 46);
+        let terminate = env.num_actions() - 1;
+        let r = env.step(terminate);
+        assert!(r.done);
+        assert_eq!(r.reward, 0.0);
+    }
+
+    #[test]
+    fn zero_reward_env_never_profiles_mid_episode() {
+        let cfg = EnvConfig {
+            reward: RewardKind::Zero,
+            episode_len: 6,
+            ..EnvConfig::default()
+        };
+        let mut env = PhaseOrderEnv::single(small_program(), cfg);
+        env.reset();
+        let after_reset = env.samples();
+        for a in [38, 23, 31, 30, 7, 28] {
+            let r = env.step(a);
+            assert_eq!(r.reward, 0.0);
+        }
+        assert_eq!(env.samples(), after_reset, "inference must be profile-free");
+    }
+
+    #[test]
+    fn episode_terminates_at_length() {
+        let cfg = EnvConfig {
+            episode_len: 3,
+            ..EnvConfig::default()
+        };
+        let mut env = PhaseOrderEnv::single(small_program(), cfg);
+        env.reset();
+        assert!(!env.step(3).done);
+        assert!(!env.step(3).done);
+        assert!(env.step(3).done);
+    }
+
+    #[test]
+    fn action_history_observation() {
+        let cfg = EnvConfig {
+            observation: ObservationKind::ActionHistory,
+            episode_len: 5,
+            ..EnvConfig::default()
+        };
+        let mut env = PhaseOrderEnv::single(small_program(), cfg);
+        let o = env.reset();
+        assert_eq!(o.len(), 45);
+        assert!(o.iter().all(|&x| x == 0.0));
+        let r = env.step(7);
+        assert_eq!(r.observation[7], 1.0);
+        let r = env.step(7);
+        assert_eq!(r.observation[7], 2.0);
+    }
+
+    #[test]
+    fn combined_and_filtered_dimensions() {
+        let cfg = EnvConfig {
+            observation: ObservationKind::Combined,
+            filtered_features: true,
+            filtered_passes: true,
+            ..EnvConfig::default()
+        };
+        let mut env = PhaseOrderEnv::single(small_program(), cfg);
+        assert_eq!(env.num_actions(), FILTERED_PASSES.len());
+        let o = env.reset();
+        assert_eq!(
+            o.len(),
+            autophase_features::FILTERED_FEATURES.len() + FILTERED_PASSES.len()
+        );
+    }
+
+    #[test]
+    fn multi_program_round_robin() {
+        let progs: Vec<Module> = suite().into_iter().take(2).map(|b| b.module).collect();
+        let names: Vec<String> = progs.iter().map(|m| m.name.clone()).collect();
+        let mut env = PhaseOrderEnv::new(progs, EnvConfig::default());
+        env.reset();
+        let first = env.module().name.clone();
+        env.reset();
+        let second = env.module().name.clone();
+        assert_ne!(first, second);
+        assert!(names.contains(&first) && names.contains(&second));
+    }
+
+    #[test]
+    fn area_objective_rewards_shrinking_circuits() {
+        let cfg = EnvConfig {
+            objective: Objective::Area,
+            ..EnvConfig::default()
+        };
+        let mut env = PhaseOrderEnv::single(small_program(), cfg);
+        env.reset();
+        // Deleting dead loops / promoting memory shrinks the FSM and RAMs.
+        let r1 = env.step(38); // -mem2reg
+        let r2 = env.step(31); // -simplifycfg
+        assert!(
+            r1.reward + r2.reward > 0.0,
+            "area should shrink: {} + {}",
+            r1.reward,
+            r2.reward
+        );
+    }
+
+    #[test]
+    fn software_objective_counts_dynamic_insts() {
+        let cfg = EnvConfig {
+            objective: Objective::DynamicInsts,
+            ..EnvConfig::default()
+        };
+        let mut env = PhaseOrderEnv::single(small_program(), cfg);
+        env.reset();
+        let before = env.last_cycles();
+        let r = env.step(38); // -mem2reg removes loads/stores → fewer insts
+        assert!(r.reward > 0.0, "reward {}", r.reward);
+        assert!(env.last_cycles() < before);
+    }
+
+    #[test]
+    fn o3_beats_o0_on_gsm() {
+        let hls = HlsConfig::default();
+        let p = small_program();
+        assert!(o3_cycles(&p, &hls) < o0_cycles(&p, &hls));
+    }
+
+    #[test]
+    fn sequence_cycles_matches_env_trajectory() {
+        let p = small_program();
+        let hls = HlsConfig::default();
+        let seq = [38usize, 23, 31];
+        let by_fn = sequence_cycles(&p, &seq, &hls);
+        let mut env = PhaseOrderEnv::single(p, EnvConfig::default());
+        env.reset();
+        for &s in &seq {
+            env.step(s);
+        }
+        let by_env = env.cycles();
+        assert_eq!(by_fn, by_env);
+    }
+}

@@ -1,0 +1,31 @@
+//! The AutoPhase framework (§3): the phase-ordering environment tying the
+//! compiler, HLS profiler, feature extractor, agents, and search baselines
+//! together, plus the experiment runners that regenerate every table and
+//! figure of the paper.
+//!
+//! * [`env`](mod@env) — the gym-like [`PhaseOrderEnv`]: actions are Table-1 passes,
+//!   observations are Table-2 features and/or the applied-pass histogram,
+//!   the reward is the drop in LegUp-estimated cycle count (§5.1);
+//! * [`multi`] — the §5.2 multiple-passes-per-action formulation
+//!   (RL-PPO3) and its factored-PPO trainer;
+//! * [`dataset`] — feature–action–reward tuple collection for the §4
+//!   random-forest importance analysis;
+//! * [`algorithms`] — Table 3: every algorithm of Figure 7 behind one
+//!   interface, each reporting speedup over `-O3` and samples used;
+//! * [`experiment`] — the Figure 5–9 runners;
+//! * [`report`] — plain-text table/figure rendering;
+//! * [`tune`](mod@tune) — the one-call "find me a good ordering" API for
+//!   downstream users.
+#![warn(missing_docs)]
+
+
+pub mod algorithms;
+pub mod dataset;
+pub mod env;
+pub mod experiment;
+pub mod multi;
+pub mod report;
+pub mod tune;
+
+pub use env::{Objective, ObservationKind, PhaseOrderEnv, RewardKind};
+pub use tune::{tune, Effort, TuneResult};

@@ -1,0 +1,251 @@
+//! Plain-text rendering of tables, bars, curves, and heat maps.
+
+use crate::algorithms::Algorithm;
+use crate::dataset::ImportanceAnalysis;
+use crate::experiment::{Fig7Result, GeneralizationResult, LearningCurve};
+
+/// Render Table 1 (the pass list).
+pub fn table1() -> String {
+    let mut out = String::from("Table 1. LLVM Transform Passes\n");
+    for (i, name) in autophase_passes::registry::PASS_NAMES.iter().enumerate() {
+        out.push_str(&format!("{i:>3}  {name}\n"));
+    }
+    out
+}
+
+/// Render Table 2 (the feature list).
+pub fn table2() -> String {
+    let mut out = String::from("Table 2. Program Features\n");
+    for (i, name) in autophase_features::feature_names().iter().enumerate() {
+        out.push_str(&format!("{i:>3}  {name}\n"));
+    }
+    out
+}
+
+/// Render Table 3 (algorithm ↔ observation/action spaces).
+pub fn table3() -> String {
+    let rows = [
+        ("RL-PPO1", "PPO", "Program Features", "Single-Action"),
+        ("RL-PPO2", "PPO", "Action History", "Single-Action"),
+        (
+            "RL-PPO3",
+            "PPO",
+            "Action History + Program Features",
+            "Multiple-Action",
+        ),
+        ("RL-A3C", "A3C", "Program Features", "Single-Action"),
+        ("RL-ES", "ES", "Program Features", "Single-Action"),
+    ];
+    let mut out = String::from(
+        "Table 3. Observation and action spaces of the deep RL algorithms\n",
+    );
+    out.push_str(&format!(
+        "{:<10} {:<6} {:<36} {}\n",
+        "Name", "Algo", "Observation Space", "Action Space"
+    ));
+    for (n, a, o, s) in rows {
+        out.push_str(&format!("{n:<10} {a:<6} {o:<36} {s}\n"));
+    }
+    out
+}
+
+/// Render Figure 7 as a text table (bars + sample line).
+pub fn fig7_table(r: &Fig7Result) -> String {
+    let means = r.mean_improvement();
+    let samples = r.mean_samples();
+    let mut out = String::from("Figure 7. Circuit speedup and sample size comparison\n");
+    out.push_str(&format!(
+        "{:<14} {:>12} {:>16}\n",
+        "Algorithm", "vs -O3", "samples/program"
+    ));
+    for ((alg, imp), (_, s)) in means.iter().zip(&samples) {
+        out.push_str(&format!(
+            "{:<14} {:>11.1}% {:>16.0}  {}\n",
+            alg.name(),
+            imp * 100.0,
+            s,
+            bar(*imp)
+        ));
+    }
+    out.push_str("\nPer-benchmark improvement over -O3 (%):\n");
+    out.push_str(&format!("{:<12}", "benchmark"));
+    for alg in Algorithm::ALL {
+        out.push_str(&format!("{:>13}", alg.name()));
+    }
+    out.push('\n');
+    for (name, results) in &r.per_benchmark {
+        out.push_str(&format!("{name:<12}"));
+        for res in results {
+            out.push_str(&format!("{:>12.1}%", res.improvement_over_o3 * 100.0));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Render Figure 8 learning curves as aligned text series.
+pub fn fig8_table(curves: &[LearningCurve]) -> String {
+    let mut out = String::from("Figure 8. Episode reward mean vs. step\n");
+    for c in curves {
+        out.push_str(&format!("\n{} (final level {:.3}):\n", c.label, c.final_level()));
+        for (s, r) in c.steps.iter().zip(&c.reward_mean) {
+            out.push_str(&format!("  step {s:>8}  reward_mean {r:>10.3}\n"));
+        }
+    }
+    out
+}
+
+/// Render Figure 9 as a text table.
+pub fn fig9_table(results: &[GeneralizationResult]) -> String {
+    let mut out = String::from(
+        "Figure 9. Generalization: one compilation per unseen program\n",
+    );
+    out.push_str(&format!(
+        "{:<20} {:>12} {:>16}\n",
+        "Algorithm", "vs -O3", "samples/program"
+    ));
+    for r in results {
+        out.push_str(&format!(
+            "{:<20} {:>11.1}% {:>16}  {}\n",
+            r.label,
+            r.mean_improvement * 100.0,
+            r.samples_per_program,
+            bar(r.mean_improvement)
+        ));
+    }
+    out
+}
+
+/// Render an importance matrix as an ASCII heat map (Figures 5 and 6).
+/// Rows = passes, columns = features (or previous passes).
+pub fn heatmap(matrix: &[Vec<f64>], row_label: &str, col_label: &str) -> String {
+    const SHADES: [char; 7] = [' ', '.', ':', '+', '*', '#', '@'];
+    let mut out = format!("rows: {row_label}, cols: {col_label}\n");
+    let max = matrix
+        .iter()
+        .flat_map(|r| r.iter())
+        .copied()
+        .fold(0.0f64, f64::max)
+        .max(1e-12);
+    for (i, row) in matrix.iter().enumerate() {
+        out.push_str(&format!("{i:>3} |"));
+        for &v in row {
+            let idx = ((v / max) * (SHADES.len() - 1) as f64).round() as usize;
+            out.push(SHADES[idx.min(SHADES.len() - 1)]);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Render the full §4 analysis.
+pub fn importance_report(a: &ImportanceAnalysis) -> String {
+    let mut out = String::from("Figure 5. Feature importance per pass\n");
+    out.push_str(&heatmap(&a.feature_importance, "pass", "feature"));
+    out.push_str("\nFigure 6. Previously-applied-pass importance per pass\n");
+    out.push_str(&heatmap(&a.history_importance, "pass", "previous pass"));
+    out.push_str("\nMost impactful passes: ");
+    for p in a.impactful_passes(16) {
+        out.push_str(&format!(
+            "{} ",
+            autophase_passes::registry::pass_name(p)
+        ));
+    }
+    out.push('\n');
+    out
+}
+
+fn bar(improvement: f64) -> String {
+    let n = (improvement * 100.0).round();
+    if n >= 0.0 {
+        "█".repeat((n as usize).min(60))
+    } else {
+        format!("-{}", "█".repeat((-n as usize).min(60)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::AlgoResult;
+
+    fn fake_fig7() -> Fig7Result {
+        let mk = |alg: Algorithm, imp: f64, samples: u64| AlgoResult {
+            algorithm: alg,
+            cycles: 1000,
+            improvement_over_o3: imp,
+            samples,
+        };
+        let results: Vec<AlgoResult> = Algorithm::ALL
+            .iter()
+            .enumerate()
+            .map(|(i, &a)| mk(a, i as f64 / 100.0 - 0.02, (i as u64 + 1) * 10))
+            .collect();
+        Fig7Result {
+            per_benchmark: vec![
+                ("gsm".to_string(), results.clone()),
+                ("aes".to_string(), results),
+            ],
+        }
+    }
+
+    #[test]
+    fn fig7_table_renders_all_algorithms_and_benchmarks() {
+        let text = fig7_table(&fake_fig7());
+        for alg in Algorithm::ALL {
+            assert!(text.contains(alg.name()), "missing {}", alg.name());
+        }
+        assert!(text.contains("gsm"));
+        assert!(text.contains("aes"));
+        assert!(text.contains("samples/program"));
+    }
+
+    #[test]
+    fn fig9_table_renders() {
+        let rs = vec![GeneralizationResult {
+            label: "RL-filtered-norm2".to_string(),
+            mean_improvement: 0.04,
+            samples_per_program: 1,
+        }];
+        let text = fig9_table(&rs);
+        assert!(text.contains("RL-filtered-norm2"));
+        assert!(text.contains("4.0%"));
+    }
+
+    #[test]
+    fn fig8_table_renders_curves() {
+        let c = LearningCurve {
+            label: "filtered-norm2",
+            steps: vec![96, 192],
+            reward_mean: vec![1.0, 2.0],
+        };
+        let text = fig8_table(&[c]);
+        assert!(text.contains("filtered-norm2"));
+        assert!(text.contains("step"));
+    }
+
+    #[test]
+    fn tables_render() {
+        let t1 = table1();
+        assert!(t1.contains("-loop-rotate"));
+        assert!(t1.contains(" 45  -terminate"));
+        let t2 = table2();
+        assert!(t2.contains("Number of critical edges"));
+        let t3 = table3();
+        assert!(t3.contains("Multiple-Action"));
+    }
+
+    #[test]
+    fn heatmap_shades_scale() {
+        let m = vec![vec![0.0, 0.5, 1.0], vec![1.0, 0.0, 0.0]];
+        let h = heatmap(&m, "r", "c");
+        assert!(h.contains('@'));
+        assert!(h.lines().count() >= 3);
+    }
+
+    #[test]
+    fn bar_direction() {
+        assert!(bar(0.25).starts_with('█'));
+        assert!(bar(-0.10).starts_with('-'));
+    }
+}

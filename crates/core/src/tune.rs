@@ -1,0 +1,187 @@
+//! One-call program tuning — the downstream-user entry point.
+//!
+//! Wraps the machinery of [`crate::algorithms`] behind a single function:
+//! give it a program, get back the best pass ordering found, with the
+//! baseline comparisons a user needs to judge it.
+
+use crate::algorithms::{run_algorithm, Algorithm, Budget};
+use crate::env::{o0_cycles, o3_cycles, sequence_cycles};
+use autophase_hls::HlsConfig;
+use autophase_ir::Module;
+use autophase_search::{genetic, greedy, opentuner, Objective};
+
+/// How much compile time to spend tuning.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Effort {
+    /// A few hundred compilations (seconds).
+    Quick,
+    /// A few thousand compilations (paper-scale per-program search).
+    Standard,
+    /// An order more (squeezes the last percent).
+    Thorough,
+}
+
+impl Effort {
+    fn budget(self) -> (u64, usize) {
+        // (total compilations across strategies, sequence length)
+        match self {
+            Effort::Quick => (400, 24),
+            Effort::Standard => (3000, 45),
+            Effort::Thorough => (12_000, 45),
+        }
+    }
+}
+
+/// The outcome of [`tune`].
+#[derive(Debug, Clone)]
+pub struct TuneResult {
+    /// The best pass ordering found (Table-1 indices).
+    pub sequence: Vec<usize>,
+    /// Cycle estimate with that ordering.
+    pub cycles: u64,
+    /// Cycle estimate of the unoptimized program.
+    pub o0_cycles: u64,
+    /// Cycle estimate under the fixed `-O3` pipeline.
+    pub o3_cycles: u64,
+    /// Compilations spent.
+    pub samples: u64,
+}
+
+impl TuneResult {
+    /// Fractional improvement over `-O3` (positive = faster than `-O3`).
+    pub fn improvement_over_o3(&self) -> f64 {
+        (self.o3_cycles as f64 - self.cycles as f64) / self.o3_cycles as f64
+    }
+
+    /// Speedup over the unoptimized program.
+    pub fn speedup_over_o0(&self) -> f64 {
+        self.o0_cycles as f64 / self.cycles as f64
+    }
+}
+
+/// Search for a good pass ordering for `program`.
+///
+/// Runs insertion greedy first (cheap, strong opening) and spends the rest
+/// of the budget on the OpenTuner-style ensemble seeded alongside a
+/// genetic refinement; returns whichever ordering was best, with the
+/// `-O0`/`-O3` reference points. The `-O3` pipeline itself is always a
+/// candidate, so the result is never worse than `-O3`.
+pub fn tune(program: &Module, effort: Effort, seed: u64) -> TuneResult {
+    let hls = HlsConfig::default();
+    let (budget, seq_len) = effort.budget();
+    let o0 = o0_cycles(program, &hls);
+    let o3 = o3_cycles(program, &hls);
+
+    let mut best_seq: Vec<usize> = autophase_passes::o3::O3_SEQUENCE.to_vec();
+    let mut best_cycles = o3;
+    let mut samples = 1u64;
+
+    {
+        let mut obj =
+            Objective::new(|seq: &[usize]| sequence_cycles(program, seq, &hls) as f64);
+        let r = greedy::search(&mut obj, autophase_passes::registry::NUM_PASSES, seq_len, budget / 3, None);
+        samples += r.samples;
+        if (r.best_cost as u64) < best_cycles {
+            best_cycles = r.best_cost as u64;
+            best_seq = r.best_sequence;
+        }
+    }
+    {
+        let mut obj =
+            Objective::new(|seq: &[usize]| sequence_cycles(program, seq, &hls) as f64);
+        let r = opentuner::search(
+            &mut obj,
+            autophase_passes::registry::NUM_PASSES,
+            seq_len,
+            budget / 3,
+            &opentuner::TunerConfig::default(),
+            seed,
+        );
+        samples += r.samples;
+        if (r.best_cost as u64) < best_cycles {
+            best_cycles = r.best_cost as u64;
+            best_seq = r.best_sequence;
+        }
+    }
+    {
+        let mut obj =
+            Objective::new(|seq: &[usize]| sequence_cycles(program, seq, &hls) as f64);
+        let r = genetic::search(
+            &mut obj,
+            autophase_passes::registry::NUM_PASSES,
+            seq_len,
+            budget / 3,
+            &genetic::GaConfig::default(),
+            seed ^ 0x6A,
+        );
+        samples += r.samples;
+        if (r.best_cost as u64) < best_cycles {
+            best_cycles = r.best_cost as u64;
+            best_seq = r.best_sequence;
+        }
+    }
+
+    TuneResult {
+        sequence: best_seq,
+        cycles: best_cycles,
+        o0_cycles: o0,
+        o3_cycles: o3,
+        samples,
+    }
+}
+
+/// Tune with a trained RL agent instead of search (one compilation): the
+/// deployment mode §6.2 argues for. See
+/// [`crate::experiment::train_generalist`] for obtaining the agent.
+pub fn tune_with_agent(
+    agent: &autophase_rl::ppo::PpoAgent,
+    env_cfg: &crate::env::EnvConfig,
+    program: &Module,
+) -> TuneResult {
+    let hls = HlsConfig::default();
+    let (seq, cycles) = crate::experiment::infer_sequence(agent, env_cfg, program);
+    TuneResult {
+        sequence: seq,
+        cycles,
+        o0_cycles: o0_cycles(program, &hls),
+        o3_cycles: o3_cycles(program, &hls),
+        samples: 1,
+    }
+}
+
+/// Re-exported for convenience beside [`tune`]: the per-algorithm runner.
+pub fn run_named_algorithm(
+    algorithm: Algorithm,
+    program: &Module,
+    budget: &Budget,
+    seed: u64,
+) -> crate::algorithms::AlgoResult {
+    run_algorithm(algorithm, program, budget, &HlsConfig::default(), seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autophase_benchmarks::suite;
+
+    #[test]
+    fn tune_never_loses_to_o3_and_beats_o0() {
+        let p = suite().into_iter().find(|b| b.name == "gsm").unwrap().module;
+        let r = tune(&p, Effort::Quick, 3);
+        assert!(r.cycles <= r.o3_cycles);
+        assert!(r.speedup_over_o0() > 1.0);
+        assert!(r.improvement_over_o3() >= 0.0);
+        assert!(r.samples > 100);
+        // The sequence actually reproduces the reported cycles.
+        let again = sequence_cycles(&p, &r.sequence, &HlsConfig::default());
+        assert_eq!(again, r.cycles);
+    }
+
+    #[test]
+    fn effort_scales_budget() {
+        let (q, _) = Effort::Quick.budget();
+        let (s, _) = Effort::Standard.budget();
+        let (t, _) = Effort::Thorough.budget();
+        assert!(q < s && s < t);
+    }
+}

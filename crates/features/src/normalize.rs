@@ -1,0 +1,118 @@
+//! Feature and reward normalization (§5.3) and the filtered feature
+//! subset (§6.2).
+
+use crate::extract::{FeatureVector, NUM_FEATURES};
+
+/// Technique ①: elementwise `ln(1 + x)`. Squashes magnitudes and, as the
+/// paper observes, makes the network correlate *products* of features.
+pub fn log_normalize(f: &FeatureVector) -> Vec<f64> {
+    f.iter().map(|&x| (1.0 + x.max(0) as f64).ln()).collect()
+}
+
+/// Technique ②: divide by feature 51 (total instruction count), turning
+/// counts into the instruction-mix distribution.
+pub fn normalize_to_inst_count(f: &FeatureVector) -> Vec<f64> {
+    let total = f[51].max(1) as f64;
+    f.iter().map(|&x| x as f64 / total).collect()
+}
+
+/// The reduced feature subset used by the `filtered-*` configurations.
+///
+/// Chosen per §4.1's importance analysis: CFG shape (branches, edges,
+/// critical edges), φ statistics, memory traffic, the instruction classes
+/// the forests rank highly (binary-with-constant, mul, load/store, icmp),
+/// and size normalizers. Dropping weak features reduces variance across
+/// programs, which is exactly why the paper's `filtered` runs converge
+/// faster (Figure 8).
+pub const FILTERED_FEATURES: [usize; 24] = [
+    2,  // BBs with 1 pred
+    5,  // BBs with 1 succ
+    9,  // BBs with 2 succs
+    14, // phis at block starts
+    15, // branches
+    17, // critical edges
+    18, // edges
+    21, // constant 0 occurrences
+    22, // constant 1 occurrences
+    24, // binary ops with constant operand
+    26, // adds
+    27, // allocas
+    33, // calls
+    34, // geps
+    35, // icmps
+    37, // loads
+    38, // muls
+    40, // phis
+    45, // stores
+    46, // subs
+    50, // basic blocks
+    51, // instructions
+    52, // memory instructions
+    54, // phi args
+];
+
+/// Project a (possibly normalized) full feature vector onto the filtered
+/// subset.
+pub fn filter_features(full: &[f64]) -> Vec<f64> {
+    debug_assert_eq!(full.len(), NUM_FEATURES);
+    FILTERED_FEATURES.iter().map(|&i| full[i]).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> FeatureVector {
+        let mut f = [0i64; NUM_FEATURES];
+        f[51] = 100;
+        f[26] = 20;
+        f[37] = 5;
+        f
+    }
+
+    #[test]
+    fn log_normalize_squashes() {
+        let n = log_normalize(&sample());
+        assert!((n[51] - (101f64).ln()).abs() < 1e-12);
+        assert_eq!(n[0], 0.0);
+        assert!(n.iter().all(|&x| x >= 0.0));
+    }
+
+    #[test]
+    fn inst_count_normalization_is_a_distribution_scale() {
+        let n = normalize_to_inst_count(&sample());
+        assert!((n[51] - 1.0).abs() < 1e-12);
+        assert!((n[26] - 0.2).abs() < 1e-12);
+        assert!((n[37] - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_inst_count_is_safe() {
+        let f = [0i64; NUM_FEATURES];
+        let n = normalize_to_inst_count(&f);
+        assert!(n.iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn filter_projects_in_order() {
+        let mut f = [0i64; NUM_FEATURES];
+        for (i, v) in f.iter_mut().enumerate() {
+            *v = i as i64;
+        }
+        let full: Vec<f64> = f.iter().map(|&x| x as f64).collect();
+        let filt = filter_features(&full);
+        assert_eq!(filt.len(), FILTERED_FEATURES.len());
+        for (k, &idx) in FILTERED_FEATURES.iter().enumerate() {
+            assert_eq!(filt[k], idx as f64);
+        }
+    }
+
+    #[test]
+    fn filtered_indices_valid_and_unique() {
+        let mut v = FILTERED_FEATURES.to_vec();
+        v.sort_unstable();
+        v.dedup();
+        assert_eq!(v.len(), FILTERED_FEATURES.len());
+        assert!(v.iter().all(|&i| i < NUM_FEATURES));
+    }
+}

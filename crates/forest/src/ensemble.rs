@@ -1,0 +1,163 @@
+//! Bagged forests and aggregate feature importance.
+
+use crate::dataset::Dataset;
+use crate::tree::{bootstrap, DecisionTree, TreeConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Forest hyperparameters.
+#[derive(Debug, Clone, Copy)]
+pub struct ForestConfig {
+    /// Number of trees.
+    pub n_trees: usize,
+    /// Per-tree growth parameters.
+    pub tree: TreeConfig,
+}
+
+impl Default for ForestConfig {
+    fn default() -> ForestConfig {
+        ForestConfig {
+            n_trees: 40,
+            tree: TreeConfig::default(),
+        }
+    }
+}
+
+/// A bagged random forest classifier.
+#[derive(Debug, Clone)]
+pub struct RandomForest {
+    trees: Vec<DecisionTree>,
+    num_features: usize,
+}
+
+impl RandomForest {
+    /// Fit a forest on bootstrap resamples of `data`.
+    pub fn fit(data: &Dataset, cfg: &ForestConfig, seed: u64) -> RandomForest {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let trees = (0..cfg.n_trees)
+            .map(|_| {
+                let sample = bootstrap(data.len(), &mut rng);
+                DecisionTree::fit(data, &sample, &cfg.tree, &mut rng)
+            })
+            .collect();
+        RandomForest {
+            trees,
+            num_features: data.num_features(),
+        }
+    }
+
+    /// Mean predicted probability across trees.
+    pub fn predict_proba(&self, row: &[f64]) -> f64 {
+        let s: f64 = self.trees.iter().map(|t| t.predict_proba(row)).sum();
+        s / self.trees.len() as f64
+    }
+
+    /// Majority prediction.
+    pub fn predict(&self, row: &[f64]) -> bool {
+        self.predict_proba(row) >= 0.5
+    }
+
+    /// Mean-decrease-in-impurity importance, normalized to sum to 1
+    /// (all-zeros when no split ever fired).
+    pub fn feature_importance(&self) -> Vec<f64> {
+        let mut acc = vec![0.0; self.num_features];
+        for t in &self.trees {
+            for (i, &v) in t.raw_importance().iter().enumerate() {
+                acc[i] += v;
+            }
+        }
+        let total: f64 = acc.iter().sum();
+        if total > 0.0 {
+            for v in &mut acc {
+                *v /= total;
+            }
+        }
+        acc
+    }
+
+    /// Classification accuracy on a dataset.
+    pub fn accuracy(&self, data: &Dataset) -> f64 {
+        let correct = (0..data.len())
+            .filter(|&i| self.predict(data.row(i)) == data.label(i))
+            .count();
+        correct as f64 / data.len() as f64
+    }
+
+    /// Number of trees.
+    pub fn len(&self) -> usize {
+        self.trees.len()
+    }
+
+    /// True if the forest has no trees.
+    pub fn is_empty(&self) -> bool {
+        self.trees.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn threshold_data(n: usize) -> Dataset {
+        // y = (x0 + x1 > 1.0); x2 is pure noise.
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for i in 0..n {
+            let a = (i % 17) as f64 / 17.0;
+            let b = (i % 23) as f64 / 23.0;
+            let noise = ((i * 7919) % 13) as f64;
+            xs.push(vec![a, b, noise]);
+            ys.push(a + b > 1.0);
+        }
+        Dataset::new(xs, ys).unwrap()
+    }
+
+    #[test]
+    fn forest_beats_chance_and_finds_signal() {
+        let data = threshold_data(400);
+        let forest = RandomForest::fit(&data, &ForestConfig::default(), 7);
+        assert!(forest.accuracy(&data) > 0.9);
+        let imp = forest.feature_importance();
+        assert!(imp[0] + imp[1] > 0.8, "importance: {imp:?}");
+        assert!(imp[2] < 0.2);
+    }
+
+    #[test]
+    fn importance_sums_to_one() {
+        let data = threshold_data(200);
+        let forest = RandomForest::fit(&data, &ForestConfig::default(), 9);
+        let s: f64 = forest.feature_importance().iter().sum();
+        assert!((s - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let data = threshold_data(150);
+        let a = RandomForest::fit(&data, &ForestConfig::default(), 3);
+        let b = RandomForest::fit(&data, &ForestConfig::default(), 3);
+        assert_eq!(a.feature_importance(), b.feature_importance());
+        let c = RandomForest::fit(&data, &ForestConfig::default(), 4);
+        // Different seed almost surely differs somewhere.
+        assert_ne!(a.feature_importance(), c.feature_importance());
+    }
+
+    #[test]
+    fn probabilities_bounded() {
+        let data = threshold_data(100);
+        let forest = RandomForest::fit(&data, &ForestConfig::default(), 5);
+        for i in 0..data.len() {
+            let p = forest.predict_proba(data.row(i));
+            assert!((0.0..=1.0).contains(&p));
+        }
+    }
+
+    #[test]
+    fn constant_labels_give_zero_importance() {
+        let xs: Vec<Vec<f64>> = (0..50).map(|i| vec![i as f64, -(i as f64)]).collect();
+        let ys = vec![true; 50];
+        let data = Dataset::new(xs, ys).unwrap();
+        let forest = RandomForest::fit(&data, &ForestConfig::default(), 11);
+        assert!(forest.feature_importance().iter().all(|&v| v == 0.0));
+        assert!(forest.predict(&[1.0, 2.0]));
+    }
+}

@@ -1,0 +1,38 @@
+//! Random forests with Gini feature importance (§4 of the paper).
+//!
+//! The paper trains, for each optimization pass, two random forests that
+//! predict whether applying the pass improves circuit performance — one
+//! from program features (Table 2), one from the histogram of previously
+//! applied passes. The forests' Gini importances produce the Figure 5 and
+//! Figure 6 heat maps, and the high-importance subsets define the
+//! `filtered` feature/pass spaces used in §6.2.
+//!
+//! [`tree`] implements CART decision trees; [`ensemble`] bags them into a
+//! forest and aggregates mean-decrease-in-impurity feature importance.
+//!
+//! # Example
+//!
+//! ```
+//! use autophase_forest::{Dataset, RandomForest, ForestConfig};
+//!
+//! // y = x0 > 0.5, with x1 as noise.
+//! let xs: Vec<Vec<f64>> = (0..200)
+//!     .map(|i| vec![(i % 100) as f64 / 100.0, (i % 7) as f64])
+//!     .collect();
+//! let ys: Vec<bool> = xs.iter().map(|x| x[0] > 0.5).collect();
+//! let data = Dataset::new(xs, ys)?;
+//! let forest = RandomForest::fit(&data, &ForestConfig::default(), 42);
+//! let imp = forest.feature_importance();
+//! assert!(imp[0] > imp[1]);
+//! # Ok::<(), autophase_forest::DatasetError>(())
+//! ```
+#![warn(missing_docs)]
+
+
+pub mod dataset;
+pub mod ensemble;
+pub mod tree;
+
+pub use dataset::{Dataset, DatasetError};
+pub use ensemble::{ForestConfig, RandomForest};
+pub use tree::DecisionTree;

@@ -1,0 +1,193 @@
+//! The operation delay and latency model.
+//!
+//! Combinational delays are nanoseconds through the operator at a typical
+//! FPGA speed grade; multi-cycle operations (loads from synchronous RAM,
+//! iterative dividers, calls) are expressed in FSM states instead. The
+//! numbers are calibrated so that 2–3 simple ALU ops chain into one 5 ns
+//! state — the behaviour that makes operator chaining (and passes that
+//! shorten dependence chains) matter.
+
+use crate::HlsConfig;
+use autophase_ir::{BinOp, Inst, Opcode, Value};
+
+/// How an instruction occupies the schedule.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Timing {
+    /// Purely combinational: consumes `ns` of the state's period and can
+    /// chain with neighbours.
+    Chain {
+        /// Propagation delay through the operator, in nanoseconds.
+        ns: f64,
+    },
+    /// Occupies whole states; the result is available `states` states
+    /// after the one it starts in.
+    Multi {
+        /// Number of FSM states the operation occupies.
+        states: u32,
+    },
+    /// Free (wiring / register renaming): φ, casts, constants.
+    Free,
+}
+
+/// Timing of one instruction under `cfg`.
+pub fn timing(inst: &Inst, cfg: &HlsConfig) -> Timing {
+    match &inst.op {
+        Opcode::Binary(op, _, b) => match op {
+            BinOp::Add | BinOp::Sub => Timing::Chain { ns: 2.0 },
+            BinOp::Mul => Timing::Chain { ns: 3.4 },
+            BinOp::SDiv | BinOp::UDiv | BinOp::SRem | BinOp::URem => Timing::Multi {
+                states: cfg.div_latency,
+            },
+            BinOp::And | BinOp::Or | BinOp::Xor => Timing::Chain { ns: 0.9 },
+            BinOp::Shl | BinOp::LShr | BinOp::AShr => {
+                if matches!(b, Value::ConstInt(..)) {
+                    // Constant shifts are wiring.
+                    Timing::Free
+                } else {
+                    Timing::Chain { ns: 1.8 }
+                }
+            }
+        },
+        Opcode::ICmp(..) => Timing::Chain { ns: 1.7 },
+        Opcode::Select { .. } => Timing::Chain { ns: 1.2 },
+        Opcode::Phi { .. } => Timing::Free,
+        Opcode::Alloca { .. } => Timing::Free,
+        Opcode::Load { .. } => Timing::Multi {
+            states: cfg.load_latency,
+        },
+        Opcode::Store { .. } => Timing::Chain { ns: 1.0 },
+        Opcode::Gep { .. } => Timing::Chain { ns: 1.6 },
+        Opcode::Cast(..) => Timing::Free,
+        // Calls transfer control to the callee FSM; the cycle cost of the
+        // callee itself is added by the profiler from its own trace.
+        Opcode::Call { .. } => Timing::Multi { states: 1 },
+        // Terminators feed next-state logic.
+        Opcode::Br { .. }
+        | Opcode::CondBr { .. }
+        | Opcode::Switch { .. }
+        | Opcode::Ret { .. }
+        | Opcode::Unreachable => Timing::Chain { ns: 0.5 },
+    }
+}
+
+/// True if the instruction uses a memory port when it starts.
+pub fn uses_memory_port(inst: &Inst) -> bool {
+    matches!(inst.op, Opcode::Load { .. } | Opcode::Store { .. })
+}
+
+/// Relative area cost of one instruction's functional unit, in LUT-ish
+/// units (used by the area model; shared here so the numbers stay next to
+/// the delays they correspond to).
+pub fn area_units(inst: &Inst) -> u32 {
+    match &inst.op {
+        Opcode::Binary(op, _, b) => match op {
+            BinOp::Add | BinOp::Sub => 32,
+            BinOp::Mul => 160,
+            BinOp::SDiv | BinOp::UDiv | BinOp::SRem | BinOp::URem => 400,
+            BinOp::And | BinOp::Or | BinOp::Xor => 16,
+            BinOp::Shl | BinOp::LShr | BinOp::AShr => {
+                if matches!(b, Value::ConstInt(..)) {
+                    0
+                } else {
+                    96
+                }
+            }
+        },
+        Opcode::ICmp(..) => 24,
+        Opcode::Select { .. } => 16,
+        Opcode::Gep { .. } => 32,
+        Opcode::Load { .. } | Opcode::Store { .. } => 8,
+        Opcode::Call { .. } => 8,
+        _ => 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autophase_ir::{Inst, Type};
+
+    fn cfg() -> HlsConfig {
+        HlsConfig::default()
+    }
+
+    #[test]
+    fn adds_chain_twice_per_state() {
+        let add = Inst::new(
+            Type::I32,
+            Opcode::Binary(BinOp::Add, Value::Arg(0), Value::Arg(1)),
+        );
+        match timing(&add, &cfg()) {
+            Timing::Chain { ns } => assert!(2.0 * ns <= cfg().clock_period_ns),
+            _ => panic!("add should chain"),
+        }
+    }
+
+    #[test]
+    fn mul_fits_one_state_but_does_not_chain_with_itself() {
+        let mul = Inst::new(
+            Type::I32,
+            Opcode::Binary(BinOp::Mul, Value::Arg(0), Value::Arg(1)),
+        );
+        match timing(&mul, &cfg()) {
+            Timing::Chain { ns } => {
+                assert!(ns <= cfg().clock_period_ns);
+                assert!(2.0 * ns > cfg().clock_period_ns);
+            }
+            _ => panic!("mul should be single-cycle combinational"),
+        }
+    }
+
+    #[test]
+    fn div_is_multicycle() {
+        let div = Inst::new(
+            Type::I32,
+            Opcode::Binary(BinOp::SDiv, Value::Arg(0), Value::Arg(1)),
+        );
+        assert_eq!(timing(&div, &cfg()), Timing::Multi { states: 12 });
+    }
+
+    #[test]
+    fn constant_shift_free_variable_shift_not() {
+        let cshift = Inst::new(
+            Type::I32,
+            Opcode::Binary(BinOp::Shl, Value::Arg(0), Value::i32(3)),
+        );
+        assert_eq!(timing(&cshift, &cfg()), Timing::Free);
+        let vshift = Inst::new(
+            Type::I32,
+            Opcode::Binary(BinOp::Shl, Value::Arg(0), Value::Arg(1)),
+        );
+        assert!(matches!(timing(&vshift, &cfg()), Timing::Chain { .. }));
+    }
+
+    #[test]
+    fn loads_take_states_and_a_port() {
+        let load = Inst::new(
+            Type::I32,
+            Opcode::Load {
+                ptr: Value::Arg(0),
+            },
+        );
+        assert_eq!(timing(&load, &cfg()), Timing::Multi { states: 1 });
+        assert!(uses_memory_port(&load));
+        let add = Inst::new(
+            Type::I32,
+            Opcode::Binary(BinOp::Add, Value::Arg(0), Value::Arg(1)),
+        );
+        assert!(!uses_memory_port(&add));
+    }
+
+    #[test]
+    fn divider_dominates_area() {
+        let div = Inst::new(
+            Type::I32,
+            Opcode::Binary(BinOp::SDiv, Value::Arg(0), Value::Arg(1)),
+        );
+        let add = Inst::new(
+            Type::I32,
+            Opcode::Binary(BinOp::Add, Value::Arg(0), Value::Arg(1)),
+        );
+        assert!(area_units(&div) > 10 * area_units(&add));
+    }
+}

@@ -1,0 +1,109 @@
+//! Property tests of the scheduler and profiler.
+
+use autophase_hls::{profile::profile_module, schedule::schedule_block, HlsConfig};
+use autophase_ir::builder::FunctionBuilder;
+use autophase_ir::{BinOp, Module, Type, Value};
+use autophase_progen::{generate_valid, GenConfig};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// Slower clocks never increase any block's state count (chaining is
+    /// monotone in the period budget).
+    #[test]
+    fn chaining_monotone_in_clock_period(seed in 0u64..2000) {
+        let m = generate_valid(&GenConfig::default(), seed);
+        let fast = HlsConfig::at_frequency_mhz(250.0);
+        let slow = HlsConfig::at_frequency_mhz(100.0);
+        for fid in m.func_ids() {
+            let f = m.func(fid);
+            for bb in f.block_ids() {
+                let sf = schedule_block(f, bb, &fast).states;
+                let ss = schedule_block(f, bb, &slow).states;
+                prop_assert!(ss <= sf, "block b{} got slower at 100MHz: {ss} vs {sf}", bb.index());
+            }
+        }
+    }
+
+    /// Profiling is deterministic.
+    #[test]
+    fn profiling_deterministic(seed in 0u64..2000) {
+        let m = generate_valid(&GenConfig::default(), seed);
+        let cfg = HlsConfig::default();
+        let a = profile_module(&m, &cfg).unwrap();
+        let b = profile_module(&m, &cfg).unwrap();
+        prop_assert_eq!(a.cycles, b.cycles);
+        prop_assert_eq!(a.total_states, b.total_states);
+        prop_assert_eq!(a.area.total(), b.area.total());
+    }
+
+    /// Every block occupies at least one state and at most one state per
+    /// instruction plus multi-cycle latencies.
+    #[test]
+    fn state_counts_bounded(seed in 0u64..2000) {
+        let m = generate_valid(&GenConfig::default(), seed);
+        let cfg = HlsConfig::default();
+        for fid in m.func_ids() {
+            let f = m.func(fid);
+            for bb in f.block_ids() {
+                let s = schedule_block(f, bb, &cfg);
+                let n = f.block(bb).insts.len() as u32;
+                prop_assert!(s.states >= 1);
+                let worst = n * cfg.div_latency.max(cfg.load_latency + 1) + 1;
+                prop_assert!(s.states <= worst, "b{}: {} states for {} insts", bb.index(), s.states, n);
+            }
+        }
+    }
+
+    /// More memory ports never hurt.
+    #[test]
+    fn memory_ports_monotone(seed in 0u64..1000) {
+        let m = generate_valid(&GenConfig::default(), seed);
+        let one = HlsConfig { memory_ports: 1, ..HlsConfig::default() };
+        let four = HlsConfig { memory_ports: 4, ..HlsConfig::default() };
+        let c1 = profile_module(&m, &one).unwrap().cycles;
+        let c4 = profile_module(&m, &four).unwrap().cycles;
+        prop_assert!(c4 <= c1, "4 ports slower than 1: {c4} vs {c1}");
+    }
+}
+
+#[test]
+fn dependent_chain_state_count_exact() {
+    // 2ns adds into a 5ns period: 2 chain per state; 6 dependent adds → 3
+    // states (ret chains into the last).
+    let mut b = FunctionBuilder::new("f", vec![Type::I32], Type::I32);
+    let mut v = b.arg(0);
+    for i in 0..6 {
+        v = b.binary(BinOp::Add, v, Value::i32(i));
+    }
+    b.ret(Some(v));
+    let f = b.finish();
+    let s = schedule_block(&f, f.entry, &HlsConfig::default());
+    assert_eq!(s.states, 3);
+}
+
+#[test]
+fn profile_report_exec_time_scales_with_period() {
+    let mut b = FunctionBuilder::new("main", vec![], Type::I32);
+    let acc = b.alloca(Type::I32, 1);
+    b.store(acc, Value::i32(0));
+    b.counted_loop(Value::i32(20), |b, i| {
+        let c = b.load(Type::I32, acc);
+        let n = b.binary(BinOp::Add, c, i);
+        b.store(acc, n);
+    });
+    let r = b.load(Type::I32, acc);
+    b.ret(Some(r));
+    let mut m = Module::new("t");
+    m.add_function(b.finish());
+    let c200 = HlsConfig::at_frequency_mhz(200.0);
+    let c100 = HlsConfig::at_frequency_mhz(100.0);
+    let r200 = profile_module(&m, &c200).unwrap();
+    let r100 = profile_module(&m, &c100).unwrap();
+    // Wall-clock = cycles × period: the 100 MHz design has fewer cycles but
+    // each costs twice as long; the products stay within 2.5× of each other.
+    let t200 = r200.exec_time_us(&c200);
+    let t100 = r100.exec_time_us(&c100);
+    assert!(t100 / t200 < 2.5 && t200 / t100 < 2.5, "{t100} vs {t200}");
+}

@@ -1,0 +1,258 @@
+//! Dominator tree (Cooper–Harvey–Kennedy iterative algorithm).
+
+use crate::cfg::Cfg;
+use crate::function::{BlockId, Function};
+use std::collections::HashMap;
+
+/// Dominator tree over the reachable blocks of a function.
+#[derive(Debug, Clone)]
+pub struct DomTree {
+    /// Immediate dominator of each reachable block (entry maps to itself).
+    idom: HashMap<BlockId, BlockId>,
+    /// RPO index of each reachable block.
+    rpo_index: HashMap<BlockId, usize>,
+    entry: BlockId,
+}
+
+impl DomTree {
+    /// Compute dominators for `f` given its CFG.
+    pub fn new(f: &Function, cfg: &Cfg) -> DomTree {
+        let rpo = cfg.rpo().to_vec();
+        let mut rpo_index = HashMap::new();
+        for (i, &bb) in rpo.iter().enumerate() {
+            rpo_index.insert(bb, i);
+        }
+        let entry = f.entry;
+        let mut idom: HashMap<BlockId, BlockId> = HashMap::new();
+        idom.insert(entry, entry);
+
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &bb in rpo.iter().skip(1) {
+                // First processed predecessor.
+                let mut new_idom: Option<BlockId> = None;
+                for &p in cfg.preds(bb) {
+                    if !rpo_index.contains_key(&p) {
+                        continue; // unreachable predecessor
+                    }
+                    if idom.contains_key(&p) {
+                        new_idom = Some(match new_idom {
+                            None => p,
+                            Some(cur) => intersect(&idom, &rpo_index, cur, p),
+                        });
+                    }
+                }
+                if let Some(ni) = new_idom {
+                    if idom.get(&bb) != Some(&ni) {
+                        idom.insert(bb, ni);
+                        changed = true;
+                    }
+                }
+            }
+        }
+
+        DomTree {
+            idom,
+            rpo_index,
+            entry,
+        }
+    }
+
+    /// Immediate dominator of `bb` (`None` for the entry block or
+    /// unreachable blocks).
+    pub fn idom(&self, bb: BlockId) -> Option<BlockId> {
+        if bb == self.entry {
+            return None;
+        }
+        self.idom.get(&bb).copied()
+    }
+
+    /// True if `a` dominates `b` (reflexive: every block dominates itself).
+    ///
+    /// Unreachable blocks dominate nothing and are dominated by nothing.
+    pub fn dominates(&self, a: BlockId, b: BlockId) -> bool {
+        if !self.idom.contains_key(&a) || !self.idom.contains_key(&b) {
+            return false;
+        }
+        let mut cur = b;
+        loop {
+            if cur == a {
+                return true;
+            }
+            if cur == self.entry {
+                return false;
+            }
+            cur = self.idom[&cur];
+        }
+    }
+
+    /// True if `a` strictly dominates `b`.
+    pub fn strictly_dominates(&self, a: BlockId, b: BlockId) -> bool {
+        a != b && self.dominates(a, b)
+    }
+
+    /// True if the block is reachable (has a dominator entry).
+    pub fn is_reachable(&self, bb: BlockId) -> bool {
+        self.idom.contains_key(&bb)
+    }
+
+    /// Children of `bb` in the dominator tree.
+    pub fn children(&self, bb: BlockId) -> Vec<BlockId> {
+        let mut out: Vec<BlockId> = self
+            .idom
+            .iter()
+            .filter(|&(&b, &d)| d == bb && b != self.entry)
+            .map(|(&b, _)| b)
+            .collect();
+        out.sort();
+        out
+    }
+
+    /// Dominance frontier of every reachable block (for SSA construction).
+    pub fn dominance_frontiers(&self, cfg: &Cfg) -> HashMap<BlockId, Vec<BlockId>> {
+        let mut df: HashMap<BlockId, Vec<BlockId>> = HashMap::new();
+        for &bb in cfg.rpo() {
+            let preds: Vec<BlockId> = cfg
+                .preds(bb)
+                .iter()
+                .copied()
+                .filter(|p| self.is_reachable(*p))
+                .collect();
+            if preds.len() < 2 {
+                continue;
+            }
+            let idom_bb = self.idom[&bb];
+            for p in preds {
+                let mut runner = p;
+                while runner != idom_bb {
+                    let entry = df.entry(runner).or_default();
+                    if !entry.contains(&bb) {
+                        entry.push(bb);
+                    }
+                    if runner == self.entry {
+                        break;
+                    }
+                    runner = self.idom[&runner];
+                }
+            }
+        }
+        df
+    }
+
+    /// RPO index of a reachable block.
+    pub fn rpo_index(&self, bb: BlockId) -> Option<usize> {
+        self.rpo_index.get(&bb).copied()
+    }
+}
+
+fn intersect(
+    idom: &HashMap<BlockId, BlockId>,
+    rpo_index: &HashMap<BlockId, usize>,
+    mut a: BlockId,
+    mut b: BlockId,
+) -> BlockId {
+    while a != b {
+        while rpo_index[&a] > rpo_index[&b] {
+            a = idom[&a];
+        }
+        while rpo_index[&b] > rpo_index[&a] {
+            b = idom[&b];
+        }
+    }
+    a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::inst::CmpPred;
+    use crate::types::Type;
+    use crate::value::Value;
+
+    /// entry -> {a, b}; a -> j; b -> j; j -> ret
+    fn diamond() -> (Function, BlockId, BlockId, BlockId) {
+        let mut bld = FunctionBuilder::new("d", vec![Type::I32], Type::I32);
+        let a = bld.new_block();
+        let b = bld.new_block();
+        let j = bld.new_block();
+        let c = bld.icmp(CmpPred::Slt, bld.arg(0), Value::i32(0));
+        bld.cond_br(c, a, b);
+        bld.switch_to(a);
+        bld.br(j);
+        bld.switch_to(b);
+        bld.br(j);
+        bld.switch_to(j);
+        bld.ret(Some(Value::i32(1)));
+        (bld.finish(), a, b, j)
+    }
+
+    #[test]
+    fn diamond_dominators() {
+        let (f, a, b, j) = diamond();
+        let cfg = Cfg::new(&f);
+        let dt = DomTree::new(&f, &cfg);
+        assert_eq!(dt.idom(a), Some(f.entry));
+        assert_eq!(dt.idom(b), Some(f.entry));
+        assert_eq!(dt.idom(j), Some(f.entry));
+        assert!(dt.dominates(f.entry, j));
+        assert!(!dt.dominates(a, j));
+        assert!(dt.dominates(j, j));
+        assert!(dt.strictly_dominates(f.entry, a));
+        assert!(!dt.strictly_dominates(a, a));
+    }
+
+    #[test]
+    fn diamond_frontiers() {
+        let (f, a, b, j) = diamond();
+        let cfg = Cfg::new(&f);
+        let dt = DomTree::new(&f, &cfg);
+        let df = dt.dominance_frontiers(&cfg);
+        assert_eq!(df.get(&a), Some(&vec![j]));
+        assert_eq!(df.get(&b), Some(&vec![j]));
+        assert_eq!(df.get(&f.entry), None);
+    }
+
+    #[test]
+    fn loop_dominators() {
+        // entry -> header; header -> {body, exit}; body -> header
+        let mut bld = FunctionBuilder::new("l", vec![Type::I32], Type::I32);
+        let n = bld.arg(0);
+        let (header, _exit) = bld.counted_loop(n, |_, _| {});
+        bld.ret(Some(Value::i32(0)));
+        let f = bld.finish();
+        let cfg = Cfg::new(&f);
+        let dt = DomTree::new(&f, &cfg);
+        assert_eq!(dt.idom(header), Some(f.entry));
+        // header dominates everything downstream
+        for bb in cfg.rpo() {
+            if *bb != f.entry {
+                assert!(dt.dominates(header, *bb) || *bb == header);
+            }
+        }
+    }
+
+    #[test]
+    fn children_listed() {
+        let (f, a, b, j) = diamond();
+        let cfg = Cfg::new(&f);
+        let dt = DomTree::new(&f, &cfg);
+        let kids = dt.children(f.entry);
+        assert!(kids.contains(&a) && kids.contains(&b) && kids.contains(&j));
+    }
+
+    #[test]
+    fn unreachable_block_not_in_tree() {
+        let mut bld = FunctionBuilder::new("u", vec![], Type::Void);
+        let dead = bld.new_block();
+        bld.ret(None);
+        bld.switch_to(dead);
+        bld.ret(None);
+        let f = bld.finish();
+        let cfg = Cfg::new(&f);
+        let dt = DomTree::new(&f, &cfg);
+        assert!(!dt.is_reachable(dead));
+        assert!(!dt.dominates(f.entry, dead));
+    }
+}

@@ -1,0 +1,205 @@
+//! Constant evaluation shared by the interpreter and the optimizer.
+//!
+//! Both must agree on semantics exactly, or "passes preserve behaviour"
+//! would fail. All operations are total: wrap-around arithmetic, `x/0 == 0`,
+//! `x%0 == 0`, shift amounts masked to the bit width.
+
+use crate::inst::{BinOp, CastOp, CmpPred};
+use crate::types::Type;
+use crate::value::Value;
+
+/// Evaluate `a op b` at type `ty`. Total (never panics on any input).
+pub fn eval_binop(op: BinOp, ty: Type, a: i64, b: i64) -> i64 {
+    let bits = ty.bits();
+    let mask = (bits - 1) as i64;
+    let r = match op {
+        BinOp::Add => a.wrapping_add(b),
+        BinOp::Sub => a.wrapping_sub(b),
+        BinOp::Mul => a.wrapping_mul(b),
+        BinOp::SDiv => {
+            if b == 0 {
+                0
+            } else {
+                a.wrapping_div(b)
+            }
+        }
+        BinOp::UDiv => {
+            let (ua, ub) = (ty.zext(a) as u64, ty.zext(b) as u64);
+            if ub == 0 {
+                0
+            } else {
+                (ua / ub) as i64
+            }
+        }
+        BinOp::SRem => {
+            if b == 0 {
+                0
+            } else {
+                a.wrapping_rem(b)
+            }
+        }
+        BinOp::URem => {
+            let (ua, ub) = (ty.zext(a) as u64, ty.zext(b) as u64);
+            if ub == 0 {
+                0
+            } else {
+                (ua % ub) as i64
+            }
+        }
+        BinOp::And => a & b,
+        BinOp::Or => a | b,
+        BinOp::Xor => a ^ b,
+        BinOp::Shl => a.wrapping_shl((b & mask) as u32),
+        BinOp::LShr => ((ty.zext(a) as u64) >> ((b & mask) as u32)) as i64,
+        BinOp::AShr => a.wrapping_shr((b & mask) as u32),
+    };
+    ty.wrap(r)
+}
+
+/// Evaluate `a pred b` at type `ty`; returns the `i1` result as 0 / -1.
+pub fn eval_icmp(pred: CmpPred, ty: Type, a: i64, b: i64) -> i64 {
+    let (ua, ub) = (ty.zext(a) as u64, ty.zext(b) as u64);
+    let r = match pred {
+        CmpPred::Eq => a == b,
+        CmpPred::Ne => a != b,
+        CmpPred::Slt => a < b,
+        CmpPred::Sle => a <= b,
+        CmpPred::Sgt => a > b,
+        CmpPred::Sge => a >= b,
+        CmpPred::Ult => ua < ub,
+        CmpPred::Ule => ua <= ub,
+        CmpPred::Ugt => ua > ub,
+        CmpPred::Uge => ua >= ub,
+    };
+    if r {
+        Type::I1.wrap(1)
+    } else {
+        0
+    }
+}
+
+/// Evaluate a cast of `v` from `from` to `to`.
+pub fn eval_cast(op: CastOp, from: Type, to: Type, v: i64) -> i64 {
+    match op {
+        CastOp::Trunc => to.wrap(v),
+        CastOp::ZExt => {
+            // zext reads the source bits unsigned, then stores sign-extended
+            // at the destination width (a no-op unless dest is narrower,
+            // which the verifier forbids).
+            to.wrap(from.zext(v))
+        }
+        CastOp::SExt => to.wrap(v),
+        CastOp::BitCast => v,
+    }
+}
+
+/// Try to fold a binary op over constant operands.
+pub fn fold_binop(op: BinOp, ty: Type, a: Value, b: Value) -> Option<Value> {
+    match (a, b) {
+        (Value::ConstInt(_, x), Value::ConstInt(_, y)) => {
+            Some(Value::ConstInt(ty, eval_binop(op, ty, x, y)))
+        }
+        _ => None,
+    }
+}
+
+/// Try to fold a comparison over constant operands.
+pub fn fold_icmp(pred: CmpPred, a: Value, b: Value) -> Option<Value> {
+    match (a, b) {
+        (Value::ConstInt(ty, x), Value::ConstInt(_, y)) => {
+            Some(Value::ConstInt(Type::I1, eval_icmp(pred, ty, x, y)))
+        }
+        _ => None,
+    }
+}
+
+/// Try to fold a cast of a constant.
+pub fn fold_cast(op: CastOp, to: Type, v: Value) -> Option<Value> {
+    match v {
+        Value::ConstInt(from, x) => Some(Value::ConstInt(to, eval_cast(op, from, to, x))),
+        Value::Undef(_) => Some(Value::Undef(to)),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wrapping_add() {
+        assert_eq!(eval_binop(BinOp::Add, Type::I8, 127, 1), -128);
+        assert_eq!(eval_binop(BinOp::Add, Type::I32, i32::MAX as i64, 1), i32::MIN as i64);
+    }
+
+    #[test]
+    fn division_by_zero_is_zero() {
+        assert_eq!(eval_binop(BinOp::SDiv, Type::I32, 5, 0), 0);
+        assert_eq!(eval_binop(BinOp::UDiv, Type::I32, 5, 0), 0);
+        assert_eq!(eval_binop(BinOp::SRem, Type::I32, 5, 0), 0);
+        assert_eq!(eval_binop(BinOp::URem, Type::I32, 5, 0), 0);
+    }
+
+    #[test]
+    fn sdiv_min_by_minus_one_wraps() {
+        // i32::MIN / -1 overflows; wrapping semantics give i32::MIN back.
+        assert_eq!(
+            eval_binop(BinOp::SDiv, Type::I32, i32::MIN as i64, -1),
+            i32::MIN as i64
+        );
+    }
+
+    #[test]
+    fn unsigned_ops_use_zext() {
+        // -1 as u8 is 255; 255 / 2 = 127
+        assert_eq!(eval_binop(BinOp::UDiv, Type::I8, -1, 2), 127);
+        assert_eq!(eval_binop(BinOp::LShr, Type::I8, -1, 1), 127);
+        assert_eq!(eval_binop(BinOp::AShr, Type::I8, -1, 1), -1);
+    }
+
+    #[test]
+    fn shift_masking() {
+        // shift by 33 at i32 is shift by 1
+        assert_eq!(eval_binop(BinOp::Shl, Type::I32, 1, 33), 2);
+        assert_eq!(eval_binop(BinOp::Shl, Type::I64, 1, 64), 1);
+    }
+
+    #[test]
+    fn icmp_signed_vs_unsigned() {
+        assert_ne!(eval_icmp(CmpPred::Slt, Type::I32, -1, 0), 0);
+        assert_eq!(eval_icmp(CmpPred::Ult, Type::I32, -1, 0), 0);
+        assert_ne!(eval_icmp(CmpPred::Ugt, Type::I32, -1, 0), 0);
+    }
+
+    #[test]
+    fn casts() {
+        assert_eq!(eval_cast(CastOp::Trunc, Type::I32, Type::I8, 257), 1);
+        assert_eq!(eval_cast(CastOp::ZExt, Type::I8, Type::I32, -1), 255);
+        assert_eq!(eval_cast(CastOp::SExt, Type::I8, Type::I32, -1), -1);
+        assert_eq!(eval_cast(CastOp::BitCast, Type::I64, Type::I64, -7), -7);
+    }
+
+    #[test]
+    fn fold_helpers() {
+        assert_eq!(
+            fold_binop(BinOp::Mul, Type::I32, Value::i32(6), Value::i32(7)),
+            Some(Value::i32(42))
+        );
+        assert_eq!(fold_binop(BinOp::Mul, Type::I32, Value::Arg(0), Value::i32(7)), None);
+        assert_eq!(
+            fold_icmp(CmpPred::Eq, Value::i32(1), Value::i32(1)),
+            Some(Value::TRUE)
+        );
+        assert_eq!(
+            fold_cast(CastOp::Trunc, Type::I8, Value::i32(300)),
+            Some(Value::ConstInt(Type::I8, 44))
+        );
+    }
+
+    #[test]
+    fn i1_arithmetic() {
+        // true + true at i1 wraps to 0
+        assert_eq!(eval_binop(BinOp::Add, Type::I1, -1, -1), 0);
+        assert_eq!(eval_binop(BinOp::And, Type::I1, -1, 0), 0);
+    }
+}

@@ -1,0 +1,435 @@
+//! Functions, basic blocks, and the instruction arena.
+
+use crate::inst::{Inst, Opcode};
+use crate::types::Type;
+use crate::value::Value;
+use serde::{Deserialize, Serialize};
+
+/// Identifies an instruction within its function's arena.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct InstId(u32);
+
+impl InstId {
+    /// Construct from a raw arena index.
+    pub fn from_index(i: usize) -> InstId {
+        InstId(i as u32)
+    }
+
+    /// The raw arena index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Identifies a basic block within its function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct BlockId(u32);
+
+impl BlockId {
+    /// Construct from a raw index.
+    pub fn from_index(i: usize) -> BlockId {
+        BlockId(i as u32)
+    }
+
+    /// The raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A basic block: a straight-line instruction list ending in a terminator.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Block {
+    /// Instructions in execution order; the last one is the terminator once
+    /// the block is complete.
+    pub insts: Vec<InstId>,
+}
+
+/// Function-level attributes inferred by interprocedural passes.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FuncAttrs {
+    /// The function never writes memory visible to callers.
+    pub readonly: bool,
+    /// The function neither reads nor writes caller-visible memory.
+    pub readnone: bool,
+    /// The function is only referenced within this module and may be
+    /// removed if unused (set for everything except `main` by default).
+    pub internal: bool,
+    /// Inlining hint set by `-inline` cost analysis.
+    pub always_inline: bool,
+    /// Marks functions the partial inliner has outlined from.
+    pub outlined: bool,
+}
+
+/// A function: parameter types, return type, blocks, and an instruction arena.
+///
+/// Instructions live in a slot arena (`Vec<Option<Inst>>`); removing an
+/// instruction leaves a tombstone so `InstId`s stay stable. Blocks likewise.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Function {
+    /// Function name (unique within a module).
+    pub name: String,
+    /// Parameter types.
+    pub params: Vec<Type>,
+    /// Return type (`Void` for none).
+    pub ret_ty: Type,
+    /// Block arena; `None` entries are removed blocks.
+    blocks: Vec<Option<Block>>,
+    /// Instruction arena; `None` entries are removed instructions.
+    insts: Vec<Option<Inst>>,
+    /// The entry block.
+    pub entry: BlockId,
+    /// Inferred attributes.
+    pub attrs: FuncAttrs,
+}
+
+impl Function {
+    /// Create a function with a single empty entry block.
+    pub fn new(name: impl Into<String>, params: Vec<Type>, ret_ty: Type) -> Function {
+        Function {
+            name: name.into(),
+            params,
+            ret_ty,
+            blocks: vec![Some(Block::default())],
+            insts: Vec::new(),
+            entry: BlockId::from_index(0),
+            attrs: FuncAttrs::default(),
+        }
+    }
+
+    // ---- blocks ----
+
+    /// Append a new empty block, returning its id.
+    pub fn add_block(&mut self) -> BlockId {
+        self.blocks.push(Some(Block::default()));
+        BlockId::from_index(self.blocks.len() - 1)
+    }
+
+    /// Access a block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block was removed.
+    pub fn block(&self, id: BlockId) -> &Block {
+        self.blocks[id.index()].as_ref().expect("removed block")
+    }
+
+    /// Mutable access to a block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block was removed.
+    pub fn block_mut(&mut self, id: BlockId) -> &mut Block {
+        self.blocks[id.index()].as_mut().expect("removed block")
+    }
+
+    /// True if the block id refers to a live (not removed) block.
+    pub fn block_exists(&self, id: BlockId) -> bool {
+        self.blocks
+            .get(id.index())
+            .map(|b| b.is_some())
+            .unwrap_or(false)
+    }
+
+    /// Remove a block and all instructions in it.
+    ///
+    /// The caller is responsible for first removing CFG edges and φ-node
+    /// incoming entries that reference it.
+    pub fn remove_block(&mut self, id: BlockId) {
+        if let Some(block) = self.blocks[id.index()].take() {
+            for inst in block.insts {
+                self.insts[inst.index()] = None;
+            }
+        }
+    }
+
+    /// Iterate over live block ids in arena order (entry first).
+    pub fn block_ids(&self) -> impl Iterator<Item = BlockId> + '_ {
+        self.blocks
+            .iter()
+            .enumerate()
+            .filter_map(|(i, b)| b.as_ref().map(|_| BlockId::from_index(i)))
+    }
+
+    /// Number of live blocks.
+    pub fn num_blocks(&self) -> usize {
+        self.blocks.iter().filter(|b| b.is_some()).count()
+    }
+
+    // ---- instructions ----
+
+    /// Add an instruction to the arena without placing it in a block.
+    pub fn add_inst(&mut self, inst: Inst) -> InstId {
+        self.insts.push(Some(inst));
+        InstId::from_index(self.insts.len() - 1)
+    }
+
+    /// Add an instruction and append it to `bb`.
+    pub fn append_inst(&mut self, bb: BlockId, inst: Inst) -> InstId {
+        let id = self.add_inst(inst);
+        self.block_mut(bb).insts.push(id);
+        id
+    }
+
+    /// Add an instruction and insert it at `pos` within `bb`.
+    pub fn insert_inst(&mut self, bb: BlockId, pos: usize, inst: Inst) -> InstId {
+        let id = self.add_inst(inst);
+        self.block_mut(bb).insts.insert(pos, id);
+        id
+    }
+
+    /// Access an instruction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the instruction was removed.
+    pub fn inst(&self, id: InstId) -> &Inst {
+        self.insts[id.index()].as_ref().expect("removed inst")
+    }
+
+    /// Mutable access to an instruction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the instruction was removed.
+    pub fn inst_mut(&mut self, id: InstId) -> &mut Inst {
+        self.insts[id.index()].as_mut().expect("removed inst")
+    }
+
+    /// True if the id refers to a live instruction.
+    pub fn inst_exists(&self, id: InstId) -> bool {
+        self.insts
+            .get(id.index())
+            .map(|i| i.is_some())
+            .unwrap_or(false)
+    }
+
+    /// Remove an instruction from its block's list and the arena.
+    ///
+    /// The caller must ensure its result has no remaining uses.
+    pub fn remove_inst(&mut self, bb: BlockId, id: InstId) {
+        let block = self.block_mut(bb);
+        block.insts.retain(|&i| i != id);
+        self.insts[id.index()] = None;
+    }
+
+    /// Remove an instruction from the arena only (when its block is gone or
+    /// the list was already edited).
+    pub fn erase_inst(&mut self, id: InstId) {
+        self.insts[id.index()] = None;
+    }
+
+    /// Total number of live instructions.
+    pub fn num_insts(&self) -> usize {
+        self.insts.iter().filter(|i| i.is_some()).count()
+    }
+
+    /// Iterate `(InstId, &Inst)` over the instructions of `bb` in order.
+    pub fn insts_in(&self, bb: BlockId) -> impl Iterator<Item = (InstId, &Inst)> + '_ {
+        self.block(bb).insts.iter().map(move |&id| (id, self.inst(id)))
+    }
+
+    /// The terminator of `bb`, if the block is complete.
+    pub fn terminator(&self, bb: BlockId) -> Option<InstId> {
+        let last = *self.block(bb).insts.last()?;
+        if self.inst(last).is_terminator() {
+            Some(last)
+        } else {
+            None
+        }
+    }
+
+    /// Successor blocks of `bb` (empty if the block has no terminator).
+    pub fn successors(&self, bb: BlockId) -> Vec<BlockId> {
+        match self.terminator(bb) {
+            Some(t) => self.inst(t).successors(),
+            None => Vec::new(),
+        }
+    }
+
+    // ---- whole-function edits ----
+
+    /// Replace every use of `from` with `to` across all instructions.
+    /// Returns the number of operands replaced.
+    pub fn replace_all_uses(&mut self, from: Value, to: Value) -> usize {
+        let mut n = 0;
+        for inst in self.insts.iter_mut().flatten() {
+            n += inst.replace_uses(from, to);
+        }
+        n
+    }
+
+    /// Count the uses of a value across all live instructions.
+    pub fn count_uses(&self, value: Value) -> usize {
+        let mut n = 0;
+        for inst in self.insts.iter().flatten() {
+            inst.for_each_operand(|v| {
+                if v == value {
+                    n += 1;
+                }
+            });
+        }
+        n
+    }
+
+    /// Collect `(user_inst, block)` pairs that use `value`.
+    pub fn users(&self, value: Value) -> Vec<(InstId, BlockId)> {
+        let mut out = Vec::new();
+        for bb in self.block_ids().collect::<Vec<_>>() {
+            for &iid in &self.block(bb).insts {
+                let mut used = false;
+                self.inst(iid).for_each_operand(|v| used |= v == value);
+                if used {
+                    out.push((iid, bb));
+                }
+            }
+        }
+        out
+    }
+
+    /// Find the block containing instruction `id`, if it is placed.
+    pub fn block_of(&self, id: InstId) -> Option<BlockId> {
+        self.block_ids().find(|&bb| self.block(bb).insts.contains(&id))
+    }
+
+    /// Update every φ-node in `bb` that has an incoming entry from
+    /// `old_pred` to come from `new_pred` instead.
+    pub fn retarget_phis(&mut self, bb: BlockId, old_pred: BlockId, new_pred: BlockId) {
+        let ids: Vec<InstId> = self.block(bb).insts.clone();
+        for id in ids {
+            if let Opcode::Phi { incoming } = &mut self.inst_mut(id).op {
+                for (pred, _) in incoming.iter_mut() {
+                    if *pred == old_pred {
+                        *pred = new_pred;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Remove φ-node incoming entries from `pred` in `bb`.
+    pub fn remove_phi_edge(&mut self, bb: BlockId, pred: BlockId) {
+        let ids: Vec<InstId> = self.block(bb).insts.clone();
+        for id in ids {
+            if let Opcode::Phi { incoming } = &mut self.inst_mut(id).op {
+                incoming.retain(|(p, _)| *p != pred);
+            }
+        }
+    }
+
+    /// Upper bound (exclusive) of instruction arena indices, for dense maps.
+    pub fn inst_capacity(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// Upper bound (exclusive) of block arena indices, for dense maps.
+    pub fn block_capacity(&self) -> usize {
+        self.blocks.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::BinOp;
+
+    fn add_fn() -> Function {
+        let mut f = Function::new("add2", vec![Type::I32, Type::I32], Type::I32);
+        let entry = f.entry;
+        let sum = f.append_inst(
+            entry,
+            Inst::new(
+                Type::I32,
+                Opcode::Binary(BinOp::Add, Value::Arg(0), Value::Arg(1)),
+            ),
+        );
+        f.append_inst(
+            entry,
+            Inst::new(
+                Type::Void,
+                Opcode::Ret {
+                    value: Some(Value::Inst(sum)),
+                },
+            ),
+        );
+        f
+    }
+
+    #[test]
+    fn build_and_query() {
+        let f = add_fn();
+        assert_eq!(f.num_blocks(), 1);
+        assert_eq!(f.num_insts(), 2);
+        let term = f.terminator(f.entry).unwrap();
+        assert!(f.inst(term).is_terminator());
+        assert!(f.successors(f.entry).is_empty());
+    }
+
+    #[test]
+    fn replace_all_uses_rewrites_operands() {
+        let mut f = add_fn();
+        let n = f.replace_all_uses(Value::Arg(0), Value::i32(7));
+        assert_eq!(n, 1);
+        assert_eq!(f.count_uses(Value::Arg(0)), 0);
+        assert_eq!(f.count_uses(Value::i32(7)), 1);
+    }
+
+    #[test]
+    fn remove_inst_leaves_tombstone() {
+        let mut f = add_fn();
+        let entry = f.entry;
+        let first = f.block(entry).insts[0];
+        f.remove_inst(entry, first);
+        assert!(!f.inst_exists(first));
+        assert_eq!(f.num_insts(), 1);
+        // Arena capacity unchanged: ids remain stable.
+        assert_eq!(f.inst_capacity(), 2);
+    }
+
+    #[test]
+    fn remove_block_erases_contents() {
+        let mut f = add_fn();
+        let bb = f.add_block();
+        let id = f.append_inst(bb, Inst::new(Type::Void, Opcode::Unreachable));
+        f.remove_block(bb);
+        assert!(!f.block_exists(bb));
+        assert!(!f.inst_exists(id));
+    }
+
+    #[test]
+    fn users_and_block_of() {
+        let f = add_fn();
+        let entry = f.entry;
+        let first = f.block(entry).insts[0];
+        let users = f.users(Value::Inst(first));
+        assert_eq!(users.len(), 1);
+        assert_eq!(f.block_of(first), Some(entry));
+    }
+
+    #[test]
+    fn phi_edge_edits() {
+        let mut f = Function::new("g", vec![], Type::I32);
+        let entry = f.entry;
+        let b1 = f.add_block();
+        let b2 = f.add_block();
+        let join = f.add_block();
+        let phi = f.append_inst(
+            join,
+            Inst::new(
+                Type::I32,
+                Opcode::Phi {
+                    incoming: vec![(b1, Value::i32(1)), (b2, Value::i32(2))],
+                },
+            ),
+        );
+        let _ = entry;
+        f.retarget_phis(join, b1, entry);
+        if let Opcode::Phi { incoming } = &f.inst(phi).op {
+            assert_eq!(incoming[0].0, entry);
+        }
+        f.remove_phi_edge(join, b2);
+        if let Opcode::Phi { incoming } = &f.inst(phi).op {
+            assert_eq!(incoming.len(), 1);
+        }
+    }
+}

@@ -1,0 +1,264 @@
+//! Modules and global variables.
+
+use crate::function::Function;
+use crate::types::Type;
+use serde::{Deserialize, Serialize};
+
+/// Identifies a function within a module.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct FuncId(u32);
+
+impl FuncId {
+    /// Construct from a raw index.
+    pub fn from_index(i: usize) -> FuncId {
+        FuncId(i as u32)
+    }
+
+    /// The raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Identifies a global variable within a module.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct GlobalId(u32);
+
+impl GlobalId {
+    /// Construct from a raw index.
+    pub fn from_index(i: usize) -> GlobalId {
+        GlobalId(i as u32)
+    }
+
+    /// The raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A module-level array variable in the flat address space.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Global {
+    /// Name (unique within the module).
+    pub name: String,
+    /// Element type (integer).
+    pub elem_ty: Type,
+    /// Number of elements.
+    pub count: u32,
+    /// Initial element values (padded with zeros to `count`).
+    pub init: Vec<i64>,
+    /// Constant globals may be folded by `-globalopt`.
+    pub is_const: bool,
+}
+
+impl Global {
+    /// Create a zero-initialized mutable global array.
+    pub fn zeroed(name: impl Into<String>, elem_ty: Type, count: u32) -> Global {
+        Global {
+            name: name.into(),
+            elem_ty,
+            count,
+            init: Vec::new(),
+            is_const: false,
+        }
+    }
+
+    /// Create an initialized constant global array.
+    pub fn constant(name: impl Into<String>, elem_ty: Type, init: Vec<i64>) -> Global {
+        Global {
+            name: name.into(),
+            elem_ty,
+            count: init.len() as u32,
+            init,
+            is_const: true,
+        }
+    }
+
+    /// Initial value of element `i` (zero if not explicitly initialized).
+    pub fn init_at(&self, i: usize) -> i64 {
+        self.init.get(i).copied().unwrap_or(0)
+    }
+}
+
+/// A translation unit: functions plus globals.
+///
+/// Functions live in a slot arena so `FuncId`s stay stable across removal
+/// (e.g. by `-globaldce`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Module {
+    /// Module name (for diagnostics).
+    pub name: String,
+    functions: Vec<Option<Function>>,
+    /// Global variables; ids are indices and are never reused.
+    globals: Vec<Option<Global>>,
+}
+
+impl Module {
+    /// Create an empty module.
+    pub fn new(name: impl Into<String>) -> Module {
+        Module {
+            name: name.into(),
+            functions: Vec::new(),
+            globals: Vec::new(),
+        }
+    }
+
+    /// Add a function, returning its id.
+    pub fn add_function(&mut self, f: Function) -> FuncId {
+        self.functions.push(Some(f));
+        FuncId::from_index(self.functions.len() - 1)
+    }
+
+    /// Add a global, returning its id.
+    pub fn add_global(&mut self, g: Global) -> GlobalId {
+        self.globals.push(Some(g));
+        GlobalId::from_index(self.globals.len() - 1)
+    }
+
+    /// Access a function.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the function was removed.
+    pub fn func(&self, id: FuncId) -> &Function {
+        self.functions[id.index()].as_ref().expect("removed function")
+    }
+
+    /// Mutable access to a function.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the function was removed.
+    pub fn func_mut(&mut self, id: FuncId) -> &mut Function {
+        self.functions[id.index()].as_mut().expect("removed function")
+    }
+
+    /// True if the id refers to a live function.
+    pub fn func_exists(&self, id: FuncId) -> bool {
+        self.functions
+            .get(id.index())
+            .map(|f| f.is_some())
+            .unwrap_or(false)
+    }
+
+    /// Remove a function (callers must already be gone or rewritten).
+    pub fn remove_function(&mut self, id: FuncId) {
+        self.functions[id.index()] = None;
+    }
+
+    /// Access a global.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the global was removed.
+    pub fn global(&self, id: GlobalId) -> &Global {
+        self.globals[id.index()].as_ref().expect("removed global")
+    }
+
+    /// Mutable access to a global.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the global was removed.
+    pub fn global_mut(&mut self, id: GlobalId) -> &mut Global {
+        self.globals[id.index()].as_mut().expect("removed global")
+    }
+
+    /// True if the id refers to a live global.
+    pub fn global_exists(&self, id: GlobalId) -> bool {
+        self.globals
+            .get(id.index())
+            .map(|g| g.is_some())
+            .unwrap_or(false)
+    }
+
+    /// Remove a global (uses must already be gone).
+    pub fn remove_global(&mut self, id: GlobalId) {
+        self.globals[id.index()] = None;
+    }
+
+    /// Iterate over live function ids.
+    pub fn func_ids(&self) -> impl Iterator<Item = FuncId> + '_ {
+        self.functions
+            .iter()
+            .enumerate()
+            .filter_map(|(i, f)| f.as_ref().map(|_| FuncId::from_index(i)))
+    }
+
+    /// Iterate over live global ids.
+    pub fn global_ids(&self) -> impl Iterator<Item = GlobalId> + '_ {
+        self.globals
+            .iter()
+            .enumerate()
+            .filter_map(|(i, g)| g.as_ref().map(|_| GlobalId::from_index(i)))
+    }
+
+    /// Find a function by name.
+    pub fn func_by_name(&self, name: &str) -> Option<FuncId> {
+        self.func_ids().find(|&id| self.func(id).name == name)
+    }
+
+    /// The `main` function, where execution starts.
+    pub fn main(&self) -> Option<FuncId> {
+        self.func_by_name("main")
+    }
+
+    /// Number of live functions.
+    pub fn num_functions(&self) -> usize {
+        self.functions.iter().filter(|f| f.is_some()).count()
+    }
+
+    /// Total live instructions across all functions.
+    pub fn num_insts(&self) -> usize {
+        self.func_ids().map(|id| self.func(id).num_insts()).sum()
+    }
+
+    /// Total live basic blocks across all functions.
+    pub fn num_blocks(&self) -> usize {
+        self.func_ids().map(|id| self.func(id).num_blocks()).sum()
+    }
+
+    /// Upper bound (exclusive) of function arena indices, for dense maps.
+    pub fn func_capacity(&self) -> usize {
+        self.functions.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::Type;
+
+    #[test]
+    fn add_and_find_functions() {
+        let mut m = Module::new("m");
+        let f = m.add_function(Function::new("main", vec![], Type::I32));
+        let g = m.add_function(Function::new("helper", vec![Type::I32], Type::I32));
+        assert_eq!(m.main(), Some(f));
+        assert_eq!(m.func_by_name("helper"), Some(g));
+        assert_eq!(m.num_functions(), 2);
+    }
+
+    #[test]
+    fn remove_function_keeps_ids_stable() {
+        let mut m = Module::new("m");
+        let f = m.add_function(Function::new("a", vec![], Type::Void));
+        let g = m.add_function(Function::new("b", vec![], Type::Void));
+        m.remove_function(f);
+        assert!(!m.func_exists(f));
+        assert!(m.func_exists(g));
+        assert_eq!(m.func(g).name, "b");
+    }
+
+    #[test]
+    fn globals() {
+        let mut m = Module::new("m");
+        let g = m.add_global(Global::constant("tbl", Type::I32, vec![1, 2, 3]));
+        assert_eq!(m.global(g).count, 3);
+        assert_eq!(m.global(g).init_at(1), 2);
+        assert_eq!(m.global(g).init_at(10), 0);
+        let z = m.add_global(Global::zeroed("buf", Type::I8, 16));
+        assert!(!m.global(z).is_const);
+        assert_eq!(m.global_ids().count(), 2);
+    }
+}

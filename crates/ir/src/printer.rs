@@ -1,0 +1,172 @@
+//! Textual form of modules and functions (LLVM-flavoured, for debugging).
+
+use crate::function::{BlockId, Function};
+use crate::inst::Opcode;
+use crate::module::Module;
+use std::fmt::Write;
+
+/// Render a whole module.
+pub fn print_module(m: &Module) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "; module {}", m.name);
+    for gid in m.global_ids() {
+        let g = m.global(gid);
+        let _ = writeln!(
+            out,
+            "@g{} = {} {} x {} ; {}{}",
+            gid.index(),
+            if g.is_const { "const" } else { "global" },
+            g.count,
+            g.elem_ty,
+            g.name,
+            if g.init.is_empty() { " zeroinit" } else { "" },
+        );
+    }
+    for fid in m.func_ids() {
+        out.push('\n');
+        out.push_str(&print_function(m.func(fid)));
+    }
+    out
+}
+
+/// Render one function.
+pub fn print_function(f: &Function) -> String {
+    let mut out = String::new();
+    let params: Vec<String> = f
+        .params
+        .iter()
+        .enumerate()
+        .map(|(i, t)| format!("{t} %arg{i}"))
+        .collect();
+    let _ = writeln!(
+        out,
+        "define {} @{}({}) {{",
+        f.ret_ty,
+        f.name,
+        params.join(", ")
+    );
+    for bb in f.block_ids() {
+        let _ = writeln!(out, "b{}:", bb.index());
+        for (id, inst) in f.insts_in(bb) {
+            let body = format_opcode(f, &inst.op);
+            if inst.ty.is_void() {
+                let _ = writeln!(out, "  {body}");
+            } else {
+                let _ = writeln!(out, "  %{} = {} {}", id.index(), inst.ty, body);
+            }
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn bb_name(bb: BlockId) -> String {
+    format!("b{}", bb.index())
+}
+
+fn format_opcode(f: &Function, op: &Opcode) -> String {
+    let _ = f;
+    match op {
+        Opcode::Binary(b, x, y) => format!("{} {x}, {y}", b.name()),
+        Opcode::ICmp(p, x, y) => format!("icmp {} {x}, {y}", p.name()),
+        Opcode::Select { cond, tval, fval } => format!("select {cond}, {tval}, {fval}"),
+        Opcode::Phi { incoming } => {
+            let parts: Vec<String> = incoming
+                .iter()
+                .map(|(bb, v)| format!("[{v}, {}]", bb_name(*bb)))
+                .collect();
+            format!("phi {}", parts.join(", "))
+        }
+        Opcode::Alloca { elem_ty, count } => format!("alloca {count} x {elem_ty}"),
+        Opcode::Load { ptr } => format!("load {ptr}"),
+        Opcode::Store { ptr, value } => format!("store {value}, {ptr}"),
+        Opcode::Gep { ptr, index } => format!("getelementptr {ptr}, {index}"),
+        Opcode::Cast(c, v) => format!("{} {v}", c.name()),
+        Opcode::Call { callee, args } => {
+            let parts: Vec<String> = args.iter().map(|a| a.to_string()).collect();
+            format!("call @f{}({})", callee.index(), parts.join(", "))
+        }
+        Opcode::Br { target } => format!("br {}", bb_name(*target)),
+        Opcode::CondBr {
+            cond,
+            then_bb,
+            else_bb,
+        } => format!("br {cond}, {}, {}", bb_name(*then_bb), bb_name(*else_bb)),
+        Opcode::Switch {
+            value,
+            default,
+            cases,
+        } => {
+            let parts: Vec<String> = cases
+                .iter()
+                .map(|(c, bb)| format!("{c} -> {}", bb_name(*bb)))
+                .collect();
+            format!(
+                "switch {value}, default {} [{}]",
+                bb_name(*default),
+                parts.join(", ")
+            )
+        }
+        Opcode::Ret { value } => match value {
+            Some(v) => format!("ret {v}"),
+            None => "ret void".to_string(),
+        },
+        Opcode::Unreachable => "unreachable".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::inst::{BinOp, CmpPred};
+    use crate::module::Global;
+    use crate::types::Type;
+    use crate::value::Value;
+
+    #[test]
+    fn prints_function_with_all_shapes() {
+        let mut m = Module::new("demo");
+        let g = m.add_global(Global::constant("tbl", Type::I32, vec![1, 2]));
+        let mut b = FunctionBuilder::new("main", vec![Type::I32], Type::I32);
+        let t = b.new_block();
+        let e = b.new_block();
+        let j = b.new_block();
+        let c = b.icmp(CmpPred::Slt, b.arg(0), Value::i32(10));
+        b.cond_br(c, t, e);
+        b.switch_to(t);
+        let p = b.gep(Value::Global(g), Value::i32(1));
+        let v = b.load(Type::I32, p);
+        b.br(j);
+        b.switch_to(e);
+        let w = b.binary(BinOp::Add, b.arg(0), Value::i32(1));
+        b.br(j);
+        b.switch_to(j);
+        let phi = b.phi(Type::I32, vec![(t, v), (e, w)]);
+        b.ret(Some(phi));
+        m.add_function(b.finish());
+
+        let text = print_module(&m);
+        assert!(text.contains("define i32 @main"));
+        assert!(text.contains("icmp slt"));
+        assert!(text.contains("phi"));
+        assert!(text.contains("getelementptr"));
+        assert!(text.contains("@g0 = const"));
+        // Every live block is printed.
+        for i in 0..4 {
+            assert!(text.contains(&format!("b{i}:")), "missing block b{i}");
+        }
+    }
+
+    #[test]
+    fn void_instructions_have_no_result() {
+        let mut b = FunctionBuilder::new("f", vec![], Type::Void);
+        let a = b.alloca(Type::I32, 1);
+        b.store(a, Value::i32(1));
+        b.ret(None);
+        let text = print_function(&b.finish());
+        assert!(text.contains("store i32 1"));
+        assert!(text.contains("ret void"));
+        assert!(!text.contains("= void"));
+    }
+}

@@ -1,0 +1,502 @@
+//! Structural and SSA well-formedness checks.
+//!
+//! The verifier is the primary invariant in the pass property tests: every
+//! optimization pass must leave a verifiable module behind.
+
+use crate::cfg::Cfg;
+use crate::dom::DomTree;
+use crate::function::{BlockId, Function, InstId};
+use crate::inst::Opcode;
+use crate::module::{FuncId, Module};
+use crate::value::Value;
+use std::fmt;
+
+/// A verification failure with its location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VerifyError {
+    /// The function the problem is in (module-level problems use index 0's
+    /// id with an explanatory message).
+    pub func: String,
+    /// Description of the violation.
+    pub message: String,
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "verify error in @{}: {}", self.func, self.message)
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+/// Verify a whole module.
+///
+/// # Errors
+///
+/// Returns the first violation found: dangling function/global references,
+/// call-arity mismatches, or any per-function violation from
+/// [`verify_function`].
+pub fn verify_module(m: &Module) -> Result<(), VerifyError> {
+    for fid in m.func_ids() {
+        let f = m.func(fid);
+        verify_function(f).map_err(|msg| VerifyError {
+            func: f.name.clone(),
+            message: msg,
+        })?;
+        // Cross-function checks.
+        for bb in f.block_ids() {
+            for (_, inst) in f.insts_in(bb) {
+                if let Opcode::Call { callee, args } = &inst.op {
+                    if !m.func_exists(*callee) {
+                        return Err(VerifyError {
+                            func: f.name.clone(),
+                            message: format!("call to removed function f{}", callee.index()),
+                        });
+                    }
+                    let target = m.func(*callee);
+                    if args.len() != target.params.len() {
+                        return Err(VerifyError {
+                            func: f.name.clone(),
+                            message: format!(
+                                "call to @{} passes {} args, expected {}",
+                                target.name,
+                                args.len(),
+                                target.params.len()
+                            ),
+                        });
+                    }
+                    if inst.ty != target.ret_ty {
+                        return Err(VerifyError {
+                            func: f.name.clone(),
+                            message: format!(
+                                "call to @{} has result type {}, callee returns {}",
+                                target.name, inst.ty, target.ret_ty
+                            ),
+                        });
+                    }
+                }
+                let mut bad_global = None;
+                inst.for_each_operand(|v| {
+                    if let Value::Global(g) = v {
+                        if !m.global_exists(g) {
+                            bad_global = Some(g);
+                        }
+                    }
+                });
+                if let Some(g) = bad_global {
+                    return Err(VerifyError {
+                        func: f.name.clone(),
+                        message: format!("use of removed global g{}", g.index()),
+                    });
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Verify a single function. Returns a description of the first violation.
+///
+/// Checks: every block ends in exactly one terminator (and has no terminator
+/// mid-block); φ-nodes precede non-φ instructions and their incoming lists
+/// match the block's unique predecessors; branch targets exist; operand
+/// references point at live instructions; argument indices are in range;
+/// in reachable code every instruction use is dominated by its definition;
+/// the entry block has no φ-nodes; no instruction appears in two blocks.
+///
+/// # Errors
+///
+/// Returns a human-readable message describing the first violation.
+pub fn verify_function(f: &Function) -> Result<(), String> {
+    // Block-local structure.
+    let mut placement: Vec<Option<BlockId>> = vec![None; f.inst_capacity()];
+    for bb in f.block_ids() {
+        let insts = &f.block(bb).insts;
+        if insts.is_empty() {
+            return Err(format!("block b{} is empty", bb.index()));
+        }
+        let mut seen_non_phi = false;
+        for (i, &iid) in insts.iter().enumerate() {
+            if !f.inst_exists(iid) {
+                return Err(format!(
+                    "block b{} lists removed instruction %{}",
+                    bb.index(),
+                    iid.index()
+                ));
+            }
+            if let Some(other) = placement[iid.index()] {
+                return Err(format!(
+                    "instruction %{} appears in both b{} and b{}",
+                    iid.index(),
+                    other.index(),
+                    bb.index()
+                ));
+            }
+            placement[iid.index()] = Some(bb);
+            let inst = f.inst(iid);
+            let is_last = i == insts.len() - 1;
+            if inst.is_terminator() && !is_last {
+                return Err(format!(
+                    "terminator %{} is not last in b{}",
+                    iid.index(),
+                    bb.index()
+                ));
+            }
+            if is_last && !inst.is_terminator() {
+                return Err(format!("block b{} does not end in a terminator", bb.index()));
+            }
+            if inst.is_phi() {
+                if seen_non_phi {
+                    return Err(format!(
+                        "phi %{} after non-phi instruction in b{}",
+                        iid.index(),
+                        bb.index()
+                    ));
+                }
+                if bb == f.entry {
+                    return Err("phi in entry block".to_string());
+                }
+            } else {
+                seen_non_phi = true;
+            }
+            // Branch targets must exist.
+            for succ in inst.successors() {
+                if !f.block_exists(succ) {
+                    return Err(format!(
+                        "b{} branches to removed block b{}",
+                        bb.index(),
+                        succ.index()
+                    ));
+                }
+            }
+            // Operand references must be live.
+            let mut err: Option<String> = None;
+            inst.for_each_operand(|v| match v {
+                Value::Inst(id) if !f.inst_exists(id) => {
+                    err = Some(format!(
+                        "%{} uses removed instruction %{}",
+                        iid.index(),
+                        id.index()
+                    ));
+                }
+                Value::Arg(a) if a as usize >= f.params.len() => {
+                    err = Some(format!("%{} uses out-of-range %arg{}", iid.index(), a));
+                }
+                _ => {}
+            });
+            if let Some(e) = err {
+                return Err(e);
+            }
+        }
+    }
+
+    // CFG-level: φ incoming edges match unique predecessors in reachable code.
+    // Unreachable predecessors need no incoming entry (passes only maintain
+    // φ-nodes for live edges), but stray incoming from a non-predecessor is
+    // always an error.
+    let cfg = Cfg::new(f);
+    for &bb in cfg.rpo() {
+        let all_preds = cfg.unique_preds(bb);
+        let preds: Vec<BlockId> = all_preds
+            .iter()
+            .copied()
+            .filter(|p| cfg.is_reachable(*p))
+            .collect();
+        for (iid, inst) in f.insts_in(bb) {
+            if let Opcode::Phi { incoming } = &inst.op {
+                let mut in_blocks: Vec<BlockId> = incoming.iter().map(|(b, _)| *b).collect();
+                in_blocks.sort();
+                let mut dedup = in_blocks.clone();
+                dedup.dedup();
+                if dedup.len() != in_blocks.len() {
+                    return Err(format!(
+                        "phi %{} has duplicate incoming blocks",
+                        iid.index()
+                    ));
+                }
+                // Every reachable predecessor must have an incoming value,
+                // and every incoming block must be a predecessor.
+                for p in &preds {
+                    if !in_blocks.contains(p) {
+                        return Err(format!(
+                            "phi %{} in b{} missing incoming for pred b{}",
+                            iid.index(),
+                            bb.index(),
+                            p.index()
+                        ));
+                    }
+                }
+                for ib in &in_blocks {
+                    if !all_preds.contains(ib) {
+                        return Err(format!(
+                            "phi %{} in b{} has incoming from non-pred b{}",
+                            iid.index(),
+                            bb.index(),
+                            ib.index()
+                        ));
+                    }
+                }
+            }
+        }
+    }
+
+    // SSA dominance: defs dominate uses (reachable code only).
+    let dt = DomTree::new(f, &cfg);
+    let mut order_in_block: Vec<usize> = vec![0; f.inst_capacity()];
+    for bb in f.block_ids() {
+        for (i, &iid) in f.block(bb).insts.iter().enumerate() {
+            order_in_block[iid.index()] = i;
+        }
+    }
+    for &bb in cfg.rpo() {
+        for (iid, inst) in f.insts_in(bb) {
+            let mut err: Option<String> = None;
+            match &inst.op {
+                Opcode::Phi { incoming } => {
+                    for (pred, v) in incoming {
+                        if let Value::Inst(def) = v {
+                            if let Some(def_bb) = placement[def.index()] {
+                                if dt.is_reachable(*pred) && !dt.dominates(def_bb, *pred) {
+                                    err = Some(format!(
+                                        "phi %{} incoming %{} from b{} not dominated by def in b{}",
+                                        iid.index(),
+                                        def.index(),
+                                        pred.index(),
+                                        def_bb.index()
+                                    ));
+                                }
+                            } else {
+                                err = Some(format!(
+                                    "phi %{} uses unplaced instruction %{}",
+                                    iid.index(),
+                                    def.index()
+                                ));
+                            }
+                        }
+                    }
+                }
+                _ => {
+                    inst.for_each_operand(|v| {
+                        if err.is_some() {
+                            return;
+                        }
+                        if let Value::Inst(def) = v {
+                            match placement[def.index()] {
+                                Some(def_bb) if def_bb == bb => {
+                                    if order_in_block[def.index()] >= order_in_block[iid.index()] {
+                                        err = Some(format!(
+                                            "%{} used before defined in b{}",
+                                            def.index(),
+                                            bb.index()
+                                        ));
+                                    }
+                                }
+                                Some(def_bb) => {
+                                    if !dt.dominates(def_bb, bb) {
+                                        err = Some(format!(
+                                            "use of %{} in b{} not dominated by def in b{}",
+                                            def.index(),
+                                            bb.index(),
+                                            def_bb.index()
+                                        ));
+                                    }
+                                }
+                                None => {
+                                    err = Some(format!(
+                                        "%{} uses unplaced instruction %{}",
+                                        iid.index(),
+                                        def.index()
+                                    ));
+                                }
+                            }
+                        }
+                    });
+                }
+            }
+            if let Some(e) = err {
+                return Err(e);
+            }
+        }
+    }
+
+    Ok(())
+}
+
+/// Verify and panic with a pretty message on failure (test helper).
+///
+/// # Panics
+///
+/// Panics if the module fails verification.
+pub fn assert_verified(m: &Module) {
+    if let Err(e) = verify_module(m) {
+        panic!("{e}\n{}", crate::printer::print_module(m));
+    }
+}
+
+/// Identify the function id a name refers to, for diagnostics.
+pub fn func_named(m: &Module, name: &str) -> Option<FuncId> {
+    m.func_by_name(name)
+}
+
+/// Check a single instruction id is placed exactly once (debug helper).
+pub fn is_placed_once(f: &Function, id: InstId) -> bool {
+    let mut n = 0;
+    for bb in f.block_ids() {
+        n += f.block(bb).insts.iter().filter(|&&i| i == id).count();
+    }
+    n == 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::inst::{BinOp, CmpPred, Inst};
+    use crate::types::Type;
+
+    fn module_with(f: Function) -> Module {
+        let mut m = Module::new("t");
+        m.add_function(f);
+        m
+    }
+
+    #[test]
+    fn valid_function_passes() {
+        let mut b = FunctionBuilder::new("main", vec![Type::I32], Type::I32);
+        let t = b.new_block();
+        let e = b.new_block();
+        let j = b.new_block();
+        let c = b.icmp(CmpPred::Slt, b.arg(0), Value::i32(0));
+        b.cond_br(c, t, e);
+        b.switch_to(t);
+        let x = b.binary(BinOp::Add, b.arg(0), Value::i32(1));
+        b.br(j);
+        b.switch_to(e);
+        b.br(j);
+        b.switch_to(j);
+        let p = b.phi(Type::I32, vec![(t, x), (e, b.arg(0))]);
+        b.ret(Some(p));
+        assert!(verify_module(&module_with(b.finish())).is_ok());
+    }
+
+    #[test]
+    fn missing_terminator_caught() {
+        let mut f = Function::new("main", vec![], Type::Void);
+        let e = f.entry;
+        f.append_inst(
+            e,
+            Inst::new(
+                Type::I32,
+                Opcode::Binary(BinOp::Add, Value::i32(1), Value::i32(2)),
+            ),
+        );
+        assert!(verify_function(&f).unwrap_err().contains("terminator"));
+    }
+
+    #[test]
+    fn empty_block_caught() {
+        let f = Function::new("main", vec![], Type::Void);
+        assert!(verify_function(&f).unwrap_err().contains("empty"));
+    }
+
+    #[test]
+    fn phi_missing_pred_caught() {
+        let mut b = FunctionBuilder::new("main", vec![Type::I32], Type::I32);
+        let t = b.new_block();
+        let e = b.new_block();
+        let j = b.new_block();
+        let c = b.icmp(CmpPred::Slt, b.arg(0), Value::i32(0));
+        b.cond_br(c, t, e);
+        b.switch_to(t);
+        b.br(j);
+        b.switch_to(e);
+        b.br(j);
+        b.switch_to(j);
+        // phi only lists one of the two predecessors
+        let p = b.phi(Type::I32, vec![(t, Value::i32(1))]);
+        b.ret(Some(p));
+        let err = verify_function(&b.finish()).unwrap_err();
+        assert!(err.contains("missing incoming"), "{err}");
+    }
+
+    #[test]
+    fn use_before_def_caught() {
+        let mut f = Function::new("main", vec![], Type::I32);
+        let e = f.entry;
+        // ret uses %1 which is defined after it would run — construct use
+        // of a later instruction in the same block.
+        let later = InstId::from_index(1);
+        f.append_inst(
+            e,
+            Inst::new(
+                Type::I32,
+                Opcode::Binary(BinOp::Add, Value::Inst(later), Value::i32(1)),
+            ),
+        );
+        f.append_inst(
+            e,
+            Inst::new(
+                Type::I32,
+                Opcode::Binary(BinOp::Add, Value::i32(1), Value::i32(2)),
+            ),
+        );
+        f.append_inst(e, Inst::new(Type::Void, Opcode::Ret { value: None }));
+        let err = verify_function(&f).unwrap_err();
+        assert!(err.contains("used before defined"), "{err}");
+    }
+
+    #[test]
+    fn dangling_call_caught() {
+        let mut b = FunctionBuilder::new("main", vec![], Type::I32);
+        let r = b.call(FuncId::from_index(7), Type::I32, vec![]);
+        b.ret(Some(r));
+        let err = verify_module(&module_with(b.finish())).unwrap_err();
+        assert!(err.message.contains("removed function"));
+    }
+
+    #[test]
+    fn arity_mismatch_caught() {
+        let mut m = Module::new("t");
+        let callee = m.add_function(Function::new("f", vec![Type::I32], Type::Void));
+        {
+            let f = m.func_mut(callee);
+            let e = f.entry;
+            f.append_inst(e, Inst::new(Type::Void, Opcode::Ret { value: None }));
+        }
+        let mut b = FunctionBuilder::new("main", vec![], Type::Void);
+        b.call(callee, Type::Void, vec![]); // no args, callee wants 1
+        b.ret(None);
+        m.add_function(b.finish());
+        let err = verify_module(&m).unwrap_err();
+        assert!(err.message.contains("args"));
+    }
+
+    #[test]
+    fn cross_block_dominance_violation_caught() {
+        // then-block defines %x, join uses it directly (no phi): invalid.
+        let mut b = FunctionBuilder::new("main", vec![Type::I32], Type::I32);
+        let t = b.new_block();
+        let e = b.new_block();
+        let j = b.new_block();
+        let c = b.icmp(CmpPred::Slt, b.arg(0), Value::i32(0));
+        b.cond_br(c, t, e);
+        b.switch_to(t);
+        let x = b.binary(BinOp::Add, b.arg(0), Value::i32(1));
+        b.br(j);
+        b.switch_to(e);
+        b.br(j);
+        b.switch_to(j);
+        b.ret(Some(x)); // use not dominated by def
+        let err = verify_function(&b.finish()).unwrap_err();
+        assert!(err.contains("not dominated"), "{err}");
+    }
+
+    #[test]
+    fn phi_in_entry_caught() {
+        let mut f = Function::new("main", vec![], Type::I32);
+        let e = f.entry;
+        f.append_inst(f.entry, Inst::new(Type::I32, Opcode::Phi { incoming: vec![] }));
+        f.append_inst(e, Inst::new(Type::Void, Opcode::Ret { value: None }));
+        assert!(verify_function(&f).unwrap_err().contains("entry"));
+    }
+}

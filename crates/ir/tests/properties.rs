@@ -1,0 +1,179 @@
+//! Property tests of the IR's algebraic core and analyses.
+
+use autophase_ir::fold::{eval_binop, eval_cast, eval_icmp};
+use autophase_ir::{BinOp, CastOp, CmpPred, Type};
+use proptest::prelude::*;
+
+fn int_types() -> impl Strategy<Value = Type> {
+    prop_oneof![
+        Just(Type::I1),
+        Just(Type::I8),
+        Just(Type::I16),
+        Just(Type::I32),
+        Just(Type::I64),
+    ]
+}
+
+proptest! {
+    /// Results are always in the type's canonical (sign-extended) range.
+    #[test]
+    fn binop_results_canonical(ty in int_types(), a in any::<i64>(), b in any::<i64>()) {
+        for op in BinOp::ALL {
+            let r = eval_binop(op, ty, ty.wrap(a), ty.wrap(b));
+            prop_assert_eq!(r, ty.wrap(r), "{:?} at {} not canonical", op, ty);
+        }
+    }
+
+    /// Commutative ops commute; associative ops associate (on canonical
+    /// inputs).
+    #[test]
+    fn algebraic_laws(ty in int_types(), a in any::<i64>(), b in any::<i64>(), c in any::<i64>()) {
+        let (a, b, c) = (ty.wrap(a), ty.wrap(b), ty.wrap(c));
+        for op in BinOp::ALL {
+            if op.is_commutative() {
+                prop_assert_eq!(eval_binop(op, ty, a, b), eval_binop(op, ty, b, a));
+            }
+            if op.is_associative() {
+                let l = eval_binop(op, ty, eval_binop(op, ty, a, b), c);
+                let r = eval_binop(op, ty, a, eval_binop(op, ty, b, c));
+                prop_assert_eq!(l, r, "{:?} not associative at {}", op, ty);
+            }
+        }
+    }
+
+    /// The icmp predicate trichotomy: exactly one of <, ==, > holds (signed
+    /// and unsigned).
+    #[test]
+    fn icmp_trichotomy(ty in int_types(), a in any::<i64>(), b in any::<i64>()) {
+        let (a, b) = (ty.wrap(a), ty.wrap(b));
+        let signed = [CmpPred::Slt, CmpPred::Eq, CmpPred::Sgt];
+        let hits = signed.iter().filter(|&&p| eval_icmp(p, ty, a, b) != 0).count();
+        prop_assert_eq!(hits, 1);
+        let unsigned = [CmpPred::Ult, CmpPred::Eq, CmpPred::Ugt];
+        let hits = unsigned.iter().filter(|&&p| eval_icmp(p, ty, a, b) != 0).count();
+        prop_assert_eq!(hits, 1);
+    }
+
+    /// `swapped` and `inverse` mean what they claim.
+    #[test]
+    fn pred_swap_inverse_semantics(ty in int_types(), a in any::<i64>(), b in any::<i64>()) {
+        let (a, b) = (ty.wrap(a), ty.wrap(b));
+        for p in CmpPred::ALL {
+            prop_assert_eq!(
+                eval_icmp(p, ty, a, b),
+                eval_icmp(p.swapped(), ty, b, a),
+                "{:?} swap", p
+            );
+            prop_assert_eq!(
+                eval_icmp(p, ty, a, b) != 0,
+                eval_icmp(p.inverse(), ty, a, b) == 0,
+                "{:?} inverse", p
+            );
+        }
+    }
+
+    /// trunc∘sext is the identity; trunc∘zext is the identity; sext/zext
+    /// agree on non-negative values.
+    #[test]
+    fn cast_roundtrips(v in any::<i64>()) {
+        let small = Type::I16.wrap(v);
+        let s = eval_cast(CastOp::SExt, Type::I16, Type::I64, small);
+        prop_assert_eq!(eval_cast(CastOp::Trunc, Type::I64, Type::I16, s), small);
+        let z = eval_cast(CastOp::ZExt, Type::I16, Type::I64, small);
+        prop_assert_eq!(eval_cast(CastOp::Trunc, Type::I64, Type::I16, z), small);
+        if small >= 0 {
+            prop_assert_eq!(s, z);
+        }
+    }
+
+    /// Division semantics: (a/b)*b + a%b == a whenever b != 0 (signed and
+    /// unsigned, any width).
+    #[test]
+    fn div_rem_identity(ty in int_types(), a in any::<i64>(), b in any::<i64>()) {
+        let (a, b) = (ty.wrap(a), ty.wrap(b));
+        prop_assume!(b != 0);
+        let q = eval_binop(BinOp::SDiv, ty, a, b);
+        let r = eval_binop(BinOp::SRem, ty, a, b);
+        let back = eval_binop(BinOp::Add, ty, eval_binop(BinOp::Mul, ty, q, b), r);
+        prop_assert_eq!(back, a, "signed at {}", ty);
+        let q = eval_binop(BinOp::UDiv, ty, a, b);
+        let r = eval_binop(BinOp::URem, ty, a, b);
+        let back = eval_binop(BinOp::Add, ty, eval_binop(BinOp::Mul, ty, q, b), r);
+        prop_assert_eq!(back, a, "unsigned at {}", ty);
+    }
+
+    /// Shifts by the masked amount match shifts by the raw amount.
+    #[test]
+    fn shift_amount_masking(ty in int_types(), a in any::<i64>(), s in any::<i64>()) {
+        let a = ty.wrap(a);
+        let masked = s & (ty.bits() as i64 - 1);
+        for op in [BinOp::Shl, BinOp::LShr, BinOp::AShr] {
+            prop_assert_eq!(
+                eval_binop(op, ty, a, s),
+                eval_binop(op, ty, a, masked),
+                "{:?} at {}", op, ty
+            );
+        }
+    }
+}
+
+mod structural {
+    use autophase_ir::cfg::Cfg;
+    use autophase_ir::dom::DomTree;
+    use autophase_ir::loops::find_loops;
+    use autophase_progen::{generate_valid, GenConfig};
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+        /// Dominator-tree laws on generated programs: entry dominates every
+        /// reachable block; idom strictly dominates its node; loop headers
+        /// dominate all their blocks.
+        #[test]
+        fn dominator_and_loop_laws(seed in 0u64..3000) {
+            let m = generate_valid(&GenConfig::default(), seed);
+            for fid in m.func_ids() {
+                let f = m.func(fid);
+                let cfg = Cfg::new(f);
+                let dt = DomTree::new(f, &cfg);
+                for &bb in cfg.rpo() {
+                    prop_assert!(dt.dominates(f.entry, bb));
+                    if let Some(idom) = dt.idom(bb) {
+                        prop_assert!(dt.strictly_dominates(idom, bb));
+                    }
+                }
+                for l in find_loops(f, &cfg, &dt) {
+                    for &bb in &l.blocks {
+                        prop_assert!(dt.dominates(l.header, bb), "header must dominate loop body");
+                    }
+                    for &latch in &l.latches {
+                        prop_assert!(l.contains(latch));
+                        prop_assert!(cfg.succs(latch).contains(&l.header));
+                    }
+                    for &e in &l.exits {
+                        prop_assert!(!l.contains(e));
+                    }
+                }
+            }
+        }
+
+        /// The printer emits one line per live instruction (smoke-level
+        /// structural consistency of the textual form).
+        #[test]
+        fn printer_covers_all_instructions(seed in 0u64..3000) {
+            let m = generate_valid(&GenConfig::default(), seed);
+            let text = autophase_ir::printer::print_module(&m);
+            for fid in m.func_ids() {
+                let f = m.func(fid);
+                // every block label appears
+                for bb in f.block_ids() {
+                    let label = format!("b{}:", bb.index());
+                    prop_assert!(text.contains(&label), "missing block label");
+                }
+            }
+            let printed_insts = text.lines().filter(|l| l.starts_with("  ")).count();
+            prop_assert_eq!(printed_insts, m.num_insts());
+        }
+    }
+}

@@ -1,0 +1,369 @@
+//! Multi-layer perceptron with backprop and Adam.
+
+use crate::matrix::Matrix;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// Hidden-layer activation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Activation {
+    /// `tanh(x)` (the paper's RLlib default for PPO).
+    Tanh,
+    /// `max(0, x)`.
+    Relu,
+}
+
+impl Activation {
+    fn apply(self, x: f64) -> f64 {
+        match self {
+            Activation::Tanh => x.tanh(),
+            Activation::Relu => x.max(0.0),
+        }
+    }
+
+    /// Derivative expressed in terms of the activation *output*.
+    fn derivative_from_output(self, y: f64) -> f64 {
+        match self {
+            Activation::Tanh => 1.0 - y * y,
+            Activation::Relu => {
+                if y > 0.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+        }
+    }
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct Dense {
+    w: Matrix,
+    b: Vec<f64>,
+    // Accumulated gradients.
+    gw: Matrix,
+    gb: Vec<f64>,
+    // Adam moments.
+    mw: Matrix,
+    vw: Matrix,
+    mb: Vec<f64>,
+    vb: Vec<f64>,
+}
+
+impl Dense {
+    fn new(inputs: usize, outputs: usize, rng: &mut StdRng) -> Dense {
+        Dense {
+            w: Matrix::xavier(outputs, inputs, rng),
+            b: vec![0.0; outputs],
+            gw: Matrix::zeros(outputs, inputs),
+            gb: vec![0.0; outputs],
+            mw: Matrix::zeros(outputs, inputs),
+            vw: Matrix::zeros(outputs, inputs),
+            mb: vec![0.0; outputs],
+            vb: vec![0.0; outputs],
+        }
+    }
+}
+
+/// A feed-forward network with dense layers, nonlinear hidden activations,
+/// and a linear output layer.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Mlp {
+    layers: Vec<Dense>,
+    activation: Activation,
+    /// Adam step counter.
+    t: u64,
+    /// Samples accumulated since the last [`Mlp::step`].
+    pending: usize,
+}
+
+impl Mlp {
+    /// Build a network with the given layer sizes, e.g. `[56, 256, 256, 46]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two sizes are given.
+    pub fn new(sizes: &[usize], activation: Activation, seed: u64) -> Mlp {
+        assert!(sizes.len() >= 2, "need at least input and output sizes");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let layers = sizes
+            .windows(2)
+            .map(|w| Dense::new(w[0], w[1], &mut rng))
+            .collect();
+        Mlp {
+            layers,
+            activation,
+            t: 0,
+            pending: 0,
+        }
+    }
+
+    /// Input dimension.
+    pub fn input_dim(&self) -> usize {
+        self.layers[0].w.cols()
+    }
+
+    /// Output dimension.
+    pub fn output_dim(&self) -> usize {
+        self.layers.last().expect("nonempty").w.rows()
+    }
+
+    /// Forward pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != input_dim()`.
+    pub fn forward(&self, x: &[f64]) -> Vec<f64> {
+        self.forward_cached(x).pop().expect("nonempty activations")
+    }
+
+    /// Forward pass returning every layer's activation (last = output).
+    fn forward_cached(&self, x: &[f64]) -> Vec<Vec<f64>> {
+        let mut acts: Vec<Vec<f64>> = Vec::with_capacity(self.layers.len());
+        let mut cur = x.to_vec();
+        for (li, layer) in self.layers.iter().enumerate() {
+            let mut y = layer.w.matvec(&cur);
+            for (yi, bi) in y.iter_mut().zip(&layer.b) {
+                *yi += bi;
+            }
+            if li + 1 < self.layers.len() {
+                for v in &mut y {
+                    *v = self.activation.apply(*v);
+                }
+            }
+            acts.push(y.clone());
+            cur = y;
+        }
+        acts
+    }
+
+    /// Accumulate gradients for one sample given `dLoss/dOutput`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatches.
+    pub fn backward(&mut self, x: &[f64], dl_dy: &[f64]) {
+        assert_eq!(dl_dy.len(), self.output_dim(), "output grad mismatch");
+        let acts = self.forward_cached(x);
+        let mut delta = dl_dy.to_vec();
+        for li in (0..self.layers.len()).rev() {
+            // Input to this layer:
+            let input: &[f64] = if li == 0 { x } else { &acts[li - 1] };
+            // Nonlinear layers: modulate by activation derivative.
+            if li + 1 < self.layers.len() {
+                let out = &acts[li];
+                for (d, &o) in delta.iter_mut().zip(out) {
+                    *d *= self.activation.derivative_from_output(o);
+                }
+            }
+            self.layers[li].gw.add_outer(&delta, input);
+            for (g, d) in self.layers[li].gb.iter_mut().zip(&delta) {
+                *g += d;
+            }
+            if li > 0 {
+                delta = self.layers[li].w.matvec_t(&delta);
+            }
+        }
+        self.pending += 1;
+    }
+
+    /// Apply one Adam update from the accumulated (mean) gradients, then
+    /// clear them. No-op when nothing is pending.
+    pub fn step(&mut self, lr: f64) {
+        if self.pending == 0 {
+            return;
+        }
+        let scale = 1.0 / self.pending as f64;
+        self.t += 1;
+        let (b1, b2, eps): (f64, f64, f64) = (0.9, 0.999, 1e-8);
+        let bc1 = 1.0 - b1.powi(self.t as i32);
+        let bc2 = 1.0 - b2.powi(self.t as i32);
+        for layer in &mut self.layers {
+            for i in 0..layer.w.data().len() {
+                let g = layer.gw.data()[i] * scale;
+                let m = b1 * layer.mw.data()[i] + (1.0 - b1) * g;
+                let v = b2 * layer.vw.data()[i] + (1.0 - b2) * g * g;
+                layer.mw.data_mut()[i] = m;
+                layer.vw.data_mut()[i] = v;
+                let mhat = m / bc1;
+                let vhat = v / bc2;
+                layer.w.data_mut()[i] -= lr * mhat / (vhat.sqrt() + eps);
+            }
+            for i in 0..layer.b.len() {
+                let g = layer.gb[i] * scale;
+                let m = b1 * layer.mb[i] + (1.0 - b1) * g;
+                let v = b2 * layer.vb[i] + (1.0 - b2) * g * g;
+                layer.mb[i] = m;
+                layer.vb[i] = v;
+                layer.b[i] -= lr * (m / bc1) / ((v / bc2).sqrt() + eps);
+            }
+            layer.gw.clear();
+            layer.gb.iter_mut().for_each(|g| *g = 0.0);
+        }
+        self.pending = 0;
+    }
+
+    /// Discard accumulated gradients without stepping.
+    pub fn zero_grad(&mut self) {
+        for layer in &mut self.layers {
+            layer.gw.clear();
+            layer.gb.iter_mut().for_each(|g| *g = 0.0);
+        }
+        self.pending = 0;
+    }
+
+    /// Flatten all parameters (used by the evolution-strategies agent).
+    pub fn parameters(&self) -> Vec<f64> {
+        let mut out = Vec::new();
+        for layer in &self.layers {
+            out.extend_from_slice(layer.w.data());
+            out.extend_from_slice(&layer.b);
+        }
+        out
+    }
+
+    /// Overwrite all parameters from a flat vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params.len()` does not match [`Mlp::parameters`].
+    pub fn set_parameters(&mut self, params: &[f64]) {
+        let mut off = 0;
+        for layer in &mut self.layers {
+            let wlen = layer.w.data().len();
+            layer.w.data_mut().copy_from_slice(&params[off..off + wlen]);
+            off += wlen;
+            let blen = layer.b.len();
+            layer.b.copy_from_slice(&params[off..off + blen]);
+            off += blen;
+        }
+        assert_eq!(off, params.len(), "parameter vector length mismatch");
+    }
+
+    /// Number of scalar parameters.
+    pub fn num_parameters(&self) -> usize {
+        self.layers
+            .iter()
+            .map(|l| l.w.data().len() + l.b.len())
+            .sum()
+    }
+}
+
+/// Numerically stable softmax.
+pub fn softmax(logits: &[f64]) -> Vec<f64> {
+    let max = logits.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let exps: Vec<f64> = logits.iter().map(|&l| (l - max).exp()).collect();
+    let sum: f64 = exps.iter().sum();
+    exps.into_iter().map(|e| e / sum).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gradient_matches_finite_differences() {
+        let mut net = Mlp::new(&[3, 5, 2], Activation::Tanh, 7);
+        let x = [0.3, -0.7, 1.1];
+        // Loss = sum of outputs (dL/dy = 1).
+        let loss = |n: &Mlp| -> f64 { n.forward(&x).iter().sum() };
+
+        net.backward(&x, &[1.0, 1.0]);
+        // Extract analytic gradient of first-layer weight (0,0) by probing.
+        let analytic = net.layers[0].gw.get(0, 0);
+
+        let eps = 1e-6;
+        let mut plus = net.clone();
+        *plus.layers[0].w.get_mut(0, 0) += eps;
+        let mut minus = net.clone();
+        *minus.layers[0].w.get_mut(0, 0) -= eps;
+        let numeric = (loss(&plus) - loss(&minus)) / (2.0 * eps);
+        assert!(
+            (analytic - numeric).abs() < 1e-6,
+            "analytic {analytic} vs numeric {numeric}"
+        );
+    }
+
+    #[test]
+    fn bias_gradient_matches_finite_differences() {
+        let mut net = Mlp::new(&[2, 4, 3], Activation::Relu, 9);
+        let x = [0.9, 0.4];
+        let loss = |n: &Mlp| -> f64 {
+            let y = n.forward(&x);
+            y.iter().map(|v| v * v).sum::<f64>() * 0.5
+        };
+        let y = net.forward(&x);
+        net.backward(&x, &y); // dL/dy = y for 0.5*||y||^2
+        let analytic = net.layers[1].gb[1];
+        let eps = 1e-6;
+        let mut plus = net.clone();
+        plus.layers[1].b[1] += eps;
+        let mut minus = net.clone();
+        minus.layers[1].b[1] -= eps;
+        let numeric = (loss(&plus) - loss(&minus)) / (2.0 * eps);
+        assert!((analytic - numeric).abs() < 1e-6);
+    }
+
+    #[test]
+    fn learns_linear_function() {
+        let mut net = Mlp::new(&[2, 16, 1], Activation::Tanh, 3);
+        for _ in 0..600 {
+            for (a, b) in [(0.1, 0.9), (0.5, -0.5), (-0.3, 0.2), (0.8, 0.4)] {
+                let target = a - b;
+                let y = net.forward(&[a, b]);
+                net.backward(&[a, b], &[y[0] - target]);
+                net.step(5e-3);
+            }
+        }
+        let y = net.forward(&[0.2, 0.1]);
+        assert!((y[0] - 0.1).abs() < 0.05, "got {}", y[0]);
+    }
+
+    #[test]
+    fn parameter_roundtrip() {
+        let net = Mlp::new(&[4, 8, 3], Activation::Relu, 5);
+        let p = net.parameters();
+        assert_eq!(p.len(), net.num_parameters());
+        let mut other = Mlp::new(&[4, 8, 3], Activation::Relu, 99);
+        other.set_parameters(&p);
+        let x = [1.0, -1.0, 0.5, 0.0];
+        assert_eq!(net.forward(&x), other.forward(&x));
+    }
+
+    #[test]
+    fn softmax_properties() {
+        let p = softmax(&[1.0, 2.0, 3.0]);
+        let s: f64 = p.iter().sum();
+        assert!((s - 1.0).abs() < 1e-12);
+        assert!(p[2] > p[1] && p[1] > p[0]);
+        // Stability with huge logits.
+        let p = softmax(&[1000.0, 1000.0]);
+        assert!((p[0] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn step_without_backward_is_noop() {
+        let mut net = Mlp::new(&[2, 4, 1], Activation::Tanh, 11);
+        let before = net.parameters();
+        net.step(1e-2);
+        assert_eq!(before, net.parameters());
+    }
+
+    #[test]
+    fn zero_grad_discards() {
+        let mut net = Mlp::new(&[2, 4, 1], Activation::Tanh, 13);
+        let before = net.parameters();
+        net.backward(&[1.0, 1.0], &[1.0]);
+        net.zero_grad();
+        net.step(1e-2);
+        assert_eq!(before, net.parameters());
+    }
+
+    #[test]
+    fn deterministic_construction() {
+        let a = Mlp::new(&[3, 8, 2], Activation::Tanh, 42);
+        let b = Mlp::new(&[3, 8, 2], Activation::Tanh, 42);
+        assert_eq!(a.parameters(), b.parameters());
+    }
+}

@@ -1,0 +1,174 @@
+//! `-adce`: aggressive dead-code elimination.
+//!
+//! Mark-and-sweep over each function: roots are instructions with side
+//! effects (stores, non-`readnone` calls, terminators); everything not
+//! transitively required by a root is deleted. Unlike trivial DCE this
+//! kills dead φ-cycles in one shot.
+
+use crate::util;
+use autophase_ir::{FuncId, InstId, Module, Value};
+use std::collections::HashSet;
+
+/// Run the pass. Returns true if anything was removed.
+pub fn run(m: &mut Module) -> bool {
+    util::for_each_function(m, sweep_function)
+}
+
+fn sweep_function(m: &mut Module, fid: FuncId) -> bool {
+    let f = m.func(fid);
+    let mut live: HashSet<InstId> = HashSet::new();
+    let mut work: Vec<InstId> = Vec::new();
+
+    for bb in f.block_ids() {
+        for &iid in &f.block(bb).insts {
+            let inst = f.inst(iid);
+            let rooted = inst.is_terminator() || !util::is_pure(m, inst);
+            if rooted && live.insert(iid) {
+                work.push(iid);
+            }
+        }
+    }
+    while let Some(iid) = work.pop() {
+        f.inst(iid).for_each_operand(|v| {
+            if let Value::Inst(dep) = v {
+                if f.inst_exists(dep) && live.insert(dep) {
+                    work.push(dep);
+                }
+            }
+        });
+    }
+
+    let mut victims: Vec<(autophase_ir::BlockId, InstId)> = Vec::new();
+    let mut dead: std::collections::HashSet<InstId> = std::collections::HashSet::new();
+    for bb in f.block_ids() {
+        for &iid in &f.block(bb).insts {
+            if !live.contains(&iid) {
+                victims.push((bb, iid));
+                dead.insert(iid);
+            }
+        }
+    }
+    if victims.is_empty() {
+        return false;
+    }
+    let f = m.func_mut(fid);
+    // Break operand references among dead instructions first (φ-cycles) —
+    // one sweep over the dead set, not one whole-function pass per victim.
+    for &(_, iid) in &victims {
+        let ty = f.inst(iid).ty;
+        f.inst_mut(iid).for_each_operand_mut(|v| {
+            if let Value::Inst(dep) = *v {
+                if dead.contains(&dep) {
+                    *v = Value::Undef(ty);
+                }
+            }
+        });
+    }
+    for (bb, iid) in victims {
+        f.remove_inst(bb, iid);
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autophase_ir::builder::FunctionBuilder;
+    use autophase_ir::verify::assert_verified;
+    use autophase_ir::{BinOp, Type};
+
+    fn module_with(f: autophase_ir::Function) -> Module {
+        let mut m = Module::new("t");
+        m.add_function(f);
+        m
+    }
+
+    #[test]
+    fn removes_dead_phi_cycle() {
+        // A loop-carried φ feeding only itself (plus an add) is dead.
+        let mut b = FunctionBuilder::new("main", vec![], Type::I32);
+        let acc = b.alloca(Type::I32, 1);
+        b.store(acc, Value::i32(0));
+        b.counted_loop(Value::i32(5), |b, _i| {
+            // dead chain: d = d_prev * 3 through a φ — emulate via alloca-free φ
+            let x = b.binary(BinOp::Mul, Value::i32(3), Value::i32(3));
+            let _dead = b.binary(BinOp::Add, x, Value::i32(1));
+        });
+        let r = b.load(Type::I32, acc);
+        b.ret(Some(r));
+        let mut m = module_with(b.finish());
+        let n_before = m.num_insts();
+        assert!(run(&mut m));
+        assert_verified(&m);
+        assert!(m.num_insts() < n_before);
+    }
+
+    #[test]
+    fn keeps_stores_and_their_inputs() {
+        let mut b = FunctionBuilder::new("main", vec![], Type::I32);
+        let p = b.alloca(Type::I32, 1);
+        let v = b.binary(BinOp::Add, Value::i32(1), Value::i32(2));
+        b.store(p, v);
+        let r = b.load(Type::I32, p);
+        b.ret(Some(r));
+        let mut m = module_with(b.finish());
+        assert!(!run(&mut m)); // everything is live
+        assert_eq!(m.num_insts(), 5);
+    }
+
+    #[test]
+    fn dead_call_to_readnone_removed() {
+        let mut m = Module::new("t");
+        let callee = {
+            let mut b = FunctionBuilder::new("pure_fn", vec![], Type::I32);
+            b.ret(Some(Value::i32(1)));
+            m.add_function(b.finish())
+        };
+        m.func_mut(callee).attrs.readnone = true;
+        let mut b = FunctionBuilder::new("main", vec![], Type::I32);
+        let _unused = b.call(callee, Type::I32, vec![]);
+        b.ret(Some(Value::i32(0)));
+        m.add_function(b.finish());
+        assert!(run(&mut m));
+        assert_eq!(m.func(m.main().unwrap()).num_insts(), 1);
+    }
+
+    #[test]
+    fn dead_call_without_attrs_kept() {
+        let mut m = Module::new("t");
+        let callee = {
+            let mut b = FunctionBuilder::new("opaque_fn", vec![], Type::I32);
+            b.ret(Some(Value::i32(1)));
+            m.add_function(b.finish())
+        };
+        let mut b = FunctionBuilder::new("main", vec![], Type::I32);
+        let _unused = b.call(callee, Type::I32, vec![]);
+        b.ret(Some(Value::i32(0)));
+        m.add_function(b.finish());
+        assert!(!run(&mut m));
+    }
+
+    #[test]
+    fn semantics_preserved() {
+        let mut b = FunctionBuilder::new("main", vec![], Type::I32);
+        let acc = b.alloca(Type::I32, 1);
+        b.store(acc, Value::i32(2));
+        b.counted_loop(Value::i32(4), |b, i| {
+            let dead = b.binary(BinOp::Mul, i, i);
+            let _dead2 = b.binary(BinOp::Add, dead, Value::i32(7));
+            let c = b.load(Type::I32, acc);
+            let n = b.binary(BinOp::Mul, c, Value::i32(2));
+            b.store(acc, n);
+        });
+        let r = b.load(Type::I32, acc);
+        b.ret(Some(r));
+        let mut m = module_with(b.finish());
+        let before = autophase_ir::interp::run_main(&m, 100_000).unwrap().observable();
+        assert!(run(&mut m));
+        assert_verified(&m);
+        assert_eq!(
+            autophase_ir::interp::run_main(&m, 100_000).unwrap().observable(),
+            before
+        );
+    }
+}

@@ -1,0 +1,246 @@
+//! `-early-cse`: block-local common-subexpression elimination with
+//! store-to-load forwarding.
+//!
+//! Within each basic block, pure computations with identical opcodes and
+//! operands are deduplicated, loads repeated from the same unclobbered
+//! address are reused, and a load immediately dominated (in the block) by a
+//! store to the same address is replaced by the stored value.
+
+use crate::util;
+use autophase_ir::{FuncId, InstId, Module, Opcode, Value};
+use std::collections::HashMap;
+
+/// Run the pass. Returns true if anything changed.
+pub fn run(m: &mut Module) -> bool {
+    util::for_each_function(m, |m, fid| {
+        let changed = cse_function(m, fid);
+        if changed {
+            util::delete_dead(m, fid);
+        }
+        changed
+    })
+}
+
+/// Hashable key for a pure computation.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub(crate) struct ExprKey {
+    pub mnemonic: &'static str,
+    pub detail: String,
+    pub operands: Vec<Value>,
+}
+
+pub(crate) fn expr_key(inst: &autophase_ir::Inst) -> Option<ExprKey> {
+    let detail = match &inst.op {
+        Opcode::Binary(op, a, b) => {
+            // Canonicalize commutative operand order for better hits.
+            let (a, b) = if op.is_commutative() {
+                let mut pair = [*a, *b];
+                pair.sort_by_key(|v| format!("{v:?}"));
+                (pair[0], pair[1])
+            } else {
+                (*a, *b)
+            };
+            return Some(ExprKey {
+                mnemonic: "bin",
+                detail: format!("{}:{}", op.name(), inst.ty),
+                operands: vec![a, b],
+            });
+        }
+        Opcode::ICmp(p, ..) => p.name().to_string(),
+        Opcode::Select { .. } => String::new(),
+        Opcode::Cast(c, _) => format!("{}:{}", c.name(), inst.ty),
+        Opcode::Gep { .. } => String::new(),
+        _ => return None,
+    };
+    Some(ExprKey {
+        mnemonic: inst.mnemonic(),
+        detail,
+        operands: inst.operands(),
+    })
+}
+
+fn cse_function(m: &mut Module, fid: FuncId) -> bool {
+    let mut changed = false;
+    let blocks: Vec<_> = m.func(fid).block_ids().collect();
+    for bb in blocks {
+        // available pure expressions → defining instruction
+        let mut avail: HashMap<ExprKey, InstId> = HashMap::new();
+        // address → last known stored/loaded value
+        let mut mem: HashMap<Value, Value> = HashMap::new();
+        let insts: Vec<InstId> = m.func(fid).block(bb).insts.clone();
+        for iid in insts {
+            if !m.func(fid).inst_exists(iid) {
+                continue;
+            }
+            let inst = m.func(fid).inst(iid).clone();
+            match &inst.op {
+                Opcode::Load { ptr } => {
+                    if let Some(&known) = mem.get(ptr) {
+                        let f = m.func_mut(fid);
+                        f.replace_all_uses(Value::Inst(iid), known);
+                        f.remove_inst(bb, iid);
+                        changed = true;
+                    } else {
+                        mem.insert(*ptr, Value::Inst(iid));
+                    }
+                }
+                Opcode::Store { ptr, value } => {
+                    // Invalidate may-alias entries, then record.
+                    let f = m.func(fid);
+                    let keys: Vec<Value> = mem.keys().copied().collect();
+                    for k in keys {
+                        if util::may_alias(f, k, *ptr) {
+                            mem.remove(&k);
+                        }
+                    }
+                    mem.insert(*ptr, *value);
+                }
+                Opcode::Call { .. } => {
+                    if !util::is_pure(m, &inst) {
+                        mem.clear();
+                    }
+                }
+                _ => {
+                    if util::is_pure_no_read(m, &inst) && !inst.ty.is_void() {
+                        if let Some(key) = expr_key(&inst) {
+                            if let Some(&prev) = avail.get(&key) {
+                                let f = m.func_mut(fid);
+                                f.replace_all_uses(Value::Inst(iid), Value::Inst(prev));
+                                f.remove_inst(bb, iid);
+                                changed = true;
+                            } else {
+                                avail.insert(key, iid);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    changed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autophase_ir::builder::FunctionBuilder;
+    use autophase_ir::interp::run_main;
+    use autophase_ir::verify::assert_verified;
+    use autophase_ir::{BinOp, CmpPred, Type};
+
+    fn module_with(f: autophase_ir::Function) -> Module {
+        let mut m = Module::new("t");
+        m.add_function(f);
+        m
+    }
+
+    #[test]
+    fn duplicate_adds_merged() {
+        let mut b = FunctionBuilder::new("main", vec![Type::I32], Type::I32);
+        let x = b.binary(BinOp::Add, b.arg(0), Value::i32(3));
+        let y = b.binary(BinOp::Add, b.arg(0), Value::i32(3));
+        let s = b.binary(BinOp::Mul, x, y);
+        b.ret(Some(s));
+        let mut m = module_with(b.finish());
+        assert!(run(&mut m));
+        assert_verified(&m);
+        assert_eq!(m.func(m.main().unwrap()).num_insts(), 3);
+    }
+
+    #[test]
+    fn commutative_operands_matched() {
+        let mut b = FunctionBuilder::new("main", vec![Type::I32, Type::I32], Type::I32);
+        let x = b.binary(BinOp::Mul, b.arg(0), b.arg(1));
+        let y = b.binary(BinOp::Mul, b.arg(1), b.arg(0));
+        let s = b.binary(BinOp::Add, x, y);
+        b.ret(Some(s));
+        let mut m = module_with(b.finish());
+        assert!(run(&mut m));
+        assert_eq!(m.func(m.main().unwrap()).num_insts(), 3);
+    }
+
+    #[test]
+    fn store_to_load_forwarding() {
+        let mut b = FunctionBuilder::new("main", vec![], Type::I32);
+        let p = b.alloca(Type::I32, 1);
+        b.store(p, Value::i32(42));
+        let v = b.load(Type::I32, p); // forwarded
+        b.ret(Some(v));
+        let mut m = module_with(b.finish());
+        assert!(run(&mut m));
+        assert_verified(&m);
+        assert_eq!(run_main(&m, 100).unwrap().return_value, Some(42));
+        let f = m.func(m.main().unwrap());
+        let loads = f
+            .block_ids()
+            .flat_map(|bb| f.block(bb).insts.clone())
+            .filter(|&i| matches!(f.inst(i).op, Opcode::Load { .. }))
+            .count();
+        assert_eq!(loads, 0);
+    }
+
+    #[test]
+    fn repeated_load_reused() {
+        let mut b = FunctionBuilder::new("main", vec![Type::Ptr], Type::I32);
+        let v1 = b.load(Type::I32, b.arg(0));
+        let v2 = b.load(Type::I32, b.arg(0));
+        let s = b.binary(BinOp::Add, v1, v2);
+        b.ret(Some(s));
+        let mut m = module_with(b.finish());
+        assert!(run(&mut m));
+        let f = m.func(m.main().unwrap());
+        let loads = f
+            .block_ids()
+            .flat_map(|bb| f.block(bb).insts.clone())
+            .filter(|&i| matches!(f.inst(i).op, Opcode::Load { .. }))
+            .count();
+        assert_eq!(loads, 1);
+    }
+
+    #[test]
+    fn aliasing_store_invalidates() {
+        // Store to unknown pointer q between load(p)s: loads not merged.
+        let mut b = FunctionBuilder::new("main", vec![Type::Ptr, Type::Ptr], Type::I32);
+        let v1 = b.load(Type::I32, b.arg(0));
+        b.store(b.arg(1), Value::i32(0));
+        let v2 = b.load(Type::I32, b.arg(0));
+        let s = b.binary(BinOp::Add, v1, v2);
+        b.ret(Some(s));
+        let mut m = module_with(b.finish());
+        run(&mut m);
+        let f = m.func(m.main().unwrap());
+        let loads = f
+            .block_ids()
+            .flat_map(|bb| f.block(bb).insts.clone())
+            .filter(|&i| matches!(f.inst(i).op, Opcode::Load { .. }))
+            .count();
+        assert_eq!(loads, 2);
+    }
+
+    #[test]
+    fn cross_block_not_merged_by_early_cse() {
+        let mut b = FunctionBuilder::new("main", vec![Type::I32], Type::I32);
+        let next = b.new_block();
+        let x = b.binary(BinOp::Add, b.arg(0), Value::i32(3));
+        b.br(next);
+        b.switch_to(next);
+        let y = b.binary(BinOp::Add, b.arg(0), Value::i32(3));
+        let s = b.binary(BinOp::Mul, x, y);
+        b.ret(Some(s));
+        let mut m = module_with(b.finish());
+        assert!(!run(&mut m)); // early-cse is block-local; gvn handles this
+    }
+
+    #[test]
+    fn different_cmp_predicates_not_merged() {
+        let mut b = FunctionBuilder::new("main", vec![Type::I32], Type::I32);
+        let c1 = b.icmp(CmpPred::Slt, b.arg(0), Value::i32(5));
+        let c2 = b.icmp(CmpPred::Sgt, b.arg(0), Value::i32(5));
+        let z1 = b.cast(autophase_ir::CastOp::ZExt, Type::I32, c1);
+        let z2 = b.cast(autophase_ir::CastOp::ZExt, Type::I32, c2);
+        let s = b.binary(BinOp::Add, z1, z2);
+        b.ret(Some(s));
+        let mut m = module_with(b.finish());
+        assert!(!run(&mut m));
+    }
+}

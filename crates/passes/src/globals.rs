@@ -1,0 +1,313 @@
+//! Module-level passes: `-globalopt`, `-globaldce`, `-constmerge`.
+
+use crate::memcpyopt;
+use autophase_ir::{GlobalId, Module, Opcode, Value};
+use std::collections::HashSet;
+
+/// `-globalopt`: mark never-written globals constant, fold loads from
+/// constants, and delete stores to globals that are never read.
+/// Returns true on change.
+pub fn run_globalopt(m: &mut Module) -> bool {
+    let mut changed = false;
+
+    // 1. A global with no stores anywhere becomes constant.
+    let stored: HashSet<GlobalId> = collect_accessed(m, true);
+    for gid in m.global_ids().collect::<Vec<_>>() {
+        if !stored.contains(&gid) && !m.global(gid).is_const {
+            m.global_mut(gid).is_const = true;
+            changed = true;
+        }
+    }
+
+    // 2. Fold loads from constants (shared helper with -memcpyopt).
+    for fid in m.func_ids().collect::<Vec<_>>() {
+        changed |= memcpyopt::fold_const_loads(m, fid);
+    }
+
+    // 3. Stores to globals never loaded (and never escaping through
+    //    non-constant geps we can't root) are dead.
+    let loaded: HashSet<GlobalId> = collect_accessed(m, false);
+    let escaped = collect_escaping(m);
+    let mut any_removed = false;
+    for fid in m.func_ids().collect::<Vec<_>>() {
+        let f = m.func(fid);
+        let mut victims = Vec::new();
+        for bb in f.block_ids() {
+            for &iid in &f.block(bb).insts {
+                if let Opcode::Store { ptr, .. } = f.inst(iid).op {
+                    if let Some(gid) = global_root(f, ptr) {
+                        if !loaded.contains(&gid) && !escaped.contains(&gid) {
+                            victims.push((bb, iid));
+                        }
+                    }
+                }
+            }
+        }
+        if !victims.is_empty() {
+            let f = m.func_mut(fid);
+            for (bb, iid) in victims {
+                f.remove_inst(bb, iid);
+            }
+            any_removed = true;
+        }
+    }
+    if any_removed {
+        for fid in m.func_ids().collect::<Vec<_>>() {
+            crate::util::delete_dead(m, fid);
+        }
+        changed = true;
+    }
+    changed
+}
+
+/// `-globaldce`: remove functions and globals with no remaining references
+/// (reachability from `main`). Returns true on change.
+pub fn run_globaldce(m: &mut Module) -> bool {
+    let Some(main) = m.main() else { return false };
+    // Reachable functions.
+    let mut live_funcs = HashSet::from([main]);
+    let mut work = vec![main];
+    let mut live_globals: HashSet<GlobalId> = HashSet::new();
+    while let Some(fid) = work.pop() {
+        let f = m.func(fid);
+        for bb in f.block_ids() {
+            for (_, inst) in f.insts_in(bb) {
+                if let Opcode::Call { callee, .. } = inst.op {
+                    if m.func_exists(callee) && live_funcs.insert(callee) {
+                        work.push(callee);
+                    }
+                }
+                inst.for_each_operand(|v| {
+                    if let Value::Global(g) = v {
+                        live_globals.insert(g);
+                    }
+                });
+            }
+        }
+    }
+    let mut changed = false;
+    for fid in m.func_ids().collect::<Vec<_>>() {
+        if !live_funcs.contains(&fid) {
+            m.remove_function(fid);
+            changed = true;
+        }
+    }
+    for gid in m.global_ids().collect::<Vec<_>>() {
+        if !live_globals.contains(&gid) {
+            m.remove_global(gid);
+            changed = true;
+        }
+    }
+    changed
+}
+
+/// `-constmerge`: deduplicate identical constant globals, rewriting all
+/// references to the surviving one. Returns true on change.
+pub fn run_constmerge(m: &mut Module) -> bool {
+    let gids: Vec<GlobalId> = m.global_ids().collect();
+    let mut changed = false;
+    for (i, &a) in gids.iter().enumerate() {
+        if !m.global_exists(a) || !m.global(a).is_const {
+            continue;
+        }
+        for &b in &gids[i + 1..] {
+            if !m.global_exists(b) || !m.global(b).is_const {
+                continue;
+            }
+            let (ga, gb) = (m.global(a), m.global(b));
+            let same = ga.elem_ty == gb.elem_ty
+                && ga.count == gb.count
+                && (0..ga.count as usize).all(|k| ga.init_at(k) == gb.init_at(k));
+            if !same {
+                continue;
+            }
+            // Rewrite references to b → a, then remove b.
+            for fid in m.func_ids().collect::<Vec<_>>() {
+                m.func_mut(fid)
+                    .replace_all_uses(Value::Global(b), Value::Global(a));
+            }
+            m.remove_global(b);
+            changed = true;
+        }
+    }
+    changed
+}
+
+fn collect_accessed(m: &Module, stores: bool) -> HashSet<GlobalId> {
+    let mut out = HashSet::new();
+    for fid in m.func_ids() {
+        let f = m.func(fid);
+        for bb in f.block_ids() {
+            for (_, inst) in f.insts_in(bb) {
+                match &inst.op {
+                    Opcode::Store { ptr, value } if stores => {
+                        if let Some(g) = global_root(f, *ptr) {
+                            out.insert(g);
+                        }
+                        // A global address stored *as data* counts as a
+                        // potential write target.
+                        if let Some(g) = global_root(f, *value) {
+                            out.insert(g);
+                        }
+                    }
+                    Opcode::Load { ptr } if !stores => {
+                        if let Some(g) = global_root(f, *ptr) {
+                            out.insert(g);
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Globals whose address flows somewhere we cannot track (call arguments,
+/// stored as data, pointer arithmetic beyond geps).
+fn collect_escaping(m: &Module) -> HashSet<GlobalId> {
+    let mut out = HashSet::new();
+    for fid in m.func_ids() {
+        let f = m.func(fid);
+        for bb in f.block_ids() {
+            for (_, inst) in f.insts_in(bb) {
+                match &inst.op {
+                    Opcode::Load { .. } => {}
+                    Opcode::Store { ptr: _, value } => {
+                        if let Some(g) = global_root(f, *value) {
+                            out.insert(g);
+                        }
+                    }
+                    Opcode::Gep { .. } => {}
+                    _ => {
+                        inst.for_each_operand(|v| {
+                            if let Some(g) = global_root(f, v) {
+                                out.insert(g);
+                            }
+                        });
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+fn global_root(f: &autophase_ir::Function, v: Value) -> Option<GlobalId> {
+    match crate::util::pointer_root(f, v) {
+        Some(Value::Global(g)) => Some(g),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autophase_ir::builder::FunctionBuilder;
+    use autophase_ir::interp::run_main;
+    use autophase_ir::module::Global;
+    use autophase_ir::verify::assert_verified;
+    use autophase_ir::Type;
+
+    #[test]
+    fn globalopt_promotes_unwritten_global_to_const() {
+        let mut m = Module::new("t");
+        let g = m.add_global(Global {
+            name: "tbl".into(),
+            elem_ty: Type::I32,
+            count: 2,
+            init: vec![5, 6],
+            is_const: false,
+        });
+        let mut b = FunctionBuilder::new("main", vec![], Type::I32);
+        let v = b.load(Type::I32, Value::Global(g));
+        b.ret(Some(v));
+        m.add_function(b.finish());
+        assert!(run_globalopt(&mut m));
+        assert_verified(&m);
+        assert!(m.global(g).is_const);
+        // And the load was folded.
+        assert_eq!(run_main(&m, 100).unwrap().return_value, Some(5));
+        assert_eq!(m.func(m.main().unwrap()).num_insts(), 1);
+    }
+
+    #[test]
+    fn globalopt_removes_write_only_global_stores() {
+        let mut m = Module::new("t");
+        let g = m.add_global(Global::zeroed("sinkhole", Type::I32, 4));
+        let mut b = FunctionBuilder::new("main", vec![], Type::I32);
+        let p = b.gep(Value::Global(g), Value::i32(1));
+        b.store(p, Value::i32(9));
+        b.ret(Some(Value::i32(0)));
+        m.add_function(b.finish());
+        assert!(run_globalopt(&mut m));
+        assert_verified(&m);
+        let f = m.func(m.main().unwrap());
+        assert_eq!(f.num_insts(), 1);
+    }
+
+    #[test]
+    fn globaldce_removes_unreferenced() {
+        let mut m = Module::new("t");
+        let dead_g = m.add_global(Global::zeroed("unused", Type::I32, 8));
+        let dead_f = {
+            let mut b = FunctionBuilder::new("never_called", vec![], Type::Void);
+            b.ret(None);
+            m.add_function(b.finish())
+        };
+        let mut b = FunctionBuilder::new("main", vec![], Type::I32);
+        b.ret(Some(Value::i32(0)));
+        m.add_function(b.finish());
+        assert!(run_globaldce(&mut m));
+        assert!(!m.func_exists(dead_f));
+        assert!(!m.global_exists(dead_g));
+        assert_verified(&m);
+    }
+
+    #[test]
+    fn globaldce_keeps_transitively_called() {
+        let mut m = Module::new("t");
+        let leaf = {
+            let mut b = FunctionBuilder::new("leaf", vec![], Type::I32);
+            b.ret(Some(Value::i32(3)));
+            m.add_function(b.finish())
+        };
+        let mid = {
+            let mut b = FunctionBuilder::new("mid", vec![], Type::I32);
+            let r = b.call(leaf, Type::I32, vec![]);
+            b.ret(Some(r));
+            m.add_function(b.finish())
+        };
+        let mut b = FunctionBuilder::new("main", vec![], Type::I32);
+        let r = b.call(mid, Type::I32, vec![]);
+        b.ret(Some(r));
+        m.add_function(b.finish());
+        assert!(!run_globaldce(&mut m));
+        assert!(m.func_exists(leaf) && m.func_exists(mid));
+    }
+
+    #[test]
+    fn constmerge_merges_identical_tables() {
+        let mut m = Module::new("t");
+        let g1 = m.add_global(Global::constant("a", Type::I32, vec![1, 2, 3]));
+        let g2 = m.add_global(Global::constant("b", Type::I32, vec![1, 2, 3]));
+        let g3 = m.add_global(Global::constant("c", Type::I32, vec![1, 2, 4]));
+        let mut b = FunctionBuilder::new("main", vec![], Type::I32);
+        let p1 = b.gep(Value::Global(g1), Value::i32(0));
+        let p2 = b.gep(Value::Global(g2), Value::i32(1));
+        let p3 = b.gep(Value::Global(g3), Value::i32(2));
+        let v1 = b.load(Type::I32, p1);
+        let v2 = b.load(Type::I32, p2);
+        let v3 = b.load(Type::I32, p3);
+        let s1 = b.binary(autophase_ir::BinOp::Add, v1, v2);
+        let s2 = b.binary(autophase_ir::BinOp::Add, s1, v3);
+        b.ret(Some(s2));
+        m.add_function(b.finish());
+        let before = run_main(&m, 100).unwrap().return_value;
+        assert!(run_constmerge(&mut m));
+        assert_verified(&m);
+        assert!(!m.global_exists(g2));
+        assert!(m.global_exists(g3));
+        assert_eq!(run_main(&m, 100).unwrap().return_value, before);
+    }
+}

@@ -1,0 +1,461 @@
+//! `-loop-rotate`: turn while-loops into do-while loops.
+//!
+//! For a loop whose header tests the exit condition at the top (the shape a
+//! C `for`/`while` compiles to), the header's computations are duplicated
+//! into the preheader (guarding loop entry) and into the latch (testing
+//! continuation at the bottom). The rotated loop executes one block per
+//! iteration instead of two — in the HLS backend that directly removes FSM
+//! states from every iteration, which is why the paper's random forests
+//! single this pass out (§4, Figure 6: "point (23,23) has the highest
+//! importance").
+
+use crate::util;
+use autophase_ir::cfg::Cfg;
+use autophase_ir::dom::DomTree;
+use autophase_ir::loops::{find_loops, Loop};
+use autophase_ir::{BlockId, FuncId, InstId, Module, Opcode, Value};
+use std::collections::HashMap;
+
+/// Upper bound on header instructions cloned into preheader and latch.
+pub const ROTATE_HEADER_LIMIT: usize = 16;
+
+/// Run the pass. Returns true if any loop was rotated.
+pub fn run(m: &mut Module) -> bool {
+    util::for_each_function(m, |m, fid| {
+        let mut changed = false;
+        while rotate_once(m, fid) {
+            changed = true;
+        }
+        if changed {
+            // The old header's test is dead and the header now falls
+            // through to the body; cleanup merges them so the rotated loop
+            // really executes one block per iteration (LLVM's rotate runs
+            // the same simplification).
+            util::delete_dead(m, fid);
+            crate::simplifycfg::run_on_function(m, fid);
+        }
+        changed
+    })
+}
+
+/// True if the loop is already bottom-tested (latch exits the loop).
+pub fn is_rotated(l: &Loop, f: &autophase_ir::Function) -> bool {
+    l.single_latch()
+        .map(|latch| f.successors(latch).iter().any(|s| !l.contains(*s)))
+        .unwrap_or(false)
+}
+
+/// Rotate a single loop anywhere in the module (debug/ablation hook).
+pub fn rotate_once_public(m: &mut Module) -> bool {
+    let fids: Vec<FuncId> = m.func_ids().collect();
+    for fid in fids {
+        if rotate_once(m, fid) {
+            return true;
+        }
+    }
+    false
+}
+
+fn rotate_once(m: &mut Module, fid: FuncId) -> bool {
+    let f = m.func(fid);
+    let cfg = Cfg::new(f);
+    let dt = DomTree::new(f, &cfg);
+    let loops = find_loops(f, &cfg, &dt);
+    let index = util::UserIndex::build(f);
+
+    for l in &loops {
+        let Some(preheader) = l.preheader(&cfg) else { continue };
+        let Some(latch) = l.single_latch() else { continue };
+        if is_rotated(l, f) {
+            continue;
+        }
+        // Header must end in a condbr with exactly one in-loop and one
+        // out-of-loop target.
+        let Some(term) = f.terminator(l.header) else { continue };
+        let Opcode::CondBr {
+            cond: _,
+            then_bb,
+            else_bb,
+        } = f.inst(term).op
+        else {
+            continue;
+        };
+        let (body_entry, exit) = match (l.contains(then_bb), l.contains(else_bb)) {
+            (true, false) => (then_bb, else_bb),
+            (false, true) => (else_bb, then_bb),
+            _ => continue,
+        };
+        if body_entry == l.header || l.header == latch {
+            continue; // self-loop or irregular shape
+        }
+        // The latch must branch unconditionally to the header.
+        let Some(latch_term) = f.terminator(latch) else { continue };
+        if !matches!(f.inst(latch_term).op, Opcode::Br { .. }) {
+            continue;
+        }
+        // The exit must be dedicated (preds only from the loop) so its φs
+        // only see loop edges — guaranteed after -loop-simplify.
+        if cfg.unique_preds(exit).iter().any(|p| !l.contains(*p)) {
+            continue;
+        }
+        // Header non-φ instructions must be clonable: pure or loads, few.
+        let header_insts: Vec<InstId> = f.block(l.header).insts.clone();
+        let non_phi: Vec<InstId> = header_insts
+            .iter()
+            .copied()
+            .filter(|&i| !f.inst(i).is_phi() && i != term)
+            .collect();
+        if non_phi.len() > ROTATE_HEADER_LIMIT {
+            continue;
+        }
+        let clonable = non_phi.iter().all(|&i| {
+            let inst = f.inst(i);
+            util::is_pure(m, inst) && !matches!(inst.op, Opcode::Alloca { .. })
+        });
+        if !clonable {
+            continue;
+        }
+        // Values defined in the header (φs or computations) that are used
+        // outside the loop would need LCSSA-style repair; require that all
+        // external uses sit in the (dedicated) exit block as φs or plain
+        // uses we can rewire. For simplicity require no external non-exit
+        // uses.
+        let all_header_defs: Vec<InstId> = header_insts.clone();
+        let external_ok = all_header_defs.iter().all(|&d| {
+            index
+                .users(d)
+                .iter()
+                .all(|&(_, ubb)| l.contains(ubb) || ubb == exit)
+        });
+        if !external_ok {
+            continue;
+        }
+
+        do_rotate(
+            m.func_mut(fid),
+            l,
+            preheader,
+            latch,
+            body_entry,
+            exit,
+            term,
+        );
+        return true;
+    }
+    false
+}
+
+#[allow(clippy::too_many_arguments)]
+fn do_rotate(
+    f: &mut autophase_ir::Function,
+    l: &Loop,
+    preheader: BlockId,
+    latch: BlockId,
+    body_entry: BlockId,
+    exit: BlockId,
+    header_term: InstId,
+) {
+    let header = l.header;
+    let header_insts: Vec<InstId> = f.block(header).insts.clone();
+    let phis: Vec<InstId> = header_insts
+        .iter()
+        .copied()
+        .filter(|&i| f.inst(i).is_phi())
+        .collect();
+    let computed: Vec<InstId> = header_insts
+        .iter()
+        .copied()
+        .filter(|&i| !f.inst(i).is_phi() && i != header_term)
+        .collect();
+
+    // Initial and next values of each φ.
+    let mut init_map: HashMap<Value, Value> = HashMap::new();
+    let mut next_map: HashMap<Value, Value> = HashMap::new();
+    for &phi in &phis {
+        let Opcode::Phi { incoming } = &f.inst(phi).op else { unreachable!() };
+        for (p, v) in incoming {
+            if *p == preheader {
+                init_map.insert(Value::Inst(phi), *v);
+            } else if *p == latch {
+                next_map.insert(Value::Inst(phi), *v);
+            }
+        }
+    }
+
+    // Clone the header computations into the preheader (with init values)
+    // and into the latch (with next values). The clones are inserted before
+    // each block's terminator.
+    let clone_into = |f: &mut autophase_ir::Function,
+                      target: BlockId,
+                      map: &HashMap<Value, Value>|
+     -> HashMap<Value, Value> {
+        let mut vmap = map.clone();
+        let mut insert_at = f.block(target).insts.len().saturating_sub(1);
+        for &src in &computed {
+            let mut inst = f.inst(src).clone();
+            util::remap_operands(&mut inst, &vmap);
+            let ty = inst.ty;
+            let id = f.insert_inst(target, insert_at, inst);
+            insert_at += 1;
+            let _ = ty;
+            vmap.insert(Value::Inst(src), Value::Inst(id));
+        }
+        vmap
+    };
+    let pre_map = clone_into(f, preheader, &init_map);
+    let latch_map = clone_into(f, latch, &next_map);
+
+    let cond = match &f.inst(header_term).op {
+        Opcode::CondBr { cond, .. } => *cond,
+        _ => unreachable!("checked condbr"),
+    };
+    let pre_cond = *pre_map.get(&cond).unwrap_or(&cond);
+    let latch_cond = *latch_map.get(&cond).unwrap_or(&cond);
+
+    // Preheader: guard — if the condition holds enter the loop (header),
+    // else go to exit.
+    let pre_term = f.terminator(preheader).expect("preheader has br");
+    f.inst_mut(pre_term).op = Opcode::CondBr {
+        cond: pre_cond,
+        then_bb: header,
+        else_bb: exit,
+    };
+
+    // Latch: bottom test — back to header or out to exit.
+    let latch_term = f.terminator(latch).expect("latch has br");
+    f.inst_mut(latch_term).op = Opcode::CondBr {
+        cond: latch_cond,
+        then_bb: header,
+        else_bb: exit,
+    };
+
+    // Header: now falls through to the body unconditionally; its cloned
+    // computations stay (the φs feed body uses), its terminator simplifies.
+    f.inst_mut(header_term).op = Opcode::Br { target: body_entry };
+
+    // The value `v` an exit φ received from the header edge becomes, after
+    // rotation:
+    //  * on the guard-fail (preheader) edge: v at the would-be first header
+    //    entry — a φ's raw init value, or the preheader clone of a
+    //    computation;
+    //  * on the latch edge: v at the would-be next header entry — a φ's raw
+    //    next value, which is already valid at the latch (remapping it again
+    //    through the latch clone map would skip an iteration in φ-of-φ
+    //    shift-register chains like sha's `e=d; d=c; …`), or the latch
+    //    clone of a computation.
+    let is_header_phi = |v: Value| matches!(v, Value::Inst(id) if phis.contains(&id));
+    let edge_values = |v: Value| -> (Value, Value) {
+        if is_header_phi(v) {
+            (
+                *init_map.get(&v).unwrap_or(&v),
+                *next_map.get(&v).unwrap_or(&v),
+            )
+        } else {
+            (
+                *pre_map.get(&v).unwrap_or(&v),
+                *latch_map.get(&v).unwrap_or(&v),
+            )
+        }
+    };
+
+    // Exit φs: entries from header now come from preheader and latch.
+    let exit_phis: Vec<InstId> = f
+        .block(exit)
+        .insts
+        .iter()
+        .copied()
+        .filter(|&i| f.inst(i).is_phi())
+        .collect();
+    for phi in exit_phis {
+        let header_entry = match &f.inst(phi).op {
+            Opcode::Phi { incoming } => incoming
+                .iter()
+                .position(|(p, _)| *p == header)
+                .map(|pos| (pos, incoming[pos].1)),
+            _ => None,
+        };
+        if let Some((pos, v)) = header_entry {
+            let (pre_v, latch_v) = edge_values(v);
+            if let Opcode::Phi { incoming } = &mut f.inst_mut(phi).op {
+                incoming.remove(pos);
+                incoming.push((preheader, pre_v));
+                incoming.push((latch, latch_v));
+            }
+        }
+    }
+    // Non-φ uses in the exit of header-defined values are now wrong (the
+    // header may not dominate the exit anymore — it does not, since both
+    // preheader and latch jump there). Wrap them in φs.
+    for &d in header_insts.iter() {
+        if !f.inst_exists(d) || f.inst(d).ty.is_void() {
+            continue;
+        }
+        let dv = Value::Inst(d);
+        let ext_users: Vec<(InstId, BlockId)> = f
+            .users(dv)
+            .into_iter()
+            .filter(|&(u, ubb)| ubb == exit && !f.inst(u).is_phi())
+            .collect();
+        if ext_users.is_empty() {
+            continue;
+        }
+        let (pre_v, latch_v) = edge_values(dv);
+        let ty = f.inst(d).ty;
+        let phi = f.insert_inst(
+            exit,
+            0,
+            autophase_ir::Inst::new(
+                ty,
+                Opcode::Phi {
+                    incoming: vec![(preheader, pre_v), (latch, latch_v)],
+                },
+            ),
+        );
+        for (u, _) in ext_users {
+            f.inst_mut(u).replace_uses(dv, Value::Inst(phi));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autophase_ir::builder::FunctionBuilder;
+    use autophase_ir::interp::run_function;
+    use autophase_ir::loops::analyze_loops;
+    use autophase_ir::verify::assert_verified;
+    use autophase_ir::{BinOp, Type};
+
+    fn sum_loop() -> Module {
+        let mut b = FunctionBuilder::new("main", vec![Type::I32], Type::I32);
+        let acc = b.alloca(Type::I32, 1);
+        b.store(acc, Value::i32(0));
+        b.counted_loop(b.arg(0), |b, i| {
+            let c = b.load(Type::I32, acc);
+            let n = b.binary(BinOp::Add, c, i);
+            b.store(acc, n);
+        });
+        let r = b.load(Type::I32, acc);
+        b.ret(Some(r));
+        let mut m = Module::new("t");
+        m.add_function(b.finish());
+        m
+    }
+
+    #[test]
+    fn while_loop_becomes_do_while() {
+        let mut m = sum_loop();
+        let fid = m.main().unwrap();
+        let before: Vec<_> = [0, 1, 7]
+            .iter()
+            .map(|&x| run_function(&m, fid, &[x], 100_000).unwrap().return_value)
+            .collect();
+        assert!(run(&mut m));
+        assert_verified(&m);
+        let after: Vec<_> = [0, 1, 7]
+            .iter()
+            .map(|&x| run_function(&m, fid, &[x], 100_000).unwrap().return_value)
+            .collect();
+        assert_eq!(before, after);
+        // The loop is now bottom-tested.
+        let f = m.func(fid);
+        let (_, _, loops) = analyze_loops(f);
+        assert_eq!(loops.len(), 1);
+        assert!(is_rotated(&loops[0], f));
+    }
+
+    #[test]
+    fn rotation_reduces_block_executions() {
+        let mut m = sum_loop();
+        let fid = m.main().unwrap();
+        let before = run_function(&m, fid, &[100], 1_000_000).unwrap();
+        let blocks_before: u64 = before.block_counts.values().sum();
+        assert!(run(&mut m));
+        let after = run_function(&m, fid, &[100], 1_000_000).unwrap();
+        let blocks_after: u64 = after.block_counts.values().sum();
+        assert!(
+            blocks_after < blocks_before,
+            "rotated loop should enter fewer blocks: {blocks_after} vs {blocks_before}"
+        );
+    }
+
+    #[test]
+    fn zero_trip_loop_still_correct() {
+        let mut m = sum_loop();
+        let fid = m.main().unwrap();
+        assert!(run(&mut m));
+        assert_eq!(
+            run_function(&m, fid, &[0], 1000).unwrap().return_value,
+            Some(0)
+        );
+        assert_eq!(
+            run_function(&m, fid, &[-5], 1000).unwrap().return_value,
+            Some(0)
+        );
+    }
+
+    #[test]
+    fn induction_value_used_after_loop() {
+        // return i after loop: exit φ repair path.
+        let mut b = FunctionBuilder::new("main", vec![Type::I32], Type::I32);
+        let mut iv = Value::i32(0);
+        b.counted_loop(b.arg(0), |_b, i| {
+            iv = i;
+        });
+        let r = b.binary(BinOp::Add, iv, Value::i32(1000));
+        b.ret(Some(r));
+        let mut m = Module::new("t");
+        m.add_function(b.finish());
+        let fid = m.main().unwrap();
+        let before: Vec<_> = [0, 3, 9]
+            .iter()
+            .map(|&x| run_function(&m, fid, &[x], 100_000).unwrap().return_value)
+            .collect();
+        let rotated = run(&mut m);
+        assert_verified(&m);
+        let after: Vec<_> = [0, 3, 9]
+            .iter()
+            .map(|&x| run_function(&m, fid, &[x], 100_000).unwrap().return_value)
+            .collect();
+        assert_eq!(before, after, "rotated={rotated}");
+    }
+
+    #[test]
+    fn already_rotated_loop_untouched() {
+        let mut m = sum_loop();
+        assert!(run(&mut m));
+        // Second application is a no-op.
+        assert!(!run(&mut m));
+    }
+
+    #[test]
+    fn nested_loops_rotate() {
+        let mut b = FunctionBuilder::new("main", vec![Type::I32], Type::I32);
+        let acc = b.alloca(Type::I32, 1);
+        b.store(acc, Value::i32(0));
+        b.counted_loop(b.arg(0), |b, i| {
+            b.counted_loop(b.arg(0), |b, j| {
+                let c = b.load(Type::I32, acc);
+                let p = b.binary(BinOp::Mul, i, j);
+                let n = b.binary(BinOp::Add, c, p);
+                b.store(acc, n);
+            });
+        });
+        let r = b.load(Type::I32, acc);
+        b.ret(Some(r));
+        let mut m = Module::new("t");
+        m.add_function(b.finish());
+        let fid = m.main().unwrap();
+        let before = run_function(&m, fid, &[6], 1_000_000).unwrap().return_value;
+        assert!(run(&mut m));
+        assert_verified(&m);
+        let after = run_function(&m, fid, &[6], 1_000_000).unwrap().return_value;
+        assert_eq!(before, after);
+        let f = m.func(fid);
+        let (_, _, loops) = analyze_loops(f);
+        assert_eq!(loops.len(), 2);
+        for l in &loops {
+            assert!(is_rotated(l, f));
+        }
+    }
+}

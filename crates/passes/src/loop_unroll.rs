@@ -1,0 +1,478 @@
+//! `-loop-unroll`: replicate loop bodies.
+//!
+//! Fully unrolls counted loops with a small constant trip count. The trip
+//! count is recognized for canonical induction `i = φ(init, i + step)`
+//! compared against a constant bound — the shape `-loop-rotate` (bottom
+//! test) and `-indvars` (slt canonicalization) produce, which is why the
+//! paper finds "-loop-unroll after -loop-rotate was much more useful than
+//! the opposite order" (§4.2): a top-tested loop here is only unrolled
+//! when its guard shape is still recognizable, while the rotated form
+//! always is.
+
+use crate::util;
+use autophase_ir::cfg::Cfg;
+use autophase_ir::dom::DomTree;
+use autophase_ir::loops::{find_loops, Loop};
+use autophase_ir::{
+    BinOp, BlockId, FuncId, Inst, InstId, Module, Opcode, Type, Value,
+};
+use std::collections::HashMap;
+
+/// Maximum trip count fully unrolled.
+pub const UNROLL_TRIP_LIMIT: i64 = 32;
+/// Maximum number of instructions in the loop body to unroll.
+pub const UNROLL_SIZE_LIMIT: usize = 64;
+
+/// Run the pass. Returns true if any loop was unrolled.
+pub fn run(m: &mut Module) -> bool {
+    run_with_limits(m, UNROLL_TRIP_LIMIT, UNROLL_SIZE_LIMIT)
+}
+
+/// Run with explicit limits (`-loop-idiom` reuses this for init loops).
+pub fn run_with_limits(m: &mut Module, trip_limit: i64, size_limit: usize) -> bool {
+    util::for_each_function(m, |m, fid| {
+        run_with_limits_filtered(m, fid, trip_limit, size_limit, |_, _| true)
+    })
+}
+
+/// Per-function unrolling restricted to loops whose single block satisfies
+/// `filter` (used by `-loop-idiom` to expand only fill loops).
+pub fn run_with_limits_filtered(
+    m: &mut Module,
+    fid: FuncId,
+    trip_limit: i64,
+    size_limit: usize,
+    filter: impl Fn(&autophase_ir::Function, BlockId) -> bool,
+) -> bool {
+    let mut changed = false;
+    while unroll_once(m, fid, trip_limit, size_limit, &filter) {
+        changed = true;
+    }
+    if changed {
+        util::delete_dead(m, fid);
+        crate::simplifycfg::run_on_function(m, fid);
+    }
+    changed
+}
+
+/// A recognized counted loop, bottom-tested (rotated form):
+/// single block `L`: φs, body, `i_next = i + step`, `c = icmp pred i_next
+/// bound`, `condbr c, L, exit` — or top-tested via the preheader guard.
+struct CountedLoop {
+    /// The loop's single block (header == latch).
+    block: BlockId,
+    /// Induction φ.
+    iv: InstId,
+    /// Number of iterations the body executes.
+    trip: i64,
+}
+
+fn recognize(f: &autophase_ir::Function, cfg: &Cfg, l: &Loop) -> Option<CountedLoop> {
+    // Single-block, bottom-tested loops only: header == latch.
+    if l.blocks.len() != 1 {
+        return None;
+    }
+    let block = l.header;
+    if l.single_latch()? != block {
+        return None;
+    }
+    let term = f.terminator(block)?;
+    let Opcode::CondBr {
+        cond: Value::Inst(cmp),
+        then_bb,
+        else_bb,
+    } = f.inst(term).op
+    else {
+        return None;
+    };
+    let (back_is_then, _exit) = if then_bb == block {
+        (true, else_bb)
+    } else if else_bb == block {
+        (false, then_bb)
+    } else {
+        return None;
+    };
+    let Opcode::ICmp(pred, Value::Inst(next_id), Value::ConstInt(_, bound)) = f.inst(cmp).op
+    else {
+        return None;
+    };
+    // next = iv + step
+    let Opcode::Binary(BinOp::Add, Value::Inst(iv), Value::ConstInt(_, step)) =
+        f.inst(next_id).op
+    else {
+        return None;
+    };
+    if step == 0 {
+        return None;
+    }
+    let Opcode::Phi { incoming } = &f.inst(iv).op else {
+        return None;
+    };
+    if incoming.len() != 2 {
+        return None;
+    }
+    let preheader = l.entering_block(cfg)?;
+    let init = incoming
+        .iter()
+        .find(|(p, _)| *p == preheader)
+        .map(|(_, v)| *v)?;
+    let from_latch = incoming
+        .iter()
+        .find(|(p, _)| *p == block)
+        .map(|(_, v)| *v)?;
+    if from_latch != Value::Inst(next_id) {
+        return None;
+    }
+    let Value::ConstInt(_, init) = init else {
+        return None;
+    };
+
+    // Simulate the trip count (bounded) — robust against any predicate.
+    let ty = f.inst(iv).ty;
+    let mut i = init;
+    let mut trip = 0i64;
+    loop {
+        trip += 1;
+        if trip > UNROLL_TRIP_LIMIT.max(1024) {
+            return None;
+        }
+        let next = autophase_ir::fold::eval_binop(BinOp::Add, ty, i, step);
+        let c = autophase_ir::fold::eval_icmp(pred, ty, next, bound);
+        let continues = if back_is_then { c != 0 } else { c == 0 };
+        if !continues {
+            break;
+        }
+        i = next;
+    }
+    Some(CountedLoop {
+        block,
+        iv,
+        trip,
+    })
+}
+
+/// Unroll a single loop anywhere in the module with default limits
+/// (debug/ablation hook). No cleanup afterwards.
+pub fn unroll_once_public(m: &mut Module) -> bool {
+    let fids: Vec<FuncId> = m.func_ids().collect();
+    for fid in fids {
+        if unroll_once(m, fid, UNROLL_TRIP_LIMIT, UNROLL_SIZE_LIMIT, &|_, _| true) {
+            return true;
+        }
+    }
+    false
+}
+
+fn unroll_once(
+    m: &mut Module,
+    fid: FuncId,
+    trip_limit: i64,
+    size_limit: usize,
+    filter: &impl Fn(&autophase_ir::Function, BlockId) -> bool,
+) -> bool {
+    let f = m.func(fid);
+    let cfg = Cfg::new(f);
+    let dt = DomTree::new(f, &cfg);
+    let loops = find_loops(f, &cfg, &dt);
+    for l in &loops {
+        let Some(cl) = recognize(f, &cfg, l) else { continue };
+        if cl.trip > trip_limit || !filter(f, cl.block) {
+            continue;
+        }
+        let body_size = f.block(cl.block).insts.len();
+        if body_size > size_limit || body_size * cl.trip as usize > 512 {
+            continue;
+        }
+        // The loop may not contain calls that could recurse into this
+        // function (cloned call sites are fine; recursion changes nothing).
+        let preheader = l.entering_block(&cfg).expect("recognized loop has an entering block");
+        do_full_unroll(m.func_mut(fid), l, &cl, preheader);
+        return true;
+    }
+    false
+}
+
+/// Replace the single-block loop with `trip` copies of its body chained
+/// straight-line, then a jump to the exit.
+fn do_full_unroll(
+    f: &mut autophase_ir::Function,
+    l: &Loop,
+    cl: &CountedLoop,
+    preheader: BlockId,
+) {
+    let block = cl.block;
+    let term = f.terminator(block).expect("loop block has terminator");
+    let exit = f
+        .inst(term)
+        .successors()
+        .into_iter()
+        .find(|&s| s != block)
+        .expect("bottom-tested loop exits somewhere");
+
+    // Current value of each φ (starts at init from preheader).
+    let phis: Vec<InstId> = f
+        .block(block)
+        .insts
+        .iter()
+        .copied()
+        .filter(|&i| f.inst(i).is_phi())
+        .collect();
+    let mut cur: HashMap<Value, Value> = HashMap::new();
+    let mut next_of: HashMap<InstId, Value> = HashMap::new();
+    for &phi in &phis {
+        let Opcode::Phi { incoming } = &f.inst(phi).op else { unreachable!() };
+        for (p, v) in incoming {
+            if *p == preheader {
+                cur.insert(Value::Inst(phi), *v);
+            } else {
+                next_of.insert(phi, *v);
+            }
+        }
+    }
+    let body: Vec<InstId> = f
+        .block(block)
+        .insts
+        .iter()
+        .copied()
+        .filter(|&i| !f.inst(i).is_phi() && i != term)
+        .collect();
+
+    // Emit trip copies into a fresh straight-line block. `at_latch_map`
+    // holds each value as of the *end of the final iteration* (φs still at
+    // their final-iteration values — what a latch→exit edge observes);
+    // `carry_map` holds the φs advanced to the next iteration's values.
+    let flat = f.add_block();
+    let mut carry_map: HashMap<Value, Value> = cur.clone();
+    let mut at_latch_map: HashMap<Value, Value> = cur.clone();
+    for _iter in 0..cl.trip {
+        let mut iter_map = carry_map.clone();
+        for &src in &body {
+            let mut inst = f.inst(src).clone();
+            util::remap_operands(&mut inst, &iter_map);
+            let id = f.append_inst(flat, inst);
+            iter_map.insert(Value::Inst(src), Value::Inst(id));
+        }
+        at_latch_map = iter_map.clone();
+        // Advance φs (simultaneously: all reads use the pre-advance map).
+        let mut advanced: HashMap<Value, Value> = HashMap::new();
+        for &phi in &phis {
+            let next = next_of
+                .get(&phi)
+                .copied()
+                .unwrap_or(Value::Undef(f.inst(phi).ty));
+            let next_now = *iter_map.get(&next).unwrap_or(&next);
+            advanced.insert(Value::Inst(phi), next_now);
+        }
+        for (k, v) in advanced {
+            iter_map.insert(k, v);
+        }
+        carry_map = iter_map;
+    }
+    let last_map = at_latch_map;
+    f.append_inst(flat, Inst::new(Type::Void, Opcode::Br { target: exit }));
+
+    // Rewire: preheader jumps to flat; exit φs and external uses read the
+    // final values.
+    if let Some(pt) = f.terminator(preheader) {
+        f.inst_mut(pt).for_each_successor_mut(|s| {
+            if *s == block {
+                *s = flat;
+            }
+        });
+    }
+    // Exit φs: entry from `block` becomes entry from `flat` with the final
+    // value of whatever it referenced.
+    let exit_phis: Vec<InstId> = f
+        .block(exit)
+        .insts
+        .iter()
+        .copied()
+        .filter(|&i| f.inst(i).is_phi())
+        .collect();
+    for phi in exit_phis {
+        if let Opcode::Phi { incoming } = &mut f.inst_mut(phi).op {
+            for (p, v) in incoming.iter_mut() {
+                if *p == block {
+                    *p = flat;
+                    if let Some(nv) = last_map.get(v) {
+                        *v = *nv;
+                    }
+                }
+            }
+        }
+    }
+    // External (non-exit-φ) uses of loop values: substitute final values.
+    let mut final_subst: Vec<(Value, Value)> = Vec::new();
+    for &phi in &phis {
+        final_subst.push((Value::Inst(phi), *last_map.get(&Value::Inst(phi)).unwrap_or(&Value::Undef(f.inst(phi).ty))));
+    }
+    for &src in &body {
+        if !f.inst(src).ty.is_void() {
+            if let Some(v) = last_map.get(&Value::Inst(src)) {
+                final_subst.push((Value::Inst(src), *v));
+            }
+        }
+    }
+    // Remove the loop block first so in-loop uses don't get clobbered.
+    f.remove_block(block);
+    for (from, to) in final_subst {
+        f.replace_all_uses(from, to);
+    }
+
+    let _ = l;
+    let _ = cl.iv;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autophase_ir::builder::FunctionBuilder;
+    use autophase_ir::interp::{run_function, run_main};
+    use autophase_ir::loops::analyze_loops;
+    use autophase_ir::verify::assert_verified;
+
+    /// Build a rotated (single-block, bottom-tested) loop summing i.
+    fn rotated_sum(n: i32) -> Module {
+        let mut b = FunctionBuilder::new("main", vec![], Type::I32);
+        let acc = b.alloca(Type::I32, 1);
+        b.store(acc, Value::i32(0));
+        b.counted_loop(Value::i32(n), |b, i| {
+            let c = b.load(Type::I32, acc);
+            let s = b.binary(BinOp::Add, c, i);
+            b.store(acc, s);
+        });
+        let r = b.load(Type::I32, acc);
+        b.ret(Some(r));
+        let mut m = Module::new("t");
+        m.add_function(b.finish());
+        // Rotate to single-block form first.
+        crate::loop_rotate::run(&mut m);
+        m
+    }
+
+    #[test]
+    fn full_unroll_of_rotated_loop() {
+        let mut m = rotated_sum(8);
+        let before = run_main(&m, 100_000).unwrap().observable();
+        assert!(run(&mut m));
+        assert_verified(&m);
+        assert_eq!(run_main(&m, 100_000).unwrap().observable(), before);
+        assert_eq!(before, Some(28));
+        // No loops remain.
+        let f = m.func(m.main().unwrap());
+        let (_, _, loops) = analyze_loops(f);
+        assert!(loops.is_empty(), "{}", autophase_ir::printer::print_module(&m));
+    }
+
+    #[test]
+    fn unrolled_loop_runs_fewer_dynamic_branches() {
+        let mut m = rotated_sum(16);
+        let before = run_main(&m, 100_000).unwrap();
+        assert!(run(&mut m));
+        let after = run_main(&m, 100_000).unwrap();
+        let blocks = |t: &autophase_ir::interp::ExecTrace| -> u64 {
+            t.block_counts.values().sum()
+        };
+        assert!(blocks(&after) < blocks(&before));
+    }
+
+    #[test]
+    fn big_trip_count_not_unrolled() {
+        let mut m = rotated_sum(1000);
+        assert!(!run(&mut m));
+    }
+
+    #[test]
+    fn unrotated_loop_not_unrolled_but_rotate_enables_it() {
+        // This is the paper's ordering interaction in miniature.
+        let mut b = FunctionBuilder::new("main", vec![], Type::I32);
+        let acc = b.alloca(Type::I32, 1);
+        b.store(acc, Value::i32(0));
+        b.counted_loop(Value::i32(6), |b, i| {
+            let c = b.load(Type::I32, acc);
+            let s = b.binary(BinOp::Add, c, i);
+            b.store(acc, s);
+        });
+        let r = b.load(Type::I32, acc);
+        b.ret(Some(r));
+        let mut m = Module::new("t");
+        m.add_function(b.finish());
+        // Top-tested two-block loop: unroll refuses.
+        assert!(!run(&mut m));
+        // After rotation it unrolls.
+        assert!(crate::loop_rotate::run(&mut m));
+        assert!(run(&mut m));
+        assert_verified(&m);
+        assert_eq!(run_main(&m, 100_000).unwrap().return_value, Some(15));
+    }
+
+    #[test]
+    fn induction_value_used_after_loop_gets_final_value() {
+        let mut b = FunctionBuilder::new("main", vec![], Type::I32);
+        let mut iv = Value::i32(0);
+        b.counted_loop(Value::i32(5), |_b, i| {
+            iv = i;
+        });
+        let r = b.binary(BinOp::Mul, iv, Value::i32(10));
+        b.ret(Some(r));
+        let mut m = Module::new("t");
+        m.add_function(b.finish());
+        crate::loop_rotate::run(&mut m);
+        let before = run_main(&m, 100_000).unwrap().observable();
+        run(&mut m);
+        assert_verified(&m);
+        assert_eq!(run_main(&m, 100_000).unwrap().observable(), before);
+    }
+
+    #[test]
+    fn memory_effects_replicated_in_order() {
+        // Writes to distinct slots must all survive with correct values.
+        let mut m = Module::new("t");
+        let g = m.add_global(autophase_ir::Global::zeroed("out", Type::I32, 8));
+        let mut b = FunctionBuilder::new("main", vec![], Type::I32);
+        b.counted_loop(Value::i32(8), |b, i| {
+            let p = b.gep(Value::Global(g), i);
+            let v = b.binary(BinOp::Mul, i, i);
+            b.store(p, v);
+        });
+        // checksum the slots into the return value
+        let acc = b.alloca(Type::I32, 1);
+        b.store(acc, Value::i32(0));
+        b.counted_loop(Value::i32(8), |b, i| {
+            let p = b.gep(Value::Global(g), i);
+            let v = b.load(Type::I32, p);
+            let c = b.load(Type::I32, acc);
+            let x = b.binary(BinOp::Xor, c, v);
+            let s = b.binary(BinOp::Shl, x, Value::i32(1));
+            b.store(acc, s);
+        });
+        let r = b.load(Type::I32, acc);
+        b.ret(Some(r));
+        m.add_function(b.finish());
+        crate::loop_rotate::run(&mut m);
+        let before = run_main(&m, 100_000).unwrap().observable();
+        assert!(run(&mut m));
+        assert_verified(&m);
+        assert_eq!(run_main(&m, 100_000).unwrap().observable(), before);
+    }
+
+    #[test]
+    fn run_function_arg_bound_not_unrolled() {
+        let mut b = FunctionBuilder::new("main", vec![Type::I32], Type::I32);
+        let acc = b.alloca(Type::I32, 1);
+        b.store(acc, Value::i32(0));
+        b.counted_loop(b.arg(0), |b, i| {
+            let c = b.load(Type::I32, acc);
+            let s = b.binary(BinOp::Add, c, i);
+            b.store(acc, s);
+        });
+        let r = b.load(Type::I32, acc);
+        b.ret(Some(r));
+        let mut m = Module::new("t");
+        m.add_function(b.finish());
+        crate::loop_rotate::run(&mut m);
+        assert!(!run(&mut m));
+        let r = run_function(&m, m.main().unwrap(), &[4], 100_000).unwrap();
+        assert_eq!(r.return_value, Some(6));
+    }
+}

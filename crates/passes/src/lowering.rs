@@ -1,0 +1,381 @@
+//! Lowering and canonicalization passes: `-lowerswitch`,
+//! `-break-crit-edges`, `-codegenprepare`, and the faithful no-ops
+//! (`-lowerinvoke`, `-loweratomic`, `-lower-expect`, `-strip`,
+//! `-strip-nondebug`).
+//!
+//! The no-op passes exist in the registry because the paper's action space
+//! includes them; on IR without invokes/atomics/debug-info the real LLVM
+//! passes change nothing either, so the RL agent faces the same
+//! useless-action landscape the paper describes.
+
+use crate::util;
+use autophase_ir::cfg::Cfg;
+use autophase_ir::{
+    BlockId, CmpPred, Inst, InstId, Module, Opcode, Type, Value,
+};
+
+/// `-lowerswitch`: rewrite every `switch` into a chain of `icmp eq` +
+/// conditional branches. Returns true on change.
+pub fn run_lowerswitch(m: &mut Module) -> bool {
+    util::for_each_function(m, |m, fid| {
+        let f = m.func(fid);
+        let mut targets: Vec<(BlockId, InstId)> = Vec::new();
+        for bb in f.block_ids() {
+            if let Some(t) = f.terminator(bb) {
+                if matches!(f.inst(t).op, Opcode::Switch { .. }) {
+                    targets.push((bb, t));
+                }
+            }
+        }
+        if targets.is_empty() {
+            return false;
+        }
+        for (bb, term) in targets {
+            lower_one_switch(m.func_mut(fid), bb, term);
+        }
+        true
+    })
+}
+
+fn lower_one_switch(f: &mut autophase_ir::Function, bb: BlockId, term: InstId) {
+    let Opcode::Switch {
+        value,
+        default,
+        cases,
+    } = f.inst(term).op.clone()
+    else {
+        unreachable!("caller checked switch")
+    };
+    // Remember the φ values each target received from `bb` before rewiring.
+    let mut targets: Vec<BlockId> = cases.iter().map(|(_, t)| *t).collect();
+    targets.push(default);
+    targets.sort();
+    targets.dedup();
+    let mut phi_vals: Vec<(BlockId, InstId, Value)> = Vec::new();
+    for &t in &targets {
+        for &iid in &f.block(t).insts {
+            if let Opcode::Phi { incoming } = &f.inst(iid).op {
+                if let Some((_, v)) = incoming.iter().find(|(p, _)| *p == bb) {
+                    phi_vals.push((t, iid, *v));
+                }
+            }
+        }
+    }
+
+    // Build the chain: bb tests case 0; each subsequent test gets its own
+    // block; the last test falls through to default.
+    f.block_mut(bb).insts.pop(); // unlink the switch (erased below)
+    let value_ty = util::type_of(f, value);
+    let mut chain: Vec<BlockId> = vec![bb];
+    let mut cur_bb = bb;
+    for (i, (k, target)) in cases.iter().enumerate() {
+        let is_last = i == cases.len() - 1;
+        let cmp = f.append_inst(
+            cur_bb,
+            Inst::new(
+                Type::I1,
+                Opcode::ICmp(CmpPred::Eq, value, Value::const_int(value_ty, *k)),
+            ),
+        );
+        let next_bb = if is_last { default } else { f.add_block() };
+        f.append_inst(
+            cur_bb,
+            Inst::new(
+                Type::Void,
+                Opcode::CondBr {
+                    cond: Value::Inst(cmp),
+                    then_bb: *target,
+                    else_bb: next_bb,
+                },
+            ),
+        );
+        if !is_last {
+            chain.push(next_bb);
+        }
+        cur_bb = next_bb;
+    }
+    if cases.is_empty() {
+        f.append_inst(cur_bb, Inst::new(Type::Void, Opcode::Br { target: default }));
+    }
+    f.erase_inst(term);
+
+    // Rebuild φ incoming entries: drop the old `bb` edge, then add one per
+    // chain block that now branches to the target, all carrying the value
+    // the target used to receive from `bb`.
+    for &t in &targets {
+        f.remove_phi_edge(t, bb);
+    }
+    for (t, phi, v) in phi_vals {
+        let preds: Vec<BlockId> = chain
+            .iter()
+            .copied()
+            .filter(|&c| f.successors(c).contains(&t))
+            .collect();
+        if let Opcode::Phi { incoming } = &mut f.inst_mut(phi).op {
+            for p in preds {
+                if !incoming.iter().any(|(q, _)| *q == p) {
+                    incoming.push((p, v));
+                }
+            }
+        }
+    }
+}
+
+/// `-break-crit-edges`: split every critical edge by inserting a forwarding
+/// block. Returns true on change.
+pub fn run_break_crit_edges(m: &mut Module) -> bool {
+    util::for_each_function(m, |m, fid| {
+        let f = m.func_mut(fid);
+        let cfg = Cfg::new(f);
+        let edges = cfg.critical_edges();
+        if edges.is_empty() {
+            return false;
+        }
+        for (src, dst) in edges {
+            split_edge(f, src, dst);
+        }
+        true
+    })
+}
+
+/// Insert a block on the edge `src → dst`, updating φ-nodes in `dst`.
+/// Splits *all* parallel edges from src to dst at once (they carry the same
+/// φ values). Returns the new block.
+pub fn split_edge(f: &mut autophase_ir::Function, src: BlockId, dst: BlockId) -> BlockId {
+    let mid = f.add_block();
+    f.append_inst(mid, Inst::new(Type::Void, Opcode::Br { target: dst }));
+    if let Some(term) = f.terminator(src) {
+        f.inst_mut(term).for_each_successor_mut(|s| {
+            if *s == dst {
+                *s = mid;
+            }
+        });
+    }
+    f.retarget_phis(dst, src, mid);
+    mid
+}
+
+/// `-codegenprepare`: sink address computations (`gep`) next to their
+/// single memory user so the backend can chain them into the same FSM
+/// state. Returns true on change.
+pub fn run_codegenprepare(m: &mut Module) -> bool {
+    util::for_each_function(m, |m, fid| {
+        let f = m.func(fid);
+        let index = util::UserIndex::build(f);
+        let mut moves: Vec<(InstId, BlockId, InstId, BlockId)> = Vec::new();
+        for bb in f.block_ids() {
+            for &iid in &f.block(bb).insts {
+                if !matches!(f.inst(iid).op, Opcode::Gep { .. }) {
+                    continue;
+                }
+                let [(user, ubb)] = index.users(iid) else {
+                    continue;
+                };
+                if *ubb == bb {
+                    continue;
+                }
+                let is_mem = matches!(
+                    f.inst(*user).op,
+                    Opcode::Load { .. } | Opcode::Store { .. }
+                );
+                if is_mem && !f.inst(*user).is_phi() {
+                    moves.push((iid, bb, *user, *ubb));
+                }
+            }
+        }
+        if moves.is_empty() {
+            return false;
+        }
+        let f = m.func_mut(fid);
+        for (gep, from, user, to) in moves {
+            f.block_mut(from).insts.retain(|&i| i != gep);
+            let pos = f
+                .block(to)
+                .insts
+                .iter()
+                .position(|&i| i == user)
+                .expect("user in its block");
+            f.block_mut(to).insts.insert(pos, gep);
+        }
+        true
+    })
+}
+
+/// `-lowerinvoke`: no invoke instructions exist in this IR; like LLVM's
+/// pass on invoke-free input, this never changes anything.
+pub fn run_lowerinvoke(_m: &mut Module) -> bool {
+    false
+}
+
+/// `-loweratomic`: no atomic instructions exist in this IR; faithful no-op.
+pub fn run_loweratomic(_m: &mut Module) -> bool {
+    false
+}
+
+/// `-lower-expect`: no `llvm.expect` intrinsics exist in this IR; faithful
+/// no-op.
+pub fn run_lower_expect(_m: &mut Module) -> bool {
+    false
+}
+
+/// `-strip`: no symbol/debug metadata exists in this IR; faithful no-op.
+pub fn run_strip(_m: &mut Module) -> bool {
+    false
+}
+
+/// `-strip-nondebug`: faithful no-op (see [`run_strip`]).
+pub fn run_strip_nondebug(_m: &mut Module) -> bool {
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autophase_ir::builder::FunctionBuilder;
+    use autophase_ir::interp::run_function;
+    use autophase_ir::verify::assert_verified;
+
+    fn switch_module() -> Module {
+        let mut m = Module::new("t");
+        let mut b = FunctionBuilder::new("main", vec![Type::I32], Type::I32);
+        let c1 = b.new_block();
+        let c2 = b.new_block();
+        let d = b.new_block();
+        b.switch(b.arg(0), d, vec![(1, c1), (2, c2)]);
+        b.switch_to(c1);
+        b.ret(Some(Value::i32(10)));
+        b.switch_to(c2);
+        b.ret(Some(Value::i32(20)));
+        b.switch_to(d);
+        b.ret(Some(Value::i32(30)));
+        m.add_function(b.finish());
+        m
+    }
+
+    #[test]
+    fn lowerswitch_preserves_dispatch() {
+        let mut m = switch_module();
+        let fid = m.main().unwrap();
+        let before: Vec<_> = (0..4)
+            .map(|x| run_function(&m, fid, &[x], 100).unwrap().return_value)
+            .collect();
+        assert!(run_lowerswitch(&mut m));
+        assert_verified(&m);
+        let after: Vec<_> = (0..4)
+            .map(|x| run_function(&m, fid, &[x], 100).unwrap().return_value)
+            .collect();
+        assert_eq!(before, after);
+        // No switch remains.
+        let f = m.func(fid);
+        let any_switch = f.block_ids().any(|bb| {
+            f.block(bb)
+                .insts
+                .iter()
+                .any(|&i| matches!(f.inst(i).op, Opcode::Switch { .. }))
+        });
+        assert!(!any_switch);
+    }
+
+    #[test]
+    fn lowerswitch_with_phi_targets() {
+        let mut m = Module::new("t");
+        let mut b = FunctionBuilder::new("main", vec![Type::I32], Type::I32);
+        let j = b.new_block();
+        let c1 = b.new_block();
+        let entry = b.entry_block();
+        b.switch(b.arg(0), j, vec![(1, c1), (2, j)]);
+        b.switch_to(c1);
+        b.br(j);
+        b.switch_to(j);
+        let p = b.phi(Type::I32, vec![(entry, Value::i32(0)), (c1, Value::i32(1))]);
+        b.ret(Some(p));
+        m.add_function(b.finish());
+        let fid = m.main().unwrap();
+        let before: Vec<_> = (0..4)
+            .map(|x| run_function(&m, fid, &[x], 100).unwrap().return_value)
+            .collect();
+        assert!(run_lowerswitch(&mut m));
+        assert_verified(&m);
+        let after: Vec<_> = (0..4)
+            .map(|x| run_function(&m, fid, &[x], 100).unwrap().return_value)
+            .collect();
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn break_crit_edges_splits() {
+        // entry -> {a, join}, a -> join: entry→join is critical.
+        let mut m = Module::new("t");
+        let mut b = FunctionBuilder::new("main", vec![Type::I32], Type::I32);
+        let a = b.new_block();
+        let join = b.new_block();
+        let c = b.icmp(CmpPred::Eq, b.arg(0), Value::i32(0));
+        let entry = b.entry_block();
+        b.cond_br(c, a, join);
+        b.switch_to(a);
+        b.br(join);
+        b.switch_to(join);
+        let p = b.phi(Type::I32, vec![(entry, Value::i32(1)), (a, Value::i32(2))]);
+        b.ret(Some(p));
+        m.add_function(b.finish());
+        let fid = m.main().unwrap();
+        let before: Vec<_> = (0..2)
+            .map(|x| run_function(&m, fid, &[x], 100).unwrap().return_value)
+            .collect();
+        assert!(run_break_crit_edges(&mut m));
+        assert_verified(&m);
+        let cfg = Cfg::new(m.func(fid));
+        assert!(cfg.critical_edges().is_empty());
+        let after: Vec<_> = (0..2)
+            .map(|x| run_function(&m, fid, &[x], 100).unwrap().return_value)
+            .collect();
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn codegenprepare_sinks_gep() {
+        let mut m = Module::new("t");
+        let mut b = FunctionBuilder::new("main", vec![Type::I32], Type::I32);
+        let use_bb = b.new_block();
+        let skip_bb = b.new_block();
+        let buf = b.alloca(Type::I32, 8);
+        b.store(buf, Value::i32(5));
+        let addr = b.gep(buf, Value::i32(0));
+        let c = b.icmp(CmpPred::Sgt, b.arg(0), Value::i32(0));
+        b.cond_br(c, use_bb, skip_bb);
+        b.switch_to(use_bb);
+        let v = b.load(Type::I32, addr);
+        b.ret(Some(v));
+        b.switch_to(skip_bb);
+        b.ret(Some(Value::i32(0)));
+        m.add_function(b.finish());
+        let fid = m.main().unwrap();
+        assert!(run_codegenprepare(&mut m));
+        assert_verified(&m);
+        let f = m.func(fid);
+        let gep_bb = f
+            .block_ids()
+            .find(|&bb| {
+                f.block(bb)
+                    .insts
+                    .iter()
+                    .any(|&i| matches!(f.inst(i).op, Opcode::Gep { .. }))
+            })
+            .unwrap();
+        assert_eq!(gep_bb, use_bb);
+        assert_eq!(
+            run_function(&m, fid, &[1], 100).unwrap().return_value,
+            Some(5)
+        );
+    }
+
+    #[test]
+    fn noop_passes_are_noops() {
+        let mut m = switch_module();
+        assert!(!run_lowerinvoke(&mut m));
+        assert!(!run_loweratomic(&mut m));
+        assert!(!run_lower_expect(&mut m));
+        assert!(!run_strip(&mut m));
+        assert!(!run_strip_nondebug(&mut m));
+    }
+}

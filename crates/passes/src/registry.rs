@@ -1,0 +1,216 @@
+//! The pass registry: the paper's Table 1 action space.
+//!
+//! Index ↔ pass mapping reproduces Table 1 exactly, including the repeated
+//! `-functionattrs` (indices 19 and 40) and the episode-terminating action
+//! `-terminate` at index 45.
+
+use autophase_ir::Module;
+
+/// Index into [`PASS_NAMES`] (the RL action space).
+pub type PassId = usize;
+
+/// The 46 Table-1 entries. Index 45 (`-terminate`) is the "stop the
+/// episode" pseudo-action and never transforms the module.
+pub const PASS_NAMES: [&str; 46] = [
+    "-correlated-propagation", // 0
+    "-scalarrepl",             // 1
+    "-lowerinvoke",            // 2
+    "-strip",                  // 3
+    "-strip-nondebug",         // 4
+    "-sccp",                   // 5
+    "-globalopt",              // 6
+    "-gvn",                    // 7
+    "-jump-threading",         // 8
+    "-globaldce",              // 9
+    "-loop-unswitch",          // 10
+    "-scalarrepl-ssa",         // 11
+    "-loop-reduce",            // 12
+    "-break-crit-edges",       // 13
+    "-loop-deletion",          // 14
+    "-reassociate",            // 15
+    "-lcssa",                  // 16
+    "-codegenprepare",         // 17
+    "-memcpyopt",              // 18
+    "-functionattrs",          // 19
+    "-loop-idiom",             // 20
+    "-lowerswitch",            // 21
+    "-constmerge",             // 22
+    "-loop-rotate",            // 23
+    "-partial-inliner",        // 24
+    "-inline",                 // 25
+    "-early-cse",              // 26
+    "-indvars",                // 27
+    "-adce",                   // 28
+    "-loop-simplify",          // 29
+    "-instcombine",            // 30
+    "-simplifycfg",            // 31
+    "-dse",                    // 32
+    "-loop-unroll",            // 33
+    "-lower-expect",           // 34
+    "-tailcallelim",           // 35
+    "-licm",                   // 36
+    "-sink",                   // 37
+    "-mem2reg",                // 38
+    "-prune-eh",               // 39
+    "-functionattrs",          // 40
+    "-ipsccp",                 // 41
+    "-deadargelim",            // 42
+    "-sroa",                   // 43
+    "-loweratomic",            // 44
+    "-terminate",              // 45
+];
+
+/// Number of real transform passes (excludes `-terminate`).
+pub const NUM_PASSES: usize = 45;
+
+/// Index of the `-terminate` pseudo-action.
+pub const TERMINATE: PassId = 45;
+
+/// Number of registry entries including `-terminate`.
+pub fn pass_count() -> usize {
+    PASS_NAMES.len()
+}
+
+/// Name of a pass by index.
+///
+/// # Panics
+///
+/// Panics if `id >= pass_count()`.
+pub fn pass_name(id: PassId) -> &'static str {
+    PASS_NAMES[id]
+}
+
+/// Module size (instructions) beyond which code-growing passes
+/// (`-inline`, `-partial-inliner`, `-loop-unroll`, `-loop-idiom`,
+/// `-loop-unswitch`) refuse to grow further — the analogue of LLVM's
+/// inline/unroll cost thresholds, and what keeps arbitrary repeated
+/// sequences (an RL agent will happily emit `-loop-unroll` 45 times)
+/// compiling in bounded time.
+pub const GROWTH_LIMIT: usize = 3_000;
+
+/// Apply pass `id` to the module. Returns true if the module changed.
+/// `-terminate` (45) and out-of-range ids are no-ops.
+pub fn apply(m: &mut Module, id: PassId) -> bool {
+    let grows = matches!(id, 10 | 20 | 24 | 25 | 33);
+    if grows && m.num_insts() > GROWTH_LIMIT {
+        return false;
+    }
+    match id {
+        0 => crate::correlated::run(m),
+        1 => crate::sroa::run_scalarrepl(m),
+        2 => crate::lowering::run_lowerinvoke(m),
+        3 => crate::lowering::run_strip(m),
+        4 => crate::lowering::run_strip_nondebug(m),
+        5 => crate::sccp::run(m),
+        6 => crate::globals::run_globalopt(m),
+        7 => crate::gvn::run(m),
+        8 => crate::jump_threading::run(m),
+        9 => crate::globals::run_globaldce(m),
+        10 => crate::loop_unswitch::run(m),
+        11 => crate::sroa::run_scalarrepl_ssa(m),
+        12 => crate::loop_reduce::run(m),
+        13 => crate::lowering::run_break_crit_edges(m),
+        14 => crate::loop_deletion::run(m),
+        15 => crate::reassociate::run(m),
+        16 => crate::lcssa::run(m),
+        17 => crate::lowering::run_codegenprepare(m),
+        18 => crate::memcpyopt::run(m),
+        19 | 40 => crate::ipo::run_functionattrs(m),
+        20 => crate::loop_idiom::run(m),
+        21 => crate::lowering::run_lowerswitch(m),
+        22 => crate::globals::run_constmerge(m),
+        23 => crate::loop_rotate::run(m),
+        24 => crate::inline::run_partial(m),
+        25 => crate::inline::run(m),
+        26 => crate::early_cse::run(m),
+        27 => crate::indvars::run(m),
+        28 => crate::adce::run(m),
+        29 => crate::loop_simplify::run(m),
+        30 => crate::instcombine::run(m),
+        31 => crate::simplifycfg::run(m),
+        32 => crate::dse::run(m),
+        33 => crate::loop_unroll::run(m),
+        34 => crate::lowering::run_lower_expect(m),
+        35 => crate::tailcall::run(m),
+        36 => crate::licm::run(m),
+        37 => crate::sink::run(m),
+        38 => crate::mem2reg::run(m),
+        39 => crate::ipo::run_prune_eh(m),
+        41 => crate::ipo::run_ipsccp(m),
+        42 => crate::ipo::run_deadargelim(m),
+        43 => crate::sroa::run(m),
+        44 => crate::lowering::run_loweratomic(m),
+        _ => false,
+    }
+}
+
+/// Apply a whole sequence of passes; returns how many of them reported a
+/// change.
+pub fn apply_sequence(m: &mut Module, seq: &[PassId]) -> usize {
+    seq.iter().filter(|&&p| apply(m, p)).count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autophase_ir::builder::FunctionBuilder;
+    use autophase_ir::verify::verify_module;
+    use autophase_ir::{BinOp, Type, Value};
+
+    fn sample_module() -> Module {
+        let mut m = Module::new("t");
+        let mut b = FunctionBuilder::new("main", vec![], Type::I32);
+        let acc = b.alloca(Type::I32, 1);
+        b.store(acc, Value::i32(0));
+        b.counted_loop(Value::i32(10), |b, i| {
+            let c = b.load(Type::I32, acc);
+            let n = b.binary(BinOp::Add, c, i);
+            b.store(acc, n);
+        });
+        let r = b.load(Type::I32, acc);
+        b.ret(Some(r));
+        m.add_function(b.finish());
+        m
+    }
+
+    #[test]
+    fn table1_has_46_entries() {
+        assert_eq!(PASS_NAMES.len(), 46);
+        assert_eq!(pass_name(23), "-loop-rotate");
+        assert_eq!(pass_name(38), "-mem2reg");
+        assert_eq!(pass_name(TERMINATE), "-terminate");
+        assert_eq!(pass_name(19), pass_name(40));
+    }
+
+    #[test]
+    fn every_pass_preserves_semantics_and_verifies() {
+        let reference = sample_module();
+        let expect = autophase_ir::interp::run_main(&reference, 100_000)
+            .unwrap()
+            .observable();
+        for id in 0..pass_count() {
+            let mut m = sample_module();
+            apply(&mut m, id);
+            verify_module(&m).unwrap_or_else(|e| {
+                panic!("{} broke the verifier: {e}", pass_name(id))
+            });
+            let got = autophase_ir::interp::run_main(&m, 100_000)
+                .unwrap()
+                .observable();
+            assert_eq!(got, expect, "{} changed behaviour", pass_name(id));
+        }
+    }
+
+    #[test]
+    fn terminate_is_noop() {
+        let mut m = sample_module();
+        assert!(!apply(&mut m, TERMINATE));
+    }
+
+    #[test]
+    fn apply_sequence_counts_changes() {
+        let mut m = sample_module();
+        let n = apply_sequence(&mut m, &[38, 23, 33, 3]);
+        assert!(n >= 2, "mem2reg and loop-rotate must both fire, got {n}");
+    }
+}

@@ -1,0 +1,405 @@
+//! `-sccp`: sparse conditional constant propagation.
+//!
+//! Lattice-based (⊤ unknown / constant / ⊥ varying) propagation that tracks
+//! block executability: instructions in blocks proven unreachable are never
+//! evaluated, and φ-nodes only merge over executable edges — so constants
+//! survive through branches that constant conditions rule out. Afterwards,
+//! proven-constant results are substituted and branches on proven constants
+//! are folded.
+
+use crate::util;
+use autophase_ir::fold;
+use autophase_ir::{BlockId, FuncId, InstId, Module, Opcode, Type, Value};
+use std::collections::{HashMap, HashSet, VecDeque};
+
+/// Lattice value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Lat {
+    /// Not yet known (optimistic top).
+    Unknown,
+    /// Proven constant.
+    Const(Type, i64),
+    /// Proven varying (bottom).
+    Varying,
+}
+
+impl Lat {
+    fn meet(self, other: Lat) -> Lat {
+        match (self, other) {
+            (Lat::Unknown, x) | (x, Lat::Unknown) => x,
+            (Lat::Const(t1, a), Lat::Const(_, b)) if a == b => Lat::Const(t1, a),
+            _ => Lat::Varying,
+        }
+    }
+}
+
+/// Run the pass. Returns true if anything changed.
+pub fn run(m: &mut Module) -> bool {
+    util::for_each_function(m, sccp_function)
+}
+
+pub(crate) fn sccp_function(m: &mut Module, fid: FuncId) -> bool {
+    let solution = solve(m, fid, &HashMap::new());
+    apply_solution(m, fid, &solution)
+}
+
+pub(crate) struct Solution {
+    pub consts: HashMap<InstId, (Type, i64)>,
+    pub executable: HashSet<BlockId>,
+}
+
+impl Solution {
+    /// Blocks of `f` the solver proved unreachable (folded away when the
+    /// solution is applied).
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub fn unreachable_blocks(&self, f: &autophase_ir::Function) -> usize {
+        f.block_ids().filter(|bb| !self.executable.contains(bb)).count()
+    }
+}
+
+/// Solve the SCCP dataflow for one function. `arg_consts` optionally pins
+/// argument lattice values (used by `-ipsccp`).
+pub(crate) fn solve(m: &Module, fid: FuncId, arg_consts: &HashMap<u32, i64>) -> Solution {
+    let f = m.func(fid);
+    let mut lat: HashMap<InstId, Lat> = HashMap::new();
+    let mut exec_blocks: HashSet<BlockId> = HashSet::new();
+    let mut exec_edges: HashSet<(BlockId, BlockId)> = HashSet::new();
+    let mut block_q: VecDeque<BlockId> = VecDeque::new();
+    let mut inst_q: VecDeque<InstId> = VecDeque::new();
+
+    let value_lat = |lat: &HashMap<InstId, Lat>, v: Value| -> Lat {
+        match v {
+            Value::ConstInt(t, c) => Lat::Const(t, c),
+            Value::Undef(t) => Lat::Const(t, 0),
+            Value::Global(_) => Lat::Varying,
+            Value::Arg(i) => match arg_consts.get(&i) {
+                Some(&c) => Lat::Const(
+                    f.params.get(i as usize).copied().unwrap_or(Type::I64),
+                    c,
+                ),
+                None => Lat::Varying,
+            },
+            Value::Inst(id) => lat.get(&id).copied().unwrap_or(Lat::Unknown),
+        }
+    };
+
+    block_q.push_back(f.entry);
+    exec_blocks.insert(f.entry);
+
+    let eval_inst = |lat: &HashMap<InstId, Lat>,
+                     exec_edges: &HashSet<(BlockId, BlockId)>,
+                     bb: BlockId,
+                     iid: InstId|
+     -> Lat {
+        let inst = f.inst(iid);
+        match &inst.op {
+            Opcode::Binary(op, a, b) => {
+                match (value_lat(lat, *a), value_lat(lat, *b)) {
+                    (Lat::Const(_, x), Lat::Const(_, y)) => {
+                        Lat::Const(inst.ty, fold::eval_binop(*op, inst.ty, x, y))
+                    }
+                    (Lat::Varying, _) | (_, Lat::Varying) => Lat::Varying,
+                    _ => Lat::Unknown,
+                }
+            }
+            Opcode::ICmp(p, a, b) => {
+                let ty = util::type_of(f, *a);
+                match (value_lat(lat, *a), value_lat(lat, *b)) {
+                    (Lat::Const(_, x), Lat::Const(_, y)) => {
+                        Lat::Const(Type::I1, fold::eval_icmp(*p, ty, x, y))
+                    }
+                    (Lat::Varying, _) | (_, Lat::Varying) => Lat::Varying,
+                    _ => Lat::Unknown,
+                }
+            }
+            Opcode::Cast(op, v) => {
+                let from = util::type_of(f, *v);
+                match value_lat(lat, *v) {
+                    Lat::Const(_, x) if inst.ty.is_int() && from.is_int() => {
+                        Lat::Const(inst.ty, fold::eval_cast(*op, from, inst.ty, x))
+                    }
+                    Lat::Const(..) => Lat::Varying,
+                    x => x,
+                }
+            }
+            Opcode::Select { cond, tval, fval } => match value_lat(lat, *cond) {
+                Lat::Const(_, c) => value_lat(lat, if c != 0 { *tval } else { *fval }),
+                Lat::Varying => value_lat(lat, *tval).meet(value_lat(lat, *fval)),
+                Lat::Unknown => Lat::Unknown,
+            },
+            Opcode::Phi { incoming } => {
+                let mut acc = Lat::Unknown;
+                for (pred, v) in incoming {
+                    if exec_edges.contains(&(*pred, bb)) {
+                        acc = acc.meet(value_lat(lat, *v));
+                    }
+                }
+                acc
+            }
+            _ => Lat::Varying,
+        }
+    };
+
+    // Fixpoint.
+    loop {
+        let mut progressed = false;
+        while let Some(bb) = block_q.pop_front() {
+            progressed = true;
+            for &iid in &f.block(bb).insts {
+                inst_q.push_back(iid);
+            }
+        }
+        while let Some(iid) = inst_q.pop_front() {
+            let Some(bb) = placement(f, iid) else { continue };
+            if !exec_blocks.contains(&bb) {
+                continue;
+            }
+            progressed = true;
+            let inst = f.inst(iid);
+            if inst.is_terminator() {
+                // Determine executable out-edges.
+                let succs: Vec<BlockId> = match &inst.op {
+                    Opcode::Br { target } => vec![*target],
+                    Opcode::CondBr {
+                        cond,
+                        then_bb,
+                        else_bb,
+                    } => match value_lat(&lat, *cond) {
+                        Lat::Const(_, c) => vec![if c != 0 { *then_bb } else { *else_bb }],
+                        Lat::Varying => vec![*then_bb, *else_bb],
+                        Lat::Unknown => vec![],
+                    },
+                    Opcode::Switch {
+                        value,
+                        default,
+                        cases,
+                    } => match value_lat(&lat, *value) {
+                        Lat::Const(_, c) => vec![cases
+                            .iter()
+                            .find(|(k, _)| *k == c)
+                            .map(|(_, b)| *b)
+                            .unwrap_or(*default)],
+                        Lat::Varying => {
+                            let mut v: Vec<BlockId> =
+                                cases.iter().map(|(_, b)| *b).collect();
+                            v.push(*default);
+                            v
+                        }
+                        Lat::Unknown => vec![],
+                    },
+                    _ => vec![],
+                };
+                for s in succs {
+                    let new_edge = exec_edges.insert((bb, s));
+                    if exec_blocks.insert(s) {
+                        block_q.push_back(s);
+                    } else if new_edge {
+                        // φs in s must re-merge over the new edge.
+                        for &pid in &f.block(s).insts {
+                            if f.inst(pid).is_phi() {
+                                inst_q.push_back(pid);
+                            }
+                        }
+                    }
+                }
+                continue;
+            }
+            if inst.ty.is_void() {
+                continue;
+            }
+            let new = eval_inst(&lat, &exec_edges, bb, iid);
+            let old = lat.get(&iid).copied().unwrap_or(Lat::Unknown);
+            let merged = old.meet(new);
+            // Monotonic update only.
+            let went_down = merged != old;
+            if went_down {
+                lat.insert(iid, merged);
+                // Re-evaluate users (and terminators that branch on it).
+                for (user, _) in f.users(Value::Inst(iid)) {
+                    inst_q.push_back(user);
+                }
+            }
+        }
+        if !progressed && block_q.is_empty() && inst_q.is_empty() {
+            break;
+        }
+        if block_q.is_empty() && inst_q.is_empty() {
+            break;
+        }
+    }
+
+    let consts = lat
+        .into_iter()
+        .filter_map(|(id, l)| match l {
+            Lat::Const(t, c) => Some((id, (t, c))),
+            _ => None,
+        })
+        .collect();
+    Solution {
+        consts,
+        executable: exec_blocks,
+    }
+}
+
+fn placement(f: &autophase_ir::Function, iid: InstId) -> Option<BlockId> {
+    if !f.inst_exists(iid) {
+        return None;
+    }
+    f.block_of(iid)
+}
+
+pub(crate) fn apply_solution(m: &mut Module, fid: FuncId, sol: &Solution) -> bool {
+    let mut changed = false;
+    let f = m.func_mut(fid);
+    // Substitute proven constants.
+    for (&iid, &(ty, c)) in &sol.consts {
+        if !f.inst_exists(iid) {
+            continue;
+        }
+        if f.replace_all_uses(Value::Inst(iid), Value::ConstInt(ty, c)) > 0 {
+            changed = true;
+        }
+    }
+    // Fold branches whose condition is now a constant, so unreachable
+    // regions actually disappear (simplifycfg finishes the cleanup).
+    changed |= crate::simplifycfg::run_on_function(m, fid);
+    changed |= util::delete_dead(m, fid) > 0;
+    changed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autophase_ir::builder::FunctionBuilder;
+    use autophase_ir::interp::run_main;
+    use autophase_ir::verify::assert_verified;
+    use autophase_ir::{BinOp, CmpPred};
+
+    fn module_with(f: autophase_ir::Function) -> Module {
+        let mut m = Module::new("t");
+        m.add_function(f);
+        m
+    }
+
+    #[test]
+    fn propagates_through_dead_branch() {
+        // x = 1; if (false) x = 2; return x + 1  →  return 2
+        let mut b = FunctionBuilder::new("main", vec![], Type::I32);
+        let t = b.new_block();
+        let j = b.new_block();
+        b.cond_br(Value::FALSE, t, j);
+        b.switch_to(t);
+        b.br(j);
+        b.switch_to(j);
+        let x = b.phi(Type::I32, vec![(b.entry_block(), Value::i32(1)), (t, Value::i32(2))]);
+        let r = b.binary(BinOp::Add, x, Value::i32(1));
+        b.ret(Some(r));
+        let mut m = module_with(b.finish());
+        assert!(run(&mut m));
+        assert_verified(&m);
+        assert_eq!(run_main(&m, 100).unwrap().return_value, Some(2));
+        // The φ merged only over the executable edge: result folded to 2.
+        assert_eq!(m.func(m.main().unwrap()).num_insts(), 1);
+    }
+
+    #[test]
+    fn plain_constant_chain_folds() {
+        let mut b = FunctionBuilder::new("main", vec![], Type::I32);
+        let x = b.binary(BinOp::Add, Value::i32(4), Value::i32(5));
+        let c = b.icmp(CmpPred::Sgt, x, Value::i32(3));
+        let s = b.select(c, x, Value::i32(0));
+        b.ret(Some(s));
+        let mut m = module_with(b.finish());
+        assert!(run(&mut m));
+        assert_eq!(run_main(&m, 100).unwrap().return_value, Some(9));
+        assert_eq!(m.func(m.main().unwrap()).num_insts(), 1);
+    }
+
+    #[test]
+    fn varying_inputs_untouched() {
+        let mut b = FunctionBuilder::new("main", vec![Type::I32], Type::I32);
+        let x = b.binary(BinOp::Add, b.arg(0), Value::i32(5));
+        b.ret(Some(x));
+        let mut m = module_with(b.finish());
+        assert!(!run(&mut m));
+    }
+
+    #[test]
+    fn phi_of_equal_constants_over_live_edges() {
+        // Both live edges feed 7 → φ is 7 even though branch is varying.
+        let mut b = FunctionBuilder::new("main", vec![Type::I32], Type::I32);
+        let t = b.new_block();
+        let e = b.new_block();
+        let j = b.new_block();
+        let c = b.icmp(CmpPred::Slt, b.arg(0), Value::i32(0));
+        b.cond_br(c, t, e);
+        b.switch_to(t);
+        b.br(j);
+        b.switch_to(e);
+        b.br(j);
+        b.switch_to(j);
+        let p = b.phi(Type::I32, vec![(t, Value::i32(7)), (e, Value::i32(7))]);
+        let r = b.binary(BinOp::Mul, p, Value::i32(2));
+        b.ret(Some(r));
+        let mut m = module_with(b.finish());
+        assert!(run(&mut m));
+        assert_verified(&m);
+        assert_eq!(run_main(&m, 100).unwrap().return_value, Some(14));
+    }
+
+    #[test]
+    fn constant_loop_bound_dead_loop() {
+        // for i in 0..0 — loop never executes; body constants fold away.
+        let mut b = FunctionBuilder::new("main", vec![], Type::I32);
+        let acc = b.alloca(Type::I32, 1);
+        b.store(acc, Value::i32(5));
+        b.counted_loop(Value::i32(0), |b, _| {
+            b.store(acc, Value::i32(99));
+        });
+        let r = b.load(Type::I32, acc);
+        b.ret(Some(r));
+        let mut m = module_with(b.finish());
+        let before = run_main(&m, 1000).unwrap().observable();
+        run(&mut m);
+        assert_verified(&m);
+        assert_eq!(run_main(&m, 1000).unwrap().observable(), before);
+    }
+
+    #[test]
+    fn solver_reports_unreachable_blocks() {
+        let mut b = FunctionBuilder::new("main", vec![], Type::I32);
+        let t = b.new_block();
+        let e = b.new_block();
+        b.cond_br(Value::FALSE, t, e);
+        b.switch_to(t);
+        b.ret(Some(Value::i32(1)));
+        b.switch_to(e);
+        b.ret(Some(Value::i32(2)));
+        let mut m = module_with(b.finish());
+        let fid = m.main().unwrap();
+        let sol = solve(&m, fid, &std::collections::HashMap::new());
+        assert_eq!(sol.unreachable_blocks(m.func(fid)), 1);
+        apply_solution(&mut m, fid, &sol);
+        assert_verified(&m);
+    }
+
+    #[test]
+    fn switch_on_constant_prunes() {
+        let mut b = FunctionBuilder::new("main", vec![], Type::I32);
+        let c1 = b.new_block();
+        let c2 = b.new_block();
+        let d = b.new_block();
+        b.switch(Value::i32(1), d, vec![(1, c1), (2, c2)]);
+        b.switch_to(c1);
+        b.ret(Some(Value::i32(100)));
+        b.switch_to(c2);
+        b.ret(Some(Value::i32(200)));
+        b.switch_to(d);
+        b.ret(Some(Value::i32(300)));
+        let mut m = module_with(b.finish());
+        assert!(run(&mut m));
+        assert_verified(&m);
+        assert_eq!(run_main(&m, 100).unwrap().return_value, Some(100));
+        assert_eq!(m.func(m.main().unwrap()).num_blocks(), 1);
+    }
+}

@@ -1,0 +1,476 @@
+//! `-simplifycfg`: CFG cleanup.
+//!
+//! * removes blocks unreachable from entry,
+//! * folds conditional branches with constant or equal-target conditions,
+//! * folds switches on constants,
+//! * merges a block into its unique predecessor when it is that
+//!   predecessor's unique successor,
+//! * removes empty forwarding blocks (a lone `br`) when φ-nodes permit,
+//! * replaces single-incoming φ-nodes with their value.
+
+use crate::util;
+use autophase_ir::cfg::Cfg;
+use autophase_ir::{BlockId, FuncId, Module, Opcode, Value};
+
+/// Run the pass. Returns true if anything changed.
+pub fn run(m: &mut Module) -> bool {
+    util::for_each_function(m, run_on_function)
+}
+
+/// Run the simplifications on one function (shared with `-sccp`, which
+/// folds branches through this after substituting constants).
+pub fn run_on_function(m: &mut Module, fid: FuncId) -> bool {
+    let mut changed = false;
+    // Iterate until no local rule fires (each rule is cheap).
+    loop {
+        let mut local = false;
+        local |= fold_constant_branches(m, fid);
+        local |= remove_unreachable(m, fid);
+        local |= simplify_single_incoming_phis(m, fid);
+        local |= merge_straightline(m, fid);
+        local |= remove_forwarding_blocks(m, fid);
+        if !local {
+            break;
+        }
+        changed = true;
+    }
+    changed |= util::delete_dead(m, fid) > 0;
+    changed
+}
+
+/// `br true, a, b` → `br a`; `br c, a, a` → `br a`; constant switches.
+fn fold_constant_branches(m: &mut Module, fid: FuncId) -> bool {
+    let f = m.func_mut(fid);
+    let mut changed = false;
+    for bb in f.block_ids().collect::<Vec<_>>() {
+        let Some(term) = f.terminator(bb) else { continue };
+        let new_op = match &f.inst(term).op {
+            Opcode::CondBr {
+                cond,
+                then_bb,
+                else_bb,
+            } => {
+                if let Value::ConstInt(_, c) = cond {
+                    let (keep, drop) = if *c != 0 {
+                        (*then_bb, *else_bb)
+                    } else {
+                        (*else_bb, *then_bb)
+                    };
+                    Some((keep, vec![(drop, bb)]))
+                } else if then_bb == else_bb {
+                    Some((*then_bb, vec![]))
+                } else {
+                    None
+                }
+            }
+            Opcode::Switch {
+                value,
+                default,
+                cases,
+            } => {
+                if let Value::ConstInt(_, c) = value {
+                    let target = cases
+                        .iter()
+                        .find(|(k, _)| k == c)
+                        .map(|(_, b)| *b)
+                        .unwrap_or(*default);
+                    let dropped: Vec<(BlockId, BlockId)> = cases
+                        .iter()
+                        .map(|(_, b)| *b)
+                        .chain(std::iter::once(*default))
+                        .filter(|b| *b != target)
+                        .map(|b| (b, bb))
+                        .collect();
+                    Some((target, dropped))
+                } else {
+                    None
+                }
+            }
+            _ => None,
+        };
+        if let Some((target, dropped_edges)) = new_op {
+            f.inst_mut(term).op = Opcode::Br { target };
+            let mut dropped = dropped_edges;
+            dropped.sort();
+            dropped.dedup();
+            for (dst, pred) in dropped {
+                if dst != target {
+                    f.remove_phi_edge(dst, pred);
+                }
+            }
+            changed = true;
+        }
+    }
+    changed
+}
+
+/// Delete blocks unreachable from the entry, fixing φ-nodes.
+pub(crate) fn remove_unreachable(m: &mut Module, fid: FuncId) -> bool {
+    let f = m.func_mut(fid);
+    let dead = autophase_ir::cfg::unreachable_blocks(f);
+    if dead.is_empty() {
+        return false;
+    }
+    // Remove φ entries flowing from dead blocks into live ones.
+    for &d in &dead {
+        let succs = f.successors(d);
+        for s in succs {
+            if !dead.contains(&s) {
+                f.remove_phi_edge(s, d);
+            }
+        }
+    }
+    // Replace any remaining uses of results defined in dead blocks with
+    // undef (they can only occur in other dead blocks or be verifier-dead).
+    let mut dead_results = Vec::new();
+    for &d in &dead {
+        for &iid in &f.block(d).insts {
+            if !f.inst(iid).ty.is_void() {
+                dead_results.push((iid, f.inst(iid).ty));
+            }
+        }
+    }
+    for &d in &dead {
+        f.remove_block(d);
+    }
+    for (iid, ty) in dead_results {
+        f.replace_all_uses(Value::Inst(iid), Value::Undef(ty));
+    }
+    true
+}
+
+/// `phi [(p, v)]` → `v` (single predecessor after CFG cleanup).
+fn simplify_single_incoming_phis(m: &mut Module, fid: FuncId) -> bool {
+    let f = m.func_mut(fid);
+    let mut changed = false;
+    for bb in f.block_ids().collect::<Vec<_>>() {
+        let phis: Vec<_> = f
+            .block(bb)
+            .insts
+            .iter()
+            .copied()
+            .filter(|&i| f.inst(i).is_phi())
+            .collect();
+        for p in phis {
+            let replacement = match &f.inst(p).op {
+                Opcode::Phi { incoming } if incoming.len() == 1 => Some(incoming[0].1),
+                Opcode::Phi { incoming }
+                    if !incoming.is_empty()
+                        && incoming.iter().all(|(_, v)| *v == incoming[0].1)
+                        && incoming.iter().all(|(_, v)| *v != Value::Inst(p)) =>
+                {
+                    Some(incoming[0].1)
+                }
+                _ => None,
+            };
+            if let Some(v) = replacement {
+                if v == Value::Inst(p) {
+                    continue;
+                }
+                f.replace_all_uses(Value::Inst(p), v);
+                f.remove_inst(bb, p);
+                changed = true;
+            }
+        }
+    }
+    changed
+}
+
+/// Merge `b` into `a` when `a`'s only successor is `b` and `b`'s only
+/// predecessor is `a` (and `b` has no φ-nodes left).
+fn merge_straightline(m: &mut Module, fid: FuncId) -> bool {
+    let f = m.func_mut(fid);
+    let mut changed = false;
+    loop {
+        let cfg = Cfg::new(f);
+        let mut merged = false;
+        for a in f.block_ids().collect::<Vec<_>>() {
+            if !f.block_exists(a) {
+                continue;
+            }
+            let succs = cfg.unique_succs(a);
+            if succs.len() != 1 {
+                continue;
+            }
+            let b = succs[0];
+            if b == a || b == f.entry {
+                continue;
+            }
+            if cfg.preds(b).len() != 1 {
+                continue;
+            }
+            if f.block(b).insts.iter().any(|&i| f.inst(i).is_phi()) {
+                // Single-pred φs are handled by simplify_single_incoming_phis
+                // on the next outer iteration.
+                continue;
+            }
+            // Drop a's terminator, splice b's instructions, fix φs of b's
+            // successors, delete b.
+            let term = f.terminator(a).expect("block with successor has terminator");
+            f.remove_inst(a, term);
+            let b_insts = f.block(b).insts.clone();
+            f.block_mut(a).insts.extend(b_insts);
+            f.block_mut(b).insts.clear();
+            let new_succs = f.successors(a);
+            for s in new_succs {
+                f.retarget_phis(s, b, a);
+            }
+            f.remove_block(b);
+            merged = true;
+            changed = true;
+            break; // CFG changed; recompute
+        }
+        if !merged {
+            return changed;
+        }
+    }
+}
+
+/// Remove blocks containing only `br target`, making predecessors jump
+/// straight to the target, when the target's φ-nodes stay consistent.
+fn remove_forwarding_blocks(m: &mut Module, fid: FuncId) -> bool {
+    let f = m.func_mut(fid);
+    let mut changed = false;
+    let cfg = Cfg::new(f);
+    for bb in f.block_ids().collect::<Vec<_>>() {
+        if bb == f.entry || !f.block_exists(bb) {
+            continue;
+        }
+        let insts = &f.block(bb).insts;
+        if insts.len() != 1 {
+            continue;
+        }
+        let target = match f.inst(insts[0]).op {
+            Opcode::Br { target } => target,
+            _ => continue,
+        };
+        if target == bb {
+            continue;
+        }
+        let preds = cfg.unique_preds(bb);
+        if preds.is_empty() {
+            continue;
+        }
+        // φ-safety: if the target has φ-nodes, every pred must not already
+        // be a predecessor of target (no duplicate incoming with possibly
+        // different values), and the value flowing through bb must work for
+        // each pred (it does: the φ entry for bb applies to all).
+        let target_has_phis = f
+            .block(target)
+            .insts
+            .iter()
+            .any(|&i| f.inst(i).is_phi());
+        if target_has_phis {
+            let target_preds = cfg.unique_preds(target);
+            if preds.iter().any(|p| target_preds.contains(p)) {
+                continue;
+            }
+            // A predecessor branching to bb on several edges is fine; φ
+            // entries are per-block.
+        }
+        // Retarget each predecessor's terminator from bb to target.
+        for &p in &preds {
+            if let Some(t) = f.terminator(p) {
+                f.inst_mut(t).for_each_successor_mut(|s| {
+                    if *s == bb {
+                        *s = target;
+                    }
+                });
+            }
+        }
+        // Update target φs: duplicate bb's entry for each pred.
+        let phi_ids: Vec<_> = f
+            .block(target)
+            .insts
+            .iter()
+            .copied()
+            .filter(|&i| f.inst(i).is_phi())
+            .collect();
+        for phi in phi_ids {
+            if let Opcode::Phi { incoming } = &mut f.inst_mut(phi).op {
+                if let Some(pos) = incoming.iter().position(|(p, _)| *p == bb) {
+                    let (_, v) = incoming.remove(pos);
+                    for &p in &preds {
+                        incoming.push((p, v));
+                    }
+                }
+            }
+        }
+        f.remove_block(bb);
+        changed = true;
+        // The CFG snapshot is stale after an edit; let the caller re-run.
+        break;
+    }
+    changed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autophase_ir::builder::FunctionBuilder;
+    use autophase_ir::interp::run_main;
+    use autophase_ir::verify::assert_verified;
+    use autophase_ir::{BinOp, CmpPred, Type};
+
+    fn module_with(f: autophase_ir::Function) -> Module {
+        let mut m = Module::new("t");
+        m.add_function(f);
+        m
+    }
+
+    #[test]
+    fn folds_constant_branch_and_removes_dead_arm() {
+        let mut b = FunctionBuilder::new("main", vec![], Type::I32);
+        let t = b.new_block();
+        let e = b.new_block();
+        b.cond_br(Value::TRUE, t, e);
+        b.switch_to(t);
+        b.ret(Some(Value::i32(1)));
+        b.switch_to(e);
+        b.ret(Some(Value::i32(2)));
+        let mut m = module_with(b.finish());
+        assert!(run(&mut m));
+        assert_verified(&m);
+        let f = m.func(m.main().unwrap());
+        assert_eq!(f.num_blocks(), 1); // entry merged with taken arm
+        assert_eq!(run_main(&m, 100).unwrap().return_value, Some(1));
+    }
+
+    #[test]
+    fn merges_straightline_blocks() {
+        let mut b = FunctionBuilder::new("main", vec![], Type::I32);
+        let mid = b.new_block();
+        let end = b.new_block();
+        let x = b.binary(BinOp::Add, Value::i32(1), Value::i32(2));
+        b.br(mid);
+        b.switch_to(mid);
+        let y = b.binary(BinOp::Mul, x, Value::i32(3));
+        b.br(end);
+        b.switch_to(end);
+        b.ret(Some(y));
+        let mut m = module_with(b.finish());
+        assert!(run(&mut m));
+        assert_verified(&m);
+        assert_eq!(m.func(m.main().unwrap()).num_blocks(), 1);
+        assert_eq!(run_main(&m, 100).unwrap().return_value, Some(9));
+    }
+
+    #[test]
+    fn equal_target_condbr_becomes_br() {
+        let mut b = FunctionBuilder::new("main", vec![Type::I32], Type::I32);
+        let t = b.new_block();
+        let c = b.icmp(CmpPred::Eq, b.arg(0), Value::i32(0));
+        b.cond_br(c, t, t);
+        b.switch_to(t);
+        b.ret(Some(Value::i32(5)));
+        let mut m = module_with(b.finish());
+        assert!(run(&mut m));
+        assert_verified(&m);
+        // icmp is now dead and removed; blocks merged.
+        assert_eq!(m.func(m.main().unwrap()).num_insts(), 1);
+    }
+
+    #[test]
+    fn constant_switch_folds() {
+        let mut b = FunctionBuilder::new("main", vec![], Type::I32);
+        let c1 = b.new_block();
+        let c2 = b.new_block();
+        let d = b.new_block();
+        b.switch(Value::i32(7), d, vec![(1, c1), (7, c2)]);
+        b.switch_to(c1);
+        b.ret(Some(Value::i32(1)));
+        b.switch_to(c2);
+        b.ret(Some(Value::i32(2)));
+        b.switch_to(d);
+        b.ret(Some(Value::i32(3)));
+        let mut m = module_with(b.finish());
+        assert!(run(&mut m));
+        assert_verified(&m);
+        assert_eq!(m.func(m.main().unwrap()).num_blocks(), 1);
+        assert_eq!(run_main(&m, 100).unwrap().return_value, Some(2));
+    }
+
+    #[test]
+    fn forwarding_block_removed_with_phi_fixup() {
+        // entry -> {fwd, e}; fwd -> join; e -> join; join phi picks 1 or 2.
+        let mut b = FunctionBuilder::new("main", vec![Type::I32], Type::I32);
+        let fwd = b.new_block();
+        let e = b.new_block();
+        let join = b.new_block();
+        let c = b.icmp(CmpPred::Eq, b.arg(0), Value::i32(0));
+        b.cond_br(c, fwd, e);
+        b.switch_to(fwd);
+        b.br(join);
+        b.switch_to(e);
+        b.br(join);
+        b.switch_to(join);
+        let p = b.phi(Type::I32, vec![(fwd, Value::i32(1)), (e, Value::i32(2))]);
+        b.ret(Some(p));
+        let mut m = module_with(b.finish());
+        assert!(run(&mut m));
+        assert_verified(&m);
+        let f = m.func(m.main().unwrap());
+        // The forwarding block is gone; the diamond collapses to
+        // entry / else-arm / join (the φ still needs two predecessors).
+        assert!(f.num_blocks() <= 3, "blocks: {}", f.num_blocks());
+        let phi = f
+            .block_ids()
+            .flat_map(|bb| f.block(bb).insts.clone())
+            .find(|&i| f.inst(i).is_phi())
+            .expect("join phi survives");
+        if let Opcode::Phi { incoming } = &f.inst(phi).op {
+            assert!(incoming.iter().any(|(p, _)| *p == f.entry));
+        }
+    }
+
+    #[test]
+    fn unreachable_loop_removed() {
+        let mut b = FunctionBuilder::new("main", vec![], Type::I32);
+        let dead1 = b.new_block();
+        let dead2 = b.new_block();
+        b.ret(Some(Value::i32(0)));
+        b.switch_to(dead1);
+        b.br(dead2);
+        b.switch_to(dead2);
+        b.br(dead1);
+        let mut m = module_with(b.finish());
+        assert!(run(&mut m));
+        assert_verified(&m);
+        assert_eq!(m.func(m.main().unwrap()).num_blocks(), 1);
+    }
+
+    #[test]
+    fn preserves_semantics_on_loop() {
+        let mut b = FunctionBuilder::new("main", vec![], Type::I32);
+        let acc = b.alloca(Type::I32, 1);
+        b.store(acc, Value::i32(0));
+        b.counted_loop(Value::i32(7), |b, i| {
+            let c = b.load(Type::I32, acc);
+            let n = b.binary(BinOp::Add, c, i);
+            b.store(acc, n);
+        });
+        let r = b.load(Type::I32, acc);
+        b.ret(Some(r));
+        let mut m = module_with(b.finish());
+        let before = run_main(&m, 100_000).unwrap().observable();
+        run(&mut m);
+        assert_verified(&m);
+        let after = run_main(&m, 100_000).unwrap().observable();
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn noop_on_clean_cfg() {
+        let mut b = FunctionBuilder::new("main", vec![Type::I32], Type::I32);
+        let t = b.new_block();
+        let e = b.new_block();
+        let c = b.icmp(CmpPred::Slt, b.arg(0), Value::i32(0));
+        b.cond_br(c, t, e);
+        b.switch_to(t);
+        b.ret(Some(Value::i32(1)));
+        b.switch_to(e);
+        b.ret(Some(Value::i32(2)));
+        let mut m = module_with(b.finish());
+        assert!(!run(&mut m));
+    }
+}

@@ -1,0 +1,312 @@
+//! `-sroa` / `-scalarrepl` / `-scalarrepl-ssa`: scalar replacement of
+//! aggregates.
+//!
+//! A small array alloca whose every access goes through a constant-index
+//! `gep` is split into one single-element alloca per touched index. The
+//! pieces then become `-mem2reg` candidates; `-scalarrepl-ssa` runs the
+//! promotion immediately, matching LLVM's SSAUpdater-based variant.
+
+use crate::util;
+use autophase_ir::{FuncId, Inst, InstId, Module, Opcode, Type, Value};
+use std::collections::HashMap;
+
+/// Maximum number of elements split.
+pub const SROA_ELEM_LIMIT: u32 = 64;
+
+/// Run `-sroa`. Returns true if any aggregate was split.
+pub fn run(m: &mut Module) -> bool {
+    util::for_each_function(m, split_function)
+}
+
+/// Run `-scalarrepl`: same splitting with a smaller legacy element limit.
+pub fn run_scalarrepl(m: &mut Module) -> bool {
+    util::for_each_function(m, |m, fid| split_function_limit(m, fid, 16))
+}
+
+/// Run `-scalarrepl-ssa`: split, then promote the pieces to SSA.
+pub fn run_scalarrepl_ssa(m: &mut Module) -> bool {
+    let mut changed = run_scalarrepl(m);
+    changed |= crate::mem2reg::run(m);
+    changed
+}
+
+fn split_function(m: &mut Module, fid: FuncId) -> bool {
+    split_function_limit(m, fid, SROA_ELEM_LIMIT)
+}
+
+fn split_function_limit(m: &mut Module, fid: FuncId, limit: u32) -> bool {
+    let mut changed = false;
+    loop {
+        let Some(split) = find_splittable(m.func(fid), limit) else {
+            return changed;
+        };
+        let Splittable {
+            alloca,
+            elem_ty,
+            gep_accesses,
+            indices,
+        } = split;
+        let f = m.func_mut(fid);
+        // One scalar alloca per accessed index, created right after the
+        // original alloca.
+        let bb = f.block_of(alloca).expect("alloca is placed");
+        let pos = f
+            .block(bb)
+            .insts
+            .iter()
+            .position(|&i| i == alloca)
+            .expect("alloca in its block");
+        let mut index_slot: HashMap<i64, InstId> = HashMap::new();
+        for (k, idx) in indices.iter().enumerate() {
+            let slot = f.insert_inst(
+                bb,
+                pos + 1 + k,
+                Inst::new(
+                    Type::Ptr,
+                    Opcode::Alloca {
+                        elem_ty,
+                        count: 1,
+                    },
+                ),
+            );
+            index_slot.insert(*idx, slot);
+        }
+        // Redirect each gep's users to the scalar slot and drop the gep.
+        for (gep, idx) in gep_accesses {
+            let slot = index_slot[&idx];
+            f.replace_all_uses(Value::Inst(gep), Value::Inst(slot));
+            if let Some(gbb) = f.block_of(gep) {
+                f.remove_inst(gbb, gep);
+            }
+        }
+        // Direct (index-0) uses of the alloca itself.
+        if let Some(&slot0) = index_slot.get(&0) {
+            f.replace_all_uses(Value::Inst(alloca), Value::Inst(slot0));
+        }
+        if f.count_uses(Value::Inst(alloca)) == 0 {
+            f.remove_inst(bb, alloca);
+        }
+        changed = true;
+    }
+}
+
+struct Splittable {
+    alloca: InstId,
+    elem_ty: Type,
+    /// Constant-index geps to rewrite.
+    gep_accesses: Vec<(InstId, i64)>,
+    /// All touched indices (slots to create), sorted, deduplicated.
+    indices: Vec<i64>,
+}
+
+/// Find an alloca where every use is either a `load`/`store` of matching
+/// type directly on it (index 0) or a constant-index `gep` whose own uses
+/// are all matching loads/stores.
+fn find_splittable(f: &autophase_ir::Function, limit: u32) -> Option<Splittable> {
+    for bb in f.block_ids() {
+        'cand: for &iid in &f.block(bb).insts {
+            let Opcode::Alloca { elem_ty, count } = f.inst(iid).op else {
+                continue;
+            };
+            if count < 2 || count > limit || !elem_ty.is_int() {
+                continue;
+            }
+            let addr = Value::Inst(iid);
+            let mut accesses: Vec<(InstId, i64)> = Vec::new();
+            let mut direct_mem = false;
+            for (user, _) in f.users(addr) {
+                match &f.inst(user).op {
+                    Opcode::Gep {
+                        ptr,
+                        index: Value::ConstInt(_, idx),
+                    } if *ptr == addr => {
+                        if *idx < 0 || *idx >= count as i64 {
+                            continue 'cand;
+                        }
+                        // All gep users must be typed loads/stores.
+                        let gv = Value::Inst(user);
+                        for (gu, _) in f.users(gv) {
+                            match &f.inst(gu).op {
+                                Opcode::Load { ptr } if *ptr == gv => {
+                                    if f.inst(gu).ty != elem_ty {
+                                        continue 'cand;
+                                    }
+                                }
+                                Opcode::Store { ptr, value }
+                                    if *ptr == gv && *value != gv =>
+                                {
+                                    if util::type_of(f, *value) != elem_ty {
+                                        continue 'cand;
+                                    }
+                                }
+                                _ => continue 'cand,
+                            }
+                        }
+                        accesses.push((user, *idx));
+                    }
+                    Opcode::Load { ptr } if *ptr == addr => {
+                        if f.inst(user).ty != elem_ty {
+                            continue 'cand;
+                        }
+                        direct_mem = true;
+                    }
+                    Opcode::Store { ptr, value } if *ptr == addr && *value != addr => {
+                        if util::type_of(f, *value) != elem_ty {
+                            continue 'cand;
+                        }
+                        direct_mem = true;
+                    }
+                    _ => continue 'cand,
+                }
+            }
+            if accesses.is_empty() && !direct_mem {
+                continue;
+            }
+            let mut indices: Vec<i64> = accesses.iter().map(|(_, i)| *i).collect();
+            if direct_mem {
+                indices.push(0); // direct loads/stores hit element 0
+            }
+            indices.sort_unstable();
+            indices.dedup();
+            return Some(Splittable {
+                alloca: iid,
+                elem_ty,
+                gep_accesses: accesses,
+                indices,
+            });
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autophase_ir::builder::FunctionBuilder;
+    use autophase_ir::interp::run_main;
+    use autophase_ir::verify::assert_verified;
+    use autophase_ir::BinOp;
+
+    fn module_with(f: autophase_ir::Function) -> Module {
+        let mut m = Module::new("t");
+        m.add_function(f);
+        m
+    }
+
+    #[test]
+    fn constant_indexed_array_split() {
+        let mut b = FunctionBuilder::new("main", vec![], Type::I32);
+        let arr = b.alloca(Type::I32, 4);
+        let p0 = b.gep(arr, Value::i32(0));
+        let p1 = b.gep(arr, Value::i32(1));
+        b.store(p0, Value::i32(10));
+        b.store(p1, Value::i32(20));
+        let a = b.load(Type::I32, p0);
+        let c = b.load(Type::I32, p1);
+        let s = b.binary(BinOp::Add, a, c);
+        b.ret(Some(s));
+        let mut m = module_with(b.finish());
+        assert!(run(&mut m));
+        assert_verified(&m);
+        assert_eq!(run_main(&m, 1000).unwrap().return_value, Some(30));
+        // No geps remain; two scalar allocas exist.
+        let f = m.func(m.main().unwrap());
+        let geps = f
+            .block_ids()
+            .flat_map(|bb| f.block(bb).insts.clone())
+            .filter(|&i| matches!(f.inst(i).op, Opcode::Gep { .. }))
+            .count();
+        assert_eq!(geps, 0);
+        let allocas = f
+            .block_ids()
+            .flat_map(|bb| f.block(bb).insts.clone())
+            .filter(|&i| matches!(f.inst(i).op, Opcode::Alloca { count: 1, .. }))
+            .count();
+        assert_eq!(allocas, 2);
+    }
+
+    #[test]
+    fn sroa_then_mem2reg_eliminates_memory() {
+        let mut b = FunctionBuilder::new("main", vec![], Type::I32);
+        let arr = b.alloca(Type::I32, 2);
+        let p0 = b.gep(arr, Value::i32(0));
+        let p1 = b.gep(arr, Value::i32(1));
+        b.store(p0, Value::i32(6));
+        b.store(p1, Value::i32(7));
+        let a = b.load(Type::I32, p0);
+        let c = b.load(Type::I32, p1);
+        let s = b.binary(BinOp::Mul, a, c);
+        b.ret(Some(s));
+        let mut m = module_with(b.finish());
+        assert!(run_scalarrepl_ssa(&mut m));
+        assert_verified(&m);
+        assert_eq!(run_main(&m, 1000).unwrap().return_value, Some(42));
+        let f = m.func(m.main().unwrap());
+        for bb in f.block_ids() {
+            for (_, inst) in f.insts_in(bb) {
+                assert!(!inst.reads_memory() && !inst.writes_memory());
+            }
+        }
+    }
+
+    #[test]
+    fn dynamic_index_blocks_split() {
+        let mut b = FunctionBuilder::new("main", vec![Type::I32], Type::I32);
+        let arr = b.alloca(Type::I32, 4);
+        let p = b.gep(arr, b.arg(0)); // dynamic
+        b.store(p, Value::i32(1));
+        let v = b.load(Type::I32, p);
+        b.ret(Some(v));
+        let mut m = module_with(b.finish());
+        assert!(!run(&mut m));
+    }
+
+    #[test]
+    fn escaping_array_blocks_split() {
+        let mut m = Module::new("t");
+        let callee = {
+            let mut b = FunctionBuilder::new("reads_ptr", vec![Type::Ptr], Type::I32);
+            let v = b.load(Type::I32, b.arg(0));
+            b.ret(Some(v));
+            m.add_function(b.finish())
+        };
+        let mut b = FunctionBuilder::new("main", vec![], Type::I32);
+        let arr = b.alloca(Type::I32, 4);
+        let p0 = b.gep(arr, Value::i32(0));
+        b.store(p0, Value::i32(5));
+        let r = b.call(callee, Type::I32, vec![arr]);
+        b.ret(Some(r));
+        m.add_function(b.finish());
+        assert!(!run(&mut m));
+    }
+
+    #[test]
+    fn direct_and_gep_access_mix() {
+        // Direct store to arr (index 0) plus gep access to index 1.
+        let mut b = FunctionBuilder::new("main", vec![], Type::I32);
+        let arr = b.alloca(Type::I32, 2);
+        b.store(arr, Value::i32(3)); // direct = index 0
+        let p1 = b.gep(arr, Value::i32(1));
+        b.store(p1, Value::i32(4));
+        let a = b.load(Type::I32, arr);
+        let c = b.load(Type::I32, p1);
+        let s = b.binary(BinOp::Add, a, c);
+        b.ret(Some(s));
+        let mut m = module_with(b.finish());
+        assert!(run(&mut m));
+        assert_verified(&m);
+        assert_eq!(run_main(&m, 1000).unwrap().return_value, Some(7));
+    }
+
+    #[test]
+    fn huge_array_not_split() {
+        let mut b = FunctionBuilder::new("main", vec![], Type::I32);
+        let arr = b.alloca(Type::I32, 1000);
+        let p = b.gep(arr, Value::i32(999));
+        b.store(p, Value::i32(1));
+        let v = b.load(Type::I32, p);
+        b.ret(Some(v));
+        let mut m = module_with(b.finish());
+        assert!(!run(&mut m));
+    }
+}

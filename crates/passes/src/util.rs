@@ -1,0 +1,437 @@
+//! Shared machinery: purity queries, value substitution, region cloning.
+
+use autophase_ir::{BinOp, Block, BlockId, Function, Inst, InstId, Module, Opcode, Value};
+use std::collections::HashMap;
+
+/// True if executing `inst` has no observable effect beyond producing its
+/// result: no stores, and calls only to functions inferred `readnone`
+/// (which `-functionattrs` sets).
+pub fn is_pure(m: &Module, inst: &Inst) -> bool {
+    match &inst.op {
+        Opcode::Store { .. } => false,
+        Opcode::Call { callee, .. } => {
+            m.func_exists(*callee) && m.func(*callee).attrs.readnone
+        }
+        _ => !inst.is_terminator(),
+    }
+}
+
+/// True if `inst` is pure and also reads no memory, so it may be freely
+/// reordered and deduplicated.
+pub fn is_pure_no_read(m: &Module, inst: &Inst) -> bool {
+    is_pure(m, inst) && !matches!(inst.op, Opcode::Load { .. })
+}
+
+/// True if the instruction is trivially dead: its result is unused and it
+/// is pure.
+pub fn is_trivially_dead(m: &Module, f: &Function, id: InstId) -> bool {
+    let inst = f.inst(id);
+    is_pure(m, inst) && f.count_uses(Value::Inst(id)) == 0
+}
+
+/// Delete trivially dead instructions until a fixpoint. Returns the number
+/// removed. This is the cleanup step most transform passes finish with.
+///
+/// Implemented as a use-count worklist (one scan to build counts, then
+/// O(1) per removal) so repeated cleanup on large functions stays linear.
+pub fn delete_dead(m: &mut Module, fid: autophase_ir::FuncId) -> usize {
+    // Build use counts and placements in one scan.
+    let f = m.func(fid);
+    let cap = f.inst_capacity();
+    let mut use_count = vec![0u32; cap];
+    let mut placement: Vec<Option<BlockId>> = vec![None; cap];
+    for bb in f.block_ids() {
+        for &iid in &f.block(bb).insts {
+            placement[iid.index()] = Some(bb);
+            f.inst(iid).for_each_operand(|v| {
+                if let Value::Inst(dep) = v {
+                    if dep.index() < cap {
+                        use_count[dep.index()] += 1;
+                    }
+                }
+            });
+        }
+    }
+    // Purity snapshot (depends only on opcode + callee attrs, which this
+    // function does not change while deleting).
+    let dead_candidate = |m: &Module, iid: InstId| -> bool {
+        let f = m.func(fid);
+        f.inst_exists(iid) && is_pure(m, f.inst(iid))
+    };
+    let mut work: Vec<InstId> = (0..cap)
+        .map(InstId::from_index)
+        .filter(|&iid| {
+            placement[iid.index()].is_some()
+                && use_count[iid.index()] == 0
+                && dead_candidate(m, iid)
+        })
+        .collect();
+    let mut removed = 0;
+    while let Some(iid) = work.pop() {
+        let Some(bb) = placement[iid.index()] else { continue };
+        if !m.func(fid).inst_exists(iid) || use_count[iid.index()] != 0 {
+            continue;
+        }
+        // Decrement operand counts before removal.
+        let mut freed: Vec<InstId> = Vec::new();
+        m.func(fid).inst(iid).for_each_operand(|v| {
+            if let Value::Inst(dep) = v {
+                if dep.index() < cap && use_count[dep.index()] > 0 {
+                    use_count[dep.index()] -= 1;
+                    if use_count[dep.index()] == 0 {
+                        freed.push(dep);
+                    }
+                }
+            }
+        });
+        m.func_mut(fid).remove_inst(bb, iid);
+        removed += 1;
+        for dep in freed {
+            if placement[dep.index()].is_some() && dead_candidate(m, dep) {
+                work.push(dep);
+            }
+        }
+    }
+    removed
+}
+
+/// A one-scan reverse-use index: for every instruction result, the list of
+/// `(user instruction, user's block)` pairs, plus per-value use counts.
+///
+/// Build it once per analysis phase; it is a snapshot — rebuild after
+/// mutating the function. Turns the per-candidate `Function::users` scans
+/// (O(n) each, O(n²) per pass) into O(1) lookups.
+pub struct UserIndex {
+    users: Vec<Vec<(InstId, BlockId)>>,
+}
+
+impl UserIndex {
+    /// Scan `f` once and build the index.
+    pub fn build(f: &Function) -> UserIndex {
+        let mut users: Vec<Vec<(InstId, BlockId)>> = vec![Vec::new(); f.inst_capacity()];
+        for bb in f.block_ids() {
+            for &iid in &f.block(bb).insts {
+                f.inst(iid).for_each_operand(|v| {
+                    if let Value::Inst(dep) = v {
+                        if dep.index() < users.len() {
+                            users[dep.index()].push((iid, bb));
+                        }
+                    }
+                });
+            }
+        }
+        UserIndex { users }
+    }
+
+    /// Users of instruction `id`'s result (an instruction using it twice
+    /// appears twice).
+    pub fn users(&self, id: InstId) -> &[(InstId, BlockId)] {
+        self.users.get(id.index()).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Number of uses of instruction `id`'s result.
+    pub fn use_count(&self, id: InstId) -> usize {
+        self.users(id).len()
+    }
+}
+
+/// Remap every operand of `inst` through `map` (values absent from the map
+/// are left alone).
+pub fn remap_operands(inst: &mut Inst, map: &HashMap<Value, Value>) {
+    inst.for_each_operand_mut(|v| {
+        if let Some(nv) = map.get(v) {
+            *v = *nv;
+        }
+    });
+}
+
+/// Clone the blocks of `region` (from function `src_f` of `m`) into
+/// function `dst` with operand and block-target remapping.
+///
+/// `value_map` seeds value substitutions (e.g. params → arguments) and is
+/// extended with `old inst result → new inst result` entries. Returns the
+/// old-block → new-block mapping. Branch targets pointing outside the
+/// region are left unchanged (the caller rewires them).
+///
+/// φ-node incoming block ids are remapped when the incoming block is in
+/// the region, otherwise preserved.
+pub fn clone_region(
+    src_f: &Function,
+    region: &[BlockId],
+    dst: &mut Function,
+    value_map: &mut HashMap<Value, Value>,
+) -> HashMap<BlockId, BlockId> {
+    let mut block_map: HashMap<BlockId, BlockId> = HashMap::new();
+    for &bb in region {
+        let nb = dst.add_block();
+        block_map.insert(bb, nb);
+    }
+    // First pass: create all instructions so forward references (φ cycles)
+    // can be remapped in a second pass.
+    let mut inst_map: HashMap<InstId, InstId> = HashMap::new();
+    for &bb in region {
+        let nb = block_map[&bb];
+        for &iid in &src_f.block(bb).insts {
+            let inst = src_f.inst(iid).clone();
+            let nid = dst.add_inst(inst);
+            dst.block_mut(nb).insts.push(nid);
+            inst_map.insert(iid, nid);
+        }
+    }
+    for (&old, &new) in &inst_map {
+        value_map.insert(Value::Inst(old), Value::Inst(new));
+    }
+    // Second pass: remap operands, successors, and φ incoming blocks.
+    let new_ids: Vec<InstId> = inst_map.values().copied().collect();
+    for nid in new_ids {
+        let inst = dst.inst_mut(nid);
+        inst.for_each_operand_mut(|v| {
+            if let Some(nv) = value_map.get(v) {
+                *v = *nv;
+            }
+        });
+        inst.for_each_successor_mut(|b| {
+            if let Some(nb) = block_map.get(b) {
+                *b = *nb;
+            }
+        });
+        if let Opcode::Phi { incoming } = &mut inst.op {
+            for (pred, _) in incoming.iter_mut() {
+                if let Some(np) = block_map.get(pred) {
+                    *pred = *np;
+                }
+            }
+        }
+    }
+    block_map
+}
+
+/// Split `bb` after position `pos` (0-based index of the last instruction
+/// kept). The tail (including the old terminator) moves to a fresh block,
+/// `bb` gets a `br` to it, and φ-nodes of old successors are retargeted.
+/// Returns the new tail block.
+pub fn split_block(f: &mut Function, bb: BlockId, pos: usize) -> BlockId {
+    let tail_insts: Vec<InstId> = f.block_mut(bb).insts.split_off(pos + 1);
+    let tail = f.add_block();
+    f.block_mut(tail).insts = tail_insts;
+    // Successor φs now flow from `tail`.
+    let succs: Vec<BlockId> = f
+        .terminator(tail)
+        .map(|t| f.inst(t).successors())
+        .unwrap_or_default();
+    for s in succs {
+        f.retarget_phis(s, bb, tail);
+    }
+    let br = f.add_inst(Inst::new(autophase_ir::Type::Void, Opcode::Br { target: tail }));
+    f.block_mut(bb).insts.push(br);
+    tail
+}
+
+/// Type of a value in the context of function `f` (mirrors the builder's
+/// inference, usable on finished functions).
+pub fn type_of(f: &Function, v: Value) -> autophase_ir::Type {
+    use autophase_ir::Type;
+    match v {
+        Value::Inst(id) => f.inst(id).ty,
+        Value::ConstInt(ty, _) | Value::Undef(ty) => ty,
+        Value::Arg(i) => f.params.get(i as usize).copied().unwrap_or(Type::I32),
+        Value::Global(_) => Type::Ptr,
+    }
+}
+
+/// Run `body` once per live function id.
+pub fn for_each_function(m: &mut Module, mut body: impl FnMut(&mut Module, autophase_ir::FuncId) -> bool) -> bool {
+    let ids: Vec<_> = m.func_ids().collect();
+    let mut changed = false;
+    for fid in ids {
+        if m.func_exists(fid) {
+            changed |= body(m, fid);
+        }
+    }
+    changed
+}
+
+/// True if `v` is a power of two (> 0) and return its log2.
+pub fn power_of_two(v: i64) -> Option<u32> {
+    if v > 0 && (v & (v - 1)) == 0 {
+        Some(v.trailing_zeros())
+    } else {
+        None
+    }
+}
+
+/// Collect the root pointer of an address value: follows `Gep` chains to an
+/// `Alloca` instruction or `Global`. Returns `None` for anything else
+/// (arguments, loads, arithmetic), i.e. "unknown object".
+pub fn pointer_root(f: &Function, mut v: Value) -> Option<Value> {
+    loop {
+        match v {
+            Value::Global(_) => return Some(v),
+            Value::Inst(id) => match &f.inst(id).op {
+                Opcode::Alloca { .. } => return Some(v),
+                Opcode::Gep { ptr, .. } => v = *ptr,
+                Opcode::Cast(autophase_ir::CastOp::BitCast, inner) => v = *inner,
+                _ => return None,
+            },
+            _ => return None,
+        }
+    }
+}
+
+/// Conservative may-alias: two addresses may alias unless they have
+/// distinct known roots.
+pub fn may_alias(f: &Function, a: Value, b: Value) -> bool {
+    match (pointer_root(f, a), pointer_root(f, b)) {
+        (Some(ra), Some(rb)) => ra == rb || alias_same_root(f, a, b, ra, rb),
+        _ => true,
+    }
+}
+
+fn alias_same_root(_f: &Function, _a: Value, _b: Value, ra: Value, rb: Value) -> bool {
+    // Same root: may alias (we do not track index disjointness).
+    ra == rb
+}
+
+/// Build a `Block` from instruction ids (helper for tests).
+pub fn block_of(insts: Vec<InstId>) -> Block {
+    Block { insts }
+}
+
+/// Negate a value by emitting `0 - v` (helper for transforms).
+pub fn emit_neg(f: &mut Function, bb: BlockId, pos: usize, v: Value) -> Value {
+    let ty = type_of(f, v);
+    let id = f.insert_inst(
+        bb,
+        pos,
+        Inst::new(ty, Opcode::Binary(BinOp::Sub, Value::const_int(ty, 0), v)),
+    );
+    Value::Inst(id)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autophase_ir::builder::FunctionBuilder;
+    use autophase_ir::{Type, verify};
+
+    #[test]
+    fn purity_respects_function_attrs() {
+        let mut m = Module::new("t");
+        let callee = m.add_function(Function::new("f", vec![], Type::I32));
+        {
+            let f = m.func_mut(callee);
+            let e = f.entry;
+            f.append_inst(
+                e,
+                Inst::new(
+                    Type::Void,
+                    Opcode::Ret {
+                        value: Some(Value::i32(1)),
+                    },
+                ),
+            );
+        }
+        let call = Inst::new(
+            Type::I32,
+            Opcode::Call {
+                callee,
+                args: vec![],
+            },
+        );
+        assert!(!is_pure(&m, &call));
+        m.func_mut(callee).attrs.readnone = true;
+        assert!(is_pure(&m, &call));
+    }
+
+    #[test]
+    fn delete_dead_removes_chains() {
+        let mut m = Module::new("t");
+        let mut b = FunctionBuilder::new("main", vec![], Type::I32);
+        let x = b.binary(BinOp::Add, Value::i32(1), Value::i32(2));
+        let _y = b.binary(BinOp::Mul, x, Value::i32(3)); // dead, and makes x dead
+        b.ret(Some(Value::i32(0)));
+        let fid = m.add_function(b.finish());
+        let removed = delete_dead(&mut m, fid);
+        assert_eq!(removed, 2);
+        assert_eq!(m.func(fid).num_insts(), 1);
+    }
+
+    #[test]
+    fn split_block_keeps_verifying() {
+        let mut m = Module::new("t");
+        let mut b = FunctionBuilder::new("main", vec![], Type::I32);
+        let x = b.binary(BinOp::Add, Value::i32(1), Value::i32(2));
+        let y = b.binary(BinOp::Mul, x, Value::i32(3));
+        b.ret(Some(y));
+        let fid = m.add_function(b.finish());
+        let f = m.func_mut(fid);
+        let entry = f.entry;
+        let tail = split_block(f, entry, 0);
+        assert_eq!(f.block(entry).insts.len(), 2); // add + br
+        assert_eq!(f.block(tail).insts.len(), 2); // mul + ret
+        verify::assert_verified(&m);
+        let t = autophase_ir::interp::run_main(&m, 1000).unwrap();
+        assert_eq!(t.return_value, Some(9));
+    }
+
+    #[test]
+    fn clone_region_remaps_internal_edges() {
+        let mut m = Module::new("t");
+        let mut b = FunctionBuilder::new("main", vec![], Type::I32);
+        let body = b.new_block();
+        let exit = b.new_block();
+        b.br(body);
+        b.switch_to(body);
+        let x = b.binary(BinOp::Add, Value::i32(5), Value::i32(6));
+        b.br(exit);
+        b.switch_to(exit);
+        b.ret(Some(x));
+        let fid = m.add_function(b.finish());
+
+        let f = m.func_mut(fid);
+        let mut vmap = HashMap::new();
+        let bmap = clone_region(&f.clone(), &[body], f, &mut vmap);
+        let nb = bmap[&body];
+        assert_ne!(nb, body);
+        // the cloned add is a new instruction
+        let cloned_add = f.block(nb).insts[0];
+        assert!(matches!(
+            f.inst(cloned_add).op,
+            Opcode::Binary(BinOp::Add, ..)
+        ));
+        assert_eq!(vmap.get(&x), Some(&Value::Inst(cloned_add)));
+    }
+
+    #[test]
+    fn pointer_roots() {
+        let mut b = FunctionBuilder::new("main", vec![Type::Ptr], Type::Void);
+        let a = b.alloca(Type::I32, 4);
+        let g1 = b.gep(a, Value::i32(2));
+        let g2 = b.gep(b.arg(0), Value::i32(2));
+        b.ret(None);
+        let f = b.finish();
+        assert_eq!(pointer_root(&f, g1), Some(a));
+        assert_eq!(pointer_root(&f, g2), None);
+        assert!(may_alias(&f, g1, g1));
+        assert!(may_alias(&f, g1, g2)); // unknown root: conservative
+    }
+
+    #[test]
+    fn distinct_allocas_do_not_alias() {
+        let mut b = FunctionBuilder::new("main", vec![], Type::Void);
+        let a1 = b.alloca(Type::I32, 1);
+        let a2 = b.alloca(Type::I32, 1);
+        b.ret(None);
+        let f = b.finish();
+        assert!(!may_alias(&f, a1, a2));
+    }
+
+    #[test]
+    fn power_of_two_detection() {
+        assert_eq!(power_of_two(8), Some(3));
+        assert_eq!(power_of_two(1), Some(0));
+        assert_eq!(power_of_two(0), None);
+        assert_eq!(power_of_two(-4), None);
+        assert_eq!(power_of_two(6), None);
+    }
+}

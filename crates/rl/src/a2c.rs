@@ -1,0 +1,175 @@
+//! Synchronous advantage actor-critic (the paper's A3C, §2.2, without the
+//! asynchrony — the update `∇θ log πθ(a|s) Â` is identical).
+
+use crate::env::Environment;
+use crate::rollout::{self, Batch};
+use autophase_nn::{softmax, Activation, Mlp};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A2C hyperparameters.
+#[derive(Debug, Clone)]
+pub struct A2cConfig {
+    /// Hidden layer sizes.
+    pub hidden: Vec<usize>,
+    /// Actor learning rate.
+    pub lr: f64,
+    /// Critic learning rate.
+    pub vf_lr: f64,
+    /// Discount factor.
+    pub gamma: f64,
+    /// GAE λ.
+    pub lam: f64,
+    /// Transitions per update.
+    pub horizon: usize,
+    /// Hard cap on episode length.
+    pub max_episode_len: usize,
+    /// Entropy bonus.
+    pub entropy_coef: f64,
+}
+
+impl Default for A2cConfig {
+    fn default() -> A2cConfig {
+        A2cConfig {
+            hidden: vec![256, 256],
+            lr: 3e-4,
+            vf_lr: 1e-3,
+            gamma: 0.99,
+            lam: 1.0,
+            horizon: 256,
+            max_episode_len: 64,
+            entropy_coef: 0.01,
+        }
+    }
+}
+
+impl A2cConfig {
+    /// A light configuration for tests and quick searches.
+    pub fn small() -> A2cConfig {
+        A2cConfig {
+            hidden: vec![32, 32],
+            horizon: 128,
+            lr: 1e-3,
+            vf_lr: 3e-3,
+            ..A2cConfig::default()
+        }
+    }
+}
+
+/// The actor-critic agent.
+#[derive(Debug, Clone)]
+pub struct A2cAgent {
+    /// Actor network (logits).
+    pub policy: Mlp,
+    /// Critic network (state values).
+    pub value: Mlp,
+    cfg: A2cConfig,
+    rng: StdRng,
+}
+
+impl A2cAgent {
+    /// Create an agent.
+    pub fn new(obs_dim: usize, n_actions: usize, cfg: &A2cConfig, seed: u64) -> A2cAgent {
+        let mut psizes = vec![obs_dim];
+        psizes.extend(&cfg.hidden);
+        psizes.push(n_actions);
+        let mut vsizes = vec![obs_dim];
+        vsizes.extend(&cfg.hidden);
+        vsizes.push(1);
+        A2cAgent {
+            policy: Mlp::new(&psizes, Activation::Tanh, seed),
+            value: Mlp::new(&vsizes, Activation::Tanh, seed ^ 0x77),
+            cfg: cfg.clone(),
+            rng: StdRng::seed_from_u64(seed ^ 0xA3C),
+        }
+    }
+
+    /// Greedy action.
+    pub fn act_greedy(&self, obs: &[f64]) -> usize {
+        rollout::argmax(&self.policy.forward(obs))
+    }
+
+    /// Action probabilities.
+    pub fn action_probabilities(&self, obs: &[f64]) -> Vec<f64> {
+        softmax(&self.policy.forward(obs))
+    }
+
+    /// Train for `iterations` batches, returning per-iteration episode
+    /// reward means.
+    pub fn train(&mut self, env: &mut dyn Environment, iterations: usize) -> Vec<f64> {
+        let mut curve = Vec::with_capacity(iterations);
+        for _ in 0..iterations {
+            let batch = rollout::collect(
+                env,
+                &self.policy,
+                &self.value,
+                self.cfg.horizon,
+                self.cfg.max_episode_len,
+                &mut self.rng,
+            );
+            curve.push(batch.episode_reward_mean());
+            self.update(&batch);
+        }
+        curve
+    }
+
+    /// Single on-policy gradient update (one pass over the batch, unlike
+    /// PPO's multiple epochs — the sample-efficiency gap §2.2 describes).
+    pub fn update(&mut self, batch: &Batch) {
+        let (mut adv, ret) = rollout::gae(batch, self.cfg.gamma, self.cfg.lam);
+        rollout::normalize(&mut adv);
+        for (i, t) in batch.transitions.iter().enumerate() {
+            let logits = self.policy.forward(&t.obs);
+            let probs = softmax(&logits);
+            let a = adv[i];
+            let mut grad = vec![0.0; probs.len()];
+            for (j, g) in grad.iter_mut().enumerate() {
+                let ind = if j == t.action { 1.0 } else { 0.0 };
+                // L = -A log π(a|s): dL/dlogit_j = -A (1{j=a} - p_j)
+                *g = -a * (ind - probs[j]);
+            }
+            if self.cfg.entropy_coef > 0.0 {
+                let h: f64 = -probs
+                    .iter()
+                    .map(|&p| p.max(1e-12) * p.max(1e-12).ln())
+                    .sum::<f64>();
+                for (j, g) in grad.iter_mut().enumerate() {
+                    let dh = -probs[j] * (probs[j].max(1e-12).ln() + h);
+                    *g -= self.cfg.entropy_coef * dh;
+                }
+            }
+            self.policy.backward(&t.obs, &grad);
+            let v = self.value.forward(&t.obs)[0];
+            self.value.backward(&t.obs, &[v - ret[i]]);
+        }
+        self.policy.step(self.cfg.lr);
+        self.value.step(self.cfg.vf_lr);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::env::ChainEnv;
+
+    #[test]
+    fn solves_simple_chain() {
+        let mut env = ChainEnv::new(vec![1, 2], 3);
+        let mut agent = A2cAgent::new(3, 3, &A2cConfig::small(), 21);
+        let curve = agent.train(&mut env, 120);
+        let late: f64 = curve[curve.len() - 5..].iter().sum::<f64>() / 5.0;
+        assert!(late > 1.5, "late reward {late}");
+        assert_eq!(agent.act_greedy(&[1.0, 0.0, 0.0]), 1);
+        assert_eq!(agent.act_greedy(&[0.0, 1.0, 0.0]), 2);
+    }
+
+    #[test]
+    fn deterministic() {
+        let mk = || {
+            let mut env = ChainEnv::new(vec![0], 2);
+            let mut agent = A2cAgent::new(2, 2, &A2cConfig::small(), 4);
+            agent.train(&mut env, 4)
+        };
+        assert_eq!(mk(), mk());
+    }
+}

@@ -1,0 +1,105 @@
+//! The gym-like environment interface (§3.5: "APIs similar to an OpenAI
+//! gym").
+
+/// One step's outcome.
+#[derive(Debug, Clone)]
+pub struct StepResult {
+    /// Observation after the action.
+    pub observation: Vec<f64>,
+    /// Immediate reward.
+    pub reward: f64,
+    /// Episode finished.
+    pub done: bool,
+}
+
+/// A discrete-action episodic environment.
+pub trait Environment {
+    /// Length of observation vectors.
+    fn observation_dim(&self) -> usize;
+    /// Number of discrete actions.
+    fn num_actions(&self) -> usize;
+    /// Start a new episode; returns the initial observation.
+    fn reset(&mut self) -> Vec<f64>;
+    /// Apply an action.
+    fn step(&mut self, action: usize) -> StepResult;
+}
+
+/// A fixed-length chain environment used by the algorithm tests: the agent
+/// must emit the target action at each position to collect reward.
+#[derive(Debug, Clone)]
+pub struct ChainEnv {
+    /// Target action per position.
+    pub targets: Vec<usize>,
+    /// Number of actions.
+    pub actions: usize,
+    pos: usize,
+}
+
+impl ChainEnv {
+    /// Build a chain with the given per-position targets.
+    pub fn new(targets: Vec<usize>, actions: usize) -> ChainEnv {
+        ChainEnv {
+            targets,
+            actions,
+            pos: 0,
+        }
+    }
+
+    fn observe(&self) -> Vec<f64> {
+        // One-hot position (plus a terminal slot).
+        let mut o = vec![0.0; self.targets.len() + 1];
+        o[self.pos] = 1.0;
+        o
+    }
+}
+
+impl Environment for ChainEnv {
+    fn observation_dim(&self) -> usize {
+        self.targets.len() + 1
+    }
+
+    fn num_actions(&self) -> usize {
+        self.actions
+    }
+
+    fn reset(&mut self) -> Vec<f64> {
+        self.pos = 0;
+        self.observe()
+    }
+
+    fn step(&mut self, action: usize) -> StepResult {
+        let reward = if action == self.targets[self.pos] {
+            1.0
+        } else {
+            0.0
+        };
+        self.pos += 1;
+        let done = self.pos >= self.targets.len();
+        StepResult {
+            observation: self.observe(),
+            reward,
+            done,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chain_env_rewards_targets() {
+        let mut e = ChainEnv::new(vec![1, 0, 2], 3);
+        let o = e.reset();
+        assert_eq!(o.len(), 4);
+        assert_eq!(o[0], 1.0);
+        let r1 = e.step(1);
+        assert_eq!(r1.reward, 1.0);
+        assert!(!r1.done);
+        let r2 = e.step(1);
+        assert_eq!(r2.reward, 0.0);
+        let r3 = e.step(2);
+        assert_eq!(r3.reward, 1.0);
+        assert!(r3.done);
+    }
+}

@@ -1,0 +1,187 @@
+//! Evolution strategies over policy weights (Salimans et al., 2017 —
+//! the paper's RL-ES: "similar to the A3C agent … but updates the policy
+//! network using the evolution strategy instead of backpropagation").
+
+use crate::env::Environment;
+use crate::rollout::argmax;
+use autophase_nn::{Activation, Mlp};
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+
+/// ES hyperparameters.
+#[derive(Debug, Clone)]
+pub struct EsConfig {
+    /// Hidden layer sizes.
+    pub hidden: Vec<usize>,
+    /// Perturbation standard deviation.
+    pub sigma: f64,
+    /// Step size.
+    pub lr: f64,
+    /// Population size (paired antithetic samples: 2 evaluations each).
+    pub population: usize,
+    /// Episodes averaged per fitness evaluation.
+    pub eval_episodes: usize,
+    /// Hard cap on episode length.
+    pub max_episode_len: usize,
+}
+
+impl Default for EsConfig {
+    fn default() -> EsConfig {
+        EsConfig {
+            hidden: vec![256, 256],
+            sigma: 0.05,
+            lr: 0.02,
+            population: 16,
+            eval_episodes: 1,
+            max_episode_len: 64,
+        }
+    }
+}
+
+impl EsConfig {
+    /// A light configuration for tests and quick searches.
+    pub fn small() -> EsConfig {
+        EsConfig {
+            hidden: vec![16, 16],
+            population: 8,
+            ..EsConfig::default()
+        }
+    }
+}
+
+/// The ES agent: a single policy network whose flat parameter vector is
+/// optimized by perturbation.
+#[derive(Debug, Clone)]
+pub struct EsAgent {
+    /// Policy network.
+    pub policy: Mlp,
+    cfg: EsConfig,
+    rng: StdRng,
+}
+
+impl EsAgent {
+    /// Create an agent.
+    pub fn new(obs_dim: usize, n_actions: usize, cfg: &EsConfig, seed: u64) -> EsAgent {
+        let mut sizes = vec![obs_dim];
+        sizes.extend(&cfg.hidden);
+        sizes.push(n_actions);
+        EsAgent {
+            policy: Mlp::new(&sizes, Activation::Tanh, seed),
+            cfg: cfg.clone(),
+            rng: StdRng::seed_from_u64(seed ^ 0xE5),
+        }
+    }
+
+    /// Greedy action under the current policy.
+    pub fn act_greedy(&self, obs: &[f64]) -> usize {
+        argmax(&self.policy.forward(obs))
+    }
+
+    fn fitness(
+        &self,
+        env: &mut dyn Environment,
+        params: &[f64],
+        probe: &mut Mlp,
+        rng: &mut StdRng,
+    ) -> f64 {
+        probe.set_parameters(params);
+        let mut total = 0.0;
+        for _ in 0..self.cfg.eval_episodes {
+            let mut obs = env.reset();
+            for _ in 0..self.cfg.max_episode_len {
+                // Stochastic evaluation: a deterministic argmax policy in a
+                // near-static observation space repeats one action forever
+                // and the fitness landscape goes flat; sampling keeps the
+                // gradient estimate informative (and is what the softmax
+                // policy "means").
+                let (a, _) = crate::rollout::sample_action(&probe.forward(&obs), rng);
+                let r = env.step(a);
+                total += r.reward;
+                obs = r.observation;
+                if r.done {
+                    break;
+                }
+            }
+        }
+        total / self.cfg.eval_episodes as f64
+    }
+
+    /// Train for `iterations` generations; returns mean population fitness
+    /// per generation.
+    pub fn train(&mut self, env: &mut dyn Environment, iterations: usize) -> Vec<f64> {
+        let dim = self.policy.num_parameters();
+        let mut probe = self.policy.clone();
+        let mut curve = Vec::with_capacity(iterations);
+        for _ in 0..iterations {
+            let theta = self.policy.parameters();
+            let mut grad = vec![0.0; dim];
+            let mut fitness_sum = 0.0;
+            for _ in 0..self.cfg.population {
+                // Antithetic pair.
+                let eps: Vec<f64> = (0..dim)
+                    .map(|_| {
+                        // Box–Muller standard normal.
+                        let u1: f64 = self.rng.gen_range(1e-12..1.0);
+                        let u2: f64 = self.rng.gen_range(0.0..1.0);
+                        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+                    })
+                    .collect();
+                let plus: Vec<f64> = theta
+                    .iter()
+                    .zip(&eps)
+                    .map(|(t, e)| t + self.cfg.sigma * e)
+                    .collect();
+                let minus: Vec<f64> = theta
+                    .iter()
+                    .zip(&eps)
+                    .map(|(t, e)| t - self.cfg.sigma * e)
+                    .collect();
+                let mut eval_rng = StdRng::seed_from_u64(self.rng.gen());
+                let fp = self.fitness(env, &plus, &mut probe, &mut eval_rng);
+                let fm = self.fitness(env, &minus, &mut probe, &mut eval_rng);
+                fitness_sum += fp + fm;
+                let w = (fp - fm) / 2.0;
+                for (g, e) in grad.iter_mut().zip(&eps) {
+                    *g += w * e;
+                }
+            }
+            let scale = self.cfg.lr / (self.cfg.population as f64 * self.cfg.sigma);
+            let new_theta: Vec<f64> = theta
+                .iter()
+                .zip(&grad)
+                .map(|(t, g)| t + scale * g)
+                .collect();
+            self.policy.set_parameters(&new_theta);
+            curve.push(fitness_sum / (2.0 * self.cfg.population as f64));
+        }
+        curve
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::env::ChainEnv;
+
+    #[test]
+    fn improves_on_chain() {
+        let mut env = ChainEnv::new(vec![1, 0], 2);
+        let mut agent = EsAgent::new(3, 2, &EsConfig::small(), 31);
+        let curve = agent.train(&mut env, 25);
+        let early: f64 = curve[..5].iter().sum::<f64>() / 5.0;
+        let late: f64 = curve[curve.len() - 5..].iter().sum::<f64>() / 5.0;
+        assert!(late >= early, "es regressed: {early} -> {late}");
+        assert!(late > 1.2, "late fitness {late}");
+    }
+
+    #[test]
+    fn deterministic() {
+        let mk = || {
+            let mut env = ChainEnv::new(vec![1], 2);
+            let mut agent = EsAgent::new(2, 2, &EsConfig::small(), 8);
+            agent.train(&mut env, 3)
+        };
+        assert_eq!(mk(), mk());
+    }
+}

@@ -1,0 +1,257 @@
+//! Proximal Policy Optimization (Schulman et al., 2017) with the clipped
+//! surrogate objective of the paper's Equation 4.
+
+use crate::env::Environment;
+use crate::rollout::{self, Batch};
+use autophase_nn::{softmax, Activation, Mlp};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// PPO hyperparameters.
+#[derive(Debug, Clone)]
+pub struct PpoConfig {
+    /// Hidden layer sizes (the paper's generalization runs use 256×256).
+    pub hidden: Vec<usize>,
+    /// Learning rate (Adam).
+    pub lr: f64,
+    /// Discount factor.
+    pub gamma: f64,
+    /// GAE λ.
+    pub lam: f64,
+    /// Clip parameter ε of Equation 4.
+    pub clip: f64,
+    /// Optimization epochs per batch (PPO's sample-reuse advantage over
+    /// vanilla PG, §2.2).
+    pub epochs: usize,
+    /// Minibatch size.
+    pub minibatch: usize,
+    /// Transitions collected per iteration.
+    pub horizon: usize,
+    /// Hard cap on episode length.
+    pub max_episode_len: usize,
+    /// Entropy bonus coefficient (exploration).
+    pub entropy_coef: f64,
+    /// Value-loss learning rate.
+    pub vf_lr: f64,
+}
+
+impl Default for PpoConfig {
+    fn default() -> PpoConfig {
+        PpoConfig {
+            hidden: vec![256, 256],
+            lr: 3e-4,
+            gamma: 0.99,
+            lam: 0.95,
+            clip: 0.2,
+            epochs: 4,
+            minibatch: 64,
+            horizon: 256,
+            max_episode_len: 64,
+            entropy_coef: 0.01,
+            vf_lr: 1e-3,
+        }
+    }
+}
+
+impl PpoConfig {
+    /// A light configuration for tests and quick searches.
+    pub fn small() -> PpoConfig {
+        PpoConfig {
+            hidden: vec![32, 32],
+            horizon: 128,
+            minibatch: 32,
+            ..PpoConfig::default()
+        }
+    }
+}
+
+/// The PPO agent: a policy network and a value network.
+#[derive(Debug, Clone)]
+pub struct PpoAgent {
+    /// Policy network producing action logits.
+    pub policy: Mlp,
+    /// Value network producing state-value estimates.
+    pub value: Mlp,
+    cfg: PpoConfig,
+    rng: StdRng,
+}
+
+impl PpoAgent {
+    /// Create an agent for the given observation/action dimensions.
+    pub fn new(obs_dim: usize, n_actions: usize, cfg: &PpoConfig, seed: u64) -> PpoAgent {
+        let mut psizes = vec![obs_dim];
+        psizes.extend(&cfg.hidden);
+        psizes.push(n_actions);
+        let mut vsizes = vec![obs_dim];
+        vsizes.extend(&cfg.hidden);
+        vsizes.push(1);
+        PpoAgent {
+            policy: Mlp::new(&psizes, Activation::Tanh, seed),
+            value: Mlp::new(&vsizes, Activation::Tanh, seed ^ 0xABCD),
+            cfg: cfg.clone(),
+            rng: StdRng::seed_from_u64(seed ^ 0x5EED),
+        }
+    }
+
+    /// Action probabilities for an observation.
+    pub fn action_probabilities(&self, obs: &[f64]) -> Vec<f64> {
+        softmax(&self.policy.forward(obs))
+    }
+
+    /// Greedy action.
+    pub fn act_greedy(&self, obs: &[f64]) -> usize {
+        rollout::argmax(&self.policy.forward(obs))
+    }
+
+    /// Sampled action (exploration).
+    pub fn act_sample(&mut self, obs: &[f64]) -> usize {
+        let logits = self.policy.forward(obs);
+        rollout::sample_action(&logits, &mut self.rng).0
+    }
+
+    /// Run `iterations` of collect-then-optimize. Returns the episode
+    /// reward mean of each iteration's batch (the curve of Figure 8).
+    pub fn train(&mut self, env: &mut dyn Environment, iterations: usize) -> Vec<f64> {
+        let mut curve = Vec::with_capacity(iterations);
+        for _ in 0..iterations {
+            let batch = rollout::collect(
+                env,
+                &self.policy,
+                &self.value,
+                self.cfg.horizon,
+                self.cfg.max_episode_len,
+                &mut self.rng,
+            );
+            curve.push(batch.episode_reward_mean());
+            self.update(&batch);
+        }
+        curve
+    }
+
+    /// One PPO optimization phase on a collected batch.
+    pub fn update(&mut self, batch: &Batch) {
+        let (mut adv, ret) = rollout::gae(batch, self.cfg.gamma, self.cfg.lam);
+        rollout::normalize(&mut adv);
+        let n = batch.transitions.len();
+        let mut order: Vec<usize> = (0..n).collect();
+
+        for _ in 0..self.cfg.epochs {
+            order.shuffle(&mut self.rng);
+            for chunk in order.chunks(self.cfg.minibatch.max(1)) {
+                for &i in chunk {
+                    let t = &batch.transitions[i];
+                    let logits = self.policy.forward(&t.obs);
+                    let probs = softmax(&logits);
+                    let logp_new = probs[t.action].max(1e-12).ln();
+                    let ratio = (logp_new - t.logp).exp();
+                    let a = adv[i];
+                    // Clipped surrogate: gradient flows only through the
+                    // unclipped branch when it is the active minimum.
+                    let unclipped = ratio * a;
+                    let clipped = ratio.clamp(1.0 - self.cfg.clip, 1.0 + self.cfg.clip) * a;
+                    let use_unclipped = unclipped <= clipped + 1e-12;
+                    // dL/dlogits.
+                    let mut grad = vec![0.0; probs.len()];
+                    if use_unclipped {
+                        // L = -ratio * A; dlogp/dlogit_j = 1{j=a} - p_j;
+                        // dL/dlogit_j = -A * ratio * (1{j=a} - p_j)
+                        for (j, g) in grad.iter_mut().enumerate() {
+                            let ind = if j == t.action { 1.0 } else { 0.0 };
+                            *g = -a * ratio * (ind - probs[j]);
+                        }
+                    }
+                    // Entropy bonus: L -= β H; dH/dlogit_j = -p_j (log p_j + H)
+                    if self.cfg.entropy_coef > 0.0 {
+                        let h: f64 = -probs
+                            .iter()
+                            .map(|&p| p.max(1e-12) * p.max(1e-12).ln())
+                            .sum::<f64>();
+                        for (j, g) in grad.iter_mut().enumerate() {
+                            let dh = -probs[j] * (probs[j].max(1e-12).ln() + h);
+                            *g -= self.cfg.entropy_coef * dh;
+                        }
+                    }
+                    self.policy.backward(&t.obs, &grad);
+
+                    // Value regression: L = 0.5 (v - ret)^2.
+                    let v = self.value.forward(&t.obs)[0];
+                    self.value.backward(&t.obs, &[v - ret[i]]);
+                }
+                self.policy.step(self.cfg.lr);
+                self.value.step(self.cfg.vf_lr);
+            }
+        }
+    }
+
+    /// Access the configuration.
+    pub fn config(&self) -> &PpoConfig {
+        &self.cfg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::env::ChainEnv;
+
+    #[test]
+    fn solves_two_step_chain() {
+        let mut env = ChainEnv::new(vec![2, 0], 3);
+        let mut agent = PpoAgent::new(3, 3, &PpoConfig::small(), 11);
+        let curve = agent.train(&mut env, 30);
+        let early: f64 = curve[..5].iter().sum::<f64>() / 5.0;
+        let late: f64 = curve[curve.len() - 5..].iter().sum::<f64>() / 5.0;
+        assert!(late > early, "no learning: early={early} late={late}");
+        assert!(late > 1.6, "should approach 2.0, got {late}");
+        // Greedy policy is correct at both positions.
+        assert_eq!(agent.act_greedy(&[1.0, 0.0, 0.0]), 2);
+        assert_eq!(agent.act_greedy(&[0.0, 1.0, 0.0]), 0);
+    }
+
+    #[test]
+    fn entropy_keeps_probabilities_soft_early() {
+        let agent = PpoAgent::new(3, 4, &PpoConfig::small(), 3);
+        let p = agent.action_probabilities(&[1.0, 0.0, 0.0]);
+        // Fresh network ≈ uniform.
+        assert!(p.iter().all(|&x| x > 0.1 && x < 0.5), "{p:?}");
+    }
+
+    #[test]
+    fn deterministic_training() {
+        let mk = || {
+            let mut env = ChainEnv::new(vec![1], 2);
+            let mut agent = PpoAgent::new(2, 2, &PpoConfig::small(), 5);
+            agent.train(&mut env, 5)
+        };
+        assert_eq!(mk(), mk());
+    }
+
+    #[test]
+    fn zero_reward_env_stays_near_uniform() {
+        // RL-PPO1 in the paper: all rewards zeroed → no preference learned.
+        struct Zero;
+        impl Environment for Zero {
+            fn observation_dim(&self) -> usize {
+                1
+            }
+            fn num_actions(&self) -> usize {
+                2
+            }
+            fn reset(&mut self) -> Vec<f64> {
+                vec![0.0]
+            }
+            fn step(&mut self, _: usize) -> crate::env::StepResult {
+                crate::env::StepResult {
+                    observation: vec![0.0],
+                    reward: 0.0,
+                    done: true,
+                }
+            }
+        }
+        let mut agent = PpoAgent::new(1, 2, &PpoConfig::small(), 17);
+        agent.train(&mut Zero, 20);
+        let p = agent.action_probabilities(&[0.0]);
+        assert!((p[0] - 0.5).abs() < 0.2, "{p:?}");
+    }
+}

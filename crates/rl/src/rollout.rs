@@ -1,0 +1,239 @@
+//! Trajectory collection and generalized advantage estimation.
+
+use crate::env::Environment;
+use autophase_nn::{softmax, Mlp};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// One transition of a trajectory.
+#[derive(Debug, Clone)]
+pub struct Transition {
+    /// Observation before the action.
+    pub obs: Vec<f64>,
+    /// Chosen action.
+    pub action: usize,
+    /// Immediate reward.
+    pub reward: f64,
+    /// Log-probability of the action under the behaviour policy.
+    pub logp: f64,
+    /// Critic's value estimate of `obs`.
+    pub value: f64,
+    /// Episode ended at this transition.
+    pub done: bool,
+}
+
+/// A batch of transitions with per-episode returns.
+#[derive(Debug, Clone, Default)]
+pub struct Batch {
+    /// Transitions in collection order.
+    pub transitions: Vec<Transition>,
+    /// Total (undiscounted) reward of each completed episode.
+    pub episode_returns: Vec<f64>,
+}
+
+impl Batch {
+    /// Mean return of completed episodes (0 when none completed).
+    pub fn episode_reward_mean(&self) -> f64 {
+        if self.episode_returns.is_empty() {
+            0.0
+        } else {
+            self.episode_returns.iter().sum::<f64>() / self.episode_returns.len() as f64
+        }
+    }
+}
+
+/// Sample an action from a categorical distribution given logits.
+/// Returns `(action, log_prob)`.
+pub fn sample_action(logits: &[f64], rng: &mut StdRng) -> (usize, f64) {
+    let probs = softmax(logits);
+    let r: f64 = rng.gen();
+    let mut cum = 0.0;
+    for (i, &p) in probs.iter().enumerate() {
+        cum += p;
+        if r <= cum {
+            return (i, p.max(1e-12).ln());
+        }
+    }
+    let last = probs.len() - 1;
+    (last, probs[last].max(1e-12).ln())
+}
+
+/// Greedy action.
+pub fn argmax(logits: &[f64]) -> usize {
+    logits
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite logits"))
+        .map(|(i, _)| i)
+        .expect("nonempty logits")
+}
+
+/// Collect at least `horizon` transitions (finishing the final episode).
+pub fn collect(
+    env: &mut dyn Environment,
+    policy: &Mlp,
+    value: &Mlp,
+    horizon: usize,
+    max_episode_len: usize,
+    rng: &mut StdRng,
+) -> Batch {
+    let mut batch = Batch::default();
+    while batch.transitions.len() < horizon {
+        let mut obs = env.reset();
+        let mut ep_return = 0.0;
+        for t in 0..max_episode_len {
+            let logits = policy.forward(&obs);
+            let (action, logp) = sample_action(&logits, rng);
+            let v = value.forward(&obs)[0];
+            let step = env.step(action);
+            ep_return += step.reward;
+            let done = step.done || t + 1 == max_episode_len;
+            batch.transitions.push(Transition {
+                obs: obs.clone(),
+                action,
+                reward: step.reward,
+                logp,
+                value: v,
+                done,
+            });
+            obs = step.observation;
+            if done {
+                break;
+            }
+        }
+        batch.episode_returns.push(ep_return);
+    }
+    batch
+}
+
+/// Compute GAE(λ) advantages and discounted returns for a batch.
+/// Returns `(advantages, returns)` aligned with `batch.transitions`.
+pub fn gae(batch: &Batch, gamma: f64, lam: f64) -> (Vec<f64>, Vec<f64>) {
+    let n = batch.transitions.len();
+    let mut adv = vec![0.0; n];
+    let mut ret = vec![0.0; n];
+    let mut running_adv = 0.0;
+    for i in (0..n).rev() {
+        let t = &batch.transitions[i];
+        let next_value = if t.done || i + 1 == n {
+            0.0
+        } else {
+            batch.transitions[i + 1].value
+        };
+        let delta = t.reward + gamma * next_value - t.value;
+        running_adv = if t.done {
+            delta
+        } else {
+            delta + gamma * lam * running_adv
+        };
+        adv[i] = running_adv;
+        ret[i] = adv[i] + t.value;
+    }
+    (adv, ret)
+}
+
+/// Normalize advantages to zero mean / unit variance (PPO detail).
+pub fn normalize(adv: &mut [f64]) {
+    if adv.len() < 2 {
+        return;
+    }
+    let mean = adv.iter().sum::<f64>() / adv.len() as f64;
+    let var = adv.iter().map(|a| (a - mean) * (a - mean)).sum::<f64>() / adv.len() as f64;
+    let std = var.sqrt().max(1e-8);
+    for a in adv {
+        *a = (*a - mean) / std;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::env::ChainEnv;
+    use autophase_nn::Activation;
+    use rand::SeedableRng;
+
+    #[test]
+    fn collect_fills_horizon() {
+        let mut env = ChainEnv::new(vec![0, 1], 2);
+        let policy = Mlp::new(&[3, 8, 2], Activation::Tanh, 1);
+        let value = Mlp::new(&[3, 8, 1], Activation::Tanh, 2);
+        let mut rng = StdRng::seed_from_u64(3);
+        let b = collect(&mut env, &policy, &value, 10, 50, &mut rng);
+        assert!(b.transitions.len() >= 10);
+        assert!(!b.episode_returns.is_empty());
+        // Every episode in the chain has length 2.
+        assert_eq!(b.transitions.len() % 2, 0);
+    }
+
+    #[test]
+    fn gae_on_known_sequence() {
+        // Single episode, two steps, value = 0 everywhere, gamma=1, lam=1:
+        // advantages are reward-to-go.
+        let batch = Batch {
+            transitions: vec![
+                Transition {
+                    obs: vec![],
+                    action: 0,
+                    reward: 1.0,
+                    logp: 0.0,
+                    value: 0.0,
+                    done: false,
+                },
+                Transition {
+                    obs: vec![],
+                    action: 0,
+                    reward: 2.0,
+                    logp: 0.0,
+                    value: 0.0,
+                    done: true,
+                },
+            ],
+            episode_returns: vec![3.0],
+        };
+        let (adv, ret) = gae(&batch, 1.0, 1.0);
+        assert_eq!(adv, vec![3.0, 2.0]);
+        assert_eq!(ret, vec![3.0, 2.0]);
+    }
+
+    #[test]
+    fn gae_resets_at_episode_boundary() {
+        let t = |r: f64, done: bool| Transition {
+            obs: vec![],
+            action: 0,
+            reward: r,
+            logp: 0.0,
+            value: 0.0,
+            done,
+        };
+        let batch = Batch {
+            transitions: vec![t(5.0, true), t(1.0, true)],
+            episode_returns: vec![5.0, 1.0],
+        };
+        let (adv, _) = gae(&batch, 0.99, 0.95);
+        assert_eq!(adv, vec![5.0, 1.0]); // no bleed across the boundary
+    }
+
+    #[test]
+    fn normalize_standardizes() {
+        let mut a = vec![1.0, 2.0, 3.0, 4.0];
+        normalize(&mut a);
+        let mean: f64 = a.iter().sum::<f64>() / 4.0;
+        assert!(mean.abs() < 1e-12);
+        let var: f64 = a.iter().map(|x| x * x).sum::<f64>() / 4.0;
+        assert!((var - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sampling_respects_distribution() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let logits = vec![0.0, 3.0];
+        let mut count1 = 0;
+        for _ in 0..500 {
+            let (a, logp) = sample_action(&logits, &mut rng);
+            assert!(logp <= 0.0);
+            count1 += (a == 1) as usize;
+        }
+        assert!(count1 > 400, "action 1 should dominate: {count1}");
+        assert_eq!(argmax(&logits), 1);
+    }
+}

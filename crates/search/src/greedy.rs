@@ -1,0 +1,104 @@
+//! Insertion greedy (Huang et al., FCCM'13; the paper's `Greedy`):
+//! "always inserts the pass that achieves the highest speedup at the best
+//! position (out of all possible positions it can be inserted to) in the
+//! current sequence."
+
+use crate::{Objective, SearchResult};
+
+/// Run insertion greedy until the sequence reaches `max_len`, no insertion
+/// improves the objective, or `budget` samples are exhausted.
+pub fn search(
+    obj: &mut Objective<'_>,
+    num_actions: usize,
+    max_len: usize,
+    budget: u64,
+    candidate_passes: Option<&[usize]>,
+) -> SearchResult {
+    let default_candidates: Vec<usize> = (0..num_actions).collect();
+    let candidates = candidate_passes.unwrap_or(&default_candidates);
+
+    let mut seq: Vec<usize> = Vec::new();
+    let mut best_cost = obj.cost(&seq);
+
+    while seq.len() < max_len && obj.samples() < budget {
+        let mut best_insert: Option<(usize, usize, f64)> = None; // (pass, pos, cost)
+        'outer: for &pass in candidates {
+            for pos in 0..=seq.len() {
+                if obj.samples() >= budget {
+                    break 'outer;
+                }
+                let mut cand = seq.clone();
+                cand.insert(pos, pass);
+                let c = obj.cost(&cand);
+                if best_insert.map(|(_, _, bc)| c < bc).unwrap_or(true) {
+                    best_insert = Some((pass, pos, c));
+                }
+            }
+        }
+        match best_insert {
+            Some((pass, pos, c)) if c < best_cost => {
+                seq.insert(pos, pass);
+                best_cost = c;
+            }
+            _ => break, // no improving insertion: greedy is done
+        }
+    }
+
+    SearchResult {
+        best_sequence: seq,
+        best_cost,
+        samples: obj.samples(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Objective where order matters: pass 1 then pass 2 is best.
+    /// cost = 10 - 3·(has 1 before 2) - (count of 1s, capped 2)
+    fn ordered(seq: &[usize]) -> f64 {
+        let pos1 = seq.iter().position(|&p| p == 1);
+        let pos2 = seq.iter().position(|&p| p == 2);
+        let ordered_bonus = match (pos1, pos2) {
+            (Some(a), Some(b)) if a < b => 3.0,
+            _ => 0.0,
+        };
+        let ones = seq.iter().filter(|&&p| p == 1).count().min(2) as f64;
+        10.0 - ordered_bonus - ones
+    }
+
+    #[test]
+    fn finds_ordered_pair() {
+        let mut obj = Objective::new(ordered);
+        let r = search(&mut obj, 4, 6, 10_000, None);
+        assert!(r.best_cost <= 5.0, "cost {}", r.best_cost);
+        let pos1 = r.best_sequence.iter().position(|&p| p == 1).unwrap();
+        let pos2 = r.best_sequence.iter().position(|&p| p == 2).unwrap();
+        assert!(pos1 < pos2);
+    }
+
+    #[test]
+    fn stops_when_no_improvement() {
+        // Constant objective: greedy should quit after one round.
+        let mut obj = Objective::new(|_s: &[usize]| 1.0);
+        let r = search(&mut obj, 5, 10, 10_000, None);
+        assert!(r.best_sequence.is_empty());
+        // 1 (empty) + 5 passes × 1 position.
+        assert_eq!(r.samples, 6);
+    }
+
+    #[test]
+    fn respects_budget() {
+        let mut obj = Objective::new(|s: &[usize]| -(s.len() as f64));
+        let r = search(&mut obj, 10, 50, 100, None);
+        assert!(r.samples <= 100 + 10);
+    }
+
+    #[test]
+    fn candidate_restriction_honored() {
+        let mut obj = Objective::new(ordered);
+        let r = search(&mut obj, 4, 6, 10_000, Some(&[0, 3]));
+        assert!(r.best_sequence.iter().all(|&p| p == 0 || p == 3));
+    }
+}

@@ -1,0 +1,31 @@
+//! AutoPhase — facade crate.
+//!
+//! Re-exports every subsystem of the AutoPhase reproduction (MLSys 2020)
+//! under one roof. See the README for the architecture overview and
+//! `DESIGN.md` for the experiment index.
+//!
+//! # Example: one RL environment step
+//!
+//! ```
+//! use autophase::core::{PhaseOrderEnv, env::EnvConfig};
+//! use autophase::rl::env::Environment;
+//!
+//! let program = autophase::benchmarks::suite::by_name("gsm").expect("known benchmark");
+//! let mut env = PhaseOrderEnv::single(program, EnvConfig::default());
+//! let obs = env.reset();
+//! assert_eq!(obs.len(), 56);            // Table-2 features
+//! let step = env.step(38);              // apply -mem2reg
+//! assert!(step.reward > 0.0);           // fewer cycles
+//! ```
+
+pub use autophase_benchmarks as benchmarks;
+pub use autophase_core as core;
+pub use autophase_features as features;
+pub use autophase_forest as forest;
+pub use autophase_hls as hls;
+pub use autophase_ir as ir;
+pub use autophase_nn as nn;
+pub use autophase_passes as passes;
+pub use autophase_progen as progen;
+pub use autophase_rl as rl;
+pub use autophase_search as search;

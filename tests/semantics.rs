@@ -1,0 +1,125 @@
+//! The repository's central invariant, driven by property testing:
+//! **every pass sequence applied to every program preserves behaviour and
+//! structural well-formedness.**
+//!
+//! Programs come from the CSmith-style generator; sequences are arbitrary
+//! words over the full Table-1 action space (including the no-ops and
+//! `-terminate`). The oracle is the interpreter's observable result.
+
+use autophase::ir::interp::run_main;
+use autophase::ir::verify::verify_module;
+use autophase::passes::registry;
+use autophase::progen::{generate_valid, GenConfig};
+use proptest::prelude::*;
+
+const FUEL: u64 = 4_000_000;
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        // 48 cases keep the debug-profile run quick; override with e.g.
+        // `AUTOPHASE_PT_CASES=1000 cargo test --release --test semantics`
+        // for a stress run.
+        cases: std::env::var("AUTOPHASE_PT_CASES")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(48),
+        .. ProptestConfig::default()
+    })]
+
+    /// Random program × random 12-pass sequence: verifies + same result.
+    #[test]
+    fn random_sequences_preserve_semantics(
+        seed in 0u64..5000,
+        seq in proptest::collection::vec(0usize..registry::pass_count(), 1..12),
+    ) {
+        let cfg = GenConfig::default();
+        let m0 = generate_valid(&cfg, seed);
+        let expect = run_main(&m0, FUEL).expect("valid program runs").observable();
+
+        let mut m = m0.clone();
+        for (i, &p) in seq.iter().enumerate() {
+            registry::apply(&mut m, p);
+            if let Err(e) = verify_module(&m) {
+                panic!(
+                    "seed {seed}: verifier failed after {:?} (step {i}, {}): {e}",
+                    &seq[..=i],
+                    registry::pass_name(p),
+                );
+            }
+        }
+        let got = run_main(&m, FUEL)
+            .unwrap_or_else(|e| panic!("seed {seed}: {seq:?} made program fail: {e}"))
+            .observable();
+        prop_assert_eq!(got, expect, "seed {} seq {:?}", seed, seq);
+    }
+
+    /// Pass idempotence-ish sanity: applying the same pass twice is as
+    /// safe as once (the RL agent repeats actions constantly).
+    #[test]
+    fn repeated_single_pass_safe(
+        seed in 0u64..2000,
+        pass in 0usize..registry::pass_count(),
+        reps in 1usize..5,
+    ) {
+        let m0 = generate_valid(&GenConfig::default(), seed);
+        let expect = run_main(&m0, FUEL).unwrap().observable();
+        let mut m = m0;
+        for _ in 0..reps {
+            registry::apply(&mut m, pass);
+        }
+        verify_module(&m).unwrap();
+        let got = run_main(&m, FUEL).unwrap().observable();
+        prop_assert_eq!(got, expect);
+    }
+
+    /// The HLS profiler accepts every optimized form and cycle counts stay
+    /// positive and sane.
+    #[test]
+    fn hls_profiles_all_optimized_forms(
+        seed in 0u64..2000,
+        seq in proptest::collection::vec(0usize..registry::pass_count(), 0..8),
+    ) {
+        use autophase::hls::{profile::profile_module, HlsConfig};
+        let mut m = generate_valid(&GenConfig::default(), seed);
+        for &p in &seq {
+            registry::apply(&mut m, p);
+        }
+        let hls = HlsConfig::default();
+        let report = profile_module(&m, &hls).expect("profiler accepts optimized module");
+        prop_assert!(report.cycles > 0);
+        prop_assert!(report.total_states >= 1);
+        // A circuit can't finish in fewer states than dynamic blocks allow:
+        // cycles at least the number of executed instructions / generous ILP.
+        prop_assert!(report.cycles as f64 >= report.insts_executed as f64 / 16.0);
+    }
+
+    /// Feature extraction is consistent: per-class counts never exceed the
+    /// total instruction count, and block-shape counts never exceed the
+    /// block count.
+    #[test]
+    fn feature_vector_internally_consistent(
+        seed in 0u64..2000,
+        seq in proptest::collection::vec(0usize..registry::pass_count(), 0..6),
+    ) {
+        use autophase::features::extract;
+        let mut m = generate_valid(&GenConfig::default(), seed);
+        for &p in &seq {
+            registry::apply(&mut m, p);
+        }
+        let f = extract(&m);
+        let total = f[51];
+        // All single-instruction-class features (25..=49) bounded by total.
+        for idx in 25..=49 {
+            prop_assert!(f[idx] <= total, "feature {} exceeds total", idx);
+        }
+        prop_assert!(f[52] <= total); // memory insts
+        prop_assert_eq!(f[37] + f[45], f[52], "loads + stores = memory insts");
+        let blocks = f[50];
+        for idx in [0usize, 1, 2, 5, 6, 9, 10, 11, 12, 13, 29, 30] {
+            prop_assert!(f[idx] <= blocks, "block feature {} exceeds blocks", idx);
+        }
+        prop_assert_eq!(f[11] + f[12] + f[13], blocks, "phi-shape partition covers blocks");
+        prop_assert!(f[15] >= f[23], "branches include unconditional ones");
+        prop_assert_eq!(f[54], f[14].max(f[54]).min(f[54])); // phi args total present
+    }
+}
