@@ -1,0 +1,26 @@
+# Local CI gate. Run `make ci` before pushing; it is exactly what the
+# repository expects to stay green.
+
+CARGO ?= cargo
+
+.PHONY: ci build test clippy fmt fmt-fix bench
+
+ci: build test clippy fmt
+
+build:
+	$(CARGO) build --release
+
+test:
+	$(CARGO) test -q
+
+clippy:
+	$(CARGO) clippy --workspace --all-targets -- -D warnings
+
+fmt:
+	$(CARGO) fmt --check
+
+fmt-fix:
+	$(CARGO) fmt
+
+bench:
+	$(CARGO) run --release -p autophase-bench --bin rollout_bench

@@ -11,7 +11,11 @@ use autophase_rl::env::Environment;
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 
 fn bench_passes(c: &mut Criterion) {
-    let gsm = suite().into_iter().find(|b| b.name == "gsm").unwrap().module;
+    let gsm = suite()
+        .into_iter()
+        .find(|b| b.name == "gsm")
+        .unwrap()
+        .module;
     c.bench_function("pass/mem2reg on gsm", |b| {
         b.iter(|| {
             let mut m = gsm.clone();
@@ -56,14 +60,22 @@ fn bench_hls(c: &mut Criterion) {
 }
 
 fn bench_features(c: &mut Criterion) {
-    let aes = suite().into_iter().find(|b| b.name == "aes").unwrap().module;
+    let aes = suite()
+        .into_iter()
+        .find(|b| b.name == "aes")
+        .unwrap()
+        .module;
     c.bench_function("features/extract aes", |b| {
         b.iter(|| black_box(extract(&aes)))
     });
 }
 
 fn bench_env(c: &mut Criterion) {
-    let gsm = suite().into_iter().find(|b| b.name == "gsm").unwrap().module;
+    let gsm = suite()
+        .into_iter()
+        .find(|b| b.name == "gsm")
+        .unwrap()
+        .module;
     c.bench_function("env/reset+3 steps on gsm", |b| {
         b.iter(|| {
             let mut env = PhaseOrderEnv::single(gsm.clone(), EnvConfig::default());

@@ -9,10 +9,6 @@ fn main() {
     print!("{}", autophase_core::report::fig8_table(&curves));
     println!("\nConvergence (steps to 80% of final level):");
     for c in &curves {
-        println!(
-            "  {:<16} {:?}",
-            c.label,
-            c.steps_to_reach(0.8)
-        );
+        println!("  {:<16} {:?}", c.label, c.steps_to_reach(0.8));
     }
 }

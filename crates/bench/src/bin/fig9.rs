@@ -7,7 +7,6 @@ fn main() {
     let scale = Scale::from_args();
     let (n_train, iters, search_budget) = scale.pick((4, 4, 120), (12, 40, 300), (100, 160, 4000));
     let train = program_batch(&GenConfig::default(), 42, n_train);
-    let results =
-        autophase_core::experiment::fig9(&train, &named_suite(), iters, search_budget, 9);
+    let results = autophase_core::experiment::fig9(&train, &named_suite(), iters, search_budget, 9);
     print!("{}", autophase_core::report::fig9_table(&results));
 }

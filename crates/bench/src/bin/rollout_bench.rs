@@ -1,0 +1,162 @@
+//! Before/after benchmark for the parallel rollout engine and the
+//! memoized evaluation cache.
+//!
+//! "Before" is the seed's collection path: one environment, serial
+//! episode collection, every `cycles()` a fresh compile + profile.
+//! "After" is the engine this PR adds: a worker pool of environments
+//! sharing one [`EvalCache`], so any `(program, pass-sequence)` state
+//! profiled once — by any worker, in any round — is a table lookup ever
+//! after.
+//!
+//! Both paths collect the *same* episode indices under the *same* seeds,
+//! and episode-indexed collection makes the batches bit-identical (the
+//! binary asserts this every round), so the comparison is pure
+//! throughput: identical work, measured in environment steps per second.
+//!
+//! Usage: `cargo run --release -p autophase-bench --bin rollout_bench
+//! [-- --scale small|medium|paper]`.
+
+use autophase_bench::Scale;
+use autophase_core::env::{EnvConfig, FeatureNorm, ObservationKind, PhaseOrderEnv, RewardKind};
+use autophase_core::EvalCache;
+use autophase_rl::env::Environment;
+use autophase_rl::ppo::{PpoAgent, PpoConfig};
+use autophase_rl::rollout::{self, Batch};
+use std::sync::Arc;
+use std::time::Instant;
+
+const EPISODE_LEN: usize = 12;
+const SEED: u64 = 8;
+
+fn env_config() -> EnvConfig {
+    EnvConfig {
+        observation: ObservationKind::Combined,
+        feature_norm: FeatureNorm::InstCount,
+        reward: RewardKind::Log,
+        episode_len: EPISODE_LEN,
+        filtered_features: true,
+        filtered_passes: true,
+        ..EnvConfig::default()
+    }
+}
+
+fn batches_equal(a: &Batch, b: &Batch) -> bool {
+    a.episode_returns == b.episode_returns
+        && a.transitions.len() == b.transitions.len()
+        && a.transitions.iter().zip(&b.transitions).all(|(x, y)| {
+            x.obs == y.obs
+                && x.action == y.action
+                && x.reward == y.reward
+                && x.logp == y.logp
+                && x.done == y.done
+        })
+}
+
+fn main() {
+    let scale = Scale::from_args();
+    let (warmup_iters, rounds, episodes_per_round) =
+        scale.pick((16, 16, 24), (20, 16, 32), (40, 30, 96));
+
+    let program = autophase_benchmarks::suite()
+        .into_iter()
+        .find(|b| b.name == "gsm")
+        .expect("gsm benchmark present")
+        .module;
+
+    // Warm up a policy so the benchmark measures the steady state of
+    // training, where the policy has sharpened and revisits good
+    // sequences — exactly the regime the cache is built for.
+    let mut warm_env = PhaseOrderEnv::single(program.clone(), env_config());
+    let ppo = PpoConfig {
+        hidden: vec![32, 32],
+        horizon: 96,
+        minibatch: 32,
+        max_episode_len: EPISODE_LEN,
+        ..PpoConfig::default()
+    };
+    let mut agent = PpoAgent::new(
+        warm_env.observation_dim(),
+        warm_env.num_actions(),
+        &ppo,
+        SEED,
+    );
+    eprintln!("warming up policy ({warmup_iters} serial PPO iterations on gsm)...");
+    agent.train(&mut warm_env, warmup_iters);
+
+    let total_eps = rounds * episodes_per_round;
+    let total_steps_hint = total_eps * EPISODE_LEN;
+    eprintln!(
+        "collecting {rounds} rounds x {episodes_per_round} episodes (<= {total_steps_hint} steps) per path..."
+    );
+
+    // Before: the seed path — serial collection, no cache.
+    let mut serial_env = PhaseOrderEnv::single(program.clone(), env_config());
+    let mut serial_batches = Vec::with_capacity(rounds);
+    let t0 = Instant::now();
+    for r in 0..rounds {
+        serial_batches.push(rollout::collect_episodes(
+            &mut serial_env,
+            &agent.policy,
+            &agent.value,
+            episodes_per_round,
+            (r * episodes_per_round) as u64,
+            EPISODE_LEN,
+            rollout::episode_seed(0xBEEF, r as u64),
+        ));
+    }
+    let serial_secs = t0.elapsed().as_secs_f64();
+    let steps: usize = serial_batches.iter().map(|b| b.transitions.len()).sum();
+
+    // After: the worker pool, every environment sharing one cache.
+    // One worker per core (the engine is bit-identical for any count, so
+    // a single-core machine honestly runs one worker and the speedup is
+    // the cache's alone).
+    let workers = std::thread::available_parallelism().map_or(1, |n| n.get().min(8));
+    let cache = Arc::new(EvalCache::default());
+    let mut envs: Vec<Box<dyn Environment + Send>> = (0..workers)
+        .map(|_| {
+            Box::new(PhaseOrderEnv::with_cache(
+                vec![program.clone()],
+                env_config(),
+                Arc::clone(&cache),
+            )) as Box<dyn Environment + Send>
+        })
+        .collect();
+    let t1 = Instant::now();
+    for (r, reference) in serial_batches.iter().enumerate() {
+        let batch = rollout::collect_episodes_parallel(
+            &mut envs,
+            &agent.policy,
+            &agent.value,
+            episodes_per_round,
+            (r * episodes_per_round) as u64,
+            EPISODE_LEN,
+            rollout::episode_seed(0xBEEF, r as u64),
+        );
+        assert!(
+            batches_equal(reference, &batch),
+            "round {r}: parallel+cached batch diverged from the serial one"
+        );
+    }
+    let cached_secs = t1.elapsed().as_secs_f64();
+
+    let stats = cache.stats();
+    let serial_sps = steps as f64 / serial_secs;
+    let cached_sps = steps as f64 / cached_secs;
+    println!("rollout throughput on gsm ({steps} env steps per path, {workers} workers)");
+    println!("  before (serial, uncached):   {serial_sps:>9.1} steps/s  ({serial_secs:.2}s)");
+    println!("  after  (parallel + cache):   {cached_sps:>9.1} steps/s  ({cached_secs:.2}s)");
+    println!(
+        "  speedup:                     {:>9.2}x",
+        serial_sps.recip() / cached_sps.recip()
+    );
+    println!(
+        "  cache: {} hits / {} misses ({:.1}% hit rate), {} entries, {} evictions",
+        stats.hits,
+        stats.misses,
+        100.0 * stats.hit_rate(),
+        stats.len,
+        stats.evictions
+    );
+    println!("  determinism: all {rounds} parallel batches bit-identical to serial ones");
+}

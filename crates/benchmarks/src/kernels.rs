@@ -209,7 +209,9 @@ pub fn blowfish() -> Module {
         .map(|i| 0x243F_6A88u32.wrapping_add(i.wrapping_mul(0x9E37_79B9)) as i32 as i64)
         .collect();
     let p_g = m.add_global(Global::constant("p_array", Type::I32, p_arr));
-    let sbox: Vec<i64> = (0..256).map(|i| ((i * 2654435761u64) % 4294967296) as i64 as i32 as i64).collect();
+    let sbox: Vec<i64> = (0..256)
+        .map(|i| ((i * 2654435761u64) % 4294967296) as i64 as i32 as i64)
+        .collect();
     let s_g = m.add_global(Global::constant("sbox", Type::I32, sbox));
 
     // F(x) = (S[x&255] + S[(x>>8)&255]) ^ S[(x>>16)&255]
@@ -469,11 +471,7 @@ pub fn mpeg2() -> Module {
         b.counted_loop(Value::i32(n), |b, row| {
             b.counted_loop(Value::i32(n / 2), |b, k| {
                 let stride = Value::i32(if pass == 0 { 1 } else { n });
-                let base = b.binary(
-                    BinOp::Mul,
-                    row,
-                    Value::i32(if pass == 0 { n } else { 1 }),
-                );
+                let base = b.binary(BinOp::Mul, row, Value::i32(if pass == 0 { n } else { 1 }));
                 let ks = b.binary(BinOp::Mul, k, stride);
                 let i0 = b.binary(BinOp::Add, base, ks);
                 let off = b.binary(BinOp::Mul, Value::i32(n / 2), stride);

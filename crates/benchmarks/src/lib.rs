@@ -24,7 +24,6 @@
 //! ```
 #![warn(missing_docs)]
 
-
 pub mod kernels;
 pub mod suite;
 

@@ -56,7 +56,10 @@ pub fn suite() -> Vec<Benchmark> {
 
 /// Look one benchmark up by name.
 pub fn by_name(name: &str) -> Option<Module> {
-    suite().into_iter().find(|b| b.name == name).map(|b| b.module)
+    suite()
+        .into_iter()
+        .find(|b| b.name == name)
+        .map(|b| b.module)
 }
 
 #[cfg(test)]
@@ -69,8 +72,7 @@ mod tests {
     fn all_benchmarks_verify_and_terminate() {
         for b in suite() {
             verify_module(&b.module).unwrap_or_else(|e| panic!("{}: {e}", b.name));
-            let t = run_main(&b.module, 5_000_000)
-                .unwrap_or_else(|e| panic!("{}: {e}", b.name));
+            let t = run_main(&b.module, 5_000_000).unwrap_or_else(|e| panic!("{}: {e}", b.name));
             assert!(t.insts_executed > 500, "{} too trivial", b.name);
         }
     }
@@ -89,7 +91,10 @@ mod tests {
         let mut distinct = r1.clone();
         distinct.sort();
         distinct.dedup();
-        assert!(distinct.len() >= 8, "checksums suspiciously collide: {r1:?}");
+        assert!(
+            distinct.len() >= 8,
+            "checksums suspiciously collide: {r1:?}"
+        );
     }
 
     #[test]

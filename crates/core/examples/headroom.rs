@@ -8,7 +8,7 @@
 
 use autophase_core::env::{o3_cycles, sequence_cycles};
 use autophase_hls::HlsConfig;
-use autophase_search::{greedy, genetic, Objective};
+use autophase_search::{genetic, greedy, Objective};
 
 fn main() {
     let hls = HlsConfig::default();
@@ -18,9 +18,16 @@ fn main() {
         let g = greedy::search(&mut obj, 45, 45, 2484, None);
         let mut obj2 = Objective::new(|seq: &[usize]| sequence_cycles(&b.module, seq, &hls) as f64);
         let ga = genetic::search(&mut obj2, 45, 45, 6080, &genetic::GaConfig::default(), 3);
-        println!("{:<10} o3={:<6} greedy={:<6} ({:+.1}%, {} smp) ga={:<6} ({:+.1}%, {} smp)",
-            b.name, o3,
-            g.best_cost as u64, (o3 as f64 - g.best_cost)/o3 as f64*100.0, g.samples,
-            ga.best_cost as u64, (o3 as f64 - ga.best_cost)/o3 as f64*100.0, ga.samples);
+        println!(
+            "{:<10} o3={:<6} greedy={:<6} ({:+.1}%, {} smp) ga={:<6} ({:+.1}%, {} smp)",
+            b.name,
+            o3,
+            g.best_cost as u64,
+            (o3 as f64 - g.best_cost) / o3 as f64 * 100.0,
+            g.samples,
+            ga.best_cost as u64,
+            (o3 as f64 - ga.best_cost) / o3 as f64 * 100.0,
+            ga.samples
+        );
     }
 }

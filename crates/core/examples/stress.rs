@@ -15,12 +15,19 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 fn main() {
-    let trials: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(2000);
+    let trials: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2000);
     let mut rng = StdRng::seed_from_u64(0xC0FFEE);
     let mut failures = 0;
     for t in 0..trials {
         let big = t % 5 == 4;
-        let cfg = if big { GenConfig::large() } else { GenConfig::default() };
+        let cfg = if big {
+            GenConfig::large()
+        } else {
+            GenConfig::default()
+        };
         let seed = rng.gen_range(0..1_000_000u64);
         let m0 = generate_valid(&cfg, seed);
         let expect = match run_main(&m0, 16_000_000) {
@@ -28,12 +35,17 @@ fn main() {
             Err(_) => continue,
         };
         let len = rng.gen_range(1..=30usize);
-        let seq: Vec<usize> = (0..len).map(|_| rng.gen_range(0..registry::pass_count())).collect();
+        let seq: Vec<usize> = (0..len)
+            .map(|_| rng.gen_range(0..registry::pass_count()))
+            .collect();
         let mut m = m0.clone();
         for (i, &p) in seq.iter().enumerate() {
             registry::apply(&mut m, p);
             if let Err(e) = autophase_ir::verify::verify_module(&m) {
-                println!("FAIL verify trial {t} big={big} seed {seed} seq {:?} at {i}: {e}", &seq[..=i]);
+                println!(
+                    "FAIL verify trial {t} big={big} seed {seed} seq {:?} at {i}: {e}",
+                    &seq[..=i]
+                );
                 failures += 1;
                 break;
             }
@@ -46,7 +58,9 @@ fn main() {
                 failures += 1;
             }
         }
-        if t % 500 == 499 { println!("... {}/{trials} ok so far ({failures} failures)", t+1); }
+        if t % 500 == 499 {
+            println!("... {}/{trials} ok so far ({failures} failures)", t + 1);
+        }
     }
     println!("done: {failures} failures / {trials} trials");
 }

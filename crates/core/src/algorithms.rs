@@ -10,8 +10,7 @@
 //! | Greedy / OpenTuner / Genetic-DEAP / random — black-box searches.    |
 
 use crate::env::{
-    o0_cycles, o3_cycles, sequence_cycles, EnvConfig, ObservationKind, PhaseOrderEnv,
-    RewardKind,
+    o0_cycles, o3_cycles, sequence_cycles, EnvConfig, ObservationKind, PhaseOrderEnv, RewardKind,
 };
 use crate::multi::{MultiActionAgent, MultiConfig};
 use autophase_hls::HlsConfig;
@@ -167,14 +166,26 @@ pub fn run_algorithm(
     let (cycles, samples) = match algorithm {
         Algorithm::O0 => (o0_cycles(program, hls), 1),
         Algorithm::O3 => (o3, 1),
-        Algorithm::RlPpo1 => run_single_action_rl(program, budget, hls, seed, RlKind::Ppo {
-            obs: ObservationKind::ProgramFeatures,
-            reward: RewardKind::Zero,
-        }),
-        Algorithm::RlPpo2 => run_single_action_rl(program, budget, hls, seed, RlKind::Ppo {
-            obs: ObservationKind::ActionHistory,
-            reward: RewardKind::Raw,
-        }),
+        Algorithm::RlPpo1 => run_single_action_rl(
+            program,
+            budget,
+            hls,
+            seed,
+            RlKind::Ppo {
+                obs: ObservationKind::ProgramFeatures,
+                reward: RewardKind::Zero,
+            },
+        ),
+        Algorithm::RlPpo2 => run_single_action_rl(
+            program,
+            budget,
+            hls,
+            seed,
+            RlKind::Ppo {
+                obs: ObservationKind::ActionHistory,
+                reward: RewardKind::Raw,
+            },
+        ),
         Algorithm::RlA3c => run_single_action_rl(program, budget, hls, seed, RlKind::A2c),
         Algorithm::RlEs => run_single_action_rl(program, budget, hls, seed, RlKind::Es),
         Algorithm::RlPpo3 => {
@@ -286,7 +297,10 @@ fn run_single_action_rl(
         hls: hls.clone(),
         ..EnvConfig::default()
     };
-    let mut env = BestTracking::new(PhaseOrderEnv::single(program.clone(), env_cfg), zero_rewards);
+    let mut env = BestTracking::new(
+        PhaseOrderEnv::single(program.clone(), env_cfg),
+        zero_rewards,
+    );
     let obs_dim = env.observation_dim();
     let n_actions = env.num_actions();
     match kind {
@@ -377,7 +391,11 @@ mod tests {
     use autophase_benchmarks::suite;
 
     fn program() -> Module {
-        suite().into_iter().find(|b| b.name == "gsm").unwrap().module
+        suite()
+            .into_iter()
+            .find(|b| b.name == "gsm")
+            .unwrap()
+            .module
     }
 
     #[test]
@@ -409,7 +427,12 @@ mod tests {
         let p = program();
         let o0 = o0_cycles(&p, &hls);
         let r = run_algorithm(Algorithm::RlPpo2, &p, &Budget::tiny(), &hls, 5);
-        assert!(r.cycles < o0, "RL-PPO2 found nothing: {} vs {}", r.cycles, o0);
+        assert!(
+            r.cycles < o0,
+            "RL-PPO2 found nothing: {} vs {}",
+            r.cycles,
+            o0
+        );
     }
 
     #[test]

@@ -228,7 +228,10 @@ mod tests {
                 nonzero_rows += 1;
             }
         }
-        assert!(nonzero_rows >= 3, "too few informative passes: {nonzero_rows}");
+        assert!(
+            nonzero_rows >= 3,
+            "too few informative passes: {nonzero_rows}"
+        );
         let top = analysis.impactful_passes(10);
         assert_eq!(top.len(), 10);
         let feats = analysis.impactful_features(12);

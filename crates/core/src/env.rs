@@ -1,13 +1,15 @@
 //! The phase-ordering RL environment (§5.1).
 
+use crate::eval_cache::{fingerprint_module, CacheEntry, CacheKey, EvalCache, SeqHash};
 use autophase_features::{
-    extract, filter_features, log_normalize, normalize_to_inst_count, FILTERED_FEATURES,
-    NUM_FEATURES,
+    extract, filter_features, log_normalize, normalize_to_inst_count, FeatureVector,
+    FILTERED_FEATURES, NUM_FEATURES,
 };
 use autophase_hls::{profile::profile_module, HlsConfig};
 use autophase_ir::Module;
 use autophase_passes::registry::{self, NUM_PASSES};
 use autophase_rl::env::{Environment, StepResult};
+use std::sync::Arc;
 
 /// What the agent observes (§5.1's two input-feature types and their
 /// combination; Table 3's "Observation Space" row).
@@ -149,6 +151,21 @@ pub struct PhaseOrderEnv {
     /// Number of cycle-profiler invocations ("samples" in Figure 7).
     samples: u64,
     episode_done: bool,
+    /// Shared memoization cache; `None` keeps the uncached seed path.
+    cache: Option<Arc<EvalCache>>,
+    /// Fingerprints of the pristine programs (filled when a cache is set).
+    program_fps: Vec<u64>,
+    /// Fingerprint of the episode's pristine program.
+    current_fp: u64,
+    /// Rolling hash of the passes applied this episode that reported a
+    /// change (the cache key's sequence component).
+    seq_hash: SeqHash,
+    /// Changing passes applied this episode (cached mode). `current`
+    /// reflects only the first `materialized` of them; the rest are known
+    /// from the transition memo and replayed lazily on demand.
+    applied: Vec<usize>,
+    /// How many entries of `applied` are reflected in `current`.
+    materialized: usize,
 }
 
 impl PhaseOrderEnv {
@@ -170,6 +187,12 @@ impl PhaseOrderEnv {
             prev_cycles: 0,
             samples: 0,
             episode_done: false,
+            cache: None,
+            program_fps: Vec::new(),
+            current_fp: 0,
+            seq_hash: SeqHash::new(),
+            applied: Vec::new(),
+            materialized: 0,
         };
         env.action_histogram = vec![0.0; env.num_actions()];
         env
@@ -178,6 +201,40 @@ impl PhaseOrderEnv {
     /// Single-program convenience constructor.
     pub fn single(program: Module, cfg: EnvConfig) -> PhaseOrderEnv {
         PhaseOrderEnv::new(vec![program], cfg)
+    }
+
+    /// Like [`PhaseOrderEnv::new`], sharing `cache` from the start.
+    pub fn with_cache(
+        programs: Vec<Module>,
+        cfg: EnvConfig,
+        cache: Arc<EvalCache>,
+    ) -> PhaseOrderEnv {
+        let mut env = PhaseOrderEnv::new(programs, cfg);
+        env.set_cache(cache);
+        env
+    }
+
+    /// Attach a shared evaluation cache. Every profiler query from now on
+    /// is keyed by `(program fingerprint, applied-pass hash)` and answered
+    /// from the cache when possible; only real profiler runs count toward
+    /// [`PhaseOrderEnv::samples`]. Results are bit-identical to the
+    /// uncached path — the cache only changes how often the profiler runs.
+    pub fn set_cache(&mut self, cache: Arc<EvalCache>) {
+        if self.program_fps.is_empty() {
+            self.program_fps = self.programs.iter().map(fingerprint_module).collect();
+            // The episode may already be underway (mid-episode attach):
+            // fingerprint the live module state so keys stay exact.
+            self.current_fp = fingerprint_module(&self.current);
+            self.seq_hash = SeqHash::new();
+            self.applied.clear();
+            self.materialized = 0;
+        }
+        self.cache = Some(cache);
+    }
+
+    /// The shared cache, if one is attached.
+    pub fn cache(&self) -> Option<&Arc<EvalCache>> {
+        self.cache.as_ref()
     }
 
     /// The action index list (Table-1 ids) this environment exposes.
@@ -196,7 +253,30 @@ impl PhaseOrderEnv {
 
     /// Objective value (cycles / area / weighted) of the current module
     /// state. For the default configuration this is the cycle count.
+    ///
+    /// With a cache attached, a hit answers without running the profiler
+    /// (and without charging a sample); only misses profile. Failed
+    /// profiles are never cached.
     pub fn cycles(&mut self) -> u64 {
+        if let Some(cache) = self.cache.clone() {
+            let key = CacheKey {
+                program: self.current_fp,
+                seq: self.seq_hash.value(),
+            };
+            if let Some(entry) = cache.get(&key) {
+                return self.objective_of(&entry);
+            }
+            self.materialize();
+            self.samples += 1;
+            let report = match profile_module(&self.current, &self.cfg.hls) {
+                Ok(r) => r,
+                Err(_) => return u64::MAX / 4,
+            };
+            let entry = CacheEntry::from_report(&self.current, &report);
+            let value = self.objective_of(&entry);
+            cache.insert(key, entry);
+            return value;
+        }
         self.samples += 1;
         let report = match profile_module(&self.current, &self.cfg.hls) {
             Ok(r) => r,
@@ -208,10 +288,23 @@ impl PhaseOrderEnv {
             Objective::Weighted {
                 cycle_weight,
                 area_weight,
-            } => (cycle_weight * report.cycles as f64
-                + area_weight * report.area.total() as f64)
+            } => (cycle_weight * report.cycles as f64 + area_weight * report.area.total() as f64)
                 .max(0.0) as u64,
             Objective::DynamicInsts => report.insts_executed,
+        }
+    }
+
+    /// The configured objective read off a cache entry.
+    fn objective_of(&self, entry: &CacheEntry) -> u64 {
+        match self.cfg.objective {
+            Objective::Cycles => entry.cycles,
+            Objective::Area => entry.area.total(),
+            Objective::Weighted {
+                cycle_weight,
+                area_weight,
+            } => (cycle_weight * entry.cycles as f64 + area_weight * entry.area.total() as f64)
+                .max(0.0) as u64,
+            Objective::DynamicInsts => entry.insts_executed,
         }
     }
 
@@ -227,8 +320,47 @@ impl PhaseOrderEnv {
     }
 
     /// The module in its current (partially optimized) state.
-    pub fn module(&self) -> &Module {
+    ///
+    /// In cached mode the module is materialized lazily, so this may have
+    /// to replay memoized passes first — hence `&mut self`.
+    pub fn module(&mut self) -> &Module {
+        self.materialize();
         &self.current
+    }
+
+    /// Replay any passes known (from the transition memo) to be part of
+    /// the current state but not yet applied to `current`. Replaying only
+    /// the *changing* passes reproduces the exact module: a pass that
+    /// reported no change left the module untouched, so dropping it
+    /// cannot alter what later passes see.
+    fn materialize(&mut self) {
+        for i in self.materialized..self.applied.len() {
+            let changed = registry::apply(&mut self.current, self.applied[i]);
+            debug_assert!(changed, "memoized changing pass replayed as no-op");
+        }
+        self.materialized = self.applied.len();
+    }
+
+    /// Materialize `current` if the next observation will need it (i.e.
+    /// the cache cannot serve the state's feature vector).
+    fn ensure_observable(&mut self) {
+        if self.materialized == self.applied.len() {
+            return;
+        }
+        let served = match (&self.cache, &self.cfg.observation) {
+            (_, ObservationKind::ActionHistory) => true,
+            (Some(cache), _) => {
+                let key = CacheKey {
+                    program: self.current_fp,
+                    seq: self.seq_hash.value(),
+                };
+                cache.peek(&key).is_some()
+            }
+            (None, _) => false,
+        };
+        if !served {
+            self.materialize();
+        }
     }
 
     /// Number of feature slots in the observation.
@@ -240,8 +372,27 @@ impl PhaseOrderEnv {
         }
     }
 
+    /// Raw Table-2 features of the current state. With a cache attached,
+    /// the `(program fingerprint, applied-pass hash)` key uniquely
+    /// determines the module state (see [`crate::eval_cache`]), so an
+    /// existing entry's stored features *are* `extract(&self.current)` —
+    /// serving them skips the extraction walk. States the profiler never
+    /// visited (zero-reward inference) fall through to a real extraction.
+    fn raw_features(&self) -> FeatureVector {
+        if let Some(cache) = &self.cache {
+            let key = CacheKey {
+                program: self.current_fp,
+                seq: self.seq_hash.value(),
+            };
+            if let Some(entry) = cache.peek(&key) {
+                return entry.features;
+            }
+        }
+        extract(&self.current)
+    }
+
     fn features(&self) -> Vec<f64> {
-        let raw = extract(&self.current);
+        let raw = self.raw_features();
         let normed: Vec<f64> = match self.cfg.feature_norm {
             FeatureNorm::Raw => raw.iter().map(|&x| x as f64).collect(),
             FeatureNorm::Log => log_normalize(&raw),
@@ -254,7 +405,8 @@ impl PhaseOrderEnv {
         }
     }
 
-    fn observe(&self) -> Vec<f64> {
+    fn observe(&mut self) -> Vec<f64> {
+        self.ensure_observable();
         match self.cfg.observation {
             ObservationKind::ProgramFeatures => self.features(),
             ObservationKind::ActionHistory => self.action_histogram.clone(),
@@ -298,12 +450,25 @@ impl Environment for PhaseOrderEnv {
 
     fn reset(&mut self) -> Vec<f64> {
         self.current = self.programs[self.program_cursor].clone();
+        if !self.program_fps.is_empty() {
+            self.current_fp = self.program_fps[self.program_cursor];
+        }
+        self.seq_hash = SeqHash::new();
+        self.applied.clear();
+        self.materialized = 0;
         self.program_cursor = (self.program_cursor + 1) % self.programs.len();
         self.steps_taken = 0;
         self.action_histogram = vec![0.0; self.num_actions()];
         self.episode_done = false;
         self.prev_cycles = self.cycles();
         self.observe()
+    }
+
+    fn reset_to(&mut self, episode: u64) -> Vec<f64> {
+        // Episode-indexed program choice: any worker running episode `i`
+        // sees the same program, making parallel collection deterministic.
+        self.program_cursor = (episode % self.programs.len() as u64) as usize;
+        self.reset()
     }
 
     fn step(&mut self, action: usize) -> StepResult {
@@ -317,7 +482,40 @@ impl Environment for PhaseOrderEnv {
                 done: true,
             };
         }
-        let changed = registry::apply(&mut self.current, pass_id);
+        // With a cache, the transition memo may already know whether this
+        // pass changes the current state — then the (deterministic) pass
+        // need not run at all, and `current` stays lazily stale until a
+        // miss forces materialization.
+        let changed = if let Some(cache) = self.cache.clone() {
+            let key = CacheKey {
+                program: self.current_fp,
+                seq: self.seq_hash.value(),
+            };
+            match cache.transition(&key, pass_id) {
+                Some(c) => c,
+                None => {
+                    self.materialize();
+                    let c = registry::apply(&mut self.current, pass_id);
+                    cache.record_transition(key, pass_id, c);
+                    if c {
+                        // `applied` gains this pass below; `current`
+                        // already reflects it.
+                        self.materialized += 1;
+                    }
+                    c
+                }
+            }
+        } else {
+            registry::apply(&mut self.current, pass_id)
+        };
+        if changed {
+            // Only changing passes enter the key: every no-op-padded
+            // variant of one effective sequence shares a cache entry.
+            self.seq_hash.push(pass_id);
+            if self.cache.is_some() {
+                self.applied.push(pass_id);
+            }
+        }
         self.action_histogram[action] += 1.0;
         self.steps_taken += 1;
 
@@ -355,8 +553,79 @@ pub fn sequence_cycles(program: &Module, seq: &[usize], hls: &HlsConfig) -> u64 
 pub fn apply_and_profile(program: &Module, seq: &[usize], hls: &HlsConfig) -> (Module, u64) {
     let mut m = program.clone();
     registry::apply_sequence(&mut m, seq);
-    let cycles = profile_module(&m, hls).map(|r| r.cycles).unwrap_or(u64::MAX / 4);
+    let cycles = profile_module(&m, hls)
+        .map(|r| r.cycles)
+        .unwrap_or(u64::MAX / 4);
     (m, cycles)
+}
+
+/// One full-sequence evaluation: the features and cycle count the caller
+/// needs whether or not the module itself was materialized.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SeqEval {
+    /// Table-2 features of the optimized module.
+    pub features: FeatureVector,
+    /// Cycle count of the optimized module (`u64::MAX / 4` when the
+    /// profile failed).
+    pub cycles: u64,
+    /// Whether the evaluation was answered from the cache (no compile,
+    /// no profile).
+    pub cache_hit: bool,
+}
+
+/// [`apply_and_profile`] with memoization: keyed on the *raw* pass
+/// sequence, so a hit skips pass application, profiling, and feature
+/// extraction entirely. `program_fp` is the pristine program's
+/// [`fingerprint_module`] (compute it once per program, not per call).
+/// Failed profiles are evaluated but never cached.
+pub fn evaluate_sequence_cached(
+    program: &Module,
+    program_fp: u64,
+    seq: &[usize],
+    hls: &HlsConfig,
+    cache: &EvalCache,
+) -> SeqEval {
+    let key = CacheKey {
+        program: program_fp,
+        seq: SeqHash::of(seq),
+    };
+    if let Some(entry) = cache.get(&key) {
+        return SeqEval {
+            features: entry.features,
+            cycles: entry.cycles,
+            cache_hit: true,
+        };
+    }
+    let mut m = program.clone();
+    registry::apply_sequence(&mut m, seq);
+    match profile_module(&m, hls) {
+        Ok(report) => {
+            let entry = CacheEntry::from_report(&m, &report);
+            let eval = SeqEval {
+                features: entry.features,
+                cycles: entry.cycles,
+                cache_hit: false,
+            };
+            cache.insert(key, entry);
+            eval
+        }
+        Err(_) => SeqEval {
+            features: extract(&m),
+            cycles: u64::MAX / 4,
+            cache_hit: false,
+        },
+    }
+}
+
+/// [`sequence_cycles`] with memoization (see [`evaluate_sequence_cached`]).
+pub fn sequence_cycles_cached(
+    program: &Module,
+    program_fp: u64,
+    seq: &[usize],
+    hls: &HlsConfig,
+    cache: &EvalCache,
+) -> u64 {
+    evaluate_sequence_cached(program, program_fp, seq, hls, cache).cycles
 }
 
 /// Cycle count of the unoptimized (`-O0`) program.
@@ -370,7 +639,9 @@ pub fn o0_cycles(program: &Module, hls: &HlsConfig) -> u64 {
 pub fn o3_cycles(program: &Module, hls: &HlsConfig) -> u64 {
     let mut m = program.clone();
     autophase_passes::o3::o3(&mut m);
-    profile_module(&m, hls).map(|r| r.cycles).unwrap_or(u64::MAX / 4)
+    profile_module(&m, hls)
+        .map(|r| r.cycles)
+        .unwrap_or(u64::MAX / 4)
 }
 
 #[cfg(test)]
@@ -380,7 +651,11 @@ mod tests {
     use autophase_rl::env::Environment;
 
     fn small_program() -> Module {
-        suite().into_iter().find(|b| b.name == "gsm").unwrap().module
+        suite()
+            .into_iter()
+            .find(|b| b.name == "gsm")
+            .unwrap()
+            .module
     }
 
     #[test]

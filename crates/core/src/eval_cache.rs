@@ -1,0 +1,490 @@
+//! Memoized evaluation cache for the HLS profiler.
+//!
+//! Profiling a module (interpret + schedule + area) dominates the cost of
+//! every environment step, and RL training revisits the same
+//! `(program, pass prefix)` states constantly — every episode re-profiles
+//! the pristine program, and a sharpening policy replays near-identical
+//! pass sequences. This cache memoizes one full evaluation per reached
+//! module state so each state is profiled at most once per process.
+//!
+//! # Key derivation
+//!
+//! A cache key is `(program fingerprint, sequence hash)`:
+//!
+//! * the **program fingerprint** is an FNV-1a hash of the pristine
+//!   module's printed IR (stable across clones, order-independent of how
+//!   the module was built);
+//! * the **sequence hash** is an order-sensitive rolling hash over the
+//!   Table-1 pass ids applied so far. [`PhaseOrderEnv`](crate::env::
+//!   PhaseOrderEnv) pushes a pass id only when the pass reported a
+//!   change, so all no-op-padded variants of one effective sequence share
+//!   one key — and since no-op passes don't alter the module, every key
+//!   still maps to exactly one module state. Full-sequence evaluators
+//!   (e.g. the §5.2 multi-action agent) hash the raw sequence instead;
+//!   the two key families agree because inserting no-ops anywhere in a
+//!   stream never changes the resulting module.
+//!
+//! # Sharding and eviction
+//!
+//! Entries live in `2^k` independently locked shards selected by the
+//! mixed key, so concurrent workers rarely contend. Each shard holds at
+//! most `capacity / shards` entries; inserting into a full shard evicts
+//! its least-recently-used entry (a monotone stamp updated on every hit).
+//! Hits, misses, and evictions are tracked with atomic counters.
+
+use autophase_features::FeatureVector;
+use autophase_hls::area::AreaReport;
+use autophase_hls::profile::HlsReport;
+use autophase_ir::printer::print_module;
+use autophase_ir::Module;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// 64-bit FNV-1a over a byte string.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// SplitMix64 finalizer — a strong 64-bit mix.
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Fingerprint of a module's current state (FNV-1a over its printed IR).
+pub fn fingerprint_module(m: &Module) -> u64 {
+    fnv1a(print_module(m).as_bytes())
+}
+
+/// Order-sensitive rolling hash over an applied pass-id stream.
+///
+/// `push(a); push(b)` and `push(b); push(a)` yield different values (the
+/// state is passed through a non-commutative mix at every step), so
+/// `[a, b]` and `[b, a]` never share a key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SeqHash {
+    state: u64,
+}
+
+impl SeqHash {
+    /// The hash of the empty sequence.
+    pub fn new() -> SeqHash {
+        SeqHash {
+            state: 0x5151_5151_5151_5151,
+        }
+    }
+
+    /// Absorb one applied pass id.
+    pub fn push(&mut self, pass_id: usize) {
+        self.state = mix(self.state ^ (pass_id as u64).wrapping_add(1));
+    }
+
+    /// The current hash value.
+    pub fn value(&self) -> u64 {
+        self.state
+    }
+
+    /// Hash a whole sequence in one call.
+    pub fn of(seq: &[usize]) -> u64 {
+        let mut h = SeqHash::new();
+        for &p in seq {
+            h.push(p);
+        }
+        h.value()
+    }
+}
+
+impl Default for SeqHash {
+    fn default() -> SeqHash {
+        SeqHash::new()
+    }
+}
+
+/// A cache key: which program, and which (effective) pass prefix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    /// [`fingerprint_module`] of the pristine program.
+    pub program: u64,
+    /// [`SeqHash`] value of the applied pass stream.
+    pub seq: u64,
+}
+
+/// Everything one profiler run learns about a module state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CacheEntry {
+    /// [`fingerprint_module`] of the post-pass module.
+    pub module_fingerprint: u64,
+    /// Table-2 features of the post-pass module.
+    pub features: FeatureVector,
+    /// Estimated clock cycles.
+    pub cycles: u64,
+    /// Resource estimate.
+    pub area: AreaReport,
+    /// Total FSM states.
+    pub total_states: u64,
+    /// Dynamic instructions executed while profiling.
+    pub insts_executed: u64,
+    /// Observable result of the profiled run.
+    pub return_value: Option<i64>,
+}
+
+impl CacheEntry {
+    /// Build an entry from a profiled module and its report.
+    pub fn from_report(m: &Module, report: &HlsReport) -> CacheEntry {
+        CacheEntry {
+            module_fingerprint: fingerprint_module(m),
+            features: autophase_features::extract(m),
+            cycles: report.cycles,
+            area: report.area.clone(),
+            total_states: report.total_states,
+            insts_executed: report.insts_executed,
+            return_value: report.return_value,
+        }
+    }
+}
+
+/// Counter snapshot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups that found an entry.
+    pub hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+    /// Entries displaced by capacity pressure.
+    pub evictions: u64,
+    /// Entries currently resident.
+    pub len: usize,
+}
+
+impl CacheStats {
+    /// Hits as a fraction of all lookups (0 when none).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+struct Shard {
+    map: Mutex<HashMap<CacheKey, (u64, CacheEntry)>>,
+}
+
+/// A shard of the transition memo: `(state key, pass id)` → did the pass
+/// report a change? Entries are a couple of words each, so the memo gets
+/// a larger per-shard budget than the entry map.
+struct TransShard {
+    map: Mutex<HashMap<(CacheKey, u16), (u64, bool)>>,
+}
+
+/// Sharded, thread-safe memoization cache for profiler results.
+pub struct EvalCache {
+    shards: Vec<Shard>,
+    trans_shards: Vec<TransShard>,
+    shard_mask: usize,
+    per_shard_cap: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+    stamp: AtomicU64,
+}
+
+/// Default total capacity (entries).
+pub const DEFAULT_CAPACITY: usize = 65_536;
+
+/// Default shard count (power of two).
+pub const DEFAULT_SHARDS: usize = 16;
+
+impl Default for EvalCache {
+    fn default() -> EvalCache {
+        EvalCache::new(DEFAULT_CAPACITY)
+    }
+}
+
+impl EvalCache {
+    /// A cache holding at most `capacity` entries across the default
+    /// shard count.
+    pub fn new(capacity: usize) -> EvalCache {
+        EvalCache::with_shards(capacity, DEFAULT_SHARDS)
+    }
+
+    /// A cache with an explicit shard count (rounded up to a power of
+    /// two).
+    pub fn with_shards(capacity: usize, shards: usize) -> EvalCache {
+        let shards = shards.max(1).next_power_of_two();
+        let per_shard_cap = (capacity / shards).max(1);
+        EvalCache {
+            shards: (0..shards)
+                .map(|_| Shard {
+                    map: Mutex::new(HashMap::new()),
+                })
+                .collect(),
+            trans_shards: (0..shards)
+                .map(|_| TransShard {
+                    map: Mutex::new(HashMap::new()),
+                })
+                .collect(),
+            shard_mask: shards - 1,
+            per_shard_cap,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            stamp: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, key: &CacheKey) -> &Shard {
+        let i = mix(key.program ^ mix(key.seq)) as usize & self.shard_mask;
+        &self.shards[i]
+    }
+
+    fn trans_shard(&self, key: &CacheKey) -> &TransShard {
+        let i = mix(key.program ^ mix(key.seq)) as usize & self.shard_mask;
+        &self.trans_shards[i]
+    }
+
+    fn next_stamp(&self) -> u64 {
+        self.stamp.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Look up a key, counting a hit or a miss.
+    pub fn get(&self, key: &CacheKey) -> Option<CacheEntry> {
+        let mut map = self.shard(key).map.lock().expect("cache shard poisoned");
+        match map.get_mut(key) {
+            Some(slot) => {
+                slot.0 = self.stamp.fetch_add(1, Ordering::Relaxed);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(slot.1.clone())
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Look up a key *without* touching the hit/miss counters (the LRU
+    /// stamp is still refreshed). For secondary consumers — e.g. serving
+    /// an observation's feature vector off an entry the profiler query
+    /// just produced — so the counters keep meaning "profiler-query
+    /// outcomes" and the bench's hit rate stays interpretable.
+    pub fn peek(&self, key: &CacheKey) -> Option<CacheEntry> {
+        let mut map = self.shard(key).map.lock().expect("cache shard poisoned");
+        map.get_mut(key).map(|slot| {
+            slot.0 = self.stamp.fetch_add(1, Ordering::Relaxed);
+            slot.1.clone()
+        })
+    }
+
+    /// Insert (or refresh) an entry, evicting the shard's LRU entry when
+    /// the shard is full.
+    pub fn insert(&self, key: CacheKey, entry: CacheEntry) {
+        let stamp = self.next_stamp();
+        let shard = self.shard(&key);
+        let mut map = shard.map.lock().expect("cache shard poisoned");
+        if map.len() >= self.per_shard_cap && !map.contains_key(&key) {
+            if let Some(oldest) = map.iter().min_by_key(|(_, (s, _))| *s).map(|(k, _)| *k) {
+                map.remove(&oldest);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        map.insert(key, (stamp, entry));
+    }
+
+    /// Fetch `key`, computing and inserting the entry on a miss. The
+    /// computation runs *outside* the shard lock, so a slow profile never
+    /// blocks other shard traffic; two racing threads may both compute,
+    /// in which case both results are (by determinism of the profiler)
+    /// identical and the second insert is a no-op refresh.
+    pub fn get_or_insert_with(
+        &self,
+        key: CacheKey,
+        compute: impl FnOnce() -> CacheEntry,
+    ) -> CacheEntry {
+        if let Some(e) = self.get(&key) {
+            return e;
+        }
+        let entry = compute();
+        self.insert(key, entry.clone());
+        entry
+    }
+
+    /// Look up the transition memo: did applying `pass` in the state
+    /// named by `key` report a change? `None` means the transition has
+    /// never been observed. Passes are deterministic, so a recorded
+    /// answer is exact — the environment uses it to skip re-running the
+    /// pass on cache-warm steps (lazy module materialization).
+    ///
+    /// Like [`EvalCache::peek`], this does not touch the hit/miss
+    /// counters.
+    pub fn transition(&self, key: &CacheKey, pass: usize) -> Option<bool> {
+        let tkey = (*key, pass as u16);
+        let mut map = self
+            .trans_shard(key)
+            .map
+            .lock()
+            .expect("cache shard poisoned");
+        map.get_mut(&tkey).map(|slot| {
+            slot.0 = self.stamp.fetch_add(1, Ordering::Relaxed);
+            slot.1
+        })
+    }
+
+    /// Record a transition observation (see [`EvalCache::transition`]).
+    pub fn record_transition(&self, key: CacheKey, pass: usize, changed: bool) {
+        let stamp = self.next_stamp();
+        let shard = self.trans_shard(&key);
+        let mut map = shard.map.lock().expect("cache shard poisoned");
+        // The memo rides on the entry map's per-shard budget scaled by 8:
+        // its entries are ~50x smaller, and evicting one only costs a
+        // future pass re-run, never correctness.
+        let cap = self.per_shard_cap.saturating_mul(8);
+        let tkey = (key, pass as u16);
+        if map.len() >= cap && !map.contains_key(&tkey) {
+            if let Some(oldest) = map.iter().min_by_key(|(_, (s, _))| *s).map(|(k, _)| *k) {
+                map.remove(&oldest);
+            }
+        }
+        map.insert(tkey, (stamp, changed));
+    }
+
+    /// Resident entry count across all shards.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.map.lock().expect("cache shard poisoned").len())
+            .sum()
+    }
+
+    /// True when no entries are resident.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Lookups that found an entry.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that found nothing.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Entries displaced by capacity pressure.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot all counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits(),
+            misses: self.misses(),
+            evictions: self.evictions(),
+            len: self.len(),
+        }
+    }
+
+    /// Drop every entry and transition memo (counters are kept).
+    pub fn clear(&self) {
+        for s in &self.shards {
+            s.map.lock().expect("cache shard poisoned").clear();
+        }
+        for s in &self.trans_shards {
+            s.map.lock().expect("cache shard poisoned").clear();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(v: u64) -> CacheEntry {
+        CacheEntry {
+            module_fingerprint: v,
+            features: [0; autophase_features::NUM_FEATURES],
+            cycles: v,
+            area: AreaReport::default(),
+            total_states: 0,
+            insts_executed: 0,
+            return_value: None,
+        }
+    }
+
+    #[test]
+    fn seq_hash_is_order_sensitive() {
+        assert_ne!(SeqHash::of(&[1, 2]), SeqHash::of(&[2, 1]));
+        assert_ne!(SeqHash::of(&[1]), SeqHash::of(&[1, 1]));
+        assert_ne!(SeqHash::of(&[]), SeqHash::of(&[0]));
+        assert_eq!(SeqHash::of(&[3, 4, 5]), SeqHash::of(&[3, 4, 5]));
+    }
+
+    #[test]
+    fn get_insert_roundtrip_and_counters() {
+        let c = EvalCache::new(64);
+        let k = CacheKey { program: 1, seq: 2 };
+        assert!(c.get(&k).is_none());
+        c.insert(k, entry(7));
+        assert_eq!(c.get(&k).unwrap().cycles, 7);
+        assert_eq!(c.hits(), 1);
+        assert_eq!(c.misses(), 1);
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn get_or_insert_computes_once() {
+        let c = EvalCache::new(64);
+        let k = CacheKey { program: 9, seq: 9 };
+        let mut calls = 0;
+        for _ in 0..3 {
+            let e = c.get_or_insert_with(k, || {
+                calls += 1;
+                entry(5)
+            });
+            assert_eq!(e.cycles, 5);
+        }
+        assert_eq!(calls, 1);
+        assert_eq!(c.hits(), 2);
+    }
+
+    #[test]
+    fn eviction_bounds_size_and_counts() {
+        let c = EvalCache::with_shards(8, 1);
+        for i in 0..50u64 {
+            c.insert(CacheKey { program: i, seq: i }, entry(i));
+        }
+        assert!(c.len() <= 8);
+        assert_eq!(c.evictions(), 50 - c.len() as u64);
+        // Whatever survives must still map key → its own value.
+        for i in 0..50u64 {
+            if let Some(e) = c.get(&CacheKey { program: i, seq: i }) {
+                assert_eq!(e.cycles, i);
+            }
+        }
+    }
+
+    #[test]
+    fn lru_keeps_recently_used() {
+        let c = EvalCache::with_shards(2, 1);
+        let a = CacheKey { program: 1, seq: 0 };
+        let b = CacheKey { program: 2, seq: 0 };
+        c.insert(a, entry(1));
+        c.insert(b, entry(2));
+        c.get(&a); // a is now most recent
+        c.insert(CacheKey { program: 3, seq: 0 }, entry(3)); // evicts b
+        assert!(c.get(&a).is_some());
+        assert!(c.get(&b).is_none());
+    }
+}

@@ -6,9 +6,9 @@
 use crate::algorithms::{run_algorithm, AlgoResult, Algorithm, Budget};
 use crate::dataset::{analyze, collect_tuples, CollectConfig, ImportanceAnalysis};
 use crate::env::{
-    o3_cycles, sequence_cycles, EnvConfig, FeatureNorm, ObservationKind, PhaseOrderEnv,
-    RewardKind,
+    o3_cycles, sequence_cycles, EnvConfig, FeatureNorm, ObservationKind, PhaseOrderEnv, RewardKind,
 };
+use crate::eval_cache::EvalCache;
 use autophase_forest::ForestConfig;
 use autophase_hls::HlsConfig;
 use autophase_ir::Module;
@@ -16,6 +16,7 @@ use autophase_progen::{program_batch, GenConfig};
 use autophase_rl::env::Environment;
 use autophase_rl::ppo::{PpoAgent, PpoConfig};
 use autophase_search::{genetic, greedy, opentuner, Objective};
+use std::sync::Arc;
 
 // ---------------------------------------------------------------- Fig 5/6
 
@@ -196,6 +197,43 @@ pub fn fig8_on(programs: &[Module], iterations: usize, seed: u64) -> Vec<Learnin
         .collect()
 }
 
+/// Like [`fig8_on`], but every curve's environment shares `cache`, so a
+/// `(program, pass-sequence)` state profiled while training one curve is
+/// a cache hit for the others. Cache entries are configuration-independent
+/// — keys are absolute pass ids and values are raw profiler outputs, while
+/// normalization/filtering happen downstream in the environment — so the
+/// curves are bit-identical to the uncached [`fig8_on`].
+pub fn fig8_on_cached(
+    programs: &[Module],
+    iterations: usize,
+    seed: u64,
+    cache: &Arc<EvalCache>,
+) -> Vec<LearningCurve> {
+    let ppo = PpoConfig {
+        hidden: vec![256, 256],
+        horizon: 96,
+        minibatch: 32,
+        max_episode_len: 12,
+        ..PpoConfig::default()
+    };
+    fig8_configs()
+        .into_iter()
+        .map(|(label, env_cfg)| {
+            let mut env = PhaseOrderEnv::with_cache(programs.to_vec(), env_cfg, Arc::clone(cache));
+            let mut agent = PpoAgent::new(env.observation_dim(), env.num_actions(), &ppo, seed);
+            let rewards = agent.train(&mut env, iterations);
+            let steps: Vec<u64> = (1..=rewards.len() as u64)
+                .map(|i| i * ppo.horizon as u64)
+                .collect();
+            LearningCurve {
+                label,
+                steps,
+                reward_mean: rewards,
+            }
+        })
+        .collect()
+}
+
 // ------------------------------------------------------------------ Fig 9
 
 /// A generalization result: one algorithm applied to unseen programs with
@@ -245,6 +283,58 @@ pub fn train_generalist(
     let mut env = PhaseOrderEnv::new(programs.to_vec(), env_cfg.clone());
     let mut agent = PpoAgent::new(env.observation_dim(), env.num_actions(), &ppo, seed);
     agent.train(&mut env, iterations);
+    (agent, env_cfg)
+}
+
+/// [`train_generalist`] on the parallel rollout engine: `workers`
+/// environments collect episodes concurrently, all sharing `cache` so a
+/// state profiled by one worker is a hit for every other.
+///
+/// Collection is episode-indexed (see
+/// [`autophase_rl::rollout::collect_episodes_parallel`]), so the trained
+/// agent is bit-identical for any `workers >= 1`. The RNG stream differs
+/// from the serial [`train_generalist`] (episode-indexed vs
+/// horizon-driven collection), so the two functions produce different —
+/// equally valid — agents.
+pub fn train_generalist_parallel(
+    programs: &[Module],
+    norm: FeatureNorm,
+    filtered: bool,
+    iterations: usize,
+    seed: u64,
+    workers: usize,
+    cache: &Arc<EvalCache>,
+) -> (PpoAgent, EnvConfig) {
+    let env_cfg = EnvConfig {
+        observation: ObservationKind::Combined,
+        feature_norm: norm,
+        reward: RewardKind::Log,
+        episode_len: GENERALIZATION_EPISODE_LEN,
+        filtered_features: filtered,
+        filtered_passes: filtered,
+        ..EnvConfig::default()
+    };
+    let ppo = PpoConfig {
+        hidden: vec![256, 256],
+        horizon: 96,
+        minibatch: 32,
+        max_episode_len: GENERALIZATION_EPISODE_LEN,
+        entropy_coef: 0.02,
+        ..PpoConfig::default()
+    };
+    // Same transition budget per iteration as the serial path's horizon.
+    let episodes_per_iter = (ppo.horizon / GENERALIZATION_EPISODE_LEN).max(1);
+    let mut envs: Vec<Box<dyn Environment + Send>> = (0..workers.max(1))
+        .map(|_| {
+            Box::new(PhaseOrderEnv::with_cache(
+                programs.to_vec(),
+                env_cfg.clone(),
+                Arc::clone(cache),
+            )) as Box<dyn Environment + Send>
+        })
+        .collect();
+    let mut agent = PpoAgent::new(envs[0].observation_dim(), envs[0].num_actions(), &ppo, seed);
+    agent.train_parallel(&mut envs, episodes_per_iter, iterations);
     (agent, env_cfg)
 }
 
@@ -456,6 +546,40 @@ mod tests {
     }
 
     #[test]
+    fn fig8_cached_matches_uncached() {
+        let programs = program_batch(&GenConfig::default(), 7, 2);
+        let plain = fig8_on(&programs, 2, 7);
+        let cache = Arc::new(EvalCache::default());
+        let cached = fig8_on_cached(&programs, 2, 7, &cache);
+        for (a, b) in plain.iter().zip(&cached) {
+            assert_eq!(a.label, b.label);
+            assert_eq!(a.steps, b.steps);
+            assert_eq!(a.reward_mean, b.reward_mean);
+        }
+        // Later curves re-visit states the first curve profiled.
+        assert!(cache.hits() > 0, "shared cache saw no hits");
+    }
+
+    #[test]
+    fn train_generalist_parallel_is_worker_count_invariant() {
+        let train = program_batch(&GenConfig::default(), 13, 2);
+        let run = |workers: usize| {
+            let cache = Arc::new(EvalCache::default());
+            let (agent, _) = train_generalist_parallel(
+                &train,
+                FeatureNorm::InstCount,
+                true,
+                1,
+                9,
+                workers,
+                &cache,
+            );
+            agent.policy.parameters()
+        };
+        assert_eq!(run(1), run(2));
+    }
+
+    #[test]
     fn fig9_miniature_runs() {
         let train = program_batch(&GenConfig::default(), 42, 3);
         let results = fig9(&train, &two_benchmarks(), 2, 40, 11);
@@ -473,7 +597,9 @@ mod tests {
         let p = two_benchmarks().remove(0).1;
         let (seq, cycles) = infer_sequence(&agent, &cfg, &p);
         assert!(!seq.is_empty());
-        assert!(seq.iter().all(|&s| s < autophase_passes::registry::NUM_PASSES));
+        assert!(seq
+            .iter()
+            .all(|&s| s < autophase_passes::registry::NUM_PASSES));
         assert!(cycles > 0);
     }
 }

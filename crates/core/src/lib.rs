@@ -8,6 +8,8 @@
 //!   the reward is the drop in LegUp-estimated cycle count (§5.1);
 //! * [`multi`] — the §5.2 multiple-passes-per-action formulation
 //!   (RL-PPO3) and its factored-PPO trainer;
+//! * [`eval_cache`] — the sharded, thread-safe memoization cache that
+//!   deduplicates profiler runs across episodes and workers;
 //! * [`dataset`] — feature–action–reward tuple collection for the §4
 //!   random-forest importance analysis;
 //! * [`algorithms`] — Table 3: every algorithm of Figure 7 behind one
@@ -18,14 +20,15 @@
 //!   downstream users.
 #![warn(missing_docs)]
 
-
 pub mod algorithms;
 pub mod dataset;
 pub mod env;
+pub mod eval_cache;
 pub mod experiment;
 pub mod multi;
 pub mod report;
 pub mod tune;
 
 pub use env::{Objective, ObservationKind, PhaseOrderEnv, RewardKind};
+pub use eval_cache::{CacheEntry, CacheKey, CacheStats, EvalCache, SeqHash};
 pub use tune::{tune, Effort, TuneResult};

@@ -36,9 +36,8 @@ pub fn table3() -> String {
         ("RL-A3C", "A3C", "Program Features", "Single-Action"),
         ("RL-ES", "ES", "Program Features", "Single-Action"),
     ];
-    let mut out = String::from(
-        "Table 3. Observation and action spaces of the deep RL algorithms\n",
-    );
+    let mut out =
+        String::from("Table 3. Observation and action spaces of the deep RL algorithms\n");
     out.push_str(&format!(
         "{:<10} {:<6} {:<36} {}\n",
         "Name", "Algo", "Observation Space", "Action Space"
@@ -87,7 +86,11 @@ pub fn fig7_table(r: &Fig7Result) -> String {
 pub fn fig8_table(curves: &[LearningCurve]) -> String {
     let mut out = String::from("Figure 8. Episode reward mean vs. step\n");
     for c in curves {
-        out.push_str(&format!("\n{} (final level {:.3}):\n", c.label, c.final_level()));
+        out.push_str(&format!(
+            "\n{} (final level {:.3}):\n",
+            c.label,
+            c.final_level()
+        ));
         for (s, r) in c.steps.iter().zip(&c.reward_mean) {
             out.push_str(&format!("  step {s:>8}  reward_mean {r:>10.3}\n"));
         }
@@ -97,9 +100,7 @@ pub fn fig8_table(curves: &[LearningCurve]) -> String {
 
 /// Render Figure 9 as a text table.
 pub fn fig9_table(results: &[GeneralizationResult]) -> String {
-    let mut out = String::from(
-        "Figure 9. Generalization: one compilation per unseen program\n",
-    );
+    let mut out = String::from("Figure 9. Generalization: one compilation per unseen program\n");
     out.push_str(&format!(
         "{:<20} {:>12} {:>16}\n",
         "Algorithm", "vs -O3", "samples/program"
@@ -146,10 +147,7 @@ pub fn importance_report(a: &ImportanceAnalysis) -> String {
     out.push_str(&heatmap(&a.history_importance, "pass", "previous pass"));
     out.push_str("\nMost impactful passes: ");
     for p in a.impactful_passes(16) {
-        out.push_str(&format!(
-            "{} ",
-            autophase_passes::registry::pass_name(p)
-        ));
+        out.push_str(&format!("{} ", autophase_passes::registry::pass_name(p)));
     }
     out.push('\n');
     out

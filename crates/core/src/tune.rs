@@ -77,9 +77,14 @@ pub fn tune(program: &Module, effort: Effort, seed: u64) -> TuneResult {
     let mut samples = 1u64;
 
     {
-        let mut obj =
-            Objective::new(|seq: &[usize]| sequence_cycles(program, seq, &hls) as f64);
-        let r = greedy::search(&mut obj, autophase_passes::registry::NUM_PASSES, seq_len, budget / 3, None);
+        let mut obj = Objective::new(|seq: &[usize]| sequence_cycles(program, seq, &hls) as f64);
+        let r = greedy::search(
+            &mut obj,
+            autophase_passes::registry::NUM_PASSES,
+            seq_len,
+            budget / 3,
+            None,
+        );
         samples += r.samples;
         if (r.best_cost as u64) < best_cycles {
             best_cycles = r.best_cost as u64;
@@ -87,8 +92,7 @@ pub fn tune(program: &Module, effort: Effort, seed: u64) -> TuneResult {
         }
     }
     {
-        let mut obj =
-            Objective::new(|seq: &[usize]| sequence_cycles(program, seq, &hls) as f64);
+        let mut obj = Objective::new(|seq: &[usize]| sequence_cycles(program, seq, &hls) as f64);
         let r = opentuner::search(
             &mut obj,
             autophase_passes::registry::NUM_PASSES,
@@ -104,8 +108,7 @@ pub fn tune(program: &Module, effort: Effort, seed: u64) -> TuneResult {
         }
     }
     {
-        let mut obj =
-            Objective::new(|seq: &[usize]| sequence_cycles(program, seq, &hls) as f64);
+        let mut obj = Objective::new(|seq: &[usize]| sequence_cycles(program, seq, &hls) as f64);
         let r = genetic::search(
             &mut obj,
             autophase_passes::registry::NUM_PASSES,
@@ -166,7 +169,11 @@ mod tests {
 
     #[test]
     fn tune_never_loses_to_o3_and_beats_o0() {
-        let p = suite().into_iter().find(|b| b.name == "gsm").unwrap().module;
+        let p = suite()
+            .into_iter()
+            .find(|b| b.name == "gsm")
+            .unwrap()
+            .module;
         let r = tune(&p, Effort::Quick, 3);
         assert!(r.cycles <= r.o3_cycles);
         assert!(r.speedup_over_o0() > 1.0);

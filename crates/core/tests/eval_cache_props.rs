@@ -1,0 +1,162 @@
+//! Property tests for the evaluation cache.
+//!
+//! The cache's correctness story has three legs, each pinned by a
+//! property here:
+//!
+//! * **key soundness** — the sequence hash separates different pass
+//!   orderings (an order-insensitive hash would alias `[a, b]` with
+//!   `[b, a]`, which generally produce different modules);
+//! * **freshness** — a `get` never returns anything but the exact value
+//!   last inserted for that key, across any interleaving of inserts and
+//!   evictions;
+//! * **bounded growth** — capacity is enforced per shard, and evictions
+//!   remove whole entries (no partial state).
+
+use autophase_core::eval_cache::{CacheEntry, CacheKey, EvalCache, SeqHash};
+use autophase_features::NUM_FEATURES;
+use proptest::prelude::*;
+
+fn entry(tag: u64) -> CacheEntry {
+    CacheEntry {
+        module_fingerprint: tag,
+        features: [tag as i64; NUM_FEATURES],
+        cycles: tag.wrapping_mul(31) ^ 7,
+        area: Default::default(),
+        total_states: tag,
+        insts_executed: tag,
+        return_value: Some(tag as i64),
+    }
+}
+
+/// The payload invariant `entry(tag)` establishes; every value read back
+/// from a cache in these tests must satisfy it.
+fn check_payload(e: &CacheEntry) {
+    let tag = e.module_fingerprint;
+    assert_eq!(e.cycles, tag.wrapping_mul(31) ^ 7);
+    assert_eq!(e.features[0], tag as i64);
+    assert_eq!(e.return_value, Some(tag as i64));
+}
+
+proptest! {
+    /// Distinct pass sequences get distinct keys — in particular the
+    /// hash is order-sensitive ([a,b] vs [b,a]) and length-sensitive.
+    #[test]
+    fn seq_hash_separates_sequences(
+        a in proptest::collection::vec(0usize..46, 0..12),
+        b in proptest::collection::vec(0usize..46, 0..12),
+    ) {
+        if a == b {
+            prop_assert_eq!(SeqHash::of(&a), SeqHash::of(&b));
+        } else {
+            prop_assert_ne!(SeqHash::of(&a), SeqHash::of(&b));
+        }
+    }
+
+    /// Swapping any two unequal adjacent passes changes the key.
+    #[test]
+    fn seq_hash_is_order_sensitive(
+        seq in proptest::collection::vec(0usize..46, 2..10),
+        at in 0usize..8,
+    ) {
+        let i = at % (seq.len() - 1);
+        if seq[i] != seq[i + 1] {
+            let mut swapped = seq.clone();
+            swapped.swap(i, i + 1);
+            prop_assert_ne!(SeqHash::of(&seq), SeqHash::of(&swapped));
+        }
+    }
+
+    /// The incremental `push` form agrees with the one-shot `of` form —
+    /// the environment builds keys incrementally while the multi-action
+    /// trainer hashes whole sequences; both must land on the same key.
+    #[test]
+    fn seq_hash_incremental_matches_oneshot(
+        seq in proptest::collection::vec(0usize..46, 0..16),
+    ) {
+        let mut h = SeqHash::new();
+        for &p in &seq {
+            h.push(p);
+        }
+        prop_assert_eq!(h.value(), SeqHash::of(&seq));
+    }
+
+    /// After an arbitrary series of inserts (with key collisions and
+    /// evictions), every surviving key returns exactly the last value
+    /// inserted for it — eviction never resurrects stale data.
+    #[test]
+    fn get_returns_last_insert_despite_evictions(
+        ops in proptest::collection::vec((0u64..40, 0u64..6, 0u64..1000), 1..120),
+        capacity in 4usize..40,
+    ) {
+        let cache = EvalCache::with_shards(capacity, 4);
+        let mut model = std::collections::HashMap::new();
+        for (program, seq, tag) in ops {
+            let key = CacheKey { program, seq };
+            cache.insert(key, entry(tag));
+            model.insert(key, tag);
+            if let Some(e) = cache.get(&key) {
+                // The entry we just inserted must be readable and fresh.
+                prop_assert_eq!(e.module_fingerprint, tag);
+                check_payload(&e);
+            } else {
+                // Only possible if the insert itself was immediately
+                // evicted, which the LRU stamp makes impossible: the
+                // newest entry is never the eviction victim.
+                prop_assert!(false, "freshly inserted key missing");
+            }
+        }
+        // Whatever survived matches the model exactly.
+        for (key, tag) in &model {
+            if let Some(e) = cache.get(key) {
+                prop_assert_eq!(e.module_fingerprint, *tag);
+                check_payload(&e);
+            }
+        }
+        prop_assert!(cache.len() <= capacity.max(4));
+    }
+
+    /// Counters are consistent: hits + misses equals lookups, and the
+    /// hit rate is their ratio.
+    #[test]
+    fn counters_add_up(
+        keys in proptest::collection::vec((0u64..8, 0u64..8), 1..60),
+    ) {
+        let cache = EvalCache::new(64);
+        let mut lookups = 0u64;
+        for &(p, s) in &keys {
+            let key = CacheKey { program: p, seq: s };
+            lookups += 1;
+            if cache.get(&key).is_none() {
+                cache.insert(key, entry(p ^ s));
+            }
+        }
+        let stats = cache.stats();
+        prop_assert_eq!(stats.hits + stats.misses, lookups);
+        let rate = stats.hit_rate();
+        prop_assert!((0.0..=1.0).contains(&rate));
+        if stats.misses == 0 {
+            prop_assert_eq!(rate, 1.0);
+        }
+    }
+}
+
+/// Deterministic companion to the proptests: a cache of capacity 1 per
+/// shard must still never serve entry A under key B.
+#[test]
+fn eviction_churn_never_cross_serves() {
+    let cache = EvalCache::with_shards(4, 4);
+    for round in 0u64..50 {
+        for k in 0u64..16 {
+            let key = CacheKey {
+                program: k,
+                seq: round,
+            };
+            cache.insert(key, entry(k.wrapping_mul(1000) + round));
+            let e = cache.get(&key).expect("just inserted");
+            assert_eq!(e.module_fingerprint, k.wrapping_mul(1000) + round);
+            check_payload(&e);
+        }
+    }
+    assert!(cache.evictions() > 0, "churn should evict");
+    assert!(cache.len() <= 4);
+}

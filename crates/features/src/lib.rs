@@ -34,7 +34,6 @@
 //! ```
 #![warn(missing_docs)]
 
-
 pub mod extract;
 pub mod normalize;
 

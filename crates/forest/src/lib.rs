@@ -28,7 +28,6 @@
 //! ```
 #![warn(missing_docs)]
 
-
 pub mod dataset;
 pub mod ensemble;
 pub mod tree;

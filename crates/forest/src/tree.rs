@@ -58,7 +58,12 @@ fn gini(pos: usize, total: usize) -> f64 {
 
 impl DecisionTree {
     /// Fit a tree on the rows of `data` selected by `indices`.
-    pub fn fit(data: &Dataset, indices: &[usize], cfg: &TreeConfig, rng: &mut StdRng) -> DecisionTree {
+    pub fn fit(
+        data: &Dataset,
+        indices: &[usize],
+        cfg: &TreeConfig,
+        rng: &mut StdRng,
+    ) -> DecisionTree {
         let mut tree = DecisionTree {
             nodes: Vec::new(),
             importance: vec![0.0; data.num_features()],

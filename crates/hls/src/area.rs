@@ -14,7 +14,7 @@ use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// Estimated FPGA resources.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct AreaReport {
     /// LUT-ish logic units for functional units.
     pub logic_units: u64,
@@ -58,7 +58,9 @@ pub fn estimate_area(m: &Module, cfg: &HlsConfig) -> AreaReport {
                     continue;
                 }
                 let state = block_sched.start_state.get(&iid).copied().unwrap_or(0);
-                let entry = per_state.entry((state, inst.mnemonic())).or_insert((0, units));
+                let entry = per_state
+                    .entry((state, inst.mnemonic()))
+                    .or_insert((0, units));
                 entry.0 += 1;
             }
             let mut class_max: HashMap<&'static str, (u32, u32)> = HashMap::new();

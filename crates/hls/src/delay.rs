@@ -163,12 +163,7 @@ mod tests {
 
     #[test]
     fn loads_take_states_and_a_port() {
-        let load = Inst::new(
-            Type::I32,
-            Opcode::Load {
-                ptr: Value::Arg(0),
-            },
-        );
+        let load = Inst::new(Type::I32, Opcode::Load { ptr: Value::Arg(0) });
         assert_eq!(timing(&load, &cfg()), Timing::Multi { states: 1 });
         assert!(uses_memory_port(&load));
         let add = Inst::new(

@@ -42,7 +42,6 @@
 //! ```
 #![warn(missing_docs)]
 
-
 pub mod area;
 pub mod delay;
 pub mod profile;
@@ -123,3 +122,16 @@ impl From<autophase_ir::interp::ExecError> for HlsError {
 
 pub use profile::{profile_module, HlsReport};
 pub use schedule::{schedule_block, schedule_function, BlockSchedule, FunctionSchedule};
+
+// The parallel rollout engine shares `HlsConfig` across worker threads and
+// sends `HlsReport`s between them, so these types must stay `Send + Sync`
+// (`profile_module` itself is a pure function of its arguments — it holds
+// no global state). Compile-time assertions keep that contract from
+// regressing silently.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<HlsConfig>();
+    assert_send_sync::<HlsReport>();
+    assert_send_sync::<HlsError>();
+    assert_send_sync::<area::AreaReport>();
+};

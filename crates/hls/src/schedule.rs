@@ -96,11 +96,11 @@ pub fn schedule_block(f: &Function, bb: BlockId, cfg: &HlsConfig) -> BlockSchedu
             }
             Timing::Chain { ns } => {
                 // Memory port check for stores (chained memory writes).
-                if uses_memory_port(inst)
-                    && s == cur_state && mem_ops_in_state >= cfg.memory_ports {
-                        s += 1;
-                        t = 0.0;
-                    }
+                if uses_memory_port(inst) && s == cur_state && mem_ops_in_state >= cfg.memory_ports
+                {
+                    s += 1;
+                    t = 0.0;
+                }
                 if t + ns > period {
                     s += 1;
                     t = 0.0;
@@ -160,7 +160,8 @@ pub fn schedule_block(f: &Function, bb: BlockId, cfg: &HlsConfig) -> BlockSchedu
             // their issue state only.
             let used_here = f.block(bb).insts.iter().any(|&u| {
                 let mut uses = false;
-                f.inst(u).for_each_operand(|v| uses |= v == Value::Inst(iid));
+                f.inst(u)
+                    .for_each_operand(|v| uses |= v == Value::Inst(iid));
                 uses
             });
             if used_here {

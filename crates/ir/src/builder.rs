@@ -79,7 +79,8 @@ impl FunctionBuilder {
     }
 
     fn emit_void(&mut self, op: Opcode) -> InstId {
-        self.func.append_inst(self.current, Inst::new(Type::Void, op))
+        self.func
+            .append_inst(self.current, Inst::new(Type::Void, op))
     }
 
     // ---- values ----

@@ -25,11 +25,7 @@ pub fn eval_binop(op: BinOp, ty: Type, a: i64, b: i64) -> i64 {
         }
         BinOp::UDiv => {
             let (ua, ub) = (ty.zext(a) as u64, ty.zext(b) as u64);
-            if ub == 0 {
-                0
-            } else {
-                (ua / ub) as i64
-            }
+            ua.checked_div(ub).unwrap_or(0) as i64
         }
         BinOp::SRem => {
             if b == 0 {
@@ -40,11 +36,7 @@ pub fn eval_binop(op: BinOp, ty: Type, a: i64, b: i64) -> i64 {
         }
         BinOp::URem => {
             let (ua, ub) = (ty.zext(a) as u64, ty.zext(b) as u64);
-            if ub == 0 {
-                0
-            } else {
-                (ua % ub) as i64
-            }
+            ua.checked_rem(ub).unwrap_or(0) as i64
         }
         BinOp::And => a & b,
         BinOp::Or => a | b,
@@ -129,7 +121,10 @@ mod tests {
     #[test]
     fn wrapping_add() {
         assert_eq!(eval_binop(BinOp::Add, Type::I8, 127, 1), -128);
-        assert_eq!(eval_binop(BinOp::Add, Type::I32, i32::MAX as i64, 1), i32::MIN as i64);
+        assert_eq!(
+            eval_binop(BinOp::Add, Type::I32, i32::MAX as i64, 1),
+            i32::MIN as i64
+        );
     }
 
     #[test]
@@ -185,7 +180,10 @@ mod tests {
             fold_binop(BinOp::Mul, Type::I32, Value::i32(6), Value::i32(7)),
             Some(Value::i32(42))
         );
-        assert_eq!(fold_binop(BinOp::Mul, Type::I32, Value::Arg(0), Value::i32(7)), None);
+        assert_eq!(
+            fold_binop(BinOp::Mul, Type::I32, Value::Arg(0), Value::i32(7)),
+            None
+        );
         assert_eq!(
             fold_icmp(CmpPred::Eq, Value::i32(1), Value::i32(1)),
             Some(Value::TRUE)

@@ -226,7 +226,10 @@ impl Function {
 
     /// Iterate `(InstId, &Inst)` over the instructions of `bb` in order.
     pub fn insts_in(&self, bb: BlockId) -> impl Iterator<Item = (InstId, &Inst)> + '_ {
-        self.block(bb).insts.iter().map(move |&id| (id, self.inst(id)))
+        self.block(bb)
+            .insts
+            .iter()
+            .map(move |&id| (id, self.inst(id)))
     }
 
     /// The terminator of `bb`, if the block is complete.
@@ -289,7 +292,8 @@ impl Function {
 
     /// Find the block containing instruction `id`, if it is placed.
     pub fn block_of(&self, id: InstId) -> Option<BlockId> {
-        self.block_ids().find(|&bb| self.block(bb).insts.contains(&id))
+        self.block_ids()
+            .find(|&bb| self.block(bb).insts.contains(&id))
     }
 
     /// Update every φ-node in `bb` that has an incoming entry from

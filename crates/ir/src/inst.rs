@@ -585,12 +585,7 @@ mod tests {
 
     #[test]
     fn memory_queries() {
-        let load = Inst::new(
-            Type::I32,
-            Opcode::Load {
-                ptr: Value::Arg(0),
-            },
-        );
+        let load = Inst::new(Type::I32, Opcode::Load { ptr: Value::Arg(0) });
         assert!(load.reads_memory());
         assert!(!load.writes_memory());
         assert!(!load.has_side_effects());

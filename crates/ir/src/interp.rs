@@ -116,7 +116,14 @@ impl<'m> Machine<'m> {
     fn new(module: &'m Module, fuel: u64) -> Machine<'m> {
         // Lay out globals: address 0 is null.
         let mut memory = vec![0i64];
-        let mut global_base = vec![0usize; module.global_ids().map(|g| g.index() + 1).max().unwrap_or(0)];
+        let mut global_base = vec![
+            0usize;
+            module
+                .global_ids()
+                .map(|g| g.index() + 1)
+                .max()
+                .unwrap_or(0)
+        ];
         for gid in module.global_ids() {
             let g = module.global(gid);
             global_base[gid.index()] = memory.len();
@@ -301,7 +308,8 @@ impl<'m> Machine<'m> {
                     }
                     Opcode::Ret { value } => {
                         let r = value.map(|v| self.eval(&frame, v)).unwrap_or(0);
-                        self.memory.truncate(frame.frame_base.max(self.frame_floor()));
+                        self.memory
+                            .truncate(frame.frame_base.max(self.frame_floor()));
                         return Ok(r);
                     }
                     Opcode::Unreachable => return Err(ExecError::ReachedUnreachable),

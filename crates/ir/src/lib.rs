@@ -46,7 +46,6 @@
 //! ```
 #![warn(missing_docs)]
 
-
 pub mod builder;
 pub mod cfg;
 pub mod dom;

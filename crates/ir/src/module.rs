@@ -121,7 +121,9 @@ impl Module {
     ///
     /// Panics if the function was removed.
     pub fn func(&self, id: FuncId) -> &Function {
-        self.functions[id.index()].as_ref().expect("removed function")
+        self.functions[id.index()]
+            .as_ref()
+            .expect("removed function")
     }
 
     /// Mutable access to a function.
@@ -130,7 +132,9 @@ impl Module {
     ///
     /// Panics if the function was removed.
     pub fn func_mut(&mut self, id: FuncId) -> &mut Function {
-        self.functions[id.index()].as_mut().expect("removed function")
+        self.functions[id.index()]
+            .as_mut()
+            .expect("removed function")
     }
 
     /// True if the id refers to a live function.

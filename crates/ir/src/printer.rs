@@ -38,12 +38,30 @@ pub fn print_function(f: &Function) -> String {
         .enumerate()
         .map(|(i, t)| format!("{t} %arg{i}"))
         .collect();
+    // Attributes are semantic state (passes consult them), so they must
+    // be visible in the printed form: the evaluation cache fingerprints
+    // modules by their text, and an attribute-only change that printed
+    // identically would alias two genuinely different modules.
+    let mut attrs = String::new();
+    for (set, name) in [
+        (f.attrs.readnone, "readnone"),
+        (f.attrs.readonly, "readonly"),
+        (f.attrs.internal, "internal"),
+        (f.attrs.always_inline, "alwaysinline"),
+        (f.attrs.outlined, "outlined"),
+    ] {
+        if set {
+            attrs.push(' ');
+            attrs.push_str(name);
+        }
+    }
     let _ = writeln!(
         out,
-        "define {} @{}({}) {{",
+        "define {} @{}({}){} {{",
         f.ret_ty,
         f.name,
-        params.join(", ")
+        params.join(", "),
+        attrs
     );
     for bb in f.block_ids() {
         let _ = writeln!(out, "b{}:", bb.index());

@@ -46,7 +46,10 @@ impl Type {
 
     /// True for `I1`..`I64`.
     pub fn is_int(self) -> bool {
-        matches!(self, Type::I1 | Type::I8 | Type::I16 | Type::I32 | Type::I64)
+        matches!(
+            self,
+            Type::I1 | Type::I8 | Type::I16 | Type::I32 | Type::I64
+        )
     }
 
     /// True for `Ptr`.

@@ -113,8 +113,14 @@ mod tests {
 
     #[test]
     fn const_int_wraps() {
-        assert_eq!(Value::const_int(Type::I8, 300), Value::ConstInt(Type::I8, 44));
-        assert_eq!(Value::const_int(Type::I8, 255), Value::ConstInt(Type::I8, -1));
+        assert_eq!(
+            Value::const_int(Type::I8, 300),
+            Value::ConstInt(Type::I8, 44)
+        );
+        assert_eq!(
+            Value::const_int(Type::I8, 255),
+            Value::ConstInt(Type::I8, -1)
+        );
     }
 
     #[test]

@@ -143,7 +143,10 @@ pub fn verify_function(f: &Function) -> Result<(), String> {
                 ));
             }
             if is_last && !inst.is_terminator() {
-                return Err(format!("block b{} does not end in a terminator", bb.index()));
+                return Err(format!(
+                    "block b{} does not end in a terminator",
+                    bb.index()
+                ));
             }
             if inst.is_phi() {
                 if seen_non_phi {
@@ -495,7 +498,10 @@ mod tests {
     fn phi_in_entry_caught() {
         let mut f = Function::new("main", vec![], Type::I32);
         let e = f.entry;
-        f.append_inst(f.entry, Inst::new(Type::I32, Opcode::Phi { incoming: vec![] }));
+        f.append_inst(
+            f.entry,
+            Inst::new(Type::I32, Opcode::Phi { incoming: vec![] }),
+        );
         f.append_inst(e, Inst::new(Type::Void, Opcode::Ret { value: None }));
         assert!(verify_function(&f).unwrap_err().contains("entry"));
     }

@@ -27,7 +27,6 @@
 //! ```
 #![warn(missing_docs)]
 
-
 pub mod matrix;
 pub mod mlp;
 

@@ -61,13 +61,12 @@ impl Matrix {
     pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
         assert_eq!(x.len(), self.cols, "matvec dimension mismatch");
         let mut y = vec![0.0; self.rows];
-        for r in 0..self.rows {
-            let row = &self.data[r * self.cols..(r + 1) * self.cols];
+        for (yr, row) in y.iter_mut().zip(self.data.chunks_exact(self.cols)) {
             let mut acc = 0.0;
             for (w, xi) in row.iter().zip(x) {
                 acc += w * xi;
             }
-            y[r] = acc;
+            *yr = acc;
         }
         y
     }
@@ -80,11 +79,9 @@ impl Matrix {
     pub fn matvec_t(&self, x: &[f64]) -> Vec<f64> {
         assert_eq!(x.len(), self.rows, "matvec_t dimension mismatch");
         let mut y = vec![0.0; self.cols];
-        for r in 0..self.rows {
-            let row = &self.data[r * self.cols..(r + 1) * self.cols];
-            let xr = x[r];
-            for (c, w) in row.iter().enumerate() {
-                y[c] += w * xr;
+        for (row, &xr) in self.data.chunks_exact(self.cols).zip(x) {
+            for (yc, w) in y.iter_mut().zip(row) {
+                *yc += w * xr;
             }
         }
         y
@@ -99,9 +96,7 @@ impl Matrix {
     pub fn add_outer(&mut self, a: &[f64], b: &[f64]) {
         assert_eq!(a.len(), self.rows);
         assert_eq!(b.len(), self.cols);
-        for r in 0..self.rows {
-            let ar = a[r];
-            let row = &mut self.data[r * self.cols..(r + 1) * self.cols];
+        for (row, &ar) in self.data.chunks_exact_mut(self.cols).zip(a) {
             for (w, bi) in row.iter_mut().zip(b) {
                 *w += ar * bi;
             }

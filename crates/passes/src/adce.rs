@@ -163,11 +163,15 @@ mod tests {
         let r = b.load(Type::I32, acc);
         b.ret(Some(r));
         let mut m = module_with(b.finish());
-        let before = autophase_ir::interp::run_main(&m, 100_000).unwrap().observable();
+        let before = autophase_ir::interp::run_main(&m, 100_000)
+            .unwrap()
+            .observable();
         assert!(run(&mut m));
         assert_verified(&m);
         assert_eq!(
-            autophase_ir::interp::run_main(&m, 100_000).unwrap().observable(),
+            autophase_ir::interp::run_main(&m, 100_000)
+                .unwrap()
+                .observable(),
             before
         );
     }

@@ -29,7 +29,9 @@ fn propagate_function(m: &mut Module, fid: FuncId) -> bool {
     // Collect (region_head, x, C) facts from equality branches.
     let mut facts: Vec<(BlockId, Value, Value)> = Vec::new();
     for &bb in cfg.rpo() {
-        let Some(term) = f.terminator(bb) else { continue };
+        let Some(term) = f.terminator(bb) else {
+            continue;
+        };
         let Opcode::CondBr {
             cond: Value::Inst(cid),
             then_bb,
@@ -55,7 +57,11 @@ fn propagate_function(m: &mut Module, fid: FuncId) -> bool {
         // The fact holds in eq_target only if that block is solely entered
         // through this edge: eq_target's unique pred is bb, and bb's other
         // arm differs.
-        let other = if eq_target == then_bb { else_bb } else { then_bb };
+        let other = if eq_target == then_bb {
+            else_bb
+        } else {
+            then_bb
+        };
         if other == eq_target {
             continue;
         }
@@ -152,11 +158,15 @@ mod tests {
             });
         assert!(has_const_mul);
         assert_eq!(
-            run_function(&m, m.main().unwrap(), &[3], 100).unwrap().return_value,
+            run_function(&m, m.main().unwrap(), &[3], 100)
+                .unwrap()
+                .return_value,
             Some(30)
         );
         assert_eq!(
-            run_function(&m, m.main().unwrap(), &[4], 100).unwrap().return_value,
+            run_function(&m, m.main().unwrap(), &[4], 100)
+                .unwrap()
+                .return_value,
             Some(4)
         );
     }
@@ -176,7 +186,9 @@ mod tests {
         let mut m = module_with(b.finish());
         assert!(run(&mut m));
         assert_eq!(
-            run_function(&m, m.main().unwrap(), &[7], 100).unwrap().return_value,
+            run_function(&m, m.main().unwrap(), &[7], 100)
+                .unwrap()
+                .return_value,
             Some(8)
         );
     }
@@ -194,7 +206,9 @@ mod tests {
         let mut m = module_with(b.finish());
         assert!(!run(&mut m));
         assert_eq!(
-            run_function(&m, m.main().unwrap(), &[4], 100).unwrap().return_value,
+            run_function(&m, m.main().unwrap(), &[4], 100)
+                .unwrap()
+                .return_value,
             Some(40)
         );
     }

@@ -37,16 +37,14 @@ fn intra_block(m: &mut Module, fid: FuncId) -> bool {
                         victims.push((bb, iid));
                         break;
                     }
-                    Opcode::Store { ptr: p2, .. }
-                        if util::may_alias(f, *p2, ptr) => {
-                            // Unknown overlap: stop (the later store may only
-                            // partially shadow ours in a model with widths).
-                            break;
-                        }
-                    Opcode::Load { ptr: p2 }
-                        if util::may_alias(f, *p2, ptr) => {
-                            break;
-                        }
+                    Opcode::Store { ptr: p2, .. } if util::may_alias(f, *p2, ptr) => {
+                        // Unknown overlap: stop (the later store may only
+                        // partially shadow ours in a model with widths).
+                        break;
+                    }
+                    Opcode::Load { ptr: p2 } if util::may_alias(f, *p2, ptr) => {
+                        break;
+                    }
                     Opcode::Call { .. } => break,
                     _ => {}
                 }

@@ -43,7 +43,9 @@ fn substitute_final_values(m: &mut Module, fid: FuncId) -> bool {
             continue;
         }
         let block = l.header;
-        let Some(term) = f.terminator(block) else { continue };
+        let Some(term) = f.terminator(block) else {
+            continue;
+        };
         let autophase_ir::Opcode::CondBr {
             cond: Value::Inst(cmp),
             then_bb,
@@ -70,14 +72,22 @@ fn substitute_final_values(m: &mut Module, fid: FuncId) -> bool {
         if step == 0 {
             continue;
         }
-        let autophase_ir::Opcode::Phi { incoming } = &f.inst(iv).op else { continue };
-        let Some(preheader) = l.entering_block(&cfg) else { continue };
+        let autophase_ir::Opcode::Phi { incoming } = &f.inst(iv).op else {
+            continue;
+        };
+        let Some(preheader) = l.entering_block(&cfg) else {
+            continue;
+        };
         let init = incoming
             .iter()
             .find(|(p, _)| *p == preheader)
             .and_then(|(_, v)| v.as_const_int());
-        let from_latch = incoming.iter().any(|(p, v)| *p == block && *v == Value::Inst(next_id));
-        let (Some(init), true) = (init, from_latch) else { continue };
+        let from_latch = incoming
+            .iter()
+            .any(|(p, v)| *p == block && *v == Value::Inst(next_id));
+        let (Some(init), true) = (init, from_latch) else {
+            continue;
+        };
 
         // Simulate to the exit (bounded, mirrors the unroller).
         let ty = f.inst(iv).ty;
@@ -140,9 +150,13 @@ fn canonicalize_exit_compares(m: &mut Module, fid: FuncId) -> bool {
     let loops = find_loops(f, &cfg, &dt);
     let mut rewrites: Vec<(InstId, CmpPred)> = Vec::new();
     for l in &loops {
-        let Some(preheader) = l.entering_block(&cfg) else { continue };
+        let Some(preheader) = l.entering_block(&cfg) else {
+            continue;
+        };
         for &bb in &l.blocks {
-            let Some(term) = f.terminator(bb) else { continue };
+            let Some(term) = f.terminator(bb) else {
+                continue;
+            };
             let Opcode::CondBr {
                 cond: Value::Inst(cmp),
                 ..
@@ -153,8 +167,7 @@ fn canonicalize_exit_compares(m: &mut Module, fid: FuncId) -> bool {
             if !f.successors(bb).iter().any(|s| !l.contains(*s)) {
                 continue; // not an exiting branch
             }
-            let Opcode::ICmp(CmpPred::Ne, a, Value::ConstInt(_, bound)) = f.inst(cmp).op
-            else {
+            let Opcode::ICmp(CmpPred::Ne, a, Value::ConstInt(_, bound)) = f.inst(cmp).op else {
                 continue;
             };
             // a = iv or iv+step with unit positive step and init <= bound
@@ -167,7 +180,9 @@ fn canonicalize_exit_compares(m: &mut Module, fid: FuncId) -> bool {
                 },
                 _ => continue,
             };
-            let Opcode::Phi { incoming } = &f.inst(phi_id).op else { continue };
+            let Opcode::Phi { incoming } = &f.inst(phi_id).op else {
+                continue;
+            };
             let init = incoming
                 .iter()
                 .find(|(p, _)| *p == preheader)
@@ -177,8 +192,7 @@ fn canonicalize_exit_compares(m: &mut Module, fid: FuncId) -> bool {
                     return None;
                 }
                 if let Value::Inst(nid) = v {
-                    if let Opcode::Binary(BinOp::Add, base, Value::ConstInt(_, s)) =
-                        f.inst(*nid).op
+                    if let Opcode::Binary(BinOp::Add, base, Value::ConstInt(_, s)) = f.inst(*nid).op
                     {
                         if base == Value::Inst(phi_id) {
                             return Some(s);
@@ -187,7 +201,9 @@ fn canonicalize_exit_compares(m: &mut Module, fid: FuncId) -> bool {
                 }
                 None
             });
-            let (Some(init), Some(step)) = (init, step) else { continue };
+            let (Some(init), Some(step)) = (init, step) else {
+                continue;
+            };
             if step != 1 || offset != 0 && offset != step {
                 continue;
             }

@@ -6,9 +6,7 @@
 //! path as a call — the shape LLVM's partial inliner targets.
 
 use crate::util;
-use autophase_ir::{
-    BlockId, FuncId, Inst, InstId, Module, Opcode, Type, Value,
-};
+use autophase_ir::{BlockId, FuncId, Inst, InstId, Module, Opcode, Type, Value};
 use std::collections::HashMap;
 
 /// Instruction-count threshold under which `-inline` integrates a callee
@@ -32,9 +30,7 @@ pub fn run(m: &mut Module) -> bool {
             if !m.func_exists(fid) {
                 continue;
             }
-            while let Some((bb, call)) =
-                find_inlinable_site(m, fid, &recursive, &site_counts)
-            {
+            while let Some((bb, call)) = find_inlinable_site(m, fid, &recursive, &site_counts) {
                 inline_call(m, fid, bb, call);
                 local = true;
                 if m.func(fid).num_insts() > 4000 {
@@ -86,8 +82,14 @@ pub fn run_partial(m: &mut Module) -> bool {
         for bb in f.block_ids() {
             for &iid in &f.block(bb).insts {
                 if let Opcode::Call { callee, .. } = f.inst(iid).op {
+                    // `outlined` marks callees whose guard was already
+                    // peeled somewhere: the rewrite leaves a call to the
+                    // same callee on the slow path, so without the marker
+                    // every later run would peel that call again and the
+                    // pass would never reach a fixed point.
                     if callee != fid
                         && m.func_exists(callee)
+                        && !m.func(callee).attrs.outlined
                         && guard_shape(m.func(callee)).is_some()
                     {
                         sites.push(iid);
@@ -185,7 +187,9 @@ pub(crate) fn inline_call(m: &mut Module, caller: FuncId, bb: BlockId, call: Ins
     let mut rets: Vec<(BlockId, Option<Value>)> = Vec::new();
     for (&old_bb, &new_bb) in &bmap {
         let _ = old_bb;
-        let Some(term) = f.terminator(new_bb) else { continue };
+        let Some(term) = f.terminator(new_bb) else {
+            continue;
+        };
         if let Opcode::Ret { value } = f.inst(term).op {
             rets.push((new_bb, value));
             f.inst_mut(term).op = Opcode::Br { target: cont };
@@ -284,7 +288,9 @@ fn partial_inline_site(m: &mut Module, caller: FuncId, call: InstId) -> bool {
     let mut early_bb: Option<BlockId> = None;
     for &gb in &guard_blocks {
         let nb = bmap[&gb];
-        let Some(term) = f.terminator(nb) else { continue };
+        let Some(term) = f.terminator(nb) else {
+            continue;
+        };
         let mut new_op: Option<Opcode> = None;
         match &f.inst(term).op {
             Opcode::Ret { value } => {
@@ -329,6 +335,7 @@ fn partial_inline_site(m: &mut Module, caller: FuncId, call: InstId) -> bool {
         f.replace_all_uses(Value::Inst(call), Value::Inst(phi));
     }
     f.erase_inst(call);
+    m.func_mut(callee).attrs.outlined = true;
     true
 }
 

@@ -294,12 +294,7 @@ fn simplify_binary(
     None
 }
 
-fn simplify_icmp(
-    f: &autophase_ir::Function,
-    pred: CmpPred,
-    a: Value,
-    b: Value,
-) -> Option<Rewrite> {
+fn simplify_icmp(f: &autophase_ir::Function, pred: CmpPred, a: Value, b: Value) -> Option<Rewrite> {
     if let Some(c) = fold::fold_icmp(pred, a, b) {
         return Some(Rewrite::ReplaceWith(c));
     }
@@ -431,20 +426,14 @@ mod tests {
         let s = b.binary(BinOp::Add, z, w);
         b.ret(Some(s));
         let mut m = module_with(b.finish());
-        let before = autophase_ir::interp::run_function(
-            &m,
-            m.main().unwrap(),
-            &[42],
-            1000,
-        )
-        .unwrap()
-        .return_value;
+        let before = autophase_ir::interp::run_function(&m, m.main().unwrap(), &[42], 1000)
+            .unwrap()
+            .return_value;
         assert!(run(&mut m));
         assert_verified(&m);
-        let after =
-            autophase_ir::interp::run_function(&m, m.main().unwrap(), &[42], 1000)
-                .unwrap()
-                .return_value;
+        let after = autophase_ir::interp::run_function(&m, m.main().unwrap(), &[42], 1000)
+            .unwrap()
+            .return_value;
         assert_eq!(before, after);
         assert_eq!(after, Some(37));
     }

@@ -27,14 +27,12 @@ pub fn run_functionattrs(m: &mut Module) -> bool {
             for bb in f.block_ids() {
                 for (_, inst) in f.insts_in(bb) {
                     match &inst.op {
-                        Opcode::Store { ptr, .. }
-                            if (escaping || !is_local_root(f, *ptr)) => {
-                                writes = true;
-                            }
-                        Opcode::Load { ptr }
-                            if (escaping || !is_local_root(f, *ptr)) => {
-                                reads = true;
-                            }
+                        Opcode::Store { ptr, .. } if (escaping || !is_local_root(f, *ptr)) => {
+                            writes = true;
+                        }
+                        Opcode::Load { ptr } if (escaping || !is_local_root(f, *ptr)) => {
+                            reads = true;
+                        }
                         Opcode::Call { callee, .. } => {
                             if *callee == fid {
                                 continue; // self-calls inherit our own effect
@@ -88,14 +86,12 @@ fn local_allocas_escape(f: &autophase_ir::Function) -> bool {
     for bb in f.block_ids() {
         for (_, inst) in f.insts_in(bb) {
             match &inst.op {
-                Opcode::Store { value, .. }
-                    if is_local_root(f, *value) => {
-                        return true;
-                    }
-                Opcode::Call { args, .. }
-                    if args.iter().any(|&a| is_local_root(f, a)) => {
-                        return true;
-                    }
+                Opcode::Store { value, .. } if is_local_root(f, *value) => {
+                    return true;
+                }
+                Opcode::Call { args, .. } if args.iter().any(|&a| is_local_root(f, a)) => {
+                    return true;
+                }
                 _ => {}
             }
         }
@@ -268,7 +264,9 @@ pub fn run_prune_eh(m: &mut Module) -> bool {
         let f = m.func(fid);
         let mut edits: Vec<(InstId, autophase_ir::BlockId)> = Vec::new();
         for bb in f.block_ids() {
-            let Some(term) = f.terminator(bb) else { continue };
+            let Some(term) = f.terminator(bb) else {
+                continue;
+            };
             let Opcode::CondBr {
                 then_bb, else_bb, ..
             } = f.inst(term).op

@@ -29,7 +29,9 @@ fn thread_once(m: &mut Module, fid: FuncId) -> bool {
     let f = m.func(fid);
     let cfg = Cfg::new(f);
     for &bb in cfg.rpo() {
-        let Some(term) = f.terminator(bb) else { continue };
+        let Some(term) = f.terminator(bb) else {
+            continue;
+        };
         let Opcode::CondBr {
             cond: Value::Inst(phi_id),
             then_bb,
@@ -90,7 +92,9 @@ fn thread_once(m: &mut Module, fid: FuncId) -> bool {
                 break;
             }
         }
-        let Some((pred, target)) = choice else { continue };
+        let Some((pred, target)) = choice else {
+            continue;
+        };
 
         // Rewire: pred's edge bb → target.
         let fm = m.func_mut(fid);

@@ -24,7 +24,9 @@ fn form_lcssa(m: &mut Module, fid: FuncId) -> bool {
         let dt = DomTree::new(f, &cfg);
         let loops = find_loops(f, &cfg, &dt);
         let index = UserIndex::build(f);
-        let mut todo: Option<(InstId, BlockId, Vec<(InstId, BlockId)>, BlockId)> = None;
+        // (live-out inst, its block, outside users, exit block to close in)
+        type Todo = (InstId, BlockId, Vec<(InstId, BlockId)>, BlockId);
+        let mut todo: Option<Todo> = None;
         'search: for l in &loops {
             for &bb in &l.blocks {
                 for &iid in &f.block(bb).insts {
@@ -63,11 +65,9 @@ fn form_lcssa(m: &mut Module, fid: FuncId) -> bool {
                         cfg.unique_preds(e).iter().all(|p| l.contains(*p))
                             && outside.iter().all(|(_, ubb)| dt.dominates(e, *ubb))
                             && dt.is_reachable(e)
-                            && f.block_of(iid).map(|db| {
-                                cfg.unique_preds(e)
-                                    .iter()
-                                    .all(|p| dt.dominates(db, *p))
-                            }) == Some(true)
+                            && f.block_of(iid)
+                                .map(|db| cfg.unique_preds(e).iter().all(|p| dt.dominates(db, *p)))
+                                == Some(true)
                     });
                     if let Some(e) = exit {
                         todo = Some((iid, bb, outside, e));
@@ -99,7 +99,8 @@ fn form_lcssa(m: &mut Module, fid: FuncId) -> bool {
             if user == phi {
                 continue;
             }
-            f.inst_mut(user).replace_uses(Value::Inst(iid), Value::Inst(phi));
+            f.inst_mut(user)
+                .replace_uses(Value::Inst(iid), Value::Inst(phi));
         }
         changed = true;
     }

@@ -33,7 +33,6 @@
 //! ```
 #![warn(missing_docs)]
 
-
 pub mod adce;
 pub mod correlated;
 pub mod dse;

@@ -53,8 +53,7 @@ fn hoist_round(m: &mut Module, fid: FuncId) -> usize {
         // later candidates of the same loop (dependent chains hoist in one
         // round). They must NOT count for other loops: an inner preheader
         // is still inside the outer loop, and does not dominate it.
-        let mut hoisted_set: std::collections::HashSet<InstId> =
-            std::collections::HashSet::new();
+        let mut hoisted_set: std::collections::HashSet<InstId> = std::collections::HashSet::new();
         let Some(preheader) = l.preheader(&cfg) else {
             continue; // needs -loop-simplify
         };
@@ -88,9 +87,8 @@ fn hoist_round(m: &mut Module, fid: FuncId) -> usize {
                         || inst.is_phi()
                         || matches!(inst.op, Opcode::Alloca { .. })
                         || !util::is_pure(m, &inst)
+                        || (matches!(inst.op, Opcode::Load { .. }) && loop_writes)
                     {
-                        false
-                    } else if matches!(inst.op, Opcode::Load { .. }) && loop_writes {
                         false
                     } else {
                         // All operands invariant (or hoisted this round)?
@@ -145,9 +143,9 @@ mod tests {
         let f = m.func(fid);
         let (_, _, loops) = analyze_loops(f);
         loops.iter().any(|l| {
-            l.blocks.iter().any(|&bb| {
-                f.block(bb).insts.iter().any(|&i| pred(f.inst(i)))
-            })
+            l.blocks
+                .iter()
+                .any(|&bb| f.block(bb).insts.iter().any(|&i| pred(f.inst(i))))
         })
     }
 
@@ -199,7 +197,10 @@ mod tests {
         let fid = m.main().unwrap();
         run(&mut m);
         assert_verified(&m);
-        assert!(in_any_loop(&m, fid, |i| matches!(i.op, Opcode::Load { .. })));
+        assert!(in_any_loop(&m, fid, |i| matches!(
+            i.op,
+            Opcode::Load { .. }
+        )));
     }
 
     #[test]
@@ -220,7 +221,10 @@ mod tests {
         let fid = m.main().unwrap();
         assert!(run(&mut m));
         assert_verified(&m);
-        assert!(!in_any_loop(&m, fid, |i| matches!(i.op, Opcode::Load { .. })));
+        assert!(!in_any_loop(&m, fid, |i| matches!(
+            i.op,
+            Opcode::Load { .. }
+        )));
     }
 
     #[test]

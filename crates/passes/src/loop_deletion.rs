@@ -31,7 +31,9 @@ fn delete_once(m: &mut Module, fid: FuncId) -> bool {
     let loops = find_loops(f, &cfg, &dt);
     let index = crate::util::UserIndex::build(f);
     'next_loop: for l in &loops {
-        let Some(preheader) = l.entering_block(&cfg) else { continue };
+        let Some(preheader) = l.entering_block(&cfg) else {
+            continue;
+        };
         // Single dedicated exit.
         let [exit] = l.exits.as_slice() else { continue };
         let exit = *exit;
@@ -48,9 +50,7 @@ fn delete_once(m: &mut Module, fid: FuncId) -> bool {
                 if matches!(inst.op, Opcode::Call { .. }) && !util::is_pure(m, inst) {
                     continue 'next_loop;
                 }
-                if !inst.ty.is_void()
-                    && index.users(iid).iter().any(|(_, ubb)| !l.contains(*ubb))
-                {
+                if !inst.ty.is_void() && index.users(iid).iter().any(|(_, ubb)| !l.contains(*ubb)) {
                     continue 'next_loop;
                 }
             }
@@ -108,7 +108,9 @@ fn provably_terminates(f: &autophase_ir::Function, cfg: &Cfg, l: &Loop) -> bool 
     // Find an exiting condbr whose condition is an icmp involving an
     // induction φ with constant step, constant bound, constant init.
     for &bb in &l.blocks {
-        let Some(term) = f.terminator(bb) else { continue };
+        let Some(term) = f.terminator(bb) else {
+            continue;
+        };
         let Opcode::CondBr {
             cond: Value::Inst(cmp),
             ..
@@ -135,15 +137,16 @@ fn provably_terminates(f: &autophase_ir::Function, cfg: &Cfg, l: &Loop) -> bool 
         let Opcode::Phi { incoming } = &f.inst(phi_id).op else {
             continue;
         };
-        let Some(preheader) = l.entering_block(cfg) else { continue };
+        let Some(preheader) = l.entering_block(cfg) else {
+            continue;
+        };
         let mut init_const = false;
         let mut step: Option<i64> = None;
         for (p, v) in incoming {
             if *p == preheader {
                 init_const = matches!(v, Value::ConstInt(..));
             } else if let Value::Inst(nid) = v {
-                if let Opcode::Binary(BinOp::Add, base, Value::ConstInt(_, s)) = f.inst(*nid).op
-                {
+                if let Opcode::Binary(BinOp::Add, base, Value::ConstInt(_, s)) = f.inst(*nid).op {
                     if base == Value::Inst(phi_id) {
                         step = Some(s);
                     }

@@ -32,8 +32,12 @@ fn reduce_once(m: &mut Module, fid: FuncId) -> bool {
     let dt = DomTree::new(f, &cfg);
     let loops = find_loops(f, &cfg, &dt);
     for l in &loops {
-        let Some(preheader) = l.entering_block(&cfg) else { continue };
-        let Some(latch) = l.single_latch() else { continue };
+        let Some(preheader) = l.entering_block(&cfg) else {
+            continue;
+        };
+        let Some(latch) = l.single_latch() else {
+            continue;
+        };
         // Find induction φs in the header: i = φ(pre: init, latch: i + step).
         let header_phis: Vec<InstId> = f
             .block(l.header)
@@ -43,17 +47,21 @@ fn reduce_once(m: &mut Module, fid: FuncId) -> bool {
             .filter(|&i| f.inst(i).is_phi())
             .collect();
         for &iv in &header_phis {
-            let Opcode::Phi { incoming } = &f.inst(iv).op else { continue };
+            let Opcode::Phi { incoming } = &f.inst(iv).op else {
+                continue;
+            };
             if incoming.len() != 2 {
                 continue;
             }
-            let init = incoming.iter().find(|(p, _)| *p == preheader).map(|(_, v)| *v);
+            let init = incoming
+                .iter()
+                .find(|(p, _)| *p == preheader)
+                .map(|(_, v)| *v);
             let next = incoming.iter().find(|(p, _)| *p == latch).map(|(_, v)| *v);
             let (Some(init), Some(Value::Inst(next_id))) = (init, next) else {
                 continue;
             };
-            let Opcode::Binary(BinOp::Add, base, Value::ConstInt(sty, step)) =
-                f.inst(next_id).op
+            let Opcode::Binary(BinOp::Add, base, Value::ConstInt(sty, step)) = f.inst(next_id).op
             else {
                 continue;
             };

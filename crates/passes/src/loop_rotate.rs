@@ -64,14 +64,20 @@ fn rotate_once(m: &mut Module, fid: FuncId) -> bool {
     let index = util::UserIndex::build(f);
 
     for l in &loops {
-        let Some(preheader) = l.preheader(&cfg) else { continue };
-        let Some(latch) = l.single_latch() else { continue };
+        let Some(preheader) = l.preheader(&cfg) else {
+            continue;
+        };
+        let Some(latch) = l.single_latch() else {
+            continue;
+        };
         if is_rotated(l, f) {
             continue;
         }
         // Header must end in a condbr with exactly one in-loop and one
         // out-of-loop target.
-        let Some(term) = f.terminator(l.header) else { continue };
+        let Some(term) = f.terminator(l.header) else {
+            continue;
+        };
         let Opcode::CondBr {
             cond: _,
             then_bb,
@@ -89,7 +95,9 @@ fn rotate_once(m: &mut Module, fid: FuncId) -> bool {
             continue; // self-loop or irregular shape
         }
         // The latch must branch unconditionally to the header.
-        let Some(latch_term) = f.terminator(latch) else { continue };
+        let Some(latch_term) = f.terminator(latch) else {
+            continue;
+        };
         if !matches!(f.inst(latch_term).op, Opcode::Br { .. }) {
             continue;
         }
@@ -131,15 +139,7 @@ fn rotate_once(m: &mut Module, fid: FuncId) -> bool {
             continue;
         }
 
-        do_rotate(
-            m.func_mut(fid),
-            l,
-            preheader,
-            latch,
-            body_entry,
-            exit,
-            term,
-        );
+        do_rotate(m.func_mut(fid), l, preheader, latch, body_entry, exit, term);
         return true;
     }
     false
@@ -172,7 +172,9 @@ fn do_rotate(
     let mut init_map: HashMap<Value, Value> = HashMap::new();
     let mut next_map: HashMap<Value, Value> = HashMap::new();
     for &phi in &phis {
-        let Opcode::Phi { incoming } = &f.inst(phi).op else { unreachable!() };
+        let Opcode::Phi { incoming } = &f.inst(phi).op else {
+            unreachable!()
+        };
         for (p, v) in incoming {
             if *p == preheader {
                 init_map.insert(Value::Inst(phi), *v);
@@ -190,14 +192,11 @@ fn do_rotate(
                       map: &HashMap<Value, Value>|
      -> HashMap<Value, Value> {
         let mut vmap = map.clone();
-        let mut insert_at = f.block(target).insts.len().saturating_sub(1);
-        for &src in &computed {
+        let before_term = f.block(target).insts.len().saturating_sub(1);
+        for (i, &src) in computed.iter().enumerate() {
             let mut inst = f.inst(src).clone();
             util::remap_operands(&mut inst, &vmap);
-            let ty = inst.ty;
-            let id = f.insert_inst(target, insert_at, inst);
-            insert_at += 1;
-            let _ = ty;
+            let id = f.insert_inst(target, before_term + i, inst);
             vmap.insert(Value::Inst(src), Value::Inst(id));
         }
         vmap

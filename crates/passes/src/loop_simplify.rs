@@ -174,8 +174,8 @@ mod tests {
     use autophase_ir::interp::run_function;
     use autophase_ir::loops::analyze_loops;
     use autophase_ir::verify::assert_verified;
-    use autophase_ir::{BinOp, CmpPred, Value};
     use autophase_ir::Opcode;
+    use autophase_ir::{BinOp, CmpPred, Value};
 
     /// A loop whose header is branched to directly from two outside blocks
     /// (no preheader) and with two latches.
@@ -195,7 +195,10 @@ mod tests {
 
         b.switch_to(header);
         let entry = b.entry_block();
-        let i = b.phi(Type::I32, vec![(entry, Value::i32(0)), (alt_entry, Value::i32(1))]);
+        let i = b.phi(
+            Type::I32,
+            vec![(entry, Value::i32(0)), (alt_entry, Value::i32(1))],
+        );
         let c = b.icmp(CmpPred::Slt, i, b.arg(0));
         b.cond_br(c, body_a, exit);
 
@@ -233,7 +236,11 @@ mod tests {
             .collect();
         assert!(run(&mut m));
         assert_verified(&m);
-        assert!(is_simplified(&m, fid), "{}", autophase_ir::printer::print_module(&m));
+        assert!(
+            is_simplified(&m, fid),
+            "{}",
+            autophase_ir::printer::print_module(&m)
+        );
         let after: Vec<_> = [0, 5, 20]
             .iter()
             .map(|&x| run_function(&m, fid, &[x], 100_000).unwrap().return_value)

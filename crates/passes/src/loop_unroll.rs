@@ -13,9 +13,7 @@ use crate::util;
 use autophase_ir::cfg::Cfg;
 use autophase_ir::dom::DomTree;
 use autophase_ir::loops::{find_loops, Loop};
-use autophase_ir::{
-    BinOp, BlockId, FuncId, Inst, InstId, Module, Opcode, Type, Value,
-};
+use autophase_ir::{BinOp, BlockId, FuncId, Inst, InstId, Module, Opcode, Type, Value};
 use std::collections::HashMap;
 
 /// Maximum trip count fully unrolled.
@@ -92,13 +90,11 @@ fn recognize(f: &autophase_ir::Function, cfg: &Cfg, l: &Loop) -> Option<CountedL
     } else {
         return None;
     };
-    let Opcode::ICmp(pred, Value::Inst(next_id), Value::ConstInt(_, bound)) = f.inst(cmp).op
-    else {
+    let Opcode::ICmp(pred, Value::Inst(next_id), Value::ConstInt(_, bound)) = f.inst(cmp).op else {
         return None;
     };
     // next = iv + step
-    let Opcode::Binary(BinOp::Add, Value::Inst(iv), Value::ConstInt(_, step)) =
-        f.inst(next_id).op
+    let Opcode::Binary(BinOp::Add, Value::Inst(iv), Value::ConstInt(_, step)) = f.inst(next_id).op
     else {
         return None;
     };
@@ -144,11 +140,7 @@ fn recognize(f: &autophase_ir::Function, cfg: &Cfg, l: &Loop) -> Option<CountedL
         }
         i = next;
     }
-    Some(CountedLoop {
-        block,
-        iv,
-        trip,
-    })
+    Some(CountedLoop { block, iv, trip })
 }
 
 /// Unroll a single loop anywhere in the module with default limits
@@ -175,7 +167,9 @@ fn unroll_once(
     let dt = DomTree::new(f, &cfg);
     let loops = find_loops(f, &cfg, &dt);
     for l in &loops {
-        let Some(cl) = recognize(f, &cfg, l) else { continue };
+        let Some(cl) = recognize(f, &cfg, l) else {
+            continue;
+        };
         if cl.trip > trip_limit || !filter(f, cl.block) {
             continue;
         }
@@ -185,7 +179,9 @@ fn unroll_once(
         }
         // The loop may not contain calls that could recurse into this
         // function (cloned call sites are fine; recursion changes nothing).
-        let preheader = l.entering_block(&cfg).expect("recognized loop has an entering block");
+        let preheader = l
+            .entering_block(&cfg)
+            .expect("recognized loop has an entering block");
         do_full_unroll(m.func_mut(fid), l, &cl, preheader);
         return true;
     }
@@ -194,12 +190,7 @@ fn unroll_once(
 
 /// Replace the single-block loop with `trip` copies of its body chained
 /// straight-line, then a jump to the exit.
-fn do_full_unroll(
-    f: &mut autophase_ir::Function,
-    l: &Loop,
-    cl: &CountedLoop,
-    preheader: BlockId,
-) {
+fn do_full_unroll(f: &mut autophase_ir::Function, l: &Loop, cl: &CountedLoop, preheader: BlockId) {
     let block = cl.block;
     let term = f.terminator(block).expect("loop block has terminator");
     let exit = f
@@ -220,7 +211,9 @@ fn do_full_unroll(
     let mut cur: HashMap<Value, Value> = HashMap::new();
     let mut next_of: HashMap<InstId, Value> = HashMap::new();
     for &phi in &phis {
-        let Opcode::Phi { incoming } = &f.inst(phi).op else { unreachable!() };
+        let Opcode::Phi { incoming } = &f.inst(phi).op else {
+            unreachable!()
+        };
         for (p, v) in incoming {
             if *p == preheader {
                 cur.insert(Value::Inst(phi), *v);
@@ -304,7 +297,12 @@ fn do_full_unroll(
     // External (non-exit-φ) uses of loop values: substitute final values.
     let mut final_subst: Vec<(Value, Value)> = Vec::new();
     for &phi in &phis {
-        final_subst.push((Value::Inst(phi), *last_map.get(&Value::Inst(phi)).unwrap_or(&Value::Undef(f.inst(phi).ty))));
+        final_subst.push((
+            Value::Inst(phi),
+            *last_map
+                .get(&Value::Inst(phi))
+                .unwrap_or(&Value::Undef(f.inst(phi).ty)),
+        ));
     }
     for &src in &body {
         if !f.inst(src).ty.is_void() {
@@ -361,7 +359,11 @@ mod tests {
         // No loops remain.
         let f = m.func(m.main().unwrap());
         let (_, _, loops) = analyze_loops(f);
-        assert!(loops.is_empty(), "{}", autophase_ir::printer::print_module(&m));
+        assert!(
+            loops.is_empty(),
+            "{}",
+            autophase_ir::printer::print_module(&m)
+        );
     }
 
     #[test]
@@ -370,9 +372,7 @@ mod tests {
         let before = run_main(&m, 100_000).unwrap();
         assert!(run(&mut m));
         let after = run_main(&m, 100_000).unwrap();
-        let blocks = |t: &autophase_ir::interp::ExecTrace| -> u64 {
-            t.block_counts.values().sum()
-        };
+        let blocks = |t: &autophase_ir::interp::ExecTrace| -> u64 { t.block_counts.values().sum() };
         assert!(blocks(&after) < blocks(&before));
     }
 

@@ -36,7 +36,9 @@ fn unswitch_once(m: &mut Module, fid: FuncId) -> bool {
         if l.blocks.len() > UNSWITCH_BLOCK_LIMIT {
             continue;
         }
-        let Some(preheader) = l.preheader(&cfg) else { continue };
+        let Some(preheader) = l.preheader(&cfg) else {
+            continue;
+        };
         // Loop values must not be used outside the loop except through
         // dedicated-exit φs (so the clone can feed the same φs).
         if !exits_dedicated(f, &cfg, &index, l) {
@@ -44,7 +46,9 @@ fn unswitch_once(m: &mut Module, fid: FuncId) -> bool {
         }
         // Find an invariant condbr inside the loop (not the exit test).
         for &bb in &l.blocks {
-            let Some(term) = f.terminator(bb) else { continue };
+            let Some(term) = f.terminator(bb) else {
+                continue;
+            };
             let Opcode::CondBr {
                 cond,
                 then_bb,
@@ -161,7 +165,9 @@ fn do_unswitch(
             .filter(|&i| f.inst(i).is_phi())
             .collect();
         for phi in phis {
-            let Opcode::Phi { incoming } = &f.inst(phi).op else { unreachable!() };
+            let Opcode::Phi { incoming } = &f.inst(phi).op else {
+                unreachable!()
+            };
             let additions: Vec<(BlockId, Value)> = incoming
                 .iter()
                 .filter(|(p, _)| bmap.contains_key(p))
@@ -184,8 +190,8 @@ mod tests {
     use autophase_ir::builder::FunctionBuilder;
     use autophase_ir::interp::run_function;
     use autophase_ir::verify::assert_verified;
-    use autophase_ir::{BinOp, CmpPred};
     use autophase_ir::Type;
+    use autophase_ir::{BinOp, CmpPred};
 
     fn unswitchable() -> Module {
         // for i in 0..n { if (flag) acc += i else acc -= i }
@@ -224,13 +230,21 @@ mod tests {
         let cases: [(i64, i64); 4] = [(5, 0), (5, 1), (0, 1), (3, 0)];
         let before: Vec<_> = cases
             .iter()
-            .map(|&(n, fl)| run_function(&m, fid, &[n, fl], 100_000).unwrap().return_value)
+            .map(|&(n, fl)| {
+                run_function(&m, fid, &[n, fl], 100_000)
+                    .unwrap()
+                    .return_value
+            })
             .collect();
         assert!(run(&mut m));
         assert_verified(&m);
         let after: Vec<_> = cases
             .iter()
-            .map(|&(n, fl)| run_function(&m, fid, &[n, fl], 100_000).unwrap().return_value)
+            .map(|&(n, fl)| {
+                run_function(&m, fid, &[n, fl], 100_000)
+                    .unwrap()
+                    .return_value
+            })
             .collect();
         assert_eq!(before, after);
         // Per-iteration branching on the flag is gone: with flag=1 the

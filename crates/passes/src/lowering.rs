@@ -10,9 +10,7 @@
 
 use crate::util;
 use autophase_ir::cfg::Cfg;
-use autophase_ir::{
-    BlockId, CmpPred, Inst, InstId, Module, Opcode, Type, Value,
-};
+use autophase_ir::{BlockId, CmpPred, Inst, InstId, Module, Opcode, Type, Value};
 
 /// `-lowerswitch`: rewrite every `switch` into a chain of `icmp eq` +
 /// conditional branches. Returns true on change.
@@ -95,7 +93,10 @@ fn lower_one_switch(f: &mut autophase_ir::Function, bb: BlockId, term: InstId) {
         cur_bb = next_bb;
     }
     if cases.is_empty() {
-        f.append_inst(cur_bb, Inst::new(Type::Void, Opcode::Br { target: default }));
+        f.append_inst(
+            cur_bb,
+            Inst::new(Type::Void, Opcode::Br { target: default }),
+        );
     }
     f.erase_inst(term);
 
@@ -174,10 +175,7 @@ pub fn run_codegenprepare(m: &mut Module) -> bool {
                 if *ubb == bb {
                     continue;
                 }
-                let is_mem = matches!(
-                    f.inst(*user).op,
-                    Opcode::Load { .. } | Opcode::Store { .. }
-                );
+                let is_mem = matches!(f.inst(*user).op, Opcode::Load { .. } | Opcode::Store { .. });
                 if is_mem && !f.inst(*user).is_phi() {
                     moves.push((iid, bb, *user, *ubb));
                 }

@@ -78,9 +78,11 @@ fn promote_one(f: &mut autophase_ir::Function, alloca: InstId) {
     // Blocks containing a store (definitions).
     let mut def_blocks: Vec<BlockId> = Vec::new();
     for bb in f.block_ids() {
-        let defines = f.block(bb).insts.iter().any(|&i| {
-            matches!(&f.inst(i).op, Opcode::Store { ptr, .. } if *ptr == addr)
-        });
+        let defines = f
+            .block(bb)
+            .insts
+            .iter()
+            .any(|&i| matches!(&f.inst(i).op, Opcode::Store { ptr, .. } if *ptr == addr));
         if defines && !def_blocks.contains(&bb) {
             def_blocks.push(bb);
         }
@@ -102,11 +104,7 @@ fn promote_one(f: &mut autophase_ir::Function, alloca: InstId) {
         if !cfg.is_reachable(bb) {
             continue;
         }
-        let phi = f.insert_inst(
-            bb,
-            0,
-            Inst::new(elem_ty, Opcode::Phi { incoming: vec![] }),
-        );
+        let phi = f.insert_inst(bb, 0, Inst::new(elem_ty, Opcode::Phi { incoming: vec![] }));
         phi_of_block.insert(bb, phi);
     }
 
@@ -184,8 +182,8 @@ mod tests {
     use autophase_ir::builder::FunctionBuilder;
     use autophase_ir::interp::run_main;
     use autophase_ir::verify::assert_verified;
-    use autophase_ir::{BinOp, CmpPred};
     use autophase_ir::Type;
+    use autophase_ir::{BinOp, CmpPred};
 
     fn module_with(f: autophase_ir::Function) -> Module {
         let mut m = Module::new("t");

@@ -75,20 +75,22 @@ fn rebuild_chain(
     // Collect leaves.
     let mut leaves: Vec<Value> = Vec::new();
     let mut members: Vec<InstId> = Vec::new();
-    let mut stack = vec![root];
-    while let Some(iid) = stack.pop() {
+    let mut chain_depth = 0usize;
+    let mut stack = vec![(root, 1usize)];
+    while let Some((iid, depth)) = stack.pop() {
         let Opcode::Binary(iop, a, b) = f.inst(iid).op else {
             unreachable!("chain member is binary")
         };
         debug_assert_eq!(iop, op);
         members.push(iid);
+        chain_depth = chain_depth.max(depth);
         for v in [a, b] {
             let mut is_member = false;
             if let Value::Inst(child) = v {
                 if f.inst_exists(child) && f.block_of(child) == Some(bb) {
                     if let Opcode::Binary(cop, ..) = f.inst(child).op {
                         if cop == op && index.use_count(child) == 1 {
-                            stack.push(child);
+                            stack.push((child, depth + 1));
                             is_member = true;
                         }
                     }
@@ -121,14 +123,17 @@ fn rebuild_chain(
         }
     }
     // Only rewrite when it helps: several constants fold together, an
-    // identity is absorbed, or the existing tree is deeper than a balanced
-    // rebuild would be.
+    // identity is absorbed, or the existing *chain* is deeper than a
+    // balanced rebuild would be. The depth comparison must stay within
+    // the chain — measuring through leaf subexpressions (as `expr_depth`
+    // does) would keep reporting "too deep" for any chain fed by a deep
+    // leaf and rebuild it forever, so the pass would never reach a fixed
+    // point.
     let n_leaves = vars.len().max(1);
     let balanced_depth =
         (usize::BITS - (n_leaves - 1).leading_zeros()) as usize + usize::from(konst != identity);
-    let current_depth = expr_depth(f, Value::Inst(root));
     let helps =
-        n_consts > 1 || vars.len() + n_consts < members.len() + 1 || current_depth > balanced_depth;
+        n_consts > 1 || vars.len() + n_consts < members.len() + 1 || chain_depth > balanced_depth;
     if !helps {
         return false;
     }
@@ -155,11 +160,8 @@ fn rebuild_chain(
         for pair in &mut it {
             match pair {
                 [a, b] => {
-                    let id = fm.insert_inst(
-                        bb,
-                        insert_at,
-                        Inst::new(ty, Opcode::Binary(op, *a, *b)),
-                    );
+                    let id =
+                        fm.insert_inst(bb, insert_at, Inst::new(ty, Opcode::Binary(op, *a, *b)));
                     insert_at += 1;
                     next.push(Value::Inst(id));
                 }
@@ -238,11 +240,7 @@ mod tests {
     #[test]
     fn long_chain_balanced() {
         // a+b+c+d+e+f+g+h: linear depth 8 → balanced depth ~3 (+1 per level).
-        let mut b = FunctionBuilder::new(
-            "main",
-            vec![Type::I32; 8],
-            Type::I32,
-        );
+        let mut b = FunctionBuilder::new("main", vec![Type::I32; 8], Type::I32);
         let mut acc = b.arg(0);
         for i in 1..8 {
             acc = b.binary(BinOp::Add, acc, b.arg(i));

@@ -191,9 +191,8 @@ mod tests {
         for id in 0..pass_count() {
             let mut m = sample_module();
             apply(&mut m, id);
-            verify_module(&m).unwrap_or_else(|e| {
-                panic!("{} broke the verifier: {e}", pass_name(id))
-            });
+            verify_module(&m)
+                .unwrap_or_else(|e| panic!("{} broke the verifier: {e}", pass_name(id)));
             let got = autophase_ir::interp::run_main(&m, 100_000)
                 .unwrap()
                 .observable();

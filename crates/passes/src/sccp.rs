@@ -53,7 +53,9 @@ impl Solution {
     /// solution is applied).
     #[cfg_attr(not(test), allow(dead_code))]
     pub fn unreachable_blocks(&self, f: &autophase_ir::Function) -> usize {
-        f.block_ids().filter(|bb| !self.executable.contains(bb)).count()
+        f.block_ids()
+            .filter(|bb| !self.executable.contains(bb))
+            .count()
     }
 }
 
@@ -73,10 +75,7 @@ pub(crate) fn solve(m: &Module, fid: FuncId, arg_consts: &HashMap<u32, i64>) -> 
             Value::Undef(t) => Lat::Const(t, 0),
             Value::Global(_) => Lat::Varying,
             Value::Arg(i) => match arg_consts.get(&i) {
-                Some(&c) => Lat::Const(
-                    f.params.get(i as usize).copied().unwrap_or(Type::I64),
-                    c,
-                ),
+                Some(&c) => Lat::Const(f.params.get(i as usize).copied().unwrap_or(Type::I64), c),
                 None => Lat::Varying,
             },
             Value::Inst(id) => lat.get(&id).copied().unwrap_or(Lat::Unknown),
@@ -93,15 +92,13 @@ pub(crate) fn solve(m: &Module, fid: FuncId, arg_consts: &HashMap<u32, i64>) -> 
      -> Lat {
         let inst = f.inst(iid);
         match &inst.op {
-            Opcode::Binary(op, a, b) => {
-                match (value_lat(lat, *a), value_lat(lat, *b)) {
-                    (Lat::Const(_, x), Lat::Const(_, y)) => {
-                        Lat::Const(inst.ty, fold::eval_binop(*op, inst.ty, x, y))
-                    }
-                    (Lat::Varying, _) | (_, Lat::Varying) => Lat::Varying,
-                    _ => Lat::Unknown,
+            Opcode::Binary(op, a, b) => match (value_lat(lat, *a), value_lat(lat, *b)) {
+                (Lat::Const(_, x), Lat::Const(_, y)) => {
+                    Lat::Const(inst.ty, fold::eval_binop(*op, inst.ty, x, y))
                 }
-            }
+                (Lat::Varying, _) | (_, Lat::Varying) => Lat::Varying,
+                _ => Lat::Unknown,
+            },
             Opcode::ICmp(p, a, b) => {
                 let ty = util::type_of(f, *a);
                 match (value_lat(lat, *a), value_lat(lat, *b)) {
@@ -150,7 +147,9 @@ pub(crate) fn solve(m: &Module, fid: FuncId, arg_consts: &HashMap<u32, i64>) -> 
             }
         }
         while let Some(iid) = inst_q.pop_front() {
-            let Some(bb) = placement(f, iid) else { continue };
+            let Some(bb) = placement(f, iid) else {
+                continue;
+            };
             if !exec_blocks.contains(&bb) {
                 continue;
             }
@@ -180,8 +179,7 @@ pub(crate) fn solve(m: &Module, fid: FuncId, arg_consts: &HashMap<u32, i64>) -> 
                             .map(|(_, b)| *b)
                             .unwrap_or(*default)],
                         Lat::Varying => {
-                            let mut v: Vec<BlockId> =
-                                cases.iter().map(|(_, b)| *b).collect();
+                            let mut v: Vec<BlockId> = cases.iter().map(|(_, b)| *b).collect();
                             v.push(*default);
                             v
                         }
@@ -291,7 +289,10 @@ mod tests {
         b.switch_to(t);
         b.br(j);
         b.switch_to(j);
-        let x = b.phi(Type::I32, vec![(b.entry_block(), Value::i32(1)), (t, Value::i32(2))]);
+        let x = b.phi(
+            Type::I32,
+            vec![(b.entry_block(), Value::i32(1)), (t, Value::i32(2))],
+        );
         let r = b.binary(BinOp::Add, x, Value::i32(1));
         b.ret(Some(r));
         let mut m = module_with(b.finish());

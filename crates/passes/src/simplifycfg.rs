@@ -43,7 +43,9 @@ fn fold_constant_branches(m: &mut Module, fid: FuncId) -> bool {
     let f = m.func_mut(fid);
     let mut changed = false;
     for bb in f.block_ids().collect::<Vec<_>>() {
-        let Some(term) = f.terminator(bb) else { continue };
+        let Some(term) = f.terminator(bb) else {
+            continue;
+        };
         let new_op = match &f.inst(term).op {
             Opcode::CondBr {
                 cond,
@@ -206,7 +208,9 @@ fn merge_straightline(m: &mut Module, fid: FuncId) -> bool {
             }
             // Drop a's terminator, splice b's instructions, fix φs of b's
             // successors, delete b.
-            let term = f.terminator(a).expect("block with successor has terminator");
+            let term = f
+                .terminator(a)
+                .expect("block with successor has terminator");
             f.remove_inst(a, term);
             let b_insts = f.block(b).insts.clone();
             f.block_mut(a).insts.extend(b_insts);
@@ -255,11 +259,7 @@ fn remove_forwarding_blocks(m: &mut Module, fid: FuncId) -> bool {
         // be a predecessor of target (no duplicate incoming with possibly
         // different values), and the value flowing through bb must work for
         // each pred (it does: the φ entry for bb applies to all).
-        let target_has_phis = f
-            .block(target)
-            .insts
-            .iter()
-            .any(|&i| f.inst(i).is_phi());
+        let target_has_phis = f.block(target).insts.iter().any(|&i| f.inst(i).is_phi());
         if target_has_phis {
             let target_preds = cfg.unique_preds(target);
             if preds.iter().any(|p| target_preds.contains(p)) {

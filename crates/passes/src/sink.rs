@@ -6,9 +6,9 @@
 //! the instruction *into* a loop it was not already in.
 
 use crate::util;
+use crate::util::UserIndex;
 use autophase_ir::cfg::Cfg;
 use autophase_ir::dom::DomTree;
-use crate::util::UserIndex;
 use autophase_ir::loops::find_loops;
 use autophase_ir::{BlockId, FuncId, InstId, Module};
 
@@ -54,7 +54,9 @@ fn sink_once(m: &mut Module, fid: FuncId) -> bool {
             // conceptually executes in the predecessor).
             let target = users[0].1;
             if target == bb
-                || !users.iter().all(|&(u, ub)| ub == target && !f.inst(u).is_phi())
+                || !users
+                    .iter()
+                    .all(|&(u, ub)| ub == target && !f.inst(u).is_phi())
             {
                 continue;
             }
@@ -115,18 +117,19 @@ mod tests {
         assert_verified(&m);
         let f = m.func(m.main().unwrap());
         // The mul now lives in the then-block.
-        let mul_bb = f
-            .block_ids()
-            .find(|&bb| {
-                f.block(bb)
-                    .insts
-                    .iter()
-                    .any(|&i| matches!(f.inst(i).op, autophase_ir::Opcode::Binary(BinOp::Mul, ..)))
-            })
-            .unwrap();
+        let mul_bb =
+            f.block_ids()
+                .find(|&bb| {
+                    f.block(bb).insts.iter().any(|&i| {
+                        matches!(f.inst(i).op, autophase_ir::Opcode::Binary(BinOp::Mul, ..))
+                    })
+                })
+                .unwrap();
         assert_ne!(mul_bb, f.entry);
         assert_eq!(
-            run_function(&m, m.main().unwrap(), &[-2], 100).unwrap().return_value,
+            run_function(&m, m.main().unwrap(), &[-2], 100)
+                .unwrap()
+                .return_value,
             Some(-5)
         );
     }
@@ -167,15 +170,14 @@ mod tests {
             (cfg, dt, loops)
         };
         let _ = (cfg, dt);
-        let mul_bb = f
-            .block_ids()
-            .find(|&bb| {
-                f.block(bb)
-                    .insts
-                    .iter()
-                    .any(|&i| matches!(f.inst(i).op, autophase_ir::Opcode::Binary(BinOp::Mul, ..)))
-            })
-            .unwrap();
+        let mul_bb =
+            f.block_ids()
+                .find(|&bb| {
+                    f.block(bb).insts.iter().any(|&i| {
+                        matches!(f.inst(i).op, autophase_ir::Opcode::Binary(BinOp::Mul, ..))
+                    })
+                })
+                .unwrap();
         assert!(loops.iter().all(|l| !l.contains(mul_bb)));
     }
 

@@ -61,13 +61,7 @@ fn split_function_limit(m: &mut Module, fid: FuncId, limit: u32) -> bool {
             let slot = f.insert_inst(
                 bb,
                 pos + 1 + k,
-                Inst::new(
-                    Type::Ptr,
-                    Opcode::Alloca {
-                        elem_ty,
-                        count: 1,
-                    },
-                ),
+                Inst::new(Type::Ptr, Opcode::Alloca { elem_ty, count: 1 }),
             );
             index_slot.insert(*idx, slot);
         }
@@ -132,9 +126,7 @@ fn find_splittable(f: &autophase_ir::Function, limit: u32) -> Option<Splittable>
                                         continue 'cand;
                                     }
                                 }
-                                Opcode::Store { ptr, value }
-                                    if *ptr == gv && *value != gv =>
-                                {
+                                Opcode::Store { ptr, value } if *ptr == gv && *value != gv => {
                                     if util::type_of(f, *value) != elem_ty {
                                         continue 'cand;
                                     }

@@ -9,9 +9,7 @@ use std::collections::HashMap;
 pub fn is_pure(m: &Module, inst: &Inst) -> bool {
     match &inst.op {
         Opcode::Store { .. } => false,
-        Opcode::Call { callee, .. } => {
-            m.func_exists(*callee) && m.func(*callee).attrs.readnone
-        }
+        Opcode::Call { callee, .. } => m.func_exists(*callee) && m.func(*callee).attrs.readnone,
         _ => !inst.is_terminator(),
     }
 }
@@ -68,7 +66,9 @@ pub fn delete_dead(m: &mut Module, fid: autophase_ir::FuncId) -> usize {
         .collect();
     let mut removed = 0;
     while let Some(iid) = work.pop() {
-        let Some(bb) = placement[iid.index()] else { continue };
+        let Some(bb) = placement[iid.index()] else {
+            continue;
+        };
         if !m.func(fid).inst_exists(iid) || use_count[iid.index()] != 0 {
             continue;
         }
@@ -222,7 +222,10 @@ pub fn split_block(f: &mut Function, bb: BlockId, pos: usize) -> BlockId {
     for s in succs {
         f.retarget_phis(s, bb, tail);
     }
-    let br = f.add_inst(Inst::new(autophase_ir::Type::Void, Opcode::Br { target: tail }));
+    let br = f.add_inst(Inst::new(
+        autophase_ir::Type::Void,
+        Opcode::Br { target: tail },
+    ));
     f.block_mut(bb).insts.push(br);
     tail
 }
@@ -240,7 +243,10 @@ pub fn type_of(f: &Function, v: Value) -> autophase_ir::Type {
 }
 
 /// Run `body` once per live function id.
-pub fn for_each_function(m: &mut Module, mut body: impl FnMut(&mut Module, autophase_ir::FuncId) -> bool) -> bool {
+pub fn for_each_function(
+    m: &mut Module,
+    mut body: impl FnMut(&mut Module, autophase_ir::FuncId) -> bool,
+) -> bool {
     let ids: Vec<_> = m.func_ids().collect();
     let mut changed = false;
     for fid in ids {
@@ -312,7 +318,7 @@ pub fn emit_neg(f: &mut Function, bb: BlockId, pos: usize, v: Value) -> Value {
 mod tests {
     use super::*;
     use autophase_ir::builder::FunctionBuilder;
-    use autophase_ir::{Type, verify};
+    use autophase_ir::{verify, Type};
 
     #[test]
     fn purity_respects_function_attrs() {

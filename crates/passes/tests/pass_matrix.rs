@@ -38,19 +38,18 @@ fn every_pass_safe_on_every_benchmark() {
 fn canonical_pipelines_safe_on_every_benchmark() {
     // The orderings the paper's analysis keeps coming back to.
     let pipelines: &[&[usize]] = &[
-        &[38, 29, 23, 36, 33],          // mem2reg → simplify → rotate → licm → unroll
-        &[43, 38, 30, 31, 7, 28, 32],   // sroa → mem2reg → combine → cfg → gvn → adce → dse
-        &[25, 19, 29, 36, 30, 31],      // inline → attrs → simplify → licm → cleanup
-        &[21, 13, 16, 23, 33, 31],      // lowerswitch → critedges → lcssa → rotate → unroll
-        &[11, 12, 27, 23, 33, 26, 15],  // scalarrepl-ssa → lsr → indvars → rotate → unroll → cse
+        &[38, 29, 23, 36, 33],         // mem2reg → simplify → rotate → licm → unroll
+        &[43, 38, 30, 31, 7, 28, 32],  // sroa → mem2reg → combine → cfg → gvn → adce → dse
+        &[25, 19, 29, 36, 30, 31],     // inline → attrs → simplify → licm → cleanup
+        &[21, 13, 16, 23, 33, 31],     // lowerswitch → critedges → lcssa → rotate → unroll
+        &[11, 12, 27, 23, 33, 26, 15], // scalarrepl-ssa → lsr → indvars → rotate → unroll → cse
     ];
     for b in suite() {
         let expect = run_main(&b.module, FUEL).unwrap().observable();
         for (k, seq) in pipelines.iter().enumerate() {
             let mut m = b.module.clone();
             registry::apply_sequence(&mut m, seq);
-            verify_module(&m)
-                .unwrap_or_else(|e| panic!("pipeline {k} on {}: {e}", b.name));
+            verify_module(&m).unwrap_or_else(|e| panic!("pipeline {k} on {}: {e}", b.name));
             let got = run_main(&m, FUEL)
                 .unwrap_or_else(|e| panic!("pipeline {k} on {}: exec: {e}", b.name))
                 .observable();
@@ -76,5 +75,8 @@ fn mem2reg_then_rotate_reduces_cycles_on_most_benchmarks() {
         }
         assert!(after <= before, "{}: pipeline made it slower", b.name);
     }
-    assert!(improved * 10 >= total * 8, "only {improved}/{total} improved");
+    assert!(
+        improved * 10 >= total * 8,
+        "only {improved}/{total} improved"
+    );
 }

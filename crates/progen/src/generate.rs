@@ -2,9 +2,7 @@
 
 use crate::config::GenConfig;
 use autophase_ir::builder::FunctionBuilder;
-use autophase_ir::{
-    BinOp, CastOp, CmpPred, FuncId, Global, Module, Type, Value,
-};
+use autophase_ir::{BinOp, CastOp, CmpPred, FuncId, Global, Module, Type, Value};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -29,7 +27,15 @@ pub fn generate(cfg: &GenConfig, seed: u64) -> Module {
         helpers.push(fid);
     }
 
-    gen_main(&mut module, cfg, &mut rng, &helpers, table_g, out_g, out_len);
+    gen_main(
+        &mut module,
+        cfg,
+        &mut rng,
+        &helpers,
+        table_g,
+        out_g,
+        out_len,
+    );
     module
 }
 
@@ -77,11 +83,7 @@ fn gen_helper(
     // All helpers take exactly three i32 parameters so call sites never
     // need to look up arity.
     let n_params = 3usize;
-    let mut b = FunctionBuilder::new(
-        format!("helper{idx}"),
-        vec![Type::I32; n_params],
-        Type::I32,
-    );
+    let mut b = FunctionBuilder::new(format!("helper{idx}"), vec![Type::I32; n_params], Type::I32);
     let params: Vec<Value> = (0..n_params as u32).map(Value::Arg).collect();
 
     // Sometimes a guard (early return) so the partial inliner has targets.
@@ -210,8 +212,8 @@ fn gen_stmt(
             let j = b.new_block();
             let lhs = gen_expr(b, cfg, rng, scope, table_g, depth);
             let rhs = gen_expr(b, cfg, rng, scope, table_g, depth);
-            let pred = [CmpPred::Slt, CmpPred::Eq, CmpPred::Sgt, CmpPred::Ne]
-                [rng.gen_range(0..4)];
+            let pred =
+                [CmpPred::Slt, CmpPred::Eq, CmpPred::Sgt, CmpPred::Ne][rng.gen_range(0..4usize)];
             let c = b.icmp(pred, lhs, rhs);
             b.cond_br(c, t, e);
             let target = scope.locals[rng.gen_range(0..scope.locals.len())];
@@ -260,7 +262,7 @@ fn gen_stmt(
                         let old = b.load(Type::I32, p);
                         let e = gen_expr(b, cfg, &mut sub_rng, scope, table_g, depth + 1);
                         let nv = b.binary(
-                            [BinOp::Add, BinOp::Xor, BinOp::Sub][sub_rng.gen_range(0..3)],
+                            [BinOp::Add, BinOp::Xor, BinOp::Sub][sub_rng.gen_range(0..3usize)],
                             old,
                             e,
                         );
@@ -293,7 +295,7 @@ fn gen_expr(
     gen_expr_depth(b, cfg, rng, scope, table_g, depth, cfg.max_expr_depth)
 }
 
-#[allow(clippy::too_many_arguments)]
+#[allow(clippy::too_many_arguments, clippy::only_used_in_recursion)]
 fn gen_expr_depth(
     b: &mut FunctionBuilder,
     cfg: &GenConfig,
@@ -340,10 +342,7 @@ fn gen_expr_depth(
     let rhs = match op {
         // Bound shift amounts (semantics mask anyway; small shifts keep
         // values in interesting ranges).
-        BinOp::Shl | BinOp::AShr => {
-            
-            b.binary(BinOp::And, rhs, Value::i32(7))
-        }
+        BinOp::Shl | BinOp::AShr => b.binary(BinOp::And, rhs, Value::i32(7)),
         _ => rhs,
     };
     let v = b.binary(op, lhs, rhs);

@@ -25,7 +25,6 @@
 //! ```
 #![warn(missing_docs)]
 
-
 pub mod config;
 pub mod generate;
 

@@ -5,7 +5,7 @@ use crate::env::Environment;
 use crate::rollout::{self, Batch};
 use autophase_nn::{softmax, Activation, Mlp};
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 
 /// A2C hyperparameters.
 #[derive(Debug, Clone)]
@@ -113,6 +113,34 @@ impl A2cAgent {
         curve
     }
 
+    /// Like [`A2cAgent::train`], but each iteration collects
+    /// `episodes_per_iter` episodes across the worker environments in
+    /// `envs`. Episode-indexed collection makes the run bit-identical
+    /// for any worker count (see [`rollout::collect_episodes_parallel`]).
+    pub fn train_parallel(
+        &mut self,
+        envs: &mut [Box<dyn Environment + Send>],
+        episodes_per_iter: usize,
+        iterations: usize,
+    ) -> Vec<f64> {
+        let mut curve = Vec::with_capacity(iterations);
+        for i in 0..iterations {
+            let seed: u64 = self.rng.gen();
+            let batch = rollout::collect_episodes_parallel(
+                envs,
+                &self.policy,
+                &self.value,
+                episodes_per_iter,
+                (i * episodes_per_iter) as u64,
+                self.cfg.max_episode_len,
+                seed,
+            );
+            curve.push(batch.episode_reward_mean());
+            self.update(&batch);
+        }
+        curve
+    }
+
     /// Single on-policy gradient update (one pass over the batch, unlike
     /// PPO's multiple epochs — the sample-efficiency gap §2.2 describes).
     pub fn update(&mut self, batch: &Batch) {
@@ -171,5 +199,20 @@ mod tests {
             agent.train(&mut env, 4)
         };
         assert_eq!(mk(), mk());
+    }
+
+    #[test]
+    fn parallel_training_is_worker_count_invariant() {
+        let run = |workers: usize| {
+            let mut envs: Vec<Box<dyn Environment + Send>> = (0..workers)
+                .map(|_| Box::new(ChainEnv::new(vec![1, 2], 3)) as Box<dyn Environment + Send>)
+                .collect();
+            let mut agent = A2cAgent::new(3, 3, &A2cConfig::small(), 21);
+            let curve = agent.train_parallel(&mut envs, 16, 5);
+            (curve, agent.policy.parameters(), agent.value.parameters())
+        };
+        let one = run(1);
+        assert_eq!(one, run(2));
+        assert_eq!(one, run(3));
     }
 }

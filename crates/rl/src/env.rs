@@ -20,6 +20,17 @@ pub trait Environment {
     fn num_actions(&self) -> usize;
     /// Start a new episode; returns the initial observation.
     fn reset(&mut self) -> Vec<f64>;
+    /// Start the episode with global index `episode`.
+    ///
+    /// Parallel collection identifies episodes by index so any worker can
+    /// run any episode and always see the same environment state (e.g. a
+    /// multi-program environment picks `episode % programs` instead of
+    /// advancing a shared cursor). Environments without index-dependent
+    /// state keep this default, which ignores the index.
+    fn reset_to(&mut self, episode: u64) -> Vec<f64> {
+        let _ = episode;
+        self.reset()
+    }
     /// Apply an action.
     fn step(&mut self, action: usize) -> StepResult;
 }

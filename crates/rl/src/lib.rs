@@ -35,7 +35,6 @@
 //! ```
 #![warn(missing_docs)]
 
-
 pub mod a2c;
 pub mod env;
 pub mod es;

@@ -6,7 +6,7 @@ use crate::rollout::{self, Batch};
 use autophase_nn::{softmax, Activation, Mlp};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 
 /// PPO hyperparameters.
 #[derive(Debug, Clone)]
@@ -129,6 +129,40 @@ impl PpoAgent {
         curve
     }
 
+    /// Like [`PpoAgent::train`], but each iteration collects
+    /// `episodes_per_iter` episodes across the worker environments in
+    /// `envs` (one thread per environment).
+    ///
+    /// Collection is episode-indexed (see
+    /// [`rollout::collect_episodes_parallel`]): the batch — and therefore
+    /// the whole training run — is bit-identical for any worker count,
+    /// including one. Iteration `i` collects global episodes
+    /// `i·episodes_per_iter ..` so multi-program environments keep
+    /// rotating programs across iterations.
+    pub fn train_parallel(
+        &mut self,
+        envs: &mut [Box<dyn Environment + Send>],
+        episodes_per_iter: usize,
+        iterations: usize,
+    ) -> Vec<f64> {
+        let mut curve = Vec::with_capacity(iterations);
+        for i in 0..iterations {
+            let seed: u64 = self.rng.gen();
+            let batch = rollout::collect_episodes_parallel(
+                envs,
+                &self.policy,
+                &self.value,
+                episodes_per_iter,
+                (i * episodes_per_iter) as u64,
+                self.cfg.max_episode_len,
+                seed,
+            );
+            curve.push(batch.episode_reward_mean());
+            self.update(&batch);
+        }
+        curve
+    }
+
     /// One PPO optimization phase on a collected batch.
     pub fn update(&mut self, batch: &Batch) {
         let (mut adv, ret) = rollout::gae(batch, self.cfg.gamma, self.cfg.lam);
@@ -225,6 +259,34 @@ mod tests {
             agent.train(&mut env, 5)
         };
         assert_eq!(mk(), mk());
+    }
+
+    #[test]
+    fn parallel_training_is_worker_count_invariant() {
+        let run = |workers: usize| {
+            let mut envs: Vec<Box<dyn Environment + Send>> = (0..workers)
+                .map(|_| Box::new(ChainEnv::new(vec![2, 0], 3)) as Box<dyn Environment + Send>)
+                .collect();
+            let mut agent = PpoAgent::new(3, 3, &PpoConfig::small(), 11);
+            let curve = agent.train_parallel(&mut envs, 12, 6);
+            (curve, agent.policy.parameters(), agent.value.parameters())
+        };
+        let one = run(1);
+        assert_eq!(one, run(2));
+        assert_eq!(one, run(4));
+    }
+
+    #[test]
+    fn parallel_training_learns_chain() {
+        let mut envs: Vec<Box<dyn Environment + Send>> = (0..2)
+            .map(|_| Box::new(ChainEnv::new(vec![2, 0], 3)) as Box<dyn Environment + Send>)
+            .collect();
+        let mut agent = PpoAgent::new(3, 3, &PpoConfig::small(), 11);
+        let curve = agent.train_parallel(&mut envs, 48, 30);
+        let late: f64 = curve[curve.len() - 5..].iter().sum::<f64>() / 5.0;
+        assert!(late > 1.6, "should approach 2.0, got {late}");
+        assert_eq!(agent.act_greedy(&[1.0, 0.0, 0.0]), 2);
+        assert_eq!(agent.act_greedy(&[0.0, 1.0, 0.0]), 0);
     }
 
     #[test]

@@ -1,9 +1,21 @@
 //! Trajectory collection and generalized advantage estimation.
+//!
+//! Two collection schemes coexist:
+//!
+//! * [`collect`] — the original serial scheme: one environment, one RNG
+//!   stream, "at least `horizon` transitions".
+//! * [`collect_episodes`] / [`collect_episodes_parallel`] — the
+//!   episode-indexed scheme: exactly `n_episodes` episodes, where episode
+//!   `i` always starts from [`Environment::reset_to`]`(i)` and uses an RNG
+//!   stream derived from `(seed, i)`. Because nothing about an episode
+//!   depends on which worker runs it or in what order, the serial and
+//!   parallel collectors produce bit-identical batches for any worker
+//!   count — the property the determinism tests pin down.
 
 use crate::env::Environment;
 use autophase_nn::{softmax, Mlp};
 use rand::rngs::StdRng;
-use rand::Rng;
+use rand::{Rng, SeedableRng};
 
 /// One transition of a trajectory.
 #[derive(Debug, Clone)]
@@ -101,6 +113,133 @@ pub fn collect(
                 break;
             }
         }
+        batch.episode_returns.push(ep_return);
+    }
+    batch
+}
+
+/// Derive the RNG seed of episode `episode` from a batch seed. Distinct
+/// episodes get well-separated streams (SplitMix64 finalizer over the
+/// pair), and the derivation is what makes episodes relocatable across
+/// workers.
+pub fn episode_seed(seed: u64, episode: u64) -> u64 {
+    let mut z = seed ^ episode.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Run one indexed episode and return its transitions and total reward.
+fn run_episode(
+    env: &mut dyn Environment,
+    policy: &Mlp,
+    value: &Mlp,
+    episode: u64,
+    max_episode_len: usize,
+    seed: u64,
+) -> (Vec<Transition>, f64) {
+    let mut rng = StdRng::seed_from_u64(episode_seed(seed, episode));
+    let mut obs = env.reset_to(episode);
+    let mut transitions = Vec::new();
+    let mut ep_return = 0.0;
+    for t in 0..max_episode_len {
+        let logits = policy.forward(&obs);
+        let (action, logp) = sample_action(&logits, &mut rng);
+        let v = value.forward(&obs)[0];
+        let step = env.step(action);
+        ep_return += step.reward;
+        let done = step.done || t + 1 == max_episode_len;
+        transitions.push(Transition {
+            obs: obs.clone(),
+            action,
+            reward: step.reward,
+            logp,
+            value: v,
+            done,
+        });
+        obs = step.observation;
+        if done {
+            break;
+        }
+    }
+    (transitions, ep_return)
+}
+
+/// Collect episodes `base_episode .. base_episode + n_episodes` serially.
+///
+/// The reference implementation of the episode-indexed scheme: the
+/// parallel collector must (and is tested to) produce exactly this batch.
+pub fn collect_episodes(
+    env: &mut dyn Environment,
+    policy: &Mlp,
+    value: &Mlp,
+    n_episodes: usize,
+    base_episode: u64,
+    max_episode_len: usize,
+    seed: u64,
+) -> Batch {
+    let mut batch = Batch::default();
+    for e in 0..n_episodes as u64 {
+        let (transitions, ep_return) =
+            run_episode(env, policy, value, base_episode + e, max_episode_len, seed);
+        batch.transitions.extend(transitions);
+        batch.episode_returns.push(ep_return);
+    }
+    batch
+}
+
+/// Collect episodes `base_episode .. base_episode + n_episodes` on a pool
+/// of worker threads — one per environment in `envs`.
+///
+/// Worker `w` statically handles episodes `w, w+W, w+2W, …` (`W` =
+/// `envs.len()`), each seeded by [`episode_seed`] and started with
+/// [`Environment::reset_to`], and the results are merged in episode-index
+/// order — so the batch is bit-identical to [`collect_episodes`] for
+/// *any* worker count. Environments typically share one evaluation cache,
+/// which is where the wall-clock win comes from on small machines.
+pub fn collect_episodes_parallel(
+    envs: &mut [Box<dyn Environment + Send>],
+    policy: &Mlp,
+    value: &Mlp,
+    n_episodes: usize,
+    base_episode: u64,
+    max_episode_len: usize,
+    seed: u64,
+) -> Batch {
+    assert!(!envs.is_empty(), "need at least one worker environment");
+    let workers = envs.len();
+    let mut per_episode: Vec<Option<(Vec<Transition>, f64)>> = vec![None; n_episodes];
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(workers);
+        for (w, env) in envs.iter_mut().enumerate() {
+            handles.push(scope.spawn(move || {
+                let mut mine = Vec::new();
+                let mut e = w;
+                while e < n_episodes {
+                    let (transitions, ep_return) = run_episode(
+                        env.as_mut(),
+                        policy,
+                        value,
+                        base_episode + e as u64,
+                        max_episode_len,
+                        seed,
+                    );
+                    mine.push((e, transitions, ep_return));
+                    e += workers;
+                }
+                mine
+            }));
+        }
+        for h in handles {
+            for (e, transitions, ep_return) in h.join().expect("rollout worker panicked") {
+                per_episode[e] = Some((transitions, ep_return));
+            }
+        }
+    });
+    let mut batch = Batch::default();
+    for slot in per_episode {
+        let (transitions, ep_return) = slot.expect("episode not collected");
+        batch.transitions.extend(transitions);
         batch.episode_returns.push(ep_return);
     }
     batch
@@ -221,6 +360,37 @@ mod tests {
         assert!(mean.abs() < 1e-12);
         let var: f64 = a.iter().map(|x| x * x).sum::<f64>() / 4.0;
         assert!((var - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn serial_and_parallel_collection_agree() {
+        let policy = Mlp::new(&[3, 8, 2], Activation::Tanh, 1);
+        let value = Mlp::new(&[3, 8, 1], Activation::Tanh, 2);
+        let mut env = ChainEnv::new(vec![0, 1], 2);
+        let serial = collect_episodes(&mut env, &policy, &value, 9, 4, 50, 77);
+        for workers in [1usize, 2, 3, 5] {
+            let mut envs: Vec<Box<dyn Environment + Send>> = (0..workers)
+                .map(|_| Box::new(ChainEnv::new(vec![0, 1], 2)) as Box<dyn Environment + Send>)
+                .collect();
+            let parallel = collect_episodes_parallel(&mut envs, &policy, &value, 9, 4, 50, 77);
+            assert_eq!(serial.episode_returns, parallel.episode_returns);
+            assert_eq!(serial.transitions.len(), parallel.transitions.len());
+            for (s, p) in serial.transitions.iter().zip(&parallel.transitions) {
+                assert_eq!(s.action, p.action);
+                assert_eq!(s.obs, p.obs);
+                assert_eq!(s.reward, p.reward);
+                assert_eq!(s.logp, p.logp);
+                assert_eq!(s.value, p.value);
+                assert_eq!(s.done, p.done);
+            }
+        }
+    }
+
+    #[test]
+    fn episode_seeds_are_distinct_and_stable() {
+        assert_eq!(episode_seed(5, 0), episode_seed(5, 0));
+        assert_ne!(episode_seed(5, 0), episode_seed(5, 1));
+        assert_ne!(episode_seed(5, 0), episode_seed(6, 0));
     }
 
     #[test]

@@ -10,7 +10,14 @@ pub fn search(obj: &mut Objective<'_>, passes: &[usize], max_len: usize) -> Sear
     let mut best_sequence: Vec<usize> = Vec::new();
     let mut best_cost = obj.cost(&[]);
     let mut current = Vec::with_capacity(max_len);
-    enumerate(obj, passes, max_len, &mut current, &mut best_sequence, &mut best_cost);
+    enumerate(
+        obj,
+        passes,
+        max_len,
+        &mut current,
+        &mut best_sequence,
+        &mut best_cost,
+    );
     SearchResult {
         best_sequence,
         best_cost,
@@ -36,7 +43,14 @@ fn enumerate(
             *best_cost = c;
             *best_sequence = current.clone();
         }
-        enumerate(obj, passes, remaining - 1, current, best_sequence, best_cost);
+        enumerate(
+            obj,
+            passes,
+            remaining - 1,
+            current,
+            best_sequence,
+            best_cost,
+        );
         current.pop();
     }
 }

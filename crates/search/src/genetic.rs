@@ -55,7 +55,9 @@ pub fn search(
     let mut rng = StdRng::seed_from_u64(seed);
     let mut pop: Vec<(Vec<usize>, f64)> = (0..cfg.population)
         .map(|_| {
-            let g: Vec<usize> = (0..seq_len).map(|_| rng.gen_range(0..num_actions)).collect();
+            let g: Vec<usize> = (0..seq_len)
+                .map(|_| rng.gen_range(0..num_actions))
+                .collect();
             (g, f64::INFINITY)
         })
         .collect();
@@ -145,12 +147,7 @@ mod tests {
 
     /// Cost = Hamming distance to a target sequence.
     fn target_obj(target: Vec<usize>) -> impl FnMut(&[usize]) -> f64 {
-        move |seq: &[usize]| {
-            seq.iter()
-                .zip(&target)
-                .filter(|(a, b)| a != b)
-                .count() as f64
-        }
+        move |seq: &[usize]| seq.iter().zip(&target).filter(|(a, b)| a != b).count() as f64
     }
 
     #[test]

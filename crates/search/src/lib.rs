@@ -19,7 +19,6 @@
 //! they spent.
 #![warn(missing_docs)]
 
-
 pub mod exhaustive;
 pub mod genetic;
 pub mod greedy;
@@ -37,9 +36,12 @@ pub struct SearchResult {
     pub samples: u64,
 }
 
+/// A boxed sequence-cost function.
+type EvalFn<'a> = Box<dyn FnMut(&[usize]) -> f64 + 'a>;
+
 /// A counting wrapper around the objective, shared by all searchers.
 pub struct Objective<'a> {
-    eval: Box<dyn FnMut(&[usize]) -> f64 + 'a>,
+    eval: EvalFn<'a>,
     samples: u64,
 }
 

@@ -34,12 +34,14 @@ impl Default for TunerConfig {
     }
 }
 
+/// Per-particle PSO state: (position, velocity, best position, best cost).
+type Particle = (Vec<f64>, Vec<f64>, Vec<f64>, f64);
+
 /// One sub-technique of the ensemble.
 enum Technique {
     Pso {
         inertia: f64,
-        /// Per-particle: (position, velocity, best position, best cost).
-        particles: Vec<(Vec<f64>, Vec<f64>, Vec<f64>, f64)>,
+        particles: Vec<Particle>,
         crossover: Crossover,
         cursor: usize,
     },
@@ -61,7 +63,9 @@ pub fn search(
 ) -> SearchResult {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut best: (Vec<usize>, f64) = (
-        (0..seq_len).map(|_| rng.gen_range(0..num_actions)).collect(),
+        (0..seq_len)
+            .map(|_| rng.gen_range(0..num_actions))
+            .collect(),
         f64::INFINITY,
     );
     best.1 = obj.cost(&best.0);
@@ -89,8 +93,9 @@ pub fn search(
     for &cx in &xs {
         let population = (0..cfg.population)
             .map(|_| {
-                let g: Vec<usize> =
-                    (0..seq_len).map(|_| rng.gen_range(0..num_actions)).collect();
+                let g: Vec<usize> = (0..seq_len)
+                    .map(|_| rng.gen_range(0..num_actions))
+                    .collect();
                 (g, f64::INFINITY)
             })
             .collect();
@@ -127,12 +132,7 @@ pub fn search(
         );
         let c = obj.cost(&candidate);
         let improved = c < best.1;
-        record(
-            &mut techniques[pick],
-            &candidate,
-            c,
-            num_actions,
-        );
+        record(&mut techniques[pick], &candidate, c, num_actions);
         if improved {
             best = (candidate, c);
         }
@@ -230,7 +230,9 @@ fn propose(
 
 fn record(t: &mut Technique, candidate: &[usize], cost: f64, _num_actions: usize) {
     match t {
-        Technique::Pso { particles, cursor, .. } => {
+        Technique::Pso {
+            particles, cursor, ..
+        } => {
             let i = (*cursor + particles.len() - 1) % particles.len();
             let (_, _, pbest, pcost) = &mut particles[i];
             if cost < *pcost {
@@ -258,12 +260,7 @@ mod tests {
     use super::*;
 
     fn target_obj(target: Vec<usize>) -> impl FnMut(&[usize]) -> f64 {
-        move |seq: &[usize]| {
-            seq.iter()
-                .zip(&target)
-                .filter(|(a, b)| a != b)
-                .count() as f64
-        }
+        move |seq: &[usize]| seq.iter().zip(&target).filter(|(a, b)| a != b).count() as f64
     }
 
     #[test]

@@ -19,7 +19,9 @@ pub fn search(
     let mut best_sequence: Vec<usize> = Vec::new();
     let mut best_cost = f64::INFINITY;
     for _ in 0..budget {
-        let seq: Vec<usize> = (0..seq_len).map(|_| rng.gen_range(0..num_actions)).collect();
+        let seq: Vec<usize> = (0..seq_len)
+            .map(|_| rng.gen_range(0..num_actions))
+            .collect();
         let c = obj.cost(&seq);
         if c < best_cost {
             best_cost = c;

@@ -13,8 +13,7 @@ use autophase::search::{greedy, Objective as SearchObjective};
 
 fn main() {
     let name = std::env::args().nth(1).unwrap_or_else(|| "aes".to_string());
-    let program =
-        autophase::benchmarks::suite::by_name(&name).expect("known benchmark name");
+    let program = autophase::benchmarks::suite::by_name(&name).expect("known benchmark name");
     let hls = HlsConfig::default();
 
     let stats = |m: &autophase::ir::Module| {

@@ -9,9 +9,10 @@
 use autophase::hls::{profile::profile_module, rtl, HlsConfig};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let name = std::env::args().nth(1).unwrap_or_else(|| "matmul".to_string());
-    let module = autophase::benchmarks::suite::by_name(&name)
-        .ok_or("unknown benchmark name")?;
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "matmul".to_string());
+    let module = autophase::benchmarks::suite::by_name(&name).ok_or("unknown benchmark name")?;
     let hls = HlsConfig::default();
 
     let report = profile_module(&module, &hls)?;

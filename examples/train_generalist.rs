@@ -21,7 +21,10 @@ fn main() {
     let (agent, env_cfg) = train_generalist(&train, FeatureNorm::InstCount, true, 6, 7);
 
     println!("\none-shot inference on the nine benchmarks:");
-    println!("{:<12} {:>10} {:>10} {:>8}  sequence", "benchmark", "-O3", "agent", "vs -O3");
+    println!(
+        "{:<12} {:>10} {:>10} {:>8}  sequence",
+        "benchmark", "-O3", "agent", "vs -O3"
+    );
     let mut total = 0.0;
     let suite = autophase::benchmarks::suite();
     let n = suite.len();
@@ -44,5 +47,8 @@ fn main() {
             names.join(" ")
         );
     }
-    println!("\nmean improvement over -O3: {:+.1}%", total / n as f64 * 100.0);
+    println!(
+        "\nmean improvement over -O3: {:+.1}%",
+        total / n as f64 * 100.0
+    );
 }

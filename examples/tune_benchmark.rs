@@ -11,8 +11,11 @@ use autophase::hls::HlsConfig;
 
 fn main() {
     let name = std::env::args().nth(1).unwrap_or_else(|| "gsm".to_string());
-    let program = autophase::benchmarks::suite::by_name(&name)
-        .unwrap_or_else(|| panic!("unknown benchmark {name}; try adpcm/aes/blowfish/dhrystone/gsm/matmul/mpeg2/qsort/sha"));
+    let program = autophase::benchmarks::suite::by_name(&name).unwrap_or_else(|| {
+        panic!(
+            "unknown benchmark {name}; try adpcm/aes/blowfish/dhrystone/gsm/matmul/mpeg2/qsort/sha"
+        )
+    });
     let hls = HlsConfig::default();
     let budget = Budget::default();
 

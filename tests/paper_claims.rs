@@ -22,7 +22,13 @@ fn loop_rotate_helps_after_mem2reg() {
         if rotated < base {
             helped += 1;
         }
-        assert!(rotated <= base, "{}: rotate hurt ({} -> {})", b.name, base, rotated);
+        assert!(
+            rotated <= base,
+            "{}: rotate hurt ({} -> {})",
+            b.name,
+            base,
+            rotated
+        );
     }
     assert!(helped * 2 >= total, "rotate helped only {helped}/{total}");
 }

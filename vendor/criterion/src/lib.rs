@@ -1,0 +1,83 @@
+//! Offline micro-benchmark harness with criterion's surface API.
+//!
+//! Covers `Criterion::bench_function`, `Bencher::iter`, `black_box`, and
+//! the `criterion_group!` / `criterion_main!` macros. Timing is a simple
+//! warmup + fixed-round mean over `std::time::Instant` — adequate for the
+//! relative comparisons the workspace's benches make, with zero external
+//! dependencies.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Per-benchmark timing loop handle.
+pub struct Bencher {
+    /// Mean wall-clock time per iteration, filled by [`Bencher::iter`].
+    elapsed_per_iter: Duration,
+    iters_done: u64,
+}
+
+impl Bencher {
+    /// Time `f` over enough iterations to fill the measurement window.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warmup + calibration: find an iteration count that runs ≥ ~0.2 s.
+        let start = Instant::now();
+        black_box(f());
+        let once = start.elapsed().max(Duration::from_nanos(1));
+        let target = Duration::from_millis(200);
+        let iters = (target.as_nanos() / once.as_nanos()).clamp(1, 10_000) as u64;
+
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        let total = start.elapsed();
+        self.elapsed_per_iter = total / iters as u32;
+        self.iters_done = iters;
+    }
+}
+
+/// Benchmark registry/driver (subset of criterion's `Criterion`).
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Run one named benchmark and print its mean iteration time.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            elapsed_per_iter: Duration::ZERO,
+            iters_done: 0,
+        };
+        f(&mut b);
+        println!(
+            "bench {name:<50} {:>12.3} µs/iter ({} iters)",
+            b.elapsed_per_iter.as_secs_f64() * 1e6,
+            b.iters_done,
+        );
+        self
+    }
+}
+
+/// Group benchmark functions under one runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Emit `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,34 @@
+//! Offline marker-trait subset of the `serde` API.
+//!
+//! The workspace annotates data types with `#[derive(Serialize,
+//! Deserialize)]` so they stay wire-ready, but nothing in the repo
+//! actually serializes through a serde `Serializer` yet (there is no
+//! `serde_json` in the tree). Since the build environment cannot reach
+//! crates.io, this vendored stand-in keeps those annotations compiling:
+//! the traits are markers with blanket impls and the derives expand to
+//! nothing. Swapping back to real serde later is a one-line change in the
+//! workspace manifest.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+/// Marker stand-in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned {}
+impl<T: ?Sized> DeserializeOwned for T {}
+
+/// `serde::de` namespace stand-in.
+pub mod de {
+    pub use crate::{Deserialize, DeserializeOwned};
+}
+
+/// `serde::ser` namespace stand-in.
+pub mod ser {
+    pub use crate::Serialize;
+}

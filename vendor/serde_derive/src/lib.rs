@@ -1,0 +1,20 @@
+//! No-op `Serialize` / `Deserialize` derives.
+//!
+//! The vendored `serde` crate's traits have blanket impls, so the derive
+//! has nothing to generate — it only needs to exist (and to accept
+//! `#[serde(...)]` attributes) for `#[derive(Serialize, Deserialize)]`
+//! annotations across the workspace to compile offline.
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing; `serde::Serialize` has a blanket impl.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing; `serde::Deserialize` has a blanket impl.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
