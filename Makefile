@@ -3,9 +3,9 @@
 
 CARGO ?= cargo
 
-.PHONY: ci build test clippy fmt fmt-fix bench
+.PHONY: ci build test clippy fmt fmt-fix bench telemetry
 
-ci: build test clippy fmt
+ci: build test telemetry clippy fmt
 
 build:
 	$(CARGO) build --release
@@ -21,6 +21,16 @@ fmt:
 
 fmt-fix:
 	$(CARGO) fmt
+
+# The telemetry layer's own gates: instrument property/concurrency
+# tests, span-nesting across the worker pool, the observational-only
+# determinism suite, and the release-mode overhead guard (enabled
+# apply_sequence must stay within a generous bound of disabled).
+telemetry:
+	$(CARGO) test -q -p autophase-telemetry
+	$(CARGO) test -q -p autophase-rl --test telemetry_spans
+	$(CARGO) test -q --test telemetry_determinism
+	$(CARGO) test -q --release -p autophase-passes --test telemetry_overhead
 
 bench:
 	$(CARGO) run --release -p autophase-bench --bin rollout_bench

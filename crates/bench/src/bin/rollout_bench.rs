@@ -13,17 +13,24 @@
 //! binary asserts this every round), so the comparison is pure
 //! throughput: identical work, measured in environment steps per second.
 //!
+//! All statistics are recorded through the workspace telemetry layer and
+//! rendered by its summary sink (`--telemetry summary`, the default for
+//! this binary): per-pass timing, HLS profile costs, EvalCache hit rate,
+//! worker utilization, and the headline steps/s gauges all come out of
+//! one table, and a machine-readable copy lands in
+//! `results/rollout_bench_telemetry.jsonl`.
+//!
 //! Usage: `cargo run --release -p autophase-bench --bin rollout_bench
-//! [-- --scale small|medium|paper]`.
+//! [-- --scale small|medium|paper] [--telemetry summary|jsonl|prom|off]`.
 
-use autophase_bench::Scale;
+use autophase_bench::{telemetry_finish, telemetry_init, Scale, TelemetryMode};
 use autophase_core::env::{EnvConfig, FeatureNorm, ObservationKind, PhaseOrderEnv, RewardKind};
 use autophase_core::EvalCache;
 use autophase_rl::env::Environment;
 use autophase_rl::ppo::{PpoAgent, PpoConfig};
 use autophase_rl::rollout::{self, Batch};
+use autophase_telemetry as telemetry;
 use std::sync::Arc;
-use std::time::Instant;
 
 const EPISODE_LEN: usize = 12;
 const SEED: u64 = 8;
@@ -53,6 +60,8 @@ fn batches_equal(a: &Batch, b: &Batch) -> bool {
 }
 
 fn main() {
+    let tmode = TelemetryMode::from_args_or(TelemetryMode::Summary);
+    telemetry_init(tmode);
     let scale = Scale::from_args();
     let (warmup_iters, rounds, episodes_per_round) =
         scale.pick((16, 16, 24), (20, 16, 32), (40, 30, 96));
@@ -92,7 +101,7 @@ fn main() {
     // Before: the seed path — serial collection, no cache.
     let mut serial_env = PhaseOrderEnv::single(program.clone(), env_config());
     let mut serial_batches = Vec::with_capacity(rounds);
-    let t0 = Instant::now();
+    let t0 = telemetry::maybe_now();
     for r in 0..rounds {
         serial_batches.push(rollout::collect_episodes(
             &mut serial_env,
@@ -104,7 +113,7 @@ fn main() {
             rollout::episode_seed(0xBEEF, r as u64),
         ));
     }
-    let serial_secs = t0.elapsed().as_secs_f64();
+    let serial_secs = t0.map(|t| t.elapsed().as_secs_f64());
     let steps: usize = serial_batches.iter().map(|b| b.transitions.len()).sum();
 
     // After: the worker pool, every environment sharing one cache.
@@ -122,7 +131,7 @@ fn main() {
             )) as Box<dyn Environment + Send>
         })
         .collect();
-    let t1 = Instant::now();
+    let t1 = telemetry::maybe_now();
     for (r, reference) in serial_batches.iter().enumerate() {
         let batch = rollout::collect_episodes_parallel(
             &mut envs,
@@ -138,25 +147,23 @@ fn main() {
             "round {r}: parallel+cached batch diverged from the serial one"
         );
     }
-    let cached_secs = t1.elapsed().as_secs_f64();
+    let cached_secs = t1.map(|t| t.elapsed().as_secs_f64());
 
-    let stats = cache.stats();
-    let serial_sps = steps as f64 / serial_secs;
-    let cached_sps = steps as f64 / cached_secs;
+    // Publish the headline gauges; the summary sink renders everything
+    // (per-pass timing, HLS costs, cache hit rate, worker utilization,
+    // and these steps/s numbers) in one table.
+    telemetry::set_gauge("bench.env_steps", "", steps as f64);
+    telemetry::set_gauge("bench.workers", "", workers as f64);
+    if let (Some(s), Some(c)) = (serial_secs, cached_secs) {
+        let serial_sps = steps as f64 / s;
+        let cached_sps = steps as f64 / c;
+        telemetry::set_gauge("bench.serial_steps_per_sec", "", serial_sps);
+        telemetry::set_gauge("bench.cached_steps_per_sec", "", cached_sps);
+        telemetry::set_gauge("bench.speedup", "", cached_sps / serial_sps);
+    }
+    cache.publish_telemetry();
+
     println!("rollout throughput on gsm ({steps} env steps per path, {workers} workers)");
-    println!("  before (serial, uncached):   {serial_sps:>9.1} steps/s  ({serial_secs:.2}s)");
-    println!("  after  (parallel + cache):   {cached_sps:>9.1} steps/s  ({cached_secs:.2}s)");
-    println!(
-        "  speedup:                     {:>9.2}x",
-        serial_sps.recip() / cached_sps.recip()
-    );
-    println!(
-        "  cache: {} hits / {} misses ({:.1}% hit rate), {} entries, {} evictions",
-        stats.hits,
-        stats.misses,
-        100.0 * stats.hit_rate(),
-        stats.len,
-        stats.evictions
-    );
-    println!("  determinism: all {rounds} parallel batches bit-identical to serial ones");
+    println!("determinism: all {rounds} parallel batches bit-identical to serial ones");
+    telemetry_finish("rollout_bench", tmode);
 }

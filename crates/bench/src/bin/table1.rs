@@ -1,4 +1,9 @@
 //! Regenerates Table 1 (the 45 transform passes + -terminate).
+use autophase_bench::{telemetry_finish, telemetry_init, TelemetryMode};
+
 fn main() {
+    let tmode = TelemetryMode::from_args();
+    telemetry_init(tmode);
     print!("{}", autophase_core::report::table1());
+    telemetry_finish("table1", tmode);
 }

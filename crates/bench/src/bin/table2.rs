@@ -1,4 +1,9 @@
 //! Regenerates Table 2 (the 56 program features).
+use autophase_bench::{telemetry_finish, telemetry_init, TelemetryMode};
+
 fn main() {
+    let tmode = TelemetryMode::from_args();
+    telemetry_init(tmode);
     print!("{}", autophase_core::report::table2());
+    telemetry_finish("table2", tmode);
 }

@@ -1,4 +1,9 @@
 //! Regenerates Table 3 (deep-RL observation/action spaces).
+use autophase_bench::{telemetry_finish, telemetry_init, TelemetryMode};
+
 fn main() {
+    let tmode = TelemetryMode::from_args();
+    telemetry_init(tmode);
     print!("{}", autophase_core::report::table3());
+    telemetry_finish("table3", tmode);
 }

@@ -17,6 +17,16 @@
 //!
 //! Run with `--scale small|medium|paper` (default `small`); `paper`
 //! approaches the paper's sample counts and takes correspondingly long.
+//!
+//! Every binary also takes `--telemetry off|summary|jsonl|prom`
+//! (default `off`, except `rollout_bench` which defaults to `summary`).
+//! Any enabled mode records spans/counters/histograms across the whole
+//! stack and writes a machine-readable event log to
+//! `results/<bin>_telemetry.jsonl` at exit; `summary` additionally
+//! prints the human table, `prom` a Prometheus text dump to
+//! `results/<bin>_telemetry.prom`.
+
+use autophase_telemetry as telemetry;
 
 /// Experiment scale from the command line.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -52,6 +62,89 @@ impl Scale {
             Scale::Medium => medium,
             Scale::Paper => paper,
         }
+    }
+}
+
+/// How a benchmark binary reports telemetry, from `--telemetry <mode>`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TelemetryMode {
+    /// Telemetry disabled: the instrumented call sites pay one relaxed
+    /// atomic load each and record nothing.
+    Off,
+    /// Record and print the end-of-run human summary table.
+    Summary,
+    /// Record and write only the JSONL event log.
+    Jsonl,
+    /// Record and additionally write a Prometheus text dump.
+    Prom,
+}
+
+impl TelemetryMode {
+    /// Parse `--telemetry <mode>` from argv, with a per-binary default.
+    pub fn from_args_or(default: TelemetryMode) -> TelemetryMode {
+        let args: Vec<String> = std::env::args().collect();
+        for w in args.windows(2) {
+            if w[0] == "--telemetry" {
+                return match w[1].as_str() {
+                    "summary" => TelemetryMode::Summary,
+                    "jsonl" => TelemetryMode::Jsonl,
+                    "prom" => TelemetryMode::Prom,
+                    _ => TelemetryMode::Off,
+                };
+            }
+        }
+        default
+    }
+
+    /// Parse `--telemetry <mode>` from argv (defaults to `Off`).
+    pub fn from_args() -> TelemetryMode {
+        TelemetryMode::from_args_or(TelemetryMode::Off)
+    }
+
+    /// True unless the mode is [`TelemetryMode::Off`].
+    pub fn is_on(self) -> bool {
+        self != TelemetryMode::Off
+    }
+}
+
+/// Turn telemetry on (or leave it off) according to `mode`. Call at the
+/// top of a benchmark binary's `main`.
+pub fn telemetry_init(mode: TelemetryMode) {
+    if mode.is_on() {
+        telemetry::enable();
+    }
+}
+
+/// Flush telemetry at the end of a benchmark binary: always writes the
+/// machine-readable event log `results/<bin>_telemetry.jsonl` (so every
+/// binary that prints partial results also leaves structured data
+/// behind), plus the mode's extra output — the human summary table on
+/// stdout for [`TelemetryMode::Summary`], a Prometheus text dump at
+/// `results/<bin>_telemetry.prom` for [`TelemetryMode::Prom`]. A no-op
+/// for [`TelemetryMode::Off`].
+pub fn telemetry_finish(bin: &str, mode: TelemetryMode) {
+    if !mode.is_on() {
+        return;
+    }
+    if let Some(p) = telemetry::write_artifact(
+        "results",
+        &format!("{bin}_telemetry.jsonl"),
+        &telemetry::render_jsonl(),
+    ) {
+        eprintln!("telemetry: wrote {}", p.display());
+    }
+    match mode {
+        TelemetryMode::Summary => print!("{}", telemetry::render_summary()),
+        TelemetryMode::Prom => {
+            if let Some(p) = telemetry::write_artifact(
+                "results",
+                &format!("{bin}_telemetry.prom"),
+                &telemetry::render_prometheus(),
+            ) {
+                eprintln!("telemetry: wrote {}", p.display());
+            }
+        }
+        TelemetryMode::Jsonl | TelemetryMode::Off => {}
     }
 }
 

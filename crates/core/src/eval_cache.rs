@@ -30,16 +30,21 @@
 //! mixed key, so concurrent workers rarely contend. Each shard holds at
 //! most `capacity / shards` entries; inserting into a full shard evicts
 //! its least-recently-used entry (a monotone stamp updated on every hit).
-//! Hits, misses, and evictions are tracked with atomic counters.
+//! Hits, misses, and evictions are tracked with per-shard atomic counters
+//! — [`EvalCache::stats`] aggregates them, [`EvalCache::shard_stats`]
+//! exposes the per-shard breakdown (how evenly keys spread), and when
+//! telemetry is enabled every lookup also feeds the global
+//! `evalcache.lookups{hit|miss}` / `evalcache.evictions` counters.
 
 use autophase_features::FeatureVector;
 use autophase_hls::area::AreaReport;
 use autophase_hls::profile::HlsReport;
 use autophase_ir::printer::print_module;
 use autophase_ir::Module;
+use autophase_telemetry as telemetry;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// 64-bit FNV-1a over a byte string.
 fn fnv1a(bytes: &[u8]) -> u64 {
@@ -178,6 +183,46 @@ impl CacheStats {
 
 struct Shard {
     map: Mutex<HashMap<CacheKey, (u64, CacheEntry)>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl Shard {
+    fn new() -> Shard {
+        Shard {
+            map: Mutex::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            len: self.map.lock().expect("cache shard poisoned").len(),
+        }
+    }
+}
+
+/// Process-wide telemetry handles for cache traffic, cached so the lookup
+/// path never takes the registry lock.
+struct CacheInstruments {
+    hits: Arc<telemetry::Counter>,
+    misses: Arc<telemetry::Counter>,
+    evictions: Arc<telemetry::Counter>,
+}
+
+fn cache_instruments() -> &'static CacheInstruments {
+    static CELL: OnceLock<CacheInstruments> = OnceLock::new();
+    CELL.get_or_init(|| CacheInstruments {
+        hits: telemetry::counter("evalcache.lookups", "hit"),
+        misses: telemetry::counter("evalcache.lookups", "miss"),
+        evictions: telemetry::counter("evalcache.evictions", ""),
+    })
 }
 
 /// A shard of the transition memo: `(state key, pass id)` → did the pass
@@ -193,9 +238,6 @@ pub struct EvalCache {
     trans_shards: Vec<TransShard>,
     shard_mask: usize,
     per_shard_cap: usize,
-    hits: AtomicU64,
-    misses: AtomicU64,
-    evictions: AtomicU64,
     stamp: AtomicU64,
 }
 
@@ -224,11 +266,7 @@ impl EvalCache {
         let shards = shards.max(1).next_power_of_two();
         let per_shard_cap = (capacity / shards).max(1);
         EvalCache {
-            shards: (0..shards)
-                .map(|_| Shard {
-                    map: Mutex::new(HashMap::new()),
-                })
-                .collect(),
+            shards: (0..shards).map(|_| Shard::new()).collect(),
             trans_shards: (0..shards)
                 .map(|_| TransShard {
                     map: Mutex::new(HashMap::new()),
@@ -236,9 +274,6 @@ impl EvalCache {
                 .collect(),
             shard_mask: shards - 1,
             per_shard_cap,
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
-            evictions: AtomicU64::new(0),
             stamp: AtomicU64::new(0),
         }
     }
@@ -259,18 +294,26 @@ impl EvalCache {
 
     /// Look up a key, counting a hit or a miss.
     pub fn get(&self, key: &CacheKey) -> Option<CacheEntry> {
-        let mut map = self.shard(key).map.lock().expect("cache shard poisoned");
-        match map.get_mut(key) {
-            Some(slot) => {
+        let shard = self.shard(key);
+        let found = {
+            let mut map = shard.map.lock().expect("cache shard poisoned");
+            map.get_mut(key).map(|slot| {
                 slot.0 = self.stamp.fetch_add(1, Ordering::Relaxed);
-                self.hits.fetch_add(1, Ordering::Relaxed);
-                Some(slot.1.clone())
+                slot.1.clone()
+            })
+        };
+        if found.is_some() {
+            shard.hits.fetch_add(1, Ordering::Relaxed);
+            if telemetry::enabled() {
+                cache_instruments().hits.add(1);
             }
-            None => {
-                self.misses.fetch_add(1, Ordering::Relaxed);
-                None
+        } else {
+            shard.misses.fetch_add(1, Ordering::Relaxed);
+            if telemetry::enabled() {
+                cache_instruments().misses.add(1);
             }
         }
+        found
     }
 
     /// Look up a key *without* touching the hit/miss counters (the LRU
@@ -295,7 +338,10 @@ impl EvalCache {
         if map.len() >= self.per_shard_cap && !map.contains_key(&key) {
             if let Some(oldest) = map.iter().min_by_key(|(_, (s, _))| *s).map(|(k, _)| *k) {
                 map.remove(&oldest);
-                self.evictions.fetch_add(1, Ordering::Relaxed);
+                shard.evictions.fetch_add(1, Ordering::Relaxed);
+                if telemetry::enabled() {
+                    cache_instruments().evictions.add(1);
+                }
             }
         }
         map.insert(key, (stamp, entry));
@@ -373,27 +419,66 @@ impl EvalCache {
 
     /// Lookups that found an entry.
     pub fn hits(&self) -> u64 {
-        self.hits.load(Ordering::Relaxed)
+        self.shards
+            .iter()
+            .map(|s| s.hits.load(Ordering::Relaxed))
+            .sum()
     }
 
     /// Lookups that found nothing.
     pub fn misses(&self) -> u64 {
-        self.misses.load(Ordering::Relaxed)
+        self.shards
+            .iter()
+            .map(|s| s.misses.load(Ordering::Relaxed))
+            .sum()
     }
 
     /// Entries displaced by capacity pressure.
     pub fn evictions(&self) -> u64 {
-        self.evictions.load(Ordering::Relaxed)
+        self.shards
+            .iter()
+            .map(|s| s.evictions.load(Ordering::Relaxed))
+            .sum()
     }
 
-    /// Snapshot all counters.
+    /// Snapshot all counters, aggregated across shards.
     pub fn stats(&self) -> CacheStats {
-        CacheStats {
-            hits: self.hits(),
-            misses: self.misses(),
-            evictions: self.evictions(),
-            len: self.len(),
+        let mut total = CacheStats {
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+            len: 0,
+        };
+        for s in self.shard_stats() {
+            total.hits += s.hits;
+            total.misses += s.misses;
+            total.evictions += s.evictions;
+            total.len += s.len;
         }
+        total
+    }
+
+    /// Per-shard counter snapshots, in shard-index order. Shows how evenly
+    /// the key mix spreads load (a hot shard means lock contention).
+    pub fn shard_stats(&self) -> Vec<CacheStats> {
+        self.shards.iter().map(Shard::stats).collect()
+    }
+
+    /// Export the aggregate counters as telemetry gauges
+    /// (`evalcache.hits` / `misses` / `evictions` / `len` /
+    /// `hit_rate`). No-op when telemetry is disabled. Call at a run
+    /// boundary (end of a bench round, end of training) — the live
+    /// `evalcache.lookups{hit|miss}` counters cover the streaming view.
+    pub fn publish_telemetry(&self) {
+        if !telemetry::enabled() {
+            return;
+        }
+        let s = self.stats();
+        telemetry::set_gauge("evalcache.hits", "", s.hits as f64);
+        telemetry::set_gauge("evalcache.misses", "", s.misses as f64);
+        telemetry::set_gauge("evalcache.evictions", "", s.evictions as f64);
+        telemetry::set_gauge("evalcache.len", "", s.len as f64);
+        telemetry::set_gauge("evalcache.hit_rate", "", s.hit_rate());
     }
 
     /// Drop every entry and transition memo (counters are kept).
@@ -473,6 +558,41 @@ mod tests {
                 assert_eq!(e.cycles, i);
             }
         }
+    }
+
+    #[test]
+    fn hit_rate_is_zero_not_nan_with_no_lookups() {
+        let c = EvalCache::new(64);
+        let s = c.stats();
+        assert_eq!(s.hits + s.misses, 0);
+        assert_eq!(s.hit_rate(), 0.0);
+        assert!(!s.hit_rate().is_nan());
+    }
+
+    #[test]
+    fn shard_stats_sum_to_aggregate() {
+        let c = EvalCache::with_shards(64, 4);
+        for i in 0..40u64 {
+            let k = CacheKey {
+                program: i,
+                seq: i * 3,
+            };
+            c.get(&k); // miss
+            c.insert(k, entry(i));
+            c.get(&k); // hit
+        }
+        let per_shard = c.shard_stats();
+        assert_eq!(per_shard.len(), 4);
+        let agg = c.stats();
+        assert_eq!(per_shard.iter().map(|s| s.hits).sum::<u64>(), agg.hits);
+        assert_eq!(per_shard.iter().map(|s| s.misses).sum::<u64>(), agg.misses);
+        assert_eq!(
+            per_shard.iter().map(|s| s.evictions).sum::<u64>(),
+            agg.evictions
+        );
+        assert_eq!(per_shard.iter().map(|s| s.len).sum::<usize>(), agg.len);
+        assert_eq!(agg.hits, 40);
+        assert_eq!(agg.misses, 40);
     }
 
     #[test]

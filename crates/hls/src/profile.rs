@@ -11,6 +11,7 @@ use crate::schedule::schedule_function;
 use crate::{HlsConfig, HlsError};
 use autophase_ir::interp::{run_main, ExecTrace};
 use autophase_ir::Module;
+use autophase_telemetry as telemetry;
 use serde::{Deserialize, Serialize};
 
 /// The result of HLS compilation + profiling.
@@ -43,12 +44,19 @@ impl HlsReport {
 /// Returns [`HlsError::Exec`] when the program cannot be executed within
 /// the configured fuel (non-terminating or malformed designs).
 pub fn profile_module(m: &Module, cfg: &HlsConfig) -> Result<HlsReport, HlsError> {
+    let start = telemetry::maybe_now();
     let trace = run_main(m, cfg.profile_fuel)?;
+    telemetry::observe_since("hls.trace_ns", "", start);
     Ok(profile_with_trace(m, cfg, &trace))
 }
 
 /// Profile with an existing trace (lets callers share one interpreter run).
+///
+/// Telemetry: records schedule+accumulate wall time (`hls.schedule_ns`),
+/// a profile count (`hls.profiles`), and the resulting cycle count and
+/// FSM-state distributions (`hls.cycles`, `hls.fsm_states`).
 pub fn profile_with_trace(m: &Module, cfg: &HlsConfig, trace: &ExecTrace) -> HlsReport {
+    let start = telemetry::maybe_now();
     let mut cycles: u64 = 0;
     let mut total_states: u64 = 0;
     for fid in m.func_ids() {
@@ -67,6 +75,12 @@ pub fn profile_with_trace(m: &Module, cfg: &HlsConfig, trace: &ExecTrace) -> Hls
     // `main` itself is "called" once by the harness; do not charge it.
     if let Some(main) = m.main() {
         cycles = cycles.saturating_sub(trace.calls(main).min(1) * cfg.call_overhead as u64);
+    }
+    telemetry::observe_since("hls.schedule_ns", "", start);
+    if start.is_some() {
+        telemetry::incr("hls.profiles", "", 1);
+        telemetry::observe("hls.cycles", "", cycles);
+        telemetry::observe("hls.fsm_states", "", total_states);
     }
     HlsReport {
         cycles,

@@ -1,0 +1,69 @@
+//! Overhead guard: instrumented `apply_sequence` with telemetry enabled
+//! must stay within a generous constant factor of the disabled path.
+//!
+//! The disabled path pays one relaxed atomic load per `apply`; the
+//! enabled path adds two clock reads and a handful of relaxed RMWs per
+//! pass — small against the microseconds a real pass costs. The bound
+//! here is deliberately loose (3x plus an absolute slack) so the test
+//! never flakes on a noisy CI machine while still catching a regression
+//! that puts a lock or an allocation on the hot path.
+//!
+//! One `#[test]`: the telemetry enable flag is process-global, and the
+//! two timed phases must not interleave with other tests toggling it.
+
+use autophase_passes::registry::{apply_sequence, pass_count};
+use autophase_progen::{program_batch, GenConfig};
+use autophase_telemetry as telemetry;
+use std::time::{Duration, Instant};
+
+/// A sequence that exercises every registry entry twice, in a fixed
+/// interleaved order (the second visit hits the "nothing left to do"
+/// paths, the cheap regime where relative overhead is largest).
+fn workload_sequence() -> Vec<usize> {
+    let n = pass_count();
+    let mut seq: Vec<usize> = (0..n).collect();
+    seq.extend((0..n).rev());
+    seq
+}
+
+/// Minimum duration over `reps` runs of the workload (min, not mean:
+/// the minimum is the run least disturbed by scheduler noise).
+fn best_of(reps: usize, modules: &[autophase_ir::Module], seq: &[usize]) -> Duration {
+    let mut best = Duration::MAX;
+    for _ in 0..reps {
+        let mut clones: Vec<_> = modules.to_vec();
+        let t = Instant::now();
+        for m in &mut clones {
+            apply_sequence(m, seq);
+        }
+        best = best.min(t.elapsed());
+    }
+    best
+}
+
+#[test]
+fn enabled_overhead_stays_within_generous_bound() {
+    let modules = program_batch(&GenConfig::default(), 99, 4);
+    let seq = workload_sequence();
+    let reps = 5;
+
+    // Warm up both paths once (page in code, register instruments).
+    telemetry::disable();
+    best_of(1, &modules, &seq);
+    telemetry::enable();
+    best_of(1, &modules, &seq);
+
+    telemetry::disable();
+    let off = best_of(reps, &modules, &seq);
+    telemetry::enable();
+    let on = best_of(reps, &modules, &seq);
+    telemetry::disable();
+    telemetry::reset();
+
+    let bound = off * 3 + Duration::from_millis(20);
+    assert!(
+        on <= bound,
+        "telemetry-enabled apply_sequence too slow: enabled {on:?} vs disabled {off:?} \
+         (bound {bound:?}) — did something put a lock or allocation on the hot path?"
+    );
+}

@@ -2,8 +2,9 @@
 //! asynchrony — the update `∇θ log πθ(a|s) Â` is identical).
 
 use crate::env::Environment;
-use crate::rollout::{self, Batch};
+use crate::rollout::{self, record_steps_per_sec, Batch};
 use autophase_nn::{softmax, Activation, Mlp};
+use autophase_telemetry as telemetry;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -97,8 +98,11 @@ impl A2cAgent {
     /// Train for `iterations` batches, returning per-iteration episode
     /// reward means.
     pub fn train(&mut self, env: &mut dyn Environment, iterations: usize) -> Vec<f64> {
+        let train_start = telemetry::maybe_now();
+        let mut total_steps = 0u64;
         let mut curve = Vec::with_capacity(iterations);
         for _ in 0..iterations {
+            let t = telemetry::maybe_now();
             let batch = rollout::collect(
                 env,
                 &self.policy,
@@ -107,9 +111,17 @@ impl A2cAgent {
                 self.cfg.max_episode_len,
                 &mut self.rng,
             );
+            telemetry::observe_since("rl.collect_ns", "a2c", t);
+            total_steps += batch.transitions.len() as u64;
             curve.push(batch.episode_reward_mean());
+            telemetry::set_gauge("rl.episode_reward_mean", "a2c", batch.episode_reward_mean());
+            let t = telemetry::maybe_now();
             self.update(&batch);
+            telemetry::observe_since("rl.update_ns", "a2c", t);
+            telemetry::incr("rl.iterations", "a2c", 1);
+            telemetry::incr("rl.steps", "a2c", batch.transitions.len() as u64);
         }
+        record_steps_per_sec("a2c", total_steps, train_start);
         curve
     }
 
@@ -123,9 +135,12 @@ impl A2cAgent {
         episodes_per_iter: usize,
         iterations: usize,
     ) -> Vec<f64> {
+        let train_start = telemetry::maybe_now();
+        let mut total_steps = 0u64;
         let mut curve = Vec::with_capacity(iterations);
         for i in 0..iterations {
             let seed: u64 = self.rng.gen();
+            let t = telemetry::maybe_now();
             let batch = rollout::collect_episodes_parallel(
                 envs,
                 &self.policy,
@@ -135,9 +150,17 @@ impl A2cAgent {
                 self.cfg.max_episode_len,
                 seed,
             );
+            telemetry::observe_since("rl.collect_ns", "a2c", t);
+            total_steps += batch.transitions.len() as u64;
             curve.push(batch.episode_reward_mean());
+            telemetry::set_gauge("rl.episode_reward_mean", "a2c", batch.episode_reward_mean());
+            let t = telemetry::maybe_now();
             self.update(&batch);
+            telemetry::observe_since("rl.update_ns", "a2c", t);
+            telemetry::incr("rl.iterations", "a2c", 1);
+            telemetry::incr("rl.steps", "a2c", batch.transitions.len() as u64);
         }
+        record_steps_per_sec("a2c", total_steps, train_start);
         curve
     }
 

@@ -5,6 +5,7 @@
 use crate::env::Environment;
 use crate::rollout::argmax;
 use autophase_nn::{Activation, Mlp};
+use autophase_telemetry as telemetry;
 use rand::rngs::StdRng;
 use rand::Rng;
 use rand::SeedableRng;
@@ -154,6 +155,7 @@ impl EsAgent {
         let eval_eps = self.cfg.eval_episodes as u64;
         let mut curve = Vec::with_capacity(iterations);
         for iter in 0..iterations {
+            let gen_start = telemetry::maybe_now();
             let theta = self.policy.parameters();
             // Serial draws, identical order to `train`: all perturbations
             // and per-pair evaluation seeds come out of self.rng before
@@ -246,7 +248,12 @@ impl EsAgent {
                 .map(|(t, g)| t + scale * g)
                 .collect();
             self.policy.set_parameters(&new_theta);
-            curve.push(fitness_sum / (2.0 * pop as f64));
+            let mean_fitness = fitness_sum / (2.0 * pop as f64);
+            curve.push(mean_fitness);
+            telemetry::observe_since("rl.generation_ns", "es", gen_start);
+            telemetry::incr("rl.iterations", "es", 1);
+            telemetry::incr("rl.fitness_evals", "es", 2 * pop as u64);
+            telemetry::set_gauge("rl.episode_reward_mean", "es", mean_fitness);
         }
         curve
     }
@@ -258,6 +265,7 @@ impl EsAgent {
         let mut probe = self.policy.clone();
         let mut curve = Vec::with_capacity(iterations);
         for _ in 0..iterations {
+            let gen_start = telemetry::maybe_now();
             let theta = self.policy.parameters();
             let mut grad = vec![0.0; dim];
             let mut fitness_sum = 0.0;
@@ -297,7 +305,12 @@ impl EsAgent {
                 .map(|(t, g)| t + scale * g)
                 .collect();
             self.policy.set_parameters(&new_theta);
-            curve.push(fitness_sum / (2.0 * self.cfg.population as f64));
+            let mean_fitness = fitness_sum / (2.0 * self.cfg.population as f64);
+            curve.push(mean_fitness);
+            telemetry::observe_since("rl.generation_ns", "es", gen_start);
+            telemetry::incr("rl.iterations", "es", 1);
+            telemetry::incr("rl.fitness_evals", "es", 2 * self.cfg.population as u64);
+            telemetry::set_gauge("rl.episode_reward_mean", "es", mean_fitness);
         }
         curve
     }

@@ -2,8 +2,9 @@
 //! surrogate objective of the paper's Equation 4.
 
 use crate::env::Environment;
-use crate::rollout::{self, Batch};
+use crate::rollout::{self, record_steps_per_sec, Batch};
 use autophase_nn::{softmax, Activation, Mlp};
+use autophase_telemetry as telemetry;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
@@ -113,8 +114,11 @@ impl PpoAgent {
     /// Run `iterations` of collect-then-optimize. Returns the episode
     /// reward mean of each iteration's batch (the curve of Figure 8).
     pub fn train(&mut self, env: &mut dyn Environment, iterations: usize) -> Vec<f64> {
+        let train_start = telemetry::maybe_now();
+        let mut total_steps = 0u64;
         let mut curve = Vec::with_capacity(iterations);
         for _ in 0..iterations {
+            let t = telemetry::maybe_now();
             let batch = rollout::collect(
                 env,
                 &self.policy,
@@ -123,9 +127,17 @@ impl PpoAgent {
                 self.cfg.max_episode_len,
                 &mut self.rng,
             );
+            telemetry::observe_since("rl.collect_ns", "ppo", t);
+            total_steps += batch.transitions.len() as u64;
             curve.push(batch.episode_reward_mean());
+            telemetry::set_gauge("rl.episode_reward_mean", "ppo", batch.episode_reward_mean());
+            let t = telemetry::maybe_now();
             self.update(&batch);
+            telemetry::observe_since("rl.update_ns", "ppo", t);
+            telemetry::incr("rl.iterations", "ppo", 1);
+            telemetry::incr("rl.steps", "ppo", batch.transitions.len() as u64);
         }
+        record_steps_per_sec("ppo", total_steps, train_start);
         curve
     }
 
@@ -145,9 +157,12 @@ impl PpoAgent {
         episodes_per_iter: usize,
         iterations: usize,
     ) -> Vec<f64> {
+        let train_start = telemetry::maybe_now();
+        let mut total_steps = 0u64;
         let mut curve = Vec::with_capacity(iterations);
         for i in 0..iterations {
             let seed: u64 = self.rng.gen();
+            let t = telemetry::maybe_now();
             let batch = rollout::collect_episodes_parallel(
                 envs,
                 &self.policy,
@@ -157,9 +172,17 @@ impl PpoAgent {
                 self.cfg.max_episode_len,
                 seed,
             );
+            telemetry::observe_since("rl.collect_ns", "ppo", t);
+            total_steps += batch.transitions.len() as u64;
             curve.push(batch.episode_reward_mean());
+            telemetry::set_gauge("rl.episode_reward_mean", "ppo", batch.episode_reward_mean());
+            let t = telemetry::maybe_now();
             self.update(&batch);
+            telemetry::observe_since("rl.update_ns", "ppo", t);
+            telemetry::incr("rl.iterations", "ppo", 1);
+            telemetry::incr("rl.steps", "ppo", batch.transitions.len() as u64);
         }
+        record_steps_per_sec("ppo", total_steps, train_start);
         curve
     }
 

@@ -14,6 +14,7 @@
 
 use crate::env::Environment;
 use autophase_nn::{softmax, Mlp};
+use autophase_telemetry as telemetry;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -89,6 +90,7 @@ pub fn collect(
     max_episode_len: usize,
     rng: &mut StdRng,
 ) -> Batch {
+    let _span = telemetry::span("rollout.batch");
     let mut batch = Batch::default();
     while batch.transitions.len() < horizon {
         let mut obs = env.reset();
@@ -115,6 +117,8 @@ pub fn collect(
         }
         batch.episode_returns.push(ep_return);
     }
+    telemetry::incr("rollout.steps", "", batch.transitions.len() as u64);
+    telemetry::incr("rollout.episodes", "", batch.episode_returns.len() as u64);
     batch
 }
 
@@ -138,6 +142,7 @@ fn run_episode(
     max_episode_len: usize,
     seed: u64,
 ) -> (Vec<Transition>, f64) {
+    let _span = telemetry::span("rollout.episode");
     let mut rng = StdRng::seed_from_u64(episode_seed(seed, episode));
     let mut obs = env.reset_to(episode);
     let mut transitions = Vec::new();
@@ -162,6 +167,8 @@ fn run_episode(
             break;
         }
     }
+    telemetry::incr("rollout.steps", "", transitions.len() as u64);
+    telemetry::incr("rollout.episodes", "", 1);
     (transitions, ep_return)
 }
 
@@ -178,6 +185,7 @@ pub fn collect_episodes(
     max_episode_len: usize,
     seed: u64,
 ) -> Batch {
+    let _span = telemetry::span("rollout.batch");
     let mut batch = Batch::default();
     for e in 0..n_episodes as u64 {
         let (transitions, ep_return) =
@@ -197,6 +205,13 @@ pub fn collect_episodes(
 /// order — so the batch is bit-identical to [`collect_episodes`] for
 /// *any* worker count. Environments typically share one evaluation cache,
 /// which is where the wall-clock win comes from on small machines.
+///
+/// Telemetry (observational only — timings are recorded, never consulted):
+/// the parent thread opens a `rollout.batch` span and each worker a
+/// `rollout.worker` span, so episode spans nest as
+/// `rollout.worker/rollout.episode` on worker threads. Per-worker busy
+/// time lands in `rollout.worker_busy_ns{w<i>}` counters and utilization
+/// (busy / batch wall) in `rollout.worker_util{w<i>}` gauges.
 pub fn collect_episodes_parallel(
     envs: &mut [Box<dyn Environment + Send>],
     policy: &Mlp,
@@ -207,12 +222,17 @@ pub fn collect_episodes_parallel(
     seed: u64,
 ) -> Batch {
     assert!(!envs.is_empty(), "need at least one worker environment");
+    let _span = telemetry::span("rollout.batch");
+    let batch_start = telemetry::maybe_now();
     let workers = envs.len();
     let mut per_episode: Vec<Option<(Vec<Transition>, f64)>> = vec![None; n_episodes];
+    let mut busy_ns: Vec<u64> = vec![0; workers];
     std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(workers);
         for (w, env) in envs.iter_mut().enumerate() {
             handles.push(scope.spawn(move || {
+                let _wspan = telemetry::span("rollout.worker");
+                let wstart = telemetry::maybe_now();
                 let mut mine = Vec::new();
                 let mut e = w;
                 while e < n_episodes {
@@ -227,15 +247,32 @@ pub fn collect_episodes_parallel(
                     mine.push((e, transitions, ep_return));
                     e += workers;
                 }
-                mine
+                let busy = wstart.map_or(0, |t| t.elapsed().as_nanos() as u64);
+                (mine, busy)
             }));
         }
-        for h in handles {
-            for (e, transitions, ep_return) in h.join().expect("rollout worker panicked") {
+        for (w, h) in handles.into_iter().enumerate() {
+            let (mine, busy) = h.join().expect("rollout worker panicked");
+            busy_ns[w] = busy;
+            for (e, transitions, ep_return) in mine {
                 per_episode[e] = Some((transitions, ep_return));
             }
         }
     });
+    if let Some(t) = batch_start {
+        let wall = t.elapsed().as_nanos() as u64;
+        telemetry::observe("rollout.batch_ns", "", wall);
+        for (w, &busy) in busy_ns.iter().enumerate() {
+            let label = format!("w{w}");
+            telemetry::counter("rollout.worker_busy_ns", &label).add(busy);
+            let util = if wall > 0 {
+                busy as f64 / wall as f64
+            } else {
+                0.0
+            };
+            telemetry::gauge("rollout.worker_util", &label).set(util);
+        }
+    }
     let mut batch = Batch::default();
     for slot in per_episode {
         let (transitions, ep_return) = slot.expect("episode not collected");
@@ -243,6 +280,19 @@ pub fn collect_episodes_parallel(
         batch.episode_returns.push(ep_return);
     }
     batch
+}
+
+/// Record a `rl.steps_per_sec{<algo>}` gauge from a training run's total
+/// environment-step count and its start time (from
+/// [`telemetry::maybe_now`]). No-op when `start` is `None` (telemetry was
+/// disabled when the run began) — purely observational either way.
+pub fn record_steps_per_sec(algo: &str, total_steps: u64, start: Option<std::time::Instant>) {
+    if let Some(t) = start {
+        let secs = t.elapsed().as_secs_f64();
+        if secs > 0.0 && telemetry::enabled() {
+            telemetry::gauge("rl.steps_per_sec", algo).set(total_steps as f64 / secs);
+        }
+    }
 }
 
 /// Compute GAE(λ) advantages and discounted returns for a batch.

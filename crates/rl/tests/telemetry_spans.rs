@@ -1,0 +1,143 @@
+//! Span nesting across the rollout worker pool.
+//!
+//! The rollout engine opens a `rollout.batch` span on the collecting
+//! thread, a `rollout.worker` span on every worker thread, and a
+//! `rollout.episode` span per episode. This test pins down the nesting
+//! contract: paths reflect each thread's own stack (episodes run by
+//! workers nest under `rollout.worker`, serial episodes under
+//! `rollout.batch`), depths are consistent, and every child interval lies
+//! within its parent's interval on the same thread.
+//!
+//! One `#[test]` on purpose: the span log and enable flag are global to
+//! the process, and this file being its own integration-test binary is
+//! what isolates it from the rest of the suite.
+
+use autophase_rl::env::{ChainEnv, Environment};
+use autophase_rl::rollout;
+use autophase_telemetry as telemetry;
+use autophase_telemetry::SpanEvent;
+
+fn make_envs(n: usize) -> Vec<Box<dyn Environment + Send>> {
+    (0..n)
+        .map(|_| Box::new(ChainEnv::new(vec![0, 1], 2)) as Box<dyn Environment + Send>)
+        .collect()
+}
+
+fn policy_pair() -> (autophase_nn::Mlp, autophase_nn::Mlp) {
+    (
+        autophase_nn::Mlp::new(&[3, 8, 2], autophase_nn::Activation::Tanh, 1),
+        autophase_nn::Mlp::new(&[3, 8, 1], autophase_nn::Activation::Tanh, 2),
+    )
+}
+
+fn assert_contained(child: &SpanEvent, parent: &SpanEvent) {
+    assert_eq!(
+        child.thread, parent.thread,
+        "nesting is per-thread: {child:?} vs {parent:?}"
+    );
+    assert!(
+        child.start_ns >= parent.start_ns
+            && child.start_ns + child.dur_ns <= parent.start_ns + parent.dur_ns,
+        "child interval must lie within the parent's: {child:?} vs {parent:?}"
+    );
+}
+
+#[test]
+fn spans_nest_across_the_worker_pool() {
+    let (policy, value) = policy_pair();
+    let n_episodes = 9;
+    let workers = 3;
+
+    // Disabled: the engine must record nothing at all.
+    telemetry::disable();
+    telemetry::reset();
+    rollout::collect_episodes_parallel(
+        &mut make_envs(workers),
+        &policy,
+        &value,
+        n_episodes,
+        0,
+        50,
+        7,
+    );
+    assert!(
+        telemetry::span_events().is_empty(),
+        "disabled telemetry must record no span events"
+    );
+
+    // Parallel collection: episodes nest under their worker's span.
+    telemetry::enable();
+    telemetry::reset();
+    rollout::collect_episodes_parallel(
+        &mut make_envs(workers),
+        &policy,
+        &value,
+        n_episodes,
+        0,
+        50,
+        7,
+    );
+    let events = telemetry::span_events();
+
+    let batches: Vec<&SpanEvent> = events
+        .iter()
+        .filter(|e| e.path == "rollout.batch")
+        .collect();
+    assert_eq!(batches.len(), 1, "one batch span: {events:#?}");
+    assert_eq!(batches[0].depth, 1);
+
+    let worker_spans: Vec<&SpanEvent> = events
+        .iter()
+        .filter(|e| e.path == "rollout.worker")
+        .collect();
+    assert_eq!(worker_spans.len(), workers, "one span per worker");
+    for w in &worker_spans {
+        assert_eq!(w.depth, 1, "worker threads start a fresh stack");
+        assert_ne!(
+            w.thread, batches[0].thread,
+            "workers run off the collecting thread"
+        );
+    }
+
+    let episodes: Vec<&SpanEvent> = events
+        .iter()
+        .filter(|e| e.path == "rollout.worker/rollout.episode")
+        .collect();
+    assert_eq!(episodes.len(), n_episodes, "one span per episode");
+    for ep in &episodes {
+        assert_eq!(ep.name, "rollout.episode");
+        assert_eq!(ep.depth, 2, "episodes nest under the worker span");
+        let parent = worker_spans
+            .iter()
+            .find(|w| w.thread == ep.thread)
+            .unwrap_or_else(|| panic!("episode on a thread with no worker span: {ep:?}"));
+        assert_contained(ep, parent);
+    }
+    // 3 workers × 3 episodes each (static assignment of 9 episodes).
+    for w in &worker_spans {
+        let count = episodes.iter().filter(|e| e.thread == w.thread).count();
+        assert_eq!(count, 3, "episodes spread evenly over the static schedule");
+    }
+
+    // Serial collection: episodes nest under the batch span instead.
+    telemetry::reset();
+    let mut env = ChainEnv::new(vec![0, 1], 2);
+    rollout::collect_episodes(&mut env, &policy, &value, n_episodes, 0, 50, 7);
+    let events = telemetry::span_events();
+    let batch = events
+        .iter()
+        .find(|e| e.path == "rollout.batch")
+        .expect("serial batch span");
+    let episodes: Vec<&SpanEvent> = events
+        .iter()
+        .filter(|e| e.path == "rollout.batch/rollout.episode")
+        .collect();
+    assert_eq!(episodes.len(), n_episodes);
+    for ep in &episodes {
+        assert_eq!(ep.depth, 2);
+        assert_contained(ep, batch);
+    }
+
+    telemetry::disable();
+    telemetry::reset();
+}

@@ -1,0 +1,486 @@
+//! The instrument registry: counters, gauges, and fixed-bucket histograms.
+//!
+//! Instruments are keyed by a `'static` name plus a dynamic label and are
+//! registered on first use. Handles are `Arc`s: fetch once, record with
+//! relaxed atomics forever after. [`Registry::reset`] zeroes values in
+//! place, so cached handles survive resets.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock, RwLock};
+
+/// A monotonically increasing event count.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Add `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn value(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    fn reset(&self) {
+        self.value.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A last-value-wins measurement (stored as `f64` bits).
+#[derive(Debug)]
+pub struct Gauge {
+    bits: AtomicU64,
+}
+
+impl Default for Gauge {
+    fn default() -> Gauge {
+        Gauge {
+            bits: AtomicU64::new(0f64.to_bits()),
+        }
+    }
+}
+
+impl Gauge {
+    /// Set the gauge.
+    #[inline]
+    pub fn set(&self, value: f64) {
+        self.bits.store(value.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn value(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+
+    fn reset(&self) {
+        self.set(0.0);
+    }
+}
+
+/// Upper bounds of the default histogram buckets: a 1–2–5 ladder from 1
+/// to 10^10, wide enough for nanosecond timings (1 ns – 10 s), cycle
+/// counts, and FSM-state counts alike. Values above the last bound land
+/// in an overflow bucket whose effective bound is the observed maximum.
+pub const DEFAULT_BOUNDS: [u64; 31] = [
+    1,
+    2,
+    5,
+    10,
+    20,
+    50,
+    100,
+    200,
+    500,
+    1_000,
+    2_000,
+    5_000,
+    10_000,
+    20_000,
+    50_000,
+    100_000,
+    200_000,
+    500_000,
+    1_000_000,
+    2_000_000,
+    5_000_000,
+    10_000_000,
+    20_000_000,
+    50_000_000,
+    100_000_000,
+    200_000_000,
+    500_000_000,
+    1_000_000_000,
+    2_000_000_000,
+    5_000_000_000,
+    10_000_000_000,
+];
+
+/// A fixed-bucket histogram over `u64` values.
+///
+/// Recording is a bucket lookup (binary search over 31 static bounds)
+/// plus five relaxed atomic RMWs — no locks, no allocation. Quantiles are
+/// answered from the bucket counts: `quantile(q)` returns the smallest
+/// bucket upper bound `b` such that at least `ceil(q · count)` recorded
+/// values are ≤ `b` (for the overflow bucket, the observed maximum).
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: Vec<AtomicU64>, // one per bound + overflow
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram {
+            buckets: (0..=DEFAULT_BOUNDS.len())
+                .map(|_| AtomicU64::new(0))
+                .collect(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Index of the bucket a value falls into (the first bound ≥ value, or
+/// the overflow bucket).
+pub fn bucket_index(value: u64) -> usize {
+    DEFAULT_BOUNDS.partition_point(|&b| b < value)
+}
+
+impl Histogram {
+    /// Record one value.
+    #[inline]
+    pub fn record(&self, value: u64) {
+        self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.min.fetch_min(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of recorded values.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Smallest recorded value (0 when empty).
+    pub fn min(&self) -> u64 {
+        let m = self.min.load(Ordering::Relaxed);
+        if m == u64::MAX {
+            0
+        } else {
+            m
+        }
+    }
+
+    /// Largest recorded value (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max.load(Ordering::Relaxed)
+    }
+
+    /// Mean of recorded values (0 when empty).
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum() as f64 / n as f64
+        }
+    }
+
+    /// Upper bound covering quantile `q ∈ [0, 1]`: the smallest bucket
+    /// bound `b` with `#(values ≤ b) ≥ ceil(q · count)`. Returns 0 on an
+    /// empty histogram; the overflow bucket answers with the recorded
+    /// maximum, so the result is always a value that was actually
+    /// reachable.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let target = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut cum = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            cum += b.load(Ordering::Relaxed);
+            if cum >= target {
+                return if i < DEFAULT_BOUNDS.len() {
+                    DEFAULT_BOUNDS[i].min(self.max())
+                } else {
+                    self.max()
+                };
+            }
+        }
+        self.max()
+    }
+
+    /// Per-bucket counts aligned with [`DEFAULT_BOUNDS`] plus the
+    /// overflow bucket as the last element.
+    pub fn bucket_counts(&self) -> Vec<u64> {
+        self.buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+        self.min.store(u64::MAX, Ordering::Relaxed);
+        self.max.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Point-in-time value of one counter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CounterSnapshot {
+    /// Instrument name.
+    pub name: &'static str,
+    /// Instrument label.
+    pub label: String,
+    /// Value at snapshot time.
+    pub value: u64,
+}
+
+/// Point-in-time value of one gauge.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GaugeSnapshot {
+    /// Instrument name.
+    pub name: &'static str,
+    /// Instrument label.
+    pub label: String,
+    /// Value at snapshot time.
+    pub value: f64,
+}
+
+/// Point-in-time state of one histogram.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Instrument name.
+    pub name: &'static str,
+    /// Instrument label.
+    pub label: String,
+    /// Number of recorded values.
+    pub count: u64,
+    /// Sum of recorded values.
+    pub sum: u64,
+    /// Smallest recorded value (0 when empty).
+    pub min: u64,
+    /// Largest recorded value.
+    pub max: u64,
+    /// Median upper bound (see [`Histogram::quantile`]).
+    pub p50: u64,
+    /// 90th-percentile upper bound.
+    pub p90: u64,
+    /// 99th-percentile upper bound.
+    pub p99: u64,
+    /// Non-cumulative `(bucket upper bound, count)` pairs for non-empty
+    /// buckets; the overflow bucket reports bound `u64::MAX`.
+    pub buckets: Vec<(u64, u64)>,
+}
+
+/// Everything the registry holds, sorted by `(name, label)`.
+#[derive(Debug, Clone, Default)]
+pub struct Snapshot {
+    /// All counters.
+    pub counters: Vec<CounterSnapshot>,
+    /// All gauges.
+    pub gauges: Vec<GaugeSnapshot>,
+    /// All histograms.
+    pub histograms: Vec<HistogramSnapshot>,
+}
+
+type Shelf<T> = RwLock<HashMap<&'static str, HashMap<String, Arc<T>>>>;
+
+/// The thread-safe instrument registry.
+#[derive(Debug, Default)]
+pub struct Registry {
+    counters: Shelf<Counter>,
+    gauges: Shelf<Gauge>,
+    histograms: Shelf<Histogram>,
+}
+
+fn fetch<T: Default>(shelf: &Shelf<T>, name: &'static str, label: &str) -> Arc<T> {
+    if let Some(found) = shelf
+        .read()
+        .expect("telemetry registry poisoned")
+        .get(name)
+        .and_then(|m| m.get(label))
+    {
+        return Arc::clone(found);
+    }
+    let mut map = shelf.write().expect("telemetry registry poisoned");
+    Arc::clone(
+        map.entry(name)
+            .or_default()
+            .entry(label.to_string())
+            .or_default(),
+    )
+}
+
+impl Registry {
+    /// Fetch (registering on first use) a counter.
+    pub fn counter(&self, name: &'static str, label: &str) -> Arc<Counter> {
+        fetch(&self.counters, name, label)
+    }
+
+    /// Fetch (registering on first use) a gauge.
+    pub fn gauge(&self, name: &'static str, label: &str) -> Arc<Gauge> {
+        fetch(&self.gauges, name, label)
+    }
+
+    /// Fetch (registering on first use) a histogram.
+    pub fn histogram(&self, name: &'static str, label: &str) -> Arc<Histogram> {
+        fetch(&self.histograms, name, label)
+    }
+
+    /// Zero every instrument in place. Cached handles stay valid.
+    pub fn reset(&self) {
+        for m in self.counters.read().expect("poisoned").values() {
+            m.values().for_each(|c| c.reset());
+        }
+        for m in self.gauges.read().expect("poisoned").values() {
+            m.values().for_each(|g| g.reset());
+        }
+        for m in self.histograms.read().expect("poisoned").values() {
+            m.values().for_each(|h| h.reset());
+        }
+    }
+
+    /// Snapshot every instrument, sorted by `(name, label)`.
+    pub fn snapshot(&self) -> Snapshot {
+        let mut snap = Snapshot::default();
+        for (&name, m) in self.counters.read().expect("poisoned").iter() {
+            for (label, c) in m {
+                snap.counters.push(CounterSnapshot {
+                    name,
+                    label: label.clone(),
+                    value: c.value(),
+                });
+            }
+        }
+        for (&name, m) in self.gauges.read().expect("poisoned").iter() {
+            for (label, g) in m {
+                snap.gauges.push(GaugeSnapshot {
+                    name,
+                    label: label.clone(),
+                    value: g.value(),
+                });
+            }
+        }
+        for (&name, m) in self.histograms.read().expect("poisoned").iter() {
+            for (label, h) in m {
+                let counts = h.bucket_counts();
+                let buckets = counts
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, &c)| c > 0)
+                    .map(|(i, &c)| (DEFAULT_BOUNDS.get(i).copied().unwrap_or(u64::MAX), c))
+                    .collect();
+                snap.histograms.push(HistogramSnapshot {
+                    name,
+                    label: label.clone(),
+                    count: h.count(),
+                    sum: h.sum(),
+                    min: h.min(),
+                    max: h.max(),
+                    p50: h.quantile(0.5),
+                    p90: h.quantile(0.9),
+                    p99: h.quantile(0.99),
+                    buckets,
+                });
+            }
+        }
+        snap.counters
+            .sort_by(|a, b| (a.name, &a.label).cmp(&(b.name, &b.label)));
+        snap.gauges
+            .sort_by(|a, b| (a.name, &a.label).cmp(&(b.name, &b.label)));
+        snap.histograms
+            .sort_by(|a, b| (a.name, &a.label).cmp(&(b.name, &b.label)));
+        snap
+    }
+}
+
+/// The process-wide registry.
+pub fn global() -> &'static Registry {
+    static REGISTRY: OnceLock<Registry> = OnceLock::new();
+    REGISTRY.get_or_init(Registry::default)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_roundtrip() {
+        let r = Registry::default();
+        let c = r.counter("m.count", "a");
+        c.add(3);
+        c.add(4);
+        assert_eq!(r.counter("m.count", "a").value(), 7);
+        assert_eq!(r.counter("m.count", "b").value(), 0);
+        let g = r.gauge("m.gauge", "");
+        g.set(-1.5);
+        assert_eq!(r.gauge("m.gauge", "").value(), -1.5);
+    }
+
+    #[test]
+    fn histogram_basic_stats() {
+        let h = Histogram::default();
+        for v in [1u64, 10, 100, 1000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.sum(), 1111);
+        assert_eq!(h.min(), 1);
+        assert_eq!(h.max(), 1000);
+        assert_eq!(h.mean(), 1111.0 / 4.0);
+        // Two of four values ≤ 10 → the median bucket bound is 10.
+        assert_eq!(h.quantile(0.5), 10);
+        assert_eq!(h.quantile(1.0), 1000);
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zero() {
+        let h = Histogram::default();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.quantile(0.5), 0);
+    }
+
+    #[test]
+    fn overflow_bucket_reports_observed_max() {
+        let h = Histogram::default();
+        let big = *DEFAULT_BOUNDS.last().unwrap() + 123;
+        h.record(big);
+        assert_eq!(h.quantile(0.5), big);
+        assert_eq!(h.max(), big);
+    }
+
+    #[test]
+    fn bucket_index_is_first_bound_geq() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 0);
+        assert_eq!(bucket_index(2), 1);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(10_000_000_000), DEFAULT_BOUNDS.len() - 1);
+        assert_eq!(bucket_index(10_000_000_001), DEFAULT_BOUNDS.len());
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_complete() {
+        let r = Registry::default();
+        r.counter("z.last", "").add(1);
+        r.counter("a.first", "y").add(2);
+        r.counter("a.first", "x").add(3);
+        let s = r.snapshot();
+        let keys: Vec<(&str, &str)> = s
+            .counters
+            .iter()
+            .map(|c| (c.name, c.label.as_str()))
+            .collect();
+        assert_eq!(
+            keys,
+            vec![("a.first", "x"), ("a.first", "y"), ("z.last", "")]
+        );
+    }
+}

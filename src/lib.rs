@@ -29,3 +29,4 @@ pub use autophase_passes as passes;
 pub use autophase_progen as progen;
 pub use autophase_rl as rl;
 pub use autophase_search as search;
+pub use autophase_telemetry as telemetry;
