@@ -3,9 +3,9 @@
 
 CARGO ?= cargo
 
-.PHONY: ci build test clippy fmt fmt-fix bench telemetry
+.PHONY: ci build test clippy fmt fmt-fix bench telemetry chaos
 
-ci: build test telemetry clippy fmt
+ci: build test telemetry chaos clippy fmt
 
 build:
 	$(CARGO) build --release
@@ -15,6 +15,7 @@ test:
 
 clippy:
 	$(CARGO) clippy --workspace --all-targets -- -D warnings
+	$(CARGO) clippy --features fault-injection --all-targets -- -D warnings
 
 fmt:
 	$(CARGO) fmt --check
@@ -31,6 +32,12 @@ telemetry:
 	$(CARGO) test -q -p autophase-rl --test telemetry_spans
 	$(CARGO) test -q --test telemetry_determinism
 	$(CARGO) test -q --release -p autophase-passes --test telemetry_overhead
+
+# Chaos suite (DESIGN.md §4e): full PPO runs driven through seeded
+# fault-injection plans — rollback, survival, episode containment, and
+# quarantine. Release mode: the suite trains real agents.
+chaos:
+	$(CARGO) test -q --release --features fault-injection --test chaos
 
 bench:
 	$(CARGO) run --release -p autophase-bench --bin rollout_bench

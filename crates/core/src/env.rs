@@ -1,13 +1,16 @@
 //! The phase-ordering RL environment (§5.1).
 
 use crate::eval_cache::{fingerprint_module, CacheEntry, CacheKey, EvalCache, SeqHash};
+use crate::quarantine::Quarantine;
 use autophase_features::{
     extract, filter_features, log_normalize, normalize_to_inst_count, FeatureVector,
     FILTERED_FEATURES, NUM_FEATURES,
 };
 use autophase_hls::{profile::profile_module, HlsConfig};
 use autophase_ir::Module;
+use autophase_passes::checked::apply_checked_with;
 use autophase_passes::registry::{self, NUM_PASSES};
+use autophase_passes::FuelBudget;
 use autophase_rl::env::{Environment, StepResult};
 use std::sync::Arc;
 
@@ -91,6 +94,14 @@ pub struct EnvConfig {
     pub objective: Objective,
     /// HLS settings (200 MHz by default).
     pub hls: HlsConfig,
+    /// Apply passes transactionally ([`autophase_passes::apply_checked`]):
+    /// a pass that panics, breaks the verifier, or blows the fuel budget
+    /// is rolled back and scored as a no-op (zero reward) instead of
+    /// crashing the training run. On by default; turn off only to
+    /// reproduce the unchecked seed behavior exactly.
+    pub fault_isolation: bool,
+    /// Resource budget for checked pass applications.
+    pub fuel: FuelBudget,
 }
 
 impl Default for EnvConfig {
@@ -105,6 +116,8 @@ impl Default for EnvConfig {
             include_terminate: false,
             objective: Objective::Cycles,
             hls: HlsConfig::default(),
+            fault_isolation: true,
+            fuel: FuelBudget::default(),
         }
     }
 }
@@ -153,6 +166,8 @@ pub struct PhaseOrderEnv {
     episode_done: bool,
     /// Shared memoization cache; `None` keeps the uncached seed path.
     cache: Option<Arc<EvalCache>>,
+    /// Shared repeat-offender table; `None` disables masking.
+    quarantine: Option<Arc<Quarantine>>,
     /// Fingerprints of the pristine programs (filled when a cache is set).
     program_fps: Vec<u64>,
     /// Fingerprint of the episode's pristine program.
@@ -188,6 +203,7 @@ impl PhaseOrderEnv {
             samples: 0,
             episode_done: false,
             cache: None,
+            quarantine: None,
             program_fps: Vec::new(),
             current_fp: 0,
             seq_hash: SeqHash::new(),
@@ -220,6 +236,43 @@ impl PhaseOrderEnv {
     /// [`PhaseOrderEnv::samples`]. Results are bit-identical to the
     /// uncached path — the cache only changes how often the profiler runs.
     pub fn set_cache(&mut self, cache: Arc<EvalCache>) {
+        self.init_fingerprints();
+        self.cache = Some(cache);
+    }
+
+    /// The shared cache, if one is attached.
+    pub fn cache(&self) -> Option<&Arc<EvalCache>> {
+        self.cache.as_ref()
+    }
+
+    /// Attach a shared [`Quarantine`] table. Faulted pass applications are
+    /// recorded against the episode's program fingerprint, and a pass that
+    /// crosses the fault threshold is masked for that program: choosing it
+    /// becomes a guaranteed no-op (zero reward, no apply attempt).
+    ///
+    /// The table is monotone, so sharing it across workers can only mask
+    /// *more* over time — runs that must be bit-identical across worker
+    /// counts should not attach one.
+    pub fn set_quarantine(&mut self, quarantine: Arc<Quarantine>) {
+        self.init_fingerprints();
+        self.quarantine = Some(quarantine);
+    }
+
+    /// The shared quarantine table, if one is attached.
+    pub fn quarantine(&self) -> Option<&Arc<Quarantine>> {
+        self.quarantine.as_ref()
+    }
+
+    /// Pass ids currently masked (quarantined) for the episode's program.
+    pub fn masked_passes(&self) -> Vec<usize> {
+        match &self.quarantine {
+            Some(q) => q.masked_passes(self.current_fp),
+            None => Vec::new(),
+        }
+    }
+
+    /// Fill the program fingerprints on the first cache/quarantine attach.
+    fn init_fingerprints(&mut self) {
         if self.program_fps.is_empty() {
             self.program_fps = self.programs.iter().map(fingerprint_module).collect();
             // The episode may already be underway (mid-episode attach):
@@ -229,12 +282,6 @@ impl PhaseOrderEnv {
             self.applied.clear();
             self.materialized = 0;
         }
-        self.cache = Some(cache);
-    }
-
-    /// The shared cache, if one is attached.
-    pub fn cache(&self) -> Option<&Arc<EvalCache>> {
-        self.cache.as_ref()
     }
 
     /// The action index list (Table-1 ids) this environment exposes.
@@ -449,6 +496,9 @@ impl Environment for PhaseOrderEnv {
     }
 
     fn reset(&mut self) -> Vec<f64> {
+        // Leave any per-episode fault-injection context behind.
+        #[cfg(any(test, feature = "fault-injection"))]
+        autophase_passes::fault::set_episode(None);
         self.current = self.programs[self.program_cursor].clone();
         if !self.program_fps.is_empty() {
             self.current_fp = self.program_fps[self.program_cursor];
@@ -468,7 +518,14 @@ impl Environment for PhaseOrderEnv {
         // Episode-indexed program choice: any worker running episode `i`
         // sees the same program, making parallel collection deterministic.
         self.program_cursor = (episode % self.programs.len() as u64) as usize;
-        self.reset()
+        let obs = self.reset();
+        // Enter the episode's injection context after the generic reset
+        // (which clears it): an episode runs on one thread, so per-pass
+        // apply counts scoped to this context make "the Nth apply of pass
+        // P in episode E" independent of worker count and scheduling.
+        #[cfg(any(test, feature = "fault-injection"))]
+        autophase_passes::fault::set_episode(Some(episode));
+        obs
     }
 
     fn step(&mut self, action: usize) -> StepResult {
@@ -482,11 +539,54 @@ impl Environment for PhaseOrderEnv {
                 done: true,
             };
         }
+        let quarantined = self
+            .quarantine
+            .as_ref()
+            .is_some_and(|q| q.is_quarantined(self.current_fp, pass_id));
+
+        // Poll the injection plan at the step level (not inside the
+        // apply): whether a planned fault fires must not depend on cache
+        // warmth, or chaos runs would diverge between cold and warm runs.
+        // Masked actions never attempt an apply, so they don't poll (and
+        // don't advance the per-episode apply counters).
+        #[cfg(any(test, feature = "fault-injection"))]
+        let injected = if quarantined {
+            None
+        } else {
+            autophase_passes::fault::poll(pass_id)
+        };
+        #[cfg(not(any(test, feature = "fault-injection")))]
+        let injected: Option<autophase_passes::checked::FaultKind> = None;
+
         // With a cache, the transition memo may already know whether this
         // pass changes the current state — then the (deterministic) pass
         // need not run at all, and `current` stays lazily stale until a
         // miss forces materialization.
-        let changed = if let Some(cache) = self.cache.clone() {
+        let mut faulted = false;
+        let changed = if quarantined {
+            // Masked: a known repeat offender on this program. Scored
+            // like a faulted apply — no-op, zero reward — without even
+            // attempting the pass.
+            false
+        } else if injected.is_some() {
+            // Injected faults are keyed to per-episode apply counters, not
+            // to module state, so the transition memo is bypassed in both
+            // directions: a hit would skip the planned fault, a write
+            // would poison fault-free runs.
+            self.materialize();
+            match apply_checked_with(&mut self.current, pass_id, &self.cfg.fuel, injected) {
+                Ok(c) => {
+                    if c && self.cache.is_some() {
+                        self.materialized += 1;
+                    }
+                    c
+                }
+                Err(_) => {
+                    faulted = true;
+                    false
+                }
+            }
+        } else if let Some(cache) = self.cache.clone() {
             let key = CacheKey {
                 program: self.current_fp,
                 seq: self.seq_hash.value(),
@@ -495,8 +595,23 @@ impl Environment for PhaseOrderEnv {
                 Some(c) => c,
                 None => {
                     self.materialize();
-                    let c = registry::apply(&mut self.current, pass_id);
-                    cache.record_transition(key, pass_id, c);
+                    let c = if self.cfg.fault_isolation {
+                        match apply_checked_with(&mut self.current, pass_id, &self.cfg.fuel, None) {
+                            Ok(c) => c,
+                            Err(_) => {
+                                faulted = true;
+                                false
+                            }
+                        }
+                    } else {
+                        registry::apply(&mut self.current, pass_id)
+                    };
+                    // Faulted transitions are never memoized: quarantine
+                    // counts *repeat* offenses, and a memo hit would
+                    // silently absorb every later one.
+                    if !faulted {
+                        cache.record_transition(key, pass_id, c);
+                    }
                     if c {
                         // `applied` gains this pass below; `current`
                         // already reflects it.
@@ -505,9 +620,25 @@ impl Environment for PhaseOrderEnv {
                     c
                 }
             }
+        } else if self.cfg.fault_isolation {
+            match apply_checked_with(&mut self.current, pass_id, &self.cfg.fuel, None) {
+                Ok(c) => c,
+                Err(_) => {
+                    faulted = true;
+                    false
+                }
+            }
         } else {
             registry::apply(&mut self.current, pass_id)
         };
+        if faulted {
+            // The module was rolled back to its verified pre-pass state by
+            // `apply_checked_with` (telemetry counted there); here only
+            // the offender ledger is updated.
+            if let Some(q) = &self.quarantine {
+                q.record_fault(self.current_fp, pass_id);
+            }
+        }
         if changed {
             // Only changing passes enter the key: every no-op-padded
             // variant of one effective sequence shares a cache entry.
@@ -819,6 +950,169 @@ mod tests {
         let hls = HlsConfig::default();
         let p = small_program();
         assert!(o3_cycles(&p, &hls) < o0_cycles(&p, &hls));
+    }
+
+    #[test]
+    fn injected_fault_is_a_zero_reward_noop_and_rolls_back() {
+        use autophase_passes::fault::{self, FaultPlan, FaultSpec};
+        let _g = fault::test_guard();
+        fault::quiet_panic_hook();
+        // Episode-scoped spec: concurrent tests using plain reset() run in
+        // the `None` episode context and can never match it.
+        let plan = fault::install_plan(FaultPlan::new(vec![FaultSpec {
+            pass: 38,
+            nth: 1,
+            episode: Some(9001),
+            kind: autophase_passes::checked::FaultKind::Panic,
+        }]));
+        let pristine = autophase_ir::printer::print_module(&small_program());
+        let mut env = PhaseOrderEnv::single(small_program(), EnvConfig::default());
+        env.reset_to(9001);
+        let r = env.step(38);
+        assert_eq!(r.reward, 0.0, "faulted apply must score as a no-op");
+        assert!(!r.done);
+        assert_eq!(
+            autophase_ir::printer::print_module(env.module()),
+            pristine,
+            "faulted apply must roll back to the pre-pass module"
+        );
+        autophase_ir::verify::verify_module(env.module()).unwrap();
+        assert_eq!(plan.fired(), 1);
+        // The second application of the same pass is past the planned
+        // `nth` and goes through cleanly.
+        let r = env.step(38);
+        assert!(r.reward > 0.0, "post-fault apply works: {}", r.reward);
+        fault::clear_plan();
+    }
+
+    #[test]
+    fn injected_fault_bypasses_the_transition_memo() {
+        use autophase_passes::fault::{self, FaultPlan, FaultSpec};
+        let _g = fault::test_guard();
+        fault::quiet_panic_hook();
+        let cache = Arc::new(EvalCache::new(64));
+        let mut env = PhaseOrderEnv::with_cache(
+            vec![small_program()],
+            EnvConfig::default(),
+            Arc::clone(&cache),
+        );
+        // Warm the memo with a fault-free episode.
+        env.reset_to(9010);
+        let clean = env.step(38);
+        assert!(clean.reward > 0.0);
+        // Same state, warm memo — the planned fault must still fire.
+        let plan = fault::install_plan(FaultPlan::new(vec![FaultSpec {
+            pass: 38,
+            nth: 1,
+            episode: Some(9011),
+            kind: autophase_passes::checked::FaultKind::CorruptIr,
+        }]));
+        env.reset_to(9011);
+        let r = env.step(38);
+        assert_eq!(r.reward, 0.0, "memo hit must not absorb a planned fault");
+        assert_eq!(plan.fired(), 1);
+        fault::clear_plan();
+        // The fault wrote nothing into the memo: a fresh episode replays
+        // the clean transition bit-identically.
+        env.reset_to(9012);
+        let again = env.step(38);
+        assert_eq!(again.reward, clean.reward);
+        assert_eq!(again.observation, clean.observation);
+    }
+
+    #[test]
+    fn quarantine_masks_repeat_offenders() {
+        use crate::quarantine::Quarantine;
+        use autophase_passes::fault::{self, FaultPlan, FaultSpec};
+        let _g = fault::test_guard();
+        fault::quiet_panic_hook();
+        let specs = [9021u64, 9022]
+            .iter()
+            .map(|&ep| FaultSpec {
+                pass: 38,
+                nth: 1,
+                episode: Some(ep),
+                kind: autophase_passes::checked::FaultKind::Panic,
+            })
+            .collect();
+        let plan = fault::install_plan(FaultPlan::new(specs));
+        let q = Arc::new(Quarantine::new(2));
+        let mut env = PhaseOrderEnv::single(small_program(), EnvConfig::default());
+        env.set_quarantine(Arc::clone(&q));
+        let fp = crate::eval_cache::fingerprint_module(&small_program());
+
+        env.reset_to(9021);
+        assert_eq!(env.step(38).reward, 0.0);
+        assert_eq!(q.fault_count(fp, 38), 1);
+        assert!(!q.is_quarantined(fp, 38));
+
+        env.reset_to(9022);
+        assert_eq!(env.step(38).reward, 0.0);
+        assert!(q.is_quarantined(fp, 38), "second fault crosses threshold");
+        assert_eq!(env.masked_passes(), vec![38]);
+
+        // Masked now: the pass is not even attempted (no poll, no fault),
+        // and the step is a guaranteed no-op.
+        env.reset_to(9023);
+        let r = env.step(38);
+        assert_eq!(r.reward, 0.0);
+        assert_eq!(q.fault_count(fp, 38), 2, "masked steps record no fault");
+        assert_eq!(plan.fired(), 2);
+        fault::clear_plan();
+    }
+
+    #[test]
+    fn organic_fuel_fault_feeds_quarantine_and_skips_the_memo() {
+        use crate::quarantine::Quarantine;
+        use autophase_passes::fault;
+        let _g = fault::test_guard();
+        fault::clear_plan();
+        let cfg = EnvConfig {
+            // Any changing pass now overflows the budget: an *organic*
+            // fault through the normal (non-injected) checked path.
+            fuel: autophase_passes::FuelBudget {
+                max_insts: 1,
+                ..autophase_passes::FuelBudget::default()
+            },
+            ..EnvConfig::default()
+        };
+        let cache = Arc::new(EvalCache::new(64));
+        let q = Arc::new(Quarantine::new(2));
+        let mut env = PhaseOrderEnv::with_cache(vec![small_program()], cfg, Arc::clone(&cache));
+        env.set_quarantine(Arc::clone(&q));
+        let fp = crate::eval_cache::fingerprint_module(&small_program());
+
+        // Faulted transitions must not be memoized, or the second episode
+        // would hit the memo and the repeat offense would go uncounted.
+        env.reset();
+        assert_eq!(env.step(38).reward, 0.0);
+        assert_eq!(q.fault_count(fp, 38), 1);
+        env.reset();
+        assert_eq!(env.step(38).reward, 0.0);
+        assert_eq!(q.fault_count(fp, 38), 2);
+        assert!(q.is_quarantined(fp, 38));
+    }
+
+    #[test]
+    fn fault_isolation_off_reproduces_the_unchecked_path() {
+        use autophase_passes::fault;
+        let _g = fault::test_guard();
+        fault::clear_plan();
+        let unchecked_cfg = EnvConfig {
+            fault_isolation: false,
+            ..EnvConfig::default()
+        };
+        let mut checked = PhaseOrderEnv::single(small_program(), EnvConfig::default());
+        let mut unchecked = PhaseOrderEnv::single(small_program(), unchecked_cfg);
+        let o1 = checked.reset();
+        let o2 = unchecked.reset();
+        assert_eq!(o1, o2);
+        for &a in &[38usize, 23, 31, 30, 7, 28] {
+            let r1 = checked.step(a);
+            let r2 = unchecked.step(a);
+            assert_eq!(r1.reward, r2.reward, "pass {a}");
+            assert_eq!(r1.observation, r2.observation, "pass {a}");
+        }
     }
 
     #[test]

@@ -44,7 +44,16 @@ use autophase_ir::Module;
 use autophase_telemetry as telemetry;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock, PoisonError};
+
+/// Lock a shard, recovering from poisoning. A thread that panics while
+/// holding a shard lock (e.g. an injected fault inside a compute callback)
+/// leaves the map intact — every mutation below is a single HashMap
+/// operation that either completes or doesn't — so the poison flag carries
+/// no information and the shard must stay usable.
+fn lock_shard<T: ?Sized>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// 64-bit FNV-1a over a byte string.
 fn fnv1a(bytes: &[u8]) -> u64 {
@@ -203,7 +212,7 @@ impl Shard {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
-            len: self.map.lock().expect("cache shard poisoned").len(),
+            len: lock_shard(&self.map).len(),
         }
     }
 }
@@ -296,7 +305,7 @@ impl EvalCache {
     pub fn get(&self, key: &CacheKey) -> Option<CacheEntry> {
         let shard = self.shard(key);
         let found = {
-            let mut map = shard.map.lock().expect("cache shard poisoned");
+            let mut map = lock_shard(&shard.map);
             map.get_mut(key).map(|slot| {
                 slot.0 = self.stamp.fetch_add(1, Ordering::Relaxed);
                 slot.1.clone()
@@ -322,7 +331,7 @@ impl EvalCache {
     /// just produced — so the counters keep meaning "profiler-query
     /// outcomes" and the bench's hit rate stays interpretable.
     pub fn peek(&self, key: &CacheKey) -> Option<CacheEntry> {
-        let mut map = self.shard(key).map.lock().expect("cache shard poisoned");
+        let mut map = lock_shard(&self.shard(key).map);
         map.get_mut(key).map(|slot| {
             slot.0 = self.stamp.fetch_add(1, Ordering::Relaxed);
             slot.1.clone()
@@ -334,7 +343,7 @@ impl EvalCache {
     pub fn insert(&self, key: CacheKey, entry: CacheEntry) {
         let stamp = self.next_stamp();
         let shard = self.shard(&key);
-        let mut map = shard.map.lock().expect("cache shard poisoned");
+        let mut map = lock_shard(&shard.map);
         if map.len() >= self.per_shard_cap && !map.contains_key(&key) {
             if let Some(oldest) = map.iter().min_by_key(|(_, (s, _))| *s).map(|(k, _)| *k) {
                 map.remove(&oldest);
@@ -375,11 +384,7 @@ impl EvalCache {
     /// counters.
     pub fn transition(&self, key: &CacheKey, pass: usize) -> Option<bool> {
         let tkey = (*key, pass as u16);
-        let mut map = self
-            .trans_shard(key)
-            .map
-            .lock()
-            .expect("cache shard poisoned");
+        let mut map = lock_shard(&self.trans_shard(key).map);
         map.get_mut(&tkey).map(|slot| {
             slot.0 = self.stamp.fetch_add(1, Ordering::Relaxed);
             slot.1
@@ -390,7 +395,7 @@ impl EvalCache {
     pub fn record_transition(&self, key: CacheKey, pass: usize, changed: bool) {
         let stamp = self.next_stamp();
         let shard = self.trans_shard(&key);
-        let mut map = shard.map.lock().expect("cache shard poisoned");
+        let mut map = lock_shard(&shard.map);
         // The memo rides on the entry map's per-shard budget scaled by 8:
         // its entries are ~50x smaller, and evicting one only costs a
         // future pass re-run, never correctness.
@@ -406,10 +411,7 @@ impl EvalCache {
 
     /// Resident entry count across all shards.
     pub fn len(&self) -> usize {
-        self.shards
-            .iter()
-            .map(|s| s.map.lock().expect("cache shard poisoned").len())
-            .sum()
+        self.shards.iter().map(|s| lock_shard(&s.map).len()).sum()
     }
 
     /// True when no entries are resident.
@@ -484,10 +486,10 @@ impl EvalCache {
     /// Drop every entry and transition memo (counters are kept).
     pub fn clear(&self) {
         for s in &self.shards {
-            s.map.lock().expect("cache shard poisoned").clear();
+            lock_shard(&s.map).clear();
         }
         for s in &self.trans_shards {
-            s.map.lock().expect("cache shard poisoned").clear();
+            lock_shard(&s.map).clear();
         }
     }
 }
@@ -593,6 +595,34 @@ mod tests {
         assert_eq!(per_shard.iter().map(|s| s.len).sum::<usize>(), agg.len);
         assert_eq!(agg.hits, 40);
         assert_eq!(agg.misses, 40);
+    }
+
+    #[test]
+    fn panic_mid_insert_does_not_wedge_the_shard() {
+        // Single shard so the poisoned lock is the one every later call
+        // takes. Panic while holding the shard's map lock — the worst
+        // possible interleaving a panicking compute/worker can produce.
+        let c = std::sync::Arc::new(EvalCache::with_shards(64, 1));
+        let k = CacheKey { program: 3, seq: 4 };
+        c.insert(k, entry(11));
+        let c2 = std::sync::Arc::clone(&c);
+        let t = std::thread::spawn(move || {
+            let _guard = lock_shard(&c2.shards[0].map);
+            panic!("poison the shard on purpose");
+        });
+        assert!(t.join().is_err());
+        // Every operation must still go through, with the data intact.
+        assert_eq!(c.get(&k).unwrap().cycles, 11);
+        let k2 = CacheKey { program: 5, seq: 6 };
+        c.insert(k2, entry(12));
+        assert_eq!(c.peek(&k2).unwrap().cycles, 12);
+        assert_eq!(c.len(), 2);
+        c.record_transition(k, 7, true);
+        assert_eq!(c.transition(&k, 7), Some(true));
+        let s = c.stats();
+        assert_eq!(s.len, 2);
+        c.clear();
+        assert!(c.is_empty());
     }
 
     #[test]

@@ -10,6 +10,8 @@
 //!   (RL-PPO3) and its factored-PPO trainer;
 //! * [`eval_cache`] — the sharded, thread-safe memoization cache that
 //!   deduplicates profiler runs across episodes and workers;
+//! * [`quarantine`] — the shared repeat-offender table that masks
+//!   `(program, pass)` pairs which keep faulting;
 //! * [`dataset`] — feature–action–reward tuple collection for the §4
 //!   random-forest importance analysis;
 //! * [`algorithms`] — Table 3: every algorithm of Figure 7 behind one
@@ -26,9 +28,11 @@ pub mod env;
 pub mod eval_cache;
 pub mod experiment;
 pub mod multi;
+pub mod quarantine;
 pub mod report;
 pub mod tune;
 
 pub use env::{Objective, ObservationKind, PhaseOrderEnv, RewardKind};
 pub use eval_cache::{CacheEntry, CacheKey, CacheStats, EvalCache, SeqHash};
+pub use quarantine::Quarantine;
 pub use tune::{tune, Effort, TuneResult};

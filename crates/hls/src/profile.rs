@@ -203,6 +203,28 @@ mod tests {
     }
 
     #[test]
+    fn adversarial_ir_traps_with_fuel_exhausted() {
+        // An RL agent can drive a design into non-termination; the profiler
+        // must come back in bounded time with a typed trap, not hang.
+        let mut b = FunctionBuilder::new("main", vec![], Type::Void);
+        let spin = b.new_block();
+        b.br(spin);
+        b.switch_to(spin);
+        let _ = b.binary(BinOp::Add, Value::i32(1), Value::i32(1));
+        b.br(spin);
+        let mut m = Module::new("spin");
+        m.add_function(b.finish());
+        let cfg = HlsConfig {
+            profile_fuel: 10_000,
+            ..HlsConfig::default()
+        };
+        match profile_module(&m, &cfg) {
+            Err(crate::HlsError::Exec(autophase_ir::interp::Trap::FuelExhausted)) => {}
+            other => panic!("expected FuelExhausted trap, got {other:?}"),
+        }
+    }
+
+    #[test]
     fn report_fields_consistent() {
         let cfg = HlsConfig::default();
         let r = profile_module(&sum_loop_module(10), &cfg).unwrap();

@@ -22,13 +22,18 @@ use crate::{fold, Function};
 use std::collections::HashMap;
 use std::fmt;
 
-/// Why execution stopped early.
+/// Why execution trapped (stopped early) instead of returning.
+///
+/// Every entry point takes an explicit fuel (step) budget, so even
+/// adversarial IR — e.g. a module an RL agent drove into an infinite loop
+/// — executes in bounded time and yields a typed [`Trap::FuelExhausted`]
+/// rather than hanging the caller.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub enum ExecError {
+pub enum Trap {
     /// The module has no `main` function.
     NoMain,
-    /// The instruction budget was exhausted (non-terminating or too slow).
-    OutOfFuel,
+    /// The step/fuel budget was exhausted (non-terminating or too slow).
+    FuelExhausted,
     /// Call depth exceeded the limit (runaway recursion).
     StackOverflow,
     /// A block had no terminator (malformed IR).
@@ -37,21 +42,24 @@ pub enum ExecError {
     ReachedUnreachable,
 }
 
-impl fmt::Display for ExecError {
+/// Former name of [`Trap`], kept for existing callers.
+pub type ExecError = Trap;
+
+impl fmt::Display for Trap {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            ExecError::NoMain => write!(f, "module has no main function"),
-            ExecError::OutOfFuel => write!(f, "instruction budget exhausted"),
-            ExecError::StackOverflow => write!(f, "call depth limit exceeded"),
-            ExecError::MissingTerminator(bb) => {
+            Trap::NoMain => write!(f, "module has no main function"),
+            Trap::FuelExhausted => write!(f, "step/fuel budget exhausted"),
+            Trap::StackOverflow => write!(f, "call depth limit exceeded"),
+            Trap::MissingTerminator(bb) => {
                 write!(f, "block b{} has no terminator", bb.index())
             }
-            ExecError::ReachedUnreachable => write!(f, "executed unreachable"),
+            Trap::ReachedUnreachable => write!(f, "executed unreachable"),
         }
     }
 }
 
-impl std::error::Error for ExecError {}
+impl std::error::Error for Trap {}
 
 /// Execution record of one program run.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -213,7 +221,7 @@ impl<'m> Machine<'m> {
                     continue;
                 }
                 if self.fuel == 0 {
-                    return Err(ExecError::OutOfFuel);
+                    return Err(Trap::FuelExhausted);
                 }
                 self.fuel -= 1;
                 self.trace.insts_executed += 1;
@@ -469,7 +477,7 @@ mod tests {
         let _ = b.binary(BinOp::Add, Value::i32(1), Value::i32(1));
         b.br(spin);
         let r = run_main(&module_with(b.finish()), 1000);
-        assert_eq!(r, Err(ExecError::OutOfFuel));
+        assert_eq!(r, Err(Trap::FuelExhausted));
     }
 
     #[test]

@@ -1,0 +1,473 @@
+//! Transactional pass application: apply-or-roll-back.
+//!
+//! AutoPhase's RL loop hammers the pass pipeline with millions of
+//! arbitrary pass orderings, and arbitrary orderings routinely drive
+//! passes into states their authors never saw: panics on weird CFGs,
+//! invariant-breaking rewrites, runaway code growth. A single such event
+//! must never abort a training run. [`apply_checked`] makes every pass
+//! application a transaction:
+//!
+//! 1. snapshot the module,
+//! 2. run the pass under [`std::panic::catch_unwind`],
+//! 3. enforce the [`FuelBudget`] (post-pass instruction ceiling),
+//! 4. re-verify the module with [`verify_module`] when the pass reported
+//!    a change,
+//! 5. on *any* fault — panic, verifier rejection, fuel exhaustion —
+//!    restore the snapshot and report a typed [`PassFault`] instead of
+//!    crashing. The caller observes an unchanged module; the environment
+//!    maps that to "no-op, zero reward".
+//!
+//! [`apply_fixpoint_checked`] additionally bounds iteration count,
+//! reporting [`PassFault::NonConvergence`] for passes that keep claiming
+//! progress past the budget (the failure mode the PR 1 differential suite
+//! caught in `-reassociate` and `-partial-inliner`).
+//!
+//! Every fault increments the `pass_fault_total{<pass>}` and
+//! `rollback_total{<pass>}` telemetry counters.
+//!
+//! Fault *injection* (the chaos-testing harness) lives in [`crate::fault`]
+//! and is compiled only under `cfg(any(test, feature = "fault-injection"))`;
+//! this module is always available and pays nothing for the harness in
+//! production builds.
+
+use crate::registry::{self, PassId};
+use autophase_ir::verify::{verify_module, VerifyError};
+use autophase_ir::Module;
+use autophase_telemetry as telemetry;
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Resource budget one checked pass application may spend.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FuelBudget {
+    /// Hard ceiling on the module's instruction count after the pass. A
+    /// pass that grows the module beyond this faults with
+    /// [`PassFault::FuelExhausted`] and is rolled back — the backstop
+    /// against runaway unroll/inline growth that the registry's
+    /// [`registry::GROWTH_LIMIT`] soft limit cannot give (a single apply
+    /// can still overshoot it).
+    pub max_insts: usize,
+    /// Iteration bound for [`apply_fixpoint_checked`]: a pass still
+    /// reporting changes after this many applications is declared
+    /// non-convergent and rolled back to the pre-fixpoint module.
+    pub max_fixpoint_iters: u32,
+}
+
+impl Default for FuelBudget {
+    fn default() -> FuelBudget {
+        FuelBudget {
+            // ~7x the registry's GROWTH_LIMIT: generous for legitimate
+            // single-apply growth, tiny next to an actual blowup.
+            max_insts: 20_000,
+            max_fixpoint_iters: 32,
+        }
+    }
+}
+
+/// How a checked pass application failed. The module is always rolled
+/// back to its pre-pass state before this is returned.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PassFault {
+    /// The pass panicked.
+    Panic {
+        /// The offending pass.
+        pass: PassId,
+    },
+    /// The pass left IR behind that the verifier rejects.
+    Verifier {
+        /// The offending pass.
+        pass: PassId,
+        /// What the verifier found.
+        error: VerifyError,
+    },
+    /// The pass exceeded the instruction budget (runaway growth).
+    FuelExhausted {
+        /// The offending pass.
+        pass: PassId,
+        /// Instruction count the pass produced.
+        insts: usize,
+        /// The budget it violated.
+        limit: usize,
+    },
+    /// The pass kept reporting changes past the fixpoint iteration bound.
+    NonConvergence {
+        /// The offending pass.
+        pass: PassId,
+        /// How many iterations were attempted.
+        iters: u32,
+    },
+}
+
+impl PassFault {
+    /// The pass that faulted.
+    pub fn pass(&self) -> PassId {
+        match *self {
+            PassFault::Panic { pass }
+            | PassFault::Verifier { pass, .. }
+            | PassFault::FuelExhausted { pass, .. }
+            | PassFault::NonConvergence { pass, .. } => pass,
+        }
+    }
+}
+
+impl fmt::Display for PassFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = registry::pass_name(self.pass());
+        match self {
+            PassFault::Panic { .. } => write!(f, "{name} panicked"),
+            PassFault::Verifier { error, .. } => {
+                write!(f, "{name} broke the verifier: {error}")
+            }
+            PassFault::FuelExhausted { insts, limit, .. } => {
+                write!(f, "{name} exhausted fuel: {insts} insts > limit {limit}")
+            }
+            PassFault::NonConvergence { iters, .. } => {
+                write!(f, "{name} failed to converge within {iters} iterations")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PassFault {}
+
+/// The kind of fault an injection harness may force into a checked apply.
+/// Only [`apply_checked_with`] consumes these; production code paths
+/// never construct them (the seeded harness in [`crate::fault`] does).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Panic inside the pass body (exercises the `catch_unwind` path).
+    Panic,
+    /// Corrupt the module after the pass runs (exercises the verifier
+    /// rejection + rollback path).
+    CorruptIr,
+    /// Report the fuel budget as exhausted (exercises the fuel path).
+    ExhaustFuel,
+}
+
+/// Panic payload used by injected panics, so a quiet panic hook can tell
+/// them apart from real failures.
+pub const INJECTED_PANIC_MSG: &str = "injected fault: pass panic";
+
+/// Apply pass `id` transactionally (see the module docs). Returns
+/// `Ok(changed)` exactly like [`registry::apply`] on success; on any
+/// fault the module is rolled back to its pre-pass state and the fault is
+/// returned. `-terminate` and out-of-range ids are no-ops and cannot
+/// fault.
+///
+/// With the fault-injection harness compiled in and a plan installed,
+/// each call polls [`crate::fault::poll`] for an injected fault first.
+///
+/// # Errors
+///
+/// Returns the [`PassFault`] that was isolated (module already restored).
+pub fn apply_checked(m: &mut Module, id: PassId, budget: &FuelBudget) -> Result<bool, PassFault> {
+    #[cfg(any(test, feature = "fault-injection"))]
+    let injected = crate::fault::poll(id);
+    #[cfg(not(any(test, feature = "fault-injection")))]
+    let injected: Option<FaultKind> = None;
+    apply_checked_with(m, id, budget, injected)
+}
+
+/// [`apply_checked`] with an explicit injected fault (or `None` for the
+/// plain checked path). Callers that poll the injection plan themselves —
+/// the phase-ordering environment does, so injection stays deterministic
+/// even when a memoized transition skips the apply — feed the polled
+/// fault through here.
+///
+/// # Errors
+///
+/// Returns the [`PassFault`] that was isolated (module already restored).
+pub fn apply_checked_with(
+    m: &mut Module,
+    id: PassId,
+    budget: &FuelBudget,
+    injected: Option<FaultKind>,
+) -> Result<bool, PassFault> {
+    if id >= registry::pass_count() || id == registry::TERMINATE {
+        return Ok(false);
+    }
+    if let Some(FaultKind::ExhaustFuel) = injected {
+        // The pass never ran: the module already *is* its pre-pass state,
+        // so the rollback is trivial — but it is still a fault.
+        let fault = PassFault::FuelExhausted {
+            pass: id,
+            insts: usize::MAX,
+            limit: budget.max_insts,
+        };
+        record_fault(&fault);
+        return Err(fault);
+    }
+    let snapshot = m.clone();
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        if let Some(FaultKind::Panic) = injected {
+            std::panic::panic_any(INJECTED_PANIC_MSG);
+        }
+        let mut changed = registry::apply(m, id);
+        if let Some(FaultKind::CorruptIr) = injected {
+            corrupt_module(m);
+            changed = true;
+        }
+        changed
+    }));
+    let fault = match outcome {
+        Err(_) => Some(PassFault::Panic { pass: id }),
+        Ok(changed) => {
+            let insts = m.num_insts();
+            if insts > budget.max_insts {
+                Some(PassFault::FuelExhausted {
+                    pass: id,
+                    insts,
+                    limit: budget.max_insts,
+                })
+            } else if changed {
+                // An unchanged module is bit-identical to the verified
+                // pre-pass snapshot; only changed modules need re-checking.
+                verify_module(m)
+                    .err()
+                    .map(|error| PassFault::Verifier { pass: id, error })
+            } else {
+                None
+            }
+        }
+    };
+    match fault {
+        Some(fault) => {
+            *m = snapshot;
+            record_fault(&fault);
+            Err(fault)
+        }
+        None => Ok(outcome.unwrap_or(false)),
+    }
+}
+
+/// Apply pass `id` to fixpoint (until it reports no change), checked, and
+/// bounded by `budget.max_fixpoint_iters`. Returns whether any iteration
+/// changed the module. On *any* fault — including non-convergence — the
+/// module is rolled back to the state before the **first** iteration.
+///
+/// # Errors
+///
+/// Returns the [`PassFault`] that was isolated (module already restored).
+pub fn apply_fixpoint_checked(
+    m: &mut Module,
+    id: PassId,
+    budget: &FuelBudget,
+) -> Result<bool, PassFault> {
+    let snapshot = m.clone();
+    let mut changed_any = false;
+    for _ in 0..budget.max_fixpoint_iters {
+        match apply_checked(m, id, budget) {
+            Ok(true) => changed_any = true,
+            Ok(false) => return Ok(changed_any),
+            Err(fault) => {
+                // The inner apply rolled back one step; undo the earlier
+                // (successful) iterations too so the caller sees a clean
+                // transaction.
+                *m = snapshot;
+                return Err(fault);
+            }
+        }
+    }
+    let fault = PassFault::NonConvergence {
+        pass: id,
+        iters: budget.max_fixpoint_iters,
+    };
+    *m = snapshot;
+    record_fault(&fault);
+    Err(fault)
+}
+
+/// Count a fault in telemetry. Every fault implies a rollback (the module
+/// is restored to — or provably already at — its pre-pass state), so both
+/// counters move together; they are kept separate so dashboards can later
+/// distinguish faults with other recovery strategies.
+fn record_fault(fault: &PassFault) {
+    let name = registry::pass_name(fault.pass());
+    telemetry::incr("pass_fault_total", name, 1);
+    telemetry::incr("rollback_total", name, 1);
+}
+
+/// Make the module fail verification (dangling callee in the first
+/// function's entry block). Used only by the [`FaultKind::CorruptIr`]
+/// injection path.
+fn corrupt_module(m: &mut Module) {
+    use autophase_ir::{FuncId, Inst, Opcode, Type};
+    let Some(fid) = m.func_ids().next() else {
+        return;
+    };
+    let f = m.func_mut(fid);
+    let entry = f.entry;
+    let bogus = FuncId::from_index(usize::MAX / 2);
+    f.insert_inst(
+        entry,
+        0,
+        Inst::new(
+            Type::I32,
+            Opcode::Call {
+                callee: bogus,
+                args: vec![],
+            },
+        ),
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autophase_ir::builder::FunctionBuilder;
+    use autophase_ir::printer::print_module;
+    use autophase_ir::{BinOp, Type, Value};
+
+    fn sample_module() -> Module {
+        let mut m = Module::new("t");
+        let mut b = FunctionBuilder::new("main", vec![], Type::I32);
+        let acc = b.alloca(Type::I32, 1);
+        b.store(acc, Value::i32(0));
+        b.counted_loop(Value::i32(10), |b, i| {
+            let c = b.load(Type::I32, acc);
+            let n = b.binary(BinOp::Add, c, i);
+            b.store(acc, n);
+        });
+        let r = b.load(Type::I32, acc);
+        b.ret(Some(r));
+        m.add_function(b.finish());
+        m
+    }
+
+    #[test]
+    fn healthy_pass_matches_unchecked_apply() {
+        let budget = FuelBudget::default();
+        for id in 0..registry::pass_count() {
+            let mut checked = sample_module();
+            let mut plain = sample_module();
+            let got = apply_checked(&mut checked, id, &budget)
+                .unwrap_or_else(|f| panic!("unexpected fault: {f}"));
+            let want = registry::apply(&mut plain, id);
+            assert_eq!(got, want, "{}", registry::pass_name(id));
+            assert_eq!(
+                print_module(&checked),
+                print_module(&plain),
+                "{} diverged under checking",
+                registry::pass_name(id)
+            );
+        }
+    }
+
+    #[test]
+    fn injected_panic_rolls_back() {
+        crate::fault::quiet_panic_hook();
+        let mut m = sample_module();
+        let before = print_module(&m);
+        let r = apply_checked_with(&mut m, 38, &FuelBudget::default(), Some(FaultKind::Panic));
+        assert_eq!(r, Err(PassFault::Panic { pass: 38 }));
+        assert_eq!(print_module(&m), before, "module must be restored");
+        verify_module(&m).unwrap();
+    }
+
+    #[test]
+    fn injected_corruption_rolls_back_via_verifier() {
+        let mut m = sample_module();
+        let before = print_module(&m);
+        let r = apply_checked_with(
+            &mut m,
+            31,
+            &FuelBudget::default(),
+            Some(FaultKind::CorruptIr),
+        );
+        match r {
+            Err(PassFault::Verifier { pass: 31, .. }) => {}
+            other => panic!("expected verifier fault, got {other:?}"),
+        }
+        assert_eq!(print_module(&m), before);
+        verify_module(&m).unwrap();
+    }
+
+    #[test]
+    fn injected_fuel_exhaustion_is_a_fault_without_mutation() {
+        let mut m = sample_module();
+        let before = print_module(&m);
+        let r = apply_checked_with(
+            &mut m,
+            33,
+            &FuelBudget::default(),
+            Some(FaultKind::ExhaustFuel),
+        );
+        match r {
+            Err(PassFault::FuelExhausted { pass: 33, .. }) => {}
+            other => panic!("expected fuel fault, got {other:?}"),
+        }
+        assert_eq!(print_module(&m), before);
+    }
+
+    #[test]
+    fn real_growth_past_budget_faults_and_restores() {
+        let mut m = sample_module();
+        let before = print_module(&m);
+        let budget = FuelBudget {
+            max_insts: 1,
+            ..FuelBudget::default()
+        };
+        // -mem2reg changes the module, whose size then exceeds the budget.
+        let r = apply_checked(&mut m, 38, &budget);
+        match r {
+            Err(PassFault::FuelExhausted {
+                pass: 38,
+                insts,
+                limit: 1,
+            }) => {
+                assert!(insts > 1);
+            }
+            other => panic!("expected fuel fault, got {other:?}"),
+        }
+        assert_eq!(print_module(&m), before);
+    }
+
+    #[test]
+    fn fixpoint_bound_reports_non_convergence_and_restores() {
+        let mut m = sample_module();
+        let before = print_module(&m);
+        let budget = FuelBudget {
+            // One iteration cannot *prove* convergence of a changing pass,
+            // so the fixpoint driver must fault and restore.
+            max_fixpoint_iters: 1,
+            ..FuelBudget::default()
+        };
+        let r = apply_fixpoint_checked(&mut m, 38, &budget);
+        assert_eq!(r, Err(PassFault::NonConvergence { pass: 38, iters: 1 }));
+        assert_eq!(print_module(&m), before);
+    }
+
+    #[test]
+    fn fixpoint_converges_on_idempotent_pass() {
+        let mut m = sample_module();
+        let changed = apply_fixpoint_checked(&mut m, 38, &FuelBudget::default()).unwrap();
+        assert!(changed);
+        verify_module(&m).unwrap();
+        // A second fixpoint run finds nothing left to do.
+        assert!(!apply_fixpoint_checked(&mut m, 38, &FuelBudget::default()).unwrap());
+    }
+
+    #[test]
+    fn terminate_and_out_of_range_cannot_fault() {
+        let mut m = sample_module();
+        let budget = FuelBudget::default();
+        assert_eq!(
+            apply_checked(&mut m, registry::TERMINATE, &budget),
+            Ok(false)
+        );
+        assert_eq!(apply_checked(&mut m, 9_999, &budget), Ok(false));
+    }
+
+    #[test]
+    fn faults_display_the_pass_name() {
+        let f = PassFault::Panic { pass: 15 };
+        assert!(f.to_string().contains("-reassociate"));
+        let f = PassFault::FuelExhausted {
+            pass: 33,
+            insts: 10,
+            limit: 5,
+        };
+        assert!(f.to_string().contains("-loop-unroll"));
+        assert_eq!(f.pass(), 33);
+    }
+}

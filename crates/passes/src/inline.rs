@@ -184,9 +184,11 @@ pub(crate) fn inline_call(m: &mut Module, caller: FuncId, bb: BlockId, call: Ins
 
     // Replace cloned `ret`s with branches to `cont`, collecting return
     // values for a φ.
+    // Walk the region in callee block order, not bmap (HashMap) order: the
+    // φ's incoming list below must come out the same on every run.
     let mut rets: Vec<(BlockId, Option<Value>)> = Vec::new();
-    for (&old_bb, &new_bb) in &bmap {
-        let _ = old_bb;
+    for old_bb in &region {
+        let new_bb = bmap[old_bb];
         let Some(term) = f.terminator(new_bb) else {
             continue;
         };

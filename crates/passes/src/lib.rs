@@ -34,9 +34,12 @@
 #![warn(missing_docs)]
 
 pub mod adce;
+pub mod checked;
 pub mod correlated;
 pub mod dse;
 pub mod early_cse;
+#[cfg(any(test, feature = "fault-injection"))]
+pub mod fault;
 pub mod globals;
 pub mod gvn;
 pub mod indvars;
@@ -66,4 +69,5 @@ pub mod sroa;
 pub mod tailcall;
 pub mod util;
 
+pub use checked::{apply_checked, FuelBudget, PassFault};
 pub use registry::{apply, pass_count, pass_name, PassId, PASS_NAMES};

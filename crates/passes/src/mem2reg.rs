@@ -100,7 +100,11 @@ fn promote_one(f: &mut autophase_ir::Function, alloca: InstId) {
         }
     }
     let mut phi_of_block: HashMap<BlockId, InstId> = HashMap::new();
-    for &bb in &phi_blocks {
+    // Place φs in function block order, not HashSet order: φ InstIds must
+    // be assigned deterministically or repeated runs of the pass print
+    // differently, which breaks fingerprint-keyed caching.
+    let ordered: Vec<BlockId> = f.block_ids().filter(|bb| phi_blocks.contains(bb)).collect();
+    for bb in ordered {
         if !cfg.is_reachable(bb) {
             continue;
         }
@@ -152,7 +156,8 @@ fn promote_one(f: &mut autophase_ir::Function, alloca: InstId) {
     // (unreachable); those entries simply stay absent, matching the
     // verifier's reachable-only φ rule. Remove φs that ended up with no
     // incoming entries (in unreachable code).
-    let placed: Vec<(BlockId, InstId)> = phi_of_block.iter().map(|(&b, &p)| (b, p)).collect();
+    let mut placed: Vec<(BlockId, InstId)> = phi_of_block.iter().map(|(&b, &p)| (b, p)).collect();
+    placed.sort_unstable();
     for (bb, phi) in placed {
         let empty = matches!(&f.inst(phi).op, Opcode::Phi { incoming } if incoming.is_empty());
         if empty {

@@ -1,0 +1,73 @@
+//! Verifier coverage: every registered pass must leave every module it
+//! touches verifiable.
+//!
+//! This pins the invariant `apply_checked` relies on — after a healthy
+//! (non-faulted) pass application, `verify_module` succeeds — so a pass
+//! regression shows up here as a named (pass, program) pair rather than
+//! as a mysterious rollback storm in the RL loop.
+
+use autophase_ir::verify::verify_module;
+use autophase_ir::Module;
+use autophase_passes::checked::{apply_checked, FuelBudget};
+use autophase_passes::registry;
+
+fn corpus() -> Vec<(String, Module)> {
+    let mut programs: Vec<(String, Module)> = autophase_benchmarks::suite()
+        .into_iter()
+        .map(|b| (b.name.to_string(), b.module))
+        .collect();
+    let cfg = autophase_progen::GenConfig::default();
+    for seed in 0..12u64 {
+        programs.push((
+            format!("progen-{seed}"),
+            autophase_progen::generate_valid(&cfg, seed),
+        ));
+    }
+    programs
+}
+
+#[test]
+fn every_pass_preserves_verifiability_on_corpus() {
+    let corpus = corpus();
+    for id in 0..registry::pass_count() {
+        for (name, base) in &corpus {
+            let mut m = base.clone();
+            registry::apply(&mut m, id);
+            if let Err(e) = verify_module(&m) {
+                panic!(
+                    "pass {} ({}) broke verification on {name}: {e}",
+                    registry::pass_name(id),
+                    id,
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn apply_checked_is_fault_free_on_corpus() {
+    // With no injected faults and a generous budget, the transactional
+    // wrapper must agree with the raw registry on every (pass, program)
+    // pair: same change-report, same resulting module.
+    let corpus = corpus();
+    let budget = FuelBudget::default();
+    for id in 0..registry::pass_count() {
+        for (name, base) in &corpus {
+            let mut checked = base.clone();
+            let mut raw = base.clone();
+            let got = apply_checked(&mut checked, id, &budget).unwrap_or_else(|f| {
+                panic!(
+                    "pass {} faulted on healthy program {name}: {f}",
+                    registry::pass_name(id)
+                )
+            });
+            let want = registry::apply(&mut raw, id);
+            assert_eq!(got, want, "change-report mismatch: pass {id} on {name}");
+            assert_eq!(
+                autophase_ir::printer::print_module(&checked),
+                autophase_ir::printer::print_module(&raw),
+                "module mismatch: pass {id} on {name}"
+            );
+        }
+    }
+}

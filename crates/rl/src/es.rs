@@ -175,66 +175,86 @@ impl EsAgent {
             }
             let iter_base = (iter as u64) * 2 * pop as u64 * eval_eps;
             let workers = envs.len();
-            let mut per_pair: Vec<Option<(f64, f64)>> = vec![None; pop];
+            // Each pair's result lands in its own slot the moment it
+            // completes, so a worker panic loses at most the pairs that
+            // worker had not yet published.
+            let per_pair: Vec<std::sync::Mutex<Option<(f64, f64)>>> =
+                (0..pop).map(|_| std::sync::Mutex::new(None)).collect();
             let this = &*self;
             let eps_ref = &eps_all;
             let seeds_ref = &seeds;
             let theta_ref = &theta;
+            // Evaluate one antithetic pair. Per-pair seeds and episode
+            // bases make this callable from any thread (or the serial
+            // fallback below) with identical results.
+            let eval_pair = |env: &mut dyn Environment, probe: &mut Mlp, k: usize| -> (f64, f64) {
+                let eps = &eps_ref[k];
+                let plus: Vec<f64> = theta_ref
+                    .iter()
+                    .zip(eps)
+                    .map(|(t, e)| t + this.cfg.sigma * e)
+                    .collect();
+                let minus: Vec<f64> = theta_ref
+                    .iter()
+                    .zip(eps)
+                    .map(|(t, e)| t - this.cfg.sigma * e)
+                    .collect();
+                // One rng per pair, used for plus then minus — the same
+                // order as the serial path.
+                let mut eval_rng = StdRng::seed_from_u64(seeds_ref[k]);
+                let base = iter_base + (2 * k as u64) * eval_eps;
+                let fp = this.fitness_at(env, &plus, probe, &mut eval_rng, base);
+                let fm = this.fitness_at(env, &minus, probe, &mut eval_rng, base + eval_eps);
+                (fp, fm)
+            };
+            let eval_pair = &eval_pair;
             std::thread::scope(|scope| {
                 let mut handles = Vec::with_capacity(workers);
                 for (w, env) in envs.iter_mut().enumerate() {
+                    let per_pair = &per_pair;
                     handles.push(scope.spawn(move || {
                         let mut probe = this.policy.clone();
-                        let mut mine = Vec::new();
                         let mut k = w;
                         while k < pop {
-                            let eps = &eps_ref[k];
-                            let plus: Vec<f64> = theta_ref
-                                .iter()
-                                .zip(eps)
-                                .map(|(t, e)| t + this.cfg.sigma * e)
-                                .collect();
-                            let minus: Vec<f64> = theta_ref
-                                .iter()
-                                .zip(eps)
-                                .map(|(t, e)| t - this.cfg.sigma * e)
-                                .collect();
-                            // One rng per pair, used for plus then minus —
-                            // the same order as the serial path.
-                            let mut eval_rng = StdRng::seed_from_u64(seeds_ref[k]);
-                            let base = iter_base + (2 * k as u64) * eval_eps;
-                            let fp = this.fitness_at(
-                                env.as_mut(),
-                                &plus,
-                                &mut probe,
-                                &mut eval_rng,
-                                base,
-                            );
-                            let fm = this.fitness_at(
-                                env.as_mut(),
-                                &minus,
-                                &mut probe,
-                                &mut eval_rng,
-                                base + eval_eps,
-                            );
-                            mine.push((k, fp, fm));
+                            let out = eval_pair(env.as_mut(), &mut probe, k);
+                            *per_pair[k]
+                                .lock()
+                                .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(out);
                             k += workers;
                         }
-                        mine
                     }));
                 }
                 for h in handles {
-                    for (k, fp, fm) in h.join().expect("es worker panicked") {
-                        per_pair[k] = Some((fp, fm));
+                    if h.join().is_err() {
+                        // The worker died mid-stride; its unpublished pairs
+                        // are recomputed serially below.
+                        telemetry::incr("worker_respawn_total", "es", 1);
                     }
                 }
             });
             // Merge in pair order: float accumulation order is fixed, so
-            // the gradient is worker-count invariant.
+            // the gradient is worker-count invariant. Pairs whose worker
+            // panicked are retried once on the main thread (deterministic
+            // thanks to per-pair seeds); a pair that panics again is
+            // dropped from the gradient rather than aborting training.
+            let mut probe = self.policy.clone();
             let mut grad = vec![0.0; dim];
             let mut fitness_sum = 0.0;
-            for (k, slot) in per_pair.into_iter().enumerate() {
-                let (fp, fm) = slot.expect("pair not evaluated");
+            for (k, slot) in per_pair.iter().enumerate() {
+                let mut got = slot
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .take();
+                if got.is_none() {
+                    let env = &mut envs[0];
+                    got = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        eval_pair(env.as_mut(), &mut probe, k)
+                    }))
+                    .ok();
+                }
+                let Some((fp, fm)) = got else {
+                    continue;
+                };
                 fitness_sum += fp + fm;
                 let w = (fp - fm) / 2.0;
                 for (g, e) in grad.iter_mut().zip(&eps_all[k]) {

@@ -17,9 +17,23 @@ use autophase_nn::{softmax, Mlp};
 use autophase_telemetry as telemetry;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+/// Lock a mutex, recovering from poisoning. A panicked worker leaves its
+/// locks poisoned; every value guarded here (queues, result slots, worker
+/// environments) is either re-initialized on reuse or episode-scoped, so
+/// the stale state is harmless and the guard is safe to hand out.
+fn lock_recover<T: ?Sized>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// One collected episode: its transitions and total reward.
+type EpisodeResult = (Vec<Transition>, f64);
 
 /// One transition of a trajectory.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Transition {
     /// Observation before the action.
     pub obs: Vec<f64>,
@@ -196,23 +210,110 @@ pub fn collect_episodes(
     batch
 }
 
-/// Collect episodes `base_episode .. base_episode + n_episodes` on a pool
-/// of worker threads — one per environment in `envs`.
+/// Bounded-retry policy for [`collect_episodes_supervised`].
+#[derive(Debug, Clone)]
+pub struct SupervisorConfig {
+    /// How many times a panicked episode is re-queued before being marked
+    /// failed-and-skipped (total attempts = retries + 1).
+    pub max_episode_retries: u32,
+}
+
+impl Default for SupervisorConfig {
+    fn default() -> SupervisorConfig {
+        SupervisorConfig {
+            max_episode_retries: 2,
+        }
+    }
+}
+
+/// The outcome of a supervised collection: the batch plus fault metadata.
+#[derive(Debug, Clone, Default)]
+pub struct SupervisedBatch {
+    /// Every completed episode's transitions/returns, merged in
+    /// episode-index order. Failed episodes are absent.
+    pub batch: Batch,
+    /// Absolute indices of episodes that panicked on every attempt and
+    /// were skipped.
+    pub failed_episodes: Vec<u64>,
+    /// Worker threads respawned after a panic.
+    pub worker_respawns: u64,
+}
+
+/// One supervised worker: drain the shared episode queue on slot `w`'s
+/// environment, publishing each result as soon as it completes. A panic
+/// anywhere in here kills only this thread; the supervisor reads
+/// `in_flight[w]` to learn which episode died.
+#[allow(clippy::too_many_arguments)]
+fn worker_loop(
+    w: usize,
+    queue: &Mutex<VecDeque<usize>>,
+    results: &[Mutex<Option<EpisodeResult>>],
+    in_flight: &[AtomicU64],
+    busy_ns: &[AtomicU64],
+    env_slots: &[Mutex<&mut Box<dyn Environment + Send>>],
+    policy: &Mlp,
+    value: &Mlp,
+    base_episode: u64,
+    max_episode_len: usize,
+    seed: u64,
+) {
+    let _wspan = telemetry::span("rollout.worker");
+    let wstart = telemetry::maybe_now();
+    loop {
+        // Claim an episode and mark it in-flight under the queue lock, so
+        // a panic can never lose an episode between the two updates
+        // (in_flight stores index+1; 0 means idle).
+        let e = {
+            let mut q = lock_recover(queue);
+            match q.pop_front() {
+                Some(e) => {
+                    in_flight[w].store(e as u64 + 1, Ordering::SeqCst);
+                    e
+                }
+                None => break,
+            }
+        };
+        let mut env = lock_recover(&env_slots[w]);
+        let out = run_episode(
+            env.as_mut(),
+            policy,
+            value,
+            base_episode + e as u64,
+            max_episode_len,
+            seed,
+        );
+        drop(env);
+        *lock_recover(&results[e]) = Some(out);
+        in_flight[w].store(0, Ordering::SeqCst);
+    }
+    if let Some(t) = wstart {
+        busy_ns[w].fetch_add(t.elapsed().as_nanos() as u64, Ordering::Relaxed);
+    }
+}
+
+/// Collect episodes `base_episode .. base_episode + n_episodes` on a
+/// supervised pool of worker threads — one slot per environment in `envs`.
 ///
-/// Worker `w` statically handles episodes `w, w+W, w+2W, …` (`W` =
-/// `envs.len()`), each seeded by [`episode_seed`] and started with
-/// [`Environment::reset_to`], and the results are merged in episode-index
-/// order — so the batch is bit-identical to [`collect_episodes`] for
-/// *any* worker count. Environments typically share one evaluation cache,
-/// which is where the wall-clock win comes from on small machines.
+/// Workers pull episodes from a shared queue; each episode is seeded by
+/// [`episode_seed`], started with [`Environment::reset_to`], and merged in
+/// episode-index order, so the batch is bit-identical to
+/// [`collect_episodes`] for *any* worker count (episodes are relocatable
+/// across workers by construction). A worker that panics is **respawned**
+/// on the same environment slot (recovering the slot's poisoned lock) and
+/// its in-flight episode is retried up to
+/// [`SupervisorConfig::max_episode_retries`] times, then marked
+/// failed-and-skipped — one pathological episode can no longer abort a
+/// training run, and episodes it didn't touch are unaffected.
 ///
 /// Telemetry (observational only — timings are recorded, never consulted):
 /// the parent thread opens a `rollout.batch` span and each worker a
 /// `rollout.worker` span, so episode spans nest as
 /// `rollout.worker/rollout.episode` on worker threads. Per-worker busy
-/// time lands in `rollout.worker_busy_ns{w<i>}` counters and utilization
-/// (busy / batch wall) in `rollout.worker_util{w<i>}` gauges.
-pub fn collect_episodes_parallel(
+/// time lands in `rollout.worker_busy_ns{w<i>}` counters, utilization
+/// (busy / batch wall) in `rollout.worker_util{w<i>}` gauges, and each
+/// respawn increments the `worker_respawn_total` counter.
+#[allow(clippy::too_many_arguments)]
+pub fn collect_episodes_supervised(
     envs: &mut [Box<dyn Environment + Send>],
     policy: &Mlp,
     value: &Mlp,
@@ -220,49 +321,77 @@ pub fn collect_episodes_parallel(
     base_episode: u64,
     max_episode_len: usize,
     seed: u64,
-) -> Batch {
+    cfg: &SupervisorConfig,
+) -> SupervisedBatch {
     assert!(!envs.is_empty(), "need at least one worker environment");
     let _span = telemetry::span("rollout.batch");
     let batch_start = telemetry::maybe_now();
     let workers = envs.len();
-    let mut per_episode: Vec<Option<(Vec<Transition>, f64)>> = vec![None; n_episodes];
-    let mut busy_ns: Vec<u64> = vec![0; workers];
+
+    let queue: Mutex<VecDeque<usize>> = Mutex::new((0..n_episodes).collect());
+    let results: Vec<Mutex<Option<EpisodeResult>>> =
+        (0..n_episodes).map(|_| Mutex::new(None)).collect();
+    let attempts: Vec<AtomicU32> = (0..n_episodes).map(|_| AtomicU32::new(0)).collect();
+    let in_flight: Vec<AtomicU64> = (0..workers).map(|_| AtomicU64::new(0)).collect();
+    let busy_ns: Vec<AtomicU64> = (0..workers).map(|_| AtomicU64::new(0)).collect();
+    let env_slots: Vec<Mutex<&mut Box<dyn Environment + Send>>> =
+        envs.iter_mut().map(Mutex::new).collect();
+
+    let mut respawns = 0u64;
+    let mut failed: Vec<u64> = Vec::new();
+
     std::thread::scope(|scope| {
-        let mut handles = Vec::with_capacity(workers);
-        for (w, env) in envs.iter_mut().enumerate() {
-            handles.push(scope.spawn(move || {
-                let _wspan = telemetry::span("rollout.worker");
-                let wstart = telemetry::maybe_now();
-                let mut mine = Vec::new();
-                let mut e = w;
-                while e < n_episodes {
-                    let (transitions, ep_return) = run_episode(
-                        env.as_mut(),
-                        policy,
-                        value,
-                        base_episode + e as u64,
-                        max_episode_len,
-                        seed,
-                    );
-                    mine.push((e, transitions, ep_return));
-                    e += workers;
+        let spawn = |w: usize| {
+            let (queue, results, in_flight, busy_ns, env_slots) =
+                (&queue, &results, &in_flight, &busy_ns, &env_slots);
+            scope.spawn(move || {
+                worker_loop(
+                    w,
+                    queue,
+                    results,
+                    in_flight,
+                    busy_ns,
+                    env_slots,
+                    policy,
+                    value,
+                    base_episode,
+                    max_episode_len,
+                    seed,
+                )
+            })
+        };
+        let mut handles: Vec<_> = (0..workers).map(|w| (w, spawn(w))).collect();
+        // Round-based supervision: join everything, respawn what panicked,
+        // repeat until a round ends with no casualties.
+        while !handles.is_empty() {
+            let mut next = Vec::new();
+            for (w, h) in handles {
+                if h.join().is_ok() {
+                    continue;
                 }
-                let busy = wstart.map_or(0, |t| t.elapsed().as_nanos() as u64);
-                (mine, busy)
-            }));
-        }
-        for (w, h) in handles.into_iter().enumerate() {
-            let (mine, busy) = h.join().expect("rollout worker panicked");
-            busy_ns[w] = busy;
-            for (e, transitions, ep_return) in mine {
-                per_episode[e] = Some((transitions, ep_return));
+                respawns += 1;
+                telemetry::incr("worker_respawn_total", "", 1);
+                let dying = in_flight[w].swap(0, Ordering::SeqCst);
+                if dying != 0 {
+                    let e = (dying - 1) as usize;
+                    let tries = attempts[e].fetch_add(1, Ordering::SeqCst) + 1;
+                    if tries > cfg.max_episode_retries {
+                        failed.push(base_episode + e as u64);
+                    } else {
+                        lock_recover(&queue).push_front(e);
+                    }
+                }
+                next.push((w, spawn(w)));
             }
+            handles = next;
         }
     });
+
     if let Some(t) = batch_start {
         let wall = t.elapsed().as_nanos() as u64;
         telemetry::observe("rollout.batch_ns", "", wall);
-        for (w, &busy) in busy_ns.iter().enumerate() {
+        for (w, busy) in busy_ns.iter().enumerate() {
+            let busy = busy.load(Ordering::Relaxed);
             let label = format!("w{w}");
             telemetry::counter("rollout.worker_busy_ns", &label).add(busy);
             let util = if wall > 0 {
@@ -273,13 +402,54 @@ pub fn collect_episodes_parallel(
             telemetry::gauge("rollout.worker_util", &label).set(util);
         }
     }
-    let mut batch = Batch::default();
-    for slot in per_episode {
-        let (transitions, ep_return) = slot.expect("episode not collected");
-        batch.transitions.extend(transitions);
-        batch.episode_returns.push(ep_return);
+
+    failed.sort_unstable();
+    failed.dedup();
+    let mut out = SupervisedBatch {
+        failed_episodes: failed,
+        worker_respawns: respawns,
+        ..SupervisedBatch::default()
+    };
+    for (e, slot) in results.iter().enumerate() {
+        if out.failed_episodes.contains(&(base_episode + e as u64)) {
+            continue;
+        }
+        if let Some((transitions, ep_return)) = lock_recover(slot).take() {
+            out.batch.transitions.extend(transitions);
+            out.batch.episode_returns.push(ep_return);
+        }
     }
-    batch
+    out
+}
+
+/// Collect episodes `base_episode .. base_episode + n_episodes` on a pool
+/// of worker threads — one per environment in `envs`.
+///
+/// A thin wrapper over [`collect_episodes_supervised`] with the default
+/// retry policy, keeping only the batch: with no faults it is
+/// bit-identical to [`collect_episodes`] for any worker count, and under
+/// faults it degrades gracefully (panicking episodes are retried, then
+/// skipped) instead of aborting the run.
+pub fn collect_episodes_parallel(
+    envs: &mut [Box<dyn Environment + Send>],
+    policy: &Mlp,
+    value: &Mlp,
+    n_episodes: usize,
+    base_episode: u64,
+    max_episode_len: usize,
+    seed: u64,
+) -> Batch {
+    collect_episodes_supervised(
+        envs,
+        policy,
+        value,
+        n_episodes,
+        base_episode,
+        max_episode_len,
+        seed,
+        &SupervisorConfig::default(),
+    )
+    .batch
 }
 
 /// Record a `rl.steps_per_sec{<algo>}` gauge from a training run's total
@@ -434,6 +604,184 @@ mod tests {
                 assert_eq!(s.done, p.done);
             }
         }
+    }
+
+    /// A deterministic-but-flaky env: panics when asked to reset to an
+    /// episode in `panic_episodes` whose per-episode attempt budget is not
+    /// yet exhausted. Attempt counts live in shared state so retries (on a
+    /// respawned worker) observe earlier attempts.
+    type PanicPlan = std::sync::Arc<Mutex<std::collections::HashMap<u64, u32>>>;
+
+    struct FlakyEnv {
+        inner: ChainEnv,
+        /// (episode, attempts that panic before one succeeds)
+        panic_episodes: PanicPlan,
+    }
+
+    impl FlakyEnv {
+        fn pool(
+            workers: usize,
+            plan: &[(u64, u32)],
+        ) -> (Vec<Box<dyn Environment + Send>>, PanicPlan) {
+            let shared = std::sync::Arc::new(Mutex::new(
+                plan.iter()
+                    .copied()
+                    .collect::<std::collections::HashMap<_, _>>(),
+            ));
+            let envs = (0..workers)
+                .map(|_| {
+                    Box::new(FlakyEnv {
+                        inner: ChainEnv::new(vec![0, 1], 2),
+                        panic_episodes: std::sync::Arc::clone(&shared),
+                    }) as Box<dyn Environment + Send>
+                })
+                .collect();
+            (envs, shared)
+        }
+    }
+
+    impl Environment for FlakyEnv {
+        fn observation_dim(&self) -> usize {
+            self.inner.observation_dim()
+        }
+        fn num_actions(&self) -> usize {
+            self.inner.num_actions()
+        }
+        fn reset(&mut self) -> Vec<f64> {
+            self.inner.reset()
+        }
+        fn reset_to(&mut self, episode: u64) -> Vec<f64> {
+            {
+                let mut plan = lock_recover(&self.panic_episodes);
+                if let Some(left) = plan.get_mut(&episode) {
+                    if *left > 0 {
+                        *left -= 1;
+                        std::panic::panic_any("flaky env: injected worker panic");
+                    }
+                }
+            }
+            self.inner.reset_to(episode)
+        }
+        fn step(&mut self, action: usize) -> crate::env::StepResult {
+            self.inner.step(action)
+        }
+    }
+
+    /// Swallow the intentional FlakyEnv panics so test output stays
+    /// readable; anything else still reaches the default hook.
+    fn quiet_flaky_panics() {
+        use std::sync::Once;
+        static ONCE: Once = Once::new();
+        ONCE.call_once(|| {
+            let prev = std::panic::take_hook();
+            std::panic::set_hook(Box::new(move |info| {
+                let injected = info
+                    .payload()
+                    .downcast_ref::<&str>()
+                    .is_some_and(|s| s.contains("flaky env"));
+                if !injected {
+                    prev(info);
+                }
+            }));
+        });
+    }
+
+    #[test]
+    fn supervisor_respawns_workers_and_retries_episodes() {
+        quiet_flaky_panics();
+        let policy = Mlp::new(&[3, 8, 2], Activation::Tanh, 1);
+        let value = Mlp::new(&[3, 8, 1], Activation::Tanh, 2);
+        let mut env = ChainEnv::new(vec![0, 1], 2);
+        let reference = collect_episodes(&mut env, &policy, &value, 9, 0, 50, 41);
+        for workers in [1usize, 2, 3] {
+            // Episodes 2 and 6 each panic once, then succeed on retry.
+            let (mut envs, _) = FlakyEnv::pool(workers, &[(2, 1), (6, 1)]);
+            let sup = collect_episodes_supervised(
+                &mut envs,
+                &policy,
+                &value,
+                9,
+                0,
+                50,
+                41,
+                &SupervisorConfig::default(),
+            );
+            assert!(
+                sup.worker_respawns >= 2,
+                "expected ≥2 respawns with {workers} workers, got {}",
+                sup.worker_respawns
+            );
+            assert!(sup.failed_episodes.is_empty());
+            // Retried episodes are deterministic, so the recovered batch is
+            // bit-identical to the fault-free serial reference.
+            assert_eq!(reference.episode_returns, sup.batch.episode_returns);
+            assert_eq!(reference.transitions.len(), sup.batch.transitions.len());
+            for (s, p) in reference.transitions.iter().zip(&sup.batch.transitions) {
+                assert_eq!(
+                    (s.action, s.reward, s.logp, s.value, s.done, &s.obs),
+                    (p.action, p.reward, p.logp, p.value, p.done, &p.obs)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn supervisor_skips_episodes_that_exhaust_retries() {
+        quiet_flaky_panics();
+        let policy = Mlp::new(&[3, 8, 2], Activation::Tanh, 1);
+        let value = Mlp::new(&[3, 8, 1], Activation::Tanh, 2);
+        let mut env = ChainEnv::new(vec![0, 1], 2);
+        let reference = collect_episodes(&mut env, &policy, &value, 6, 0, 50, 13);
+        // Episode 3 panics on every attempt (budget far above retry cap).
+        let (mut envs, _) = FlakyEnv::pool(2, &[(3, u32::MAX)]);
+        let sup = collect_episodes_supervised(
+            &mut envs,
+            &policy,
+            &value,
+            6,
+            0,
+            50,
+            13,
+            &SupervisorConfig {
+                max_episode_retries: 2,
+            },
+        );
+        assert_eq!(sup.failed_episodes, vec![3]);
+        assert_eq!(sup.worker_respawns, 3); // initial attempt + 2 retries
+                                            // The other five episodes match the reference exactly.
+        assert_eq!(sup.batch.episode_returns.len(), 5);
+        let expected: Vec<f64> = reference
+            .episode_returns
+            .iter()
+            .enumerate()
+            .filter(|(e, _)| *e != 3)
+            .map(|(_, r)| *r)
+            .collect();
+        assert_eq!(sup.batch.episode_returns, expected);
+    }
+
+    #[test]
+    fn supervisor_matches_parallel_wrapper_without_faults() {
+        let policy = Mlp::new(&[3, 8, 2], Activation::Tanh, 1);
+        let value = Mlp::new(&[3, 8, 1], Activation::Tanh, 2);
+        let mut envs: Vec<Box<dyn Environment + Send>> = (0..3)
+            .map(|_| Box::new(ChainEnv::new(vec![0, 1], 2)) as Box<dyn Environment + Send>)
+            .collect();
+        let sup = collect_episodes_supervised(
+            &mut envs,
+            &policy,
+            &value,
+            7,
+            2,
+            50,
+            99,
+            &SupervisorConfig::default(),
+        );
+        assert_eq!(sup.worker_respawns, 0);
+        assert!(sup.failed_episodes.is_empty());
+        let wrapped = collect_episodes_parallel(&mut envs, &policy, &value, 7, 2, 50, 99);
+        assert_eq!(sup.batch.episode_returns, wrapped.episode_returns);
+        assert_eq!(sup.batch.transitions.len(), wrapped.transitions.len());
     }
 
     #[test]

@@ -113,11 +113,14 @@ fn spans_nest_across_the_worker_pool() {
             .unwrap_or_else(|| panic!("episode on a thread with no worker span: {ep:?}"));
         assert_contained(ep, parent);
     }
-    // 3 workers × 3 episodes each (static assignment of 9 episodes).
-    for w in &worker_spans {
-        let count = episodes.iter().filter(|e| e.thread == w.thread).count();
-        assert_eq!(count, 3, "episodes spread evenly over the static schedule");
-    }
+    // Workers pull from a shared queue, so the per-worker split is
+    // scheduling-dependent — only the total is pinned (and it already is,
+    // above). Every episode span must still belong to some worker thread.
+    let on_workers = episodes
+        .iter()
+        .filter(|e| worker_spans.iter().any(|w| w.thread == e.thread))
+        .count();
+    assert_eq!(on_workers, n_episodes, "every episode ran on a worker");
 
     // Serial collection: episodes nest under the batch span instead.
     telemetry::reset();

@@ -1,0 +1,298 @@
+//! Chaos suite: full evaluations driven through deterministic injected
+//! faults (`--features fault-injection`; run via `make chaos`).
+//!
+//! The fault-isolation contract this suite pins down end to end:
+//!
+//! 1. **Rollback** — a faulted pass application (panic, IR corruption,
+//!    fuel exhaustion) restores the verified pre-pass module and scores
+//!    as a zero-reward no-op.
+//! 2. **Survival** — a full PPO training run completes through a plan
+//!    injecting faults into several distinct passes, and the
+//!    `pass_fault_total` / `rollback_total` telemetry counters record
+//!    every isolated fault.
+//! 3. **Containment** — faults scoped to specific episodes leave every
+//!    *other* episode bit-identical to a fault-free run, at any worker
+//!    count, because injection is keyed to per-episode apply counters
+//!    (never to thread scheduling or cache warmth).
+//! 4. **Quarantine** — a chronic offender crosses the shared quarantine
+//!    threshold mid-run and is masked out of the action space for that
+//!    program, after which it can no longer fault.
+//!
+//! The fault plan is process-global, so every test here holds
+//! [`fault::test_guard`] for its full duration.
+#![cfg(feature = "fault-injection")]
+
+use autophase::core::env::{EnvConfig, FeatureNorm, ObservationKind, PhaseOrderEnv, RewardKind};
+use autophase::core::Quarantine;
+use autophase::ir::printer::print_module;
+use autophase::ir::verify::verify_module;
+use autophase::ir::Module;
+use autophase::passes::checked::FaultKind;
+use autophase::passes::fault::{self, FaultPlan, FaultSpec};
+use autophase::passes::registry;
+use autophase::progen::{program_batch, GenConfig};
+use autophase::rl::env::Environment;
+use autophase::rl::ppo::{PpoAgent, PpoConfig};
+use autophase::rl::rollout::{self, Batch};
+use autophase::telemetry;
+use std::sync::Arc;
+
+const EPISODE_LEN: usize = 8;
+
+fn programs() -> Vec<Module> {
+    program_batch(&GenConfig::default(), 77, 2)
+}
+
+fn env_config() -> EnvConfig {
+    EnvConfig {
+        observation: ObservationKind::Combined,
+        feature_norm: FeatureNorm::InstCount,
+        reward: RewardKind::Log,
+        episode_len: EPISODE_LEN,
+        filtered_features: true,
+        ..EnvConfig::default()
+    }
+}
+
+fn assert_batches_identical(a: &Batch, b: &Batch, what: &str) {
+    assert_eq!(a.episode_returns, b.episode_returns, "{what}: returns");
+    assert_eq!(a.transitions.len(), b.transitions.len(), "{what}: length");
+    for (i, (x, y)) in a.transitions.iter().zip(&b.transitions).enumerate() {
+        assert_eq!(x.obs, y.obs, "{what}: obs of transition {i}");
+        assert_eq!(x.action, y.action, "{what}: action of transition {i}");
+        assert_eq!(x.reward, y.reward, "{what}: reward of transition {i}");
+        assert_eq!(x.logp, y.logp, "{what}: logp of transition {i}");
+        assert_eq!(x.value, y.value, "{what}: value of transition {i}");
+        assert_eq!(x.done, y.done, "{what}: done of transition {i}");
+    }
+}
+
+/// A seeded plan across three distinct passes and all three fault kinds:
+/// every faulted apply must restore the exact verified pre-pass module.
+#[test]
+fn seeded_faults_roll_back_to_verified_prepass_modules() {
+    let _g = fault::test_guard();
+    fault::quiet_panic_hook();
+    // Any-context specs (episodes = 0): nth ∈ 1..=3 per pass, kinds
+    // cycling Panic / CorruptIr / ExhaustFuel — all from one seed.
+    let plan = fault::install_plan(FaultPlan::seeded(0xC0FFEE, &[38, 25, 31], 0));
+    assert_eq!(plan.specs().len(), 3);
+    let program = programs().remove(0);
+
+    for spec in plan.specs() {
+        // Default config: action index == Table-1 pass id.
+        let mut env = PhaseOrderEnv::single(program.clone(), EnvConfig::default());
+        env.reset();
+        // Shadow the env with unchecked applies up to the planned fault.
+        let mut shadow = program.clone();
+        for _ in 1..spec.nth {
+            env.step(spec.pass);
+            registry::apply(&mut shadow, spec.pass);
+        }
+        let before = print_module(&shadow);
+        let r = env.step(spec.pass);
+        assert_eq!(
+            r.reward,
+            0.0,
+            "faulted {} apply #{} must score zero",
+            registry::pass_name(spec.pass),
+            spec.nth
+        );
+        assert_eq!(
+            print_module(env.module()),
+            before,
+            "faulted {} apply #{} must roll back",
+            registry::pass_name(spec.pass),
+            spec.nth
+        );
+        verify_module(env.module()).unwrap();
+    }
+    assert_eq!(plan.fired(), 3, "every planned fault must have fired");
+    fault::clear_plan();
+}
+
+/// A full parallel PPO run completes through always-armed faults on three
+/// distinct passes, telemetry counts every isolated fault, and the shared
+/// quarantine masks offenders mid-run.
+#[test]
+fn ppo_training_survives_injected_faults_and_quarantines_offenders() {
+    let _g = fault::test_guard();
+    fault::quiet_panic_hook();
+    // nth=1, any episode: the first apply of each target pass faults in
+    // *every* episode (until quarantined).
+    const KINDS: [FaultKind; 3] = [
+        FaultKind::Panic,
+        FaultKind::CorruptIr,
+        FaultKind::ExhaustFuel,
+    ];
+    let specs = [38usize, 31, 30]
+        .iter()
+        .zip(KINDS)
+        .map(|(&pass, kind)| FaultSpec {
+            pass,
+            nth: 1,
+            episode: None,
+            kind,
+        })
+        .collect();
+    let plan = fault::install_plan(FaultPlan::new(specs));
+
+    telemetry::enable();
+    telemetry::reset();
+    let ps = programs();
+    let quarantine = Arc::new(Quarantine::new(1));
+    let mut envs: Vec<Box<dyn Environment + Send>> = (0..2)
+        .map(|_| {
+            let mut e = PhaseOrderEnv::new(ps.clone(), env_config());
+            e.set_quarantine(Arc::clone(&quarantine));
+            Box::new(e) as Box<dyn Environment + Send>
+        })
+        .collect();
+    let ppo_cfg = PpoConfig {
+        hidden: vec![16, 16],
+        max_episode_len: EPISODE_LEN,
+        ..PpoConfig::default()
+    };
+    let mut agent = PpoAgent::new(
+        envs[0].observation_dim(),
+        envs[0].num_actions(),
+        &ppo_cfg,
+        3,
+    );
+    let curve = agent.train_parallel(&mut envs, 6, 2);
+
+    assert_eq!(curve.len(), 2, "both PPO iterations must complete");
+    assert!(
+        curve.iter().all(|r| r.is_finite()),
+        "reward curve stayed finite: {curve:?}"
+    );
+    assert!(
+        plan.fired() >= 3,
+        "expected several faults across the run, got {}",
+        plan.fired()
+    );
+    assert!(
+        !quarantine.is_empty(),
+        "threshold-1 quarantine must have masked at least one offender"
+    );
+
+    let snap = telemetry::snapshot();
+    let total = |name: &str| -> u64 {
+        snap.counters
+            .iter()
+            .filter(|c| c.name == name)
+            .map(|c| c.value)
+            .sum()
+    };
+    assert!(
+        total("pass_fault_total") >= plan.fired(),
+        "every injected fault is counted"
+    );
+    assert_eq!(
+        total("pass_fault_total"),
+        total("rollback_total"),
+        "every fault implies exactly one rollback"
+    );
+    telemetry::disable();
+    telemetry::reset();
+    fault::clear_plan();
+}
+
+/// Episode-scoped faults are contained: every non-targeted episode stays
+/// bit-identical to the fault-free run, and the faulted batches themselves
+/// are bit-identical across worker counts.
+#[test]
+fn non_faulted_episodes_are_bit_identical_at_any_worker_count() {
+    let _g = fault::test_guard();
+    fault::quiet_panic_hook();
+    fault::clear_plan();
+    let ps = programs();
+    let n_episodes = 6usize;
+    let make_env = || PhaseOrderEnv::new(ps.clone(), EnvConfig::default());
+    let mut serial = make_env();
+    let ppo_cfg = PpoConfig {
+        hidden: vec![16, 16],
+        max_episode_len: EPISODE_LEN,
+        ..PpoConfig::default()
+    };
+    let agent = PpoAgent::new(serial.observation_dim(), serial.num_actions(), &ppo_cfg, 3);
+    let clean = rollout::collect_episodes(
+        &mut serial,
+        &agent.policy,
+        &agent.value,
+        n_episodes,
+        0,
+        EPISODE_LEN,
+        41,
+    );
+    assert_eq!(clean.transitions.len(), n_episodes * EPISODE_LEN);
+
+    // Target episodes 1 and 4 at a step that provably changes the module
+    // (nonzero reward in the clean run): the injected fault zeroes that
+    // reward, so the targeted trajectories must demonstrably diverge.
+    let target_episodes = [1u64, 4];
+    let specs = target_episodes
+        .iter()
+        .zip([FaultKind::Panic, FaultKind::CorruptIr])
+        .map(|(&ep, kind)| {
+            let lo = ep as usize * EPISODE_LEN;
+            let j = (lo..lo + EPISODE_LEN)
+                .find(|&j| clean.transitions[j].reward != 0.0)
+                .expect("clean episode has a changing step");
+            let action = clean.transitions[j].action;
+            let nth = (lo..=j)
+                .filter(|&k| clean.transitions[k].action == action)
+                .count() as u32;
+            FaultSpec {
+                pass: action, // default config: action index == pass id
+                nth,
+                episode: Some(ep),
+                kind,
+            }
+        })
+        .collect();
+    let plan = fault::install_plan(FaultPlan::new(specs));
+
+    let mut batches = Vec::new();
+    for workers in [1usize, 2, 3] {
+        let mut envs: Vec<Box<dyn Environment + Send>> = (0..workers)
+            .map(|_| Box::new(make_env()) as Box<dyn Environment + Send>)
+            .collect();
+        batches.push(rollout::collect_episodes_parallel(
+            &mut envs,
+            &agent.policy,
+            &agent.value,
+            n_episodes,
+            0,
+            EPISODE_LEN,
+            41,
+        ));
+    }
+    assert_eq!(plan.fired(), 2 * 3, "both faults fired in each of 3 runs");
+    fault::clear_plan();
+
+    for (b, workers) in batches.iter().zip([1usize, 2, 3]).skip(1) {
+        assert_batches_identical(&batches[0], b, &format!("{workers} workers vs 1"));
+    }
+    let faulted = &batches[0];
+    for ep in 0..n_episodes as u64 {
+        let range = ep as usize * EPISODE_LEN..(ep as usize + 1) * EPISODE_LEN;
+        if target_episodes.contains(&ep) {
+            assert_ne!(
+                &faulted.transitions[range.clone()],
+                &clean.transitions[range],
+                "episode {ep}: the injected fault must change the trajectory"
+            );
+        } else {
+            assert_eq!(
+                faulted.episode_returns[ep as usize], clean.episode_returns[ep as usize],
+                "episode {ep}: return must match the fault-free run"
+            );
+            assert_eq!(
+                &faulted.transitions[range.clone()],
+                &clean.transitions[range],
+                "episode {ep}: non-faulted trajectory must be bit-identical"
+            );
+        }
+    }
+}
