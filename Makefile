@@ -3,9 +3,9 @@
 
 CARGO ?= cargo
 
-.PHONY: ci build test clippy fmt fmt-fix bench telemetry chaos
+.PHONY: ci build test clippy fmt fmt-fix bench telemetry chaos perf-smoke
 
-ci: build test telemetry chaos clippy fmt
+ci: build test telemetry chaos perf-smoke clippy fmt
 
 build:
 	$(CARGO) build --release
@@ -41,3 +41,11 @@ chaos:
 
 bench:
 	$(CARGO) run --release -p autophase-bench --bin rollout_bench
+
+# Incremental-evaluation perf gate (DESIGN.md §4f): the differential
+# suite proves the per-function caches are bit-invisible across every
+# Table-1 pass, then rollout_bench enforces the single-worker speedup
+# floor and refreshes BENCH_incremental.json.
+perf-smoke:
+	$(CARGO) test -q --release -p autophase-features --test incremental_diff
+	$(CARGO) run --release -p autophase-bench --bin rollout_bench -- --scale medium --telemetry jsonl --min-speedup 1.5

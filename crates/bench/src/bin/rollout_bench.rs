@@ -1,17 +1,25 @@
-//! Before/after benchmark for the parallel rollout engine and the
-//! memoized evaluation cache.
+//! Before/after benchmarks for the rollout engine's two big levers.
 //!
-//! "Before" is the seed's collection path: one environment, serial
-//! episode collection, every `cycles()` a fresh compile + profile.
-//! "After" is the engine this PR adds: a worker pool of environments
-//! sharing one [`EvalCache`], so any `(program, pass-sequence)` state
-//! profiled once — by any worker, in any round — is a table lookup ever
-//! after.
+//! **Incremental evaluation** (single worker): one environment collecting
+//! serially over a medium multi-program corpus, with
+//! `EnvConfig::incremental` off ("before": every step re-verifies,
+//! re-extracts, and re-profiles the whole module) versus on ("after":
+//! copy-on-write modules, pass-derived change sets, per-function
+//! feature/schedule caches, and a content-addressed profile memo make a
+//! step cost proportional to what the pass changed). The headline
+//! speedup lands in `BENCH_incremental.json`, and `--min-speedup <x>`
+//! turns the binary into a regression gate that fails below the floor.
 //!
-//! Both paths collect the *same* episode indices under the *same* seeds,
-//! and episode-indexed collection makes the batches bit-identical (the
-//! binary asserts this every round), so the comparison is pure
-//! throughput: identical work, measured in environment steps per second.
+//! **Parallel collection + shared [`EvalCache`]**: the seed's serial
+//! path versus a worker pool of environments sharing one cache, so any
+//! `(program, pass-sequence)` state profiled once — by any worker, in
+//! any round — is a table lookup ever after.
+//!
+//! In both comparisons the two paths collect the *same* episode indices
+//! under the *same* seeds, and episode-indexed collection makes the
+//! batches bit-identical (the binary asserts this every round), so the
+//! comparison is pure throughput: identical work, measured in
+//! environment steps per second.
 //!
 //! All statistics are recorded through the workspace telemetry layer and
 //! rendered by its summary sink (`--telemetry summary`, the default for
@@ -21,19 +29,58 @@
 //! `results/rollout_bench_telemetry.jsonl`.
 //!
 //! Usage: `cargo run --release -p autophase-bench --bin rollout_bench
-//! [-- --scale small|medium|paper] [--telemetry summary|jsonl|prom|off]`.
+//! [-- --scale small|medium|paper] [--telemetry summary|jsonl|prom|off]
+//! [--min-speedup <x>]`.
 
 use autophase_bench::{telemetry_finish, telemetry_init, Scale, TelemetryMode};
 use autophase_core::env::{EnvConfig, FeatureNorm, ObservationKind, PhaseOrderEnv, RewardKind};
 use autophase_core::EvalCache;
+use autophase_ir::Module;
+use autophase_progen::{generate_valid, GenConfig};
 use autophase_rl::env::Environment;
 use autophase_rl::ppo::{PpoAgent, PpoConfig};
 use autophase_rl::rollout::{self, Batch};
 use autophase_telemetry as telemetry;
 use std::sync::Arc;
+use std::time::Instant;
 
 const EPISODE_LEN: usize = 12;
 const SEED: u64 = 8;
+
+/// Parse `--min-speedup <x>` from argv (no floor when absent).
+fn min_speedup_from_args() -> Option<f64> {
+    let args: Vec<String> = std::env::args().collect();
+    for w in args.windows(2) {
+        if w[0] == "--min-speedup" {
+            return w[1].parse().ok();
+        }
+    }
+    None
+}
+
+/// The medium corpus for the incremental comparison: the suite's
+/// multi-function programs plus generated many-helper ones, so change
+/// sets routinely dirty one function out of many — the regime
+/// incremental evaluation is built for. (The single-function suite
+/// programs are covered by the parallel/EvalCache comparison below;
+/// per-function caching is definitionally a no-op on them.)
+fn incremental_corpus() -> Vec<(String, Module)> {
+    let mut corpus: Vec<(String, Module)> = autophase_benchmarks::suite()
+        .into_iter()
+        .filter(|b| matches!(b.name, "adpcm" | "blowfish" | "dhrystone" | "sha"))
+        .map(|b| (b.name.to_string(), b.module))
+        .collect();
+    let cfg = GenConfig {
+        max_helpers: 8,
+        max_stmts: 8,
+        max_trip: 8,
+        ..GenConfig::default()
+    };
+    for seed in [11u64, 94, 233, 1042, 4711] {
+        corpus.push((format!("gen{seed}"), generate_valid(&cfg, seed)));
+    }
+    corpus
+}
 
 fn env_config() -> EnvConfig {
     EnvConfig {
@@ -91,6 +138,87 @@ fn main() {
     );
     eprintln!("warming up policy ({warmup_iters} serial PPO iterations on gsm)...");
     agent.train(&mut warm_env, warmup_iters);
+
+    // ---- Incremental evaluation: full recompute vs. change-set driven ----
+    // Single worker, serial collection, no shared EvalCache on either
+    // side: the measured speedup is the incremental machinery's alone.
+    let corpus = incremental_corpus();
+    let corpus_names: Vec<&str> = corpus.iter().map(|(n, _)| n.as_str()).collect();
+    let inc_rounds = scale.pick(6, 16, 32);
+    let inc_eps = scale.pick(12, 24, 64);
+    eprintln!(
+        "incremental comparison: {inc_rounds} rounds x {inc_eps} episodes over {} programs...",
+        corpus.len()
+    );
+    let run_serial = |env: &mut PhaseOrderEnv| -> (Vec<Batch>, f64, u64) {
+        let t = Instant::now();
+        let mut batches = Vec::with_capacity(inc_rounds);
+        for r in 0..inc_rounds {
+            batches.push(rollout::collect_episodes(
+                env,
+                &agent.policy,
+                &agent.value,
+                inc_eps,
+                (r * inc_eps) as u64,
+                EPISODE_LEN,
+                rollout::episode_seed(0xFACE, r as u64),
+            ));
+        }
+        (batches, t.elapsed().as_secs_f64(), env.samples())
+    };
+    let modules: Vec<Module> = corpus.iter().map(|(_, m)| m.clone()).collect();
+    let mut full_env = PhaseOrderEnv::new(
+        modules.clone(),
+        EnvConfig {
+            incremental: false,
+            ..env_config()
+        },
+    );
+    let (full_batches, full_secs, full_samples) = run_serial(&mut full_env);
+    let mut inc_env = PhaseOrderEnv::new(modules, env_config());
+    let (inc_batches, inc_secs, inc_samples) = run_serial(&mut inc_env);
+    for (r, (a, b)) in full_batches.iter().zip(&inc_batches).enumerate() {
+        assert!(
+            batches_equal(a, b),
+            "round {r}: incremental batch diverged from the full-recompute one"
+        );
+    }
+    let inc_steps: usize = inc_batches.iter().map(|b| b.transitions.len()).sum();
+    let full_sps = inc_steps as f64 / full_secs;
+    let inc_sps = inc_steps as f64 / inc_secs;
+    let inc_speedup = inc_sps / full_sps;
+    telemetry::set_gauge("bench.incremental_full_steps_per_sec", "", full_sps);
+    telemetry::set_gauge("bench.incremental_steps_per_sec", "", inc_sps);
+    telemetry::set_gauge("bench.incremental_speedup", "", inc_speedup);
+    println!(
+        "incremental evaluation on {} programs ({inc_steps} env steps per path, 1 worker)",
+        corpus.len()
+    );
+    println!(
+        "  full recompute: {full_sps:.1} steps/s ({full_samples} profiler runs)  \
+         incremental: {inc_sps:.1} steps/s ({inc_samples} profiler runs)  \
+         speedup: {inc_speedup:.2}x"
+    );
+    println!("determinism: all {inc_rounds} incremental batches bit-identical to full ones");
+    let json = format!(
+        "{{\n  \"benchmark\": \"rollout_bench_incremental\",\n  \"corpus\": [{}],\n  \
+         \"workers\": 1,\n  \"rounds\": {inc_rounds},\n  \"episodes_per_round\": {inc_eps},\n  \
+         \"episode_len\": {EPISODE_LEN},\n  \"env_steps\": {inc_steps},\n  \
+         \"full_recompute\": {{ \"secs\": {full_secs:.3}, \"steps_per_sec\": {full_sps:.1}, \
+         \"profiler_runs\": {full_samples} }},\n  \
+         \"incremental\": {{ \"secs\": {inc_secs:.3}, \"steps_per_sec\": {inc_sps:.1}, \
+         \"profiler_runs\": {inc_samples} }},\n  \"speedup\": {inc_speedup:.2},\n  \
+         \"bit_identical\": true\n}}\n",
+        corpus_names
+            .iter()
+            .map(|n| format!("\"{n}\""))
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    match std::fs::write("BENCH_incremental.json", &json) {
+        Ok(()) => eprintln!("wrote BENCH_incremental.json"),
+        Err(e) => eprintln!("could not write BENCH_incremental.json: {e}"),
+    }
 
     let total_eps = rounds * episodes_per_round;
     let total_steps_hint = total_eps * EPISODE_LEN;
@@ -166,4 +294,12 @@ fn main() {
     println!("rollout throughput on gsm ({steps} env steps per path, {workers} workers)");
     println!("determinism: all {rounds} parallel batches bit-identical to serial ones");
     telemetry_finish("rollout_bench", tmode);
+
+    if let Some(floor) = min_speedup_from_args() {
+        if inc_speedup < floor {
+            eprintln!("FAIL: incremental speedup {inc_speedup:.2}x is below the {floor}x floor");
+            std::process::exit(1);
+        }
+        println!("incremental speedup {inc_speedup:.2}x meets the {floor}x floor");
+    }
 }

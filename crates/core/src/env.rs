@@ -1,14 +1,19 @@
 //! The phase-ordering RL environment (§5.1).
 
 use crate::eval_cache::{fingerprint_module, CacheEntry, CacheKey, EvalCache, SeqHash};
+use crate::incremental::{IncrementalEval, ProfileMemo, SnapEntry, SnapshotMemo};
 use crate::quarantine::Quarantine;
 use autophase_features::{
     extract, filter_features, log_normalize, normalize_to_inst_count, FeatureVector,
     FILTERED_FEATURES, NUM_FEATURES,
 };
-use autophase_hls::{profile::profile_module, HlsConfig};
+use autophase_hls::{
+    profile::{profile_module, profile_module_cached, HlsReport},
+    HlsConfig, ScheduleCache,
+};
 use autophase_ir::Module;
-use autophase_passes::checked::apply_checked_with;
+use autophase_passes::changeset::{apply_traced, ChangeSet};
+use autophase_passes::checked::apply_checked_traced;
 use autophase_passes::registry::{self, NUM_PASSES};
 use autophase_passes::FuelBudget;
 use autophase_rl::env::{Environment, StepResult};
@@ -102,6 +107,14 @@ pub struct EnvConfig {
     pub fault_isolation: bool,
     /// Resource budget for checked pass applications.
     pub fuel: FuelBudget,
+    /// Function-granular incremental evaluation: maintain per-function
+    /// fingerprints and feature decompositions under each pass's change
+    /// set, reuse FSM schedules for untouched functions, and memoize
+    /// whole-module profiles by content fingerprint. Results are
+    /// bit-identical to the from-scratch path (the differential suites
+    /// enforce this); only the amount of work per step changes. On by
+    /// default; turn off to reproduce the full-recompute baseline.
+    pub incremental: bool,
 }
 
 impl Default for EnvConfig {
@@ -118,6 +131,7 @@ impl Default for EnvConfig {
             hls: HlsConfig::default(),
             fault_isolation: true,
             fuel: FuelBudget::default(),
+            incremental: true,
         }
     }
 }
@@ -181,6 +195,31 @@ pub struct PhaseOrderEnv {
     applied: Vec<usize>,
     /// How many entries of `applied` are reflected in `current`.
     materialized: usize,
+    /// Incremental fingerprint/feature state, always synced with
+    /// `current`'s materialized prefix. `None` until the first reset of an
+    /// incremental episode (or always, with `cfg.incremental` off).
+    inc: Option<IncrementalEval>,
+    /// Lazily built pristine [`IncrementalEval`] per program, cloned into
+    /// `inc` at reset so episode starts cost O(#functions) copies instead
+    /// of a full re-extraction.
+    inc_templates: Vec<Option<IncrementalEval>>,
+    /// Per-function schedule/area cache, keyed by content fingerprint.
+    /// Persistent across episodes and programs (one env = one HlsConfig).
+    sched: ScheduleCache,
+    /// Whole-module profile memo keyed by module content fingerprint.
+    memo: ProfileMemo,
+    /// Step-transition snapshots keyed by `(program index, exact
+    /// changing-pass sequence)`. A hit replaces pass execution with a
+    /// copy-on-write restore of the recorded result.
+    snap: SnapshotMemo,
+    /// Index in `programs` of the episode's program (unlike
+    /// `program_cursor`, which already points at the *next* episode's).
+    episode_program: usize,
+    /// Whether `applied` is an exact changing-pass sequence from the
+    /// episode's pristine program — false until the first reset, and
+    /// after a mid-episode cache attach rebases the sequence bookkeeping
+    /// onto a non-pristine state. Snapshot keys are only sound when true.
+    snap_keys_valid: bool,
 }
 
 impl PhaseOrderEnv {
@@ -209,7 +248,15 @@ impl PhaseOrderEnv {
             seq_hash: SeqHash::new(),
             applied: Vec::new(),
             materialized: 0,
+            inc: None,
+            inc_templates: Vec::new(),
+            sched: ScheduleCache::default(),
+            memo: ProfileMemo::default(),
+            snap: SnapshotMemo::default(),
+            episode_program: 0,
+            snap_keys_valid: false,
         };
+        env.inc_templates = (0..env.programs.len()).map(|_| None).collect();
         env.action_histogram = vec![0.0; env.num_actions()];
         env
     }
@@ -276,11 +323,14 @@ impl PhaseOrderEnv {
         if self.program_fps.is_empty() {
             self.program_fps = self.programs.iter().map(fingerprint_module).collect();
             // The episode may already be underway (mid-episode attach):
-            // fingerprint the live module state so keys stay exact.
+            // fingerprint the live module state so keys stay exact. The
+            // rebased `applied` no longer starts at a pristine program,
+            // so snapshot keys are invalid until the next reset.
             self.current_fp = fingerprint_module(&self.current);
             self.seq_hash = SeqHash::new();
             self.applied.clear();
             self.materialized = 0;
+            self.snap_keys_valid = false;
         }
     }
 
@@ -305,30 +355,72 @@ impl PhaseOrderEnv {
     /// (and without charging a sample); only misses profile. Failed
     /// profiles are never cached.
     pub fn cycles(&mut self) -> u64 {
-        if let Some(cache) = self.cache.clone() {
+        // Narrow re-borrows of `self.cache` throughout: cloning the `Arc`
+        // here (the old code) was an atomic refcount bump on *every* step
+        // of every worker — pure overhead, since the cache is never
+        // detached mid-call.
+        if self.cache.is_some() {
             let key = CacheKey {
                 program: self.current_fp,
                 seq: self.seq_hash.value(),
             };
-            if let Some(entry) = cache.get(&key) {
+            if let Some(entry) = self.cache.as_deref().and_then(|c| c.get(&key)) {
                 return self.objective_of(&entry);
             }
             self.materialize();
-            self.samples += 1;
-            let report = match profile_module(&self.current, &self.cfg.hls) {
-                Ok(r) => r,
-                Err(_) => return u64::MAX / 4,
+            let report = match self.profile_current() {
+                Some(r) => r,
+                None => return u64::MAX / 4,
             };
-            let entry = CacheEntry::from_report(&self.current, &report);
+            // With incremental state the entry is assembled from the
+            // already-maintained fingerprint and feature total — no module
+            // re-walk; otherwise fall back to the full extraction.
+            let entry = match &self.inc {
+                Some(inc) => CacheEntry::from_parts(inc.module_fp(), inc.features(), &report),
+                None => CacheEntry::from_report(&self.current, &report),
+            };
             let value = self.objective_of(&entry);
-            cache.insert(key, entry);
+            if let Some(cache) = self.cache.as_deref() {
+                cache.insert(key, entry);
+            }
             return value;
         }
+        match self.profile_current() {
+            Some(report) => self.objective_of_report(&report),
+            None => u64::MAX / 4,
+        }
+    }
+
+    /// Profile `current` (which must be fully materialized), through the
+    /// incremental machinery when enabled: a content-fingerprint memo hit
+    /// returns a past report without running the profiler (and without
+    /// charging a sample — the memo has [`EvalCache`] sampling semantics);
+    /// a miss profiles with per-function schedule reuse. `None` when
+    /// execution failed (never memoized).
+    fn profile_current(&mut self) -> Option<Arc<HlsReport>> {
+        if let Some(inc) = &self.inc {
+            let fp = inc.module_fp();
+            if let Some(report) = self.memo.get(fp) {
+                return Some(report);
+            }
+            self.samples += 1;
+            let report =
+                profile_module_cached(&self.current, &self.cfg.hls, &mut self.sched, |f| {
+                    inc.func_fp(f).expect("live function has a fingerprint")
+                })
+                .ok()?;
+            let report = Arc::new(report);
+            self.memo.insert(fp, Arc::clone(&report));
+            return Some(report);
+        }
         self.samples += 1;
-        let report = match profile_module(&self.current, &self.cfg.hls) {
-            Ok(r) => r,
-            Err(_) => return u64::MAX / 4,
-        };
+        profile_module(&self.current, &self.cfg.hls)
+            .ok()
+            .map(Arc::new)
+    }
+
+    /// The configured objective read off a profile report.
+    fn objective_of_report(&self, report: &HlsReport) -> u64 {
         match self.cfg.objective {
             Objective::Cycles => report.cycles,
             Objective::Area => report.area.total(),
@@ -382,10 +474,135 @@ impl PhaseOrderEnv {
     /// cannot alter what later passes see.
     fn materialize(&mut self) {
         for i in self.materialized..self.applied.len() {
-            let changed = registry::apply(&mut self.current, self.applied[i]);
-            debug_assert!(changed, "memoized changing pass replayed as no-op");
+            if self.inc.is_some() {
+                // A replayed prefix is a previously walked sequence by
+                // definition, so the snapshot memo usually turns the whole
+                // replay into copy-on-write restores.
+                if self.snap_keys_valid {
+                    let key: Vec<u16> = self.applied[..=i].iter().map(|&p| p as u16).collect();
+                    if let Some(entry) = self.snap.get(self.episode_program, key) {
+                        debug_assert!(entry.changed(), "memoized changing pass recorded as no-op");
+                        if let Some((module, eval)) = entry.state_clone() {
+                            self.current = module;
+                            self.inc = Some(eval);
+                        }
+                        continue;
+                    }
+                }
+                let pass = self.applied[i];
+                let (changed, cs) = apply_traced(&mut self.current, pass);
+                debug_assert!(changed, "memoized changing pass replayed as no-op");
+                self.note_change(&cs);
+                if self.snap_keys_valid {
+                    let key: Vec<u16> = self.applied[..=i].iter().map(|&p| p as u16).collect();
+                    let entry = SnapEntry::change(
+                        self.current.clone(),
+                        self.inc.clone().expect("incremental mode"),
+                    );
+                    self.snap.insert(self.episode_program, key, entry);
+                }
+            } else {
+                let changed = registry::apply(&mut self.current, self.applied[i]);
+                debug_assert!(changed, "memoized changing pass replayed as no-op");
+            }
         }
         self.materialized = self.applied.len();
+    }
+
+    /// The snapshot-memo key for applying `pass_id` to the current state:
+    /// the episode's changing-pass sequence so far, plus the new pass.
+    fn snap_key(&self, pass_id: usize) -> Vec<u16> {
+        let mut key: Vec<u16> = self.applied.iter().map(|&p| p as u16).collect();
+        key.push(pass_id as u16);
+        key
+    }
+
+    /// Serve a step's apply from the snapshot memo if this exact
+    /// `(program, sequence, pass)` transition was walked before: restore
+    /// the recorded post-pass module and incremental state (COW clones)
+    /// and report its change flag, skipping pass execution entirely.
+    fn snapshot_lookup(&mut self, pass_id: usize) -> Option<bool> {
+        if !self.snap_keys_valid || self.inc.is_none() {
+            return None;
+        }
+        let key = self.snap_key(pass_id);
+        let entry = self.snap.get(self.episode_program, key)?;
+        if let Some((module, eval)) = entry.state_clone() {
+            self.current = module;
+            self.inc = Some(eval);
+        }
+        Some(entry.changed())
+    }
+
+    /// Apply `pass_id` to the (materialized) current state and record the
+    /// transition in the snapshot memo. Returns `(changed, faulted)`;
+    /// faulted applies are rolled back by the checked layer and never
+    /// recorded.
+    fn apply_and_record(&mut self, pass_id: usize) -> (bool, bool) {
+        let (changed, faulted) = if self.cfg.fault_isolation {
+            match apply_checked_traced(&mut self.current, pass_id, &self.cfg.fuel, None) {
+                Ok((c, cs)) => {
+                    if c {
+                        self.note_change(&cs);
+                    }
+                    (c, false)
+                }
+                Err(_) => (false, true),
+            }
+        } else {
+            (self.apply_unchecked(pass_id), false)
+        };
+        if !faulted && self.snap_keys_valid && self.inc.is_some() {
+            let entry = if changed {
+                SnapEntry::change(
+                    self.current.clone(),
+                    self.inc.clone().expect("incremental mode"),
+                )
+            } else {
+                SnapEntry::noop()
+            };
+            self.snap
+                .insert(self.episode_program, self.snap_key(pass_id), entry);
+        }
+        (changed, faulted)
+    }
+
+    /// (hits, misses) of the step-transition snapshot memo.
+    pub fn snapshot_stats(&self) -> (u64, u64) {
+        self.snap.stats()
+    }
+
+    /// The per-function incremental state (fingerprints + feature
+    /// decomposition), if incremental evaluation is active. Exposed so
+    /// invariant suites (chaos, differential) can assert it stays in
+    /// lock-step with the module through faults and rollbacks.
+    pub fn incremental_state(&self) -> Option<&IncrementalEval> {
+        self.inc.as_ref()
+    }
+
+    /// Fold one successful, changing pass application's change set into
+    /// the incremental state (no-op when incremental evaluation is off).
+    /// Never called for faulted applies: the transactional rollback
+    /// restores the exact pre-pass module, which `inc` already describes.
+    fn note_change(&mut self, cs: &ChangeSet) {
+        if let Some(inc) = &mut self.inc {
+            inc.apply(&self.current, cs);
+        }
+    }
+
+    /// Unchecked apply (fault isolation off) — traced only when the
+    /// incremental state needs the change set, so the legacy configuration
+    /// stays byte-for-byte the seed path.
+    fn apply_unchecked(&mut self, pass_id: usize) -> bool {
+        if self.inc.is_some() {
+            let (changed, cs) = apply_traced(&mut self.current, pass_id);
+            if changed {
+                self.note_change(&cs);
+            }
+            changed
+        } else {
+            registry::apply(&mut self.current, pass_id)
+        }
     }
 
     /// Materialize `current` if the next observation will need it (i.e.
@@ -434,6 +651,12 @@ impl PhaseOrderEnv {
             if let Some(entry) = cache.peek(&key) {
                 return entry.features;
             }
+        }
+        // The incremental total is maintained to equal `extract` of the
+        // materialized module at all times, so serving it here replaces a
+        // full module walk with a copy.
+        if let Some(inc) = &self.inc {
+            return inc.features();
         }
         extract(&self.current)
     }
@@ -499,7 +722,21 @@ impl Environment for PhaseOrderEnv {
         // Leave any per-episode fault-injection context behind.
         #[cfg(any(test, feature = "fault-injection"))]
         autophase_passes::fault::set_episode(None);
+        // A COW clone: O(#functions) refcount bumps, not a deep copy.
         self.current = self.programs[self.program_cursor].clone();
+        self.episode_program = self.program_cursor;
+        if self.cfg.incremental {
+            let idx = self.program_cursor;
+            if self.inc_templates[idx].is_none() {
+                // First episode on this program: pay one full extraction,
+                // then every later reset clones the finished decomposition.
+                self.inc_templates[idx] = Some(IncrementalEval::new(&self.programs[idx]));
+            }
+            self.inc = self.inc_templates[idx].clone();
+        }
+        // The episode starts pristine, so `applied` (cleared below) is an
+        // exact changing-pass sequence again.
+        self.snap_keys_valid = true;
         if !self.program_fps.is_empty() {
             self.current_fp = self.program_fps[self.program_cursor];
         }
@@ -574,10 +811,13 @@ impl Environment for PhaseOrderEnv {
             // directions: a hit would skip the planned fault, a write
             // would poison fault-free runs.
             self.materialize();
-            match apply_checked_with(&mut self.current, pass_id, &self.cfg.fuel, injected) {
-                Ok(c) => {
-                    if c && self.cache.is_some() {
-                        self.materialized += 1;
+            match apply_checked_traced(&mut self.current, pass_id, &self.cfg.fuel, injected) {
+                Ok((c, cs)) => {
+                    if c {
+                        self.note_change(&cs);
+                        if self.cache.is_some() {
+                            self.materialized += 1;
+                        }
                     }
                     c
                 }
@@ -586,31 +826,31 @@ impl Environment for PhaseOrderEnv {
                     false
                 }
             }
-        } else if let Some(cache) = self.cache.clone() {
+        } else if self.cache.is_some() {
             let key = CacheKey {
                 program: self.current_fp,
                 seq: self.seq_hash.value(),
             };
-            match cache.transition(&key, pass_id) {
+            // `transition` returns an owned answer, so this narrow borrow
+            // replaces the old per-step `Arc` clone (an atomic refcount
+            // bump on every step of every worker).
+            match self
+                .cache
+                .as_deref()
+                .and_then(|c| c.transition(&key, pass_id))
+            {
                 Some(c) => c,
                 None => {
                     self.materialize();
-                    let c = if self.cfg.fault_isolation {
-                        match apply_checked_with(&mut self.current, pass_id, &self.cfg.fuel, None) {
-                            Ok(c) => c,
-                            Err(_) => {
-                                faulted = true;
-                                false
-                            }
-                        }
-                    } else {
-                        registry::apply(&mut self.current, pass_id)
-                    };
+                    let (c, f) = self.apply_and_record(pass_id);
+                    faulted = f;
                     // Faulted transitions are never memoized: quarantine
                     // counts *repeat* offenses, and a memo hit would
                     // silently absorb every later one.
                     if !faulted {
-                        cache.record_transition(key, pass_id, c);
+                        if let Some(cache) = self.cache.as_deref() {
+                            cache.record_transition(key, pass_id, c);
+                        }
                     }
                     if c {
                         // `applied` gains this pass below; `current`
@@ -620,16 +860,14 @@ impl Environment for PhaseOrderEnv {
                     c
                 }
             }
-        } else if self.cfg.fault_isolation {
-            match apply_checked_with(&mut self.current, pass_id, &self.cfg.fuel, None) {
-                Ok(c) => c,
-                Err(_) => {
-                    faulted = true;
-                    false
-                }
-            }
+        } else if let Some(c) = self.snapshot_lookup(pass_id) {
+            // Incremental mode, previously walked transition: the pass
+            // did not run — the recorded result was restored instead.
+            c
         } else {
-            registry::apply(&mut self.current, pass_id)
+            let (c, f) = self.apply_and_record(pass_id);
+            faulted = f;
+            c
         };
         if faulted {
             // The module was rolled back to its verified pre-pass state by
@@ -643,8 +881,13 @@ impl Environment for PhaseOrderEnv {
             // Only changing passes enter the key: every no-op-padded
             // variant of one effective sequence shares a cache entry.
             self.seq_hash.push(pass_id);
-            if self.cache.is_some() {
+            if self.cache.is_some() || self.inc.is_some() {
                 self.applied.push(pass_id);
+                if self.cache.is_none() {
+                    // Without a cache there is no lazy materialization:
+                    // `current` always reflects the whole sequence.
+                    self.materialized = self.applied.len();
+                }
             }
         }
         self.action_histogram[action] += 1.0;
@@ -682,6 +925,10 @@ pub fn sequence_cycles(program: &Module, seq: &[usize], hls: &HlsConfig) -> u64 
 /// cycle count (one compilation — used where the caller also wants the
 /// program's features, e.g. the §5.2 multi-action observation).
 pub fn apply_and_profile(program: &Module, seq: &[usize], hls: &HlsConfig) -> (Module, u64) {
+    // COW clone: the arenas are shared `Arc`s, and the pass pipeline
+    // copy-on-writes only the functions it actually rewrites, so an
+    // all-no-op sequence never copies a body at all. Bit-identical to the
+    // old deep copy (see `apply_and_profile_matches_deep_clone_path`).
     let mut m = program.clone();
     registry::apply_sequence(&mut m, seq);
     let cycles = profile_module(&m, hls)
@@ -1112,6 +1359,141 @@ mod tests {
             let r2 = unchecked.step(a);
             assert_eq!(r1.reward, r2.reward, "pass {a}");
             assert_eq!(r1.observation, r2.observation, "pass {a}");
+        }
+    }
+
+    #[test]
+    fn incremental_env_bit_identical_to_full_recompute() {
+        // Same actions, same program: the incremental env must produce
+        // exactly the observations/rewards of the full-recompute baseline,
+        // across episode boundaries (templates, memo reuse).
+        let for_cfg = |incremental: bool| {
+            let cfg = EnvConfig {
+                episode_len: 8,
+                incremental,
+                ..EnvConfig::default()
+            };
+            let mut env = PhaseOrderEnv::single(small_program(), cfg);
+            let mut log: Vec<(Vec<f64>, f64)> = Vec::new();
+            for _ in 0..2 {
+                let obs = env.reset();
+                log.push((obs, f64::NAN));
+                for &a in &[38usize, 23, 33, 30, 31, 25, 44, 28] {
+                    let r = env.step(a);
+                    log.push((r.observation, r.reward));
+                }
+                log.push((Vec::new(), env.cycles() as f64));
+            }
+            log
+        };
+        let inc = for_cfg(true);
+        let full = for_cfg(false);
+        assert_eq!(inc.len(), full.len());
+        for (i, (a, b)) in inc.iter().zip(&full).enumerate() {
+            assert_eq!(a.0, b.0, "observation diverged at entry {i}");
+            assert!(
+                a.1 == b.1 || (a.1.is_nan() && b.1.is_nan()),
+                "reward diverged at entry {i}: {} vs {}",
+                a.1,
+                b.1
+            );
+        }
+    }
+
+    #[test]
+    fn profile_memo_serves_repeat_states_without_sampling() {
+        let mut env = PhaseOrderEnv::single(small_program(), EnvConfig::default());
+        env.reset();
+        let after_first_reset = env.samples();
+        assert!(after_first_reset > 0);
+        // Second episode on the same program: the reset-state profile is a
+        // content-fingerprint memo hit, not a new profiler run.
+        env.reset();
+        assert_eq!(
+            env.samples(),
+            after_first_reset,
+            "pristine-state re-profile must be a memo hit"
+        );
+        // And a step that revisits a previously profiled post-pass state
+        // (same pass, fresh episode) is also free.
+        let r1 = env.step(38);
+        let after_first_step = env.samples();
+        env.reset();
+        let r2 = env.step(38);
+        assert_eq!(env.samples(), after_first_step);
+        assert_eq!(r1.reward, r2.reward);
+        assert_eq!(r1.observation, r2.observation);
+    }
+
+    #[test]
+    fn snapshot_memo_serves_repeat_sequences() {
+        // Walking the same action sequence twice: episode two's applies
+        // are all snapshot hits (the passes never run), and the episode
+        // is bit-identical to the first.
+        let cfg = EnvConfig {
+            episode_len: 6,
+            ..EnvConfig::default()
+        };
+        let mut env = PhaseOrderEnv::single(small_program(), cfg);
+        let actions = [38usize, 23, 33, 30, 44, 31];
+        let run = |env: &mut PhaseOrderEnv| {
+            let mut log = vec![(env.reset(), 0.0)];
+            for &a in &actions {
+                let r = env.step(a);
+                log.push((r.observation, r.reward));
+            }
+            log
+        };
+        let first = run(&mut env);
+        let (h0, m0) = env.snapshot_stats();
+        assert_eq!(h0, 0, "first walk has nothing to hit");
+        assert_eq!(m0, actions.len() as u64);
+        let second = run(&mut env);
+        let (h1, m1) = env.snapshot_stats();
+        assert_eq!(h1, actions.len() as u64, "second walk is all hits");
+        assert_eq!(m1, m0, "second walk misses nothing");
+        assert_eq!(first, second);
+        // Diverging at the last step records exactly one new transition.
+        env.reset();
+        for &a in &actions[..actions.len() - 1] {
+            env.step(a);
+        }
+        env.step(7);
+        let (h2, m2) = env.snapshot_stats();
+        assert_eq!(h2, h1 + (actions.len() - 1) as u64);
+        assert_eq!(m2, m1 + 1);
+    }
+
+    #[test]
+    fn apply_and_profile_matches_deep_clone_path() {
+        // Regression for the COW routing: the shared-arena clone inside
+        // `apply_and_profile` must be indistinguishable from the pre-COW
+        // deep copy, and must leave the input program untouched.
+        let p = small_program();
+        let pristine = autophase_ir::printer::print_module(&p);
+        let hls = HlsConfig::default();
+        for seq in [
+            vec![38usize, 23, 33, 30, 31],
+            vec![44usize, 44, 44],
+            vec![25usize, 31, 7, 28, 43, 38],
+        ] {
+            let (cow_m, cow_cycles) = apply_and_profile(&p, &seq, &hls);
+            let mut deep = p.deep_clone();
+            registry::apply_sequence(&mut deep, &seq);
+            let deep_cycles = profile_module(&deep, &hls)
+                .map(|r| r.cycles)
+                .unwrap_or(u64::MAX / 4);
+            assert_eq!(cow_cycles, deep_cycles, "seq {seq:?}");
+            assert_eq!(
+                autophase_ir::printer::print_module(&cow_m),
+                autophase_ir::printer::print_module(&deep),
+                "seq {seq:?}"
+            );
+            assert_eq!(
+                autophase_ir::printer::print_module(&p),
+                pristine,
+                "input aliased by COW apply (seq {seq:?})"
+            );
         }
     }
 

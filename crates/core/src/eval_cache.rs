@@ -39,7 +39,7 @@
 use autophase_features::FeatureVector;
 use autophase_hls::area::AreaReport;
 use autophase_hls::profile::HlsReport;
-use autophase_ir::printer::print_module;
+use autophase_ir::fingerprint::mix64 as mix;
 use autophase_ir::Module;
 use autophase_telemetry as telemetry;
 use std::collections::HashMap;
@@ -55,27 +55,86 @@ fn lock_shard<T: ?Sized>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     m.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
-/// 64-bit FNV-1a over a byte string.
-fn fnv1a(bytes: &[u8]) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for &b in bytes {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x100_0000_01b3);
-    }
-    h
-}
-
-/// SplitMix64 finalizer — a strong 64-bit mix.
-fn mix(mut z: u64) -> u64 {
-    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
-}
-
-/// Fingerprint of a module's current state (FNV-1a over its printed IR).
+/// Fingerprint of a module's current state: an order-sensitive combine of
+/// its name, per-slot global fingerprints, and per-slot function
+/// fingerprints (see [`autophase_ir::fingerprint`]). Because the value is
+/// composed from per-slot hashes, an incremental maintainer
+/// ([`ModuleFingerprints`]) can re-hash only dirty slots and arrive at
+/// exactly this value.
 pub fn fingerprint_module(m: &Module) -> u64 {
-    fnv1a(print_module(m).as_bytes())
+    autophase_ir::fingerprint::fingerprint_module(m)
+}
+
+/// Incrementally maintained per-slot function fingerprints plus the
+/// combined module value.
+///
+/// [`ModuleFingerprints::update`] re-hashes only the functions a pass
+/// dirtied (per the pass layer's `ChangeSet`); structural or global
+/// changes route through [`ModuleFingerprints::rebuild`]. The combined
+/// value always equals [`fingerprint_module`] of the synced module, so
+/// content-addressed caches keyed either way agree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModuleFingerprints {
+    name_fp: u64,
+    globals_fp: u64,
+    per_func: Vec<Option<u64>>,
+}
+
+impl ModuleFingerprints {
+    /// Hash everything from scratch.
+    pub fn new(m: &Module) -> ModuleFingerprints {
+        let mut fps = ModuleFingerprints {
+            name_fp: 0,
+            globals_fp: 0,
+            per_func: Vec::new(),
+        };
+        fps.rebuild(m);
+        fps
+    }
+
+    /// Re-hash the whole module (structural changes, global mutations,
+    /// or first sync).
+    pub fn rebuild(&mut self, m: &Module) {
+        use autophase_ir::fingerprint::{
+            combine_slots, fingerprint_function, fingerprint_global, fnv1a,
+        };
+        self.name_fp = fnv1a(m.name.as_bytes());
+        self.globals_fp = combine_slots(
+            0x610B_A150_610B_A150,
+            (0..m.global_capacity()).map(|i| {
+                m.global_arc(autophase_ir::GlobalId::from_index(i))
+                    .map(|g| fingerprint_global(g))
+            }),
+        );
+        self.per_func.clear();
+        self.per_func.resize(m.func_capacity(), None);
+        for fid in m.func_ids() {
+            self.per_func[fid.index()] = Some(fingerprint_function(m.func(fid)));
+        }
+    }
+
+    /// Re-hash only `dirty` functions. Sound only for non-structural
+    /// changes that left globals untouched (the caller falls back to
+    /// [`ModuleFingerprints::rebuild`] otherwise).
+    pub fn update(&mut self, m: &Module, dirty: &[autophase_ir::FuncId]) {
+        use autophase_ir::fingerprint::fingerprint_function;
+        for &fid in dirty {
+            self.per_func[fid.index()] = Some(fingerprint_function(m.func(fid)));
+        }
+    }
+
+    /// The fingerprint of one function slot (`None` for empty slots).
+    pub fn func_fp(&self, fid: autophase_ir::FuncId) -> Option<u64> {
+        self.per_func.get(fid.index()).copied().flatten()
+    }
+
+    /// The combined module fingerprint — equal to [`fingerprint_module`]
+    /// of the module this state is synced with.
+    pub fn value(&self) -> u64 {
+        use autophase_ir::fingerprint::combine_slots;
+        let funcs_fp = combine_slots(0xF07C_F07C_F07C_F07C, self.per_func.iter().copied());
+        mix(self.name_fp ^ mix(self.globals_fp ^ mix(funcs_fp)))
+    }
 }
 
 /// Order-sensitive rolling hash over an applied pass-id stream.
@@ -156,6 +215,22 @@ impl CacheEntry {
         CacheEntry {
             module_fingerprint: fingerprint_module(m),
             features: autophase_features::extract(m),
+            cycles: report.cycles,
+            area: report.area.clone(),
+            total_states: report.total_states,
+            insts_executed: report.insts_executed,
+            return_value: report.return_value,
+        }
+    }
+
+    /// Build an entry from incrementally maintained state — no module
+    /// walk at all. `fingerprint` and `features` must be synced with the
+    /// module the report was produced from (the incremental evaluator's
+    /// invariant, enforced by the differential suite).
+    pub fn from_parts(fingerprint: u64, features: FeatureVector, report: &HlsReport) -> CacheEntry {
+        CacheEntry {
+            module_fingerprint: fingerprint,
+            features,
             cycles: report.cycles,
             area: report.area.clone(),
             total_states: report.total_states,
@@ -507,6 +582,34 @@ mod tests {
             total_states: 0,
             insts_executed: 0,
             return_value: None,
+        }
+    }
+
+    #[test]
+    fn incremental_fingerprints_match_full() {
+        use autophase_passes::changeset::apply_traced;
+        let mut m = autophase_benchmarks::suite()
+            .into_iter()
+            .find(|b| b.name == "gsm")
+            .unwrap()
+            .module;
+        let mut fps = ModuleFingerprints::new(&m);
+        assert_eq!(fps.value(), fingerprint_module(&m));
+        for pass in [38usize, 23, 33, 30, 31, 25, 9, 28] {
+            let (changed, cs) = apply_traced(&mut m, pass);
+            if !changed {
+                continue;
+            }
+            if cs.needs_full_rebuild() || cs.globals_changed() {
+                fps.rebuild(&m);
+            } else {
+                fps.update(&m, &cs.dirty_funcs);
+            }
+            assert_eq!(
+                fps.value(),
+                fingerprint_module(&m),
+                "divergence after pass {pass}"
+            );
         }
     }
 

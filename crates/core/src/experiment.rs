@@ -339,8 +339,8 @@ pub fn train_generalist_parallel(
 }
 
 /// One-shot inference: roll the trained policy greedily over a fresh copy
-/// of `program` and return the final cycle count. Exactly one "sample"
-/// (final compilation) is charged, as in Figure 9.
+/// of `program` and return the final cycle count. At most one "sample"
+/// (the final compilation) is charged, as in Figure 9.
 pub fn infer_sequence(
     agent: &PpoAgent,
     env_cfg: &EnvConfig,
@@ -367,7 +367,10 @@ pub fn infer_sequence(
         }
     }
     let cycles = env.cycles();
-    debug_assert_eq!(env.samples(), samples_at_start + 1);
+    // At most one sample: the final compilation. The content-addressed
+    // profile memo can even serve it for free when the rolled sequence
+    // turns out to be all no-ops (final state == reset state).
+    debug_assert!(env.samples() <= samples_at_start + 1);
     (seq, cycles)
 }
 

@@ -10,6 +10,9 @@
 //!   (RL-PPO3) and its factored-PPO trainer;
 //! * [`eval_cache`] — the sharded, thread-safe memoization cache that
 //!   deduplicates profiler runs across episodes and workers;
+//! * [`incremental`](mod@incremental) — per-function fingerprint and
+//!   feature memos plus a content-addressed profile memo, making each
+//!   step's evaluation cost proportional to what the pass changed;
 //! * [`quarantine`] — the shared repeat-offender table that masks
 //!   `(program, pass)` pairs which keep faulting;
 //! * [`dataset`] — feature–action–reward tuple collection for the §4
@@ -27,12 +30,14 @@ pub mod dataset;
 pub mod env;
 pub mod eval_cache;
 pub mod experiment;
+pub mod incremental;
 pub mod multi;
 pub mod quarantine;
 pub mod report;
 pub mod tune;
 
 pub use env::{Objective, ObservationKind, PhaseOrderEnv, RewardKind};
-pub use eval_cache::{CacheEntry, CacheKey, CacheStats, EvalCache, SeqHash};
+pub use eval_cache::{CacheEntry, CacheKey, CacheStats, EvalCache, ModuleFingerprints, SeqHash};
+pub use incremental::{IncrementalEval, ProfileMemo, SnapEntry, SnapshotMemo};
 pub use quarantine::Quarantine;
 pub use tune::{tune, Effort, TuneResult};

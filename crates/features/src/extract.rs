@@ -1,7 +1,7 @@
 //! The 56-feature extractor (Table 2 of the paper).
 
 use autophase_ir::cfg::Cfg;
-use autophase_ir::{BinOp, CastOp, Module, Opcode, Value};
+use autophase_ir::{BinOp, CastOp, FuncId, Module, Opcode, Value};
 
 /// Number of features (Table 2: indices 0–55).
 pub const NUM_FEATURES: usize = 56;
@@ -72,10 +72,42 @@ pub fn feature_names() -> [&'static str; NUM_FEATURES] {
 }
 
 /// Extract the Table-2 feature vector from a module.
+///
+/// Defined as the element-wise sum of [`extract_function`] over all live
+/// functions — the identity the incremental extractor
+/// ([`crate::incremental::IncrementalFeatures`]) relies on.
 pub fn extract(m: &Module) -> FeatureVector {
     let mut f = [0i64; NUM_FEATURES];
-
     for fid in m.func_ids() {
+        accumulate(&mut f, &extract_function(m, fid));
+    }
+    f
+}
+
+/// Add `src` into `dst` element-wise.
+pub fn accumulate(dst: &mut FeatureVector, src: &FeatureVector) {
+    for (d, s) in dst.iter_mut().zip(src.iter()) {
+        *d += s;
+    }
+}
+
+/// Subtract `src` from `dst` element-wise.
+pub fn subtract(dst: &mut FeatureVector, src: &FeatureVector) {
+    for (d, s) in dst.iter_mut().zip(src.iter()) {
+        *d -= s;
+    }
+}
+
+/// One function's contribution to the module feature vector.
+///
+/// Almost every feature is function-local; the exception is feature 16
+/// ("calls that return an int"), which consults the *callee's* return
+/// type — so a function's vector is only stable while no callee
+/// signature changes (the incremental extractor rebuilds from scratch on
+/// any signature or structural change).
+pub fn extract_function(m: &Module, fid: FuncId) -> FeatureVector {
+    let mut f = [0i64; NUM_FEATURES];
+    {
         let func = m.func(fid);
         let cfg = Cfg::new(func);
         f[53] += 1; // non-external functions (all our functions have bodies)

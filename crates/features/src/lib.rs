@@ -35,7 +35,9 @@
 #![warn(missing_docs)]
 
 pub mod extract;
+pub mod incremental;
 pub mod normalize;
 
-pub use extract::{extract, feature_names, FeatureVector, NUM_FEATURES};
+pub use extract::{extract, extract_function, feature_names, FeatureVector, NUM_FEATURES};
+pub use incremental::IncrementalFeatures;
 pub use normalize::{filter_features, log_normalize, normalize_to_inst_count, FILTERED_FEATURES};

@@ -7,9 +7,9 @@
 //! needed in any one FSM state* (concurrent ops can't share a unit).
 
 use crate::delay::area_units;
-use crate::schedule::schedule_function;
+use crate::schedule::{schedule_function, FunctionSchedule};
 use crate::HlsConfig;
-use autophase_ir::{Module, Opcode};
+use autophase_ir::{Function, Module, Opcode};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
@@ -32,50 +32,78 @@ impl AreaReport {
     pub fn total(&self) -> u64 {
         self.logic_units + self.registers / 2 + self.memory_bits / 64 + self.fsm_states
     }
+
+    /// Accumulate another report into this one. Area composes additively
+    /// per function (binding never shares units across functions), which
+    /// is what makes per-function area caching exact.
+    pub fn merge(&mut self, other: &AreaReport) {
+        self.logic_units += other.logic_units;
+        self.registers += other.registers;
+        self.memory_bits += other.memory_bits;
+        self.fsm_states += other.fsm_states;
+    }
 }
 
-/// Estimate module area under `cfg`.
+/// Estimate module area under `cfg`: the sum of every function's
+/// [`estimate_function_area`] plus the module globals' memory bits.
 pub fn estimate_area(m: &Module, cfg: &HlsConfig) -> AreaReport {
     let mut report = AreaReport::default();
     for fid in m.func_ids() {
         let f = m.func(fid);
         let sched = schedule_function(f, cfg);
-        report.fsm_states += sched.total_states as u64;
-        for bb in f.block_ids() {
-            // Group instructions per state and op class; the max concurrent
-            // count per class across states is the number of units bound.
-            let block_sched = &sched.blocks[&bb];
-            let mut per_state: HashMap<(u32, &'static str), (u32, u32)> = HashMap::new();
-            for (iid, inst) in f.insts_in(bb) {
-                if !inst.ty.is_void() {
-                    report.registers += if inst.ty.is_int() { inst.ty.bits() } else { 32 } as u64;
-                }
-                if let Opcode::Alloca { elem_ty, count } = inst.op {
-                    report.memory_bits += elem_ty.bits() as u64 * count as u64;
-                }
-                let units = area_units(inst);
-                if units == 0 {
-                    continue;
-                }
-                let state = block_sched.start_state.get(&iid).copied().unwrap_or(0);
-                let entry = per_state
-                    .entry((state, inst.mnemonic()))
-                    .or_insert((0, units));
-                entry.0 += 1;
-            }
-            let mut class_max: HashMap<&'static str, (u32, u32)> = HashMap::new();
-            for ((_, class), (n, units)) in per_state {
-                let e = class_max.entry(class).or_insert((0, units));
-                e.0 = e.0.max(n);
-            }
-            for (_, (n, units)) in class_max {
-                report.logic_units += n as u64 * units as u64;
-            }
-        }
+        report.merge(&estimate_function_area(f, &sched));
     }
-    for gid in m.global_ids() {
-        let g = m.global(gid);
-        report.memory_bits += g.elem_ty.bits() as u64 * g.count as u64;
+    report.memory_bits += globals_memory_bits(m);
+    report
+}
+
+/// Memory bits contributed by module globals (the only non-per-function
+/// area term).
+pub fn globals_memory_bits(m: &Module) -> u64 {
+    m.global_ids()
+        .map(|gid| {
+            let g = m.global(gid);
+            g.elem_ty.bits() as u64 * g.count as u64
+        })
+        .sum()
+}
+
+/// One function's area contribution, given its schedule. Depends only on
+/// the function body and the schedule (itself a pure function of body +
+/// config), so the result can be cached per function content fingerprint.
+pub fn estimate_function_area(f: &Function, sched: &FunctionSchedule) -> AreaReport {
+    let mut report = AreaReport::default();
+    report.fsm_states += sched.total_states as u64;
+    for bb in f.block_ids() {
+        // Group instructions per state and op class; the max concurrent
+        // count per class across states is the number of units bound.
+        let block_sched = &sched.blocks[&bb];
+        let mut per_state: HashMap<(u32, &'static str), (u32, u32)> = HashMap::new();
+        for (iid, inst) in f.insts_in(bb) {
+            if !inst.ty.is_void() {
+                report.registers += if inst.ty.is_int() { inst.ty.bits() } else { 32 } as u64;
+            }
+            if let Opcode::Alloca { elem_ty, count } = inst.op {
+                report.memory_bits += elem_ty.bits() as u64 * count as u64;
+            }
+            let units = area_units(inst);
+            if units == 0 {
+                continue;
+            }
+            let state = block_sched.start_state.get(&iid).copied().unwrap_or(0);
+            let entry = per_state
+                .entry((state, inst.mnemonic()))
+                .or_insert((0, units));
+            entry.0 += 1;
+        }
+        let mut class_max: HashMap<&'static str, (u32, u32)> = HashMap::new();
+        for ((_, class), (n, units)) in per_state {
+            let e = class_max.entry(class).or_insert((0, units));
+            e.0 = e.0.max(n);
+        }
+        for (_, (n, units)) in class_max {
+            report.logic_units += n as u64 * units as u64;
+        }
     }
     report
 }

@@ -44,6 +44,7 @@
 
 pub mod area;
 pub mod delay;
+pub mod func_cache;
 pub mod profile;
 pub mod rtl;
 pub mod schedule;
@@ -120,7 +121,8 @@ impl From<autophase_ir::interp::ExecError> for HlsError {
     }
 }
 
-pub use profile::{profile_module, HlsReport};
+pub use func_cache::{FuncEval, ScheduleCache};
+pub use profile::{profile_module, profile_module_cached, HlsReport};
 pub use schedule::{schedule_block, schedule_function, BlockSchedule, FunctionSchedule};
 
 // The parallel rollout engine shares `HlsConfig` across worker threads and

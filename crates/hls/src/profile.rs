@@ -6,11 +6,12 @@
 //! This is ~20× faster than RTL simulation in LegUp's setting and is what
 //! the RL reward is computed from at every step.
 
-use crate::area::{estimate_area, AreaReport};
+use crate::area::{estimate_area, globals_memory_bits, AreaReport};
+use crate::func_cache::ScheduleCache;
 use crate::schedule::schedule_function;
 use crate::{HlsConfig, HlsError};
 use autophase_ir::interp::{run_main, ExecTrace};
-use autophase_ir::Module;
+use autophase_ir::{FuncId, Module};
 use autophase_telemetry as telemetry;
 use serde::{Deserialize, Serialize};
 
@@ -98,6 +99,81 @@ pub fn profile_with_trace(m: &Module, cfg: &HlsConfig, trace: &ExecTrace) -> Hls
 /// Same as [`profile_module`].
 pub fn cycle_count(m: &Module, cfg: &HlsConfig) -> Result<u64, HlsError> {
     Ok(profile_module(m, cfg)?.cycles)
+}
+
+/// [`profile_module`] with a per-function schedule cache: clean functions
+/// (same content fingerprint) reuse their cached FSM schedule and area,
+/// so only dirty functions pay the list scheduler and binder. `fp_of`
+/// supplies the content fingerprint per function — callers that maintain
+/// incremental fingerprints (the phase-ordering environment) pass a memo
+/// lookup; others can pass
+/// `|fid| fingerprint_function(m.func(fid))`.
+///
+/// Bit-identical to [`profile_module`] by construction: the cached values
+/// are exactly what `schedule_function` / `estimate_function_area`
+/// produce, and both cycle and area accumulation are per-function sums.
+///
+/// # Errors
+///
+/// Returns [`HlsError::Exec`] when the program cannot be executed within
+/// the configured fuel.
+pub fn profile_module_cached(
+    m: &Module,
+    cfg: &HlsConfig,
+    cache: &mut ScheduleCache,
+    fp_of: impl FnMut(FuncId) -> u64,
+) -> Result<HlsReport, HlsError> {
+    let start = telemetry::maybe_now();
+    let trace = run_main(m, cfg.profile_fuel)?;
+    telemetry::observe_since("hls.trace_ns", "", start);
+    Ok(profile_with_trace_cached(m, cfg, &trace, cache, fp_of))
+}
+
+/// [`profile_with_trace`] through the per-function schedule cache (see
+/// [`profile_module_cached`]).
+pub fn profile_with_trace_cached(
+    m: &Module,
+    cfg: &HlsConfig,
+    trace: &ExecTrace,
+    cache: &mut ScheduleCache,
+    mut fp_of: impl FnMut(FuncId) -> u64,
+) -> HlsReport {
+    let start = telemetry::maybe_now();
+    let mut cycles: u64 = 0;
+    let mut total_states: u64 = 0;
+    let mut area = AreaReport::default();
+    for fid in m.func_ids() {
+        let f = m.func(fid);
+        let ev = cache.get_or_eval(fp_of(fid), f, cfg);
+        total_states += ev.schedule.total_states as u64;
+        for bb in f.block_ids() {
+            let count = trace.count(fid, bb);
+            if count > 0 {
+                cycles += count * ev.schedule.states(bb) as u64;
+            }
+        }
+        // Per-call FSM handshake.
+        cycles += trace.calls(fid) * cfg.call_overhead as u64;
+        area.merge(&ev.area);
+    }
+    // `main` itself is "called" once by the harness; do not charge it.
+    if let Some(main) = m.main() {
+        cycles = cycles.saturating_sub(trace.calls(main).min(1) * cfg.call_overhead as u64);
+    }
+    area.memory_bits += globals_memory_bits(m);
+    telemetry::observe_since("hls.schedule_ns", "", start);
+    if start.is_some() {
+        telemetry::incr("hls.profiles", "", 1);
+        telemetry::observe("hls.cycles", "", cycles);
+        telemetry::observe("hls.fsm_states", "", total_states);
+    }
+    HlsReport {
+        cycles,
+        total_states,
+        area,
+        insts_executed: trace.insts_executed,
+        return_value: trace.return_value,
+    }
 }
 
 #[cfg(test)]
@@ -222,6 +298,37 @@ mod tests {
             Err(crate::HlsError::Exec(autophase_ir::interp::Trap::FuelExhausted)) => {}
             other => panic!("expected FuelExhausted trap, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn cached_profile_bit_identical_to_full() {
+        use autophase_ir::fingerprint::fingerprint_function;
+        let cfg = HlsConfig::default();
+        let mut cache = ScheduleCache::default();
+        for n in [5, 10, 50] {
+            let mut m = sum_loop_module(n);
+            for pass in [38usize, 23, 30] {
+                autophase_passes::registry::apply(&mut m, pass);
+                let full = profile_module(&m, &cfg).unwrap();
+                let cached = profile_module_cached(&m, &cfg, &mut cache, |fid| {
+                    fingerprint_function(m.func(fid))
+                })
+                .unwrap();
+                // Same state again: must come entirely from the cache.
+                let again = profile_module_cached(&m, &cfg, &mut cache, |fid| {
+                    fingerprint_function(m.func(fid))
+                })
+                .unwrap();
+                assert_eq!(full.cycles, again.cycles);
+                assert_eq!(full.cycles, cached.cycles);
+                assert_eq!(full.total_states, cached.total_states);
+                assert_eq!(full.area, cached.area);
+                assert_eq!(full.insts_executed, cached.insts_executed);
+                assert_eq!(full.return_value, cached.return_value);
+            }
+        }
+        let (hits, misses) = cache.stats();
+        assert!(hits > 0, "repeat states must hit ({hits}/{misses})");
     }
 
     #[test]

@@ -1,0 +1,152 @@
+//! Content fingerprints for functions, globals, and modules.
+//!
+//! These are the shared primitives behind every content-addressed cache
+//! in the workspace: the evaluation cache's module fingerprints, the HLS
+//! per-function schedule cache, and the incremental fingerprint memo all
+//! key off the values defined here, so they agree by construction.
+//!
+//! A function's fingerprint hashes its printed form — the printer
+//! includes attributes precisely because they are semantic state. A
+//! global's fingerprint hashes its structural content directly (the
+//! printed form elides initializer values). A module's fingerprint is an
+//! order-sensitive combination of its name, global fingerprints, and
+//! per-slot function fingerprints, which is what lets an incremental
+//! maintainer re-hash only dirty slots and still produce the same value
+//! as hashing from scratch.
+
+use crate::function::Function;
+use crate::module::{Global, Module};
+use crate::printer::print_function;
+
+/// 64-bit FNV-1a over a byte string.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// SplitMix64 finalizer — a strong 64-bit mix.
+pub fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Fingerprint of one function's full content (printed form, which
+/// includes signature, attributes, and body).
+pub fn fingerprint_function(f: &Function) -> u64 {
+    fnv1a(print_function(f).as_bytes())
+}
+
+/// Fingerprint of one global's content. Hashes the structural fields
+/// directly — unlike the printed form, this sees initializer *values*,
+/// so constant-folding a global never aliases two distinct states.
+pub fn fingerprint_global(g: &Global) -> u64 {
+    let mut h = fnv1a(g.name.as_bytes());
+    h = mix64(h ^ g.elem_ty.bits() as u64);
+    h = mix64(h ^ g.count as u64);
+    h = mix64(h ^ g.is_const as u64);
+    for &v in &g.init {
+        h = mix64(h ^ v as u64);
+    }
+    h
+}
+
+/// Order-sensitive fold of per-slot fingerprints into one value.
+///
+/// Empty slots contribute a fixed sentinel so `[Some(a), None]` and
+/// `[None, Some(a)]` differ — slot position is semantic (ids are
+/// indices).
+pub fn combine_slots(seed: u64, slots: impl Iterator<Item = Option<u64>>) -> u64 {
+    let mut h = mix64(seed);
+    for s in slots {
+        h = mix64(h ^ s.unwrap_or(0xDEAD_5107_DEAD_5107));
+    }
+    h
+}
+
+/// Fingerprint of a module's current state, defined as the combination
+/// of its name, global fingerprints, and per-slot function fingerprints.
+pub fn fingerprint_module(m: &Module) -> u64 {
+    let name_fp = fnv1a(m.name.as_bytes());
+    let globals_fp = combine_slots(
+        0x610B_A150_610B_A150,
+        (0..m.global_capacity()).map(|i| {
+            m.global_arc(crate::module::GlobalId::from_index(i))
+                .map(|g| fingerprint_global(g))
+        }),
+    );
+    let funcs_fp = combine_slots(
+        0xF07C_F07C_F07C_F07C,
+        (0..m.func_capacity()).map(|i| {
+            m.func_arc(crate::module::FuncId::from_index(i))
+                .map(|f| fingerprint_function(f))
+        }),
+    );
+    mix64(name_fp ^ mix64(globals_fp ^ mix64(funcs_fp)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::types::Type;
+    use crate::value::Value;
+
+    fn sample() -> Module {
+        let mut m = Module::new("t");
+        m.add_global(Global::constant("tbl", Type::I32, vec![1, 2, 3]));
+        let mut b = FunctionBuilder::new("main", vec![], Type::I32);
+        b.ret(Some(Value::i32(0)));
+        m.add_function(b.finish());
+        m
+    }
+
+    #[test]
+    fn stable_across_clones() {
+        let m = sample();
+        assert_eq!(fingerprint_module(&m), fingerprint_module(&m.clone()));
+        assert_eq!(fingerprint_module(&m), fingerprint_module(&m.deep_clone()));
+    }
+
+    #[test]
+    fn global_init_values_distinguish() {
+        let mut a = Module::new("t");
+        a.add_global(Global::constant("tbl", Type::I32, vec![1, 2, 3]));
+        let mut b = Module::new("t");
+        b.add_global(Global::constant("tbl", Type::I32, vec![1, 2, 4]));
+        assert_ne!(fingerprint_module(&a), fingerprint_module(&b));
+    }
+
+    #[test]
+    fn slot_position_is_semantic() {
+        let f = |name: &str| {
+            let mut b = FunctionBuilder::new(name, vec![], Type::Void);
+            b.ret(None);
+            b.finish()
+        };
+        let mut a = Module::new("t");
+        let ai = a.add_function(f("x"));
+        a.add_function(f("main"));
+        a.remove_function(ai);
+        let mut b = Module::new("t");
+        b.add_function(f("main"));
+        let bi = b.add_function(f("x"));
+        b.remove_function(bi);
+        // Both hold just "main", but in different slots.
+        assert_ne!(fingerprint_module(&a), fingerprint_module(&b));
+    }
+
+    #[test]
+    fn function_change_changes_fingerprint() {
+        let m = sample();
+        let mut m2 = m.clone();
+        let main = m2.main().unwrap();
+        m2.func_mut(main).name = "main2".to_string();
+        assert_ne!(fingerprint_module(&m), fingerprint_module(&m2));
+    }
+}

@@ -49,6 +49,7 @@
 pub mod builder;
 pub mod cfg;
 pub mod dom;
+pub mod fingerprint;
 pub mod fold;
 pub mod function;
 pub mod inst;

@@ -3,6 +3,7 @@
 use crate::function::Function;
 use crate::types::Type;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// Identifies a function within a module.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
@@ -84,13 +85,21 @@ impl Global {
 ///
 /// Functions live in a slot arena so `FuncId`s stay stable across removal
 /// (e.g. by `-globaldce`).
+///
+/// Functions and globals are stored behind [`Arc`] with copy-on-write
+/// mutation: `Module::clone` is O(#slots) pointer bumps, and
+/// [`Module::func_mut`] only deep-copies a function when its `Arc` is
+/// shared with another module (e.g. a transaction snapshot). Holding a
+/// clone of the module while mutating the original therefore guarantees
+/// every mutated slot gets a fresh allocation, which is what pointer-diff
+/// change tracking (`functions_snapshot` + `Arc::ptr_eq`) relies on.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Module {
     /// Module name (for diagnostics).
     pub name: String,
-    functions: Vec<Option<Function>>,
+    functions: Vec<Option<Arc<Function>>>,
     /// Global variables; ids are indices and are never reused.
-    globals: Vec<Option<Global>>,
+    globals: Vec<Option<Arc<Global>>>,
 }
 
 impl Module {
@@ -105,13 +114,13 @@ impl Module {
 
     /// Add a function, returning its id.
     pub fn add_function(&mut self, f: Function) -> FuncId {
-        self.functions.push(Some(f));
+        self.functions.push(Some(Arc::new(f)));
         FuncId::from_index(self.functions.len() - 1)
     }
 
     /// Add a global, returning its id.
     pub fn add_global(&mut self, g: Global) -> GlobalId {
-        self.globals.push(Some(g));
+        self.globals.push(Some(Arc::new(g)));
         GlobalId::from_index(self.globals.len() - 1)
     }
 
@@ -126,15 +135,17 @@ impl Module {
             .expect("removed function")
     }
 
-    /// Mutable access to a function.
+    /// Mutable access to a function (clones-on-write if the slot is shared).
     ///
     /// # Panics
     ///
     /// Panics if the function was removed.
     pub fn func_mut(&mut self, id: FuncId) -> &mut Function {
-        self.functions[id.index()]
-            .as_mut()
-            .expect("removed function")
+        Arc::make_mut(
+            self.functions[id.index()]
+                .as_mut()
+                .expect("removed function"),
+        )
     }
 
     /// True if the id refers to a live function.
@@ -159,13 +170,13 @@ impl Module {
         self.globals[id.index()].as_ref().expect("removed global")
     }
 
-    /// Mutable access to a global.
+    /// Mutable access to a global (clones-on-write if the slot is shared).
     ///
     /// # Panics
     ///
     /// Panics if the global was removed.
     pub fn global_mut(&mut self, id: GlobalId) -> &mut Global {
-        self.globals[id.index()].as_mut().expect("removed global")
+        Arc::make_mut(self.globals[id.index()].as_mut().expect("removed global"))
     }
 
     /// True if the id refers to a live global.
@@ -226,6 +237,56 @@ impl Module {
     pub fn func_capacity(&self) -> usize {
         self.functions.len()
     }
+
+    /// Upper bound (exclusive) of global arena indices, for dense maps.
+    pub fn global_capacity(&self) -> usize {
+        self.globals.len()
+    }
+
+    /// The shared handle backing a live function slot, or `None` if the slot
+    /// is empty. Used with [`Module::functions_snapshot`] and `Arc::ptr_eq`
+    /// for pointer-diff change tracking.
+    pub fn func_arc(&self, id: FuncId) -> Option<&Arc<Function>> {
+        self.functions.get(id.index()).and_then(|f| f.as_ref())
+    }
+
+    /// The shared handle backing a live global slot, or `None`.
+    pub fn global_arc(&self, id: GlobalId) -> Option<&Arc<Global>> {
+        self.globals.get(id.index()).and_then(|g| g.as_ref())
+    }
+
+    /// Snapshot the function arena as shared handles (O(#slots) refcount
+    /// bumps). While the snapshot is alive, every `func_mut` on `self`
+    /// re-allocates the touched slot, so `Arc::ptr_eq` against the snapshot
+    /// detects exactly the slots a pass wrote to.
+    pub fn functions_snapshot(&self) -> Vec<Option<Arc<Function>>> {
+        self.functions.clone()
+    }
+
+    /// Snapshot the global arena as shared handles (O(#slots)).
+    pub fn globals_snapshot(&self) -> Vec<Option<Arc<Global>>> {
+        self.globals.clone()
+    }
+
+    /// A clone with every function and global deep-copied into unique
+    /// allocations — the pre-COW clone semantics. Only useful for tests that
+    /// need to rule out accidental sharing; production code should use
+    /// `clone()`.
+    pub fn deep_clone(&self) -> Module {
+        Module {
+            name: self.name.clone(),
+            functions: self
+                .functions
+                .iter()
+                .map(|f| f.as_ref().map(|f| Arc::new(Function::clone(f))))
+                .collect(),
+            globals: self
+                .globals
+                .iter()
+                .map(|g| g.as_ref().map(|g| Arc::new(Global::clone(g))))
+                .collect(),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -252,6 +313,69 @@ mod tests {
         assert!(!m.func_exists(f));
         assert!(m.func_exists(g));
         assert_eq!(m.func(g).name, "b");
+    }
+
+    #[test]
+    fn clone_shares_function_storage() {
+        let mut m = Module::new("m");
+        let a = m.add_function(Function::new("a", vec![], Type::Void));
+        let b = m.add_function(Function::new("b", vec![], Type::Void));
+        let snap = m.functions_snapshot();
+        let clone = m.clone();
+        assert!(Arc::ptr_eq(
+            m.func_arc(a).unwrap(),
+            clone.func_arc(a).unwrap()
+        ));
+        // Mutating one slot re-allocates only that slot.
+        m.func_mut(a).name = "a2".to_string();
+        assert!(!Arc::ptr_eq(
+            m.func_arc(a).unwrap(),
+            snap[a.index()].as_ref().unwrap()
+        ));
+        assert!(Arc::ptr_eq(
+            m.func_arc(b).unwrap(),
+            snap[b.index()].as_ref().unwrap()
+        ));
+        // The clone kept the original contents.
+        assert_eq!(clone.func(a).name, "a");
+        assert_eq!(m.func(a).name, "a2");
+    }
+
+    #[test]
+    fn func_mut_without_sharing_keeps_pointer() {
+        let mut m = Module::new("m");
+        let a = m.add_function(Function::new("a", vec![], Type::Void));
+        let before = Arc::as_ptr(m.func_arc(a).unwrap());
+        m.func_mut(a).name = "a2".to_string();
+        // Uniquely owned: make_mut mutates in place, no allocation.
+        assert_eq!(before, Arc::as_ptr(m.func_arc(a).unwrap()));
+    }
+
+    #[test]
+    fn deep_clone_shares_nothing() {
+        let mut m = Module::new("m");
+        let a = m.add_function(Function::new("a", vec![], Type::Void));
+        let g = m.add_global(Global::zeroed("buf", Type::I8, 4));
+        let deep = m.deep_clone();
+        assert!(!Arc::ptr_eq(
+            m.func_arc(a).unwrap(),
+            deep.func_arc(a).unwrap()
+        ));
+        assert!(!Arc::ptr_eq(
+            m.global_arc(g).unwrap(),
+            deep.global_arc(g).unwrap()
+        ));
+        assert_eq!(m, deep);
+    }
+
+    #[test]
+    fn global_mut_clones_on_write() {
+        let mut m = Module::new("m");
+        let g = m.add_global(Global::zeroed("buf", Type::I8, 4));
+        let clone = m.clone();
+        m.global_mut(g).count = 8;
+        assert_eq!(clone.global(g).count, 4);
+        assert_eq!(m.global(g).count, 8);
     }
 
     #[test]

@@ -37,7 +37,30 @@ impl std::error::Error for VerifyError {}
 /// call-arity mismatches, or any per-function violation from
 /// [`verify_function`].
 pub fn verify_module(m: &Module) -> Result<(), VerifyError> {
-    for fid in m.func_ids() {
+    verify_functions(m, m.func_ids())
+}
+
+/// Verify a subset of a module's functions (function-local checks plus their
+/// outgoing call and global references).
+///
+/// This is the incremental-evaluation entry point: after a pass that touched
+/// only some functions, checking just those functions is sound *provided no
+/// function or global was removed and no signature changed* — a clean caller
+/// of a re-signatured or deleted callee would otherwise be missed. Callers
+/// (see `passes::checked`) must fall back to [`verify_module`] on any
+/// structural or signature change.
+///
+/// # Errors
+///
+/// Returns the first violation found in the given functions.
+pub fn verify_functions(
+    m: &Module,
+    ids: impl IntoIterator<Item = FuncId>,
+) -> Result<(), VerifyError> {
+    for fid in ids {
+        if !m.func_exists(fid) {
+            continue;
+        }
         let f = m.func(fid);
         verify_function(f).map_err(|msg| VerifyError {
             func: f.name.clone(),

@@ -1,0 +1,311 @@
+//! Function-granular change tracking for incremental evaluation.
+//!
+//! Every pass application can report a [`ChangeSet`]: which function slots
+//! it actually rewrote, whether it added/removed functions or globals, and
+//! whether any signature changed. Downstream consumers (per-function
+//! feature caches, schedule caches, fingerprint memos, the dirty-only
+//! verifier) use this to touch only what changed.
+//!
+//! Correctness never depends on pass honesty: the tracker derives the
+//! change set from the module itself. [`ChangeTracker::before`] snapshots
+//! the COW arenas as shared `Arc` handles — which forces every subsequent
+//! `func_mut`/`global_mut` on the module to clone-on-write into a fresh
+//! allocation — and [`ChangeTracker::diff`] then finds touched slots with
+//! `Arc::ptr_eq` and refines pointer-moved-but-content-identical slots
+//! (a pass that wrote and then reverted) by structural comparison, which
+//! is equivalent to comparing per-function content fingerprints but skips
+//! printing. The result is an exact dirty set at O(#slots) pointer
+//! compares plus O(|touched|) content compares.
+
+use crate::registry::{self, PassId};
+use autophase_ir::module::{FuncId, Global, GlobalId};
+use autophase_ir::{Function, Module};
+use std::sync::Arc;
+
+/// What one pass application changed, at function/global granularity.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ChangeSet {
+    /// Live functions whose bodies (or signatures) differ from the
+    /// pre-pass module. Sorted by slot index.
+    pub dirty_funcs: Vec<FuncId>,
+    /// A function slot was added or removed (`-inline` dropping a callee,
+    /// `-partial-inliner` outlining a new function, `-globaldce`).
+    pub structural_funcs: bool,
+    /// Live globals whose contents differ from the pre-pass module.
+    pub dirty_globals: Vec<GlobalId>,
+    /// A global slot was added or removed.
+    pub structural_globals: bool,
+    /// Some dirty function's externally visible signature (name, params,
+    /// return type) changed — callers of it may now be stale even though
+    /// their own slots are clean (`-deadargelim`).
+    pub sig_changed: bool,
+}
+
+impl ChangeSet {
+    /// A change set that touches nothing.
+    pub fn empty() -> ChangeSet {
+        ChangeSet::default()
+    }
+
+    /// Conservative "everything changed" set for `m` — the correct answer
+    /// when no tracker was active (e.g. replaying an untracked mutation).
+    pub fn full(m: &Module) -> ChangeSet {
+        ChangeSet {
+            dirty_funcs: m.func_ids().collect(),
+            structural_funcs: true,
+            dirty_globals: m.global_ids().collect(),
+            structural_globals: true,
+            sig_changed: true,
+        }
+    }
+
+    /// True if nothing changed.
+    pub fn is_empty(&self) -> bool {
+        self.dirty_funcs.is_empty()
+            && !self.structural_funcs
+            && self.dirty_globals.is_empty()
+            && !self.structural_globals
+            && !self.sig_changed
+    }
+
+    /// True if per-function incrementality is unsound and consumers must
+    /// fall back to whole-module work: slots appeared/disappeared or a
+    /// signature changed, so *clean* functions may reference stale ids or
+    /// types (a clean caller of a removed or re-signatured callee).
+    pub fn needs_full_rebuild(&self) -> bool {
+        self.structural_funcs || self.structural_globals || self.sig_changed
+    }
+
+    /// True if any global changed (contents or structure). Globals feed
+    /// the interpreter's initial heap, so this invalidates whole-module
+    /// cycle counts even when every function is clean.
+    pub fn globals_changed(&self) -> bool {
+        self.structural_globals || !self.dirty_globals.is_empty()
+    }
+}
+
+/// Pre-pass arena snapshot used to derive a [`ChangeSet`] by pointer diff.
+///
+/// Holding this alive across the pass run is what guarantees the diff is
+/// sound: while the snapshot shares every `Arc`, any mutation through the
+/// module's COW accessors must re-allocate the touched slot.
+pub struct ChangeTracker {
+    funcs: Vec<Option<Arc<Function>>>,
+    globals: Vec<Option<Arc<Global>>>,
+}
+
+impl ChangeTracker {
+    /// Snapshot `m`'s arenas (O(#slots) refcount bumps).
+    pub fn before(m: &Module) -> ChangeTracker {
+        ChangeTracker {
+            funcs: m.functions_snapshot(),
+            globals: m.globals_snapshot(),
+        }
+    }
+
+    /// Diff the snapshot against the module's current state.
+    pub fn diff(&self, m: &Module) -> ChangeSet {
+        let mut cs = ChangeSet::empty();
+        let cap = m.func_capacity();
+        if cap != self.funcs.len() {
+            cs.structural_funcs = true;
+        }
+        for i in 0..cap {
+            let id = FuncId::from_index(i);
+            let now = m.func_arc(id);
+            let was = self.funcs.get(i).and_then(|f| f.as_ref());
+            match (was, now) {
+                (None, None) => {}
+                (Some(_), None) => cs.structural_funcs = true,
+                (None, Some(_)) => {
+                    cs.structural_funcs = true;
+                    cs.dirty_funcs.push(id);
+                }
+                (Some(was), Some(now)) => {
+                    if Arc::ptr_eq(was, now) {
+                        continue;
+                    }
+                    if sig_of(was) != sig_of(now) {
+                        cs.sig_changed = true;
+                        cs.dirty_funcs.push(id);
+                    } else if **was != **now {
+                        cs.dirty_funcs.push(id);
+                    }
+                    // Pointer moved but content identical: the pass wrote
+                    // and reverted — the slot is clean.
+                }
+            }
+        }
+        let gcap = m.global_capacity();
+        if gcap != self.globals.len() {
+            cs.structural_globals = true;
+        }
+        for i in 0..gcap {
+            let id = GlobalId::from_index(i);
+            let now = m.global_arc(id);
+            let was = self.globals.get(i).and_then(|g| g.as_ref());
+            match (was, now) {
+                (None, None) => {}
+                (Some(_), None) => cs.structural_globals = true,
+                (None, Some(_)) => {
+                    cs.structural_globals = true;
+                    cs.dirty_globals.push(id);
+                }
+                (Some(was), Some(now)) => {
+                    if !Arc::ptr_eq(was, now) && **was != **now {
+                        cs.dirty_globals.push(id);
+                    }
+                }
+            }
+        }
+        cs
+    }
+
+    /// Estimated bytes the COW snapshot did *not* deep-copy: the size of
+    /// every live function whose allocation survived the pass untouched.
+    /// This is what a pre-COW `Module::clone` would have copied for free
+    /// slots — reported to the `snapshot_bytes_saved` telemetry counter.
+    pub fn bytes_shared(&self, m: &Module) -> u64 {
+        let mut saved = 0u64;
+        for (i, was) in self.funcs.iter().enumerate() {
+            let (Some(was), Some(now)) = (was.as_ref(), m.func_arc(FuncId::from_index(i))) else {
+                continue;
+            };
+            if Arc::ptr_eq(was, now) {
+                saved += approx_function_bytes(was);
+            }
+        }
+        saved
+    }
+}
+
+/// Externally visible signature of a function: what *callers* and the
+/// `main` lookup depend on.
+fn sig_of(f: &Function) -> (&str, &[autophase_ir::Type], autophase_ir::Type) {
+    (&f.name, &f.params, f.ret_ty)
+}
+
+/// Rough per-function heap footprint (arena capacities × element sizes).
+/// An estimate is fine: the counter quantifies savings, it is not a ledger.
+fn approx_function_bytes(f: &Function) -> u64 {
+    (f.inst_capacity() * std::mem::size_of::<autophase_ir::Inst>()
+        + f.block_capacity() * 64
+        + std::mem::size_of::<Function>()) as u64
+}
+
+/// Apply pass `id` like [`registry::apply`], additionally deriving the
+/// exact [`ChangeSet`]. When the pass reports no change the set is empty
+/// by the change-flag honesty contract (enforced by the PR 1 differential
+/// suite: `changed == false` ⇒ printed IR is byte-identical).
+pub fn apply_traced(m: &mut Module, id: PassId) -> (bool, ChangeSet) {
+    let tracker = ChangeTracker::before(m);
+    let changed = registry::apply(m, id);
+    if !changed {
+        return (false, ChangeSet::empty());
+    }
+    (true, tracker.diff(m))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autophase_ir::builder::FunctionBuilder;
+    use autophase_ir::{BinOp, Type, Value};
+
+    fn two_function_module() -> Module {
+        let mut m = Module::new("t");
+        let mut h = FunctionBuilder::new("helper", vec![Type::I32], Type::I32);
+        let d = h.binary(BinOp::Mul, h.arg(0), Value::i32(2));
+        h.ret(Some(d));
+        let helper = m.add_function(h.finish());
+        let mut b = FunctionBuilder::new("main", vec![], Type::I32);
+        let acc = b.alloca(Type::I32, 1);
+        b.store(acc, Value::i32(0));
+        b.counted_loop(Value::i32(10), |b, i| {
+            let c = b.load(Type::I32, acc);
+            let n = b.binary(BinOp::Add, c, i);
+            b.store(acc, n);
+        });
+        let r = b.load(Type::I32, acc);
+        let r2 = b.call(helper, Type::I32, vec![r]);
+        b.ret(Some(r2));
+        m.add_function(b.finish());
+        m
+    }
+
+    #[test]
+    fn untouched_module_diffs_empty() {
+        let m = two_function_module();
+        let t = ChangeTracker::before(&m);
+        assert!(t.diff(&m).is_empty());
+        assert!(t.bytes_shared(&m) > 0);
+    }
+
+    #[test]
+    fn mem2reg_dirties_only_main() {
+        let mut m = two_function_module();
+        let main = m.main().unwrap();
+        let (changed, cs) = apply_traced(&mut m, 38);
+        assert!(changed);
+        assert_eq!(cs.dirty_funcs, vec![main], "helper has no allocas");
+        assert!(!cs.needs_full_rebuild());
+        assert!(!cs.globals_changed());
+    }
+
+    #[test]
+    fn noop_pass_reports_empty_changeset() {
+        let mut m = two_function_module();
+        // -loweratomic is a faithful no-op on atomic-free IR.
+        let (changed, cs) = apply_traced(&mut m, 44);
+        assert!(!changed);
+        assert!(cs.is_empty());
+    }
+
+    #[test]
+    fn write_then_revert_is_clean() {
+        let mut m = two_function_module();
+        let main = m.main().unwrap();
+        let t = ChangeTracker::before(&m);
+        let old = m.func(main).name.clone();
+        m.func_mut(main).name = "other".to_string();
+        m.func_mut(main).name = old;
+        let cs = t.diff(&m);
+        assert!(cs.is_empty(), "content-identical slot must not be dirty");
+    }
+
+    #[test]
+    fn signature_change_is_flagged() {
+        let mut m = two_function_module();
+        let helper = m.func_by_name("helper").unwrap();
+        let t = ChangeTracker::before(&m);
+        m.func_mut(helper).name = "renamed".to_string();
+        let cs = t.diff(&m);
+        assert!(cs.sig_changed);
+        assert_eq!(cs.dirty_funcs, vec![helper]);
+        assert!(cs.needs_full_rebuild());
+    }
+
+    #[test]
+    fn structural_changes_are_flagged() {
+        let mut m = two_function_module();
+        let helper = m.func_by_name("helper").unwrap();
+        let t = ChangeTracker::before(&m);
+        m.remove_function(helper);
+        assert!(t.diff(&m).structural_funcs);
+
+        let mut m = two_function_module();
+        let t = ChangeTracker::before(&m);
+        m.add_global(autophase_ir::module::Global::zeroed("g", Type::I8, 8));
+        let cs = t.diff(&m);
+        assert!(cs.structural_globals);
+        assert!(cs.globals_changed());
+    }
+
+    #[test]
+    fn full_changeset_covers_module() {
+        let m = two_function_module();
+        let cs = ChangeSet::full(&m);
+        assert_eq!(cs.dirty_funcs.len(), 2);
+        assert!(cs.needs_full_rebuild());
+    }
+}

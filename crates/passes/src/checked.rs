@@ -30,8 +30,9 @@
 //! this module is always available and pays nothing for the harness in
 //! production builds.
 
+use crate::changeset::{ChangeSet, ChangeTracker};
 use crate::registry::{self, PassId};
-use autophase_ir::verify::{verify_module, VerifyError};
+use autophase_ir::verify::{verify_functions, verify_module, VerifyError};
 use autophase_ir::Module;
 use autophase_telemetry as telemetry;
 use std::fmt;
@@ -183,8 +184,32 @@ pub fn apply_checked_with(
     budget: &FuelBudget,
     injected: Option<FaultKind>,
 ) -> Result<bool, PassFault> {
+    apply_checked_traced(m, id, budget, injected).map(|(changed, _)| changed)
+}
+
+/// [`apply_checked_with`] that additionally derives the exact
+/// [`ChangeSet`] of the successful apply (empty on `Ok(false)`).
+///
+/// The transaction snapshot doubles as the change tracker's baseline:
+/// because the snapshot shares every function `Arc`, the pass's
+/// copy-on-write mutations land in fresh allocations, and the post-pass
+/// pointer diff yields the dirty set with no extra bookkeeping. The same
+/// diff drives *dirty-only verification* — only touched functions are
+/// re-verified unless the change was structural (functions/globals
+/// added or removed, signatures changed), where a clean caller could be
+/// invalidated and the whole module is re-checked.
+///
+/// # Errors
+///
+/// Returns the [`PassFault`] that was isolated (module already restored).
+pub fn apply_checked_traced(
+    m: &mut Module,
+    id: PassId,
+    budget: &FuelBudget,
+    injected: Option<FaultKind>,
+) -> Result<(bool, ChangeSet), PassFault> {
     if id >= registry::pass_count() || id == registry::TERMINATE {
-        return Ok(false);
+        return Ok((false, ChangeSet::empty()));
     }
     if let Some(FaultKind::ExhaustFuel) = injected {
         // The pass never ran: the module already *is* its pre-pass state,
@@ -198,6 +223,7 @@ pub fn apply_checked_with(
         return Err(fault);
     }
     let snapshot = m.clone();
+    let tracker = ChangeTracker::before(&snapshot);
     let outcome = catch_unwind(AssertUnwindSafe(|| {
         if let Some(FaultKind::Panic) = injected {
             std::panic::panic_any(INJECTED_PANIC_MSG);
@@ -209,6 +235,7 @@ pub fn apply_checked_with(
         }
         changed
     }));
+    let mut changeset = ChangeSet::empty();
     let fault = match outcome {
         Err(_) => Some(PassFault::Panic { pass: id }),
         Ok(changed) => {
@@ -222,7 +249,13 @@ pub fn apply_checked_with(
             } else if changed {
                 // An unchanged module is bit-identical to the verified
                 // pre-pass snapshot; only changed modules need re-checking.
-                verify_module(m)
+                changeset = tracker.diff(m);
+                let verified = if changeset.needs_full_rebuild() {
+                    verify_module(m)
+                } else {
+                    verify_functions(m, changeset.dirty_funcs.iter().copied())
+                };
+                verified
                     .err()
                     .map(|error| PassFault::Verifier { pass: id, error })
             } else {
@@ -236,7 +269,12 @@ pub fn apply_checked_with(
             record_fault(&fault);
             Err(fault)
         }
-        None => Ok(outcome.unwrap_or(false)),
+        None => {
+            if telemetry::enabled() {
+                telemetry::incr("snapshot_bytes_saved", "", tracker.bytes_shared(m));
+            }
+            Ok((outcome.unwrap_or(false), changeset))
+        }
     }
 }
 

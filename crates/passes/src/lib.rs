@@ -34,6 +34,7 @@
 #![warn(missing_docs)]
 
 pub mod adce;
+pub mod changeset;
 pub mod checked;
 pub mod correlated;
 pub mod dse;

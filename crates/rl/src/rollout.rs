@@ -117,14 +117,15 @@ pub fn collect(
             ep_return += step.reward;
             let done = step.done || t + 1 == max_episode_len;
             batch.transitions.push(Transition {
-                obs: obs.clone(),
+                // Hand the pre-step observation to the transition and slide
+                // the new one into `obs` — no per-step Vec clone.
+                obs: std::mem::replace(&mut obs, step.observation),
                 action,
                 reward: step.reward,
                 logp,
                 value: v,
                 done,
             });
-            obs = step.observation;
             if done {
                 break;
             }
@@ -169,14 +170,15 @@ fn run_episode(
         ep_return += step.reward;
         let done = step.done || t + 1 == max_episode_len;
         transitions.push(Transition {
-            obs: obs.clone(),
+            // Hand the pre-step observation to the transition and slide
+            // the new one into `obs` — no per-step Vec clone.
+            obs: std::mem::replace(&mut obs, step.observation),
             action,
             reward: step.reward,
             logp,
             value: v,
             done,
         });
-        obs = step.observation;
         if done {
             break;
         }

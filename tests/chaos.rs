@@ -22,8 +22,13 @@
 //! [`fault::test_guard`] for its full duration.
 #![cfg(feature = "fault-injection")]
 
-use autophase::core::env::{EnvConfig, FeatureNorm, ObservationKind, PhaseOrderEnv, RewardKind};
+use autophase::core::env::{
+    apply_and_profile, EnvConfig, FeatureNorm, ObservationKind, PhaseOrderEnv, RewardKind,
+};
 use autophase::core::Quarantine;
+use autophase::features::extract;
+use autophase::hls::HlsConfig;
+use autophase::ir::fingerprint::{fingerprint_function, fingerprint_module};
 use autophase::ir::printer::print_module;
 use autophase::ir::verify::verify_module;
 use autophase::ir::Module;
@@ -196,6 +201,100 @@ fn ppo_training_survives_injected_faults_and_quarantines_offenders() {
     telemetry::disable();
     telemetry::reset();
     fault::clear_plan();
+}
+
+/// Rollback restores more than the module: the per-function incremental
+/// machinery — fingerprints, the feature decomposition, and the
+/// content-addressed profile memo — must stay in lock-step with the
+/// rolled-back state, or every post-fault step would be evaluated
+/// against stale caches.
+#[test]
+fn rollback_restores_incremental_state_and_caches() {
+    let _g = fault::test_guard();
+    fault::quiet_panic_hook();
+    let program = programs().remove(0);
+    let hls = HlsConfig::default();
+    // PREFIX + fault + SUFFIX fills one default-length episode head.
+    const PREFIX: [usize; 4] = [38, 23, 33, 30];
+    const TARGET: usize = 31;
+    const SUFFIX: [usize; 3] = [44, 7, 28];
+
+    // The full sync contract, checked after every probe point: the
+    // incremental state must describe exactly the module the env holds.
+    let assert_in_sync = |env: &mut PhaseOrderEnv, what: &str| {
+        let m = env.module().clone();
+        let inc = env
+            .incremental_state()
+            .expect("incremental evaluation is on by default");
+        assert_eq!(inc.features(), extract(&m), "{what}: feature decomposition");
+        assert_eq!(
+            inc.module_fp(),
+            fingerprint_module(&m),
+            "{what}: module fingerprint"
+        );
+        for fid in m.func_ids() {
+            assert_eq!(
+                inc.func_fp(fid),
+                Some(fingerprint_function(m.func(fid))),
+                "{what}: fingerprint of function {fid:?}"
+            );
+        }
+        m
+    };
+
+    for kind in [
+        FaultKind::Panic,
+        FaultKind::CorruptIr,
+        FaultKind::ExhaustFuel,
+    ] {
+        let plan = fault::install_plan(FaultPlan::new(vec![FaultSpec {
+            pass: TARGET,
+            nth: 1,
+            episode: None,
+            kind,
+        }]));
+        let mut env = PhaseOrderEnv::single(program.clone(), EnvConfig::default());
+        env.reset();
+        for &p in &PREFIX {
+            env.step(p);
+        }
+        let before = print_module(env.module());
+        let r = env.step(TARGET);
+        assert_eq!(plan.fired(), 1, "{kind:?}: the planned fault must fire");
+        assert_eq!(r.reward, 0.0, "{kind:?}: faulted apply scores zero");
+
+        let m = assert_in_sync(&mut env, "post-fault");
+        assert_eq!(
+            print_module(&m),
+            before,
+            "{kind:?}: module must roll back to the pre-pass state"
+        );
+        // The memoized profile of the restored state must equal a fresh,
+        // cache-free profile of the very same module.
+        assert_eq!(
+            env.cycles(),
+            apply_and_profile(&m, &[], &hls).1,
+            "{kind:?}: cached cycles of the rolled-back state"
+        );
+
+        // The episode continues against the restored state exactly as if
+        // the faulted apply had never been attempted.
+        fault::clear_plan();
+        for &p in &SUFFIX {
+            env.step(p);
+        }
+        let end = assert_in_sync(&mut env, "end of faulted episode");
+        let mut shadow = PhaseOrderEnv::single(program.clone(), EnvConfig::default());
+        shadow.reset();
+        for &p in PREFIX.iter().chain(&SUFFIX) {
+            shadow.step(p);
+        }
+        assert_eq!(
+            print_module(&end),
+            print_module(shadow.module()),
+            "{kind:?}: post-fault trajectory must match a fault-free walk"
+        );
+    }
 }
 
 /// Episode-scoped faults are contained: every non-targeted episode stays

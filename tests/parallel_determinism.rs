@@ -110,7 +110,15 @@ fn parallel_rollout_matches_serial_on_phase_env() {
 #[test]
 fn cached_rollout_matches_uncached() {
     let ps = programs();
-    let mut plain_env = PhaseOrderEnv::new(ps.clone(), env_config());
+    // Full-recompute configuration on both sides: the incremental layer
+    // (DESIGN.md §4f) skips profiler runs on its own, which would blur
+    // the books this test keeps on the *shared* cache. Its equivalence
+    // gates live in `incremental_diff.rs` and `rollout_bench`.
+    let cfg = EnvConfig {
+        incremental: false,
+        ..env_config()
+    };
+    let mut plain_env = PhaseOrderEnv::new(ps.clone(), cfg.clone());
     let agent = fresh_agent(&plain_env);
     let n_episodes = 8;
     let collect = |env: &mut PhaseOrderEnv| -> Batch {
@@ -127,7 +135,7 @@ fn cached_rollout_matches_uncached() {
     let reference = collect(&mut plain_env);
 
     let cache = Arc::new(EvalCache::default());
-    let mut cached_env = PhaseOrderEnv::with_cache(ps, env_config(), Arc::clone(&cache));
+    let mut cached_env = PhaseOrderEnv::with_cache(ps, cfg, Arc::clone(&cache));
     let batch = collect(&mut cached_env);
 
     assert_batches_identical(&reference, &batch, "cached vs uncached");
