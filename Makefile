@@ -3,9 +3,9 @@
 
 CARGO ?= cargo
 
-.PHONY: ci build test clippy fmt fmt-fix bench telemetry chaos perf-smoke
+.PHONY: ci build test clippy fmt fmt-fix bench telemetry chaos perf-smoke serve-smoke
 
-ci: build test telemetry chaos perf-smoke clippy fmt
+ci: build test telemetry chaos perf-smoke serve-smoke clippy fmt
 
 build:
 	$(CARGO) build --release
@@ -41,6 +41,13 @@ chaos:
 
 bench:
 	$(CARGO) run --release -p autophase-bench --bin rollout_bench
+
+# Compile-service smoke (DESIGN.md §4g): a real daemon on a real socket
+# under mixed warm/cold load — zero failed requests, store hits
+# observed, chaos-injected policy faults degraded to baseline, clean
+# shutdown, and the persistent store surviving a restart.
+serve-smoke:
+	$(CARGO) test -q --release -p autophase-serve --test smoke
 
 # Incremental-evaluation perf gate (DESIGN.md §4f): the differential
 # suite proves the per-function caches are bit-invisible across every

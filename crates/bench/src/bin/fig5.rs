@@ -1,9 +1,8 @@
 //! Figure 5: random-forest importance of program features per pass.
-use autophase_bench::{telemetry_finish, telemetry_init, Scale, TelemetryMode};
+use autophase_bench::{Scale, TelemetrySession};
 
 fn main() {
-    let tmode = TelemetryMode::from_args();
-    telemetry_init(tmode);
+    let telemetry = TelemetrySession::start("fig5");
     let scale = Scale::from_args();
     let n_programs = scale.pick(6, 30, 100);
     let analysis = autophase_core::experiment::fig5_fig6(n_programs, 5);
@@ -15,5 +14,5 @@ fn main() {
     for f in analysis.impactful_features(16) {
         println!("  {:>2}  {}", f, autophase_features::feature_names()[f]);
     }
-    telemetry_finish("fig5", tmode);
+    telemetry.finish();
 }

@@ -1,9 +1,8 @@
 //! Figure 6: random-forest importance of previously applied passes.
-use autophase_bench::{telemetry_finish, telemetry_init, Scale, TelemetryMode};
+use autophase_bench::{Scale, TelemetrySession};
 
 fn main() {
-    let tmode = TelemetryMode::from_args();
-    telemetry_init(tmode);
+    let telemetry = TelemetrySession::start("fig6");
     let scale = Scale::from_args();
     let n_programs = scale.pick(6, 30, 100);
     let analysis = autophase_core::experiment::fig5_fig6(n_programs, 6);
@@ -15,5 +14,5 @@ fn main() {
     for p in analysis.impactful_passes(16) {
         println!("  {:>2}  {}", p, autophase_passes::registry::pass_name(p));
     }
-    telemetry_finish("fig6", tmode);
+    telemetry.finish();
 }

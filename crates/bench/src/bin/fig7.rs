@@ -1,11 +1,10 @@
 //! Figure 7: circuit speedup and sample size comparison on the nine
 //! benchmarks, all eleven algorithms.
-use autophase_bench::{named_suite, telemetry_finish, telemetry_init, Scale, TelemetryMode};
+use autophase_bench::{named_suite, Scale, TelemetrySession};
 use autophase_core::algorithms::Budget;
 
 fn main() {
-    let tmode = TelemetryMode::from_args();
-    telemetry_init(tmode);
+    let telemetry = TelemetrySession::start("fig7");
     let scale = Scale::from_args();
     let budget = match scale {
         Scale::Small => Budget {
@@ -34,5 +33,5 @@ fn main() {
     };
     let r = autophase_core::experiment::fig7(&named_suite(), &budget, 7);
     print!("{}", autophase_core::report::fig7_table(&r));
-    telemetry_finish("fig7", tmode);
+    telemetry.finish();
 }

@@ -1,10 +1,9 @@
 //! Figure 8: episode reward mean vs. step for filtered-norm1,
 //! filtered-norm2, and original-norm2 on random programs.
-use autophase_bench::{telemetry_finish, telemetry_init, Scale, TelemetryMode};
+use autophase_bench::{Scale, TelemetrySession};
 
 fn main() {
-    let tmode = TelemetryMode::from_args();
-    telemetry_init(tmode);
+    let telemetry = TelemetrySession::start("fig8");
     let scale = Scale::from_args();
     let (n_programs, iterations) = scale.pick((4, 6), (20, 50), (100, 170));
     let curves = autophase_core::experiment::fig8(n_programs, iterations, 8);
@@ -13,5 +12,5 @@ fn main() {
     for c in &curves {
         println!("  {:<16} {:?}", c.label, c.steps_to_reach(0.8));
     }
-    telemetry_finish("fig8", tmode);
+    telemetry.finish();
 }

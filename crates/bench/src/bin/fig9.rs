@@ -1,15 +1,14 @@
 //! Figure 9: generalization — train on random programs, test on the nine
 //! benchmarks with a single compilation each.
-use autophase_bench::{named_suite, telemetry_finish, telemetry_init, Scale, TelemetryMode};
+use autophase_bench::{named_suite, Scale, TelemetrySession};
 use autophase_progen::{program_batch, GenConfig};
 
 fn main() {
-    let tmode = TelemetryMode::from_args();
-    telemetry_init(tmode);
+    let telemetry = TelemetrySession::start("fig9");
     let scale = Scale::from_args();
     let (n_train, iters, search_budget) = scale.pick((4, 4, 120), (12, 40, 300), (100, 160, 4000));
     let train = program_batch(&GenConfig::default(), 42, n_train);
     let results = autophase_core::experiment::fig9(&train, &named_suite(), iters, search_budget, 9);
     print!("{}", autophase_core::report::fig9_table(&results));
-    telemetry_finish("fig9", tmode);
+    telemetry.finish();
 }

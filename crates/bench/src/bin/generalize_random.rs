@@ -1,11 +1,10 @@
 //! §6.2 closing result: the filtered-norm2 generalist on unseen random
 //! programs (the paper: +6% vs -O3 on 12,874 programs).
-use autophase_bench::{telemetry_finish, telemetry_init, Scale, TelemetryMode};
+use autophase_bench::{Scale, TelemetrySession};
 use autophase_progen::{program_batch, GenConfig};
 
 fn main() {
-    let tmode = TelemetryMode::from_args();
-    telemetry_init(tmode);
+    let telemetry = TelemetrySession::start("generalize_random");
     let scale = Scale::from_args();
     let (n_train, iters, n_test) = scale.pick((4, 4, 20), (12, 40, 120), (100, 160, 12874));
     let train = program_batch(&GenConfig::default(), 42, n_train);
@@ -14,5 +13,5 @@ fn main() {
         "filtered-norm2 generalist on {n_test} unseen random programs: {:+.1}% vs -O3",
         imp * 100.0
     );
-    telemetry_finish("generalize_random", tmode);
+    telemetry.finish();
 }

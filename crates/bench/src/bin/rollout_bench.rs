@@ -32,7 +32,7 @@
 //! [-- --scale small|medium|paper] [--telemetry summary|jsonl|prom|off]
 //! [--min-speedup <x>]`.
 
-use autophase_bench::{telemetry_finish, telemetry_init, Scale, TelemetryMode};
+use autophase_bench::{Scale, TelemetryMode, TelemetrySession};
 use autophase_core::env::{EnvConfig, FeatureNorm, ObservationKind, PhaseOrderEnv, RewardKind};
 use autophase_core::EvalCache;
 use autophase_ir::Module;
@@ -107,8 +107,7 @@ fn batches_equal(a: &Batch, b: &Batch) -> bool {
 }
 
 fn main() {
-    let tmode = TelemetryMode::from_args_or(TelemetryMode::Summary);
-    telemetry_init(tmode);
+    let telemetry = TelemetrySession::start_with_default("rollout_bench", TelemetryMode::Summary);
     let scale = Scale::from_args();
     let (warmup_iters, rounds, episodes_per_round) =
         scale.pick((16, 16, 24), (20, 16, 32), (40, 30, 96));
@@ -293,7 +292,7 @@ fn main() {
 
     println!("rollout throughput on gsm ({steps} env steps per path, {workers} workers)");
     println!("determinism: all {rounds} parallel batches bit-identical to serial ones");
-    telemetry_finish("rollout_bench", tmode);
+    telemetry.finish();
 
     if let Some(floor) = min_speedup_from_args() {
         if inc_speedup < floor {

@@ -1,9 +1,8 @@
 //! Regenerates Table 1 (the 45 transform passes + -terminate).
-use autophase_bench::{telemetry_finish, telemetry_init, TelemetryMode};
+use autophase_bench::TelemetrySession;
 
 fn main() {
-    let tmode = TelemetryMode::from_args();
-    telemetry_init(tmode);
+    let telemetry = TelemetrySession::start("table1");
     print!("{}", autophase_core::report::table1());
-    telemetry_finish("table1", tmode);
+    telemetry.finish();
 }

@@ -1,9 +1,8 @@
 //! Regenerates Table 2 (the 56 program features).
-use autophase_bench::{telemetry_finish, telemetry_init, TelemetryMode};
+use autophase_bench::TelemetrySession;
 
 fn main() {
-    let tmode = TelemetryMode::from_args();
-    telemetry_init(tmode);
+    let telemetry = TelemetrySession::start("table2");
     print!("{}", autophase_core::report::table2());
-    telemetry_finish("table2", tmode);
+    telemetry.finish();
 }

@@ -1,9 +1,8 @@
 //! Regenerates Table 3 (deep-RL observation/action spaces).
-use autophase_bench::{telemetry_finish, telemetry_init, TelemetryMode};
+use autophase_bench::TelemetrySession;
 
 fn main() {
-    let tmode = TelemetryMode::from_args();
-    telemetry_init(tmode);
+    let telemetry = TelemetrySession::start("table3");
     print!("{}", autophase_core::report::table3());
-    telemetry_finish("table3", tmode);
+    telemetry.finish();
 }

@@ -148,6 +148,64 @@ pub fn telemetry_finish(bin: &str, mode: TelemetryMode) {
     }
 }
 
+/// RAII wrapper for the `--telemetry` lifecycle every benchmark binary
+/// shares: parse the flag, enable recording, and flush the artifacts when
+/// the session ends (explicitly via [`TelemetrySession::finish`] or on
+/// drop, so early returns still leave the event log behind).
+///
+/// ```no_run
+/// let session = autophase_bench::TelemetrySession::start("mybench");
+/// // ... run the experiment ...
+/// session.finish();
+/// ```
+#[must_use = "dropping the session immediately would flush telemetry before the run"]
+pub struct TelemetrySession {
+    bin: &'static str,
+    mode: TelemetryMode,
+    finished: bool,
+}
+
+impl TelemetrySession {
+    /// Parse `--telemetry` (default `off`) and start recording.
+    pub fn start(bin: &'static str) -> TelemetrySession {
+        TelemetrySession::start_with_default(bin, TelemetryMode::Off)
+    }
+
+    /// Parse `--telemetry` with a per-binary default and start recording.
+    pub fn start_with_default(bin: &'static str, default: TelemetryMode) -> TelemetrySession {
+        let mode = TelemetryMode::from_args_or(default);
+        telemetry_init(mode);
+        TelemetrySession {
+            bin,
+            mode,
+            finished: false,
+        }
+    }
+
+    /// The parsed mode, for binaries that branch on it.
+    pub fn mode(&self) -> TelemetryMode {
+        self.mode
+    }
+
+    /// Flush artifacts now (idempotent; drop would do the same).
+    pub fn finish(mut self) {
+        self.flush();
+    }
+
+    fn flush(&mut self) {
+        if !self.finished {
+            self.finished = true;
+            telemetry_finish(self.bin, self.mode);
+        }
+    }
+}
+
+impl Drop for TelemetrySession {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
 /// The benchmark suite as `(name, module)` pairs for the experiment APIs.
 pub fn named_suite() -> Vec<(String, autophase_ir::Module)> {
     autophase_benchmarks::suite()

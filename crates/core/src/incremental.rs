@@ -167,6 +167,7 @@ pub struct SnapshotMemo {
     tick: u64,
     hits: u64,
     misses: u64,
+    evictions: u64,
 }
 
 /// Default capacity. Entries share function-body `Arc`s with each other
@@ -183,6 +184,7 @@ impl SnapshotMemo {
             tick: 0,
             hits: 0,
             misses: 0,
+            evictions: 0,
         }
     }
 
@@ -222,6 +224,10 @@ impl SnapshotMemo {
                 .map(|(k, _)| k.clone())
             {
                 self.map.remove(&old);
+                self.evictions += 1;
+                if telemetry::enabled() {
+                    telemetry::incr("core.snap_memo", "evict", 1);
+                }
             }
         }
         self.map.insert(key, (self.tick, Arc::new(entry)));
@@ -230,6 +236,11 @@ impl SnapshotMemo {
     /// (hits, misses) since construction.
     pub fn stats(&self) -> (u64, u64) {
         (self.hits, self.misses)
+    }
+
+    /// Entries evicted under capacity pressure since construction.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
     }
 
     /// Number of memoized transitions.
@@ -265,6 +276,7 @@ pub struct ProfileMemo {
     tick: u64,
     hits: u64,
     misses: u64,
+    evictions: u64,
 }
 
 /// Default capacity. A report is ~100 bytes, so even full this is small.
@@ -279,6 +291,7 @@ impl ProfileMemo {
             tick: 0,
             hits: 0,
             misses: 0,
+            evictions: 0,
         }
     }
 
@@ -311,6 +324,10 @@ impl ProfileMemo {
         if self.map.len() >= self.capacity && !self.map.contains_key(&fp) {
             if let Some((&old, _)) = self.map.iter().min_by_key(|(_, (stamp, _))| *stamp) {
                 self.map.remove(&old);
+                self.evictions += 1;
+                if telemetry::enabled() {
+                    telemetry::incr("core.profile_memo", "evict", 1);
+                }
             }
         }
         self.map.insert(fp, (self.tick, report));
@@ -319,6 +336,11 @@ impl ProfileMemo {
     /// (hits, misses) since construction.
     pub fn stats(&self) -> (u64, u64) {
         (self.hits, self.misses)
+    }
+
+    /// Entries evicted under capacity pressure since construction.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
     }
 
     /// Number of memoized reports.

@@ -40,4 +40,6 @@ pub mod normalize;
 
 pub use extract::{extract, extract_function, feature_names, FeatureVector, NUM_FEATURES};
 pub use incremental::IncrementalFeatures;
-pub use normalize::{filter_features, log_normalize, normalize_to_inst_count, FILTERED_FEATURES};
+pub use normalize::{
+    filter_features, inst_count_filtered, log_normalize, normalize_to_inst_count, FILTERED_FEATURES,
+};

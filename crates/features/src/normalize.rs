@@ -58,6 +58,14 @@ pub fn filter_features(full: &[f64]) -> Vec<f64> {
     FILTERED_FEATURES.iter().map(|&i| full[i]).collect()
 }
 
+/// Technique ② followed by the §4 filter in one call: the feature block
+/// of the cross-program `Combined` observation, shared by training
+/// configurations and the serving engine (which must reproduce the
+/// training-time observation exactly for the policy to transfer).
+pub fn inst_count_filtered(f: &FeatureVector) -> Vec<f64> {
+    filter_features(&normalize_to_inst_count(f))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -93,6 +93,17 @@ impl HlsConfig {
             ..HlsConfig::default()
         }
     }
+
+    /// The same config with a different profiling budget. Services that
+    /// profile untrusted designs on a request deadline cap the interpreter
+    /// fuel well below the experiment default, bounding the worst-case
+    /// cost of one profile.
+    pub fn with_profile_fuel(self, profile_fuel: u64) -> HlsConfig {
+        HlsConfig {
+            profile_fuel,
+            ..self
+        }
+    }
 }
 
 /// Errors from HLS compilation or profiling.

@@ -56,6 +56,7 @@ pub mod inst;
 pub mod interp;
 pub mod loops;
 pub mod module;
+pub mod parser;
 pub mod printer;
 pub mod types;
 pub mod value;

@@ -1,0 +1,801 @@
+//! Textual IR parser — the inverse of [`crate::printer::print_module`].
+//!
+//! The serve layer accepts modules over the wire in the printed textual
+//! form, so this parser is written to be total on untrusted input: every
+//! malformed construct becomes a [`ParseError`] (never a panic), and arena
+//! indices are capped so hostile text cannot force huge allocations.
+//!
+//! # Fidelity
+//!
+//! `parse_module(print_module(m))` reconstructs a module whose printed form
+//! is byte-identical to the input, which also makes its function
+//! fingerprints identical (they hash the printed text). Arena slots of
+//! *printed* entities (globals, functions via the `; f<slot>` comments,
+//! blocks via their labels, value-producing instructions via `%<id>`) are
+//! preserved exactly, including tombstones between them. Void instructions
+//! (stores, branches, returns) carry no printed id, so they are re-assigned
+//! fresh arena slots above the highest printed id; nothing observes those
+//! slots — the printer never shows them and fingerprints hash text.
+//!
+//! Parsing is purely syntactic: semantic well-formedness (terminators,
+//! SSA dominance, call arity) is the job of [`crate::verify::verify_module`],
+//! which is total on any module this parser produces.
+
+use crate::function::{BlockId, Function, InstId};
+use crate::inst::{BinOp, CastOp, CmpPred, Inst, Opcode};
+use crate::module::{FuncId, Global, GlobalId, Module};
+use crate::types::Type;
+use crate::value::Value;
+use std::fmt;
+
+/// Upper bound on any arena index appearing in the text (instruction ids,
+/// block labels, global/function slots) and on global element counts.
+/// Real modules sit far below this; the cap exists so a one-line hostile
+/// request cannot make the parser allocate gigabytes of tombstones.
+pub const MAX_INDEX: usize = 1 << 20;
+
+/// A syntax error with its 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number the error was detected on.
+    pub line: usize,
+    /// Description of the problem.
+    pub msg: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err<T>(line: usize, msg: impl Into<String>) -> Result<T, ParseError> {
+    Err(ParseError {
+        line,
+        msg: msg.into(),
+    })
+}
+
+fn parse_index(line: usize, s: &str, what: &str) -> Result<usize, ParseError> {
+    match s.parse::<usize>() {
+        Ok(n) if n <= MAX_INDEX => Ok(n),
+        Ok(_) => err(line, format!("{what} index {s} exceeds limit")),
+        Err(_) => err(line, format!("invalid {what} index `{s}`")),
+    }
+}
+
+fn parse_ty(line: usize, s: &str) -> Result<Type, ParseError> {
+    match s {
+        "void" => Ok(Type::Void),
+        "i1" => Ok(Type::I1),
+        "i8" => Ok(Type::I8),
+        "i16" => Ok(Type::I16),
+        "i32" => Ok(Type::I32),
+        "i64" => Ok(Type::I64),
+        "ptr" => Ok(Type::Ptr),
+        _ => err(line, format!("unknown type `{s}`")),
+    }
+}
+
+fn parse_value(line: usize, s: &str) -> Result<Value, ParseError> {
+    if let Some(rest) = s.strip_prefix("%arg") {
+        let i = parse_index(line, rest, "argument")?;
+        return Ok(Value::Arg(i as u32));
+    }
+    if let Some(rest) = s.strip_prefix('%') {
+        let i = parse_index(line, rest, "instruction")?;
+        return Ok(Value::Inst(InstId::from_index(i)));
+    }
+    if let Some(rest) = s.strip_prefix("@g") {
+        let i = parse_index(line, rest, "global")?;
+        return Ok(Value::Global(GlobalId::from_index(i)));
+    }
+    let (ty_s, payload) = match s.split_once(' ') {
+        Some(p) => p,
+        None => return err(line, format!("malformed value `{s}`")),
+    };
+    let ty = parse_ty(line, ty_s)?;
+    if payload == "undef" {
+        return Ok(Value::Undef(ty));
+    }
+    match payload.parse::<i64>() {
+        Ok(v) => Ok(Value::ConstInt(ty, v)),
+        Err(_) => err(line, format!("malformed constant `{s}`")),
+    }
+}
+
+fn parse_block_ref(line: usize, s: &str) -> Result<BlockId, ParseError> {
+    match s.strip_prefix('b') {
+        Some(rest) => Ok(BlockId::from_index(parse_index(line, rest, "block")?)),
+        None => err(line, format!("expected block reference, got `{s}`")),
+    }
+}
+
+fn split2<'a>(line: usize, s: &'a str, ctx: &str) -> Result<(&'a str, &'a str), ParseError> {
+    match s.split_once(", ") {
+        Some(p) => Ok(p),
+        None => err(line, format!("expected two operands in `{ctx}`")),
+    }
+}
+
+fn bin_op(mn: &str) -> Option<BinOp> {
+    BinOp::ALL.into_iter().find(|b| b.name() == mn)
+}
+
+fn cmp_pred(mn: &str) -> Option<CmpPred> {
+    CmpPred::ALL.into_iter().find(|p| p.name() == mn)
+}
+
+fn cast_op(mn: &str) -> Option<CastOp> {
+    [CastOp::Trunc, CastOp::ZExt, CastOp::SExt, CastOp::BitCast]
+        .into_iter()
+        .find(|c| c.name() == mn)
+}
+
+/// Parse an opcode body (everything after `%id = <ty> ` or the line itself
+/// for void instructions).
+fn parse_opcode(line: usize, body: &str) -> Result<Opcode, ParseError> {
+    let (mn, rest) = body.split_once(' ').unwrap_or((body, ""));
+    if let Some(op) = bin_op(mn) {
+        let (a, b) = split2(line, rest, body)?;
+        return Ok(Opcode::Binary(
+            op,
+            parse_value(line, a)?,
+            parse_value(line, b)?,
+        ));
+    }
+    if let Some(op) = cast_op(mn) {
+        return Ok(Opcode::Cast(op, parse_value(line, rest)?));
+    }
+    match mn {
+        "icmp" => {
+            let (pred_s, ops) = match rest.split_once(' ') {
+                Some(p) => p,
+                None => return err(line, "icmp needs a predicate and operands"),
+            };
+            let pred = match cmp_pred(pred_s) {
+                Some(p) => p,
+                None => return err(line, format!("unknown icmp predicate `{pred_s}`")),
+            };
+            let (a, b) = split2(line, ops, body)?;
+            Ok(Opcode::ICmp(
+                pred,
+                parse_value(line, a)?,
+                parse_value(line, b)?,
+            ))
+        }
+        "select" => {
+            let (c, rest) = split2(line, rest, body)?;
+            let (t, f) = split2(line, rest, body)?;
+            Ok(Opcode::Select {
+                cond: parse_value(line, c)?,
+                tval: parse_value(line, t)?,
+                fval: parse_value(line, f)?,
+            })
+        }
+        "phi" => {
+            let mut incoming = Vec::new();
+            let mut s = rest.trim_end();
+            while !s.is_empty() {
+                let open = match s.strip_prefix('[') {
+                    Some(o) => o,
+                    None => return err(line, format!("malformed phi incoming near `{s}`")),
+                };
+                let (group, tail) = match open.split_once(']') {
+                    Some(p) => p,
+                    None => return err(line, "unterminated phi incoming group"),
+                };
+                let (v, bb) = split2(line, group, group)?;
+                incoming.push((parse_block_ref(line, bb)?, parse_value(line, v)?));
+                s = tail.strip_prefix(", ").unwrap_or(tail);
+            }
+            Ok(Opcode::Phi { incoming })
+        }
+        "alloca" => {
+            let (count_s, ty_s) = match rest.split_once(" x ") {
+                Some(p) => p,
+                None => return err(line, "malformed alloca"),
+            };
+            let count = parse_index(line, count_s, "alloca count")? as u32;
+            Ok(Opcode::Alloca {
+                elem_ty: parse_ty(line, ty_s)?,
+                count,
+            })
+        }
+        "load" => Ok(Opcode::Load {
+            ptr: parse_value(line, rest)?,
+        }),
+        "store" => {
+            let (v, p) = split2(line, rest, body)?;
+            Ok(Opcode::Store {
+                ptr: parse_value(line, p)?,
+                value: parse_value(line, v)?,
+            })
+        }
+        "getelementptr" => {
+            let (p, i) = split2(line, rest, body)?;
+            Ok(Opcode::Gep {
+                ptr: parse_value(line, p)?,
+                index: parse_value(line, i)?,
+            })
+        }
+        "call" => {
+            let callee_args = match rest.strip_prefix("@f") {
+                Some(r) => r,
+                None => return err(line, "call must target @f<slot>"),
+            };
+            let (id_s, args_s) = match callee_args.split_once('(') {
+                Some(p) => p,
+                None => return err(line, "malformed call"),
+            };
+            let args_s = match args_s.strip_suffix(')') {
+                Some(a) => a,
+                None => return err(line, "unterminated call argument list"),
+            };
+            let callee = FuncId::from_index(parse_index(line, id_s, "function")?);
+            let mut args = Vec::new();
+            if !args_s.is_empty() {
+                for a in args_s.split(", ") {
+                    args.push(parse_value(line, a)?);
+                }
+            }
+            Ok(Opcode::Call { callee, args })
+        }
+        "br" => {
+            if let Some((c, rest)) = rest.split_once(", ") {
+                let (t, e) = split2(line, rest, body)?;
+                Ok(Opcode::CondBr {
+                    cond: parse_value(line, c)?,
+                    then_bb: parse_block_ref(line, t)?,
+                    else_bb: parse_block_ref(line, e)?,
+                })
+            } else {
+                Ok(Opcode::Br {
+                    target: parse_block_ref(line, rest)?,
+                })
+            }
+        }
+        "switch" => {
+            let (v, rest) = match rest.split_once(", default ") {
+                Some(p) => p,
+                None => return err(line, "malformed switch"),
+            };
+            let (def, cases_s) = match rest.split_once(" [") {
+                Some(p) => p,
+                None => return err(line, "switch missing case list"),
+            };
+            let cases_s = match cases_s.strip_suffix(']') {
+                Some(c) => c,
+                None => return err(line, "unterminated switch case list"),
+            };
+            let mut cases = Vec::new();
+            if !cases_s.is_empty() {
+                for c in cases_s.split(", ") {
+                    let (val, bb) = match c.split_once(" -> ") {
+                        Some(p) => p,
+                        None => return err(line, format!("malformed switch case `{c}`")),
+                    };
+                    let val = match val.parse::<i64>() {
+                        Ok(v) => v,
+                        Err(_) => return err(line, format!("malformed case value `{val}`")),
+                    };
+                    cases.push((val, parse_block_ref(line, bb)?));
+                }
+            }
+            Ok(Opcode::Switch {
+                value: parse_value(line, v)?,
+                default: parse_block_ref(line, def)?,
+                cases,
+            })
+        }
+        "ret" => {
+            if rest == "void" {
+                Ok(Opcode::Ret { value: None })
+            } else {
+                Ok(Opcode::Ret {
+                    value: Some(parse_value(line, rest)?),
+                })
+            }
+        }
+        "unreachable" => Ok(Opcode::Unreachable),
+        _ => err(line, format!("unknown instruction `{mn}`")),
+    }
+}
+
+/// One parsed instruction line: its printed arena id (None for void
+/// instructions, which print without a result) and the instruction.
+struct ParsedInst {
+    slot: Option<usize>,
+    inst: Inst,
+}
+
+fn parse_inst_line(line: usize, text: &str) -> Result<ParsedInst, ParseError> {
+    let t = text.trim_start();
+    if t.starts_with('%') {
+        let (lhs, rest) = match t.split_once(" = ") {
+            Some(p) => p,
+            None => return err(line, "instruction result without `=`"),
+        };
+        let slot = match lhs.strip_prefix('%') {
+            Some(s) => parse_index(line, s, "instruction")?,
+            None => return err(line, "malformed result name"),
+        };
+        let (ty_s, body) = match rest.split_once(' ') {
+            Some(p) => p,
+            None => return err(line, "instruction missing a type"),
+        };
+        let ty = parse_ty(line, ty_s)?;
+        if ty.is_void() {
+            return err(line, "void instruction cannot have a result");
+        }
+        Ok(ParsedInst {
+            slot: Some(slot),
+            inst: Inst::new(ty, parse_opcode(line, body)?),
+        })
+    } else {
+        Ok(ParsedInst {
+            slot: None,
+            inst: Inst::new(Type::Void, parse_opcode(line, t)?),
+        })
+    }
+}
+
+/// Parse a `define` header: `define <ret> @<name>(<params>)<attrs> {`.
+fn parse_header(
+    line: usize,
+    text: &str,
+) -> Result<(String, Vec<Type>, Type, Vec<String>), ParseError> {
+    let rest = match text.strip_prefix("define ") {
+        Some(r) => r,
+        None => return err(line, "expected `define`"),
+    };
+    let rest = match rest.strip_suffix(" {") {
+        Some(r) => r,
+        None => return err(line, "function header must end in ` {`"),
+    };
+    let (ret_s, rest) = match rest.split_once(" @") {
+        Some(p) => p,
+        None => return err(line, "function header missing `@name`"),
+    };
+    let ret_ty = parse_ty(line, ret_s)?;
+    let open = match rest.find('(') {
+        Some(i) => i,
+        None => return err(line, "function header missing `(`"),
+    };
+    let close = match rest.rfind(')') {
+        Some(i) if i >= open => i,
+        _ => return err(line, "function header missing `)`"),
+    };
+    let name = rest[..open].to_string();
+    if name.is_empty() {
+        return err(line, "empty function name");
+    }
+    let params_s = &rest[open + 1..close];
+    let mut params = Vec::new();
+    if !params_s.is_empty() {
+        for (i, p) in params_s.split(", ").enumerate() {
+            let (ty_s, arg) = match p.split_once(' ') {
+                Some(x) => x,
+                None => return err(line, format!("malformed parameter `{p}`")),
+            };
+            if arg != format!("%arg{i}") {
+                return err(line, format!("parameter {i} must be named %arg{i}"));
+            }
+            params.push(parse_ty(line, ty_s)?);
+        }
+    }
+    let attrs: Vec<String> = rest[close + 1..]
+        .split_whitespace()
+        .map(str::to_string)
+        .collect();
+    Ok((name, params, ret_ty, attrs))
+}
+
+/// Assemble a [`Function`] from its parsed header and block contents,
+/// reconstructing the exact arena slots of printed entities.
+fn build_function(
+    line: usize,
+    name: String,
+    params: Vec<Type>,
+    ret_ty: Type,
+    attrs: &[String],
+    blocks: Vec<(usize, Vec<ParsedInst>)>,
+) -> Result<Function, ParseError> {
+    if blocks.is_empty() {
+        return err(line, format!("function @{name} has no blocks"));
+    }
+    let mut f = Function::new(name.clone(), params, ret_ty);
+    for a in attrs {
+        match a.as_str() {
+            "readnone" => f.attrs.readnone = true,
+            "readonly" => f.attrs.readonly = true,
+            "internal" => f.attrs.internal = true,
+            "alwaysinline" => f.attrs.always_inline = true,
+            "outlined" => f.attrs.outlined = true,
+            _ => return err(line, format!("unknown attribute `{a}`")),
+        }
+    }
+
+    // Recreate the block arena: live slots are exactly the printed labels;
+    // slots between them are tombstones. `Function::new` made slot 0.
+    let max_block = blocks.iter().map(|(id, _)| *id).max().unwrap_or(0);
+    let mut live = vec![false; max_block + 1];
+    for (id, _) in &blocks {
+        if live[*id] {
+            return err(line, format!("duplicate block label b{id} in @{name}"));
+        }
+        live[*id] = true;
+    }
+    for _ in 0..max_block {
+        f.add_block();
+    }
+    for (i, &alive) in live.iter().enumerate() {
+        if !alive {
+            f.remove_block(BlockId::from_index(i));
+        }
+    }
+    f.entry = BlockId::from_index(blocks[0].0);
+
+    // Recreate the instruction arena: printed `%id`s take their exact
+    // slots (tombstones fill the gaps); void instructions are appended
+    // above the highest printed id.
+    let max_slot = blocks
+        .iter()
+        .flat_map(|(_, insts)| insts.iter().filter_map(|p| p.slot))
+        .max();
+    let mut arena: Vec<Option<Inst>> = vec![None; max_slot.map_or(0, |m| m + 1)];
+    for (_, insts) in &blocks {
+        for p in insts {
+            if let Some(slot) = p.slot {
+                if arena[slot].is_some() {
+                    return err(line, format!("duplicate instruction id %{slot} in @{name}"));
+                }
+                arena[slot] = Some(p.inst.clone());
+            }
+        }
+    }
+    for inst in arena {
+        match inst {
+            Some(inst) => {
+                f.add_inst(inst);
+            }
+            None => {
+                let id = f.add_inst(Inst::new(Type::Void, Opcode::Unreachable));
+                f.erase_inst(id);
+            }
+        }
+    }
+    for (bid, insts) in blocks {
+        let mut list = Vec::with_capacity(insts.len());
+        for p in insts {
+            match p.slot {
+                Some(slot) => list.push(InstId::from_index(slot)),
+                None => list.push(f.add_inst(p.inst)),
+            }
+        }
+        f.block_mut(BlockId::from_index(bid)).insts = list;
+    }
+    Ok(f)
+}
+
+fn parse_global_line(line: usize, text: &str) -> Result<(usize, Global), ParseError> {
+    let rest = match text.strip_prefix("@g") {
+        Some(r) => r,
+        None => return err(line, "expected global definition"),
+    };
+    let (id_s, rest) = match rest.split_once(" = ") {
+        Some(p) => p,
+        None => return err(line, "global definition missing `=`"),
+    };
+    let slot = parse_index(line, id_s, "global")?;
+    let (spec, name) = match rest.split_once(" ; ") {
+        Some(p) => p,
+        None => return err(line, "global definition missing `; <name>`"),
+    };
+    let (kind, spec) = match spec.split_once(' ') {
+        Some(p) => p,
+        None => return err(line, "malformed global"),
+    };
+    let is_const = match kind {
+        "const" => true,
+        "global" => false,
+        _ => return err(line, format!("unknown global kind `{kind}`")),
+    };
+    let (count_s, spec) = match spec.split_once(" x ") {
+        Some(p) => p,
+        None => return err(line, "malformed global element count"),
+    };
+    let count = parse_index(line, count_s, "global count")? as u32;
+    let (ty_s, init_s) = match spec.split_once(' ') {
+        Some(p) => p,
+        None => return err(line, "global missing initializer"),
+    };
+    let elem_ty = parse_ty(line, ty_s)?;
+    let init = if init_s == "zeroinit" {
+        Vec::new()
+    } else {
+        let inner = match init_s.strip_prefix('[').and_then(|s| s.strip_suffix(']')) {
+            Some(i) => i,
+            None => return err(line, format!("malformed initializer `{init_s}`")),
+        };
+        let mut vals = Vec::new();
+        if !inner.is_empty() {
+            for v in inner.split(", ") {
+                match v.parse::<i64>() {
+                    Ok(x) => vals.push(x),
+                    Err(_) => return err(line, format!("malformed initializer value `{v}`")),
+                }
+            }
+        }
+        if vals.len() > MAX_INDEX {
+            return err(line, "initializer too long");
+        }
+        vals
+    };
+    Ok((
+        slot,
+        Global {
+            name: name.to_string(),
+            elem_ty,
+            count,
+            init,
+            is_const,
+        },
+    ))
+}
+
+/// Parse the textual form produced by [`crate::printer::print_module`].
+///
+/// Purely syntactic — run [`crate::verify::verify_module`] on the result
+/// before trusting it semantically.
+///
+/// # Errors
+///
+/// Returns the first syntax problem found, with its 1-based line number.
+pub fn parse_module(text: &str) -> Result<Module, ParseError> {
+    let lines: Vec<&str> = text.lines().collect();
+    let mut i = 0usize;
+    while i < lines.len() && lines[i].trim().is_empty() {
+        i += 1;
+    }
+    let name = match lines.get(i).and_then(|l| l.strip_prefix("; module ")) {
+        Some(n) => n.to_string(),
+        None => return err(i + 1, "expected `; module <name>` header"),
+    };
+    i += 1;
+    let mut m = Module::new(name);
+    // Pending `; f<slot>` annotation for the next `define`.
+    let mut pending_slot: Option<usize> = None;
+    while i < lines.len() {
+        let line = lines[i];
+        let ln = i + 1;
+        if line.trim().is_empty() {
+            i += 1;
+            continue;
+        }
+        if line.starts_with("@g") {
+            if pending_slot.is_some() {
+                return err(ln, "global definition after `; f<slot>` annotation");
+            }
+            let (slot, g) = parse_global_line(ln, line)?;
+            if slot < m.global_capacity() {
+                return err(ln, format!("global slot g{slot} already used"));
+            }
+            while m.global_capacity() < slot {
+                let id = m.add_global(Global::zeroed("", Type::I8, 0));
+                m.remove_global(id);
+            }
+            m.add_global(g);
+            i += 1;
+            continue;
+        }
+        if let Some(slot_s) = line.strip_prefix("; f") {
+            if pending_slot.is_some() {
+                return err(ln, "consecutive `; f<slot>` annotations");
+            }
+            pending_slot = Some(parse_index(ln, slot_s, "function")?);
+            i += 1;
+            continue;
+        }
+        if line.starts_with("define ") {
+            let (fname, params, ret_ty, attrs) = parse_header(ln, line)?;
+            i += 1;
+            // Collect block sections until the closing `}`.
+            let mut blocks: Vec<(usize, Vec<ParsedInst>)> = Vec::new();
+            let mut closed = false;
+            while i < lines.len() {
+                let bl = lines[i];
+                let bln = i + 1;
+                if bl == "}" {
+                    closed = true;
+                    i += 1;
+                    break;
+                }
+                if let Some(label) = bl.strip_suffix(':') {
+                    let bb = match label.strip_prefix('b') {
+                        Some(s) => parse_index(bln, s, "block")?,
+                        None => return err(bln, format!("malformed block label `{bl}`")),
+                    };
+                    blocks.push((bb, Vec::new()));
+                } else if bl.starts_with("  ") {
+                    match blocks.last_mut() {
+                        Some((_, insts)) => insts.push(parse_inst_line(bln, bl)?),
+                        None => return err(bln, "instruction before first block label"),
+                    }
+                } else {
+                    return err(bln, format!("unexpected line in function body: `{bl}`"));
+                }
+                i += 1;
+            }
+            if !closed {
+                return err(i, format!("unterminated function @{fname}"));
+            }
+            let f = build_function(ln, fname, params, ret_ty, &attrs, blocks)?;
+            let slot = pending_slot.take().unwrap_or(m.func_capacity());
+            if slot < m.func_capacity() {
+                return err(ln, format!("function slot f{slot} already used"));
+            }
+            while m.func_capacity() < slot {
+                let id = m.add_function(Function::new("", Vec::new(), Type::Void));
+                m.remove_function(id);
+            }
+            m.add_function(f);
+            continue;
+        }
+        return err(ln, format!("unexpected line `{line}`"));
+    }
+    if pending_slot.is_some() {
+        return err(lines.len(), "`; f<slot>` annotation without a function");
+    }
+    Ok(m)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::printer::print_module;
+
+    fn roundtrip(m: &Module) -> Module {
+        let text = print_module(m);
+        let parsed = parse_module(&text).unwrap_or_else(|e| panic!("{e}\n{text}"));
+        assert_eq!(print_module(&parsed), text, "print is not a fixpoint");
+        parsed
+    }
+
+    fn rich_module() -> Module {
+        let mut m = Module::new("demo");
+        let g = m.add_global(Global::constant("tbl", Type::I32, vec![1, -2, 3]));
+        let dead = m.add_global(Global::zeroed("dead", Type::I8, 4));
+        m.add_global(Global::zeroed("buf", Type::I8, 16));
+        m.remove_global(dead);
+
+        let mut b = FunctionBuilder::new("helper", vec![Type::I32], Type::I32);
+        let w = b.binary(BinOp::Mul, b.arg(0), Value::i32(3));
+        b.ret(Some(w));
+        let helper = m.add_function(b.finish());
+        m.func_mut(helper).attrs.internal = true;
+        m.func_mut(helper).attrs.readnone = true;
+
+        let mut b = FunctionBuilder::new("main", vec![], Type::I32);
+        let t = b.new_block();
+        let e = b.new_block();
+        let j = b.new_block();
+        let p = b.gep(Value::Global(g), Value::i32(1));
+        let v = b.load(Type::I32, p);
+        let c = b.icmp(CmpPred::Slt, v, Value::i32(10));
+        b.cond_br(c, t, e);
+        b.switch_to(t);
+        let a = b.alloca(Type::I32, 2);
+        b.store(a, v);
+        let x = b.call(helper, Type::I32, vec![v]);
+        b.br(j);
+        b.switch_to(e);
+        let y = b.binary(BinOp::Add, v, Value::ConstInt(Type::I64, -7));
+        let yt = b.cast(CastOp::Trunc, Type::I32, y);
+        b.br(j);
+        b.switch_to(j);
+        let phi = b.phi(Type::I32, vec![(t, x), (e, yt)]);
+        let s = b.select(c, phi, Value::Undef(Type::I32));
+        b.ret(Some(s));
+        m.add_function(b.finish());
+        m
+    }
+
+    #[test]
+    fn roundtrip_rich_module_is_exact() {
+        let m = rich_module();
+        let parsed = roundtrip(&m);
+        assert_eq!(
+            crate::fingerprint::fingerprint_module(&parsed),
+            crate::fingerprint::fingerprint_module(&m)
+        );
+        crate::verify::assert_verified(&parsed);
+    }
+
+    #[test]
+    fn roundtrip_preserves_sparse_arenas() {
+        let mut m = rich_module();
+        // Tombstone the first function; calls keep their slot references.
+        let helper = m.func_by_name("helper").unwrap();
+        // Inline the call away first so the module stays valid.
+        let main = m.main().unwrap();
+        let f = m.func_mut(main);
+        let mut call_id = None;
+        for bb in f.block_ids().collect::<Vec<_>>() {
+            for (id, inst) in f.insts_in(bb) {
+                if matches!(inst.op, Opcode::Call { .. }) {
+                    call_id = Some((bb, id));
+                }
+            }
+        }
+        let (bb, id) = call_id.unwrap();
+        let ty = f.inst(id).ty;
+        *f.inst_mut(id) = Inst::new(ty, Opcode::Binary(BinOp::Add, Value::i32(1), Value::i32(2)));
+        let _ = bb;
+        m.remove_function(helper);
+        let parsed = roundtrip(&m);
+        assert_eq!(parsed.func_capacity(), m.func_capacity());
+        assert_eq!(parsed.main().unwrap(), m.main().unwrap());
+        crate::verify::assert_verified(&parsed);
+    }
+
+    #[test]
+    fn roundtrip_preserves_switch_and_unreachable() {
+        let mut b = FunctionBuilder::new("main", vec![Type::I32], Type::I32);
+        let c1 = b.new_block();
+        let c2 = b.new_block();
+        let d = b.new_block();
+        b.switch(b.arg(0), d, vec![(1, c1), (-2, c2)]);
+        b.switch_to(c1);
+        b.ret(Some(Value::i32(10)));
+        b.switch_to(c2);
+        b.unreachable();
+        b.switch_to(d);
+        b.ret(Some(Value::i32(0)));
+        let mut m = Module::new("sw");
+        m.add_function(b.finish());
+        let parsed = roundtrip(&m);
+        crate::verify::assert_verified(&parsed);
+    }
+
+    #[test]
+    fn malformed_inputs_error_cleanly() {
+        for bad in [
+            "",
+            "garbage",
+            "; module m\n@g0 = const 1 x i32",
+            "; module m\ndefine i32 @f( {",
+            "; module m\ndefine i32 @f() {\nb0:\n  ret i32 1",
+            "; module m\ndefine i32 @f() {\n  ret i32 1\n}",
+            "; module m\ndefine i32 @f() {\nb0:\n  %0 = i32 frobnicate %arg0\n}",
+            "; module m\ndefine i32 @f() {\nb0:\n  %0 = i32 add %1\n}",
+            "; module m\n; f0\n; f1\ndefine void @f() {\nb0:\n  ret void\n}",
+            "; module m\n; f0",
+            "; module m\ndefine void @f() {\nb0:\n  %99999999999 = i32 add %arg0, %arg0\n}",
+        ] {
+            assert!(parse_module(bad).is_err(), "accepted: {bad:?}");
+        }
+    }
+
+    #[test]
+    fn duplicate_slots_rejected() {
+        let dup_inst = "; module m\ndefine i32 @f() {\nb0:\n  %0 = i32 add i32 1, i32 2\n  %0 = i32 add i32 1, i32 2\n  ret %0\n}";
+        assert!(parse_module(dup_inst).is_err());
+        let dup_block = "; module m\ndefine i32 @f() {\nb0:\nb0:\n  ret i32 1\n}";
+        assert!(parse_module(dup_block).is_err());
+        let dup_global = "; module m\n@g0 = const 1 x i32 [1] ; a\n@g0 = const 1 x i32 [1] ; b";
+        assert!(parse_module(dup_global).is_err());
+    }
+
+    #[test]
+    fn index_cap_blocks_huge_allocations() {
+        let huge = format!(
+            "; module m\ndefine i32 @f() {{\nb{}:\n  ret i32 1\n}}",
+            usize::MAX
+        );
+        assert!(parse_module(&huge).is_err());
+    }
+}

@@ -6,24 +6,37 @@ use crate::module::Module;
 use std::fmt::Write;
 
 /// Render a whole module.
+///
+/// The output is a complete, lossless description of the module: global
+/// initializer values are printed (`zeroinit` or `[v, v, ...]`) and every
+/// function is preceded by a `; f<slot>` comment recording its arena slot,
+/// so [`crate::parser::parse_module`] can reconstruct sparse arenas (call
+/// operands reference functions by slot index).
 pub fn print_module(m: &Module) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "; module {}", m.name);
     for gid in m.global_ids() {
         let g = m.global(gid);
+        let init = if g.init.is_empty() {
+            "zeroinit".to_string()
+        } else {
+            let parts: Vec<String> = g.init.iter().map(|v| v.to_string()).collect();
+            format!("[{}]", parts.join(", "))
+        };
         let _ = writeln!(
             out,
-            "@g{} = {} {} x {} ; {}{}",
+            "@g{} = {} {} x {} {} ; {}",
             gid.index(),
             if g.is_const { "const" } else { "global" },
             g.count,
             g.elem_ty,
+            init,
             g.name,
-            if g.init.is_empty() { " zeroinit" } else { "" },
         );
     }
     for fid in m.func_ids() {
         out.push('\n');
+        let _ = writeln!(out, "; f{}", fid.index());
         out.push_str(&print_function(m.func(fid)));
     }
     out
@@ -169,7 +182,8 @@ mod tests {
         assert!(text.contains("icmp slt"));
         assert!(text.contains("phi"));
         assert!(text.contains("getelementptr"));
-        assert!(text.contains("@g0 = const"));
+        assert!(text.contains("@g0 = const 2 x i32 [1, 2] ; tbl"));
+        assert!(text.contains("; f0\ndefine"));
         // Every live block is printed.
         for i in 0..4 {
             assert!(text.contains(&format!("b{i}:")), "missing block b{i}");

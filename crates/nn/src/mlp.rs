@@ -248,6 +248,199 @@ impl Mlp {
             .map(|l| l.w.data().len() + l.b.len())
             .sum()
     }
+
+    // ---- binary codec ----
+    //
+    // The vendored serde is a marker-trait stub (derives expand to nothing),
+    // so persistence is a hand-rolled, versioned little-endian format:
+    //
+    //   "APNN" | version u32 | activation u8 | adam_t u64 | n_sizes u32 |
+    //   sizes (u32 each) | per layer: w, b, mw, vw, mb, vb (f64 LE each) |
+    //   fnv1a-64 checksum of everything before it
+    //
+    // Weights and Adam moments are saved (so a reloaded net resumes training
+    // identically); accumulated gradients are transient and are not.
+
+    /// Serialize the network (weights + Adam state) to bytes.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(CODEC_MAGIC);
+        out.extend_from_slice(&CODEC_VERSION.to_le_bytes());
+        out.push(match self.activation {
+            Activation::Tanh => 0,
+            Activation::Relu => 1,
+        });
+        out.extend_from_slice(&self.t.to_le_bytes());
+        let mut sizes = vec![self.input_dim() as u32];
+        sizes.extend(self.layers.iter().map(|l| l.w.rows() as u32));
+        out.extend_from_slice(&(sizes.len() as u32).to_le_bytes());
+        for s in &sizes {
+            out.extend_from_slice(&s.to_le_bytes());
+        }
+        for layer in &self.layers {
+            for &v in layer.w.data() {
+                out.extend_from_slice(&v.to_le_bytes());
+            }
+            for &v in &layer.b {
+                out.extend_from_slice(&v.to_le_bytes());
+            }
+            for &v in layer.mw.data() {
+                out.extend_from_slice(&v.to_le_bytes());
+            }
+            for &v in layer.vw.data() {
+                out.extend_from_slice(&v.to_le_bytes());
+            }
+            for &v in &layer.mb {
+                out.extend_from_slice(&v.to_le_bytes());
+            }
+            for &v in &layer.vb {
+                out.extend_from_slice(&v.to_le_bytes());
+            }
+        }
+        let sum = fnv1a(&out);
+        out.extend_from_slice(&sum.to_le_bytes());
+        out
+    }
+
+    /// Deserialize a network previously written by [`Mlp::to_bytes`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DecodeError`] on truncation, bad magic/version, checksum
+    /// mismatch, or implausible dimensions. Never panics on hostile input.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Mlp, DecodeError> {
+        if bytes.len() < CODEC_MAGIC.len() + 8 {
+            return Err(DecodeError("truncated header".into()));
+        }
+        let (body, sum_bytes) = bytes.split_at(bytes.len() - 8);
+        let mut sum = [0u8; 8];
+        sum.copy_from_slice(sum_bytes);
+        if fnv1a(body) != u64::from_le_bytes(sum) {
+            return Err(DecodeError("checksum mismatch".into()));
+        }
+        let mut r = Reader { buf: body, pos: 0 };
+        if r.take(CODEC_MAGIC.len())? != CODEC_MAGIC {
+            return Err(DecodeError("bad magic".into()));
+        }
+        let version = r.u32()?;
+        if version != CODEC_VERSION {
+            return Err(DecodeError(format!("unsupported version {version}")));
+        }
+        let activation = match r.u8()? {
+            0 => Activation::Tanh,
+            1 => Activation::Relu,
+            a => return Err(DecodeError(format!("unknown activation tag {a}"))),
+        };
+        let t = r.u64()?;
+        let n_sizes = r.u32()? as usize;
+        if !(2..=64).contains(&n_sizes) {
+            return Err(DecodeError(format!("implausible layer count {n_sizes}")));
+        }
+        let mut sizes = Vec::with_capacity(n_sizes);
+        for _ in 0..n_sizes {
+            let s = r.u32()? as usize;
+            if s == 0 || s > 1 << 20 {
+                return Err(DecodeError(format!("implausible layer size {s}")));
+            }
+            sizes.push(s);
+        }
+        let mut layers = Vec::with_capacity(n_sizes - 1);
+        for w in sizes.windows(2) {
+            let (inputs, outputs) = (w[0], w[1]);
+            let mut layer = Dense {
+                w: Matrix::zeros(outputs, inputs),
+                b: vec![0.0; outputs],
+                gw: Matrix::zeros(outputs, inputs),
+                gb: vec![0.0; outputs],
+                mw: Matrix::zeros(outputs, inputs),
+                vw: Matrix::zeros(outputs, inputs),
+                mb: vec![0.0; outputs],
+                vb: vec![0.0; outputs],
+            };
+            r.f64_into(layer.w.data_mut())?;
+            r.f64_into(&mut layer.b)?;
+            r.f64_into(layer.mw.data_mut())?;
+            r.f64_into(layer.vw.data_mut())?;
+            r.f64_into(&mut layer.mb)?;
+            r.f64_into(&mut layer.vb)?;
+            layers.push(layer);
+        }
+        if r.pos != body.len() {
+            return Err(DecodeError("trailing bytes".into()));
+        }
+        Ok(Mlp {
+            layers,
+            activation,
+            t,
+            pending: 0,
+        })
+    }
+}
+
+const CODEC_MAGIC: &[u8] = b"APNN";
+const CODEC_VERSION: u32 = 1;
+
+/// Failure decoding a serialized [`Mlp`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodeError(pub String);
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "mlp decode error: {}", self.0)
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+        if self.pos + n > self.buf.len() {
+            return Err(DecodeError("truncated".into()));
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    fn u8(&mut self) -> Result<u8, DecodeError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, DecodeError> {
+        let mut b = [0u8; 4];
+        b.copy_from_slice(self.take(4)?);
+        Ok(u32::from_le_bytes(b))
+    }
+
+    fn u64(&mut self) -> Result<u64, DecodeError> {
+        let mut b = [0u8; 8];
+        b.copy_from_slice(self.take(8)?);
+        Ok(u64::from_le_bytes(b))
+    }
+
+    fn f64_into(&mut self, out: &mut [f64]) -> Result<(), DecodeError> {
+        let raw = self.take(out.len() * 8)?;
+        for (i, v) in out.iter_mut().enumerate() {
+            let mut b = [0u8; 8];
+            b.copy_from_slice(&raw[i * 8..i * 8 + 8]);
+            *v = f64::from_le_bytes(b);
+        }
+        Ok(())
+    }
 }
 
 /// Numerically stable softmax.
@@ -365,5 +558,52 @@ mod tests {
         let a = Mlp::new(&[3, 8, 2], Activation::Tanh, 42);
         let b = Mlp::new(&[3, 8, 2], Activation::Tanh, 42);
         assert_eq!(a.parameters(), b.parameters());
+    }
+
+    #[test]
+    fn codec_roundtrip_is_bit_identical() {
+        // Train a few steps so Adam moments and t are nonzero.
+        let mut net = Mlp::new(&[3, 8, 2], Activation::Tanh, 21);
+        for _ in 0..5 {
+            net.backward(&[0.1, -0.2, 0.3], &[1.0, -1.0]);
+            net.step(1e-3);
+        }
+        let bytes = net.to_bytes();
+        let back = Mlp::from_bytes(&bytes).unwrap();
+        assert_eq!(
+            back.parameters()
+                .iter()
+                .map(|v| v.to_bits())
+                .collect::<Vec<_>>(),
+            net.parameters()
+                .iter()
+                .map(|v| v.to_bits())
+                .collect::<Vec<_>>()
+        );
+        // Re-encoding is byte-identical (Adam state included).
+        assert_eq!(back.to_bytes(), bytes);
+        // Training after reload matches training the original — Adam state
+        // survived the roundtrip.
+        let mut orig = net.clone();
+        let mut loaded = back;
+        orig.backward(&[0.5, 0.5, 0.5], &[0.2, 0.4]);
+        orig.step(1e-3);
+        loaded.backward(&[0.5, 0.5, 0.5], &[0.2, 0.4]);
+        loaded.step(1e-3);
+        assert_eq!(orig.parameters(), loaded.parameters());
+    }
+
+    #[test]
+    fn codec_rejects_corruption() {
+        let net = Mlp::new(&[2, 4, 1], Activation::Relu, 1);
+        let bytes = net.to_bytes();
+        assert!(Mlp::from_bytes(&[]).is_err());
+        assert!(Mlp::from_bytes(&bytes[..bytes.len() - 1]).is_err());
+        let mut flipped = bytes.clone();
+        flipped[20] ^= 0xff;
+        assert!(Mlp::from_bytes(&flipped).is_err());
+        let mut bad_magic = bytes.clone();
+        bad_magic[0] = b'X';
+        assert!(Mlp::from_bytes(&bad_magic).is_err());
     }
 }

@@ -67,6 +67,25 @@ pub fn o3(m: &mut Module) -> usize {
     registry::apply_sequence(m, O3_SEQUENCE)
 }
 
+/// Fault-isolated `-O3`: every pass of [`O3_SEQUENCE`] is applied
+/// transactionally via [`crate::checked::apply_checked`], so a pass that
+/// panics, breaks the verifier, or blows the fuel budget is rolled back
+/// and skipped instead of aborting the pipeline. Returns the changing
+/// pass ids that survived — the effective ordering actually applied.
+///
+/// This is the degradation baseline a serving layer falls back to when
+/// the learned policy path faults: it must make progress on *any*
+/// verified module, never crash.
+pub fn o3_checked(m: &mut Module, budget: &crate::checked::FuelBudget) -> Vec<PassId> {
+    let mut applied = Vec::new();
+    for &id in O3_SEQUENCE {
+        if let Ok(true) = crate::checked::apply_checked(m, id, budget) {
+            applied.push(id);
+        }
+    }
+    applied
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

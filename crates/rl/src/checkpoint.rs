@@ -1,0 +1,357 @@
+//! Versioned binary checkpoints for trained agents.
+//!
+//! The serving daemon starts from a checkpoint written here; experiments
+//! use the same format to resume training. The vendored serde is a
+//! marker-trait stub, so the format is hand-rolled:
+//!
+//! ```text
+//! "APCK" | version u32 LE | algo u8 | policy_len u32 LE | policy blob |
+//! value_len u32 LE | value blob
+//! ```
+//!
+//! The two blobs are [`Mlp::to_bytes`] payloads and carry their own
+//! checksums; decoding verifies both, so a truncated or bit-flipped file is
+//! rejected with an error rather than silently degrading the policy.
+//! Saves go through a temp-file-plus-rename so a crash mid-write never
+//! leaves a half-written checkpoint at the target path.
+
+use crate::a2c::A2cAgent;
+use crate::ppo::PpoAgent;
+use autophase_nn::mlp::Mlp;
+use std::fmt;
+use std::io::Write as _;
+use std::path::Path;
+
+const MAGIC: &[u8] = b"APCK";
+const VERSION: u32 = 1;
+
+/// Which algorithm produced the checkpoint (restores must match).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Algo {
+    /// Proximal Policy Optimization.
+    Ppo,
+    /// Advantage actor-critic.
+    A2c,
+}
+
+impl Algo {
+    fn tag(self) -> u8 {
+        match self {
+            Algo::Ppo => 0,
+            Algo::A2c => 1,
+        }
+    }
+
+    fn from_tag(t: u8) -> Option<Algo> {
+        match t {
+            0 => Some(Algo::Ppo),
+            1 => Some(Algo::A2c),
+            _ => None,
+        }
+    }
+}
+
+/// Failure loading or decoding a checkpoint.
+#[derive(Debug)]
+pub struct CheckpointError(pub String);
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "checkpoint error: {}", self.0)
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+impl From<std::io::Error> for CheckpointError {
+    fn from(e: std::io::Error) -> CheckpointError {
+        CheckpointError(format!("io: {e}"))
+    }
+}
+
+impl From<autophase_nn::mlp::DecodeError> for CheckpointError {
+    fn from(e: autophase_nn::mlp::DecodeError) -> CheckpointError {
+        CheckpointError(e.to_string())
+    }
+}
+
+/// A trained policy/value pair with its algorithm tag.
+#[derive(Debug, Clone)]
+pub struct PolicyCheckpoint {
+    /// The algorithm that trained the networks.
+    pub algo: Algo,
+    /// Policy network (logits over actions).
+    pub policy: Mlp,
+    /// Value network (scalar state value).
+    pub value: Mlp,
+}
+
+impl PolicyCheckpoint {
+    /// Snapshot a PPO agent's networks.
+    pub fn from_ppo(agent: &PpoAgent) -> PolicyCheckpoint {
+        PolicyCheckpoint {
+            algo: Algo::Ppo,
+            policy: agent.policy.clone(),
+            value: agent.value.clone(),
+        }
+    }
+
+    /// Snapshot an A2C agent's networks.
+    pub fn from_a2c(agent: &A2cAgent) -> PolicyCheckpoint {
+        PolicyCheckpoint {
+            algo: Algo::A2c,
+            policy: agent.policy.clone(),
+            value: agent.value.clone(),
+        }
+    }
+
+    /// Restore the networks into a PPO agent.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the checkpoint is not a PPO checkpoint or the network
+    /// shapes do not match the agent's.
+    pub fn restore_ppo(&self, agent: &mut PpoAgent) -> Result<(), CheckpointError> {
+        if self.algo != Algo::Ppo {
+            return Err(CheckpointError("not a PPO checkpoint".into()));
+        }
+        check_shape("policy", &self.policy, &agent.policy)?;
+        check_shape("value", &self.value, &agent.value)?;
+        agent.policy = self.policy.clone();
+        agent.value = self.value.clone();
+        Ok(())
+    }
+
+    /// Restore the networks into an A2C agent.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the checkpoint is not an A2C checkpoint or the network
+    /// shapes do not match the agent's.
+    pub fn restore_a2c(&self, agent: &mut A2cAgent) -> Result<(), CheckpointError> {
+        if self.algo != Algo::A2c {
+            return Err(CheckpointError("not an A2C checkpoint".into()));
+        }
+        check_shape("policy", &self.policy, &agent.policy)?;
+        check_shape("value", &self.value, &agent.value)?;
+        agent.policy = self.policy.clone();
+        agent.value = self.value.clone();
+        Ok(())
+    }
+
+    /// Serialize to the versioned binary format.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let policy = self.policy.to_bytes();
+        let value = self.value.to_bytes();
+        let mut out = Vec::with_capacity(MAGIC.len() + 13 + policy.len() + value.len());
+        out.extend_from_slice(MAGIC);
+        out.extend_from_slice(&VERSION.to_le_bytes());
+        out.push(self.algo.tag());
+        out.extend_from_slice(&(policy.len() as u32).to_le_bytes());
+        out.extend_from_slice(&policy);
+        out.extend_from_slice(&(value.len() as u32).to_le_bytes());
+        out.extend_from_slice(&value);
+        out
+    }
+
+    /// Decode the versioned binary format.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on truncation, bad magic/version, or a corrupt
+    /// network blob (each blob is checksummed).
+    pub fn from_bytes(bytes: &[u8]) -> Result<PolicyCheckpoint, CheckpointError> {
+        let rest = bytes
+            .strip_prefix(MAGIC)
+            .ok_or_else(|| CheckpointError("bad magic".into()))?;
+        let (ver, rest) = split_u32(rest)?;
+        if ver != VERSION {
+            return Err(CheckpointError(format!("unsupported version {ver}")));
+        }
+        let (&tag, rest) = rest
+            .split_first()
+            .ok_or_else(|| CheckpointError("truncated".into()))?;
+        let algo =
+            Algo::from_tag(tag).ok_or_else(|| CheckpointError(format!("unknown algo {tag}")))?;
+        let (policy_blob, rest) = split_blob(rest)?;
+        let (value_blob, rest) = split_blob(rest)?;
+        if !rest.is_empty() {
+            return Err(CheckpointError("trailing bytes".into()));
+        }
+        Ok(PolicyCheckpoint {
+            algo,
+            policy: Mlp::from_bytes(policy_blob)?,
+            value: Mlp::from_bytes(value_blob)?,
+        })
+    }
+
+    /// Write the checkpoint to `path` atomically (temp file + rename).
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn save(&self, path: &Path) -> Result<(), CheckpointError> {
+        let tmp = path.with_extension("tmp");
+        {
+            let mut f = std::fs::File::create(&tmp)?;
+            f.write_all(&self.to_bytes())?;
+            f.sync_all()?;
+        }
+        std::fs::rename(&tmp, path)?;
+        Ok(())
+    }
+
+    /// Read a checkpoint from disk.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors and any decode failure.
+    pub fn load(path: &Path) -> Result<PolicyCheckpoint, CheckpointError> {
+        let bytes = std::fs::read(path)?;
+        PolicyCheckpoint::from_bytes(&bytes)
+    }
+}
+
+fn check_shape(which: &str, from: &Mlp, to: &Mlp) -> Result<(), CheckpointError> {
+    if from.input_dim() != to.input_dim() || from.output_dim() != to.output_dim() {
+        return Err(CheckpointError(format!(
+            "{which} shape mismatch: checkpoint {}x{}, agent {}x{}",
+            from.input_dim(),
+            from.output_dim(),
+            to.input_dim(),
+            to.output_dim()
+        )));
+    }
+    Ok(())
+}
+
+fn split_u32(bytes: &[u8]) -> Result<(u32, &[u8]), CheckpointError> {
+    if bytes.len() < 4 {
+        return Err(CheckpointError("truncated".into()));
+    }
+    let (head, rest) = bytes.split_at(4);
+    let mut b = [0u8; 4];
+    b.copy_from_slice(head);
+    Ok((u32::from_le_bytes(b), rest))
+}
+
+fn split_blob(bytes: &[u8]) -> Result<(&[u8], &[u8]), CheckpointError> {
+    let (len, rest) = split_u32(bytes)?;
+    let len = len as usize;
+    if rest.len() < len {
+        return Err(CheckpointError("truncated blob".into()));
+    }
+    Ok(rest.split_at(len))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::a2c::A2cConfig;
+    use crate::env::{Environment, StepResult};
+    use crate::ppo::PpoConfig;
+
+    struct Bandit;
+
+    impl Environment for Bandit {
+        fn observation_dim(&self) -> usize {
+            1
+        }
+        fn num_actions(&self) -> usize {
+            2
+        }
+        fn reset(&mut self) -> Vec<f64> {
+            vec![0.0]
+        }
+        fn step(&mut self, a: usize) -> StepResult {
+            StepResult {
+                observation: vec![0.0],
+                reward: a as f64,
+                done: true,
+            }
+        }
+    }
+
+    fn bits(net: &Mlp) -> Vec<u64> {
+        net.parameters().iter().map(|v| v.to_bits()).collect()
+    }
+
+    #[test]
+    fn ppo_roundtrip_is_bit_identical() {
+        let cfg = PpoConfig {
+            hidden: vec![8],
+            ..Default::default()
+        };
+        let mut agent = PpoAgent::new(1, 2, &cfg, 7);
+        agent.train(&mut Bandit, 5);
+        let ckpt = PolicyCheckpoint::from_ppo(&agent);
+        let back = PolicyCheckpoint::from_bytes(&ckpt.to_bytes()).unwrap();
+        assert_eq!(back.algo, Algo::Ppo);
+        assert_eq!(bits(&back.policy), bits(&agent.policy));
+        assert_eq!(bits(&back.value), bits(&agent.value));
+
+        let mut fresh = PpoAgent::new(1, 2, &cfg, 999);
+        back.restore_ppo(&mut fresh).unwrap();
+        assert_eq!(bits(&fresh.policy), bits(&agent.policy));
+        let obs = vec![0.0];
+        assert_eq!(
+            fresh.action_probabilities(&obs),
+            agent.action_probabilities(&obs)
+        );
+    }
+
+    #[test]
+    fn a2c_roundtrip_is_bit_identical() {
+        let cfg = A2cConfig {
+            hidden: vec![8],
+            ..Default::default()
+        };
+        let mut agent = A2cAgent::new(1, 2, &cfg, 3);
+        agent.train(&mut Bandit, 5);
+        let ckpt = PolicyCheckpoint::from_a2c(&agent);
+        let back = PolicyCheckpoint::from_bytes(&ckpt.to_bytes()).unwrap();
+        assert_eq!(back.algo, Algo::A2c);
+        assert_eq!(bits(&back.policy), bits(&agent.policy));
+        assert_eq!(bits(&back.value), bits(&agent.value));
+    }
+
+    #[test]
+    fn algo_mismatch_rejected() {
+        let ppo = PpoAgent::new(1, 2, &PpoConfig::default(), 1);
+        let ckpt = PolicyCheckpoint::from_ppo(&ppo);
+        let mut a2c = A2cAgent::new(1, 2, &A2cConfig::default(), 1);
+        assert!(ckpt.restore_a2c(&mut a2c).is_err());
+    }
+
+    #[test]
+    fn shape_mismatch_rejected() {
+        let small = PpoAgent::new(1, 2, &PpoConfig::default(), 1);
+        let ckpt = PolicyCheckpoint::from_ppo(&small);
+        let mut big = PpoAgent::new(3, 5, &PpoConfig::default(), 1);
+        assert!(ckpt.restore_ppo(&mut big).is_err());
+    }
+
+    #[test]
+    fn corruption_rejected() {
+        let agent = PpoAgent::new(1, 2, &PpoConfig::default(), 1);
+        let bytes = PolicyCheckpoint::from_ppo(&agent).to_bytes();
+        assert!(PolicyCheckpoint::from_bytes(&bytes[..bytes.len() - 3]).is_err());
+        let mut flipped = bytes.clone();
+        let mid = flipped.len() / 2;
+        flipped[mid] ^= 0x40;
+        assert!(PolicyCheckpoint::from_bytes(&flipped).is_err());
+        assert!(PolicyCheckpoint::from_bytes(b"APCKgarbage").is_err());
+    }
+
+    #[test]
+    fn file_save_load_roundtrip() {
+        let agent = PpoAgent::new(2, 3, &PpoConfig::default(), 11);
+        let ckpt = PolicyCheckpoint::from_ppo(&agent);
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("autophase_ckpt_test_{}.bin", std::process::id()));
+        ckpt.save(&path).unwrap();
+        let back = PolicyCheckpoint::load(&path).unwrap();
+        let _ = std::fs::remove_file(&path);
+        assert_eq!(bits(&back.policy), bits(&agent.policy));
+    }
+}

@@ -36,6 +36,7 @@
 #![warn(missing_docs)]
 
 pub mod a2c;
+pub mod checkpoint;
 pub mod env;
 pub mod es;
 pub mod ppo;

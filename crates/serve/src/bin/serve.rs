@@ -1,0 +1,99 @@
+//! The compile-service daemon.
+//!
+//! ```text
+//! serve --checkpoint policy.ckpt [--addr 127.0.0.1:7463] [--store serve_store.log]
+//!       [--workers 4] [--queue-cap 64] [--deadline-ms 1000] [--chaos]
+//!       [--telemetry]
+//! ```
+//!
+//! Loads the policy from an `autophase_rl::checkpoint::PolicyCheckpoint`
+//! (train one with `serve_bench` or any experiment that saves
+//! checkpoints), binds, prints the address, and serves until a client
+//! sends `SHUTDOWN`. Without `--checkpoint` a freshly initialized
+//! (untrained) policy is used — handy for smoke tests, useless for
+//! quality.
+
+use autophase_nn::mlp::{Activation, Mlp};
+use autophase_rl::checkpoint::PolicyCheckpoint;
+use autophase_serve::engine::{serve_num_actions, serve_obs_dim};
+use autophase_serve::server::{Server, ServerConfig};
+use std::path::PathBuf;
+use std::time::Duration;
+
+fn arg_value(args: &[String], key: &str) -> Option<String> {
+    args.windows(2).find(|w| w[0] == key).map(|w| w[1].clone())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        eprintln!(
+            "usage: serve [--checkpoint <path>] [--addr <host:port>] [--store <path>] \
+             [--workers <n>] [--queue-cap <n>] [--deadline-ms <ms>] [--chaos] [--telemetry]"
+        );
+        return;
+    }
+    let mut cfg = ServerConfig::default();
+    if let Some(addr) = arg_value(&args, "--addr") {
+        cfg.addr = addr;
+    }
+    if let Some(store) = arg_value(&args, "--store") {
+        cfg.store_path = PathBuf::from(store);
+    }
+    if let Some(w) = arg_value(&args, "--workers").and_then(|v| v.parse().ok()) {
+        cfg.workers = w;
+    }
+    if let Some(q) = arg_value(&args, "--queue-cap").and_then(|v| v.parse().ok()) {
+        cfg.queue_cap = q;
+    }
+    if let Some(d) = arg_value(&args, "--deadline-ms").and_then(|v| v.parse().ok()) {
+        cfg.default_deadline = Duration::from_millis(d);
+    }
+    cfg.chaos = args.iter().any(|a| a == "--chaos");
+    if args.iter().any(|a| a == "--telemetry") {
+        autophase_telemetry::enable();
+    }
+
+    let policy = match arg_value(&args, "--checkpoint") {
+        Some(path) => {
+            let path = PathBuf::from(path);
+            match PolicyCheckpoint::load(&path) {
+                Ok(ckpt) => {
+                    eprintln!(
+                        "serve: loaded {:?} checkpoint {}",
+                        ckpt.algo,
+                        path.display()
+                    );
+                    ckpt.policy
+                }
+                Err(e) => {
+                    eprintln!("serve: cannot load checkpoint: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        None => {
+            eprintln!("serve: no --checkpoint, using an UNTRAINED policy");
+            Mlp::new(
+                &[serve_obs_dim(), 32, serve_num_actions()],
+                Activation::Tanh,
+                7,
+            )
+        }
+    };
+
+    match Server::start(policy, cfg) {
+        Ok(server) => {
+            println!("serve: listening on {}", server.addr());
+            server.wait();
+            if autophase_telemetry::enabled() {
+                print!("{}", autophase_telemetry::render_summary());
+            }
+            eprintln!("serve: clean shutdown");
+        }
+        Err(e) => {
+            eprintln!("serve: {e}");
+            std::process::exit(1);
+        }
+    }
+}

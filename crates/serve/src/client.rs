@@ -1,0 +1,181 @@
+//! Blocking client for the compile service.
+//!
+//! One [`Client`] wraps one keep-alive connection; requests on it are
+//! sequential (the protocol is one outstanding request per connection).
+//! Load generators open one client per thread.
+
+use crate::protocol::{self, ErrKind, Reply, Request, Source};
+use std::io::{BufReader, BufWriter};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// A compile answer (the `OK source=...` reply, destructured).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompileReply {
+    /// Which rung of the degradation ladder answered.
+    pub source: Source,
+    /// Predicted cycle count of the optimized module.
+    pub cycles: u64,
+    /// Cycle count of the unoptimized input.
+    pub baseline_cycles: u64,
+    /// The effective pass ordering.
+    pub passes: Vec<usize>,
+    /// Optimized IR when requested.
+    pub ir: Option<String>,
+}
+
+/// Client-side failure.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport or framing failure.
+    Io(std::io::Error),
+    /// The server refused with a typed error.
+    Server {
+        /// Refusal class.
+        kind: ErrKind,
+        /// Server-provided detail.
+        msg: String,
+    },
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "client io: {e}"),
+            ClientError::Server { kind, msg } => write!(f, "server refused ({kind:?}): {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> ClientError {
+        ClientError::Io(e)
+    }
+}
+
+/// One keep-alive connection to a daemon.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+impl Client {
+    /// Connect to a daemon.
+    ///
+    /// # Errors
+    ///
+    /// Connection failures.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> Result<Client, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Client {
+            reader,
+            writer: BufWriter::new(stream),
+        })
+    }
+
+    /// Cap how long any single reply read may block.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `set_read_timeout` failures.
+    pub fn set_read_timeout(&mut self, timeout: Option<Duration>) -> Result<(), ClientError> {
+        self.reader.get_ref().set_read_timeout(timeout)?;
+        Ok(())
+    }
+
+    fn roundtrip(&mut self, req: &Request) -> Result<Reply, ClientError> {
+        protocol::write_request(&mut self.writer, req)?;
+        Ok(protocol::read_reply(&mut self.reader)?)
+    }
+
+    /// Compile one module (textual IR).
+    ///
+    /// # Errors
+    ///
+    /// Transport failures, or [`ClientError::Server`] with the typed
+    /// refusal (`overloaded`, `deadline`, `parse`, ...).
+    pub fn compile(
+        &mut self,
+        ir: &str,
+        deadline_ms: Option<u64>,
+        want_ir: bool,
+    ) -> Result<CompileReply, ClientError> {
+        let reply = self.roundtrip(&Request::Compile {
+            ir: ir.to_string(),
+            deadline_ms,
+            want_ir,
+        })?;
+        match reply {
+            Reply::Compiled {
+                source,
+                cycles,
+                baseline_cycles,
+                passes,
+                ir,
+            } => Ok(CompileReply {
+                source,
+                cycles,
+                baseline_cycles,
+                passes,
+                ir,
+            }),
+            Reply::Err { kind, msg } => Err(ClientError::Server { kind, msg }),
+            Reply::Ack => Err(ClientError::Io(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                "bare ack to a compile",
+            ))),
+        }
+    }
+
+    /// Liveness probe.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures or a typed refusal.
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        match self.roundtrip(&Request::Ping)? {
+            Reply::Ack => Ok(()),
+            Reply::Err { kind, msg } => Err(ClientError::Server { kind, msg }),
+            Reply::Compiled { .. } => Err(ClientError::Io(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                "compile reply to a ping",
+            ))),
+        }
+    }
+
+    /// Arm `n` injected policy faults (server must run with chaos on).
+    ///
+    /// # Errors
+    ///
+    /// Transport failures or a typed refusal (chaos disabled).
+    pub fn chaos(&mut self, faults: u32) -> Result<(), ClientError> {
+        match self.roundtrip(&Request::Chaos { faults })? {
+            Reply::Ack => Ok(()),
+            Reply::Err { kind, msg } => Err(ClientError::Server { kind, msg }),
+            Reply::Compiled { .. } => Err(ClientError::Io(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                "compile reply to chaos",
+            ))),
+        }
+    }
+
+    /// Ask the daemon to shut down cleanly.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures or a typed refusal.
+    pub fn shutdown_server(&mut self) -> Result<(), ClientError> {
+        match self.roundtrip(&Request::Shutdown)? {
+            Reply::Ack => Ok(()),
+            Reply::Err { kind, msg } => Err(ClientError::Server { kind, msg }),
+            Reply::Compiled { .. } => Err(ClientError::Io(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                "compile reply to shutdown",
+            ))),
+        }
+    }
+}

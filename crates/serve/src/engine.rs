@@ -1,0 +1,442 @@
+//! Batched policy inference and the greedy serving rollout.
+//!
+//! One dedicated thread owns the policy network. Request workers submit
+//! observations and block on a result slot; the engine thread collects
+//! everything that arrives within a small batching window (default
+//! 100 µs, capped at [`EngineConfig::max_batch`]) and runs the forward
+//! passes back-to-back — one wake-up and one queue-lock round per batch
+//! instead of per observation, which is where the throughput under
+//! concurrent load comes from. Batch sizes land in the
+//! `serve.batch_size` histogram, forward time in `serve.stage{infer}`.
+//!
+//! The policy path is fault-isolated end to end: forward passes run
+//! under `catch_unwind` (a poisoned network answers with a typed
+//! [`PolicyFault`], not a dead daemon), and the rollout applies every
+//! chosen pass through `apply_checked`, recording offenders in the
+//! shared quarantine table so a pass that keeps faulting on a program
+//! drops out of that program's action space. Injected faults
+//! ([`InferenceEngine::inject_faults`]) hit the same surface the real
+//! ones do, so chaos tests exercise the production degradation path.
+
+use autophase_core::env::{
+    EnvConfig, FeatureNorm, ObservationKind, PhaseOrderEnv, RewardKind, FILTERED_PASSES,
+};
+use autophase_core::Quarantine;
+use autophase_features::{extract, inst_count_filtered, FILTERED_FEATURES};
+use autophase_ir::Module;
+use autophase_nn::mlp::Mlp;
+use autophase_passes::checked::{apply_checked, FuelBudget};
+use autophase_telemetry as telemetry;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Episode length of the serving rollout (and of the training
+/// configuration a served checkpoint must come from).
+pub const SERVE_EPISODE_LEN: usize = 12;
+
+/// The environment configuration a served policy is trained under. The
+/// engine reproduces this observation layout exactly at inference time;
+/// a checkpoint trained under any other configuration is rejected at
+/// startup by the shape check.
+pub fn serve_env_config() -> EnvConfig {
+    EnvConfig {
+        observation: ObservationKind::Combined,
+        feature_norm: FeatureNorm::InstCount,
+        reward: RewardKind::Log,
+        episode_len: SERVE_EPISODE_LEN,
+        filtered_features: true,
+        filtered_passes: true,
+        ..EnvConfig::default()
+    }
+}
+
+/// Observation width of [`serve_env_config`]: filtered features plus the
+/// action histogram.
+pub fn serve_obs_dim() -> usize {
+    FILTERED_FEATURES.len() + FILTERED_PASSES.len()
+}
+
+/// Action count of [`serve_env_config`].
+pub fn serve_num_actions() -> usize {
+    FILTERED_PASSES.len()
+}
+
+/// A sanity environment over `program` in the serving configuration —
+/// what `serve_bench` trains on.
+pub fn serve_env(programs: Vec<Module>) -> PhaseOrderEnv {
+    PhaseOrderEnv::new(programs, serve_env_config())
+}
+
+/// Why the policy path could not answer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PolicyFault {
+    /// A forward pass panicked (or a chaos fault was injected).
+    Inference,
+    /// The engine is shutting down.
+    Shutdown,
+}
+
+impl std::fmt::Display for PolicyFault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PolicyFault::Inference => write!(f, "policy inference faulted"),
+            PolicyFault::Shutdown => write!(f, "inference engine shut down"),
+        }
+    }
+}
+
+impl std::error::Error for PolicyFault {}
+
+/// Batching knobs.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// How long the engine thread lingers for more arrivals after the
+    /// first observation of a batch.
+    pub batch_window: Duration,
+    /// Hard cap on observations per batch.
+    pub max_batch: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> EngineConfig {
+        EngineConfig {
+            batch_window: Duration::from_micros(100),
+            max_batch: 64,
+        }
+    }
+}
+
+type Slot = Arc<(Mutex<Option<Result<Vec<f64>, PolicyFault>>>, Condvar)>;
+
+struct Job {
+    obs: Vec<f64>,
+    slot: Slot,
+}
+
+struct Queue {
+    jobs: Vec<Job>,
+    shutdown: bool,
+}
+
+/// Handle to the inference thread (see module docs).
+pub struct InferenceEngine {
+    queue: Arc<(Mutex<Queue>, Condvar)>,
+    /// Armed chaos faults: each pending fault makes one upcoming
+    /// inference answer [`PolicyFault::Inference`].
+    chaos: Arc<AtomicU32>,
+    episode_len: usize,
+    thread: Option<JoinHandle<()>>,
+}
+
+/// Checkpoint/engine shape mismatch at startup.
+#[derive(Debug)]
+pub struct ShapeError(pub String);
+
+impl std::fmt::Display for ShapeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "policy shape error: {}", self.0)
+    }
+}
+
+impl std::error::Error for ShapeError {}
+
+impl InferenceEngine {
+    /// Spawn the engine thread around a trained policy network.
+    ///
+    /// # Errors
+    ///
+    /// Rejects a policy whose input/output dimensions do not match the
+    /// serving observation layout — a checkpoint from a different
+    /// training configuration would silently misread every observation.
+    pub fn start(policy: Mlp, cfg: EngineConfig) -> Result<InferenceEngine, ShapeError> {
+        if policy.input_dim() != serve_obs_dim() || policy.output_dim() != serve_num_actions() {
+            return Err(ShapeError(format!(
+                "policy is {}x{}, serving needs {}x{} (train with serve_env_config())",
+                policy.input_dim(),
+                policy.output_dim(),
+                serve_obs_dim(),
+                serve_num_actions()
+            )));
+        }
+        let queue = Arc::new((
+            Mutex::new(Queue {
+                jobs: Vec::new(),
+                shutdown: false,
+            }),
+            Condvar::new(),
+        ));
+        let chaos = Arc::new(AtomicU32::new(0));
+        let thread = {
+            let queue = Arc::clone(&queue);
+            let chaos = Arc::clone(&chaos);
+            std::thread::Builder::new()
+                .name("serve-infer".into())
+                .spawn(move || engine_loop(&queue, &chaos, &policy, &cfg))
+                .expect("spawn inference thread")
+        };
+        Ok(InferenceEngine {
+            queue,
+            chaos,
+            episode_len: SERVE_EPISODE_LEN,
+            thread: Some(thread),
+        })
+    }
+
+    /// Arm `n` injected faults: the next `n` inferences answer
+    /// [`PolicyFault::Inference`], driving their requests down the
+    /// degradation ladder exactly like a real forward-pass panic.
+    pub fn inject_faults(&self, n: u32) {
+        self.chaos.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// One blocking forward pass through the batching queue: logits over
+    /// the serving action space.
+    ///
+    /// # Errors
+    ///
+    /// [`PolicyFault`] when the forward pass faulted (or was injected to)
+    /// or the engine is shutting down.
+    pub fn infer(&self, obs: Vec<f64>) -> Result<Vec<f64>, PolicyFault> {
+        let slot: Slot = Arc::new((Mutex::new(None), Condvar::new()));
+        {
+            let (lock, cv) = &*self.queue;
+            let mut q = lock.lock().unwrap();
+            if q.shutdown {
+                return Err(PolicyFault::Shutdown);
+            }
+            q.jobs.push(Job {
+                obs,
+                slot: Arc::clone(&slot),
+            });
+            cv.notify_all();
+        }
+        let (lock, cv) = &*slot;
+        let mut state = lock.lock().unwrap();
+        while state.is_none() {
+            state = cv.wait(state).unwrap();
+        }
+        state.take().expect("slot filled")
+    }
+
+    /// Greedy policy rollout on `m` in place: `episode_len` steps of
+    /// argmax actions, each chosen pass applied transactionally. Faulted
+    /// applies are recorded in `quarantine` and skipped; quarantined
+    /// passes are masked out of the argmax. Returns the effective
+    /// ordering (the changing passes).
+    ///
+    /// # Errors
+    ///
+    /// [`PolicyFault`] if any forward pass faults — `m` is left at the
+    /// last good state and the caller degrades to the baseline ordering.
+    pub fn choose_sequence(
+        &self,
+        m: &mut Module,
+        fp: u64,
+        quarantine: &Quarantine,
+        fuel: &FuelBudget,
+    ) -> Result<Vec<usize>, PolicyFault> {
+        let mut histogram = vec![0.0f64; serve_num_actions()];
+        let mut feats = inst_count_filtered(&extract(m));
+        let mut applied = Vec::new();
+        for _ in 0..self.episode_len {
+            let mut obs = feats.clone();
+            obs.extend_from_slice(&histogram);
+            let logits = self.infer(obs)?;
+            let mut best: Option<(usize, f64)> = None;
+            for (a, &score) in logits.iter().enumerate() {
+                if quarantine.is_quarantined(fp, FILTERED_PASSES[a]) {
+                    continue;
+                }
+                if best.is_none_or(|(_, s)| score > s) {
+                    best = Some((a, score));
+                }
+            }
+            // Everything quarantined for this program: nothing left to try.
+            let Some((action, _)) = best else { break };
+            let pass = FILTERED_PASSES[action];
+            match apply_checked(m, pass, fuel) {
+                Ok(true) => {
+                    applied.push(pass);
+                    feats = inst_count_filtered(&extract(m));
+                }
+                Ok(false) => {}
+                Err(_fault) => {
+                    // Rolled back by apply_checked; remember the offender
+                    // so repeat faults stop costing attempts.
+                    quarantine.record_fault(fp, pass);
+                    telemetry::incr("serve.rollout", "pass_fault", 1);
+                }
+            }
+            histogram[action] += 1.0;
+        }
+        Ok(applied)
+    }
+
+    /// Stop the engine thread. Queued jobs are answered with
+    /// [`PolicyFault::Shutdown`]. Idempotent.
+    pub fn shutdown(&mut self) {
+        {
+            let (lock, cv) = &*self.queue;
+            let mut q = lock.lock().unwrap();
+            q.shutdown = true;
+            cv.notify_all();
+        }
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for InferenceEngine {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn fill(slot: &Slot, result: Result<Vec<f64>, PolicyFault>) {
+    let (lock, cv) = &**slot;
+    *lock.lock().unwrap() = Some(result);
+    cv.notify_all();
+}
+
+fn engine_loop(
+    queue: &Arc<(Mutex<Queue>, Condvar)>,
+    chaos: &Arc<AtomicU32>,
+    policy: &Mlp,
+    cfg: &EngineConfig,
+) {
+    let (lock, cv) = &**queue;
+    let mut q = lock.lock().unwrap();
+    loop {
+        while q.jobs.is_empty() && !q.shutdown {
+            q = cv.wait(q).unwrap();
+        }
+        if q.shutdown {
+            for job in q.jobs.drain(..) {
+                fill(&job.slot, Err(PolicyFault::Shutdown));
+            }
+            return;
+        }
+        // Linger one batching window for more arrivals, then drain.
+        if q.jobs.len() < cfg.max_batch && !cfg.batch_window.is_zero() {
+            let (guard, _) = cv.wait_timeout(q, cfg.batch_window).unwrap();
+            q = guard;
+        }
+        let take = q.jobs.len().min(cfg.max_batch);
+        let batch: Vec<Job> = q.jobs.drain(..take).collect();
+        drop(q);
+
+        telemetry::observe("serve.batch_size", "", batch.len() as u64);
+        let t = telemetry::maybe_now();
+        for job in &batch {
+            // One armed chaos fault consumes exactly one inference.
+            let injected = chaos
+                .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |n| n.checked_sub(1))
+                .is_ok();
+            let result = if injected {
+                telemetry::incr("serve.policy_fault", "injected", 1);
+                Err(PolicyFault::Inference)
+            } else {
+                catch_unwind(AssertUnwindSafe(|| policy.forward(&job.obs))).map_err(|_| {
+                    telemetry::incr("serve.policy_fault", "panic", 1);
+                    PolicyFault::Inference
+                })
+            };
+            fill(&job.slot, result);
+        }
+        telemetry::observe_since("serve.stage", "infer", t);
+        q = lock.lock().unwrap();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_policy(seed: u64) -> Mlp {
+        Mlp::new(
+            &[serve_obs_dim(), 16, serve_num_actions()],
+            autophase_nn::mlp::Activation::Tanh,
+            seed,
+        )
+    }
+
+    #[test]
+    fn rejects_mismatched_checkpoint_shape() {
+        let bad = Mlp::new(&[3, 4, 2], autophase_nn::mlp::Activation::Tanh, 1);
+        assert!(InferenceEngine::start(bad, EngineConfig::default()).is_err());
+    }
+
+    #[test]
+    fn concurrent_inference_matches_direct_forward() {
+        let policy = test_policy(7);
+        let engine =
+            Arc::new(InferenceEngine::start(policy.clone(), EngineConfig::default()).unwrap());
+        let threads: Vec<_> = (0..8)
+            .map(|i| {
+                let engine = Arc::clone(&engine);
+                let policy = policy.clone();
+                std::thread::spawn(move || {
+                    for k in 0..20 {
+                        let obs: Vec<f64> = (0..serve_obs_dim())
+                            .map(|j| ((i * 31 + k * 7 + j) % 13) as f64 / 13.0)
+                            .collect();
+                        let got = engine.infer(obs.clone()).unwrap();
+                        assert_eq!(got, policy.forward(&obs));
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn injected_faults_surface_and_drain() {
+        let engine = InferenceEngine::start(test_policy(3), EngineConfig::default()).unwrap();
+        engine.inject_faults(2);
+        let obs = vec![0.0; serve_obs_dim()];
+        assert_eq!(engine.infer(obs.clone()), Err(PolicyFault::Inference));
+        assert_eq!(engine.infer(obs.clone()), Err(PolicyFault::Inference));
+        assert!(engine.infer(obs).is_ok(), "faults must drain");
+    }
+
+    #[test]
+    fn shutdown_answers_instead_of_hanging() {
+        let mut engine = InferenceEngine::start(test_policy(9), EngineConfig::default()).unwrap();
+        engine.shutdown();
+        assert_eq!(
+            engine.infer(vec![0.0; serve_obs_dim()]),
+            Err(PolicyFault::Shutdown)
+        );
+    }
+
+    #[test]
+    fn greedy_rollout_improves_a_real_program() {
+        let program = autophase_benchmarks::suite()
+            .into_iter()
+            .find(|b| b.name == "gsm")
+            .expect("gsm present")
+            .module;
+        let engine = InferenceEngine::start(test_policy(11), EngineConfig::default()).unwrap();
+        let quarantine = Quarantine::default();
+        let fuel = FuelBudget::default();
+        let fp = autophase_core::eval_cache::fingerprint_module(&program);
+        let mut m = program.clone();
+        let seq = engine
+            .choose_sequence(&mut m, fp, &quarantine, &fuel)
+            .unwrap();
+        // Replaying the returned effective ordering on a fresh copy gives
+        // exactly the module the rollout produced.
+        let mut replay = program.clone();
+        for &p in &seq {
+            apply_checked(&mut replay, p, &fuel).unwrap();
+        }
+        use autophase_ir::printer::print_module;
+        assert_eq!(print_module(&replay), print_module(&m));
+    }
+}

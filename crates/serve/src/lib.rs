@@ -1,0 +1,54 @@
+//! `autophase-serve`: the phase-ordering compile service.
+//!
+//! Turns a trained AutoPhase policy into a request/response system — the
+//! deployment story the paper's §1 positions RL inference for ("a
+//! fraction of a second" per unseen program, versus hours of
+//! per-program search). A request is a textual IR module; the reply is
+//! the chosen pass ordering, its predicted cycle count, and optionally
+//! the optimized IR.
+//!
+//! The daemon composes four pieces, each its own module:
+//!
+//! * [`protocol`] — the framed text wire format and its typed errors;
+//! * [`engine`] — a dedicated inference thread batching policy forward
+//!   passes across concurrent requests, plus the greedy fault-isolated
+//!   serving rollout;
+//! * [`store`] — the crash-safe append-only log memoizing the best
+//!   known ordering per program fingerprint across restarts;
+//! * [`server`] — bounded admission, per-request deadlines, typed
+//!   `overloaded` shedding, and the store → policy → baseline
+//!   degradation ladder.
+//!
+//! [`client`] is the matching blocking client library; the `serve`
+//! binary wraps [`server::Server`] behind a CLI. Like
+//! `autophase-telemetry`, the crate is std-only: no external
+//! dependencies, `std::net` + `std::thread` all the way down.
+//!
+//! # Quick start (in-process)
+//!
+//! ```no_run
+//! use autophase_serve::client::Client;
+//! use autophase_serve::engine::{serve_num_actions, serve_obs_dim};
+//! use autophase_serve::server::{Server, ServerConfig};
+//! use autophase_nn::mlp::{Activation, Mlp};
+//!
+//! let policy = Mlp::new(&[serve_obs_dim(), 32, serve_num_actions()], Activation::Tanh, 7);
+//! let server = Server::start(policy, ServerConfig::default()).unwrap();
+//! let mut client = Client::connect(server.addr()).unwrap();
+//! let reply = client.compile("; module m\ndefine i32 @main() {\nb0:\n  ret i32 0\n}\n", None, false).unwrap();
+//! println!("{} cycles via {:?}", reply.cycles, reply.passes);
+//! server.shutdown();
+//! ```
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod engine;
+pub mod protocol;
+pub mod server;
+pub mod store;
+
+pub use client::{Client, CompileReply};
+pub use engine::{serve_env_config, InferenceEngine, SERVE_EPISODE_LEN};
+pub use protocol::{ErrKind, Source};
+pub use server::{Server, ServerConfig};
+pub use store::BestStore;

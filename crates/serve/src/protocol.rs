@@ -1,0 +1,527 @@
+//! Wire protocol of the compile service.
+//!
+//! Text-framed, one request/reply pair at a time per connection
+//! (keep-alive: a client may send any number of pairs sequentially).
+//! Every message is one header line, `AUTOPHASE/1 <verb> [key=value ...]`,
+//! optionally followed by a byte-exact body whose length a header key
+//! announces:
+//!
+//! ```text
+//! -> AUTOPHASE/1 COMPILE ir_len=482 deadline_ms=250 want_ir=1\n<482 bytes of IR>
+//! <- AUTOPHASE/1 OK source=policy cycles=913 baseline_cycles=1310 passes=31,38,30 ir_len=390\n<390 bytes>
+//! <- AUTOPHASE/1 ERR kind=overloaded msg=queue full\n
+//! ```
+//!
+//! The body is the textual IR form produced by `autophase_ir::printer`
+//! and accepted by `autophase_ir::parser` — the printer/parser round-trip
+//! is lossless, so a module survives the wire bit-identically. `passes`
+//! is the effective ordering (Table-1 ids of the passes that changed the
+//! module), `-` when empty. `msg` is free text and always the last key.
+
+use std::io::{self, BufRead, Write};
+
+/// Protocol tag every message starts with.
+pub const PROTOCOL: &str = "AUTOPHASE/1";
+
+/// Hard cap on request IR size: a parse-side guard so one hostile
+/// request cannot make the daemon buffer arbitrary memory.
+pub const MAX_IR_LEN: usize = 4 << 20;
+
+/// A client-to-server message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Compile one module: choose an ordering, predict its cycle count.
+    Compile {
+        /// Textual IR of the module to optimize.
+        ir: String,
+        /// Per-request deadline; `None` uses the server default.
+        deadline_ms: Option<u64>,
+        /// Return the optimized module's IR in the reply body.
+        want_ir: bool,
+    },
+    /// Liveness probe.
+    Ping,
+    /// Arm `n` injected policy-path faults (test/bench only; the server
+    /// rejects it unless chaos is enabled in its config).
+    Chaos {
+        /// How many upcoming policy inferences fault.
+        faults: u32,
+    },
+    /// Ask the daemon to shut down cleanly.
+    Shutdown,
+}
+
+/// Where a compile answer came from — the degradation ladder, best first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Source {
+    /// Persistent best-ordering store hit (no inference, no profiling).
+    Store,
+    /// Fresh policy rollout.
+    Policy,
+    /// Fixed -O3-equivalent fallback (policy path faulted).
+    Baseline,
+}
+
+impl Source {
+    fn as_str(self) -> &'static str {
+        match self {
+            Source::Store => "store",
+            Source::Policy => "policy",
+            Source::Baseline => "baseline",
+        }
+    }
+
+    fn parse(s: &str) -> Option<Source> {
+        match s {
+            "store" => Some(Source::Store),
+            "policy" => Some(Source::Policy),
+            "baseline" => Some(Source::Baseline),
+            _ => None,
+        }
+    }
+}
+
+/// Typed failure classes a request can be refused with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrKind {
+    /// Admission queue full: shed instead of queueing unboundedly.
+    Overloaded,
+    /// The request's deadline expired before an answer was ready.
+    Deadline,
+    /// The IR did not parse or verify.
+    Parse,
+    /// The header line was malformed (or chaos without chaos enabled).
+    BadRequest,
+    /// Unexpected server-side failure.
+    Internal,
+}
+
+impl ErrKind {
+    fn as_str(self) -> &'static str {
+        match self {
+            ErrKind::Overloaded => "overloaded",
+            ErrKind::Deadline => "deadline",
+            ErrKind::Parse => "parse",
+            ErrKind::BadRequest => "bad_request",
+            ErrKind::Internal => "internal",
+        }
+    }
+
+    fn parse(s: &str) -> Option<ErrKind> {
+        match s {
+            "overloaded" => Some(ErrKind::Overloaded),
+            "deadline" => Some(ErrKind::Deadline),
+            "parse" => Some(ErrKind::Parse),
+            "bad_request" => Some(ErrKind::BadRequest),
+            "internal" => Some(ErrKind::Internal),
+            _ => None,
+        }
+    }
+}
+
+/// A server-to-client message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Reply {
+    /// A compile answer.
+    Compiled {
+        /// Which rung of the degradation ladder answered.
+        source: Source,
+        /// Predicted cycle count of the optimized module.
+        cycles: u64,
+        /// Cycle count of the unoptimized input (for speedup math).
+        baseline_cycles: u64,
+        /// The effective pass ordering (changing passes, Table-1 ids).
+        passes: Vec<usize>,
+        /// Optimized IR when the request asked for it.
+        ir: Option<String>,
+    },
+    /// Acknowledgement for `Ping`/`Chaos`/`Shutdown`.
+    Ack,
+    /// Typed refusal.
+    Err {
+        /// Failure class.
+        kind: ErrKind,
+        /// Human-readable detail.
+        msg: String,
+    },
+}
+
+/// Wire-format violation while reading a message.
+#[derive(Debug)]
+pub struct ProtocolError(pub String);
+
+impl std::fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "protocol error: {}", self.0)
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
+impl From<ProtocolError> for io::Error {
+    fn from(e: ProtocolError) -> io::Error {
+        io::Error::new(io::ErrorKind::InvalidData, e.to_string())
+    }
+}
+
+/// A parsed header line: the verb and its `key=value` pairs.
+type Header<'a> = (&'a str, Vec<(&'a str, &'a str)>);
+
+fn header_fields(line: &str) -> Result<Header<'_>, ProtocolError> {
+    let line = line.trim_end_matches(['\r', '\n']);
+    let rest = line
+        .strip_prefix(PROTOCOL)
+        .ok_or_else(|| ProtocolError(format!("bad protocol tag in {line:?}")))?;
+    let rest = rest.trim_start();
+    let (verb, tail) = match rest.split_once(' ') {
+        Some((v, t)) => (v, t),
+        None => (rest, ""),
+    };
+    if verb.is_empty() {
+        return Err(ProtocolError("missing verb".into()));
+    }
+    let mut kvs = Vec::new();
+    let mut tail = tail;
+    while !tail.is_empty() {
+        let (k, after_k) = tail
+            .split_once('=')
+            .ok_or_else(|| ProtocolError(format!("bare token {tail:?}")))?;
+        // `msg` swallows the rest of the line (it may contain spaces);
+        // every other value ends at the next space.
+        if k == "msg" {
+            kvs.push((k, after_k));
+            break;
+        }
+        let (v, next) = match after_k.split_once(' ') {
+            Some((v, n)) => (v, n),
+            None => (after_k, ""),
+        };
+        kvs.push((k, v));
+        tail = next;
+    }
+    Ok((verb, kvs))
+}
+
+fn get<'a>(kvs: &[(&str, &'a str)], key: &str) -> Option<&'a str> {
+    kvs.iter().find(|(k, _)| *k == key).map(|&(_, v)| v)
+}
+
+fn get_u64(kvs: &[(&str, &str)], key: &str) -> Result<Option<u64>, ProtocolError> {
+    match get(kvs, key) {
+        None => Ok(None),
+        Some(v) => v
+            .parse()
+            .map(Some)
+            .map_err(|_| ProtocolError(format!("bad {key}={v:?}"))),
+    }
+}
+
+fn read_body<R: BufRead>(r: &mut R, len: usize) -> io::Result<String> {
+    let mut buf = vec![0u8; len];
+    r.read_exact(&mut buf)?;
+    String::from_utf8(buf)
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "body is not UTF-8"))
+}
+
+/// Serialize a request onto `w` (header line + body).
+///
+/// # Errors
+///
+/// Propagates write failures.
+pub fn write_request<W: Write>(w: &mut W, req: &Request) -> io::Result<()> {
+    match req {
+        Request::Compile {
+            ir,
+            deadline_ms,
+            want_ir,
+        } => {
+            let mut line = format!("{PROTOCOL} COMPILE ir_len={}", ir.len());
+            if let Some(d) = deadline_ms {
+                line.push_str(&format!(" deadline_ms={d}"));
+            }
+            if *want_ir {
+                line.push_str(" want_ir=1");
+            }
+            line.push('\n');
+            w.write_all(line.as_bytes())?;
+            w.write_all(ir.as_bytes())?;
+        }
+        Request::Ping => w.write_all(format!("{PROTOCOL} PING\n").as_bytes())?,
+        Request::Chaos { faults } => {
+            w.write_all(format!("{PROTOCOL} CHAOS n={faults}\n").as_bytes())?;
+        }
+        Request::Shutdown => w.write_all(format!("{PROTOCOL} SHUTDOWN\n").as_bytes())?,
+    }
+    w.flush()
+}
+
+/// Read one request from `r`. `Ok(None)` on clean EOF before any bytes
+/// of a message (the client hung up between requests).
+///
+/// # Errors
+///
+/// I/O failures, or [`ProtocolError`] (as `InvalidData`) on malformed
+/// headers, oversized `ir_len`, or a body that is not UTF-8.
+pub fn read_request<R: BufRead>(r: &mut R) -> io::Result<Option<Request>> {
+    let mut line = String::new();
+    if r.read_line(&mut line)? == 0 {
+        return Ok(None);
+    }
+    let (verb, kvs) = header_fields(&line)?;
+    match verb {
+        "COMPILE" => {
+            let ir_len = get_u64(&kvs, "ir_len")?
+                .ok_or_else(|| ProtocolError("COMPILE without ir_len".into()))?
+                as usize;
+            if ir_len > MAX_IR_LEN {
+                return Err(
+                    ProtocolError(format!("ir_len {ir_len} exceeds cap {MAX_IR_LEN}")).into(),
+                );
+            }
+            let deadline_ms = get_u64(&kvs, "deadline_ms")?;
+            let want_ir = get(&kvs, "want_ir") == Some("1");
+            let ir = read_body(r, ir_len)?;
+            Ok(Some(Request::Compile {
+                ir,
+                deadline_ms,
+                want_ir,
+            }))
+        }
+        "PING" => Ok(Some(Request::Ping)),
+        "CHAOS" => {
+            let faults =
+                get_u64(&kvs, "n")?.ok_or_else(|| ProtocolError("CHAOS without n".into()))?;
+            Ok(Some(Request::Chaos {
+                faults: faults.min(u32::MAX as u64) as u32,
+            }))
+        }
+        "SHUTDOWN" => Ok(Some(Request::Shutdown)),
+        other => Err(ProtocolError(format!("unknown verb {other:?}")).into()),
+    }
+}
+
+/// Serialize a reply onto `w` (header line + optional body).
+///
+/// # Errors
+///
+/// Propagates write failures.
+pub fn write_reply<W: Write>(w: &mut W, reply: &Reply) -> io::Result<()> {
+    match reply {
+        Reply::Compiled {
+            source,
+            cycles,
+            baseline_cycles,
+            passes,
+            ir,
+        } => {
+            let pass_list = if passes.is_empty() {
+                "-".to_string()
+            } else {
+                passes
+                    .iter()
+                    .map(|p| p.to_string())
+                    .collect::<Vec<_>>()
+                    .join(",")
+            };
+            let body = ir.as_deref().unwrap_or("");
+            let line = format!(
+                "{PROTOCOL} OK source={} cycles={cycles} baseline_cycles={baseline_cycles} \
+                 passes={pass_list} ir_len={}\n",
+                source.as_str(),
+                body.len()
+            );
+            w.write_all(line.as_bytes())?;
+            w.write_all(body.as_bytes())?;
+        }
+        Reply::Ack => w.write_all(format!("{PROTOCOL} OK ack=1\n").as_bytes())?,
+        Reply::Err { kind, msg } => {
+            // `msg` is always last and the only value allowed spaces; keep
+            // it line-shaped so the header stays one line.
+            let msg = msg.replace(['\n', '\r'], " ");
+            w.write_all(format!("{PROTOCOL} ERR kind={} msg={msg}\n", kind.as_str()).as_bytes())?;
+        }
+    }
+    w.flush()
+}
+
+/// Read one reply from `r`.
+///
+/// # Errors
+///
+/// I/O failures, or [`ProtocolError`] (as `InvalidData`) on malformed
+/// headers, unexpected EOF, or a body that is not UTF-8.
+pub fn read_reply<R: BufRead>(r: &mut R) -> io::Result<Reply> {
+    let mut line = String::new();
+    if r.read_line(&mut line)? == 0 {
+        return Err(io::Error::new(
+            io::ErrorKind::UnexpectedEof,
+            "connection closed before reply",
+        ));
+    }
+    let (verb, kvs) = header_fields(&line)?;
+    match verb {
+        "OK" => {
+            if let Some(src) = get(&kvs, "source") {
+                let source = Source::parse(src)
+                    .ok_or_else(|| ProtocolError(format!("bad source {src:?}")))?;
+                let cycles = get_u64(&kvs, "cycles")?
+                    .ok_or_else(|| ProtocolError("OK without cycles".into()))?;
+                let baseline_cycles = get_u64(&kvs, "baseline_cycles")?
+                    .ok_or_else(|| ProtocolError("OK without baseline_cycles".into()))?;
+                let passes_str =
+                    get(&kvs, "passes").ok_or_else(|| ProtocolError("OK without passes".into()))?;
+                let passes = if passes_str == "-" {
+                    Vec::new()
+                } else {
+                    passes_str
+                        .split(',')
+                        .map(|p| {
+                            p.parse()
+                                .map_err(|_| ProtocolError(format!("bad pass id {p:?}")))
+                        })
+                        .collect::<Result<Vec<usize>, _>>()?
+                };
+                let ir_len = get_u64(&kvs, "ir_len")?.unwrap_or(0) as usize;
+                if ir_len > MAX_IR_LEN {
+                    return Err(ProtocolError(format!("reply ir_len {ir_len} over cap")).into());
+                }
+                let ir = if ir_len > 0 {
+                    Some(read_body(r, ir_len)?)
+                } else {
+                    None
+                };
+                Ok(Reply::Compiled {
+                    source,
+                    cycles,
+                    baseline_cycles,
+                    passes,
+                    ir,
+                })
+            } else {
+                Ok(Reply::Ack)
+            }
+        }
+        "ERR" => {
+            let kind_str =
+                get(&kvs, "kind").ok_or_else(|| ProtocolError("ERR without kind".into()))?;
+            let kind = ErrKind::parse(kind_str)
+                .ok_or_else(|| ProtocolError(format!("bad kind {kind_str:?}")))?;
+            let msg = get(&kvs, "msg").unwrap_or("").to_string();
+            Ok(Reply::Err { kind, msg })
+        }
+        other => Err(ProtocolError(format!("unknown reply verb {other:?}")).into()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn roundtrip_request(req: Request) -> Request {
+        let mut buf = Vec::new();
+        write_request(&mut buf, &req).unwrap();
+        let mut r = BufReader::new(buf.as_slice());
+        read_request(&mut r).unwrap().expect("one request")
+    }
+
+    fn roundtrip_reply(reply: Reply) -> Reply {
+        let mut buf = Vec::new();
+        write_reply(&mut buf, &reply).unwrap();
+        let mut r = BufReader::new(buf.as_slice());
+        read_reply(&mut r).unwrap()
+    }
+
+    #[test]
+    fn request_roundtrips() {
+        for req in [
+            Request::Compile {
+                ir: "; module m\n".into(),
+                deadline_ms: Some(250),
+                want_ir: true,
+            },
+            Request::Compile {
+                ir: String::new(),
+                deadline_ms: None,
+                want_ir: false,
+            },
+            Request::Ping,
+            Request::Chaos { faults: 7 },
+            Request::Shutdown,
+        ] {
+            assert_eq!(roundtrip_request(req.clone()), req);
+        }
+    }
+
+    #[test]
+    fn reply_roundtrips() {
+        for reply in [
+            Reply::Compiled {
+                source: Source::Policy,
+                cycles: 913,
+                baseline_cycles: 1310,
+                passes: vec![31, 38, 30],
+                ir: Some("define i32 @main() {\n}\n".into()),
+            },
+            Reply::Compiled {
+                source: Source::Store,
+                cycles: 1,
+                baseline_cycles: 1,
+                passes: vec![],
+                ir: None,
+            },
+            Reply::Ack,
+            Reply::Err {
+                kind: ErrKind::Overloaded,
+                msg: "queue full (cap 64)".into(),
+            },
+        ] {
+            assert_eq!(roundtrip_reply(reply.clone()), reply);
+        }
+    }
+
+    #[test]
+    fn eof_between_requests_is_clean() {
+        let mut r = BufReader::new(&b""[..]);
+        assert!(read_request(&mut r).unwrap().is_none());
+    }
+
+    #[test]
+    fn malformed_headers_are_errors_not_panics() {
+        for bad in [
+            "HTTP/1.1 GET /\n",
+            "AUTOPHASE/1\n",
+            "AUTOPHASE/1 COMPILE\n",
+            "AUTOPHASE/1 COMPILE ir_len=notanumber\n",
+            "AUTOPHASE/1 COMPILE ir_len=99999999999\n",
+            "AUTOPHASE/1 NOSUCHVERB a=b\n",
+            "AUTOPHASE/1 CHAOS\n",
+        ] {
+            let mut r = BufReader::new(bad.as_bytes());
+            assert!(read_request(&mut r).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn truncated_body_is_an_error() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(b"AUTOPHASE/1 COMPILE ir_len=100\nshort");
+        let mut r = BufReader::new(buf.as_slice());
+        assert!(read_request(&mut r).is_err());
+    }
+
+    #[test]
+    fn err_msg_preserves_spaces_and_strips_newlines() {
+        let got = roundtrip_reply(Reply::Err {
+            kind: ErrKind::Internal,
+            msg: "a b\nc".into(),
+        });
+        assert_eq!(
+            got,
+            Reply::Err {
+                kind: ErrKind::Internal,
+                msg: "a b c".into(),
+            }
+        );
+    }
+}

@@ -1,0 +1,545 @@
+//! The daemon: TCP listener, bounded admission, and the request pipeline.
+//!
+//! Each connection gets a handler thread that reads framed requests in a
+//! loop (keep-alive). Admission is a counting gate: `workers` requests
+//! execute concurrently, at most `queue_cap` more may wait, and anything
+//! beyond that is shed immediately with a typed `overloaded` reply —
+//! the queue never grows without bound, and the wait is bounded by the
+//! request's deadline (a request whose deadline expires while queued is
+//! answered `deadline`, not silently dropped).
+//!
+//! The compile pipeline walks the degradation ladder:
+//!
+//! 1. **store** — fingerprint the parsed module and serve the persistent
+//!    best-known ordering: no inference, no profiling, O(1).
+//! 2. **policy** — greedy batched-inference rollout
+//!    ([`crate::engine::InferenceEngine::choose_sequence`]), every pass
+//!    applied transactionally with quarantine bookkeeping.
+//! 3. **baseline** — if the policy path faults, fall back to the fixed
+//!    fault-isolated -O3 ordering (`autophase_passes::o3::o3_checked`)
+//!    and still answer inside the deadline.
+//!
+//! Every stage is timed into `serve.stage{...}` histograms; requests are
+//! counted per outcome in `serve.req{...}`; the waiting count lives in
+//! the `serve.queue_depth` gauge.
+
+use crate::engine::{EngineConfig, InferenceEngine};
+use crate::protocol::{self, ErrKind, Reply, Request, Source};
+use crate::store::{BestEntry, BestStore};
+use autophase_core::eval_cache::fingerprint_module;
+use autophase_core::Quarantine;
+use autophase_hls::profile::profile_module;
+use autophase_hls::HlsConfig;
+use autophase_ir::parser::parse_module;
+use autophase_ir::printer::print_module;
+use autophase_ir::verify::verify_module;
+
+use autophase_nn::mlp::Mlp;
+use autophase_passes::checked::{apply_checked, FuelBudget};
+use autophase_passes::o3::o3_checked;
+use autophase_telemetry as telemetry;
+use std::collections::HashMap;
+use std::io::{self, BufReader, BufWriter};
+use std::net::{Shutdown as NetShutdown, SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Daemon configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address (`127.0.0.1:0` picks a free port).
+    pub addr: String,
+    /// Concurrent in-flight compile requests.
+    pub workers: usize,
+    /// Requests allowed to wait for a worker before shedding.
+    pub queue_cap: usize,
+    /// Deadline applied when a request names none.
+    pub default_deadline: Duration,
+    /// Inference batching knobs.
+    pub engine: EngineConfig,
+    /// Fuel for transactional pass applications.
+    pub fuel: FuelBudget,
+    /// Interpreter budget per profile (untrusted designs must not spin).
+    pub profile_fuel: u64,
+    /// Path of the persistent best-ordering log.
+    pub store_path: PathBuf,
+    /// Accept the `CHAOS` verb (tests/benches only).
+    pub chaos: bool,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 4,
+            queue_cap: 64,
+            default_deadline: Duration::from_millis(1000),
+            engine: EngineConfig::default(),
+            fuel: FuelBudget::default(),
+            profile_fuel: 4_000_000,
+            store_path: PathBuf::from("serve_store.log"),
+            chaos: false,
+        }
+    }
+}
+
+/// Outcome of asking the admission gate for a slot.
+enum Admission {
+    Granted,
+    Overloaded,
+    DeadlineExpired,
+}
+
+/// Counting gate: `permits` run, at most `queue_cap` wait, the rest shed.
+struct Gate {
+    state: Mutex<GateState>,
+    cv: Condvar,
+    queue_cap: usize,
+}
+
+struct GateState {
+    permits: usize,
+    waiting: usize,
+}
+
+impl Gate {
+    fn new(permits: usize, queue_cap: usize) -> Gate {
+        Gate {
+            state: Mutex::new(GateState {
+                permits: permits.max(1),
+                waiting: 0,
+            }),
+            cv: Condvar::new(),
+            queue_cap,
+        }
+    }
+
+    fn acquire(&self, deadline: Instant) -> Admission {
+        let mut s = self.state.lock().unwrap();
+        if s.permits > 0 {
+            s.permits -= 1;
+            return Admission::Granted;
+        }
+        if s.waiting >= self.queue_cap {
+            return Admission::Overloaded;
+        }
+        s.waiting += 1;
+        telemetry::add_gauge("serve.queue_depth", "", 1.0);
+        loop {
+            let now = Instant::now();
+            if s.permits > 0 {
+                s.permits -= 1;
+                s.waiting -= 1;
+                telemetry::add_gauge("serve.queue_depth", "", -1.0);
+                return Admission::Granted;
+            }
+            if now >= deadline {
+                s.waiting -= 1;
+                telemetry::add_gauge("serve.queue_depth", "", -1.0);
+                return Admission::DeadlineExpired;
+            }
+            let (guard, _) = self.cv.wait_timeout(s, deadline - now).unwrap();
+            s = guard;
+        }
+    }
+
+    fn release(&self) {
+        let mut s = self.state.lock().unwrap();
+        s.permits += 1;
+        self.cv.notify_one();
+    }
+}
+
+struct Shared {
+    cfg: ServerConfig,
+    engine: InferenceEngine,
+    store: Mutex<BestStore>,
+    quarantine: Quarantine,
+    gate: Gate,
+    hls: HlsConfig,
+    shutting_down: AtomicBool,
+    /// Live connection streams, so shutdown can unblock parked reads.
+    conns: Mutex<HashMap<u64, TcpStream>>,
+    conn_seq: AtomicU64,
+    active_conns: AtomicUsize,
+    local_addr: SocketAddr,
+}
+
+impl Shared {
+    fn begin_shutdown(&self) {
+        if self.shutting_down.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.local_addr);
+        // Unblock handler threads parked in read_request.
+        let conns = self.conns.lock().unwrap();
+        for stream in conns.values() {
+            let _ = stream.shutdown(NetShutdown::Both);
+        }
+    }
+}
+
+/// Failure bringing the daemon up.
+#[derive(Debug)]
+pub struct StartError(pub String);
+
+impl std::fmt::Display for StartError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "serve start error: {}", self.0)
+    }
+}
+
+impl std::error::Error for StartError {}
+
+/// A running daemon. Dropping the handle does NOT stop it; call
+/// [`Server::shutdown`] (or send the protocol `SHUTDOWN`, then
+/// [`Server::wait`]).
+pub struct Server {
+    shared: Arc<Shared>,
+    listener_thread: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Bind, open the store, spin up the inference engine, and start
+    /// accepting connections.
+    ///
+    /// # Errors
+    ///
+    /// Bad bind address, unopenable store, or a policy whose shape does
+    /// not match the serving observation layout.
+    pub fn start(policy: Mlp, cfg: ServerConfig) -> Result<Server, StartError> {
+        let listener = TcpListener::bind(&cfg.addr)
+            .map_err(|e| StartError(format!("bind {}: {e}", cfg.addr)))?;
+        let local_addr = listener
+            .local_addr()
+            .map_err(|e| StartError(format!("local_addr: {e}")))?;
+        let store = BestStore::open(&cfg.store_path)
+            .map_err(|e| StartError(format!("store {}: {e}", cfg.store_path.display())))?;
+        if store.dropped_on_open() {
+            telemetry::incr("serve.store", "torn_tail_dropped", 1);
+        }
+        let engine = InferenceEngine::start(policy, cfg.engine.clone())
+            .map_err(|e| StartError(e.to_string()))?;
+        let hls = HlsConfig::default().with_profile_fuel(cfg.profile_fuel);
+        let shared = Arc::new(Shared {
+            gate: Gate::new(cfg.workers, cfg.queue_cap),
+            cfg,
+            engine,
+            store: Mutex::new(store),
+            quarantine: Quarantine::default(),
+            hls,
+            shutting_down: AtomicBool::new(false),
+            conns: Mutex::new(HashMap::new()),
+            conn_seq: AtomicU64::new(0),
+            active_conns: AtomicUsize::new(0),
+            local_addr,
+        });
+        let listener_thread = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("serve-accept".into())
+                .spawn(move || accept_loop(&listener, &shared))
+                .map_err(|e| StartError(format!("spawn: {e}")))?
+        };
+        Ok(Server {
+            shared,
+            listener_thread: Some(listener_thread),
+        })
+    }
+
+    /// The bound address (useful with `127.0.0.1:0`).
+    pub fn addr(&self) -> SocketAddr {
+        self.shared.local_addr
+    }
+
+    /// Programs currently in the persistent store.
+    pub fn store_len(&self) -> usize {
+        self.shared.store.lock().unwrap().len()
+    }
+
+    /// Block until the daemon shuts down (a client sent the protocol
+    /// `SHUTDOWN`). In-process embedders that decide the lifetime
+    /// themselves use [`Server::shutdown`] instead.
+    pub fn wait(mut self) {
+        self.join_all();
+    }
+
+    /// Stop accepting, unblock and drain connections, and join every
+    /// daemon thread.
+    pub fn shutdown(mut self) {
+        self.shared.begin_shutdown();
+        self.join_all();
+    }
+
+    fn join_all(&mut self) {
+        if let Some(t) = self.listener_thread.take() {
+            let _ = t.join();
+        }
+        // Handler threads are detached; they exit promptly once their
+        // streams are shut down. Bounded drain so a wedged peer cannot
+        // hang shutdown forever.
+        let drain_deadline = Instant::now() + Duration::from_secs(10);
+        while self.shared.active_conns.load(Ordering::SeqCst) > 0 && Instant::now() < drain_deadline
+        {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+    }
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
+    loop {
+        let (stream, _) = match listener.accept() {
+            Ok(s) => s,
+            Err(_) => continue,
+        };
+        if shared.shutting_down.load(Ordering::SeqCst) {
+            // The wake-up connection (or a late client): refuse politely.
+            let mut w = BufWriter::new(stream);
+            let _ = protocol::write_reply(
+                &mut w,
+                &Reply::Err {
+                    kind: ErrKind::Internal,
+                    msg: "shutting down".into(),
+                },
+            );
+            return;
+        }
+        shared.active_conns.fetch_add(1, Ordering::SeqCst);
+        let conn_shared = Arc::clone(shared);
+        let spawned = std::thread::Builder::new()
+            .name("serve-conn".into())
+            .spawn(move || {
+                handle_conn(&conn_shared, stream);
+                conn_shared.active_conns.fetch_sub(1, Ordering::SeqCst);
+            });
+        if spawned.is_err() {
+            // The closure (stream included) was dropped without running.
+            shared.active_conns.fetch_sub(1, Ordering::SeqCst);
+        }
+    }
+}
+
+fn handle_conn(shared: &Arc<Shared>, stream: TcpStream) {
+    let conn_id = shared.conn_seq.fetch_add(1, Ordering::SeqCst);
+    if let Ok(clone) = stream.try_clone() {
+        shared.conns.lock().unwrap().insert(conn_id, clone);
+    }
+    let reader = stream.try_clone();
+    if let Ok(reader) = reader {
+        let mut reader = BufReader::new(reader);
+        let mut writer = BufWriter::new(stream);
+        loop {
+            let req = match protocol::read_request(&mut reader) {
+                Ok(Some(r)) => r,
+                Ok(None) => break,
+                Err(e) if e.kind() == io::ErrorKind::InvalidData => {
+                    // Framing is unrecoverable after a malformed header:
+                    // answer once, then hang up.
+                    let _ = protocol::write_reply(
+                        &mut writer,
+                        &Reply::Err {
+                            kind: ErrKind::BadRequest,
+                            msg: e.to_string(),
+                        },
+                    );
+                    break;
+                }
+                Err(_) => break,
+            };
+            let t0 = Instant::now();
+            let (reply, hang_up) = match req {
+                Request::Ping => (Reply::Ack, false),
+                Request::Shutdown => (Reply::Ack, true),
+                Request::Chaos { faults } => {
+                    if shared.cfg.chaos {
+                        shared.engine.inject_faults(faults);
+                        (Reply::Ack, false)
+                    } else {
+                        (
+                            Reply::Err {
+                                kind: ErrKind::BadRequest,
+                                msg: "chaos disabled".into(),
+                            },
+                            false,
+                        )
+                    }
+                }
+                Request::Compile {
+                    ir,
+                    deadline_ms,
+                    want_ir,
+                } => (compile(shared, t0, &ir, deadline_ms, want_ir), false),
+            };
+            let write_ok = protocol::write_reply(&mut writer, &reply).is_ok();
+            telemetry::observe("serve.stage", "total", t0.elapsed().as_nanos() as u64);
+            if hang_up {
+                shared.begin_shutdown();
+                break;
+            }
+            if !write_ok || shared.shutting_down.load(Ordering::SeqCst) {
+                break;
+            }
+        }
+    }
+    shared.conns.lock().unwrap().remove(&conn_id);
+}
+
+struct PermitGuard<'a>(&'a Gate);
+
+impl Drop for PermitGuard<'_> {
+    fn drop(&mut self) {
+        self.0.release();
+    }
+}
+
+fn refuse(kind: ErrKind, msg: String) -> Reply {
+    let label = match kind {
+        ErrKind::Overloaded => "err_overloaded",
+        ErrKind::Deadline => "err_deadline",
+        ErrKind::Parse => "err_parse",
+        ErrKind::BadRequest => "err_bad_request",
+        ErrKind::Internal => "err_internal",
+    };
+    telemetry::incr("serve.req", label, 1);
+    Reply::Err { kind, msg }
+}
+
+fn compile(
+    shared: &Shared,
+    t0: Instant,
+    ir: &str,
+    deadline_ms: Option<u64>,
+    want_ir: bool,
+) -> Reply {
+    telemetry::incr("serve.req", "recv", 1);
+    let deadline = t0
+        + deadline_ms
+            .map(Duration::from_millis)
+            .unwrap_or(shared.cfg.default_deadline);
+
+    match shared.gate.acquire(deadline) {
+        Admission::Granted => {}
+        Admission::Overloaded => {
+            return refuse(
+                ErrKind::Overloaded,
+                format!("queue full (cap {})", shared.cfg.queue_cap),
+            )
+        }
+        Admission::DeadlineExpired => {
+            return refuse(ErrKind::Deadline, "deadline expired while queued".into())
+        }
+    }
+    let _permit = PermitGuard(&shared.gate);
+
+    // Parse + verify. The parser is total on untrusted text and the
+    // verifier total on parser output, so hostile input costs an error
+    // reply, never a crash.
+    let t = telemetry::maybe_now();
+    let module = match parse_module(ir) {
+        Ok(m) => m,
+        Err(e) => return refuse(ErrKind::Parse, e.to_string()),
+    };
+    if let Err(e) = verify_module(&module) {
+        return refuse(ErrKind::Parse, format!("verify: {e}"));
+    }
+    telemetry::observe_since("serve.stage", "parse", t);
+
+    // Store rung: a known program answers from the index.
+    let fp = fingerprint_module(&module);
+    let t = telemetry::maybe_now();
+    let hit = shared.store.lock().unwrap().lookup(fp).cloned();
+    telemetry::observe_since("serve.stage", "store", t);
+    if let Some(entry) = hit {
+        telemetry::incr("serve.req", "ok_store", 1);
+        telemetry::incr("serve.store", "hit", 1);
+        let passes: Vec<usize> = entry.seq.iter().map(|&p| p as usize).collect();
+        let ir_out = if want_ir {
+            let mut m = module;
+            for &p in &passes {
+                let _ = apply_checked(&mut m, p, &shared.cfg.fuel);
+            }
+            Some(print_module(&m))
+        } else {
+            None
+        };
+        return Reply::Compiled {
+            source: Source::Store,
+            cycles: entry.cycles,
+            baseline_cycles: entry.baseline_cycles,
+            passes,
+            ir: ir_out,
+        };
+    }
+    telemetry::incr("serve.store", "miss", 1);
+
+    // Cold: profile the input once (the baseline number and the store
+    // record need it), then walk policy → baseline.
+    let t = telemetry::maybe_now();
+    let baseline_cycles = match profile_module(&module, &shared.hls) {
+        Ok(r) => r.cycles,
+        Err(e) => return refuse(ErrKind::Parse, format!("unprofileable input: {e}")),
+    };
+
+    let mut optimized = module.clone();
+    let (source, passes) = match shared.engine.choose_sequence(
+        &mut optimized,
+        fp,
+        &shared.quarantine,
+        &shared.cfg.fuel,
+    ) {
+        Ok(seq) => (Source::Policy, seq),
+        Err(_fault) => {
+            // Degradation rung 3: fixed fault-isolated -O3.
+            telemetry::incr("serve.req", "degraded_to_baseline", 1);
+            optimized = module.clone();
+            let seq = o3_checked(&mut optimized, &shared.cfg.fuel);
+            (Source::Baseline, seq)
+        }
+    };
+    telemetry::observe_since("serve.stage", "rollout", t);
+
+    let t = telemetry::maybe_now();
+    let cycles = match profile_module(&optimized, &shared.hls) {
+        Ok(r) => r.cycles,
+        Err(e) => return refuse(ErrKind::Internal, format!("optimized unprofileable: {e}")),
+    };
+    telemetry::observe_since("serve.stage", "profile", t);
+
+    if Instant::now() > deadline {
+        return refuse(ErrKind::Deadline, "deadline expired mid-pipeline".into());
+    }
+
+    // Persist if this beats the best known answer (first answer always
+    // does — there was no entry).
+    let entry = BestEntry {
+        cycles,
+        baseline_cycles,
+        seq: passes.iter().map(|&p| p as u16).collect(),
+    };
+    if let Err(e) = shared.store.lock().unwrap().record(fp, entry) {
+        // Non-fatal: the answer is still good, only persistence failed.
+        telemetry::incr("serve.store", "append_error", 1);
+        let _ = e;
+    }
+
+    telemetry::incr(
+        "serve.req",
+        match source {
+            Source::Policy => "ok_policy",
+            Source::Baseline => "ok_baseline",
+            Source::Store => unreachable!("store answered above"),
+        },
+        1,
+    );
+    Reply::Compiled {
+        source,
+        cycles,
+        baseline_cycles,
+        passes,
+        ir: want_ir.then(|| print_module(&optimized)),
+    }
+}

@@ -1,0 +1,350 @@
+//! Content-addressed persistent store of best-known pass orderings.
+//!
+//! An append-only log plus an in-memory index keyed by program
+//! fingerprint (the workspace-wide content hash from
+//! `autophase_core::eval_cache::fingerprint_module`). Serving a repeat
+//! program is a `HashMap` lookup; discovering a better ordering appends
+//! one record. The log survives restarts, so everything the daemon ever
+//! learned about a program keeps paying off across deployments.
+//!
+//! # On-disk format
+//!
+//! ```text
+//! "APSTORE1"                                  // 8-byte file header
+//! record := len u32 LE | payload | fnv1a-64(payload) u64 LE
+//! payload := fingerprint u64 | cycles u64 | baseline_cycles u64
+//!          | n u16 | n × pass id u16         // all LE
+//! ```
+//!
+//! # Crash safety
+//!
+//! Appends are a single `write_all` followed by `sync_data`, and reopen
+//! scans records until the first one that is truncated or fails its
+//! checksum — everything from that point is dropped and the file is
+//! truncated back to the last good record, so a torn tail (power loss
+//! mid-append) costs at most the interrupted record, never a panic or a
+//! poisoned log. Within one file, later records for a fingerprint
+//! supersede earlier ones only when strictly better (fewer cycles), so
+//! replaying the log in order rebuilds the same index the writer had.
+
+use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+const FILE_MAGIC: &[u8; 8] = b"APSTORE1";
+/// Cap on passes per record — same plausibility guard the codecs use.
+const MAX_SEQ_LEN: usize = 4096;
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Best-known answer for one program fingerprint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BestEntry {
+    /// Cycle count the ordering achieves.
+    pub cycles: u64,
+    /// Cycle count of the unoptimized program (cached so store hits
+    /// answer without any profiling).
+    pub baseline_cycles: u64,
+    /// The effective ordering (changing passes, Table-1 ids).
+    pub seq: Vec<u16>,
+}
+
+/// The persistent best-ordering store (see module docs).
+#[derive(Debug)]
+pub struct BestStore {
+    file: File,
+    path: PathBuf,
+    index: HashMap<u64, BestEntry>,
+    /// Bytes of good records (the append offset).
+    tail: u64,
+    /// Records dropped by the last open's torn-tail scan.
+    dropped_on_open: usize,
+}
+
+fn encode_record(fp: u64, entry: &BestEntry) -> Vec<u8> {
+    let mut payload = Vec::with_capacity(26 + 2 * entry.seq.len());
+    payload.extend_from_slice(&fp.to_le_bytes());
+    payload.extend_from_slice(&entry.cycles.to_le_bytes());
+    payload.extend_from_slice(&entry.baseline_cycles.to_le_bytes());
+    payload.extend_from_slice(&(entry.seq.len() as u16).to_le_bytes());
+    for &p in &entry.seq {
+        payload.extend_from_slice(&p.to_le_bytes());
+    }
+    let mut rec = Vec::with_capacity(12 + payload.len());
+    rec.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    rec.extend_from_slice(&payload);
+    rec.extend_from_slice(&fnv1a(&payload).to_le_bytes());
+    rec
+}
+
+fn decode_payload(payload: &[u8]) -> Option<(u64, BestEntry)> {
+    if payload.len() < 26 {
+        return None;
+    }
+    let fp = u64::from_le_bytes(payload[0..8].try_into().ok()?);
+    let cycles = u64::from_le_bytes(payload[8..16].try_into().ok()?);
+    let baseline_cycles = u64::from_le_bytes(payload[16..24].try_into().ok()?);
+    let n = u16::from_le_bytes(payload[24..26].try_into().ok()?) as usize;
+    if n > MAX_SEQ_LEN || payload.len() != 26 + 2 * n {
+        return None;
+    }
+    let seq = (0..n)
+        .map(|i| u16::from_le_bytes(payload[26 + 2 * i..28 + 2 * i].try_into().unwrap()))
+        .collect();
+    Some((
+        fp,
+        BestEntry {
+            cycles,
+            baseline_cycles,
+            seq,
+        },
+    ))
+}
+
+impl BestStore {
+    /// Open (creating if absent) the store at `path`, replaying the log
+    /// into the in-memory index. A torn or corrupt tail is dropped and
+    /// the file truncated back to the last good record.
+    ///
+    /// # Errors
+    ///
+    /// Filesystem errors, or `InvalidData` if the file exists but does
+    /// not start with the store magic (it is some other file — refuse to
+    /// clobber it).
+    pub fn open(path: &Path) -> io::Result<BestStore> {
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(path)?;
+        let mut bytes = Vec::new();
+        file.read_to_end(&mut bytes)?;
+        if bytes.is_empty() {
+            file.write_all(FILE_MAGIC)?;
+            file.sync_data()?;
+            bytes.extend_from_slice(FILE_MAGIC);
+        } else if !bytes.starts_with(FILE_MAGIC) {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("{} is not an autophase store", path.display()),
+            ));
+        }
+        let mut index: HashMap<u64, BestEntry> = HashMap::new();
+        let mut offset = FILE_MAGIC.len();
+        let mut dropped_on_open = 0;
+        loop {
+            let rest = &bytes[offset..];
+            if rest.is_empty() {
+                break;
+            }
+            let parsed = rest
+                .get(0..4)
+                .map(|l| u32::from_le_bytes(l.try_into().unwrap()) as usize)
+                .and_then(|len| {
+                    let payload = rest.get(4..4 + len)?;
+                    let sum = rest.get(4 + len..12 + len)?;
+                    if fnv1a(payload) != u64::from_le_bytes(sum.try_into().unwrap()) {
+                        return None;
+                    }
+                    decode_payload(payload).map(|d| (d, 12 + len))
+                });
+            match parsed {
+                Some(((fp, entry), consumed)) => {
+                    let better = index.get(&fp).is_none_or(|cur| entry.cycles < cur.cycles);
+                    if better {
+                        index.insert(fp, entry);
+                    }
+                    offset += consumed;
+                }
+                None => {
+                    // Torn or corrupt from here on: count whole dropped
+                    // region as one incident per remaining record guess —
+                    // we cannot reframe past a bad length, so it is all
+                    // one dropped tail.
+                    dropped_on_open = 1;
+                    break;
+                }
+            }
+        }
+        file.set_len(offset as u64)?;
+        file.seek(SeekFrom::Start(offset as u64))?;
+        Ok(BestStore {
+            file,
+            path: path.to_path_buf(),
+            index,
+            tail: offset as u64,
+            dropped_on_open,
+        })
+    }
+
+    /// Best-known entry for a program fingerprint.
+    pub fn lookup(&self, fp: u64) -> Option<&BestEntry> {
+        self.index.get(&fp)
+    }
+
+    /// Record an answer if it beats (strictly) the best known one.
+    /// Returns whether the entry was stored. The append is durable
+    /// (synced) before the index is updated.
+    ///
+    /// # Errors
+    ///
+    /// Filesystem errors; the in-memory index is left unchanged on error.
+    pub fn record(&mut self, fp: u64, entry: BestEntry) -> io::Result<bool> {
+        if entry.seq.len() > MAX_SEQ_LEN {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "pass sequence too long for a store record",
+            ));
+        }
+        if let Some(cur) = self.index.get(&fp) {
+            if entry.cycles >= cur.cycles {
+                return Ok(false);
+            }
+        }
+        let rec = encode_record(fp, &entry);
+        self.file.seek(SeekFrom::Start(self.tail))?;
+        self.file.write_all(&rec)?;
+        self.file.sync_data()?;
+        self.tail += rec.len() as u64;
+        self.index.insert(fp, entry);
+        Ok(true)
+    }
+
+    /// Number of distinct programs in the index.
+    pub fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    /// True when no program has an entry yet.
+    pub fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+
+    /// Whether the last open dropped a torn/corrupt tail.
+    pub fn dropped_on_open(&self) -> bool {
+        self.dropped_on_open > 0
+    }
+
+    /// The log's filesystem path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("autophase_store_{}_{name}.log", std::process::id()))
+    }
+
+    fn entry(cycles: u64, seq: &[u16]) -> BestEntry {
+        BestEntry {
+            cycles,
+            baseline_cycles: cycles * 2,
+            seq: seq.to_vec(),
+        }
+    }
+
+    #[test]
+    fn roundtrips_across_reopen() {
+        let path = tmp("roundtrip");
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut s = BestStore::open(&path).unwrap();
+            assert!(s.is_empty());
+            assert!(s.record(1, entry(100, &[31, 38])).unwrap());
+            assert!(s.record(2, entry(50, &[])).unwrap());
+            // Not better: ignored, not appended.
+            assert!(!s.record(1, entry(100, &[30])).unwrap());
+            assert!(!s.record(1, entry(150, &[30])).unwrap());
+            // Strictly better: supersedes.
+            assert!(s.record(1, entry(90, &[31, 38, 30])).unwrap());
+        }
+        let s = BestStore::open(&path).unwrap();
+        assert!(!s.dropped_on_open());
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.lookup(1).unwrap(), &entry(90, &[31, 38, 30]));
+        assert_eq!(s.lookup(2).unwrap(), &entry(50, &[]));
+        assert!(s.lookup(3).is_none());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn torn_trailing_record_is_dropped_not_a_panic() {
+        let path = tmp("torn");
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut s = BestStore::open(&path).unwrap();
+            s.record(1, entry(100, &[31])).unwrap();
+            s.record(2, entry(200, &[38, 30])).unwrap();
+        }
+        let full = std::fs::read(&path).unwrap();
+        // Simulate a crash mid-append: a fresh record cut off partway.
+        let torn_rec = encode_record(3, &entry(300, &[7, 8, 9]));
+        for cut in [1, 5, torn_rec.len() - 1] {
+            let mut bytes = full.clone();
+            bytes.extend_from_slice(&torn_rec[..cut]);
+            std::fs::write(&path, &bytes).unwrap();
+            let s = BestStore::open(&path).unwrap();
+            assert!(s.dropped_on_open(), "cut at {cut} not detected");
+            assert_eq!(s.len(), 2, "good prefix lost at cut {cut}");
+            assert!(s.lookup(3).is_none());
+            // The truncation leaves a healthy file behind.
+            assert_eq!(std::fs::read(&path).unwrap(), full);
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn corrupt_tail_checksum_is_dropped_and_appends_resume() {
+        let path = tmp("corrupt");
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut s = BestStore::open(&path).unwrap();
+            s.record(1, entry(100, &[31])).unwrap();
+        }
+        let good = std::fs::read(&path).unwrap();
+        let mut bytes = good.clone();
+        let mut bad = encode_record(2, &entry(50, &[38]));
+        let last = bad.len() - 1;
+        bad[last] ^= 0xff; // break the checksum
+        bytes.extend_from_slice(&bad);
+        std::fs::write(&path, &bytes).unwrap();
+        {
+            let mut s = BestStore::open(&path).unwrap();
+            assert!(s.dropped_on_open());
+            assert_eq!(s.len(), 1);
+            // New appends land where the good prefix ended.
+            assert!(s.record(4, entry(70, &[23])).unwrap());
+        }
+        let s = BestStore::open(&path).unwrap();
+        assert!(!s.dropped_on_open());
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.lookup(4).unwrap(), &entry(70, &[23]));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn refuses_to_clobber_foreign_files() {
+        let path = tmp("foreign");
+        std::fs::write(&path, b"definitely not a store file").unwrap();
+        assert!(BestStore::open(&path).is_err());
+        // Untouched.
+        assert_eq!(
+            std::fs::read(&path).unwrap(),
+            b"definitely not a store file"
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+}

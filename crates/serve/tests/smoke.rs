@@ -1,0 +1,210 @@
+//! End-to-end smoke of the compile service: a real daemon on a real
+//! socket, mixed warm/cold load from concurrent clients, an injected
+//! policy fault mid-load, and a restart that proves the store persists.
+//!
+//! This is the test `make serve-smoke` runs.
+
+use autophase_benchmarks::suite;
+use autophase_nn::mlp::{Activation, Mlp};
+use autophase_serve::client::Client;
+use autophase_serve::engine::{serve_num_actions, serve_obs_dim};
+use autophase_serve::protocol::{ErrKind, Source};
+use autophase_serve::server::{Server, ServerConfig};
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+fn tmp_store(name: &str) -> PathBuf {
+    let path = std::env::temp_dir().join(format!(
+        "autophase_serve_smoke_{}_{name}.log",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_file(&path);
+    path
+}
+
+fn test_policy() -> Mlp {
+    Mlp::new(
+        &[serve_obs_dim(), 32, serve_num_actions()],
+        Activation::Tanh,
+        7,
+    )
+}
+
+fn start_server(store: &Path, chaos: bool) -> Server {
+    let cfg = ServerConfig {
+        store_path: store.to_path_buf(),
+        chaos,
+        ..ServerConfig::default()
+    };
+    Server::start(test_policy(), cfg).expect("server starts")
+}
+
+/// The full tour: cold compiles populate the store, warm repeats hit it,
+/// chaos degrades to baseline without a single failed request, shutdown
+/// is clean, and a restarted daemon still remembers every program.
+#[test]
+fn mixed_load_chaos_and_restart() {
+    let store = tmp_store("tour");
+    let server = start_server(&store, true);
+    let addr = server.addr();
+
+    let programs: Vec<String> = suite()
+        .into_iter()
+        .map(|b| autophase_ir::printer::print_module(&b.module))
+        .collect();
+    assert!(programs.len() >= 4, "suite unexpectedly small");
+
+    // Cold phase: every program is new, so every answer comes off the
+    // policy path and lands in the store.
+    {
+        let mut client = Client::connect(addr).expect("connect");
+        client
+            .set_read_timeout(Some(Duration::from_secs(30)))
+            .unwrap();
+        for ir in &programs {
+            // Generous explicit deadline: debug builds are slow and the
+            // smoke test is about correctness, not latency.
+            let reply = client
+                .compile(ir, Some(60_000), false)
+                .expect("cold compile");
+            assert_eq!(reply.source, Source::Policy, "first sight must be cold");
+            assert!(reply.baseline_cycles > 0);
+        }
+    }
+    assert_eq!(server.store_len(), programs.len());
+
+    // Warm phase: concurrent clients replaying the same programs must
+    // all hit the store — zero failures, zero recomputation.
+    let mut handles = Vec::new();
+    for t in 0..4 {
+        let programs = programs.clone();
+        handles.push(std::thread::spawn(move || {
+            let mut client = Client::connect(addr).expect("connect");
+            client
+                .set_read_timeout(Some(Duration::from_secs(30)))
+                .unwrap();
+            for (i, ir) in programs.iter().enumerate() {
+                let reply = client
+                    .compile(ir, None, i % 2 == 0)
+                    .unwrap_or_else(|e| panic!("warm compile t{t} p{i}: {e}"));
+                assert_eq!(reply.source, Source::Store, "t{t} p{i} missed the store");
+                if i % 2 == 0 {
+                    let ir_back = reply.ir.expect("asked for IR");
+                    autophase_ir::parser::parse_module(&ir_back).expect("served IR parses");
+                }
+            }
+        }));
+    }
+    for h in handles {
+        h.join().expect("warm client panicked");
+    }
+
+    // Chaos phase: arm injected policy faults, then send programs the
+    // store has never seen. Every request must still be answered OK —
+    // degraded to the baseline ordering, never dropped.
+    {
+        let mut client = Client::connect(addr).expect("connect");
+        client
+            .set_read_timeout(Some(Duration::from_secs(30)))
+            .unwrap();
+        client.chaos(1_000).expect("chaos accepted");
+        let mut saw_baseline = false;
+        for (i, ir) in programs.iter().enumerate() {
+            // Rename the module so its fingerprint is new to the store.
+            let mut m = autophase_ir::parser::parse_module(ir).unwrap();
+            m.name = format!("{}__chaos{i}", m.name);
+            let renamed = autophase_ir::printer::print_module(&m);
+            let reply = client
+                .compile(&renamed, Some(60_000), false)
+                .unwrap_or_else(|e| panic!("chaos compile p{i}: {e}"));
+            saw_baseline |= reply.source == Source::Baseline;
+            assert!(reply.baseline_cycles > 0);
+        }
+        assert!(saw_baseline, "injected faults never reached a request");
+    }
+
+    let expected = server.store_len();
+    assert!(expected > programs.len(), "chaos programs were not stored");
+    server.shutdown();
+
+    // Restart on the same log: every memoized ordering must survive.
+    let server = start_server(&store, false);
+    assert_eq!(
+        server.store_len(),
+        expected,
+        "store lost entries on restart"
+    );
+    let mut client = Client::connect(server.addr()).expect("connect");
+    client
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    let reply = client
+        .compile(&programs[0], None, false)
+        .expect("warm after restart");
+    assert_eq!(reply.source, Source::Store, "restart forgot the store");
+    server.shutdown();
+    let _ = std::fs::remove_file(&store);
+}
+
+/// Garbage on the wire gets a typed refusal, and the connection after it
+/// still serves real requests on a fresh client.
+#[test]
+fn bad_ir_is_refused_not_fatal() {
+    let store = tmp_store("badir");
+    let server = start_server(&store, false);
+    let mut client = Client::connect(server.addr()).expect("connect");
+    client
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    match client.compile("this is not IR", None, false) {
+        Err(autophase_serve::client::ClientError::Server { kind, .. }) => {
+            assert_eq!(kind, ErrKind::Parse);
+        }
+        other => panic!("expected a parse refusal, got {other:?}"),
+    }
+    // Same connection keeps working after a refusal.
+    client.ping().expect("ping after refusal");
+    server.shutdown();
+    let _ = std::fs::remove_file(&store);
+}
+
+/// Chaos is a test-only verb: a server without `chaos: true` refuses it.
+#[test]
+fn chaos_requires_opt_in() {
+    let store = tmp_store("nochaos");
+    let server = start_server(&store, false);
+    let mut client = Client::connect(server.addr()).expect("connect");
+    match client.chaos(1) {
+        Err(autophase_serve::client::ClientError::Server { kind, .. }) => {
+            assert_eq!(kind, ErrKind::BadRequest);
+        }
+        other => panic!("expected refusal, got {other:?}"),
+    }
+    server.shutdown();
+    let _ = std::fs::remove_file(&store);
+}
+
+/// A deadline that has effectively already passed is answered with the
+/// typed `deadline` refusal, not silence.
+#[test]
+fn expired_deadline_is_typed() {
+    let store = tmp_store("deadline");
+    let server = start_server(&store, false);
+    let mut client = Client::connect(server.addr()).expect("connect");
+    client
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    let ir = autophase_ir::printer::print_module(&autophase_benchmarks::kernels::gsm());
+    match client.compile(&ir, Some(0), false) {
+        Err(autophase_serve::client::ClientError::Server { kind, .. }) => {
+            assert_eq!(kind, ErrKind::Deadline);
+        }
+        // A zero-millisecond deadline can still be met if the whole
+        // pipeline fits inside the clock granularity; a success is not
+        // a failure of the deadline machinery.
+        Ok(_) => {}
+        Err(e) => panic!("unexpected transport error: {e}"),
+    }
+    server.shutdown();
+    let _ = std::fs::remove_file(&store);
+}

@@ -136,6 +136,16 @@ pub fn set_gauge(name: &'static str, label: &str, value: f64) {
     }
 }
 
+/// Adjust a gauge by `delta` (negative to decrement). No-op when
+/// disabled. Use for level-style gauges maintained concurrently (queue
+/// depth, in-flight work), where `set` from multiple threads would lose
+/// updates.
+pub fn add_gauge(name: &'static str, label: &str, delta: f64) {
+    if enabled() {
+        gauge(name, label).add(delta);
+    }
+}
+
 /// Record a value into a histogram by name. No-op when disabled.
 pub fn observe(name: &'static str, label: &str, value: u64) {
     if enabled() {

@@ -58,6 +58,24 @@ impl Gauge {
         f64::from_bits(self.bits.load(Ordering::Relaxed))
     }
 
+    /// Adjust the gauge by `delta` (negative to decrement). Lock-free
+    /// CAS loop over the f64 bits, so concurrent adjusters never lose an
+    /// update — the primitive behind level-style gauges (queue depth,
+    /// in-flight requests) that `set` cannot maintain across threads.
+    pub fn add(&self, delta: f64) {
+        let mut cur = self.bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + delta).to_bits();
+            match self
+                .bits
+                .compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => return,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
     fn reset(&self) {
         self.set(0.0);
     }
