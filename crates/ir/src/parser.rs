@@ -2,8 +2,12 @@
 //!
 //! The serve layer accepts modules over the wire in the printed textual
 //! form, so this parser is written to be total on untrusted input: every
-//! malformed construct becomes a [`ParseError`] (never a panic), and arena
-//! indices are capped so hostile text cannot force huge allocations.
+//! malformed construct becomes a [`ParseError`] (never a panic), arena
+//! indices are capped ([`MAX_INDEX`]), and the total arena capacity
+//! reconstructed across all functions shares one module-wide budget
+//! ([`MAX_MODULE_SLOTS`]) so hostile text cannot force huge allocations —
+//! neither with one giant index nor with many functions each claiming a
+//! large sparse arena.
 //!
 //! # Fidelity
 //!
@@ -33,6 +37,17 @@ use std::fmt;
 /// Real modules sit far below this; the cap exists so a one-line hostile
 /// request cannot make the parser allocate gigabytes of tombstones.
 pub const MAX_INDEX: usize = 1 << 20;
+
+/// Module-wide cap on the total number of function arena slots (live
+/// entities plus tombstones) the parser will reconstruct, summed across
+/// every function's block and instruction arenas. [`MAX_INDEX`] bounds
+/// each *individual* index, but each function claims its own arenas — so
+/// without a shared budget, a module of many one-line functions each
+/// labeled `b1048575` would allocate `MAX_INDEX` slots *per function*,
+/// amplifying a few hundred bytes of hostile text into tens of millions
+/// of slots. Real printed modules use at most a handful of slots per line
+/// of text, so legitimate input never gets near this.
+pub const MAX_MODULE_SLOTS: usize = MAX_INDEX;
 
 /// A syntax error with its 1-based source line.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -402,6 +417,7 @@ fn build_function(
     ret_ty: Type,
     attrs: &[String],
     blocks: Vec<(usize, Vec<ParsedInst>)>,
+    slot_budget: &mut usize,
 ) -> Result<Function, ParseError> {
     if blocks.is_empty() {
         return err(line, format!("function @{name} has no blocks"));
@@ -418,9 +434,26 @@ fn build_function(
         }
     }
 
+    // Charge this function's arena capacities (live slots and tombstones
+    // alike) against the module-wide budget *before* allocating anything,
+    // so hostile input cannot amplify per-function: the whole module gets
+    // [`MAX_MODULE_SLOTS`], not each function.
+    let max_block = blocks.iter().map(|(id, _)| *id).max().unwrap_or(0);
+    let max_slot = blocks
+        .iter()
+        .flat_map(|(_, insts)| insts.iter().filter_map(|p| p.slot))
+        .max();
+    let slots = (max_block + 1) + max_slot.map_or(0, |m| m + 1);
+    if slots > *slot_budget {
+        return err(
+            line,
+            format!("module exceeds the {MAX_MODULE_SLOTS}-slot arena budget at @{name}"),
+        );
+    }
+    *slot_budget -= slots;
+
     // Recreate the block arena: live slots are exactly the printed labels;
     // slots between them are tombstones. `Function::new` made slot 0.
-    let max_block = blocks.iter().map(|(id, _)| *id).max().unwrap_or(0);
     let mut live = vec![false; max_block + 1];
     for (id, _) in &blocks {
         if live[*id] {
@@ -441,10 +474,6 @@ fn build_function(
     // Recreate the instruction arena: printed `%id`s take their exact
     // slots (tombstones fill the gaps); void instructions are appended
     // above the highest printed id.
-    let max_slot = blocks
-        .iter()
-        .flat_map(|(_, insts)| insts.iter().filter_map(|p| p.slot))
-        .max();
     let mut arena: Vec<Option<Inst>> = vec![None; max_slot.map_or(0, |m| m + 1)];
     for (_, insts) in &blocks {
         for p in insts {
@@ -566,6 +595,8 @@ pub fn parse_module(text: &str) -> Result<Module, ParseError> {
     };
     i += 1;
     let mut m = Module::new(name);
+    // Shared across all functions — see [`MAX_MODULE_SLOTS`].
+    let mut slot_budget = MAX_MODULE_SLOTS;
     // Pending `; f<slot>` annotation for the next `define`.
     let mut pending_slot: Option<usize> = None;
     while i < lines.len() {
@@ -632,7 +663,7 @@ pub fn parse_module(text: &str) -> Result<Module, ParseError> {
             if !closed {
                 return err(i, format!("unterminated function @{fname}"));
             }
-            let f = build_function(ln, fname, params, ret_ty, &attrs, blocks)?;
+            let f = build_function(ln, fname, params, ret_ty, &attrs, blocks, &mut slot_budget)?;
             let slot = pending_slot.take().unwrap_or(m.func_capacity());
             if slot < m.func_capacity() {
                 return err(ln, format!("function slot f{slot} already used"));
@@ -797,5 +828,43 @@ mod tests {
             usize::MAX
         );
         assert!(parse_module(&huge).is_err());
+    }
+
+    #[test]
+    fn tombstones_cannot_amplify_across_functions() {
+        // Each label passes the per-index cap, but every function would
+        // claim its own MAX_INDEX-slot block arena — a few hundred bytes
+        // of text amplified into tens of millions of slots. The shared
+        // module budget must refuse, and fast.
+        let mut text = String::from("; module m\n");
+        for i in 0..20 {
+            text.push_str(&format!(
+                "define void @f{i}() {{\nb{MAX_INDEX}:\n  ret void\n}}\n"
+            ));
+        }
+        let t0 = std::time::Instant::now();
+        let e = parse_module(&text).unwrap_err();
+        assert!(e.msg.contains("arena budget"), "wrong error: {e}");
+        assert!(
+            t0.elapsed() < std::time::Duration::from_secs(2),
+            "budget refusal was not cheap: {:?}",
+            t0.elapsed()
+        );
+
+        // Modest sparse arenas spread over many functions stay well under
+        // the budget and round-trip exactly.
+        let mut m = Module::new("sparse");
+        for i in 0..64 {
+            let mut b = FunctionBuilder::new(format!("f{i}"), vec![Type::I32], Type::I32);
+            let x = b.binary(BinOp::Add, b.arg(0), Value::i32(1));
+            let y = b.binary(BinOp::Mul, x, Value::i32(2));
+            b.ret(Some(y));
+            let mut f = b.finish();
+            // Tombstone an interior instruction slot.
+            let dead = f.add_inst(Inst::new(Type::I32, Opcode::Unreachable));
+            f.erase_inst(dead);
+            m.add_function(f);
+        }
+        roundtrip(&m);
     }
 }

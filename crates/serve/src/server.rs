@@ -1,7 +1,9 @@
 //! The daemon: TCP listener, bounded admission, and the request pipeline.
 //!
 //! Each connection gets a handler thread that reads framed requests in a
-//! loop (keep-alive). Admission is a counting gate: `workers` requests
+//! loop (keep-alive); connections beyond `max_conns` are refused with a
+//! typed `overloaded` reply so the thread count stays bounded. Admission
+//! per request is a counting gate: `workers` requests
 //! execute concurrently, at most `queue_cap` more may wait, and anything
 //! beyond that is shed immediately with a typed `overloaded` reply —
 //! the queue never grows without bound, and the wait is bounded by the
@@ -11,7 +13,10 @@
 //! The compile pipeline walks the degradation ladder:
 //!
 //! 1. **store** — fingerprint the parsed module and serve the persistent
-//!    best-known ordering: no inference, no profiling, O(1).
+//!    best-known ordering: no inference, no profiling, O(1). A hit that
+//!    must carry IR replays the stored passes first; if one no longer
+//!    applies cleanly the entry is retired and the request recomputes
+//!    cold, so a reply's IR always matches its reported numbers.
 //! 2. **policy** — greedy batched-inference rollout
 //!    ([`crate::engine::InferenceEngine::choose_sequence`]), every pass
 //!    applied transactionally with quarantine bookkeeping.
@@ -56,6 +61,10 @@ pub struct ServerConfig {
     pub workers: usize,
     /// Requests allowed to wait for a worker before shedding.
     pub queue_cap: usize,
+    /// Concurrent connections (each costs a handler thread). Connections
+    /// beyond the cap are refused with a typed `overloaded` reply rather
+    /// than spawning without bound.
+    pub max_conns: usize,
     /// Deadline applied when a request names none.
     pub default_deadline: Duration,
     /// Inference batching knobs.
@@ -76,6 +85,7 @@ impl Default for ServerConfig {
             addr: "127.0.0.1:0".into(),
             workers: 4,
             queue_cap: 64,
+            max_conns: 256,
             default_deadline: Duration::from_millis(1000),
             engine: EngineConfig::default(),
             fuel: FuelBudget::default(),
@@ -294,7 +304,16 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
     loop {
         let (stream, _) = match listener.accept() {
             Ok(s) => s,
-            Err(_) => continue,
+            Err(_) => {
+                if shared.shutting_down.load(Ordering::SeqCst) {
+                    return;
+                }
+                // Accept errors such as EMFILE tend to persist; a brief
+                // back-off keeps this loop from busy-spinning while the
+                // condition clears.
+                std::thread::sleep(Duration::from_millis(10));
+                continue;
+            }
         };
         if shared.shutting_down.load(Ordering::SeqCst) {
             // The wake-up connection (or a late client): refuse politely.
@@ -307,6 +326,20 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
                 },
             );
             return;
+        }
+        if shared.active_conns.load(Ordering::SeqCst) >= shared.cfg.max_conns {
+            // Thread-per-connection must not be unbounded: past the cap,
+            // answer `overloaded` once and hang up instead of spawning.
+            telemetry::incr("serve.req", "conn_refused", 1);
+            let mut w = BufWriter::new(stream);
+            let _ = protocol::write_reply(
+                &mut w,
+                &Reply::Err {
+                    kind: ErrKind::Overloaded,
+                    msg: format!("connection limit ({}) reached", shared.cfg.max_conns),
+                },
+            );
+            continue;
         }
         shared.active_conns.fetch_add(1, Ordering::SeqCst);
         let conn_shared = Arc::clone(shared);
@@ -435,9 +468,16 @@ fn compile(
     }
     let _permit = PermitGuard(&shared.gate);
 
-    // Parse + verify. The parser is total on untrusted text and the
-    // verifier total on parser output, so hostile input costs an error
-    // reply, never a crash.
+    // A request that arrives (or is granted a permit) already past its
+    // deadline gets the typed refusal before any pipeline work.
+    if Instant::now() >= deadline {
+        return refuse(ErrKind::Deadline, "deadline expired before parse".into());
+    }
+
+    // Parse + verify. The parser is total on untrusted text with a
+    // module-wide arena budget, and the verifier total on parser output,
+    // so hostile input costs a bounded amount of work and an error
+    // reply — never a crash or a runaway allocation.
     let t = telemetry::maybe_now();
     let module = match parse_module(ir) {
         Ok(m) => m,
@@ -454,27 +494,49 @@ fn compile(
     let hit = shared.store.lock().unwrap().lookup(fp).cloned();
     telemetry::observe_since("serve.stage", "store", t);
     if let Some(entry) = hit {
-        telemetry::incr("serve.req", "ok_store", 1);
-        telemetry::incr("serve.store", "hit", 1);
         let passes: Vec<usize> = entry.seq.iter().map(|&p| p as usize).collect();
-        let ir_out = if want_ir {
-            let mut m = module;
-            for &p in &passes {
-                let _ = apply_checked(&mut m, p, &shared.cfg.fuel);
-            }
-            Some(print_module(&m))
+        // The stored cycles/passes were computed from the IR the stored
+        // ordering produces, so a reply carrying IR must replay cleanly:
+        // if a stored pass now faults or runs out of fuel (quarantine or
+        // config drift since it was recorded), the entry can no longer
+        // back its numbers. Retire it and recompute cold instead of
+        // serving IR that disagrees with the reported cycles.
+        let replayed = if want_ir {
+            let mut m = module.clone();
+            passes
+                .iter()
+                .try_for_each(|&p| apply_checked(&mut m, p, &shared.cfg.fuel).map(|_| ()))
+                .ok()
+                .map(|()| Some(print_module(&m)))
         } else {
-            None
+            Some(None)
         };
-        return Reply::Compiled {
-            source: Source::Store,
-            cycles: entry.cycles,
-            baseline_cycles: entry.baseline_cycles,
-            passes,
-            ir: ir_out,
-        };
+        match replayed {
+            Some(ir_out) => {
+                telemetry::incr("serve.req", "ok_store", 1);
+                telemetry::incr("serve.store", "hit", 1);
+                return Reply::Compiled {
+                    source: Source::Store,
+                    cycles: entry.cycles,
+                    baseline_cycles: entry.baseline_cycles,
+                    passes,
+                    ir: ir_out,
+                };
+            }
+            None => {
+                shared.store.lock().unwrap().remove(fp);
+                telemetry::incr("serve.store", "stale_dropped", 1);
+            }
+        }
+    } else {
+        telemetry::incr("serve.store", "miss", 1);
     }
-    telemetry::incr("serve.store", "miss", 1);
+
+    // The cold pipeline is the expensive part; do not start it for a
+    // request that can no longer make its deadline.
+    if Instant::now() >= deadline {
+        return refuse(ErrKind::Deadline, "deadline expired before rollout".into());
+    }
 
     // Cold: profile the input once (the baseline number and the store
     // record need it), then walk policy → baseline.
@@ -509,12 +571,11 @@ fn compile(
     };
     telemetry::observe_since("serve.stage", "profile", t);
 
-    if Instant::now() > deadline {
-        return refuse(ErrKind::Deadline, "deadline expired mid-pipeline".into());
-    }
-
     // Persist if this beats the best known answer (first answer always
-    // does — there was no entry).
+    // does — there was no entry). Record *before* the deadline check:
+    // the computed ordering is valid regardless of how long it took, and
+    // storing it turns the next identical request into an O(1) hit
+    // instead of a from-scratch recompute.
     let entry = BestEntry {
         cycles,
         baseline_cycles,
@@ -524,6 +585,10 @@ fn compile(
         // Non-fatal: the answer is still good, only persistence failed.
         telemetry::incr("serve.store", "append_error", 1);
         let _ = e;
+    }
+
+    if Instant::now() > deadline {
+        return refuse(ErrKind::Deadline, "deadline expired mid-pipeline".into());
     }
 
     telemetry::incr(

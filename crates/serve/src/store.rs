@@ -219,6 +219,18 @@ impl BestStore {
         Ok(true)
     }
 
+    /// Retire a fingerprint from the in-memory index, returning the entry
+    /// it held. The server uses this when a stored ordering no longer
+    /// replays cleanly (a pass in it now faults or runs out of fuel), so
+    /// the next request recomputes instead of serving numbers the IR
+    /// cannot back. The log is append-only, so the record stays on disk;
+    /// if nothing strictly better is recorded over it, the entry can
+    /// resurface on the next [`BestStore::open`] — at worst it is retired
+    /// again on first touch, never served inconsistently.
+    pub fn remove(&mut self, fp: u64) -> Option<BestEntry> {
+        self.index.remove(&fp)
+    }
+
     /// Number of distinct programs in the index.
     pub fn len(&self) -> usize {
         self.index.len()
@@ -332,6 +344,27 @@ mod tests {
         assert!(!s.dropped_on_open());
         assert_eq!(s.len(), 2);
         assert_eq!(s.lookup(4).unwrap(), &entry(70, &[23]));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn removed_entries_can_be_rerecorded() {
+        let path = tmp("remove");
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut s = BestStore::open(&path).unwrap();
+            assert!(s.record(1, entry(100, &[31])).unwrap());
+            assert_eq!(s.remove(1), Some(entry(100, &[31])));
+            assert!(s.lookup(1).is_none());
+            assert!(s.remove(1).is_none());
+            // After removal even a worse answer is recordable — the slot
+            // is empty again as far as the index is concerned.
+            assert!(s.record(1, entry(150, &[30])).unwrap());
+            assert_eq!(s.lookup(1).unwrap(), &entry(150, &[30]));
+        }
+        // Removal is in-memory: replay keeps the best record on disk.
+        let s = BestStore::open(&path).unwrap();
+        assert_eq!(s.lookup(1).unwrap(), &entry(100, &[31]));
         let _ = std::fs::remove_file(&path);
     }
 

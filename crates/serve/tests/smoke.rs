@@ -184,6 +184,119 @@ fn chaos_requires_opt_in() {
     let _ = std::fs::remove_file(&store);
 }
 
+/// A stored ordering that no longer replays cleanly (here: the daemon's
+/// fuel budget shrank below what its passes need) must not be served with
+/// IR that contradicts the stored numbers — the entry is retired and the
+/// request recomputed.
+#[test]
+fn stale_store_entry_is_retired_not_served_inconsistently() {
+    use autophase_passes::checked::FuelBudget;
+    use autophase_serve::store::{BestEntry, BestStore};
+
+    let store = tmp_store("stale");
+    let ir = autophase_ir::printer::print_module(&autophase_benchmarks::kernels::gsm());
+    let module = autophase_ir::parser::parse_module(&ir).unwrap();
+    let fp = autophase_core::eval_cache::fingerprint_module(&module);
+    // Plant an entry whose single pass cannot apply under a one-inst
+    // fuel ceiling (gsm is far bigger than one instruction).
+    let pass = (0..autophase_passes::registry::pass_count())
+        .find(|&p| p != autophase_passes::registry::TERMINATE)
+        .expect("registry has a real pass");
+    {
+        let mut s = BestStore::open(&store).unwrap();
+        s.record(
+            fp,
+            BestEntry {
+                cycles: 1,
+                baseline_cycles: 2,
+                seq: vec![pass as u16],
+            },
+        )
+        .unwrap();
+    }
+    let cfg = ServerConfig {
+        store_path: store.clone(),
+        fuel: FuelBudget {
+            max_insts: 1,
+            max_fixpoint_iters: 1,
+        },
+        ..ServerConfig::default()
+    };
+    let server = Server::start(test_policy(), cfg).expect("server starts");
+    let mut client = Client::connect(server.addr()).expect("connect");
+    client
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+
+    // Numbers-only requests serve the hit as-is: no IR, nothing to
+    // contradict.
+    let reply = client
+        .compile(&ir, Some(60_000), false)
+        .expect("numbers-only hit");
+    assert_eq!(reply.source, Source::Store);
+    assert_eq!(reply.cycles, 1);
+
+    // Asking for IR forces the replay, which faults on fuel: the reply
+    // must come from a recompute, never pair fresh IR with cycles=1.
+    let reply = client.compile(&ir, Some(60_000), true).expect("recompute");
+    assert_ne!(reply.source, Source::Store, "stale entry was served");
+    let ir_back = reply.ir.expect("asked for IR");
+    autophase_ir::parser::parse_module(&ir_back).expect("served IR parses");
+    assert!(reply.cycles > 1, "cycles must be recomputed, not inherited");
+
+    // The recompute re-populated the store with a replayable entry.
+    let reply = client.compile(&ir, Some(60_000), true).expect("warm again");
+    assert_eq!(reply.source, Source::Store, "recomputed entry not stored");
+    assert!(reply.ir.is_some());
+    server.shutdown();
+    let _ = std::fs::remove_file(&store);
+}
+
+/// Connections beyond `max_conns` get a typed `overloaded` refusal, and
+/// closing a connection frees its slot.
+#[test]
+fn connection_cap_refuses_with_overloaded() {
+    let store = tmp_store("conncap");
+    let cfg = ServerConfig {
+        store_path: store.clone(),
+        max_conns: 1,
+        ..ServerConfig::default()
+    };
+    let server = Server::start(test_policy(), cfg).expect("server starts");
+    let mut c1 = Client::connect(server.addr()).expect("connect");
+    c1.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+    c1.ping().expect("first connection serves");
+
+    let mut c2 = Client::connect(server.addr()).expect("tcp connect still works");
+    c2.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+    match c2.ping() {
+        Err(autophase_serve::client::ClientError::Server { kind, .. }) => {
+            assert_eq!(kind, ErrKind::Overloaded);
+        }
+        other => panic!("expected overloaded refusal, got {other:?}"),
+    }
+
+    // Closing the first connection frees the slot (the handler notices
+    // the hangup asynchronously, so poll briefly).
+    drop(c1);
+    drop(c2);
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    loop {
+        let mut c3 = Client::connect(server.addr()).expect("connect");
+        c3.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+        if c3.ping().is_ok() {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "connection slot never freed"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    server.shutdown();
+    let _ = std::fs::remove_file(&store);
+}
+
 /// A deadline that has effectively already passed is answered with the
 /// typed `deadline` refusal, not silence.
 #[test]
