@@ -3,9 +3,9 @@
 
 CARGO ?= cargo
 
-.PHONY: ci build test clippy fmt fmt-fix bench telemetry chaos perf-smoke serve-smoke
+.PHONY: ci build test clippy fmt fmt-fix bench telemetry chaos perf-smoke serve-smoke corpus-smoke
 
-ci: build test telemetry chaos perf-smoke serve-smoke clippy fmt
+ci: build test telemetry chaos perf-smoke serve-smoke corpus-smoke clippy fmt
 
 build:
 	$(CARGO) build --release
@@ -48,6 +48,13 @@ bench:
 # shutdown, and the persistent store surviving a restart.
 serve-smoke:
 	$(CARGO) test -q --release -p autophase-serve --test smoke
+
+# Corpus smoke (DESIGN.md §4h): build a 200-program deduplicated
+# corpus, verify the manifest regenerates it bit-identically, and
+# replay it store-cold through a live serve daemon. Stays under a
+# minute end to end.
+corpus-smoke:
+	$(CARGO) run --release -p autophase-bench --bin corpus_bench -- --smoke
 
 # Incremental-evaluation perf gate (DESIGN.md §4f): the differential
 # suite proves the per-function caches are bit-invisible across every

@@ -35,6 +35,9 @@ pub enum Scale {
     Small,
     /// Minutes-scale run with meaningful statistics.
     Medium,
+    /// Corpus-scale run (≥10k programs) that stays short of the paper's
+    /// full sample counts; the corpus bench's acceptance scale.
+    Large,
     /// Hours-scale run approaching the paper's sample counts.
     Paper,
 }
@@ -47,6 +50,7 @@ impl Scale {
             if w[0] == "--scale" {
                 return match w[1].as_str() {
                     "paper" => Scale::Paper,
+                    "large" => Scale::Large,
                     "medium" => Scale::Medium,
                     _ => Scale::Small,
                 };
@@ -55,11 +59,22 @@ impl Scale {
         Scale::Small
     }
 
-    /// Scale-dependent pick.
+    /// Scale-dependent pick. Binaries predating the `large` tier treat
+    /// it as `medium` (their workloads have no corpus-scale knob).
     pub fn pick<T>(self, small: T, medium: T, paper: T) -> T {
         match self {
             Scale::Small => small,
+            Scale::Medium | Scale::Large => medium,
+            Scale::Paper => paper,
+        }
+    }
+
+    /// Four-tier pick for binaries with a distinct corpus-scale setting.
+    pub fn pick4<T>(self, small: T, medium: T, large: T, paper: T) -> T {
+        match self {
+            Scale::Small => small,
             Scale::Medium => medium,
+            Scale::Large => large,
             Scale::Paper => paper,
         }
     }

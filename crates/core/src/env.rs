@@ -4,8 +4,8 @@ use crate::eval_cache::{fingerprint_module, CacheEntry, CacheKey, EvalCache, Seq
 use crate::incremental::{IncrementalEval, ProfileMemo, SnapEntry, SnapshotMemo};
 use crate::quarantine::Quarantine;
 use autophase_features::{
-    extract, filter_features, log_normalize, normalize_to_inst_count, FeatureVector,
-    FILTERED_FEATURES, NUM_FEATURES,
+    extract, extract_structural, filter_features, log_normalize, normalize_to_inst_count,
+    FeatureSet, FeatureVector, FILTERED_FEATURES, NUM_FEATURES, NUM_STRUCTURAL_FEATURES,
 };
 use autophase_hls::{
     profile::{profile_module, profile_module_cached, HlsReport},
@@ -89,6 +89,13 @@ pub struct EnvConfig {
     pub episode_len: usize,
     /// Restrict features to the §4-filtered subset.
     pub filtered_features: bool,
+    /// Which feature vector the observation carries. `Table2` is the
+    /// paper's 56 counts; `Structural` appends the CFG/loop/dominator
+    /// shape block (`autophase_features::structural`) so the corpus bench
+    /// can ablate whether graph-shape features shrink the unseen-program
+    /// gap. The §4 filter applies only to the Table-2 prefix; the
+    /// structural block is never filtered.
+    pub feature_set: FeatureSet,
     /// Restrict actions to the §4-filtered impactful passes.
     pub filtered_passes: bool,
     /// Expose Table 1's `-terminate` pseudo-action (index 45): choosing it
@@ -125,6 +132,7 @@ impl Default for EnvConfig {
             reward: RewardKind::Raw,
             episode_len: 45,
             filtered_features: false,
+            feature_set: FeatureSet::Table2,
             filtered_passes: false,
             include_terminate: false,
             objective: Objective::Cycles,
@@ -613,6 +621,9 @@ impl PhaseOrderEnv {
         }
         let served = match (&self.cache, &self.cfg.observation) {
             (_, ObservationKind::ActionHistory) => true,
+            // Structural features are extracted from the module itself —
+            // no cache stores them, so the state must be materialized.
+            _ if self.cfg.feature_set == FeatureSet::Structural => false,
             (Some(cache), _) => {
                 let key = CacheKey {
                     program: self.current_fp,
@@ -627,13 +638,20 @@ impl PhaseOrderEnv {
         }
     }
 
-    /// Number of feature slots in the observation.
+    /// Number of feature slots in the observation: the (possibly
+    /// filtered) Table-2 prefix, plus the structural block when the
+    /// config selects the `Structural` feature set.
     fn feature_len(&self) -> usize {
-        if self.cfg.filtered_features {
+        let base = if self.cfg.filtered_features {
             FILTERED_FEATURES.len()
         } else {
             NUM_FEATURES
-        }
+        };
+        let extension = match self.cfg.feature_set {
+            FeatureSet::Table2 => 0,
+            FeatureSet::Structural => NUM_STRUCTURAL_FEATURES,
+        };
+        base + extension
     }
 
     /// Raw Table-2 features of the current state. With a cache attached,
@@ -668,11 +686,32 @@ impl PhaseOrderEnv {
             FeatureNorm::Log => log_normalize(&raw),
             FeatureNorm::InstCount => normalize_to_inst_count(&raw),
         };
-        if self.cfg.filtered_features {
+        let mut out = if self.cfg.filtered_features {
             filter_features(&normed)
         } else {
             normed
+        };
+        if self.cfg.feature_set == FeatureSet::Structural {
+            // The caches and the incremental state only carry the 56-wide
+            // Table-2 vector; the structural block always walks the
+            // materialized module (`ensure_observable` guarantees
+            // `current` is up to date before any observation). The same
+            // normalization applies, with InstCount dividing by the raw
+            // total instruction count (feature 51), and the §4 filter
+            // never applies — the block is already importance-selected.
+            let s = extract_structural(&self.current);
+            match self.cfg.feature_norm {
+                FeatureNorm::Raw => out.extend(s.iter().map(|&x| x as f64)),
+                FeatureNorm::Log => {
+                    out.extend(s.iter().map(|&x| (1.0 + x.max(0) as f64).ln()));
+                }
+                FeatureNorm::InstCount => {
+                    let total = raw[51].max(1) as f64;
+                    out.extend(s.iter().map(|&x| x as f64 / total));
+                }
+            }
         }
+        out
     }
 
     fn observe(&mut self) -> Vec<f64> {
@@ -1144,6 +1183,66 @@ mod tests {
             o.len(),
             autophase_features::FILTERED_FEATURES.len() + FILTERED_PASSES.len()
         );
+    }
+
+    #[test]
+    fn structural_feature_set_widens_observation() {
+        let cfg = EnvConfig {
+            observation: ObservationKind::Combined,
+            feature_norm: FeatureNorm::InstCount,
+            filtered_features: true,
+            filtered_passes: true,
+            feature_set: FeatureSet::Structural,
+            ..EnvConfig::default()
+        };
+        let mut env = PhaseOrderEnv::single(small_program(), cfg.clone());
+        let expected = autophase_features::FILTERED_FEATURES.len()
+            + NUM_STRUCTURAL_FEATURES
+            + FILTERED_PASSES.len();
+        assert_eq!(env.observation_dim(), expected);
+        let o = env.reset();
+        assert_eq!(o.len(), expected);
+        // The Table-2 prefix must be unchanged relative to the plain set:
+        // the structural block strictly extends, never reshuffles.
+        let base_cfg = EnvConfig {
+            feature_set: FeatureSet::Table2,
+            ..cfg
+        };
+        let mut base = PhaseOrderEnv::single(small_program(), base_cfg);
+        let ob = base.reset();
+        let prefix = autophase_features::FILTERED_FEATURES.len();
+        assert_eq!(&o[..prefix], &ob[..prefix]);
+        // Observations stay consistent while stepping (the structural
+        // block is extracted from the materialized module each step).
+        let mem2reg = env.action_passes().iter().position(|&p| p == 38).unwrap();
+        let r = env.step(mem2reg);
+        assert_eq!(r.observation.len(), expected);
+        assert!(r.observation.iter().all(|x| x.is_finite()));
+    }
+
+    #[test]
+    fn structural_observation_identical_with_and_without_incremental() {
+        for norm in [FeatureNorm::Raw, FeatureNorm::Log, FeatureNorm::InstCount] {
+            let mk = |incremental| EnvConfig {
+                observation: ObservationKind::ProgramFeatures,
+                feature_norm: norm,
+                feature_set: FeatureSet::Structural,
+                incremental,
+                ..EnvConfig::default()
+            };
+            let mut a = PhaseOrderEnv::single(small_program(), mk(true));
+            let mut b = PhaseOrderEnv::single(small_program(), mk(false));
+            let (oa, ob) = (a.reset(), b.reset());
+            assert_eq!(oa, ob, "reset observation diverged under {norm:?}");
+            for pass in [38, 31, 7] {
+                let ra = a.step(pass);
+                let rb = b.step(pass);
+                assert_eq!(
+                    ra.observation, rb.observation,
+                    "pass {pass} observation diverged under {norm:?}"
+                );
+            }
+        }
     }
 
     #[test]

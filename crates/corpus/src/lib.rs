@@ -1,0 +1,32 @@
+//! Corpus-scale program generation (the paper's §6.2 substrate).
+//!
+//! The paper validates generalization on 12,874 random programs; this
+//! crate materializes that kind of corpus reproducibly. [`build_corpus`]
+//! drives [`autophase_progen`] across worker threads, fingerprints every
+//! candidate, and dedups to the first `target` *distinct* verified
+//! programs — with a result that is bit-identical for any worker count,
+//! because candidates are claimed from a shared index counter and the
+//! dedup keeps the lowest candidate index per fingerprint, both of which
+//! are worker-schedule-independent.
+//!
+//! The corpus is committed as a **manifest, not IR blobs**: the
+//! [`manifest`] module defines the versioned `CORPUS1` text format
+//! (base seed, generator parameters, and per-program
+//! seed/fingerprint/size/checksum records). Because `progen` is
+//! deterministic in the seed (a property pinned by
+//! `crates/progen/tests/seed_stability.rs`), the manifest alone
+//! regenerates every program bit-identically; the fingerprint and
+//! checksum fields make any drift loud instead of silent.
+//!
+//! Telemetry: the pipeline counts `corpus.gen.generated`,
+//! `corpus.gen.duplicate`, and `corpus.gen.kept` so a `--telemetry` bench
+//! run shows the dedup rate at scale.
+#![warn(missing_docs)]
+
+pub mod build;
+pub mod manifest;
+
+pub use build::{build_corpus, Corpus, CorpusConfig, CorpusProgram};
+pub use manifest::{
+    parse_manifest, regenerate_entry, write_manifest, Manifest, ManifestEntry, MANIFEST_MAGIC,
+};

@@ -1,0 +1,322 @@
+//! The versioned `CORPUS1` manifest format.
+//!
+//! A corpus is committed as text, not IR blobs:
+//!
+//! ```text
+//! CORPUS1 base_seed=<u64> n=<count>
+//! G <GenConfig key=value pairs>
+//! P idx=<u64> seed=<u64> fp=<16-hex> insts=<u64> funcs=<u64> sum=<16-hex>
+//! ...
+//! ```
+//!
+//! `fp` is the structural module fingerprint (the dedup key), `sum` the
+//! fnv1a of the printed module text. Because generation is deterministic
+//! in the seed, [`regenerate_entry`] rebuilds each program from its
+//! record alone and verifies both hashes plus the size counts — a
+//! manifest either regenerates bit-identically or fails loudly.
+
+use crate::build::{Corpus, CorpusProgram};
+use autophase_ir::fingerprint::{fingerprint_module, fnv1a};
+use autophase_ir::printer::print_module;
+use autophase_ir::Module;
+use autophase_progen::{generate_valid, GenConfig};
+use std::fmt::Write as _;
+
+/// First token of a valid manifest; bump on any format change.
+pub const MANIFEST_MAGIC: &str = "CORPUS1";
+
+/// One program record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ManifestEntry {
+    /// Candidate index in the generation order.
+    pub index: u64,
+    /// The progen seed.
+    pub seed: u64,
+    /// Structural module fingerprint.
+    pub fingerprint: u64,
+    /// Total instruction count.
+    pub insts: u64,
+    /// Function count.
+    pub funcs: u64,
+    /// fnv1a of the printed module text.
+    pub checksum: u64,
+}
+
+/// A parsed manifest.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Manifest {
+    /// Base seed of the corpus.
+    pub base_seed: u64,
+    /// Generator parameters.
+    pub gen: GenConfig,
+    /// Program records, ascending candidate index.
+    pub entries: Vec<ManifestEntry>,
+}
+
+/// Serialize a corpus to `CORPUS1` text.
+pub fn write_manifest(corpus: &Corpus) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{MANIFEST_MAGIC} base_seed={} n={}",
+        corpus.cfg.base_seed,
+        corpus.programs.len()
+    );
+    let _ = writeln!(out, "G {}", corpus.cfg.gen.to_kv());
+    for p in &corpus.programs {
+        let _ = writeln!(
+            out,
+            "P idx={} seed={} fp={:016x} insts={} funcs={} sum={:016x}",
+            p.index, p.seed, p.fingerprint, p.insts, p.funcs, p.checksum
+        );
+    }
+    out
+}
+
+fn field<'a>(token: &'a str, key: &str, line: &str) -> Result<&'a str, String> {
+    match token.split_once('=') {
+        Some((k, v)) if k == key => Ok(v),
+        _ => Err(format!("expected {key}=... in {line:?}")),
+    }
+}
+
+fn parse_u64(s: &str, what: &str) -> Result<u64, String> {
+    s.parse().map_err(|e| format!("{what}: {e}"))
+}
+
+fn parse_hex(s: &str, what: &str) -> Result<u64, String> {
+    u64::from_str_radix(s, 16).map_err(|e| format!("{what}: {e}"))
+}
+
+/// Parse `CORPUS1` text.
+///
+/// # Errors
+///
+/// A message naming the malformed line: wrong magic, bad generator
+/// parameters, malformed record, record-count mismatch, or indices out
+/// of order.
+pub fn parse_manifest(text: &str) -> Result<Manifest, String> {
+    let mut lines = text.lines().filter(|l| !l.trim().is_empty());
+    let header = lines.next().ok_or("empty manifest")?;
+    let mut toks = header.split_whitespace();
+    if toks.next() != Some(MANIFEST_MAGIC) {
+        return Err(format!("bad magic in {header:?} (want {MANIFEST_MAGIC})"));
+    }
+    let base_seed = parse_u64(
+        field(toks.next().ok_or("truncated header")?, "base_seed", header)?,
+        "base_seed",
+    )?;
+    let n = parse_u64(
+        field(toks.next().ok_or("truncated header")?, "n", header)?,
+        "n",
+    )? as usize;
+
+    let gen_line = lines.next().ok_or("missing generator-parameters line")?;
+    let gen_kv = gen_line
+        .strip_prefix("G ")
+        .ok_or_else(|| format!("expected generator line, got {gen_line:?}"))?;
+    let gen = GenConfig::from_kv(gen_kv)?;
+
+    let mut entries = Vec::with_capacity(n);
+    for line in lines {
+        let rest = line
+            .strip_prefix("P ")
+            .ok_or_else(|| format!("expected program record, got {line:?}"))?;
+        let mut toks = rest.split_whitespace();
+        let mut next = |key: &str| -> Result<&str, String> {
+            field(
+                toks.next()
+                    .ok_or_else(|| format!("truncated record {line:?}"))?,
+                key,
+                line,
+            )
+        };
+        let entry = ManifestEntry {
+            index: parse_u64(next("idx")?, "idx")?,
+            seed: parse_u64(next("seed")?, "seed")?,
+            fingerprint: parse_hex(next("fp")?, "fp")?,
+            insts: parse_u64(next("insts")?, "insts")?,
+            funcs: parse_u64(next("funcs")?, "funcs")?,
+            checksum: parse_hex(next("sum")?, "sum")?,
+        };
+        if let Some(prev) = entries.last() {
+            let prev: &ManifestEntry = prev;
+            if entry.index <= prev.index {
+                return Err(format!(
+                    "record indices out of order: {} after {}",
+                    entry.index, prev.index
+                ));
+            }
+        }
+        entries.push(entry);
+    }
+    if entries.len() != n {
+        return Err(format!(
+            "header promises {n} records, found {}",
+            entries.len()
+        ));
+    }
+    Ok(Manifest {
+        base_seed,
+        gen,
+        entries,
+    })
+}
+
+/// Regenerate one program from its manifest record and verify its
+/// identity: fingerprint, instruction/function counts, and printed-text
+/// checksum must all match what the manifest pinned.
+///
+/// # Errors
+///
+/// A message naming the first mismatched field — any drift between the
+/// generator that wrote the manifest and the one replaying it is loud.
+pub fn regenerate_entry(gen: &GenConfig, entry: &ManifestEntry) -> Result<Module, String> {
+    let module = generate_valid(gen, entry.seed);
+    let fp = fingerprint_module(&module);
+    if fp != entry.fingerprint {
+        return Err(format!(
+            "seed {}: fingerprint {:016x} != manifest {:016x}",
+            entry.seed, fp, entry.fingerprint
+        ));
+    }
+    let insts: u64 = module
+        .func_ids()
+        .map(|f| module.func(f).num_insts() as u64)
+        .sum();
+    if insts != entry.insts {
+        return Err(format!(
+            "seed {}: {} insts != manifest {}",
+            entry.seed, insts, entry.insts
+        ));
+    }
+    let funcs = module.func_ids().count() as u64;
+    if funcs != entry.funcs {
+        return Err(format!(
+            "seed {}: {} funcs != manifest {}",
+            entry.seed, funcs, entry.funcs
+        ));
+    }
+    let sum = fnv1a(print_module(&module).as_bytes());
+    if sum != entry.checksum {
+        return Err(format!(
+            "seed {}: checksum {:016x} != manifest {:016x}",
+            entry.seed, sum, entry.checksum
+        ));
+    }
+    Ok(module)
+}
+
+impl Manifest {
+    /// Regenerate and verify every program.
+    ///
+    /// # Errors
+    ///
+    /// The first [`regenerate_entry`] failure.
+    pub fn regenerate(&self) -> Result<Vec<Module>, String> {
+        self.entries
+            .iter()
+            .map(|e| regenerate_entry(&self.gen, e))
+            .collect()
+    }
+}
+
+impl Corpus {
+    /// The manifest view of a built corpus.
+    pub fn manifest(&self) -> Manifest {
+        Manifest {
+            base_seed: self.cfg.base_seed,
+            gen: self.cfg.gen.clone(),
+            entries: self.programs.iter().map(CorpusProgram::entry).collect(),
+        }
+    }
+}
+
+impl CorpusProgram {
+    /// The manifest record of this program.
+    pub fn entry(&self) -> ManifestEntry {
+        ManifestEntry {
+            index: self.index,
+            seed: self.seed,
+            fingerprint: self.fingerprint,
+            insts: self.insts,
+            funcs: self.funcs,
+            checksum: self.checksum,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::{build_corpus, CorpusConfig};
+
+    fn tiny() -> Corpus {
+        build_corpus(&CorpusConfig {
+            target: 5,
+            ..CorpusConfig::default()
+        })
+    }
+
+    #[test]
+    fn manifest_round_trips_through_text() {
+        let corpus = tiny();
+        let text = write_manifest(&corpus);
+        assert!(text.starts_with("CORPUS1 "));
+        let parsed = parse_manifest(&text).unwrap();
+        assert_eq!(parsed, corpus.manifest());
+        // Idempotent: writing the parsed form reproduces the text.
+        let again = {
+            let c2 = Corpus {
+                cfg: corpus.cfg.clone(),
+                programs: corpus.programs.clone(),
+                generated: corpus.generated,
+            };
+            write_manifest(&c2)
+        };
+        assert_eq!(text, again);
+    }
+
+    #[test]
+    fn regeneration_is_bit_identical() {
+        let corpus = tiny();
+        let manifest = parse_manifest(&write_manifest(&corpus)).unwrap();
+        let programs = manifest.regenerate().unwrap();
+        assert_eq!(programs.len(), corpus.programs.len());
+        for (orig, regen) in corpus.programs.iter().zip(&programs) {
+            assert_eq!(
+                print_module(&orig.module),
+                print_module(regen),
+                "manifest must regenerate the exact program"
+            );
+        }
+    }
+
+    #[test]
+    fn tampered_manifests_fail_loudly() {
+        let corpus = tiny();
+        let text = write_manifest(&corpus);
+
+        let bad_magic = text.replace("CORPUS1", "CORPUS9");
+        assert!(parse_manifest(&bad_magic).unwrap_err().contains("magic"));
+
+        // Flip a checksum digit: parse succeeds, regeneration refuses.
+        let entry = &corpus.programs[0];
+        let sum = format!("sum={:016x}", entry.checksum);
+        let flipped = format!("sum={:016x}", entry.checksum ^ 1);
+        let tampered = text.replace(&sum, &flipped);
+        let manifest = parse_manifest(&tampered).unwrap();
+        let err = regenerate_entry(&manifest.gen, &manifest.entries[0]).unwrap_err();
+        assert!(err.contains("checksum"), "{err}");
+
+        // Wrong seed for a pinned fingerprint: refused.
+        let mut wrong = corpus.programs[1].entry();
+        wrong.seed = wrong.seed.wrapping_add(1);
+        let err = regenerate_entry(&corpus.cfg.gen, &wrong).unwrap_err();
+        assert!(err.contains("fingerprint"), "{err}");
+
+        // Record-count mismatch.
+        let truncated: String = text.lines().take(3).map(|l| format!("{l}\n")).collect();
+        assert!(parse_manifest(&truncated).unwrap_err().contains("promises"));
+    }
+}

@@ -37,9 +37,13 @@
 pub mod extract;
 pub mod incremental;
 pub mod normalize;
+pub mod structural;
 
 pub use extract::{extract, extract_function, feature_names, FeatureVector, NUM_FEATURES};
 pub use incremental::IncrementalFeatures;
 pub use normalize::{
     filter_features, inst_count_filtered, log_normalize, normalize_to_inst_count, FILTERED_FEATURES,
+};
+pub use structural::{
+    extract_set, extract_structural, structural_feature_names, FeatureSet, NUM_STRUCTURAL_FEATURES,
 };

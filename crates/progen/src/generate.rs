@@ -150,7 +150,10 @@ fn gen_main(
     });
     scope.array = Some((arr, arr_len));
 
-    let n_stmts = rng.gen_range(2..=cfg.max_stmts);
+    // Clamp so degenerate configs (max_stmts == 1) stay in the sampler's
+    // domain instead of panicking; the drawn range is unchanged for every
+    // config the clamp doesn't bite.
+    let n_stmts = rng.gen_range(2..=cfg.max_stmts.max(2));
     for _ in 0..n_stmts {
         gen_stmt(&mut b, cfg, rng, &mut scope, helpers, table_g, 0);
     }

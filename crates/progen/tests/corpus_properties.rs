@@ -1,0 +1,94 @@
+//! Corpus-wide validity properties.
+//!
+//! Every program the corpus pipeline can emit must (a) pass the IR
+//! verifier, (b) terminate inside the filter's fuel budget, and (c)
+//! survive a lossless round trip through the wire printer/parser — the
+//! serve daemon receives corpus programs as text, so printer/parser
+//! fidelity is part of the corpus contract, not a nicety. Properties
+//! range over generator parameters, not just the stock configs.
+
+use autophase_ir::fingerprint::fingerprint_module;
+use autophase_ir::parser::parse_module;
+use autophase_ir::printer::print_module;
+use autophase_ir::verify::verify_module;
+use autophase_progen::{generate_valid, GenConfig};
+use proptest::prelude::*;
+
+#[allow(clippy::too_many_arguments)]
+fn config_from(
+    max_helpers: usize,
+    max_stmts: usize,
+    max_loop_depth: usize,
+    max_trip: i64,
+    max_expr_depth: usize,
+    num_locals: usize,
+    max_array: u32,
+) -> GenConfig {
+    GenConfig {
+        max_helpers,
+        max_stmts,
+        max_loop_depth,
+        max_trip,
+        max_expr_depth,
+        num_locals,
+        max_array,
+        filter_fuel: 2_000_000,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// Corpus programs verify and round-trip losslessly through the wire
+    /// format: parse(print(m)) prints identically and fingerprints
+    /// identically, and the reparsed module verifies too.
+    #[test]
+    fn generated_programs_verify_and_round_trip(
+        knobs in (0usize..=3, 1usize..=10, 1usize..=3, 4i64..=32),
+        shape in (1usize..=4, 1usize..=6, 4u32..=32),
+        seed in 0u64..1_000_000,
+    ) {
+        let (max_helpers, max_stmts, max_loop_depth, max_trip) = knobs;
+        let (max_expr_depth, num_locals, max_array) = shape;
+        let cfg = config_from(
+            max_helpers, max_stmts, max_loop_depth, max_trip,
+            max_expr_depth, num_locals, max_array,
+        );
+        let m = generate_valid(&cfg, seed);
+        prop_assert!(verify_module(&m).is_ok(), "generated module must verify");
+
+        let text = print_module(&m);
+        let reparsed = parse_module(&text).expect("wire text must parse back");
+        prop_assert!(verify_module(&reparsed).is_ok(), "reparsed module must verify");
+        prop_assert_eq!(
+            print_module(&reparsed),
+            text,
+            "printer/parser round trip must be lossless"
+        );
+        prop_assert_eq!(
+            fingerprint_module(&reparsed),
+            fingerprint_module(&m),
+            "round trip must preserve the structural fingerprint"
+        );
+    }
+
+    /// The validity filter's own promise: the program runs to completion
+    /// within the configured fuel and does nontrivial work.
+    #[test]
+    fn generated_programs_terminate_with_work(
+        knobs in (0usize..=3, 1usize..=10, 1usize..=3, 4i64..=32),
+        shape in (1usize..=4, 1usize..=6, 4u32..=32),
+        seed in 0u64..1_000_000,
+    ) {
+        let (max_helpers, max_stmts, max_loop_depth, max_trip) = knobs;
+        let (max_expr_depth, num_locals, max_array) = shape;
+        let cfg = config_from(
+            max_helpers, max_stmts, max_loop_depth, max_trip,
+            max_expr_depth, num_locals, max_array,
+        );
+        let m = generate_valid(&cfg, seed);
+        let trace = autophase_ir::interp::run_main(&m, cfg.filter_fuel)
+            .expect("filtered program must terminate in fuel");
+        prop_assert!(trace.insts_executed > 10, "filter demands nontrivial work");
+    }
+}

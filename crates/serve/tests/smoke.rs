@@ -146,6 +146,88 @@ fn mixed_load_chaos_and_restart() {
     let _ = std::fs::remove_file(&store);
 }
 
+/// A 50-program progen mini-corpus through a live daemon: the cold pass
+/// answers every request (zero drops — corpus programs are exactly what
+/// the daemon will see at scale, not the 9 curated kernels), and the
+/// warm replay is served entirely from store hits without a single
+/// recompute.
+#[test]
+fn mini_corpus_replays_with_zero_drops_and_full_store_warmth() {
+    use autophase_corpus::{build_corpus, CorpusConfig};
+
+    let corpus = build_corpus(&CorpusConfig {
+        target: 50,
+        workers: 2,
+        ..CorpusConfig::default()
+    });
+    assert_eq!(corpus.programs.len(), 50);
+    let programs: Vec<String> = corpus
+        .programs
+        .iter()
+        .map(|p| autophase_ir::printer::print_module(&p.module))
+        .collect();
+
+    let store = tmp_store("minicorpus");
+    let server = start_server(&store, false);
+    let addr = server.addr();
+
+    // Cold: two concurrent clients split the corpus. Every request must
+    // be answered (no drops, no refusals) and no fingerprint repeats, so
+    // nothing can be a store hit.
+    let mut handles = Vec::new();
+    for (t, half) in programs.chunks(25).enumerate() {
+        let half: Vec<String> = half.to_vec();
+        handles.push(std::thread::spawn(move || {
+            let mut client = Client::connect(addr).expect("connect");
+            client
+                .set_read_timeout(Some(Duration::from_secs(60)))
+                .unwrap();
+            for (i, ir) in half.iter().enumerate() {
+                let reply = client
+                    .compile(ir, Some(120_000), false)
+                    .unwrap_or_else(|e| panic!("cold compile t{t} p{i} dropped: {e}"));
+                assert_eq!(reply.source, Source::Policy, "t{t} p{i}: corpus is deduped");
+                assert!(reply.baseline_cycles > 0);
+                assert!(
+                    reply.cycles <= reply.baseline_cycles * 2,
+                    "t{t} p{i} absurd"
+                );
+            }
+        }));
+    }
+    for h in handles {
+        h.join().expect("cold client panicked");
+    }
+    assert_eq!(
+        server.store_len(),
+        programs.len(),
+        "every corpus program must land in the store"
+    );
+
+    // Warm: the whole corpus again on one connection — all store hits.
+    let mut client = Client::connect(addr).expect("connect");
+    client
+        .set_read_timeout(Some(Duration::from_secs(60)))
+        .unwrap();
+    for (i, ir) in programs.iter().enumerate() {
+        let reply = client
+            .compile(ir, Some(120_000), false)
+            .unwrap_or_else(|e| panic!("warm compile p{i} dropped: {e}"));
+        assert_eq!(
+            reply.source,
+            Source::Store,
+            "p{i} recomputed on warm replay"
+        );
+    }
+    assert_eq!(
+        server.store_len(),
+        programs.len(),
+        "warm replay must not grow the store"
+    );
+    server.shutdown();
+    let _ = std::fs::remove_file(&store);
+}
+
 /// Garbage on the wire gets a typed refusal, and the connection after it
 /// still serves real requests on a fresh client.
 #[test]

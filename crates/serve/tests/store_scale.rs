@@ -1,0 +1,165 @@
+//! APSTORE1 at corpus scale: 10k distinct fingerprints.
+//!
+//! The serve store was built against a 9-program benchmark suite; the
+//! corpus harness points ~10k distinct programs at it. These tests pin
+//! the properties that matter at that size:
+//!
+//! * a 10k-entry log reopens complete and intact (nothing dropped, no
+//!   torn-tail false positives, every entry retrievable);
+//! * the log is exactly as large as its live records — reopen work is
+//!   O(bytes of appended records), and the byte count is pinned by
+//!   formula, so any future compaction/GC change (ROADMAP item 1) that
+//!   alters the on-disk footprint must update this test consciously;
+//! * insert-if-strictly-better churn appends **only** winning records:
+//!   rejected (equal-or-worse) inserts leave the file byte-identical.
+
+use autophase_serve::store::{BestEntry, BestStore};
+use std::path::PathBuf;
+
+fn tmp(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "autophase_store_scale_{}_{name}.log",
+        std::process::id()
+    ))
+}
+
+/// On-disk size of one record: len u32 + payload (26 + 2n) + checksum u64.
+fn record_size(seq_len: usize) -> u64 {
+    (4 + 26 + 2 * seq_len + 8) as u64
+}
+
+const MAGIC_LEN: u64 = 8;
+
+fn entry_for(fp: u64) -> BestEntry {
+    BestEntry {
+        cycles: 1_000 + (fp % 977),
+        baseline_cycles: 5_000 + (fp % 977),
+        // Sequence length varies 0..=11 so the size formula is exercised
+        // across lengths, not just one record shape.
+        seq: (0..(fp % 12) as u16).map(|i| i * 3 % 46).collect(),
+    }
+}
+
+#[test]
+fn ten_thousand_fingerprints_reopen_complete() {
+    const N: u64 = 10_000;
+    let path = tmp("10k");
+    let _ = std::fs::remove_file(&path);
+
+    let mut expected_bytes = MAGIC_LEN;
+    {
+        let mut s = BestStore::open(&path).unwrap();
+        for fp in 0..N {
+            let e = entry_for(fp);
+            expected_bytes += record_size(e.seq.len());
+            assert!(s.record(fp, e).unwrap(), "fp {fp} is fresh, must store");
+        }
+        assert_eq!(s.len(), N as usize);
+    }
+    assert_eq!(
+        std::fs::metadata(&path).unwrap().len(),
+        expected_bytes,
+        "log holds exactly the appended records — nothing more"
+    );
+
+    let reopened = BestStore::open(&path).unwrap();
+    assert!(!reopened.dropped_on_open(), "clean log, nothing dropped");
+    assert_eq!(reopened.len(), N as usize, "every fingerprint survives");
+    for fp in [0, 1, N / 2, N - 2, N - 1] {
+        assert_eq!(
+            reopened.lookup(fp),
+            Some(&entry_for(fp)),
+            "entry {fp} intact after reopen"
+        );
+    }
+    // Reopen must not grow, shrink, or rewrite the file.
+    assert_eq!(std::fs::metadata(&path).unwrap().len(), expected_bytes);
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn churn_appends_only_strictly_better_records() {
+    let path = tmp("churn");
+    let _ = std::fs::remove_file(&path);
+    const FPS: u64 = 200;
+
+    let mut s = BestStore::open(&path).unwrap();
+    let mut expected_bytes = MAGIC_LEN;
+    // Seed every fingerprint at 1000 cycles with a 4-pass sequence.
+    for fp in 0..FPS {
+        let e = BestEntry {
+            cycles: 1_000,
+            baseline_cycles: 4_000,
+            seq: vec![1, 2, 3, 4],
+        };
+        expected_bytes += record_size(4);
+        assert!(s.record(fp, e).unwrap());
+    }
+
+    // Churn: per fingerprint, one worse, one equal, one better insert.
+    // Exactly the better one may append.
+    for fp in 0..FPS {
+        let worse = BestEntry {
+            cycles: 2_000,
+            baseline_cycles: 4_000,
+            seq: vec![9; 8],
+        };
+        let equal = BestEntry {
+            cycles: 1_000,
+            baseline_cycles: 4_000,
+            seq: vec![8; 2],
+        };
+        let better = BestEntry {
+            cycles: 900,
+            baseline_cycles: 4_000,
+            seq: vec![5, 6],
+        };
+        assert!(!s.record(fp, worse).unwrap(), "worse must be rejected");
+        assert!(!s.record(fp, equal).unwrap(), "equal must be rejected");
+        assert!(s.record(fp, better).unwrap(), "better must land");
+        expected_bytes += record_size(2);
+    }
+
+    // The size regression pin: rejected inserts contributed zero bytes.
+    assert_eq!(
+        std::fs::metadata(&path).unwrap().len(),
+        expected_bytes,
+        "log grew beyond its strictly-better appends"
+    );
+
+    // Replay rebuilds the post-churn index: the 900-cycle records win.
+    drop(s);
+    let s = BestStore::open(&path).unwrap();
+    assert_eq!(s.len(), FPS as usize);
+    for fp in 0..FPS {
+        let e = s.lookup(fp).unwrap();
+        assert_eq!(e.cycles, 900, "fp {fp} must serve the churn winner");
+        assert_eq!(e.seq, vec![5, 6]);
+    }
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn reopen_scales_with_log_bytes_not_rescans() {
+    // A coarse wall-clock sanity check that reopen is a single linear
+    // replay: opening a 10k-record log must land well under a second
+    // even in debug builds (a quadratic scan would blow past this by
+    // orders of magnitude). Generous bound to stay robust on slow CI.
+    let path = tmp("linear");
+    let _ = std::fs::remove_file(&path);
+    {
+        let mut s = BestStore::open(&path).unwrap();
+        for fp in 0..10_000u64 {
+            s.record(fp, entry_for(fp)).unwrap();
+        }
+    }
+    let t = std::time::Instant::now();
+    let s = BestStore::open(&path).unwrap();
+    let elapsed = t.elapsed();
+    assert_eq!(s.len(), 10_000);
+    assert!(
+        elapsed < std::time::Duration::from_secs(5),
+        "reopen of 10k records took {elapsed:?} — replay is no longer linear"
+    );
+    let _ = std::fs::remove_file(&path);
+}
