@@ -3,9 +3,9 @@
 
 CARGO ?= cargo
 
-.PHONY: ci build test clippy fmt fmt-fix bench telemetry chaos perf-smoke serve-smoke corpus-smoke
+.PHONY: ci build test clippy fmt fmt-fix bench telemetry chaos perf-smoke serve-smoke trace-smoke corpus-smoke
 
-ci: build test telemetry chaos perf-smoke serve-smoke corpus-smoke clippy fmt
+ci: build test telemetry chaos perf-smoke serve-smoke trace-smoke corpus-smoke clippy fmt
 
 build:
 	$(CARGO) build --release
@@ -48,6 +48,14 @@ bench:
 # shutdown, and the persistent store surviving a restart.
 serve-smoke:
 	$(CARGO) test -q --release -p autophase-serve --test smoke
+
+# Live-introspection smoke (DESIGN.md §4i): a chaos-armed daemon under
+# mixed traffic, then STATS parsed over the wire (per-stage p50/p95/p99
+# present and summing to end-to-end latency), TRACE returning
+# well-formed trace JSONL, and the injected fault leaving a flight-dump
+# artifact that names the faulting stage.
+trace-smoke:
+	$(CARGO) test -q --release -p autophase-serve --test trace_smoke
 
 # Corpus smoke (DESIGN.md §4h): build a 200-program deduplicated
 # corpus, verify the manifest regenerates it bit-identically, and

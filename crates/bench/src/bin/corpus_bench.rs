@@ -356,6 +356,10 @@ fn main() {
     eprintln!("corpus_bench: warm replay of {target} programs (store hot)");
     let warm = replay(addr, &wire, false, &o3);
     assert_eq!(warm.store_misses, 0, "warm replay missed the store");
+    // Per-stage latency breakdown over the daemon's whole life (cold +
+    // warm replays), straight off the STATS verb.
+    let stage_ns =
+        autophase_bench::stage_breakdown_json(&connect(addr).stats().expect("daemon stats"));
     let store_entries = server.store_len();
     server.shutdown();
     let store_bytes = std::fs::metadata(&store_path).map(|m| m.len()).unwrap_or(0);
@@ -432,6 +436,7 @@ fn main() {
          \"mean_improvement_over_o3\": {:.6}, \"one_compilation_rate\": {:.4}, \"dropped\": 0 }},\n  \
          \"warm\": {{ \"p50_ms\": {:.2}, \"p99_ms\": {:.2}, \"reqs_per_sec\": {:.1}, \
          \"store_misses\": {} }},\n  \
+         \"stage_ns\": {stage_ns},\n  \
          \"store\": {{ \"entries\": {store_entries}, \"log_bytes\": {store_bytes}, \
          \"reopen_ms\": {reopen_ms:.1} }},\n  \
          \"ablation\": {{ \"train_programs\": {ablation_train_n}, \"test_programs\": {ablation_test_n}, \

@@ -220,6 +220,11 @@ fn main() {
         "serve_bench: chaos {chaos_reqs} requests, {baseline_answers} degraded to baseline, 0 dropped"
     );
 
+    // Per-stage latency breakdown, straight off the daemon's STATS verb:
+    // the before/after baseline future inference/profiling work will be
+    // measured against.
+    let stage_ns = autophase_bench::stage_breakdown_json(&client.stats().expect("daemon stats"));
+
     let store_len = server.store_len();
     server.shutdown();
     let _ = std::fs::remove_file(&store_path);
@@ -233,6 +238,7 @@ fn main() {
          \"reqs_per_sec\": {warm_rps:.0}, \"store_misses\": {warm_non_store} }},\n  \
          \"cold\": {{ \"requests\": {cold_reqs}, \"p50_ms\": {cold_p50:.2}, \"p99_ms\": {cold_p99:.2} }},\n  \
          \"chaos\": {{ \"requests\": {chaos_reqs}, \"degraded_to_baseline\": {baseline_answers}, \"dropped\": 0 }},\n  \
+         \"stage_ns\": {stage_ns},\n  \
          \"store_entries_final\": {store_len}\n}}\n",
         corpus_names.join(", ")
     );

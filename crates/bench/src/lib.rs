@@ -228,3 +228,24 @@ pub fn named_suite() -> Vec<(String, autophase_ir::Module)> {
         .map(|b| (b.name.to_string(), b.module))
         .collect()
 }
+
+/// Render a live daemon's per-stage latency breakdown (the
+/// `serve.stage_ns` histogram family from a parsed `STATS` reply) as a
+/// JSON object body — one key per stage with count, p50/p95/p99, and
+/// mean in nanoseconds. Serve-facing benches embed this in their
+/// `BENCH_*.json` so latency regressions can be attributed to a stage
+/// (queue wait vs inference vs profiling), not just observed end to end.
+pub fn stage_breakdown_json(stats: &autophase_serve::StatsSnapshot) -> String {
+    let stages = stats.hist_family("serve.stage_ns");
+    let entries: Vec<String> = stages
+        .iter()
+        .map(|(label, h)| {
+            let mean = h.sum.checked_div(h.count).unwrap_or(0);
+            format!(
+                "\"{label}\": {{ \"count\": {}, \"p50_ns\": {}, \"p95_ns\": {}, \"p99_ns\": {}, \"mean_ns\": {mean} }}",
+                h.count, h.p50, h.p95, h.p99
+            )
+        })
+        .collect();
+    format!("{{ {} }}", entries.join(", "))
+}

@@ -1,24 +1,34 @@
-//! The compile-service daemon.
+//! The compile-service daemon and its introspection CLI.
 //!
 //! ```text
 //! serve --checkpoint policy.ckpt [--addr 127.0.0.1:7463] [--store serve_store.log]
 //!       [--workers 4] [--queue-cap 64] [--deadline-ms 1000] [--chaos]
-//!       [--telemetry]
+//!       [--flight-dir results/flight_dumps] [--slow-ms 250] [--flight-capacity 256]
+//! serve stats --addr 127.0.0.1:7463            # one dashboard snapshot
+//! serve top --addr 127.0.0.1:7463 [--interval-ms 1000] [--count N]
+//! serve trace --addr 127.0.0.1:7463 [--n 16]   # recent traces, raw JSONL
 //! ```
 //!
-//! Loads the policy from an `autophase_rl::checkpoint::PolicyCheckpoint`
-//! (train one with `serve_bench` or any experiment that saves
-//! checkpoints), binds, prints the address, and serves until a client
-//! sends `SHUTDOWN`. Without `--checkpoint` a freshly initialized
-//! (untrained) policy is used — handy for smoke tests, useless for
-//! quality.
+//! Daemon mode loads the policy from an
+//! `autophase_rl::checkpoint::PolicyCheckpoint` (train one with
+//! `serve_bench` or any experiment that saves checkpoints), binds,
+//! prints the address, and serves until a client sends `SHUTDOWN`.
+//! Without `--checkpoint` a freshly initialized (untrained) policy is
+//! used — handy for smoke tests, useless for quality.
+//!
+//! `stats` renders one dashboard from a live daemon's `STATS` reply;
+//! `top` polls it and refreshes in place (rates are deltas between
+//! polls); `trace` prints the flight recorder's recent request traces.
 
 use autophase_nn::mlp::{Activation, Mlp};
 use autophase_rl::checkpoint::PolicyCheckpoint;
+use autophase_serve::client::Client;
 use autophase_serve::engine::{serve_num_actions, serve_obs_dim};
 use autophase_serve::server::{Server, ServerConfig};
+use autophase_serve::stats::StatsSnapshot;
+use std::fmt::Write as _;
 use std::path::PathBuf;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 fn arg_value(args: &[String], key: &str) -> Option<String> {
     args.windows(2).find(|w| w[0] == key).map(|w| w[1].clone())
@@ -29,32 +39,51 @@ fn main() {
     if args.iter().any(|a| a == "--help" || a == "-h") {
         eprintln!(
             "usage: serve [--checkpoint <path>] [--addr <host:port>] [--store <path>] \
-             [--workers <n>] [--queue-cap <n>] [--deadline-ms <ms>] [--chaos] [--telemetry]"
+             [--workers <n>] [--queue-cap <n>] [--deadline-ms <ms>] [--chaos] \
+             [--flight-dir <dir>] [--slow-ms <ms>] [--flight-capacity <n>]\n\
+             \x20      serve stats --addr <host:port>\n\
+             \x20      serve top --addr <host:port> [--interval-ms <ms>] [--count <n>]\n\
+             \x20      serve trace --addr <host:port> [--n <k>]"
         );
         return;
     }
+    match args.get(1).map(String::as_str) {
+        Some("stats") => run_stats(&args),
+        Some("top") => run_top(&args),
+        Some("trace") => run_trace(&args),
+        _ => run_daemon(&args),
+    }
+}
+
+fn run_daemon(args: &[String]) {
     let mut cfg = ServerConfig::default();
-    if let Some(addr) = arg_value(&args, "--addr") {
+    if let Some(addr) = arg_value(args, "--addr") {
         cfg.addr = addr;
     }
-    if let Some(store) = arg_value(&args, "--store") {
+    if let Some(store) = arg_value(args, "--store") {
         cfg.store_path = PathBuf::from(store);
     }
-    if let Some(w) = arg_value(&args, "--workers").and_then(|v| v.parse().ok()) {
+    if let Some(w) = arg_value(args, "--workers").and_then(|v| v.parse().ok()) {
         cfg.workers = w;
     }
-    if let Some(q) = arg_value(&args, "--queue-cap").and_then(|v| v.parse().ok()) {
+    if let Some(q) = arg_value(args, "--queue-cap").and_then(|v| v.parse().ok()) {
         cfg.queue_cap = q;
     }
-    if let Some(d) = arg_value(&args, "--deadline-ms").and_then(|v| v.parse().ok()) {
+    if let Some(d) = arg_value(args, "--deadline-ms").and_then(|v| v.parse().ok()) {
         cfg.default_deadline = Duration::from_millis(d);
     }
     cfg.chaos = args.iter().any(|a| a == "--chaos");
-    if args.iter().any(|a| a == "--telemetry") {
-        autophase_telemetry::enable();
+    if let Some(dir) = arg_value(args, "--flight-dir") {
+        cfg.flight.dump_dir = Some(PathBuf::from(dir));
+    }
+    if let Some(ms) = arg_value(args, "--slow-ms").and_then(|v| v.parse().ok()) {
+        cfg.flight.slow_threshold = Some(Duration::from_millis(ms));
+    }
+    if let Some(n) = arg_value(args, "--flight-capacity").and_then(|v| v.parse().ok()) {
+        cfg.flight.capacity = n;
     }
 
-    let policy = match arg_value(&args, "--checkpoint") {
+    let policy = match arg_value(args, "--checkpoint") {
         Some(path) => {
             let path = PathBuf::from(path);
             match PolicyCheckpoint::load(&path) {
@@ -95,5 +124,218 @@ fn main() {
             eprintln!("serve: {e}");
             std::process::exit(1);
         }
+    }
+}
+
+fn require_addr(args: &[String]) -> String {
+    match arg_value(args, "--addr") {
+        Some(a) => a,
+        None => {
+            eprintln!("serve: --addr <host:port> is required for this subcommand");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn fetch_stats(addr: &str) -> StatsSnapshot {
+    let result = Client::connect(addr).and_then(|mut c| {
+        c.set_read_timeout(Some(Duration::from_secs(5)))?;
+        c.stats()
+    });
+    match result {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("serve: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn run_stats(args: &[String]) {
+    let addr = require_addr(args);
+    print!("{}", render_dashboard(&fetch_stats(&addr), None));
+}
+
+fn run_top(args: &[String]) {
+    let addr = require_addr(args);
+    let interval = Duration::from_millis(
+        arg_value(args, "--interval-ms")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(1000),
+    );
+    let count: Option<u64> = arg_value(args, "--count").and_then(|v| v.parse().ok());
+    let mut prev: Option<(StatsSnapshot, Instant)> = None;
+    let mut iterations = 0u64;
+    loop {
+        let snap = fetch_stats(&addr);
+        let now = Instant::now();
+        let rates = prev
+            .as_ref()
+            .map(|(p, t)| (p, now.duration_since(*t).as_secs_f64()));
+        // Clear + home, then one dashboard frame.
+        print!("\x1b[2J\x1b[H{}", render_dashboard(&snap, rates));
+        use std::io::Write;
+        let _ = std::io::stdout().flush();
+        prev = Some((snap, now));
+        iterations += 1;
+        if count.is_some_and(|c| iterations >= c) {
+            return;
+        }
+        std::thread::sleep(interval);
+    }
+}
+
+fn run_trace(args: &[String]) {
+    let addr = require_addr(args);
+    let n = arg_value(args, "--n")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(16);
+    let result = Client::connect(&addr).and_then(|mut c| {
+        c.set_read_timeout(Some(Duration::from_secs(5)))?;
+        c.traces(n)
+    });
+    match result {
+        Ok(body) => print!("{body}"),
+        Err(e) => {
+            eprintln!("serve: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// Nanoseconds, human-readable.
+fn ns(v: u64) -> String {
+    match v {
+        0..=9_999 => format!("{v}ns"),
+        10_000..=999_999 => format!("{:.1}us", v as f64 / 1e3),
+        1_000_000..=999_999_999 => format!("{:.1}ms", v as f64 / 1e6),
+        _ => format!("{:.2}s", v as f64 / 1e9),
+    }
+}
+
+/// One text frame of the dashboard. `rates` is the previous snapshot
+/// plus the seconds since it was taken — present only in `top` mode,
+/// where counter deltas become rates.
+fn render_dashboard(snap: &StatsSnapshot, rates: Option<(&StatsSnapshot, f64)>) -> String {
+    let mut out = String::new();
+    let recv = snap.counter("serve.req", "recv");
+    let ok_store = snap.counter("serve.req", "ok_store");
+    let ok_policy = snap.counter("serve.req", "ok_policy");
+    let ok_baseline = snap.counter("serve.req", "ok_baseline");
+    let degraded = snap.counter("serve.req", "degraded_to_baseline");
+    let hits = snap.counter("serve.store", "hit");
+    let misses = snap.counter("serve.store", "miss");
+    let refused: u64 = [
+        "err_overloaded",
+        "err_deadline",
+        "err_parse",
+        "err_bad_request",
+        "err_internal",
+    ]
+    .iter()
+    .map(|l| snap.counter("serve.req", l))
+    .sum();
+
+    let _ = writeln!(out, "autophase-serve dashboard");
+    match rates {
+        Some((prev, dt)) if dt > 0.0 => {
+            let rps = (recv.saturating_sub(prev.counter("serve.req", "recv"))) as f64 / dt;
+            let _ = writeln!(out, "  req/s      {rps:10.1}   (over the last {dt:.1}s)");
+        }
+        _ => {
+            let _ = writeln!(
+                out,
+                "  req/s      {:>10}   (one snapshot; use `top` for rates)",
+                "-"
+            );
+        }
+    }
+    let lookups = hits + misses;
+    let hit_rate = if lookups > 0 {
+        hits as f64 / lookups as f64 * 100.0
+    } else {
+        0.0
+    };
+    let _ = writeln!(
+        out,
+        "  requests   {recv:10}   ok store/policy/baseline {ok_store}/{ok_policy}/{ok_baseline}   refused {refused}"
+    );
+    let _ = writeln!(
+        out,
+        "  store      {hit_rate:9.1}%   hit rate ({hits}/{lookups} lookups)"
+    );
+    let _ = writeln!(
+        out,
+        "  queue      {:10.0}   waiting now   degraded-to-baseline {degraded}",
+        snap.gauge("serve.queue_depth", "")
+    );
+    let _ = writeln!(
+        out,
+        "  flight     {:10}   traces completed   dumps {}",
+        snap.counter("flight.completed", ""),
+        snap.counter_family_total("flight.dump")
+    );
+
+    let stages = snap.hist_family("serve.stage_ns");
+    if !stages.is_empty() {
+        let _ = writeln!(out);
+        let _ = writeln!(
+            out,
+            "  {:<18} {:>9} {:>9} {:>9} {:>9} {:>9}",
+            "stage", "count", "p50", "p95", "p99", "mean"
+        );
+        // `total` last: it is the sum the per-stage rows decompose.
+        let (totals, mut rows): (Vec<_>, Vec<_>) =
+            stages.into_iter().partition(|(l, _)| l == "total");
+        rows.extend(totals);
+        for (label, h) in rows {
+            let mean = h.sum.checked_div(h.count).unwrap_or(0);
+            let _ = writeln!(
+                out,
+                "  {:<18} {:>9} {:>9} {:>9} {:>9} {:>9}",
+                label,
+                h.count,
+                ns(h.p50),
+                ns(h.p95),
+                ns(h.p99),
+                ns(mean)
+            );
+        }
+    }
+    if let Some(h) = snap.hist("serve.batch_size", "") {
+        let mean = if h.count > 0 {
+            h.sum as f64 / h.count as f64
+        } else {
+            0.0
+        };
+        let _ = writeln!(
+            out,
+            "\n  inference  batches {}   mean batch {mean:.1}   forward p95 {}",
+            h.count,
+            ns(snap.hist("serve.engine_ns", "forward").map_or(0, |f| f.p95))
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ns_formatting_is_scaled() {
+        assert_eq!(ns(980), "980ns");
+        assert_eq!(ns(42_000), "42.0us");
+        assert_eq!(ns(7_300_000), "7.3ms");
+        assert_eq!(ns(12_000_000_000), "12.00s");
+    }
+
+    #[test]
+    fn dashboard_renders_without_instruments() {
+        let empty = StatsSnapshot::default();
+        let frame = render_dashboard(&empty, None);
+        assert!(frame.contains("autophase-serve dashboard"));
+        // No stage table without stage histograms, no panic either.
+        assert!(!frame.contains("p99 "));
     }
 }

@@ -5,6 +5,7 @@
 //! Load generators open one client per thread.
 
 use crate::protocol::{self, ErrKind, Reply, Request, Source};
+use crate::stats::StatsSnapshot;
 use std::io::{BufReader, BufWriter};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
@@ -124,9 +125,9 @@ impl Client {
                 ir,
             }),
             Reply::Err { kind, msg } => Err(ClientError::Server { kind, msg }),
-            Reply::Ack => Err(ClientError::Io(std::io::Error::new(
+            _ => Err(ClientError::Io(std::io::Error::new(
                 std::io::ErrorKind::InvalidData,
-                "bare ack to a compile",
+                "non-compile reply to a compile",
             ))),
         }
     }
@@ -140,9 +141,53 @@ impl Client {
         match self.roundtrip(&Request::Ping)? {
             Reply::Ack => Ok(()),
             Reply::Err { kind, msg } => Err(ClientError::Server { kind, msg }),
-            Reply::Compiled { .. } => Err(ClientError::Io(std::io::Error::new(
+            _ => Err(ClientError::Io(std::io::Error::new(
                 std::io::ErrorKind::InvalidData,
-                "compile reply to a ping",
+                "unexpected reply to a ping",
+            ))),
+        }
+    }
+
+    /// Fetch a parsed telemetry snapshot (`STATS`). Answers even when
+    /// the daemon is saturated — the verb bypasses admission.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures or a typed refusal.
+    pub fn stats(&mut self) -> Result<StatsSnapshot, ClientError> {
+        Ok(StatsSnapshot::parse(&self.stats_raw()?))
+    }
+
+    /// Fetch the raw metrics-JSONL body of a `STATS` reply.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures or a typed refusal.
+    pub fn stats_raw(&mut self) -> Result<String, ClientError> {
+        match self.roundtrip(&Request::Stats)? {
+            Reply::Stats { body } => Ok(body),
+            Reply::Err { kind, msg } => Err(ClientError::Server { kind, msg }),
+            _ => Err(ClientError::Io(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                "unexpected reply to stats",
+            ))),
+        }
+    }
+
+    /// Fetch the last `n` completed request traces as trace JSONL,
+    /// newest first (`TRACE n=<k>`; the server clamps to its ring
+    /// capacity).
+    ///
+    /// # Errors
+    ///
+    /// Transport failures or a typed refusal.
+    pub fn traces(&mut self, n: usize) -> Result<String, ClientError> {
+        match self.roundtrip(&Request::Trace { n })? {
+            Reply::Traces { body } => Ok(body),
+            Reply::Err { kind, msg } => Err(ClientError::Server { kind, msg }),
+            _ => Err(ClientError::Io(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                "unexpected reply to trace",
             ))),
         }
     }
@@ -156,9 +201,9 @@ impl Client {
         match self.roundtrip(&Request::Chaos { faults })? {
             Reply::Ack => Ok(()),
             Reply::Err { kind, msg } => Err(ClientError::Server { kind, msg }),
-            Reply::Compiled { .. } => Err(ClientError::Io(std::io::Error::new(
+            _ => Err(ClientError::Io(std::io::Error::new(
                 std::io::ErrorKind::InvalidData,
-                "compile reply to chaos",
+                "unexpected reply to chaos",
             ))),
         }
     }
@@ -172,9 +217,9 @@ impl Client {
         match self.roundtrip(&Request::Shutdown)? {
             Reply::Ack => Ok(()),
             Reply::Err { kind, msg } => Err(ClientError::Server { kind, msg }),
-            Reply::Compiled { .. } => Err(ClientError::Io(std::io::Error::new(
+            _ => Err(ClientError::Io(std::io::Error::new(
                 std::io::ErrorKind::InvalidData,
-                "compile reply to shutdown",
+                "unexpected reply to shutdown",
             ))),
         }
     }

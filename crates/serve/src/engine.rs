@@ -7,7 +7,10 @@
 //! passes back-to-back — one wake-up and one queue-lock round per batch
 //! instead of per observation, which is where the throughput under
 //! concurrent load comes from. Batch sizes land in the
-//! `serve.batch_size` histogram, forward time in `serve.stage{infer}`.
+//! `serve.batch_size` histogram, per-batch forward time in
+//! `serve.engine_ns{forward}` (kept out of the `serve.stage_ns` family,
+//! whose stages tile each request's timeline — a batch serves many
+//! requests at once, so its time is not any single request's segment).
 //!
 //! The policy path is fault-isolated end to end: forward passes run
 //! under `catch_unwind` (a poisoned network answers with a typed
@@ -107,6 +110,23 @@ impl Default for EngineConfig {
             max_batch: 64,
         }
     }
+}
+
+/// What a traced rollout did, beyond the chosen ordering — the
+/// per-request aggregates the flight recorder attaches as trace notes
+/// (the rollout interleaves inference and pass application, so its
+/// inner structure is aggregate counts, not timeline segments).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RolloutReport {
+    /// The effective ordering (the passes that changed the module).
+    pub applied: Vec<usize>,
+    /// Forward passes submitted to the batching queue.
+    pub infer_calls: u32,
+    /// Total nanoseconds this request spent blocked on inference
+    /// (enqueue → result, including batch linger).
+    pub infer_wait_ns: u64,
+    /// Pass applications that faulted (rolled back and quarantined).
+    pub pass_faults: u32,
 }
 
 type Slot = Arc<(Mutex<Option<Result<Vec<f64>, PolicyFault>>>, Condvar)>;
@@ -238,13 +258,33 @@ impl InferenceEngine {
         quarantine: &Quarantine,
         fuel: &FuelBudget,
     ) -> Result<Vec<usize>, PolicyFault> {
+        self.choose_sequence_report(m, fp, quarantine, fuel)
+            .map(|r| r.applied)
+    }
+
+    /// [`choose_sequence`](InferenceEngine::choose_sequence), plus the
+    /// per-request aggregates ([`RolloutReport`]) a trace records.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`choose_sequence`](InferenceEngine::choose_sequence).
+    pub fn choose_sequence_report(
+        &self,
+        m: &mut Module,
+        fp: u64,
+        quarantine: &Quarantine,
+        fuel: &FuelBudget,
+    ) -> Result<RolloutReport, PolicyFault> {
         let mut histogram = vec![0.0f64; serve_num_actions()];
         let mut feats = inst_count_filtered(&extract(m));
-        let mut applied = Vec::new();
+        let mut report = RolloutReport::default();
         for _ in 0..self.episode_len {
             let mut obs = feats.clone();
             obs.extend_from_slice(&histogram);
+            let infer_start = std::time::Instant::now();
+            report.infer_calls += 1;
             let logits = self.infer(obs)?;
+            report.infer_wait_ns += infer_start.elapsed().as_nanos() as u64;
             let mut best: Option<(usize, f64)> = None;
             for (a, &score) in logits.iter().enumerate() {
                 if quarantine.is_quarantined(fp, FILTERED_PASSES[a]) {
@@ -259,7 +299,7 @@ impl InferenceEngine {
             let pass = FILTERED_PASSES[action];
             match apply_checked(m, pass, fuel) {
                 Ok(true) => {
-                    applied.push(pass);
+                    report.applied.push(pass);
                     feats = inst_count_filtered(&extract(m));
                 }
                 Ok(false) => {}
@@ -267,12 +307,13 @@ impl InferenceEngine {
                     // Rolled back by apply_checked; remember the offender
                     // so repeat faults stop costing attempts.
                     quarantine.record_fault(fp, pass);
+                    report.pass_faults += 1;
                     telemetry::incr("serve.rollout", "pass_fault", 1);
                 }
             }
             histogram[action] += 1.0;
         }
-        Ok(applied)
+        Ok(report)
     }
 
     /// Stop the engine thread. Queued jobs are answered with
@@ -347,7 +388,7 @@ fn engine_loop(
             };
             fill(&job.slot, result);
         }
-        telemetry::observe_since("serve.stage", "infer", t);
+        telemetry::observe_since("serve.engine_ns", "forward", t);
         q = lock.lock().unwrap();
     }
 }

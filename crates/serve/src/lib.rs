@@ -17,7 +17,15 @@
 //!   known ordering per program fingerprint across restarts;
 //! * [`server`] — bounded admission, per-request deadlines, typed
 //!   `overloaded` shedding, and the store → policy → baseline
-//!   degradation ladder.
+//!   degradation ladder;
+//! * [`stats`] — the client-side parser for `STATS` replies (metrics
+//!   JSONL → lookup tables), feeding the `serve top` dashboard and the
+//!   benches.
+//!
+//! Every compile request carries a trace through the pipeline; the
+//! daemon's flight recorder keeps the recent ones and dumps
+//! fault/refusal/slow offenders to JSONL artifacts (see
+//! `autophase_telemetry::flight` and the `STATS`/`TRACE` verbs).
 //!
 //! [`client`] is the matching blocking client library; the `serve`
 //! binary wraps [`server::Server`] behind a CLI. Like
@@ -45,10 +53,12 @@ pub mod client;
 pub mod engine;
 pub mod protocol;
 pub mod server;
+pub mod stats;
 pub mod store;
 
 pub use client::{Client, CompileReply};
-pub use engine::{serve_env_config, InferenceEngine, SERVE_EPISODE_LEN};
+pub use engine::{serve_env_config, InferenceEngine, RolloutReport, SERVE_EPISODE_LEN};
 pub use protocol::{ErrKind, Source};
 pub use server::{Server, ServerConfig};
+pub use stats::{HistStat, StatsSnapshot};
 pub use store::BestStore;

@@ -49,6 +49,14 @@ pub enum Request {
     },
     /// Ask the daemon to shut down cleanly.
     Shutdown,
+    /// Fetch a telemetry registry snapshot (metrics JSONL body).
+    Stats,
+    /// Fetch the last `n` completed request traces (trace JSONL body).
+    Trace {
+        /// How many recent traces to return (server clamps to its ring
+        /// capacity).
+        n: usize,
+    },
 }
 
 /// Where a compile answer came from — the degradation ladder, best first.
@@ -63,7 +71,9 @@ pub enum Source {
 }
 
 impl Source {
-    fn as_str(self) -> &'static str {
+    /// Wire name of this source (also the trace-outcome suffix:
+    /// `ok:store`, `ok:policy`, `ok:baseline`).
+    pub fn as_str(self) -> &'static str {
         match self {
             Source::Store => "store",
             Source::Policy => "policy",
@@ -97,7 +107,9 @@ pub enum ErrKind {
 }
 
 impl ErrKind {
-    fn as_str(self) -> &'static str {
+    /// Wire name of this refusal kind (also the trace-outcome suffix:
+    /// `refused:deadline`, `refused:overloaded`, …).
+    pub fn as_str(self) -> &'static str {
         match self {
             ErrKind::Overloaded => "overloaded",
             ErrKind::Deadline => "deadline",
@@ -137,6 +149,16 @@ pub enum Reply {
     },
     /// Acknowledgement for `Ping`/`Chaos`/`Shutdown`.
     Ack,
+    /// Registry snapshot: metrics JSONL, one instrument per line.
+    Stats {
+        /// The metrics JSONL body.
+        body: String,
+    },
+    /// Recent request traces: trace JSONL, newest first.
+    Traces {
+        /// The trace JSONL body.
+        body: String,
+    },
     /// Typed refusal.
     Err {
         /// Failure class.
@@ -251,6 +273,8 @@ pub fn write_request<W: Write>(w: &mut W, req: &Request) -> io::Result<()> {
             w.write_all(format!("{PROTOCOL} CHAOS n={faults}\n").as_bytes())?;
         }
         Request::Shutdown => w.write_all(format!("{PROTOCOL} SHUTDOWN\n").as_bytes())?,
+        Request::Stats => w.write_all(format!("{PROTOCOL} STATS\n").as_bytes())?,
+        Request::Trace { n } => w.write_all(format!("{PROTOCOL} TRACE n={n}\n").as_bytes())?,
     }
     w.flush()
 }
@@ -296,6 +320,13 @@ pub fn read_request<R: BufRead>(r: &mut R) -> io::Result<Option<Request>> {
             }))
         }
         "SHUTDOWN" => Ok(Some(Request::Shutdown)),
+        "STATS" => Ok(Some(Request::Stats)),
+        "TRACE" => {
+            let n = get_u64(&kvs, "n")?.ok_or_else(|| ProtocolError("TRACE without n".into()))?;
+            Ok(Some(Request::Trace {
+                n: n.min(usize::MAX as u64) as usize,
+            }))
+        }
         other => Err(ProtocolError(format!("unknown verb {other:?}")).into()),
     }
 }
@@ -334,6 +365,14 @@ pub fn write_reply<W: Write>(w: &mut W, reply: &Reply) -> io::Result<()> {
             w.write_all(body.as_bytes())?;
         }
         Reply::Ack => w.write_all(format!("{PROTOCOL} OK ack=1\n").as_bytes())?,
+        Reply::Stats { body } => {
+            w.write_all(format!("{PROTOCOL} OK stats_len={}\n", body.len()).as_bytes())?;
+            w.write_all(body.as_bytes())?;
+        }
+        Reply::Traces { body } => {
+            w.write_all(format!("{PROTOCOL} OK traces_len={}\n", body.len()).as_bytes())?;
+            w.write_all(body.as_bytes())?;
+        }
         Reply::Err { kind, msg } => {
             // `msg` is always last and the only value allowed spaces; keep
             // it line-shaped so the header stays one line.
@@ -397,6 +436,22 @@ pub fn read_reply<R: BufRead>(r: &mut R) -> io::Result<Reply> {
                     passes,
                     ir,
                 })
+            } else if let Some(len) = get_u64(&kvs, "stats_len")? {
+                let len = len as usize;
+                if len > MAX_IR_LEN {
+                    return Err(ProtocolError(format!("stats_len {len} over cap")).into());
+                }
+                Ok(Reply::Stats {
+                    body: read_body(r, len)?,
+                })
+            } else if let Some(len) = get_u64(&kvs, "traces_len")? {
+                let len = len as usize;
+                if len > MAX_IR_LEN {
+                    return Err(ProtocolError(format!("traces_len {len} over cap")).into());
+                }
+                Ok(Reply::Traces {
+                    body: read_body(r, len)?,
+                })
             } else {
                 Ok(Reply::Ack)
             }
@@ -448,6 +503,8 @@ mod tests {
             Request::Ping,
             Request::Chaos { faults: 7 },
             Request::Shutdown,
+            Request::Stats,
+            Request::Trace { n: 32 },
         ] {
             assert_eq!(roundtrip_request(req.clone()), req);
         }
@@ -471,6 +528,12 @@ mod tests {
                 ir: None,
             },
             Reply::Ack,
+            Reply::Stats {
+                body: "{\"type\":\"counter\",\"name\":\"serve.req\",\"value\":3}\n".into(),
+            },
+            Reply::Traces {
+                body: "{\"type\":\"trace\",\"id\":0,\"stages\":[[\"parse\",10]]}\n".into(),
+            },
             Reply::Err {
                 kind: ErrKind::Overloaded,
                 msg: "queue full (cap 64)".into(),
@@ -496,6 +559,8 @@ mod tests {
             "AUTOPHASE/1 COMPILE ir_len=99999999999\n",
             "AUTOPHASE/1 NOSUCHVERB a=b\n",
             "AUTOPHASE/1 CHAOS\n",
+            "AUTOPHASE/1 TRACE\n",
+            "AUTOPHASE/1 TRACE n=abc\n",
         ] {
             let mut r = BufReader::new(bad.as_bytes());
             assert!(read_request(&mut r).is_err(), "accepted {bad:?}");

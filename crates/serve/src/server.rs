@@ -24,9 +24,22 @@
 //!    fault-isolated -O3 ordering (`autophase_passes::o3::o3_checked`)
 //!    and still answer inside the deadline.
 //!
-//! Every stage is timed into `serve.stage{...}` histograms; requests are
-//! counted per outcome in `serve.req{...}`; the waiting count lives in
-//! the `serve.queue_depth` gauge.
+//! # Request tracing
+//!
+//! Every compile request carries a [`telemetry::TraceBuilder`] with a
+//! monotonic id. Stage marks (`queue_wait → parse → store → [replay |
+//! baseline_profile → rollout → profile → record] → reply_write`) close
+//! consecutive segments of the request's timeline, so per-stage
+//! durations sum *exactly* to the end-to-end time. Completed traces are
+//! recorded into per-stage `serve.stage_ns{...}` histograms (plus
+//! `serve.stage_ns{total}`) and pushed into the flight recorder's ring,
+//! where the `TRACE` verb reads them and fault/refusal/slow triggers
+//! dump them (with ring context) to JSONL artifacts. `STATS` answers
+//! with the registry snapshot as metrics JSONL. Both introspection verbs
+//! bypass the admission gate — they must answer precisely when the
+//! daemon is drowning. Requests are counted per outcome in
+//! `serve.req{...}`; the waiting count lives in the `serve.queue_depth`
+//! gauge.
 
 use crate::engine::{EngineConfig, InferenceEngine};
 use crate::protocol::{self, ErrKind, Reply, Request, Source};
@@ -43,6 +56,7 @@ use autophase_nn::mlp::Mlp;
 use autophase_passes::checked::{apply_checked, FuelBudget};
 use autophase_passes::o3::o3_checked;
 use autophase_telemetry as telemetry;
+use autophase_telemetry::{FlightConfig, FlightRecorder, TraceBuilder};
 use std::collections::HashMap;
 use std::io::{self, BufReader, BufWriter};
 use std::net::{Shutdown as NetShutdown, SocketAddr, TcpListener, TcpStream};
@@ -77,6 +91,13 @@ pub struct ServerConfig {
     pub store_path: PathBuf,
     /// Accept the `CHAOS` verb (tests/benches only).
     pub chaos: bool,
+    /// Turn the telemetry registry on at startup (required for `STATS`
+    /// to answer anything useful; traces are recorded either way).
+    pub telemetry: bool,
+    /// Flight-recorder knobs: ring capacity, slow threshold, dump
+    /// directory and triggers. The default keeps the ring but writes no
+    /// dump artifacts (`dump_dir: None`).
+    pub flight: FlightConfig,
 }
 
 impl Default for ServerConfig {
@@ -92,6 +113,14 @@ impl Default for ServerConfig {
             profile_fuel: 4_000_000,
             store_path: PathBuf::from("serve_store.log"),
             chaos: false,
+            telemetry: true,
+            flight: FlightConfig {
+                dump_outcomes: vec![
+                    "refused:deadline".to_string(),
+                    "refused:overloaded".to_string(),
+                ],
+                ..FlightConfig::default()
+            },
         }
     }
 }
@@ -170,6 +199,7 @@ struct Shared {
     quarantine: Quarantine,
     gate: Gate,
     hls: HlsConfig,
+    flight: FlightRecorder,
     shutting_down: AtomicBool,
     /// Live connection streams, so shutdown can unblock parked reads.
     conns: Mutex<HashMap<u64, TcpStream>>,
@@ -235,8 +265,12 @@ impl Server {
         let engine = InferenceEngine::start(policy, cfg.engine.clone())
             .map_err(|e| StartError(e.to_string()))?;
         let hls = HlsConfig::default().with_profile_fuel(cfg.profile_fuel);
+        if cfg.telemetry {
+            telemetry::enable();
+        }
         let shared = Arc::new(Shared {
             gate: Gate::new(cfg.workers, cfg.queue_cap),
+            flight: FlightRecorder::new(cfg.flight.clone()),
             cfg,
             engine,
             store: Mutex::new(store),
@@ -383,7 +417,7 @@ fn handle_conn(shared: &Arc<Shared>, stream: TcpStream) {
                 }
                 Err(_) => break,
             };
-            let t0 = Instant::now();
+            let mut trace: Option<TraceBuilder> = None;
             let (reply, hang_up) = match req {
                 Request::Ping => (Reply::Ack, false),
                 Request::Shutdown => (Reply::Ack, true),
@@ -401,14 +435,43 @@ fn handle_conn(shared: &Arc<Shared>, stream: TcpStream) {
                         )
                     }
                 }
+                // Introspection bypasses the admission gate: exactly when
+                // the daemon is drowning is when these must still answer.
+                Request::Stats => (
+                    Reply::Stats {
+                        body: capped_jsonl(telemetry::render_metrics_jsonl_from(
+                            &telemetry::snapshot(),
+                        )),
+                    },
+                    false,
+                ),
+                Request::Trace { n } => (
+                    Reply::Traces {
+                        body: capped_jsonl(shared.flight.render_recent(n)),
+                    },
+                    false,
+                ),
                 Request::Compile {
                     ir,
                     deadline_ms,
                     want_ir,
-                } => (compile(shared, t0, &ir, deadline_ms, want_ir), false),
+                } => {
+                    let mut tr = shared.flight.begin();
+                    let reply = compile(shared, &mut tr, &ir, deadline_ms, want_ir);
+                    trace = Some(tr);
+                    (reply, false)
+                }
             };
             let write_ok = protocol::write_reply(&mut writer, &reply).is_ok();
-            telemetry::observe("serve.stage", "total", t0.elapsed().as_nanos() as u64);
+            if let Some(mut tr) = trace.take() {
+                tr.mark("reply_write");
+                tr.set_outcome(match &reply {
+                    Reply::Compiled { source, .. } => format!("ok:{}", source.as_str()),
+                    Reply::Err { kind, .. } => format!("refused:{}", kind.as_str()),
+                    _ => "unknown".to_string(),
+                });
+                complete_trace(shared, tr);
+            }
             if hang_up {
                 shared.begin_shutdown();
                 break;
@@ -429,6 +492,32 @@ impl Drop for PermitGuard<'_> {
     }
 }
 
+/// Keep an introspection body inside the reply frame's length cap,
+/// truncating at a line boundary so the body stays parseable JSONL.
+fn capped_jsonl(mut body: String) -> String {
+    if body.len() > protocol::MAX_IR_LEN {
+        body.truncate(protocol::MAX_IR_LEN);
+        match body.rfind('\n') {
+            Some(i) => body.truncate(i + 1),
+            None => body.clear(),
+        }
+    }
+    body
+}
+
+/// Seal a compile trace: feed its stage segments into the
+/// `serve.stage_ns{...}` histograms (they tile the timeline, so the
+/// per-stage sums add up to `serve.stage_ns{total}` exactly) and hand it
+/// to the flight recorder, which fires any dump trigger it matches.
+fn complete_trace(shared: &Shared, trace: TraceBuilder) {
+    let done = trace.finish();
+    for &(stage, ns) in &done.stages {
+        telemetry::observe("serve.stage_ns", stage, ns);
+    }
+    telemetry::observe("serve.stage_ns", "total", done.total_ns);
+    shared.flight.complete(done);
+}
+
 fn refuse(kind: ErrKind, msg: String) -> Reply {
     let label = match kind {
         ErrKind::Overloaded => "err_overloaded",
@@ -443,18 +532,20 @@ fn refuse(kind: ErrKind, msg: String) -> Reply {
 
 fn compile(
     shared: &Shared,
-    t0: Instant,
+    trace: &mut TraceBuilder,
     ir: &str,
     deadline_ms: Option<u64>,
     want_ir: bool,
 ) -> Reply {
     telemetry::incr("serve.req", "recv", 1);
-    let deadline = t0
+    let deadline = trace.start()
         + deadline_ms
             .map(Duration::from_millis)
             .unwrap_or(shared.cfg.default_deadline);
 
-    match shared.gate.acquire(deadline) {
+    let admission = shared.gate.acquire(deadline);
+    trace.mark("queue_wait");
+    match admission {
         Admission::Granted => {}
         Admission::Overloaded => {
             return refuse(
@@ -478,21 +569,23 @@ fn compile(
     // module-wide arena budget, and the verifier total on parser output,
     // so hostile input costs a bounded amount of work and an error
     // reply — never a crash or a runaway allocation.
-    let t = telemetry::maybe_now();
     let module = match parse_module(ir) {
         Ok(m) => m,
-        Err(e) => return refuse(ErrKind::Parse, e.to_string()),
+        Err(e) => {
+            trace.mark("parse");
+            return refuse(ErrKind::Parse, e.to_string());
+        }
     };
     if let Err(e) = verify_module(&module) {
+        trace.mark("parse");
         return refuse(ErrKind::Parse, format!("verify: {e}"));
     }
-    telemetry::observe_since("serve.stage", "parse", t);
+    trace.mark("parse");
 
     // Store rung: a known program answers from the index.
     let fp = fingerprint_module(&module);
-    let t = telemetry::maybe_now();
     let hit = shared.store.lock().unwrap().lookup(fp).cloned();
-    telemetry::observe_since("serve.stage", "store", t);
+    trace.mark("store");
     if let Some(entry) = hit {
         let passes: Vec<usize> = entry.seq.iter().map(|&p| p as usize).collect();
         // The stored cycles/passes were computed from the IR the stored
@@ -503,11 +596,13 @@ fn compile(
         // serving IR that disagrees with the reported cycles.
         let replayed = if want_ir {
             let mut m = module.clone();
-            passes
+            let out = passes
                 .iter()
                 .try_for_each(|&p| apply_checked(&mut m, p, &shared.cfg.fuel).map(|_| ()))
                 .ok()
-                .map(|()| Some(print_module(&m)))
+                .map(|()| Some(print_module(&m)));
+            trace.mark("replay");
+            out
         } else {
             Some(None)
         };
@@ -524,6 +619,7 @@ fn compile(
                 };
             }
             None => {
+                trace.fault("replay");
                 shared.store.lock().unwrap().remove(fp);
                 telemetry::incr("serve.store", "stale_dropped", 1);
             }
@@ -540,36 +636,55 @@ fn compile(
 
     // Cold: profile the input once (the baseline number and the store
     // record need it), then walk policy → baseline.
-    let t = telemetry::maybe_now();
     let baseline_cycles = match profile_module(&module, &shared.hls) {
         Ok(r) => r.cycles,
-        Err(e) => return refuse(ErrKind::Parse, format!("unprofileable input: {e}")),
+        Err(e) => {
+            trace.mark("baseline_profile");
+            return refuse(ErrKind::Parse, format!("unprofileable input: {e}"));
+        }
     };
+    trace.mark("baseline_profile");
 
     let mut optimized = module.clone();
-    let (source, passes) = match shared.engine.choose_sequence(
+    let (source, passes) = match shared.engine.choose_sequence_report(
         &mut optimized,
         fp,
         &shared.quarantine,
         &shared.cfg.fuel,
     ) {
-        Ok(seq) => (Source::Policy, seq),
+        Ok(report) => {
+            trace.note("infer_calls", report.infer_calls);
+            trace.note("infer_wait_ns", report.infer_wait_ns);
+            if report.pass_faults > 0 {
+                // Quarantined and skipped inside the rollout: the answer
+                // is still policy-sourced, but the trace names the stage
+                // so the dump points at the offender.
+                trace.note("pass_faults", report.pass_faults);
+                trace.fault("rollout");
+            }
+            (Source::Policy, report.applied)
+        }
         Err(_fault) => {
-            // Degradation rung 3: fixed fault-isolated -O3.
+            // Degradation rung 3: fixed fault-isolated -O3. The trace
+            // blames inference — that is where the fault surfaced (real
+            // forward-pass panic or injected chaos).
+            trace.fault("inference");
             telemetry::incr("serve.req", "degraded_to_baseline", 1);
             optimized = module.clone();
             let seq = o3_checked(&mut optimized, &shared.cfg.fuel);
             (Source::Baseline, seq)
         }
     };
-    telemetry::observe_since("serve.stage", "rollout", t);
+    trace.mark("rollout");
 
-    let t = telemetry::maybe_now();
     let cycles = match profile_module(&optimized, &shared.hls) {
         Ok(r) => r.cycles,
-        Err(e) => return refuse(ErrKind::Internal, format!("optimized unprofileable: {e}")),
+        Err(e) => {
+            trace.mark("profile");
+            return refuse(ErrKind::Internal, format!("optimized unprofileable: {e}"));
+        }
     };
-    telemetry::observe_since("serve.stage", "profile", t);
+    trace.mark("profile");
 
     // Persist if this beats the best known answer (first answer always
     // does — there was no entry). Record *before* the deadline check:
@@ -586,6 +701,7 @@ fn compile(
         telemetry::incr("serve.store", "append_error", 1);
         let _ = e;
     }
+    trace.mark("record");
 
     if Instant::now() > deadline {
         return refuse(ErrKind::Deadline, "deadline expired mid-pipeline".into());

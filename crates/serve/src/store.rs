@@ -211,9 +211,13 @@ impl BestStore {
             }
         }
         let rec = encode_record(fp, &entry);
+        // The synced append is the store's slow path; time it so STATS
+        // can show when fsync latency starts dominating cold requests.
+        let t = autophase_telemetry::maybe_now();
         self.file.seek(SeekFrom::Start(self.tail))?;
         self.file.write_all(&rec)?;
         self.file.sync_data()?;
+        autophase_telemetry::observe_since("serve.store_ns", "append", t);
         self.tail += rec.len() as u64;
         self.index.insert(fp, entry);
         Ok(true)

@@ -53,15 +53,19 @@
 //! ```
 #![warn(missing_docs)]
 
+pub mod flight;
 pub mod metrics;
 pub mod sink;
 pub mod span;
 
+pub use flight::{DumpTrigger, FlightConfig, FlightRecorder, RequestTrace, TraceBuilder};
 pub use metrics::{
     Counter, CounterSnapshot, Gauge, GaugeSnapshot, Histogram, HistogramSnapshot, Registry,
     Snapshot,
 };
-pub use sink::{render_jsonl, render_prometheus, render_summary, write_artifact};
+pub use sink::{
+    render_jsonl, render_metrics_jsonl_from, render_prometheus, render_summary, write_artifact,
+};
 pub use span::{span, span_events, SpanEvent, SpanGuard};
 
 use std::sync::atomic::{AtomicBool, Ordering};

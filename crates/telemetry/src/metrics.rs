@@ -226,6 +226,49 @@ impl Histogram {
         self.max()
     }
 
+    /// Quantile estimate with linear interpolation inside the covering
+    /// bucket: where [`Histogram::quantile`] answers with a bucket upper
+    /// bound (exact coverage semantics, coarse on a 1-2-5 ladder),
+    /// `quantile_interp` assumes values are uniformly distributed within
+    /// their bucket and interpolates between the bucket's bounds — the
+    /// standard Prometheus-style estimator, and what latency dashboards
+    /// want (a p50 of "somewhere around 7.3 ms", not "≤ 10 ms").
+    ///
+    /// The answer is clamped to the observed `[min, max]`, so it is
+    /// always a value that was actually reachable; an empty histogram
+    /// answers 0.
+    pub fn quantile_interp(&self, q: f64) -> f64 {
+        let total = self.count();
+        if total == 0 {
+            return 0.0;
+        }
+        // Continuous rank (0-based): the value below which q of the
+        // probability mass sits.
+        let rank = q.clamp(0.0, 1.0) * total as f64;
+        let mut cum = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            let in_bucket = b.load(Ordering::Relaxed);
+            if in_bucket == 0 {
+                continue;
+            }
+            if (cum + in_bucket) as f64 >= rank {
+                let lower = if i == 0 { 0 } else { DEFAULT_BOUNDS[i - 1] };
+                let upper = if i < DEFAULT_BOUNDS.len() {
+                    DEFAULT_BOUNDS[i]
+                } else {
+                    // Overflow bucket: its effective upper bound is the
+                    // observed maximum.
+                    self.max()
+                };
+                let frac = ((rank - cum as f64) / in_bucket as f64).clamp(0.0, 1.0);
+                let est = lower as f64 + frac * (upper.saturating_sub(lower)) as f64;
+                return est.clamp(self.min() as f64, self.max() as f64);
+            }
+            cum += in_bucket;
+        }
+        self.max() as f64
+    }
+
     /// Per-bucket counts aligned with [`DEFAULT_BOUNDS`] plus the
     /// overflow bucket as the last element.
     pub fn bucket_counts(&self) -> Vec<u64> {
@@ -283,11 +326,13 @@ pub struct HistogramSnapshot {
     pub min: u64,
     /// Largest recorded value.
     pub max: u64,
-    /// Median upper bound (see [`Histogram::quantile`]).
+    /// Median estimate, interpolated (see [`Histogram::quantile_interp`]).
     pub p50: u64,
-    /// 90th-percentile upper bound.
+    /// 90th-percentile estimate, interpolated.
     pub p90: u64,
-    /// 99th-percentile upper bound.
+    /// 95th-percentile estimate, interpolated.
+    pub p95: u64,
+    /// 99th-percentile estimate, interpolated.
     pub p99: u64,
     /// Non-cumulative `(bucket upper bound, count)` pairs for non-empty
     /// buckets; the overflow bucket reports bound `u64::MAX`.
@@ -399,9 +444,10 @@ impl Registry {
                     sum: h.sum(),
                     min: h.min(),
                     max: h.max(),
-                    p50: h.quantile(0.5),
-                    p90: h.quantile(0.9),
-                    p99: h.quantile(0.99),
+                    p50: h.quantile_interp(0.5).round() as u64,
+                    p90: h.quantile_interp(0.9).round() as u64,
+                    p95: h.quantile_interp(0.95).round() as u64,
+                    p99: h.quantile_interp(0.99).round() as u64,
                     buckets,
                 });
             }
@@ -482,6 +528,81 @@ mod tests {
         assert_eq!(bucket_index(3), 2);
         assert_eq!(bucket_index(10_000_000_000), DEFAULT_BOUNDS.len() - 1);
         assert_eq!(bucket_index(10_000_000_001), DEFAULT_BOUNDS.len());
+    }
+
+    #[test]
+    fn interpolated_quantiles_track_a_uniform_distribution() {
+        // Uniform 1..=10_000: the true quantile q sits at ~q·10_000.
+        // Interpolation inside 1-2-5 buckets must land within one bucket
+        // width of the truth — far tighter than the bucket-bound answer.
+        let h = Histogram::default();
+        for v in 1..=10_000u64 {
+            h.record(v);
+        }
+        for (q, truth) in [(0.5, 5_000.0), (0.95, 9_500.0), (0.99, 9_900.0)] {
+            let est = h.quantile_interp(q);
+            let err = (est - truth).abs() / truth;
+            assert!(
+                err < 0.05,
+                "quantile_interp({q}) = {est}, want ~{truth} (err {err:.3})"
+            );
+        }
+        // Exact at the distribution edges.
+        assert_eq!(h.quantile_interp(0.0), 1.0);
+        assert_eq!(h.quantile_interp(1.0), 10_000.0);
+    }
+
+    #[test]
+    fn interpolated_quantiles_on_point_masses_are_exact() {
+        // All mass at one value: every quantile is that value (the
+        // clamp to [min, max] pins it even mid-bucket).
+        let h = Histogram::default();
+        for _ in 0..1000 {
+            h.record(700);
+        }
+        for q in [0.01, 0.5, 0.95, 0.99] {
+            assert_eq!(h.quantile_interp(q), 700.0, "q={q}");
+        }
+        // Two point masses 10 and 1000, 90/10 split: p50 lives in the
+        // bucket holding 10, p99 in the bucket holding 1000.
+        let h = Histogram::default();
+        for _ in 0..900 {
+            h.record(10);
+        }
+        for _ in 0..100 {
+            h.record(1000);
+        }
+        assert!(h.quantile_interp(0.5) <= 10.0, "{}", h.quantile_interp(0.5));
+        assert!(
+            h.quantile_interp(0.99) > 500.0,
+            "{}",
+            h.quantile_interp(0.99)
+        );
+        assert!(h.quantile_interp(0.99) <= 1000.0);
+    }
+
+    #[test]
+    fn interpolated_quantiles_are_monotone_and_bounded() {
+        let h = Histogram::default();
+        for v in [3u64, 17, 17, 40, 999, 2_000_000, 12_345_678_901] {
+            h.record(v);
+        }
+        let mut prev = f64::NEG_INFINITY;
+        for i in 0..=20 {
+            let q = i as f64 / 20.0;
+            let est = h.quantile_interp(q);
+            assert!(est >= prev, "not monotone at q={q}: {est} < {prev}");
+            assert!(est >= h.min() as f64 && est <= h.max() as f64);
+            prev = est;
+        }
+        // Overflow-bucket values interpolate up to the observed max.
+        assert_eq!(h.quantile_interp(1.0), 12_345_678_901.0);
+    }
+
+    #[test]
+    fn empty_histogram_interp_is_zero() {
+        let h = Histogram::default();
+        assert_eq!(h.quantile_interp(0.5), 0.0);
     }
 
     #[test]

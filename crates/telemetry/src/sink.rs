@@ -12,7 +12,7 @@ use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
 
 /// Escape a string for a JSON string literal (without the quotes).
-fn json_escape(s: &str) -> String {
+pub(crate) fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
@@ -115,18 +115,19 @@ pub fn render_summary_from(snap: &Snapshot) -> String {
     if !histograms.is_empty() {
         let _ = writeln!(
             out,
-            "histograms: {:<32} {:>9} {:>9} {:>9} {:>9} {:>9}",
-            "", "count", "mean", "p50", "p90", "max"
+            "histograms: {:<32} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9}",
+            "", "count", "mean", "p50", "p95", "p99", "max"
         );
         for h in &histograms {
             let _ = writeln!(
                 out,
-                "  {:<42} {:>9} {:>9} {:>9} {:>9} {:>9}",
+                "  {:<42} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9}",
                 display_key(h.name, &h.label),
                 h.count,
                 fmt_mean(h.name, h.sum as f64 / h.count as f64),
                 fmt_value(h.name, h.p50),
-                fmt_value(h.name, h.p90),
+                fmt_value(h.name, h.p95),
+                fmt_value(h.name, h.p99),
                 fmt_value(h.name, h.max),
             );
         }
@@ -150,11 +151,29 @@ fn prom_name(s: &str) -> String {
     out
 }
 
+/// Escape a label *value* per the Prometheus text exposition format:
+/// exactly backslash, double-quote, and line-feed are escaped (`\\`,
+/// `\"`, `\n`) — nothing else. JSON escaping is close but wrong here
+/// (`\uXXXX` and `\t` are not exposition-format escapes, and an
+/// unescaped newline would split the sample line in two).
+fn prom_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
 fn prom_label(label: &str) -> String {
     if label.is_empty() {
         String::new()
     } else {
-        format!("{{label=\"{}\"}}", json_escape(label))
+        format!("{{label=\"{}\"}}", prom_escape(label))
     }
 }
 
@@ -190,7 +209,7 @@ pub fn render_prometheus_from(snap: &Snapshot) -> String {
         let inner = if h.label.is_empty() {
             String::new()
         } else {
-            format!("label=\"{}\",", json_escape(&h.label))
+            format!("label=\"{}\",", prom_escape(&h.label))
         };
         let mut cum = 0u64;
         let counts: std::collections::HashMap<u64, u64> = h.buckets.iter().copied().collect();
@@ -201,6 +220,12 @@ pub fn render_prometheus_from(snap: &Snapshot) -> String {
         let _ = writeln!(out, "{name}_bucket{{{inner}le=\"+Inf\"}} {}", h.count);
         let _ = writeln!(out, "{name}_sum{} {}", prom_label(&h.label), h.sum);
         let _ = writeln!(out, "{name}_count{} {}", prom_label(&h.label), h.count);
+        // Interpolated quantile estimates as an auxiliary gauge family
+        // (`_q` suffix, summary-style `quantile` label): scrapers that
+        // want percentiles without re-aggregating buckets read these.
+        for (q, v) in [(0.5, h.p50), (0.9, h.p90), (0.95, h.p95), (0.99, h.p99)] {
+            let _ = writeln!(out, "{name}_q{{{inner}quantile=\"{q}\"}} {v}");
+        }
     }
     out
 }
@@ -228,6 +253,21 @@ pub fn render_jsonl_from(snap: &Snapshot) -> String {
             e.dur_ns
         );
     }
+    out.push_str(&render_metrics_jsonl_from(snap));
+    let _ = writeln!(
+        out,
+        "{{\"type\":\"dropped_events\",\"count\":{}}}",
+        span::dropped_events()
+    );
+    out
+}
+
+/// JSONL of the registry instruments only — one `counter`/`gauge`/
+/// `histogram` object per line, no span events and no trailer. This is
+/// the wire body a live service answers stats queries with: pure
+/// snapshot, same line shapes as [`render_jsonl_from`].
+pub fn render_metrics_jsonl_from(snap: &Snapshot) -> String {
+    let mut out = String::new();
     for c in &snap.counters {
         let _ = writeln!(
             out,
@@ -254,7 +294,7 @@ pub fn render_jsonl_from(snap: &Snapshot) -> String {
             .collect();
         let _ = writeln!(
             out,
-            "{{\"type\":\"histogram\",\"name\":\"{}\",\"label\":\"{}\",\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"p50\":{},\"p90\":{},\"p99\":{},\"buckets\":[{}]}}",
+            "{{\"type\":\"histogram\",\"name\":\"{}\",\"label\":\"{}\",\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"p50\":{},\"p90\":{},\"p95\":{},\"p99\":{},\"buckets\":[{}]}}",
             json_escape(h.name),
             json_escape(&h.label),
             h.count,
@@ -263,15 +303,11 @@ pub fn render_jsonl_from(snap: &Snapshot) -> String {
             h.max,
             h.p50,
             h.p90,
+            h.p95,
             h.p99,
             buckets.join(",")
         );
     }
-    let _ = writeln!(
-        out,
-        "{{\"type\":\"dropped_events\",\"count\":{}}}",
-        span::dropped_events()
-    );
     out
 }
 
@@ -320,6 +356,7 @@ mod tests {
                 max: 2_000,
                 p50: 1_000,
                 p90: 2_000,
+                p95: 2_000,
                 p99: 2_000,
                 buckets: vec![(1_000, 1), (2_000, 1)],
             }],
@@ -352,6 +389,7 @@ mod tests {
             max: 0,
             p50: 0,
             p90: 0,
+            p95: 0,
             p99: 0,
             buckets: vec![],
         });
@@ -400,5 +438,91 @@ mod tests {
         assert_eq!(prom_name("pass.apply_ns"), "pass_apply_ns");
         assert_eq!(prom_name("-gvn"), "_gvn");
         assert_eq!(prom_name("9lives"), "_9lives");
+    }
+
+    /// Inverse of the exposition-format label-value escaping: exactly
+    /// `\\`, `\"`, and `\n` are escape sequences; everything else is
+    /// literal. This is what a conforming Prometheus scraper applies.
+    fn prom_unescape(s: &str) -> String {
+        let mut out = String::new();
+        let mut chars = s.chars();
+        while let Some(c) = chars.next() {
+            if c == '\\' {
+                match chars.next() {
+                    Some('\\') => out.push('\\'),
+                    Some('"') => out.push('"'),
+                    Some('n') => out.push('\n'),
+                    Some(other) => {
+                        out.push('\\');
+                        out.push(other);
+                    }
+                    None => out.push('\\'),
+                }
+            } else {
+                out.push(c);
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn prom_label_values_roundtrip_hostile_strings() {
+        for hostile in [
+            "back\\slash",
+            "quo\"te",
+            "new\nline",
+            "\\\"\n",
+            "tab\tand\rcr stay literal",
+            "unicode λ→∞ survives",
+            "trailing backslash\\",
+            "\\n is two chars, not a newline",
+        ] {
+            let escaped = prom_escape(hostile);
+            // The escaped value must be line- and quote-safe…
+            assert!(!escaped.contains('\n'), "{hostile:?} -> {escaped:?}");
+            let mut prev = ' ';
+            for c in escaped.chars() {
+                assert!(
+                    c != '"' || prev == '\\',
+                    "unescaped quote in {escaped:?} (from {hostile:?})"
+                );
+                // Two backslashes in a row consume each other.
+                prev = if prev == '\\' && c == '\\' { ' ' } else { c };
+            }
+            // …and a conforming scraper must recover the original.
+            assert_eq!(prom_unescape(&escaped), hostile, "via {escaped:?}");
+        }
+    }
+
+    #[test]
+    fn prom_sink_emits_escaped_labels_and_quantiles() {
+        let mut snap = sample_snapshot();
+        snap.counters[0].label = "evil\"quote\nand\\slash".to_string();
+        let p = render_prometheus_from(&snap);
+        for line in p.lines() {
+            assert!(!line.is_empty());
+        }
+        assert!(
+            p.contains("pass_invocations{label=\"evil\\\"quote\\nand\\\\slash\"} 3"),
+            "{p}"
+        );
+        // Interpolated quantile estimates ride along as a _q family.
+        assert!(
+            p.contains("pass_apply_ns_q{label=\"-gvn\",quantile=\"0.5\"} 1000"),
+            "{p}"
+        );
+        assert!(
+            p.contains("pass_apply_ns_q{label=\"-gvn\",quantile=\"0.95\"} 2000"),
+            "{p}"
+        );
+    }
+
+    #[test]
+    fn metrics_jsonl_has_no_spans_or_trailer() {
+        let j = render_metrics_jsonl_from(&sample_snapshot());
+        assert!(!j.contains("\"type\":\"span\""));
+        assert!(!j.contains("\"type\":\"dropped_events\""));
+        assert!(j.contains("\"type\":\"counter\""));
+        assert!(j.contains("\"p95\":"), "{j}");
     }
 }

@@ -1,0 +1,95 @@
+//! Concurrency stress for the flight recorder: many producers completing
+//! traces while readers poll `recent`/`render_recent` (the `TRACE` wire
+//! path). Asserts no torn traces, the capacity bound, and id continuity.
+
+use autophase_telemetry::{FlightConfig, FlightRecorder};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+const PRODUCERS: usize = 8;
+const PER_PRODUCER: usize = 2_000;
+const CAPACITY: usize = 64;
+
+#[test]
+fn concurrent_producers_and_readers_never_tear() {
+    let rec = Arc::new(FlightRecorder::new(FlightConfig {
+        capacity: CAPACITY,
+        ..FlightConfig::default()
+    }));
+    let stop = Arc::new(AtomicBool::new(false));
+
+    // Readers hammer the ring exactly the way the TRACE verb does.
+    let readers: Vec<_> = (0..3)
+        .map(|_| {
+            let rec = Arc::clone(&rec);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut polls = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    for t in rec.recent(CAPACITY) {
+                        // A torn trace would violate the builder's
+                        // invariants: stages sum exactly to total, and
+                        // the outcome/note pair written together must be
+                        // observed together.
+                        let sum: u64 = t.stages.iter().map(|&(_, d)| d).sum();
+                        assert_eq!(sum, t.total_ns, "torn trace id={}", t.id);
+                        assert_eq!(t.stages.len(), 3, "torn stages id={}", t.id);
+                        let tag = t.note("tag").expect("note missing");
+                        assert_eq!(
+                            t.outcome,
+                            format!("ok:{tag}"),
+                            "outcome/note mismatch id={}",
+                            t.id
+                        );
+                    }
+                    let rendered = rec.render_recent(8);
+                    for line in rendered.lines() {
+                        assert!(line.starts_with("{\"type\":\"trace\""), "bad line: {line}");
+                        assert!(line.ends_with('}'), "truncated line: {line}");
+                    }
+                    polls += 1;
+                }
+                polls
+            })
+        })
+        .collect();
+
+    let producers: Vec<_> = (0..PRODUCERS)
+        .map(|p| {
+            let rec = Arc::clone(&rec);
+            std::thread::spawn(move || {
+                for i in 0..PER_PRODUCER {
+                    let mut t = rec.begin();
+                    t.mark("parse");
+                    t.mark("rollout");
+                    t.mark("reply_write");
+                    t.note("tag", format!("p{p}i{i}"));
+                    t.set_outcome(format!("ok:p{p}i{i}"));
+                    rec.complete(t.finish());
+                }
+            })
+        })
+        .collect();
+
+    for p in producers {
+        p.join().expect("producer panicked");
+    }
+    stop.store(true, Ordering::Relaxed);
+    let mut total_polls = 0;
+    for r in readers {
+        total_polls += r.join().expect("reader panicked");
+    }
+    assert!(total_polls > 0, "readers never ran");
+
+    // Every completion was counted, ids were unique and dense.
+    assert_eq!(rec.completed(), (PRODUCERS * PER_PRODUCER) as u64);
+
+    // Capacity bound: the ring never returns more than CAPACITY traces,
+    // and after quiescence all slots hold distinct recent ids.
+    let recent = rec.recent(usize::MAX);
+    assert_eq!(recent.len(), CAPACITY);
+    let mut ids: Vec<u64> = recent.iter().map(|t| t.id).collect();
+    ids.sort_unstable();
+    ids.dedup();
+    assert_eq!(ids.len(), CAPACITY, "duplicate traces in ring");
+}
