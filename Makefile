@@ -3,9 +3,9 @@
 
 CARGO ?= cargo
 
-.PHONY: ci build test clippy fmt fmt-fix bench telemetry chaos perf-smoke serve-smoke trace-smoke corpus-smoke
+.PHONY: ci build test clippy fmt fmt-fix bench telemetry chaos perf-smoke serve-smoke trace-smoke corpus-smoke durability-smoke
 
-ci: build test telemetry chaos perf-smoke serve-smoke trace-smoke corpus-smoke clippy fmt
+ci: build test telemetry chaos perf-smoke serve-smoke trace-smoke corpus-smoke durability-smoke clippy fmt
 
 build:
 	$(CARGO) build --release
@@ -16,6 +16,7 @@ test:
 clippy:
 	$(CARGO) clippy --workspace --all-targets -- -D warnings
 	$(CARGO) clippy --features fault-injection --all-targets -- -D warnings
+	$(CARGO) clippy -p autophase-serve --features fault-injection --all-targets -- -D warnings
 
 fmt:
 	$(CARGO) fmt --check
@@ -63,6 +64,15 @@ trace-smoke:
 # minute end to end.
 corpus-smoke:
 	$(CARGO) run --release -p autophase-bench --bin corpus_bench -- --smoke
+
+# Durability smoke (DESIGN.md §4j): the APSTORE2 crash-recovery
+# property matrix plus live-daemon self-healing tests (engine respawn,
+# checkpoint armor, client retry), the disk-fault chaos suite, and a
+# kill -9 restart drill with the reopen-scaling check. Under a minute.
+durability-smoke:
+	$(CARGO) test -q --release -p autophase-serve --test durability
+	$(CARGO) test -q --release -p autophase-serve --features fault-injection --test faultfs_chaos
+	$(CARGO) run --release -p autophase-bench --bin durability_bench -- --smoke
 
 # Incremental-evaluation perf gate (DESIGN.md §4f): the differential
 # suite proves the per-function caches are bit-invisible across every

@@ -1,0 +1,328 @@
+//! Durability drill for the serve store: kill -9 a real writer process
+//! at random moments and prove no acknowledged record is ever lost (and
+//! no phantom ever appears), then measure that reopen time stays flat as
+//! append history grows — compaction bounds recovery to live entries.
+//!
+//! Two pieces:
+//!
+//! 1. **Kill drill** — this binary re-execs itself as a writer child
+//!    (`--writer`) that appends deterministic, strictly-improving
+//!    records in a tight fsync loop and logs an ack line (synced) after
+//!    every store-acknowledged insert. The parent SIGKILLs it after a
+//!    seeded-random delay, reopens the store, and checks every acked
+//!    record is present and byte-deterministic. The same store survives
+//!    the whole drill, so late kills hit a store that has lived through
+//!    dozens of crashes (and eager-policy compactions) already.
+//! 2. **Reopen scaling** — build stores whose append history is 1×, 3×,
+//!    and 10× the live set, with and without compaction, and time
+//!    reopen. The compacted store's reopen must not grow with history.
+//!
+//! Results land in `BENCH_durability.json`. Usage:
+//! `cargo run --release -p autophase-bench --bin durability_bench
+//! [-- --smoke]` (`--smoke`: ~12 kills instead of 50, for CI).
+
+use autophase_bench::{TelemetryMode, TelemetrySession};
+use autophase_serve::store::{BestEntry, BestStore, CompactionPolicy};
+use std::collections::HashMap;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+/// Distinct fingerprints the writer churns over.
+const FPS: u64 = 8;
+/// Rounds start high and count cycles down so every round's record is
+/// strictly better — each insert must be acknowledged.
+const CYCLE_BASE: u64 = 1_000_000;
+
+/// Eager compaction so the drill crashes into snapshot/truncate windows
+/// too, not only mid-append.
+fn drill_policy() -> CompactionPolicy {
+    CompactionPolicy {
+        min_tail_bytes: 4096,
+        tail_factor: 1.0,
+        dead_ratio: 0.3,
+    }
+}
+
+/// The one record the writer may store for `(fp, round)` — fully
+/// deterministic, so the parent can detect any corruption or phantom by
+/// recomputation.
+fn planned(fp: u64, round: u64) -> BestEntry {
+    let len = ((fp + round) % 12) as u16;
+    BestEntry {
+        cycles: CYCLE_BASE - round,
+        baseline_cycles: 2 * CYCLE_BASE,
+        seq: (0..len)
+            .map(|i| (fp as u16 * 7 + round as u16 + i) % 46)
+            .collect(),
+    }
+}
+
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Writer child: append planned records forever (until SIGKILLed),
+/// syncing an ack line after every store-acknowledged insert. Rejected
+/// inserts (already present after a restart) are silently skipped.
+fn writer_main(store_path: &Path, ack_path: &Path, start_round: u64) -> ! {
+    let mut store = BestStore::open_with(store_path, drill_policy()).expect("writer opens store");
+    let mut ack = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(ack_path)
+        .expect("writer opens ack log");
+    let mut round = start_round;
+    loop {
+        for fp in 0..FPS {
+            if store.record(fp, planned(fp, round)).expect("writer append") {
+                // Ack only after the store's own fsync acknowledged: a
+                // kill between the two under-reports acks, never the
+                // reverse.
+                writeln!(ack, "{fp} {round}").expect("ack write");
+                ack.flush().expect("ack flush");
+                ack.sync_data().expect("ack sync");
+            }
+        }
+        round += 1;
+    }
+}
+
+/// Complete (newline-terminated) ack lines → highest acked round per fp.
+fn read_acks(ack_path: &Path) -> HashMap<u64, u64> {
+    let mut acked = HashMap::new();
+    let Ok(raw) = std::fs::read_to_string(ack_path) else {
+        return acked;
+    };
+    let complete = match raw.rfind('\n') {
+        Some(i) => &raw[..i],
+        None => return acked,
+    };
+    for line in complete.lines() {
+        let mut it = line.split_whitespace();
+        let (Some(fp), Some(round)) = (it.next(), it.next()) else {
+            continue;
+        };
+        let (Ok(fp), Ok(round)) = (fp.parse::<u64>(), round.parse::<u64>()) else {
+            continue;
+        };
+        let e = acked.entry(fp).or_insert(round);
+        *e = (*e).max(round);
+    }
+    acked
+}
+
+fn wipe(path: &Path) {
+    for suffix in ["", ".snap", ".snap.tmp", ".snap.corrupt", ".tmp"] {
+        let _ = std::fs::remove_file(PathBuf::from(format!("{}{suffix}", path.display())));
+    }
+}
+
+/// Reopen the drill store and verify it against the ack log. Returns
+/// `(max_round_in_store, records_checked)`; panics on any lost ack or
+/// phantom/corrupt record.
+fn verify_store(store_path: &Path, acked: &HashMap<u64, u64>, kill: usize) -> (u64, usize) {
+    let store = BestStore::open_with(store_path, drill_policy())
+        .unwrap_or_else(|e| panic!("kill {kill}: reopen after SIGKILL failed: {e}"));
+    let mut max_round = 0u64;
+    let mut checked = 0usize;
+    for fp in 0..FPS {
+        let entry = store.lookup(fp);
+        // No phantoms and no corruption: whatever the store holds must
+        // be exactly a planned record for this fingerprint.
+        if let Some(e) = entry {
+            assert!(
+                e.cycles <= CYCLE_BASE,
+                "kill {kill}: fp {fp} has impossible cycles {}",
+                e.cycles
+            );
+            let round = CYCLE_BASE - e.cycles;
+            assert_eq!(
+                e,
+                &planned(fp, round),
+                "kill {kill}: fp {fp} round {round} does not match its planned record"
+            );
+            max_round = max_round.max(round);
+            checked += 1;
+        }
+        // No lost acks: an acknowledged round must be served at least
+        // that well (the store may hold a later, better, un-acked one).
+        if let Some(&ack_round) = acked.get(&fp) {
+            let e = entry.unwrap_or_else(|| {
+                panic!("kill {kill}: fp {fp} acked at round {ack_round} but missing")
+            });
+            assert!(
+                CYCLE_BASE - e.cycles >= ack_round,
+                "kill {kill}: fp {fp} acked round {ack_round}, store only has {}",
+                CYCLE_BASE - e.cycles
+            );
+        }
+    }
+    (max_round, checked)
+}
+
+fn entry_for(fp: u64, round: u64) -> BestEntry {
+    BestEntry {
+        cycles: 100_000 - round,
+        baseline_cycles: 500_000,
+        seq: vec![(fp % 46) as u16; 6],
+    }
+}
+
+/// Build a store with `live` entries overwritten `rounds` times, then
+/// time a reopen. Returns (reopen_ms, on_disk_bytes).
+fn reopen_timing(path: &Path, live: u64, rounds: u64, policy: CompactionPolicy) -> (f64, u64) {
+    wipe(path);
+    {
+        let mut s = BestStore::open_with(path, policy).expect("build store");
+        for round in 0..rounds {
+            for fp in 0..live {
+                s.record(fp, entry_for(fp, round)).expect("append");
+            }
+        }
+    }
+    let mut bytes = std::fs::metadata(path).map(|m| m.len()).unwrap_or(0);
+    let snap = PathBuf::from(format!("{}.snap", path.display()));
+    bytes += std::fs::metadata(&snap).map(|m| m.len()).unwrap_or(0);
+
+    let t = Instant::now();
+    let s = BestStore::open_with(path, policy).expect("timed reopen");
+    let ms = t.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(s.len() as u64, live, "timed store must be complete");
+    wipe(path);
+    (ms, bytes)
+}
+
+fn tmp_path(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "autophase_durability_bench_{}_{name}",
+        std::process::id()
+    ))
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+
+    // Child mode: `--writer <store> --ack <file> --start <round>`.
+    if let Some(i) = args.iter().position(|a| a == "--writer") {
+        let store = PathBuf::from(&args[i + 1]);
+        let ack_at = args.iter().position(|a| a == "--ack").expect("--ack");
+        let start_at = args.iter().position(|a| a == "--start").expect("--start");
+        let start: u64 = args[start_at + 1].parse().expect("--start round");
+        writer_main(&store, PathBuf::from(&args[ack_at + 1]).as_path(), start);
+    }
+
+    let telemetry =
+        TelemetrySession::start_with_default("durability_bench", TelemetryMode::Summary);
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let kills: usize = if smoke { 12 } else { 50 };
+
+    // ---- 1. Kill drill.
+    let store_path = tmp_path("drill.log");
+    let ack_path = tmp_path("drill.ack");
+    wipe(&store_path);
+    let _ = std::fs::remove_file(&ack_path);
+    let exe = std::env::current_exe().expect("current_exe");
+
+    eprintln!("durability_bench: kill drill, {kills} SIGKILLs at seeded-random points");
+    let mut rng = 0x00D1_D00Du64;
+    let mut next_start = 0u64;
+    let mut total_checked = 0usize;
+    let drill_t0 = Instant::now();
+    for kill in 0..kills {
+        let mut child = std::process::Command::new(&exe)
+            .arg("--writer")
+            .arg(&store_path)
+            .arg("--ack")
+            .arg(&ack_path)
+            .arg("--start")
+            .arg(next_start.to_string())
+            .stdout(std::process::Stdio::null())
+            .stderr(std::process::Stdio::inherit())
+            .spawn()
+            .expect("spawn writer child");
+        // 1..=45 ms: long enough to land mid-append, mid-fsync, and
+        // (with the eager policy) mid-compaction; short enough for 50
+        // kills to finish well inside the CI budget.
+        let delay = Duration::from_millis(splitmix(&mut rng) % 45 + 1);
+        std::thread::sleep(delay);
+        child.kill().expect("SIGKILL writer");
+        child.wait().expect("reap writer");
+
+        let acked = read_acks(&ack_path);
+        let (max_round, checked) = verify_store(&store_path, &acked, kill);
+        total_checked += checked;
+        next_start = max_round + 1;
+    }
+    let drill_secs = drill_t0.elapsed().as_secs_f64();
+    let final_store = BestStore::open_with(&store_path, drill_policy()).expect("final reopen");
+    let final_stats = final_store.stats();
+    eprintln!(
+        "durability_bench: {kills} kills in {drill_secs:.1}s, 0 acked records lost, 0 phantoms \
+         ({} live entries, snapshot generation {} across crashes)",
+        final_stats.entries, final_stats.generation
+    );
+    drop(final_store);
+    wipe(&store_path);
+    let _ = std::fs::remove_file(&ack_path);
+
+    // ---- 2. Reopen scaling: history 1×, 3×, 10× the live set.
+    let live: u64 = if smoke { 1_000 } else { 4_000 };
+    let growth = [1u64, 3, 10];
+    eprintln!("durability_bench: reopen scaling, {live} live entries, history x{growth:?}");
+    let bench_path = tmp_path("scaling.log");
+    let mut compacted = Vec::new();
+    let mut unbounded = Vec::new();
+    for &g in &growth {
+        let (ms_c, bytes_c) = reopen_timing(&bench_path, live, g, CompactionPolicy::default());
+        let (ms_u, bytes_u) = reopen_timing(&bench_path, live, g, CompactionPolicy::never());
+        eprintln!(
+            "durability_bench: history {g:>2}x  compacted {ms_c:7.2} ms / {bytes_c:>9} B   \
+             unbounded {ms_u:7.2} ms / {bytes_u:>9} B"
+        );
+        compacted.push((ms_c, bytes_c));
+        unbounded.push((ms_u, bytes_u));
+    }
+    // The headline invariant: the compacted store's recovery cost does
+    // not follow history. Generous slack — wall-clock on shared CI is
+    // noisy at millisecond scale — but a linear 10x would blow past it.
+    assert!(
+        compacted[2].0 < compacted[0].0 * 4.0 + 10.0,
+        "compacted reopen grew with history: {:.2} ms at 1x -> {:.2} ms at 10x",
+        compacted[0].0,
+        compacted[2].0
+    );
+    assert!(
+        compacted[2].1 < unbounded[2].1,
+        "compaction must keep disk below the unbounded history"
+    );
+
+    let fmt = |v: &[(f64, u64)], f: fn(&(f64, u64)) -> String| -> String {
+        v.iter().map(f).collect::<Vec<_>>().join(", ")
+    };
+    let json = format!(
+        "{{\n  \"benchmark\": \"durability_bench\",\n  \"smoke\": {smoke},\n  \
+         \"kill_drill\": {{ \"kills\": {kills}, \"secs\": {drill_secs:.1}, \
+         \"acked_records_lost\": 0, \"phantom_records\": 0, \"verified_lookups\": {total_checked}, \
+         \"final_live_entries\": {}, \"snapshot_generation\": {} }},\n  \
+         \"reopen\": {{ \"live_entries\": {live}, \"history_factors\": [1, 3, 10],\n    \
+         \"compacted_ms\": [{}],\n    \"compacted_bytes\": [{}],\n    \
+         \"unbounded_ms\": [{}],\n    \"unbounded_bytes\": [{}] }}\n}}\n",
+        final_stats.entries,
+        final_stats.generation,
+        fmt(&compacted, |p| format!("{:.2}", p.0)),
+        fmt(&compacted, |p| p.1.to_string()),
+        fmt(&unbounded, |p| format!("{:.2}", p.0)),
+        fmt(&unbounded, |p| p.1.to_string()),
+    );
+    print!("{json}");
+    match std::fs::write("BENCH_durability.json", &json) {
+        Ok(()) => eprintln!("wrote BENCH_durability.json"),
+        Err(e) => eprintln!("could not write BENCH_durability.json: {e}"),
+    }
+    telemetry.finish();
+}

@@ -18,9 +18,9 @@
 use crate::a2c::A2cAgent;
 use crate::ppo::PpoAgent;
 use autophase_nn::mlp::Mlp;
+use autophase_telemetry::faultfs;
 use std::fmt;
-use std::io::Write as _;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
 const MAGIC: &[u8] = b"APCK";
 const VERSION: u32 = 1;
@@ -194,10 +194,10 @@ impl PolicyCheckpoint {
         let tmp = path.with_extension("tmp");
         {
             let mut f = std::fs::File::create(&tmp)?;
-            f.write_all(&self.to_bytes())?;
-            f.sync_all()?;
+            faultfs::write_all(&mut f, &self.to_bytes(), "ckpt.write")?;
+            faultfs::sync_all(&f, "ckpt.sync")?;
         }
-        std::fs::rename(&tmp, path)?;
+        faultfs::rename(&tmp, path, "ckpt.rename")?;
         Ok(())
     }
 
@@ -207,9 +207,54 @@ impl PolicyCheckpoint {
     ///
     /// Propagates filesystem errors and any decode failure.
     pub fn load(path: &Path) -> Result<PolicyCheckpoint, CheckpointError> {
-        let bytes = std::fs::read(path)?;
+        let bytes = faultfs::read(path, "ckpt.read")?;
         PolicyCheckpoint::from_bytes(&bytes)
     }
+
+    /// Read a checkpoint, quarantining it if it is corrupt: the file is
+    /// renamed to `<path>.quarantined` (preserved for forensics, out of
+    /// the boot path) and the failure reported as
+    /// [`ArmoredLoad::Quarantined`] so the caller can fall back to a
+    /// previous policy or baseline-only serving instead of dying. An
+    /// unreadable file (missing, permission) is *not* quarantined —
+    /// that is an operator problem, not bit rot.
+    pub fn load_armored(path: &Path) -> ArmoredLoad {
+        let bytes = match faultfs::read(path, "ckpt.read") {
+            Ok(b) => b,
+            Err(e) => return ArmoredLoad::Unreadable(e.into()),
+        };
+        match PolicyCheckpoint::from_bytes(&bytes) {
+            Ok(ckpt) => ArmoredLoad::Loaded(ckpt),
+            Err(error) => {
+                let q = PathBuf::from(format!("{}.quarantined", path.display()));
+                let moved_to = match faultfs::rename(path, &q, "ckpt.quarantine") {
+                    Ok(()) => Some(q),
+                    Err(_) => None,
+                };
+                autophase_telemetry::incr("rl.checkpoint", "quarantined", 1);
+                ArmoredLoad::Quarantined { error, moved_to }
+            }
+        }
+    }
+}
+
+/// Outcome of [`PolicyCheckpoint::load_armored`].
+#[derive(Debug)]
+pub enum ArmoredLoad {
+    /// The checkpoint decoded and verified cleanly.
+    Loaded(PolicyCheckpoint),
+    /// The file exists but is corrupt or truncated; it has been renamed
+    /// aside (`moved_to`, when the rename itself succeeded) and the
+    /// caller must keep serving without it.
+    Quarantined {
+        /// Why decoding failed.
+        error: CheckpointError,
+        /// Where the corrupt file now lives, if the rename succeeded.
+        moved_to: Option<PathBuf>,
+    },
+    /// The file could not be read at all (missing, permissions) — an
+    /// operator error, left in place.
+    Unreadable(CheckpointError),
 }
 
 fn check_shape(which: &str, from: &Mlp, to: &Mlp) -> Result<(), CheckpointError> {
@@ -341,6 +386,44 @@ mod tests {
         flipped[mid] ^= 0x40;
         assert!(PolicyCheckpoint::from_bytes(&flipped).is_err());
         assert!(PolicyCheckpoint::from_bytes(b"APCKgarbage").is_err());
+    }
+
+    #[test]
+    fn armored_load_quarantines_corruption_but_not_absence() {
+        let agent = PpoAgent::new(2, 3, &PpoConfig::default(), 11);
+        let ckpt = PolicyCheckpoint::from_ppo(&agent);
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("autophase_ckpt_armor_{}.bin", std::process::id()));
+        let quarantined = PathBuf::from(format!("{}.quarantined", path.display()));
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(&quarantined);
+
+        // Missing file: unreadable, nothing quarantined.
+        assert!(matches!(
+            PolicyCheckpoint::load_armored(&path),
+            ArmoredLoad::Unreadable(_)
+        ));
+        assert!(!quarantined.exists());
+
+        // Clean file: loads.
+        ckpt.save(&path).unwrap();
+        assert!(matches!(
+            PolicyCheckpoint::load_armored(&path),
+            ArmoredLoad::Loaded(_)
+        ));
+
+        // Truncated file: quarantined aside, boot path cleared.
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+        match PolicyCheckpoint::load_armored(&path) {
+            ArmoredLoad::Quarantined { moved_to, .. } => {
+                assert_eq!(moved_to.as_deref(), Some(quarantined.as_path()));
+            }
+            other => panic!("expected quarantine, got {other:?}"),
+        }
+        assert!(!path.exists(), "corrupt file moved out of the boot path");
+        assert!(quarantined.exists(), "corrupt file preserved for forensics");
+        let _ = std::fs::remove_file(&quarantined);
     }
 
     #[test]

@@ -21,7 +21,7 @@
 //! polls); `trace` prints the flight recorder's recent request traces.
 
 use autophase_nn::mlp::{Activation, Mlp};
-use autophase_rl::checkpoint::PolicyCheckpoint;
+use autophase_rl::checkpoint::{ArmoredLoad, PolicyCheckpoint};
 use autophase_serve::client::Client;
 use autophase_serve::engine::{serve_num_actions, serve_obs_dim};
 use autophase_serve::server::{Server, ServerConfig};
@@ -39,8 +39,9 @@ fn main() {
     if args.iter().any(|a| a == "--help" || a == "-h") {
         eprintln!(
             "usage: serve [--checkpoint <path>] [--addr <host:port>] [--store <path>] \
-             [--workers <n>] [--queue-cap <n>] [--deadline-ms <ms>] [--chaos] \
-             [--flight-dir <dir>] [--slow-ms <ms>] [--flight-capacity <n>]\n\
+             [--workers <n>] [--queue-cap <n>] [--deadline-ms <ms>] [--retry-hint-ms <ms>] \
+             [--chaos] [--flight-dir <dir>] [--slow-ms <ms>] [--flight-capacity <n>] \
+             [--max-dump-files <n>]\n\
              \x20      serve stats --addr <host:port>\n\
              \x20      serve top --addr <host:port> [--interval-ms <ms>] [--count <n>]\n\
              \x20      serve trace --addr <host:port> [--n <k>]"
@@ -55,7 +56,7 @@ fn main() {
     }
 }
 
-fn run_daemon(args: &[String]) {
+fn daemon_cfg(args: &[String]) -> ServerConfig {
     let mut cfg = ServerConfig::default();
     if let Some(addr) = arg_value(args, "--addr") {
         cfg.addr = addr;
@@ -72,6 +73,9 @@ fn run_daemon(args: &[String]) {
     if let Some(d) = arg_value(args, "--deadline-ms").and_then(|v| v.parse().ok()) {
         cfg.default_deadline = Duration::from_millis(d);
     }
+    if let Some(ms) = arg_value(args, "--retry-hint-ms").and_then(|v| v.parse().ok()) {
+        cfg.retry_hint_ms = ms;
+    }
     cfg.chaos = args.iter().any(|a| a == "--chaos");
     if let Some(dir) = arg_value(args, "--flight-dir") {
         cfg.flight.dump_dir = Some(PathBuf::from(dir));
@@ -82,37 +86,73 @@ fn run_daemon(args: &[String]) {
     if let Some(n) = arg_value(args, "--flight-capacity").and_then(|v| v.parse().ok()) {
         cfg.flight.capacity = n;
     }
+    if let Some(n) = arg_value(args, "--max-dump-files").and_then(|v| v.parse().ok()) {
+        cfg.flight.max_dump_files = n;
+    }
+    cfg
+}
 
+fn run_daemon(args: &[String]) {
+    let cfg = daemon_cfg(args);
+
+    // Checkpoint armor: a *corrupt* checkpoint is quarantined (renamed
+    // aside) and the daemon comes up baseline-only — availability over
+    // policy quality. A *missing* checkpoint is a configuration error
+    // and still refuses to start: there is nothing to quarantine and
+    // silently serving without the ordering the operator asked for
+    // would hide a typo forever.
     let policy = match arg_value(args, "--checkpoint") {
         Some(path) => {
             let path = PathBuf::from(path);
-            match PolicyCheckpoint::load(&path) {
-                Ok(ckpt) => {
+            match PolicyCheckpoint::load_armored(&path) {
+                ArmoredLoad::Loaded(ckpt) => {
                     eprintln!(
                         "serve: loaded {:?} checkpoint {}",
                         ckpt.algo,
                         path.display()
                     );
-                    ckpt.policy
+                    Some(ckpt.policy)
                 }
-                Err(e) => {
-                    eprintln!("serve: cannot load checkpoint: {e}");
+                ArmoredLoad::Quarantined { error, moved_to } => {
+                    eprintln!("serve: checkpoint {} is corrupt: {error}", path.display());
+                    match moved_to {
+                        Some(q) => eprintln!("serve: quarantined to {}", q.display()),
+                        None => eprintln!("serve: quarantine rename failed; left in place"),
+                    }
+                    eprintln!("serve: continuing BASELINE-ONLY (no policy)");
+                    None
+                }
+                ArmoredLoad::Unreadable(e) => {
+                    eprintln!("serve: cannot read checkpoint: {e}");
                     std::process::exit(1);
                 }
             }
         }
         None => {
             eprintln!("serve: no --checkpoint, using an UNTRAINED policy");
-            Mlp::new(
+            Some(Mlp::new(
                 &[serve_obs_dim(), 32, serve_num_actions()],
                 Activation::Tanh,
                 7,
-            )
+            ))
         }
     };
 
-    match Server::start(policy, cfg) {
+    let started = match policy {
+        Some(policy) => Server::start(policy, cfg).or_else(|e| {
+            // A checkpoint of the wrong shape is as unusable as a corrupt
+            // one: say why, then keep the service up without it.
+            eprintln!("serve: {e}");
+            eprintln!("serve: continuing BASELINE-ONLY (no policy)");
+            Server::start_baseline_only(daemon_cfg(args))
+        }),
+        None => Server::start_baseline_only(cfg),
+    };
+    match started {
         Ok(server) => {
+            if server.is_baseline_only() {
+                eprintln!("serve: baseline-only mode: every reply degrades to store/baseline");
+            }
             println!("serve: listening on {}", server.addr());
             server.wait();
             if autophase_telemetry::enabled() {

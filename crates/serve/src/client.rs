@@ -3,12 +3,20 @@
 //! One [`Client`] wraps one keep-alive connection; requests on it are
 //! sequential (the protocol is one outstanding request per connection).
 //! Load generators open one client per thread.
+//!
+//! Every socket operation is bounded: [`ClientConfig`] sets connect,
+//! read, and write timeouts (all on by default — a wedged daemon costs
+//! a timeout, never a hang). For callers that want the service to look
+//! reliable across transient failures, [`RetryingClient`] wraps
+//! connect-per-need and jittered-exponential retry under a total
+//! [`RetryPolicy::budget`], honoring the server's `retry_ms=` hint on
+//! `overloaded`/`deadline` refusals.
 
 use crate::protocol::{self, ErrKind, Reply, Request, Source};
 use crate::stats::StatsSnapshot;
 use std::io::{BufReader, BufWriter};
 use std::net::{TcpStream, ToSocketAddrs};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// A compile answer (the `OK source=...` reply, destructured).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -34,16 +42,41 @@ pub enum ClientError {
     Server {
         /// Refusal class.
         kind: ErrKind,
+        /// Server-suggested wait before retrying, when it gave one.
+        retry_ms: Option<u64>,
         /// Server-provided detail.
         msg: String,
     },
+}
+
+impl ClientError {
+    fn server(kind: ErrKind, retry_ms: Option<u64>, msg: String) -> ClientError {
+        ClientError::Server {
+            kind,
+            retry_ms,
+            msg,
+        }
+    }
+
+    /// Whether retrying this failure can help: transport errors (the
+    /// daemon may be restarting) and load-shedding refusals
+    /// (`overloaded`, `deadline`). Semantic refusals (`parse`,
+    /// `bad_request`) never become retryable by waiting.
+    pub fn is_retryable(&self) -> bool {
+        match self {
+            ClientError::Io(_) => true,
+            ClientError::Server { kind, .. } => {
+                matches!(kind, ErrKind::Overloaded | ErrKind::Deadline)
+            }
+        }
+    }
 }
 
 impl std::fmt::Display for ClientError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ClientError::Io(e) => write!(f, "client io: {e}"),
-            ClientError::Server { kind, msg } => write!(f, "server refused ({kind:?}): {msg}"),
+            ClientError::Server { kind, msg, .. } => write!(f, "server refused ({kind:?}): {msg}"),
         }
     }
 }
@@ -56,6 +89,30 @@ impl From<std::io::Error> for ClientError {
     }
 }
 
+/// Per-connection socket timeouts. Everything is bounded by default;
+/// `None` disables that bound (for debuggers stepping the daemon).
+#[derive(Debug, Clone)]
+pub struct ClientConfig {
+    /// Cap on establishing the TCP connection (per resolved address).
+    pub connect_timeout: Option<Duration>,
+    /// Cap on any single reply read.
+    pub read_timeout: Option<Duration>,
+    /// Cap on any single request write.
+    pub write_timeout: Option<Duration>,
+}
+
+impl Default for ClientConfig {
+    fn default() -> ClientConfig {
+        ClientConfig {
+            connect_timeout: Some(Duration::from_secs(2)),
+            // Compiles can legitimately take a while under load; reads
+            // are bounded generously, not tightly.
+            read_timeout: Some(Duration::from_secs(30)),
+            write_timeout: Some(Duration::from_secs(10)),
+        }
+    }
+}
+
 /// One keep-alive connection to a daemon.
 pub struct Client {
     reader: BufReader<TcpStream>,
@@ -63,14 +120,55 @@ pub struct Client {
 }
 
 impl Client {
-    /// Connect to a daemon.
+    /// Connect to a daemon with the default [`ClientConfig`] timeouts.
     ///
     /// # Errors
     ///
-    /// Connection failures.
+    /// Connection failures (including connect timeout).
     pub fn connect<A: ToSocketAddrs>(addr: A) -> Result<Client, ClientError> {
-        let stream = TcpStream::connect(addr)?;
+        Client::connect_with(addr, &ClientConfig::default())
+    }
+
+    /// Connect to a daemon with explicit socket timeouts.
+    ///
+    /// # Errors
+    ///
+    /// Connection failures; every resolved address is tried before
+    /// giving up with the last error.
+    pub fn connect_with<A: ToSocketAddrs>(
+        addr: A,
+        cfg: &ClientConfig,
+    ) -> Result<Client, ClientError> {
+        let stream = match cfg.connect_timeout {
+            None => TcpStream::connect(addr)?,
+            Some(limit) => {
+                let mut last: Option<std::io::Error> = None;
+                let mut stream = None;
+                for resolved in addr.to_socket_addrs()? {
+                    match TcpStream::connect_timeout(&resolved, limit) {
+                        Ok(s) => {
+                            stream = Some(s);
+                            break;
+                        }
+                        Err(e) => last = Some(e),
+                    }
+                }
+                match stream {
+                    Some(s) => s,
+                    None => {
+                        return Err(ClientError::Io(last.unwrap_or_else(|| {
+                            std::io::Error::new(
+                                std::io::ErrorKind::InvalidInput,
+                                "address resolved to nothing",
+                            )
+                        })))
+                    }
+                }
+            }
+        };
         stream.set_nodelay(true)?;
+        stream.set_read_timeout(cfg.read_timeout)?;
+        stream.set_write_timeout(cfg.write_timeout)?;
         let reader = BufReader::new(stream.try_clone()?);
         Ok(Client {
             reader,
@@ -124,7 +222,11 @@ impl Client {
                 passes,
                 ir,
             }),
-            Reply::Err { kind, msg } => Err(ClientError::Server { kind, msg }),
+            Reply::Err {
+                kind,
+                retry_ms,
+                msg,
+            } => Err(ClientError::server(kind, retry_ms, msg)),
             _ => Err(ClientError::Io(std::io::Error::new(
                 std::io::ErrorKind::InvalidData,
                 "non-compile reply to a compile",
@@ -140,7 +242,11 @@ impl Client {
     pub fn ping(&mut self) -> Result<(), ClientError> {
         match self.roundtrip(&Request::Ping)? {
             Reply::Ack => Ok(()),
-            Reply::Err { kind, msg } => Err(ClientError::Server { kind, msg }),
+            Reply::Err {
+                kind,
+                retry_ms,
+                msg,
+            } => Err(ClientError::server(kind, retry_ms, msg)),
             _ => Err(ClientError::Io(std::io::Error::new(
                 std::io::ErrorKind::InvalidData,
                 "unexpected reply to a ping",
@@ -166,7 +272,11 @@ impl Client {
     pub fn stats_raw(&mut self) -> Result<String, ClientError> {
         match self.roundtrip(&Request::Stats)? {
             Reply::Stats { body } => Ok(body),
-            Reply::Err { kind, msg } => Err(ClientError::Server { kind, msg }),
+            Reply::Err {
+                kind,
+                retry_ms,
+                msg,
+            } => Err(ClientError::server(kind, retry_ms, msg)),
             _ => Err(ClientError::Io(std::io::Error::new(
                 std::io::ErrorKind::InvalidData,
                 "unexpected reply to stats",
@@ -184,7 +294,11 @@ impl Client {
     pub fn traces(&mut self, n: usize) -> Result<String, ClientError> {
         match self.roundtrip(&Request::Trace { n })? {
             Reply::Traces { body } => Ok(body),
-            Reply::Err { kind, msg } => Err(ClientError::Server { kind, msg }),
+            Reply::Err {
+                kind,
+                retry_ms,
+                msg,
+            } => Err(ClientError::server(kind, retry_ms, msg)),
             _ => Err(ClientError::Io(std::io::Error::new(
                 std::io::ErrorKind::InvalidData,
                 "unexpected reply to trace",
@@ -198,9 +312,28 @@ impl Client {
     ///
     /// Transport failures or a typed refusal (chaos disabled).
     pub fn chaos(&mut self, faults: u32) -> Result<(), ClientError> {
-        match self.roundtrip(&Request::Chaos { faults })? {
+        self.chaos_full(faults, 0)
+    }
+
+    /// Arm `n` injected engine crashes: each one panics the engine
+    /// thread at an upcoming batch (the daemon's supervisor respawns
+    /// it). Server must run with chaos on.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures or a typed refusal (chaos disabled).
+    pub fn chaos_crash(&mut self, crashes: u32) -> Result<(), ClientError> {
+        self.chaos_full(0, crashes)
+    }
+
+    fn chaos_full(&mut self, faults: u32, crashes: u32) -> Result<(), ClientError> {
+        match self.roundtrip(&Request::Chaos { faults, crashes })? {
             Reply::Ack => Ok(()),
-            Reply::Err { kind, msg } => Err(ClientError::Server { kind, msg }),
+            Reply::Err {
+                kind,
+                retry_ms,
+                msg,
+            } => Err(ClientError::server(kind, retry_ms, msg)),
             _ => Err(ClientError::Io(std::io::Error::new(
                 std::io::ErrorKind::InvalidData,
                 "unexpected reply to chaos",
@@ -216,11 +349,254 @@ impl Client {
     pub fn shutdown_server(&mut self) -> Result<(), ClientError> {
         match self.roundtrip(&Request::Shutdown)? {
             Reply::Ack => Ok(()),
-            Reply::Err { kind, msg } => Err(ClientError::Server { kind, msg }),
+            Reply::Err {
+                kind,
+                retry_ms,
+                msg,
+            } => Err(ClientError::server(kind, retry_ms, msg)),
             _ => Err(ClientError::Io(std::io::Error::new(
                 std::io::ErrorKind::InvalidData,
                 "unexpected reply to shutdown",
             ))),
+        }
+    }
+}
+
+/// Retry shape for [`RetryingClient`]: jittered exponential backoff
+/// under a hard attempt cap and a total sleep budget.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Total attempts (first try included). 1 means no retries.
+    pub max_attempts: u32,
+    /// Backoff before the first retry; doubles per retry.
+    pub base_backoff: Duration,
+    /// Ceiling on any single backoff — also clamps the server's
+    /// `retry_ms=` hint, so a hostile hint cannot park the client.
+    pub max_backoff: Duration,
+    /// Total time the policy may spend sleeping across all retries of
+    /// one call; a backoff that would exceed it fails fast instead.
+    pub budget: Duration,
+    /// Seed of the jitter stream — retries are deterministic per seed.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 4,
+            base_backoff: Duration::from_millis(25),
+            max_backoff: Duration::from_secs(2),
+            budget: Duration::from_secs(10),
+            seed: 0x5EED,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never retries (one attempt, no sleeping).
+    pub fn none() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 1,
+            budget: Duration::ZERO,
+            ..RetryPolicy::default()
+        }
+    }
+}
+
+/// A self-healing client: connects lazily, reconnects after transport
+/// errors, and retries retryable failures ([`ClientError::is_retryable`])
+/// with jittered exponential backoff. When the server's refusal carries
+/// a `retry_ms=` hint, the hint (clamped to
+/// [`RetryPolicy::max_backoff`]) replaces the exponential delay.
+pub struct RetryingClient {
+    addr: String,
+    cfg: ClientConfig,
+    policy: RetryPolicy,
+    rng: u64,
+    conn: Option<Client>,
+}
+
+impl RetryingClient {
+    /// A retrying client for `addr` with default timeouts and policy.
+    pub fn new(addr: impl Into<String>) -> RetryingClient {
+        RetryingClient::with(addr, ClientConfig::default(), RetryPolicy::default())
+    }
+
+    /// A retrying client with explicit timeouts and retry policy.
+    pub fn with(addr: impl Into<String>, cfg: ClientConfig, policy: RetryPolicy) -> RetryingClient {
+        let rng = policy.seed | 1;
+        RetryingClient {
+            addr: addr.into(),
+            cfg,
+            policy,
+            rng,
+            conn: None,
+        }
+    }
+
+    fn conn(&mut self) -> Result<&mut Client, ClientError> {
+        if self.conn.is_none() {
+            self.conn = Some(Client::connect_with(&*self.addr, &self.cfg)?);
+        }
+        Ok(self.conn.as_mut().expect("connection just established"))
+    }
+
+    /// Compile with retries. Note a retried compile may execute twice
+    /// server-side; compiles are idempotent (same IR, same answer
+    /// modulo degradation rung), so this is safe.
+    ///
+    /// # Errors
+    ///
+    /// The final attempt's error once attempts or budget run out, or
+    /// immediately for non-retryable failures.
+    pub fn compile(
+        &mut self,
+        ir: &str,
+        deadline_ms: Option<u64>,
+        want_ir: bool,
+    ) -> Result<CompileReply, ClientError> {
+        self.retry(|c| c.compile(ir, deadline_ms, want_ir))
+    }
+
+    /// Ping with retries.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`compile`](RetryingClient::compile).
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        self.retry(Client::ping)
+    }
+
+    fn retry<T>(
+        &mut self,
+        mut op: impl FnMut(&mut Client) -> Result<T, ClientError>,
+    ) -> Result<T, ClientError> {
+        let start = Instant::now();
+        let mut attempt = 0u32;
+        loop {
+            let result = match self.conn() {
+                Ok(client) => op(client),
+                Err(e) => Err(e),
+            };
+            let err = match result {
+                Ok(v) => return Ok(v),
+                Err(e) => e,
+            };
+            if matches!(err, ClientError::Io(_)) {
+                // The connection is in an unknown state: drop it and
+                // reconnect on the next attempt.
+                self.conn = None;
+            }
+            attempt += 1;
+            if !err.is_retryable() || attempt >= self.policy.max_attempts {
+                return Err(err);
+            }
+            let hint = match &err {
+                ClientError::Server { retry_ms, .. } => *retry_ms,
+                ClientError::Io(_) => None,
+            };
+            let delay = self.backoff(attempt, hint);
+            if start.elapsed() + delay > self.policy.budget {
+                return Err(err);
+            }
+            std::thread::sleep(delay);
+        }
+    }
+
+    /// Delay before retry number `attempt` (1-based): the server hint
+    /// when present, otherwise `base * 2^(attempt-1)` jittered uniformly
+    /// down to half — both clamped to `max_backoff`.
+    fn backoff(&mut self, attempt: u32, hint_ms: Option<u64>) -> Duration {
+        if let Some(ms) = hint_ms {
+            return Duration::from_millis(ms).min(self.policy.max_backoff);
+        }
+        let exp = self
+            .policy
+            .base_backoff
+            .saturating_mul(1u32 << (attempt - 1).min(20))
+            .min(self.policy.max_backoff);
+        let nanos = exp.as_nanos().min(u128::from(u64::MAX)) as u64;
+        if nanos == 0 {
+            return Duration::ZERO;
+        }
+        // SplitMix64 jitter stream: uniform in [nanos/2, nanos].
+        self.rng = self.rng.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.rng;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        let span = nanos / 2;
+        Duration::from_nanos(nanos - span + (z % (span + 1)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_grows_clamps_and_honors_hints() {
+        let mut c = RetryingClient::new("127.0.0.1:1");
+        let b1 = c.backoff(1, None);
+        let b2 = c.backoff(2, None);
+        let b3 = c.backoff(3, None);
+        // Jittered exponential: each delay lands in [base*2^k/2, base*2^k].
+        let base = c.policy.base_backoff;
+        assert!(b1 >= base / 2 && b1 <= base, "b1={b1:?}");
+        assert!(b2 >= base && b2 <= base * 2, "b2={b2:?}");
+        assert!(b3 >= base * 2 && b3 <= base * 4, "b3={b3:?}");
+        // A huge attempt number clamps to max_backoff, no overflow.
+        assert!(c.backoff(60, None) <= c.policy.max_backoff);
+        // Server hints are taken verbatim but clamped: a hostile hint
+        // cannot park the client past max_backoff.
+        assert_eq!(c.backoff(1, Some(40)), Duration::from_millis(40));
+        assert_eq!(c.backoff(1, Some(u64::MAX)), c.policy.max_backoff);
+    }
+
+    #[test]
+    fn jitter_is_deterministic_per_seed() {
+        let seq = |seed: u64| -> Vec<Duration> {
+            let mut c = RetryingClient::with(
+                "127.0.0.1:1",
+                ClientConfig::default(),
+                RetryPolicy {
+                    seed,
+                    ..RetryPolicy::default()
+                },
+            );
+            (1..=4).map(|a| c.backoff(a, None)).collect()
+        };
+        assert_eq!(seq(7), seq(7), "same seed, same delays");
+        assert_ne!(seq(7), seq(8), "different seed, different jitter");
+    }
+
+    #[test]
+    fn retryability_is_typed() {
+        assert!(ClientError::Io(std::io::Error::other("x")).is_retryable());
+        let refused = |kind| ClientError::server(kind, None, String::new());
+        assert!(refused(ErrKind::Overloaded).is_retryable());
+        assert!(refused(ErrKind::Deadline).is_retryable());
+        assert!(!refused(ErrKind::Parse).is_retryable());
+        assert!(!refused(ErrKind::BadRequest).is_retryable());
+        assert!(!refused(ErrKind::Internal).is_retryable());
+    }
+
+    #[test]
+    fn retry_gives_up_when_nothing_listens() {
+        // Port 1 refuses immediately: the retrying client should make
+        // its attempts and fail with Io, not hang.
+        let mut c = RetryingClient::with(
+            "127.0.0.1:1",
+            ClientConfig::default(),
+            RetryPolicy {
+                max_attempts: 2,
+                base_backoff: Duration::from_millis(1),
+                ..RetryPolicy::default()
+            },
+        );
+        match c.ping() {
+            Err(ClientError::Io(_)) => {}
+            other => panic!("expected Io error, got {other:?}"),
         }
     }
 }

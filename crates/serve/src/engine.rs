@@ -31,10 +31,43 @@ use autophase_nn::mlp::Mlp;
 use autophase_passes::checked::{apply_checked, FuelBudget};
 use autophase_telemetry as telemetry;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicU32, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
 use std::time::Duration;
+
+/// Panic payload of an injected engine crash
+/// ([`InferenceEngine::inject_crashes`]) — lets test panic hooks
+/// silence on-purpose crashes without hiding real ones.
+pub const INJECTED_CRASH_MSG: &str = "injected engine crash (chaos)";
+
+/// Install (once) a panic hook that swallows *injected* engine crashes —
+/// payloads equal to [`INJECTED_CRASH_MSG`] — and delegates everything
+/// else to the previous hook. Chaos tests crash the engine on purpose;
+/// this keeps their stderr readable without hiding real failures.
+pub fn quiet_crash_hook() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let injected = info
+                .payload()
+                .downcast_ref::<&str>()
+                .is_some_and(|s| *s == INJECTED_CRASH_MSG);
+            if !injected {
+                prev(info);
+            }
+        }));
+    });
+}
+
+/// Lock a mutex, recovering from poisoning: the engine supervisor
+/// respawns after panics, and a panic mid-batch must not turn every
+/// later `infer` into a second panic. All data under these locks stays
+/// valid across unwinds (the batch guard answers in-flight slots).
+fn lock_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// Episode length of the serving rollout (and of the training
 /// configuration a served checkpoint must come from).
@@ -147,7 +180,15 @@ pub struct InferenceEngine {
     /// Armed chaos faults: each pending fault makes one upcoming
     /// inference answer [`PolicyFault::Inference`].
     chaos: Arc<AtomicU32>,
+    /// Armed chaos crashes: each one panics the engine thread at the
+    /// start of an upcoming batch (the supervisor respawns it).
+    crash: Arc<AtomicU32>,
+    /// Times the supervisor respawned the engine loop after a panic.
+    respawns: Arc<AtomicU64>,
     episode_len: usize,
+    /// Baseline-only mode: no thread, every inference answers
+    /// [`PolicyFault::Inference`] so callers take the baseline rung.
+    disabled: bool,
     thread: Option<JoinHandle<()>>,
 }
 
@@ -189,20 +230,72 @@ impl InferenceEngine {
             Condvar::new(),
         ));
         let chaos = Arc::new(AtomicU32::new(0));
+        let crash = Arc::new(AtomicU32::new(0));
+        let respawns = Arc::new(AtomicU64::new(0));
         let thread = {
             let queue = Arc::clone(&queue);
             let chaos = Arc::clone(&chaos);
+            let crash = Arc::clone(&crash);
+            let respawns = Arc::clone(&respawns);
             std::thread::Builder::new()
                 .name("serve-infer".into())
-                .spawn(move || engine_loop(&queue, &chaos, &policy, &cfg))
+                .spawn(move || {
+                    // Supervisor: a panicking engine loop (injected crash
+                    // or a bug past the per-forward catch_unwind) is
+                    // respawned, not fatal. In-flight batch slots were
+                    // already answered by the batch guard's Drop, so no
+                    // request ever hangs across a respawn. Clean return
+                    // means shutdown.
+                    loop {
+                        let run = catch_unwind(AssertUnwindSafe(|| {
+                            engine_loop(&queue, &chaos, &crash, &policy, &cfg)
+                        }));
+                        if run.is_ok() {
+                            return;
+                        }
+                        respawns.fetch_add(1, Ordering::Relaxed);
+                        telemetry::incr("serve.engine", "respawn", 1);
+                    }
+                })
                 .expect("spawn inference thread")
         };
         Ok(InferenceEngine {
             queue,
             chaos,
+            crash,
+            respawns,
             episode_len: SERVE_EPISODE_LEN,
+            disabled: false,
             thread: Some(thread),
         })
+    }
+
+    /// An engine with no policy and no thread: every inference answers
+    /// [`PolicyFault::Inference`] immediately, so every request degrades
+    /// to the baseline ordering. This is how the daemon keeps serving
+    /// when its checkpoint is quarantined at startup.
+    pub fn start_baseline_only() -> InferenceEngine {
+        InferenceEngine {
+            queue: Arc::new((
+                Mutex::new(Queue {
+                    jobs: Vec::new(),
+                    shutdown: false,
+                }),
+                Condvar::new(),
+            )),
+            chaos: Arc::new(AtomicU32::new(0)),
+            crash: Arc::new(AtomicU32::new(0)),
+            respawns: Arc::new(AtomicU64::new(0)),
+            episode_len: SERVE_EPISODE_LEN,
+            disabled: true,
+            thread: None,
+        }
+    }
+
+    /// Whether this engine was started without a policy
+    /// ([`start_baseline_only`](InferenceEngine::start_baseline_only)).
+    pub fn is_baseline_only(&self) -> bool {
+        self.disabled
     }
 
     /// Arm `n` injected faults: the next `n` inferences answer
@@ -210,6 +303,20 @@ impl InferenceEngine {
     /// degradation ladder exactly like a real forward-pass panic.
     pub fn inject_faults(&self, n: u32) {
         self.chaos.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Arm `n` injected crashes: each one panics the engine thread at
+    /// the start of an upcoming batch. The batch degrades (its requests
+    /// get [`PolicyFault::Inference`]) and the supervisor respawns the
+    /// loop — exercising the full whole-thread-death recovery path.
+    pub fn inject_crashes(&self, n: u32) {
+        self.crash.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// How many times the supervisor has respawned the engine loop after
+    /// a panic.
+    pub fn respawn_count(&self) -> u64 {
+        self.respawns.load(Ordering::Relaxed)
     }
 
     /// One blocking forward pass through the batching queue: logits over
@@ -220,10 +327,13 @@ impl InferenceEngine {
     /// [`PolicyFault`] when the forward pass faulted (or was injected to)
     /// or the engine is shutting down.
     pub fn infer(&self, obs: Vec<f64>) -> Result<Vec<f64>, PolicyFault> {
+        if self.disabled {
+            return Err(PolicyFault::Inference);
+        }
         let slot: Slot = Arc::new((Mutex::new(None), Condvar::new()));
         {
             let (lock, cv) = &*self.queue;
-            let mut q = lock.lock().unwrap();
+            let mut q = lock_recover(lock);
             if q.shutdown {
                 return Err(PolicyFault::Shutdown);
             }
@@ -234,9 +344,9 @@ impl InferenceEngine {
             cv.notify_all();
         }
         let (lock, cv) = &*slot;
-        let mut state = lock.lock().unwrap();
+        let mut state = lock_recover(lock);
         while state.is_none() {
-            state = cv.wait(state).unwrap();
+            state = cv.wait(state).unwrap_or_else(PoisonError::into_inner);
         }
         state.take().expect("slot filled")
     }
@@ -321,7 +431,7 @@ impl InferenceEngine {
     pub fn shutdown(&mut self) {
         {
             let (lock, cv) = &*self.queue;
-            let mut q = lock.lock().unwrap();
+            let mut q = lock_recover(lock);
             q.shutdown = true;
             cv.notify_all();
         }
@@ -339,21 +449,40 @@ impl Drop for InferenceEngine {
 
 fn fill(slot: &Slot, result: Result<Vec<f64>, PolicyFault>) {
     let (lock, cv) = &**slot;
-    *lock.lock().unwrap() = Some(result);
+    *lock_recover(lock) = Some(result);
     cv.notify_all();
+}
+
+/// A drained batch with panic insurance: if the engine thread unwinds
+/// mid-batch (injected crash, or a panic outside the per-forward
+/// `catch_unwind`), Drop answers every not-yet-filled slot with
+/// [`PolicyFault::Inference`] so those requests degrade instead of
+/// hanging forever on a dead thread.
+struct BatchGuard {
+    jobs: Vec<Job>,
+    filled: usize,
+}
+
+impl Drop for BatchGuard {
+    fn drop(&mut self) {
+        for job in &self.jobs[self.filled..] {
+            fill(&job.slot, Err(PolicyFault::Inference));
+        }
+    }
 }
 
 fn engine_loop(
     queue: &Arc<(Mutex<Queue>, Condvar)>,
     chaos: &Arc<AtomicU32>,
+    crash: &Arc<AtomicU32>,
     policy: &Mlp,
     cfg: &EngineConfig,
 ) {
     let (lock, cv) = &**queue;
-    let mut q = lock.lock().unwrap();
+    let mut q = lock_recover(lock);
     loop {
         while q.jobs.is_empty() && !q.shutdown {
-            q = cv.wait(q).unwrap();
+            q = cv.wait(q).unwrap_or_else(PoisonError::into_inner);
         }
         if q.shutdown {
             for job in q.jobs.drain(..) {
@@ -363,16 +492,33 @@ fn engine_loop(
         }
         // Linger one batching window for more arrivals, then drain.
         if q.jobs.len() < cfg.max_batch && !cfg.batch_window.is_zero() {
-            let (guard, _) = cv.wait_timeout(q, cfg.batch_window).unwrap();
+            let (guard, _) = cv
+                .wait_timeout(q, cfg.batch_window)
+                .unwrap_or_else(PoisonError::into_inner);
             q = guard;
         }
         let take = q.jobs.len().min(cfg.max_batch);
-        let batch: Vec<Job> = q.jobs.drain(..take).collect();
+        let mut batch = BatchGuard {
+            jobs: q.jobs.drain(..take).collect(),
+            filled: 0,
+        };
         drop(q);
 
-        telemetry::observe("serve.batch_size", "", batch.len() as u64);
+        // One armed chaos crash kills this whole batch: panic with the
+        // queue lock released (never poisoned by an injected crash) and
+        // the batch in the guard, whose Drop degrades its requests.
+        if crash
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |n| n.checked_sub(1))
+            .is_ok()
+        {
+            telemetry::incr("serve.policy_fault", "injected_crash", 1);
+            std::panic::panic_any(INJECTED_CRASH_MSG);
+        }
+
+        telemetry::observe("serve.batch_size", "", batch.jobs.len() as u64);
         let t = telemetry::maybe_now();
-        for job in &batch {
+        for i in 0..batch.jobs.len() {
+            let job = &batch.jobs[i];
             // One armed chaos fault consumes exactly one inference.
             let injected = chaos
                 .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |n| n.checked_sub(1))
@@ -387,9 +533,10 @@ fn engine_loop(
                 })
             };
             fill(&job.slot, result);
+            batch.filled = i + 1;
         }
         telemetry::observe_since("serve.engine_ns", "forward", t);
-        q = lock.lock().unwrap();
+        q = lock_recover(lock);
     }
 }
 
@@ -444,6 +591,42 @@ mod tests {
         assert_eq!(engine.infer(obs.clone()), Err(PolicyFault::Inference));
         assert_eq!(engine.infer(obs.clone()), Err(PolicyFault::Inference));
         assert!(engine.infer(obs).is_ok(), "faults must drain");
+    }
+
+    #[test]
+    fn injected_crash_degrades_batch_and_respawns() {
+        quiet_crash_hook();
+        let engine = InferenceEngine::start(test_policy(21), EngineConfig::default()).unwrap();
+        engine.inject_crashes(1);
+        let obs = vec![0.0; serve_obs_dim()];
+        // The crashed batch answers with a fault (never hangs) ...
+        assert_eq!(engine.infer(obs.clone()), Err(PolicyFault::Inference));
+        // ... and the supervisor respawns the loop, so the engine keeps
+        // serving without a new handle.
+        assert!(engine.infer(obs).is_ok(), "engine must survive the crash");
+        assert_eq!(engine.respawn_count(), 1);
+    }
+
+    #[test]
+    fn baseline_only_engine_faults_every_inference() {
+        let mut engine = InferenceEngine::start_baseline_only();
+        assert!(engine.is_baseline_only());
+        assert_eq!(
+            engine.infer(vec![0.0; serve_obs_dim()]),
+            Err(PolicyFault::Inference)
+        );
+        // The rollout degrades up front: the first inference faults, so
+        // callers fall through to the baseline ordering.
+        let mut m = autophase_benchmarks::suite()
+            .into_iter()
+            .find(|b| b.name == "gsm")
+            .expect("gsm present")
+            .module;
+        let fp = autophase_core::eval_cache::fingerprint_module(&m);
+        let got =
+            engine.choose_sequence(&mut m, fp, &Quarantine::default(), &FuelBudget::default());
+        assert_eq!(got, Err(PolicyFault::Inference));
+        engine.shutdown(); // no thread: must be a no-op, not a hang
     }
 
     #[test]

@@ -56,9 +56,9 @@ pub mod server;
 pub mod stats;
 pub mod store;
 
-pub use client::{Client, CompileReply};
+pub use client::{Client, ClientConfig, CompileReply, RetryPolicy, RetryingClient};
 pub use engine::{serve_env_config, InferenceEngine, RolloutReport, SERVE_EPISODE_LEN};
 pub use protocol::{ErrKind, Source};
 pub use server::{Server, ServerConfig};
 pub use stats::{HistStat, StatsSnapshot};
-pub use store::BestStore;
+pub use store::{BestStore, CompactionPolicy};

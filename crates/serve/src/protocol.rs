@@ -41,11 +41,14 @@ pub enum Request {
     },
     /// Liveness probe.
     Ping,
-    /// Arm `n` injected policy-path faults (test/bench only; the server
-    /// rejects it unless chaos is enabled in its config).
+    /// Arm injected faults (test/bench only; the server rejects it
+    /// unless chaos is enabled in its config).
     Chaos {
         /// How many upcoming policy inferences fault.
         faults: u32,
+        /// How many engine-thread crashes (panics mid-batch) to inject —
+        /// exercises the supervisor's respawn path.
+        crashes: u32,
     },
     /// Ask the daemon to shut down cleanly.
     Shutdown,
@@ -163,6 +166,11 @@ pub enum Reply {
     Err {
         /// Failure class.
         kind: ErrKind,
+        /// Server-chosen backoff hint: retrying sooner than this many
+        /// milliseconds is unlikely to succeed. Sent with `overloaded`
+        /// and `deadline` refusals; clients honor it in their retry
+        /// policy.
+        retry_ms: Option<u64>,
         /// Human-readable detail.
         msg: String,
     },
@@ -269,8 +277,13 @@ pub fn write_request<W: Write>(w: &mut W, req: &Request) -> io::Result<()> {
             w.write_all(ir.as_bytes())?;
         }
         Request::Ping => w.write_all(format!("{PROTOCOL} PING\n").as_bytes())?,
-        Request::Chaos { faults } => {
-            w.write_all(format!("{PROTOCOL} CHAOS n={faults}\n").as_bytes())?;
+        Request::Chaos { faults, crashes } => {
+            let mut line = format!("{PROTOCOL} CHAOS n={faults}");
+            if *crashes > 0 {
+                line.push_str(&format!(" crash={crashes}"));
+            }
+            line.push('\n');
+            w.write_all(line.as_bytes())?;
         }
         Request::Shutdown => w.write_all(format!("{PROTOCOL} SHUTDOWN\n").as_bytes())?,
         Request::Stats => w.write_all(format!("{PROTOCOL} STATS\n").as_bytes())?,
@@ -315,8 +328,10 @@ pub fn read_request<R: BufRead>(r: &mut R) -> io::Result<Option<Request>> {
         "CHAOS" => {
             let faults =
                 get_u64(&kvs, "n")?.ok_or_else(|| ProtocolError("CHAOS without n".into()))?;
+            let crashes = get_u64(&kvs, "crash")?.unwrap_or(0);
             Ok(Some(Request::Chaos {
                 faults: faults.min(u32::MAX as u64) as u32,
+                crashes: crashes.min(u32::MAX as u64) as u32,
             }))
         }
         "SHUTDOWN" => Ok(Some(Request::Shutdown)),
@@ -373,11 +388,20 @@ pub fn write_reply<W: Write>(w: &mut W, reply: &Reply) -> io::Result<()> {
             w.write_all(format!("{PROTOCOL} OK traces_len={}\n", body.len()).as_bytes())?;
             w.write_all(body.as_bytes())?;
         }
-        Reply::Err { kind, msg } => {
+        Reply::Err {
+            kind,
+            retry_ms,
+            msg,
+        } => {
             // `msg` is always last and the only value allowed spaces; keep
             // it line-shaped so the header stays one line.
             let msg = msg.replace(['\n', '\r'], " ");
-            w.write_all(format!("{PROTOCOL} ERR kind={} msg={msg}\n", kind.as_str()).as_bytes())?;
+            let mut line = format!("{PROTOCOL} ERR kind={}", kind.as_str());
+            if let Some(ms) = retry_ms {
+                line.push_str(&format!(" retry_ms={ms}"));
+            }
+            line.push_str(&format!(" msg={msg}\n"));
+            w.write_all(line.as_bytes())?;
         }
     }
     w.flush()
@@ -461,8 +485,13 @@ pub fn read_reply<R: BufRead>(r: &mut R) -> io::Result<Reply> {
                 get(&kvs, "kind").ok_or_else(|| ProtocolError("ERR without kind".into()))?;
             let kind = ErrKind::parse(kind_str)
                 .ok_or_else(|| ProtocolError(format!("bad kind {kind_str:?}")))?;
+            let retry_ms = get_u64(&kvs, "retry_ms")?;
             let msg = get(&kvs, "msg").unwrap_or("").to_string();
-            Ok(Reply::Err { kind, msg })
+            Ok(Reply::Err {
+                kind,
+                retry_ms,
+                msg,
+            })
         }
         other => Err(ProtocolError(format!("unknown reply verb {other:?}")).into()),
     }
@@ -501,7 +530,14 @@ mod tests {
                 want_ir: false,
             },
             Request::Ping,
-            Request::Chaos { faults: 7 },
+            Request::Chaos {
+                faults: 7,
+                crashes: 0,
+            },
+            Request::Chaos {
+                faults: 0,
+                crashes: 3,
+            },
             Request::Shutdown,
             Request::Stats,
             Request::Trace { n: 32 },
@@ -536,10 +572,54 @@ mod tests {
             },
             Reply::Err {
                 kind: ErrKind::Overloaded,
+                retry_ms: None,
                 msg: "queue full (cap 64)".into(),
+            },
+            Reply::Err {
+                kind: ErrKind::Overloaded,
+                retry_ms: Some(50),
+                msg: "queue full (cap 64)".into(),
+            },
+            Reply::Err {
+                kind: ErrKind::Deadline,
+                retry_ms: Some(u64::MAX),
+                msg: String::new(),
             },
         ] {
             assert_eq!(roundtrip_reply(reply.clone()), reply);
+        }
+    }
+
+    #[test]
+    fn hostile_retry_ms_values_are_rejected_or_bounded() {
+        // Non-numeric, negative, overflowing, and empty values must be
+        // typed protocol errors, never panics or silent zeroes.
+        for bad in [
+            "AUTOPHASE/1 ERR kind=overloaded retry_ms=abc msg=x\n",
+            "AUTOPHASE/1 ERR kind=overloaded retry_ms=-5 msg=x\n",
+            "AUTOPHASE/1 ERR kind=overloaded retry_ms=99999999999999999999999 msg=x\n",
+            "AUTOPHASE/1 ERR kind=overloaded retry_ms= msg=x\n",
+            "AUTOPHASE/1 ERR kind=overloaded retry_ms=1.5 msg=x\n",
+        ] {
+            let mut r = BufReader::new(bad.as_bytes());
+            assert!(read_reply(&mut r).is_err(), "accepted {bad:?}");
+        }
+        // u64::MAX is representable: parses, and the client clamps it.
+        let line = format!("AUTOPHASE/1 ERR kind=deadline retry_ms={} msg=\n", u64::MAX);
+        let mut r = BufReader::new(line.as_bytes());
+        match read_reply(&mut r).unwrap() {
+            Reply::Err { retry_ms, .. } => assert_eq!(retry_ms, Some(u64::MAX)),
+            other => panic!("expected ERR, got {other:?}"),
+        }
+        // retry_ms tucked inside msg is data, not a hint.
+        let mut r =
+            BufReader::new(&b"AUTOPHASE/1 ERR kind=deadline msg=try retry_ms=10 later\n"[..]);
+        match read_reply(&mut r).unwrap() {
+            Reply::Err { retry_ms, msg, .. } => {
+                assert_eq!(retry_ms, None);
+                assert_eq!(msg, "try retry_ms=10 later");
+            }
+            other => panic!("expected ERR, got {other:?}"),
         }
     }
 
@@ -579,12 +659,14 @@ mod tests {
     fn err_msg_preserves_spaces_and_strips_newlines() {
         let got = roundtrip_reply(Reply::Err {
             kind: ErrKind::Internal,
+            retry_ms: None,
             msg: "a b\nc".into(),
         });
         assert_eq!(
             got,
             Reply::Err {
                 kind: ErrKind::Internal,
+                retry_ms: None,
                 msg: "a b c".into(),
             }
         );

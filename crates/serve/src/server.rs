@@ -43,7 +43,7 @@
 
 use crate::engine::{EngineConfig, InferenceEngine};
 use crate::protocol::{self, ErrKind, Reply, Request, Source};
-use crate::store::{BestEntry, BestStore};
+use crate::store::{BestEntry, BestStore, CompactionPolicy};
 use autophase_core::eval_cache::fingerprint_module;
 use autophase_core::Quarantine;
 use autophase_hls::profile::profile_module;
@@ -62,9 +62,18 @@ use std::io::{self, BufReader, BufWriter};
 use std::net::{Shutdown as NetShutdown, SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+/// Lock a mutex, recovering from poisoning. Handler threads share the
+/// store, connection table, and record-backoff state; a panic in one
+/// handler must degrade that one request, not wedge every later one.
+/// The data under these locks stays consistent across unwinds (the
+/// store appends before it acks; maps are update-in-place).
+fn lock_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// Daemon configuration.
 #[derive(Debug, Clone)]
@@ -89,6 +98,16 @@ pub struct ServerConfig {
     pub profile_fuel: u64,
     /// Path of the persistent best-ordering log.
     pub store_path: PathBuf,
+    /// When the store folds its tail log into a snapshot.
+    pub compaction: CompactionPolicy,
+    /// How long recording stays disabled after the disk fills. While
+    /// down, compiles still answer (store reads, policy, baseline) —
+    /// only persistence is skipped; after the backoff the next record
+    /// retries.
+    pub store_retry: Duration,
+    /// `retry_ms=` hint attached to `overloaded`/`deadline` refusals —
+    /// how long a well-behaved client should back off before retrying.
+    pub retry_hint_ms: u64,
     /// Accept the `CHAOS` verb (tests/benches only).
     pub chaos: bool,
     /// Turn the telemetry registry on at startup (required for `STATS`
@@ -112,6 +131,9 @@ impl Default for ServerConfig {
             fuel: FuelBudget::default(),
             profile_fuel: 4_000_000,
             store_path: PathBuf::from("serve_store.log"),
+            compaction: CompactionPolicy::default(),
+            store_retry: Duration::from_secs(2),
+            retry_hint_ms: 50,
             chaos: false,
             telemetry: true,
             flight: FlightConfig {
@@ -196,6 +218,10 @@ struct Shared {
     cfg: ServerConfig,
     engine: InferenceEngine,
     store: Mutex<BestStore>,
+    /// While `Some(t)` and `now < t`, recording is down (the disk
+    /// filled): compiles keep answering but skip persistence until the
+    /// backoff elapses, then the next record retries the disk.
+    record_down_until: Mutex<Option<Instant>>,
     quarantine: Quarantine,
     gate: Gate,
     hls: HlsConfig,
@@ -216,7 +242,7 @@ impl Shared {
         // Unblock the accept loop with a throwaway connection.
         let _ = TcpStream::connect(self.local_addr);
         // Unblock handler threads parked in read_request.
-        let conns = self.conns.lock().unwrap();
+        let conns = lock_recover(&self.conns);
         for stream in conns.values() {
             let _ = stream.shutdown(NetShutdown::Both);
         }
@@ -252,18 +278,35 @@ impl Server {
     /// Bad bind address, unopenable store, or a policy whose shape does
     /// not match the serving observation layout.
     pub fn start(policy: Mlp, cfg: ServerConfig) -> Result<Server, StartError> {
+        let engine = InferenceEngine::start(policy, cfg.engine.clone())
+            .map_err(|e| StartError(e.to_string()))?;
+        Server::start_with_engine(engine, cfg)
+    }
+
+    /// Bring the daemon up with *no* policy: every request degrades to
+    /// the store or the fixed baseline ordering. This is the survival
+    /// mode behind checkpoint armor — a corrupt checkpoint quarantines,
+    /// and the service keeps answering instead of dying.
+    ///
+    /// # Errors
+    ///
+    /// Bad bind address or an unopenable store.
+    pub fn start_baseline_only(cfg: ServerConfig) -> Result<Server, StartError> {
+        telemetry::incr("serve.engine", "baseline_only", 1);
+        Server::start_with_engine(InferenceEngine::start_baseline_only(), cfg)
+    }
+
+    fn start_with_engine(engine: InferenceEngine, cfg: ServerConfig) -> Result<Server, StartError> {
         let listener = TcpListener::bind(&cfg.addr)
             .map_err(|e| StartError(format!("bind {}: {e}", cfg.addr)))?;
         let local_addr = listener
             .local_addr()
             .map_err(|e| StartError(format!("local_addr: {e}")))?;
-        let store = BestStore::open(&cfg.store_path)
+        let store = BestStore::open_with(&cfg.store_path, cfg.compaction)
             .map_err(|e| StartError(format!("store {}: {e}", cfg.store_path.display())))?;
         if store.dropped_on_open() {
             telemetry::incr("serve.store", "torn_tail_dropped", 1);
         }
-        let engine = InferenceEngine::start(policy, cfg.engine.clone())
-            .map_err(|e| StartError(e.to_string()))?;
         let hls = HlsConfig::default().with_profile_fuel(cfg.profile_fuel);
         if cfg.telemetry {
             telemetry::enable();
@@ -274,6 +317,7 @@ impl Server {
             cfg,
             engine,
             store: Mutex::new(store),
+            record_down_until: Mutex::new(None),
             quarantine: Quarantine::default(),
             hls,
             shutting_down: AtomicBool::new(false),
@@ -302,7 +346,13 @@ impl Server {
 
     /// Programs currently in the persistent store.
     pub fn store_len(&self) -> usize {
-        self.shared.store.lock().unwrap().len()
+        lock_recover(&self.shared.store).len()
+    }
+
+    /// Whether this daemon is serving without a policy (checkpoint armor
+    /// fell back to [`Server::start_baseline_only`]).
+    pub fn is_baseline_only(&self) -> bool {
+        self.shared.engine.is_baseline_only()
     }
 
     /// Block until the daemon shuts down (a client sent the protocol
@@ -331,6 +381,12 @@ impl Server {
         {
             std::thread::sleep(Duration::from_millis(2));
         }
+        // Graceful shutdown folds the tail into a snapshot, so the next
+        // open replays O(live entries) instead of the whole history.
+        // Best-effort: a failed compaction leaves a valid tail behind.
+        if lock_recover(&self.shared.store).compact_if_dirty().is_err() {
+            telemetry::incr("serve.store", "compaction_error", 1);
+        }
     }
 }
 
@@ -356,6 +412,7 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
                 &mut w,
                 &Reply::Err {
                     kind: ErrKind::Internal,
+                    retry_ms: None,
                     msg: "shutting down".into(),
                 },
             );
@@ -370,6 +427,7 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
                 &mut w,
                 &Reply::Err {
                     kind: ErrKind::Overloaded,
+                    retry_ms: Some(shared.cfg.retry_hint_ms),
                     msg: format!("connection limit ({}) reached", shared.cfg.max_conns),
                 },
             );
@@ -393,7 +451,7 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
 fn handle_conn(shared: &Arc<Shared>, stream: TcpStream) {
     let conn_id = shared.conn_seq.fetch_add(1, Ordering::SeqCst);
     if let Ok(clone) = stream.try_clone() {
-        shared.conns.lock().unwrap().insert(conn_id, clone);
+        lock_recover(&shared.conns).insert(conn_id, clone);
     }
     let reader = stream.try_clone();
     if let Ok(reader) = reader {
@@ -410,6 +468,7 @@ fn handle_conn(shared: &Arc<Shared>, stream: TcpStream) {
                         &mut writer,
                         &Reply::Err {
                             kind: ErrKind::BadRequest,
+                            retry_ms: None,
                             msg: e.to_string(),
                         },
                     );
@@ -421,14 +480,16 @@ fn handle_conn(shared: &Arc<Shared>, stream: TcpStream) {
             let (reply, hang_up) = match req {
                 Request::Ping => (Reply::Ack, false),
                 Request::Shutdown => (Reply::Ack, true),
-                Request::Chaos { faults } => {
+                Request::Chaos { faults, crashes } => {
                     if shared.cfg.chaos {
                         shared.engine.inject_faults(faults);
+                        shared.engine.inject_crashes(crashes);
                         (Reply::Ack, false)
                     } else {
                         (
                             Reply::Err {
                                 kind: ErrKind::BadRequest,
+                                retry_ms: None,
                                 msg: "chaos disabled".into(),
                             },
                             false,
@@ -518,7 +579,41 @@ fn complete_trace(shared: &Shared, trace: TraceBuilder) {
     shared.flight.complete(done);
 }
 
-fn refuse(kind: ErrKind, msg: String) -> Reply {
+/// Persist a best-known ordering, degrading gracefully on disk faults.
+///
+/// Any append error is non-fatal — the reply is already computed, only
+/// persistence failed. A *full disk* additionally disables recording
+/// for [`ServerConfig::store_retry`]: while down, compiles skip the
+/// write entirely (`serve.store{record_skipped}`) instead of hammering
+/// a disk known to be full; after the backoff the next record retries
+/// (`serve.store{record_retry}`) and re-arms the backoff if the disk is
+/// still full.
+fn record_best(shared: &Shared, fp: u64, entry: BestEntry) {
+    let now = Instant::now();
+    {
+        let mut down = lock_recover(&shared.record_down_until);
+        match *down {
+            Some(until) if now < until => {
+                telemetry::incr("serve.store", "record_skipped", 1);
+                return;
+            }
+            Some(_) => {
+                *down = None;
+                telemetry::incr("serve.store", "record_retry", 1);
+            }
+            None => {}
+        }
+    }
+    if let Err(e) = lock_recover(&shared.store).record(fp, entry) {
+        telemetry::incr("serve.store", "append_error", 1);
+        if autophase_telemetry::faultfs::is_disk_full(&e) {
+            telemetry::incr("serve.store", "enospc", 1);
+            *lock_recover(&shared.record_down_until) = Some(now + shared.cfg.store_retry);
+        }
+    }
+}
+
+fn refuse(kind: ErrKind, retry_ms: Option<u64>, msg: String) -> Reply {
     let label = match kind {
         ErrKind::Overloaded => "err_overloaded",
         ErrKind::Deadline => "err_deadline",
@@ -527,7 +622,11 @@ fn refuse(kind: ErrKind, msg: String) -> Reply {
         ErrKind::Internal => "err_internal",
     };
     telemetry::incr("serve.req", label, 1);
-    Reply::Err { kind, msg }
+    Reply::Err {
+        kind,
+        retry_ms,
+        msg,
+    }
 }
 
 fn compile(
@@ -550,11 +649,16 @@ fn compile(
         Admission::Overloaded => {
             return refuse(
                 ErrKind::Overloaded,
+                Some(shared.cfg.retry_hint_ms),
                 format!("queue full (cap {})", shared.cfg.queue_cap),
             )
         }
         Admission::DeadlineExpired => {
-            return refuse(ErrKind::Deadline, "deadline expired while queued".into())
+            return refuse(
+                ErrKind::Deadline,
+                Some(shared.cfg.retry_hint_ms),
+                "deadline expired while queued".into(),
+            )
         }
     }
     let _permit = PermitGuard(&shared.gate);
@@ -562,7 +666,11 @@ fn compile(
     // A request that arrives (or is granted a permit) already past its
     // deadline gets the typed refusal before any pipeline work.
     if Instant::now() >= deadline {
-        return refuse(ErrKind::Deadline, "deadline expired before parse".into());
+        return refuse(
+            ErrKind::Deadline,
+            Some(shared.cfg.retry_hint_ms),
+            "deadline expired before parse".into(),
+        );
     }
 
     // Parse + verify. The parser is total on untrusted text with a
@@ -573,18 +681,18 @@ fn compile(
         Ok(m) => m,
         Err(e) => {
             trace.mark("parse");
-            return refuse(ErrKind::Parse, e.to_string());
+            return refuse(ErrKind::Parse, None, e.to_string());
         }
     };
     if let Err(e) = verify_module(&module) {
         trace.mark("parse");
-        return refuse(ErrKind::Parse, format!("verify: {e}"));
+        return refuse(ErrKind::Parse, None, format!("verify: {e}"));
     }
     trace.mark("parse");
 
     // Store rung: a known program answers from the index.
     let fp = fingerprint_module(&module);
-    let hit = shared.store.lock().unwrap().lookup(fp).cloned();
+    let hit = lock_recover(&shared.store).lookup(fp).cloned();
     trace.mark("store");
     if let Some(entry) = hit {
         let passes: Vec<usize> = entry.seq.iter().map(|&p| p as usize).collect();
@@ -620,7 +728,7 @@ fn compile(
             }
             None => {
                 trace.fault("replay");
-                shared.store.lock().unwrap().remove(fp);
+                lock_recover(&shared.store).remove(fp);
                 telemetry::incr("serve.store", "stale_dropped", 1);
             }
         }
@@ -631,7 +739,11 @@ fn compile(
     // The cold pipeline is the expensive part; do not start it for a
     // request that can no longer make its deadline.
     if Instant::now() >= deadline {
-        return refuse(ErrKind::Deadline, "deadline expired before rollout".into());
+        return refuse(
+            ErrKind::Deadline,
+            Some(shared.cfg.retry_hint_ms),
+            "deadline expired before rollout".into(),
+        );
     }
 
     // Cold: profile the input once (the baseline number and the store
@@ -640,7 +752,7 @@ fn compile(
         Ok(r) => r.cycles,
         Err(e) => {
             trace.mark("baseline_profile");
-            return refuse(ErrKind::Parse, format!("unprofileable input: {e}"));
+            return refuse(ErrKind::Parse, None, format!("unprofileable input: {e}"));
         }
     };
     trace.mark("baseline_profile");
@@ -681,7 +793,11 @@ fn compile(
         Ok(r) => r.cycles,
         Err(e) => {
             trace.mark("profile");
-            return refuse(ErrKind::Internal, format!("optimized unprofileable: {e}"));
+            return refuse(
+                ErrKind::Internal,
+                None,
+                format!("optimized unprofileable: {e}"),
+            );
         }
     };
     trace.mark("profile");
@@ -696,15 +812,15 @@ fn compile(
         baseline_cycles,
         seq: passes.iter().map(|&p| p as u16).collect(),
     };
-    if let Err(e) = shared.store.lock().unwrap().record(fp, entry) {
-        // Non-fatal: the answer is still good, only persistence failed.
-        telemetry::incr("serve.store", "append_error", 1);
-        let _ = e;
-    }
+    record_best(shared, fp, entry);
     trace.mark("record");
 
     if Instant::now() > deadline {
-        return refuse(ErrKind::Deadline, "deadline expired mid-pipeline".into());
+        return refuse(
+            ErrKind::Deadline,
+            Some(shared.cfg.retry_hint_ms),
+            "deadline expired mid-pipeline".into(),
+        );
     }
 
     telemetry::incr(

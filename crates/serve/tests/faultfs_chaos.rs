@@ -1,0 +1,266 @@
+//! Disk-fault chaos: drive the serve store (and a live daemon) through
+//! the injectable fault layer in `autophase_telemetry::faultfs`.
+//!
+//! Only built with `--features fault-injection` (`make durability-smoke`
+//! runs it). Every test arms a process-global fault plan, so they all
+//! serialize on `inject::test_guard()` and disarm before exiting.
+#![cfg(feature = "fault-injection")]
+
+use autophase_benchmarks::suite;
+use autophase_nn::mlp::{Activation, Mlp};
+use autophase_serve::client::Client;
+use autophase_serve::engine::{serve_num_actions, serve_obs_dim};
+use autophase_serve::protocol::Source;
+use autophase_serve::server::{Server, ServerConfig};
+use autophase_serve::store::{BestEntry, BestStore, CompactionPolicy};
+use autophase_telemetry::faultfs::inject::{
+    clear_plan, install_plan, test_guard, DiskFaultPlan, DiskFaultSpec,
+};
+use autophase_telemetry::faultfs::{DiskFaultKind, DiskOp};
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+fn tmp(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "autophase_faultchaos_{}_{name}.log",
+        std::process::id()
+    ))
+}
+
+fn wipe(path: &Path) {
+    for suffix in ["", ".snap", ".snap.tmp", ".snap.corrupt", ".tmp"] {
+        let _ = std::fs::remove_file(PathBuf::from(format!("{}{suffix}", path.display())));
+    }
+}
+
+fn entry(cycles: u64, seq_len: usize) -> BestEntry {
+    BestEntry {
+        cycles,
+        baseline_cycles: cycles + 500,
+        seq: (0..seq_len as u16).collect(),
+    }
+}
+
+/// Every append fails with `ENOSPC`: the daemon must keep compiling
+/// (serving without recording), skip the store while the disk is full,
+/// and pick recording back up once space returns and the retry window
+/// elapses — the full degrade/recover loop from the durability model.
+#[test]
+fn enospc_degrades_to_serving_without_recording_then_recovers() {
+    let _guard = test_guard();
+    clear_plan();
+    let store = tmp("enospc_daemon");
+    wipe(&store);
+    let server = Server::start(
+        Mlp::new(
+            &[serve_obs_dim(), 32, serve_num_actions()],
+            Activation::Tanh,
+            7,
+        ),
+        ServerConfig {
+            store_path: store.clone(),
+            store_retry: Duration::from_millis(400),
+            telemetry: false,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("server starts");
+    let ir = autophase_ir::printer::print_module(&suite()[0].module);
+    let mut client = Client::connect(server.addr()).expect("connect");
+
+    // Disk full: every tail append reports ENOSPC.
+    let plan = install_plan(DiskFaultPlan::new(vec![DiskFaultSpec {
+        op: DiskOp::Write,
+        tag: Some("store.append".to_string()),
+        nth: 0,
+        kind: DiskFaultKind::Enospc,
+        salt: 0,
+    }]));
+
+    // Cold compile still succeeds — the answer is served, the record
+    // silently fails and opens the degrade window.
+    let r1 = client.compile(&ir, Some(60_000), false).expect("cold");
+    assert_eq!(
+        r1.source,
+        Source::Policy,
+        "full disk must not break serving"
+    );
+    assert!(plan.fired() >= 1, "the append fault must actually fire");
+
+    // Inside the window the store is skipped outright: same program,
+    // still no store hit, and no further append attempts burn on ENOSPC.
+    let fired_before = plan.fired();
+    let r2 = client.compile(&ir, Some(60_000), false).expect("degraded");
+    assert_eq!(r2.source, Source::Policy, "nothing was recorded");
+    assert_eq!(
+        plan.fired(),
+        fired_before,
+        "degraded mode must not retry before the window elapses"
+    );
+
+    // Space comes back; after the retry window recording resumes.
+    clear_plan();
+    std::thread::sleep(Duration::from_millis(500));
+    let r3 = client.compile(&ir, Some(60_000), false).expect("recovered");
+    assert_eq!(r3.source, Source::Policy, "store is still empty on arrival");
+    let r4 = client.compile(&ir, Some(60_000), false).expect("warm");
+    assert_eq!(r4.source, Source::Store, "recording must have recovered");
+
+    server.shutdown();
+    wipe(&store);
+}
+
+/// A torn append (crash mid-write) errors the offending `record()` call
+/// only: previously acknowledged records survive reopen, later appends
+/// overwrite the torn bytes, and the torn record never becomes visible.
+#[test]
+fn torn_append_loses_only_the_unacknowledged_record() {
+    let _guard = test_guard();
+    clear_plan();
+    let path = tmp("torn");
+    wipe(&path);
+
+    let mut s = BestStore::open_with(&path, CompactionPolicy::never()).unwrap();
+    for fp in 0..3u64 {
+        assert!(s.record(fp, entry(1_000 + fp, 4)).unwrap());
+    }
+
+    install_plan(DiskFaultPlan::new(vec![DiskFaultSpec {
+        op: DiskOp::Write,
+        tag: Some("store.append".to_string()),
+        nth: 1,
+        kind: DiskFaultKind::TornWrite,
+        salt: 0xDEAD,
+    }]));
+    s.record(99, entry(50, 6))
+        .expect_err("torn write must surface as an error");
+    clear_plan();
+
+    // The next append goes to the same offset, burying the torn bytes.
+    assert!(s.record(4, entry(2_000, 2)).unwrap());
+    drop(s);
+
+    let s = BestStore::open_with(&path, CompactionPolicy::never()).unwrap();
+    assert_eq!(s.len(), 4, "three seeds + the post-tear append");
+    for fp in 0..3u64 {
+        assert_eq!(s.lookup(fp), Some(&entry(1_000 + fp, 4)));
+    }
+    assert_eq!(s.lookup(4), Some(&entry(2_000, 2)));
+    assert_eq!(s.lookup(99), None, "the torn record must not be a phantom");
+    wipe(&path);
+}
+
+/// Snapshot writes failing their sync never fail the triggering append:
+/// compaction errors are deferred, the tail keeps everything, and once
+/// the fault clears the next compaction folds the history as usual.
+#[test]
+fn snapshot_sync_failure_never_fails_an_acknowledged_append() {
+    let _guard = test_guard();
+    clear_plan();
+    let path = tmp("snapfail");
+    wipe(&path);
+    let eager = CompactionPolicy {
+        min_tail_bytes: 128,
+        tail_factor: 1.0,
+        dead_ratio: 0.3,
+    };
+
+    install_plan(DiskFaultPlan::new(vec![DiskFaultSpec {
+        op: DiskOp::Sync,
+        tag: Some("store.snapshot".to_string()),
+        nth: 0,
+        kind: DiskFaultKind::SyncFail,
+        salt: 0,
+    }]));
+    let mut s = BestStore::open_with(&path, eager).unwrap();
+    // Churn far past the thresholds: every record() that trips a
+    // compaction must still acknowledge its append.
+    for round in 0..6u64 {
+        for fp in 0..8u64 {
+            assert!(
+                s.record(fp, entry(1_000 - round, 4)).unwrap(),
+                "append must succeed even when its compaction cannot"
+            );
+        }
+    }
+    assert_eq!(s.stats().compactions, 0, "no compaction can finish");
+    clear_plan();
+
+    // Fault gone: the next winning append retries compaction inline.
+    assert!(s.record(0, entry(1, 4)).unwrap());
+    assert!(
+        s.stats().compactions > 0,
+        "deferred compaction must catch up"
+    );
+    drop(s);
+
+    let s = BestStore::open_with(&path, eager).unwrap();
+    assert_eq!(s.len(), 8);
+    assert_eq!(s.lookup(0), Some(&entry(1, 4)));
+    for fp in 1..8u64 {
+        assert_eq!(s.lookup(fp), Some(&entry(995, 4)), "churn winner survives");
+    }
+    wipe(&path);
+}
+
+/// Seeded fault storms across every store call site: whatever mix of
+/// torn writes, ENOSPC, sync failures, and short reads a seed deals,
+/// the store never panics and a post-storm reopen serves exactly the
+/// acknowledged set — nothing lost, nothing phantom.
+#[test]
+fn seeded_fault_storms_never_corrupt_acknowledged_state() {
+    let _guard = test_guard();
+    clear_plan();
+    let targets: &[(DiskOp, &str)] = &[
+        (DiskOp::Write, "store.append"),
+        (DiskOp::Write, "store.snapshot"),
+        (DiskOp::Sync, "store.append"),
+        (DiskOp::Sync, "store.snapshot"),
+        (DiskOp::Sync, "store.log"),
+        (DiskOp::Rename, "store.snapshot"),
+    ];
+    let eager = CompactionPolicy {
+        min_tail_bytes: 96,
+        tail_factor: 1.0,
+        dead_ratio: 0.3,
+    };
+
+    for seed in 0..24u64 {
+        let path = tmp(&format!("storm_{seed}"));
+        wipe(&path);
+
+        let mut acked: HashMap<u64, BestEntry> = HashMap::new();
+        {
+            // Open clean, then let the storm hit a running store — the
+            // bootstrap write of a brand-new log is not the scenario.
+            let mut s = BestStore::open_with(&path, eager).unwrap();
+            install_plan(DiskFaultPlan::seeded(seed, targets));
+            let mut x = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+            for _ in 0..40 {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                let fp = x % 6;
+                let e = entry(1 + x % 1_500, (x % 8) as usize);
+                // Errors are the point; only an Ok(true) is an ack.
+                if let Ok(true) = s.record(fp, e.clone()) {
+                    acked.insert(fp, e);
+                }
+            }
+        }
+        clear_plan();
+
+        let s = BestStore::open_with(&path, eager)
+            .unwrap_or_else(|e| panic!("seed {seed}: post-storm reopen failed: {e}"));
+        assert_eq!(s.len(), acked.len(), "seed {seed}: wrong entry count");
+        for (fp, want) in &acked {
+            assert_eq!(
+                s.lookup(*fp),
+                Some(want),
+                "seed {seed}: fp {fp} lost or rewritten"
+            );
+        }
+        wipe(&path);
+    }
+}

@@ -1,20 +1,22 @@
-//! APSTORE1 at corpus scale: 10k distinct fingerprints.
+//! APSTORE2 at corpus scale: 10k distinct fingerprints.
 //!
 //! The serve store was built against a 9-program benchmark suite; the
 //! corpus harness points ~10k distinct programs at it. These tests pin
 //! the properties that matter at that size:
 //!
-//! * a 10k-entry log reopens complete and intact (nothing dropped, no
+//! * a 10k-entry store reopens complete and intact (nothing dropped, no
 //!   torn-tail false positives, every entry retrievable);
-//! * the log is exactly as large as its live records — reopen work is
-//!   O(bytes of appended records), and the byte count is pinned by
-//!   formula, so any future compaction/GC change (ROADMAP item 1) that
-//!   alters the on-disk footprint must update this test consciously;
+//! * with compaction disabled, the tail log is exactly as large as its
+//!   appended records — the byte count is pinned by formula, so any
+//!   change to the record framing must update this test consciously;
 //! * insert-if-strictly-better churn appends **only** winning records:
-//!   rejected (equal-or-worse) inserts leave the file byte-identical.
+//!   rejected (equal-or-worse) inserts leave the file byte-identical;
+//! * with the default compaction policy, the same 10k-insert run folds
+//!   into a snapshot + short tail whose *live* size is pinned by
+//!   formula — dead history does not accumulate on disk.
 
-use autophase_serve::store::{BestEntry, BestStore};
-use std::path::PathBuf;
+use autophase_serve::store::{BestEntry, BestStore, CompactionPolicy};
+use std::path::{Path, PathBuf};
 
 fn tmp(name: &str) -> PathBuf {
     std::env::temp_dir().join(format!(
@@ -23,12 +25,26 @@ fn tmp(name: &str) -> PathBuf {
     ))
 }
 
-/// On-disk size of one record: len u32 + payload (26 + 2n) + checksum u64.
+/// Remove the tail log and every snapshot-generation sibling.
+fn wipe(path: &Path) {
+    for suffix in ["", ".snap", ".snap.tmp", ".snap.corrupt", ".tmp"] {
+        let _ = std::fs::remove_file(PathBuf::from(format!("{}{suffix}", path.display())));
+    }
+}
+
+/// On-disk size of one framed record (identical in the tail log and in
+/// snapshots): len u32 + payload (26 + 2n) + checksum u64.
 fn record_size(seq_len: usize) -> u64 {
     (4 + 26 + 2 * seq_len + 8) as u64
 }
 
+/// Tail log header: the 8-byte `APSTORE2` magic.
 const MAGIC_LEN: u64 = 8;
+
+/// Snapshot framing around the records: `APSNAPS2` magic (8) +
+/// generation (8) + end sentinel (4) + record count (8) + whole-file
+/// checksum (8).
+const SNAP_OVERHEAD: u64 = 8 + 8 + 4 + 8 + 8;
 
 fn entry_for(fp: u64) -> BestEntry {
     BestEntry {
@@ -44,11 +60,11 @@ fn entry_for(fp: u64) -> BestEntry {
 fn ten_thousand_fingerprints_reopen_complete() {
     const N: u64 = 10_000;
     let path = tmp("10k");
-    let _ = std::fs::remove_file(&path);
+    wipe(&path);
 
     let mut expected_bytes = MAGIC_LEN;
     {
-        let mut s = BestStore::open(&path).unwrap();
+        let mut s = BestStore::open_with(&path, CompactionPolicy::never()).unwrap();
         for fp in 0..N {
             let e = entry_for(fp);
             expected_bytes += record_size(e.seq.len());
@@ -59,10 +75,10 @@ fn ten_thousand_fingerprints_reopen_complete() {
     assert_eq!(
         std::fs::metadata(&path).unwrap().len(),
         expected_bytes,
-        "log holds exactly the appended records — nothing more"
+        "tail log holds exactly the appended records — nothing more"
     );
 
-    let reopened = BestStore::open(&path).unwrap();
+    let reopened = BestStore::open_with(&path, CompactionPolicy::never()).unwrap();
     assert!(!reopened.dropped_on_open(), "clean log, nothing dropped");
     assert_eq!(reopened.len(), N as usize, "every fingerprint survives");
     for fp in [0, 1, N / 2, N - 2, N - 1] {
@@ -74,16 +90,16 @@ fn ten_thousand_fingerprints_reopen_complete() {
     }
     // Reopen must not grow, shrink, or rewrite the file.
     assert_eq!(std::fs::metadata(&path).unwrap().len(), expected_bytes);
-    let _ = std::fs::remove_file(&path);
+    wipe(&path);
 }
 
 #[test]
 fn churn_appends_only_strictly_better_records() {
     let path = tmp("churn");
-    let _ = std::fs::remove_file(&path);
+    wipe(&path);
     const FPS: u64 = 200;
 
-    let mut s = BestStore::open(&path).unwrap();
+    let mut s = BestStore::open_with(&path, CompactionPolicy::never()).unwrap();
     let mut expected_bytes = MAGIC_LEN;
     // Seed every fingerprint at 1000 cycles with a 4-pass sequence.
     for fp in 0..FPS {
@@ -129,24 +145,72 @@ fn churn_appends_only_strictly_better_records() {
 
     // Replay rebuilds the post-churn index: the 900-cycle records win.
     drop(s);
-    let s = BestStore::open(&path).unwrap();
+    let s = BestStore::open_with(&path, CompactionPolicy::never()).unwrap();
     assert_eq!(s.len(), FPS as usize);
     for fp in 0..FPS {
         let e = s.lookup(fp).unwrap();
         assert_eq!(e.cycles, 900, "fp {fp} must serve the churn winner");
         assert_eq!(e.seq, vec![5, 6]);
     }
-    let _ = std::fs::remove_file(&path);
+    wipe(&path);
+}
+
+#[test]
+fn compaction_bounds_disk_to_live_entries_at_scale() {
+    const N: u64 = 10_000;
+    let path = tmp("compact10k");
+    wipe(&path);
+
+    {
+        let mut s = BestStore::open(&path).unwrap(); // default policy
+        for fp in 0..N {
+            assert!(s.record(fp, entry_for(fp)).unwrap());
+        }
+        // Overwrite every entry with a strictly better ordering — the
+        // history is now ≥50% dead, which the default dead-ratio
+        // trigger folds away.
+        for fp in 0..N {
+            let mut e = entry_for(fp);
+            e.cycles -= 1;
+            assert!(s.record(fp, e).unwrap());
+        }
+        assert!(s.stats().compactions > 0, "10k churn must compact");
+        s.compact_if_dirty().unwrap();
+    }
+
+    // After a final compaction the on-disk live bytes are exactly one
+    // snapshot of the N winners plus an empty tail.
+    let live_records: u64 = (0..N).map(|fp| record_size(entry_for(fp).seq.len())).sum();
+    let snap = PathBuf::from(format!("{}.snap", path.display()));
+    assert_eq!(
+        std::fs::metadata(&snap).unwrap().len(),
+        SNAP_OVERHEAD + live_records,
+        "snapshot holds exactly the live winners"
+    );
+    assert_eq!(
+        std::fs::metadata(&path).unwrap().len(),
+        MAGIC_LEN,
+        "tail is empty after compaction"
+    );
+
+    let reopened = BestStore::open(&path).unwrap();
+    assert_eq!(reopened.len(), N as usize);
+    for fp in [0, 1, N / 2, N - 1] {
+        let mut want = entry_for(fp);
+        want.cycles -= 1;
+        assert_eq!(reopened.lookup(fp), Some(&want), "winner {fp} survives");
+    }
+    wipe(&path);
 }
 
 #[test]
 fn reopen_scales_with_log_bytes_not_rescans() {
     // A coarse wall-clock sanity check that reopen is a single linear
-    // replay: opening a 10k-record log must land well under a second
+    // replay: opening a 10k-record store must land well under a second
     // even in debug builds (a quadratic scan would blow past this by
     // orders of magnitude). Generous bound to stay robust on slow CI.
     let path = tmp("linear");
-    let _ = std::fs::remove_file(&path);
+    wipe(&path);
     {
         let mut s = BestStore::open(&path).unwrap();
         for fp in 0..10_000u64 {
@@ -161,5 +225,5 @@ fn reopen_scales_with_log_bytes_not_rescans() {
         elapsed < std::time::Duration::from_secs(5),
         "reopen of 10k records took {elapsed:?} — replay is no longer linear"
     );
-    let _ = std::fs::remove_file(&path);
+    wipe(&path);
 }

@@ -1,0 +1,395 @@
+//! Injectable disk I/O for durability chaos testing.
+//!
+//! Every write the serving stack must survive losing — best-ordering
+//! store appends, snapshot compactions, policy checkpoint saves — is
+//! routed through the thin wrappers in this module instead of calling
+//! `std::fs`/`std::io` directly. In production builds the wrappers are
+//! zero-cost passthroughs. Under `cfg(any(test, feature =
+//! "fault-injection"))` an armed [`DiskFaultPlan`] can make any tagged
+//! operation fail deterministically: torn writes (a prefix lands, then
+//! an error), `ENOSPC`, fsync failure, and short reads — the four
+//! failure shapes the durability suite drills.
+//!
+//! The plan machinery mirrors `autophase_passes::fault`: a process-wide
+//! slot armed by [`install_plan`], a relaxed-atomic fast path when idle,
+//! per-spec match counters so "the Nth append" is well defined, and a
+//! [`test_guard`] mutex because the slot is process-global. Plans are
+//! reproducible from a single `u64` via [`DiskFaultPlan::seeded`].
+//!
+//! Call sites name themselves with a static `tag` (`"store.append"`,
+//! `"store.snapshot"`, `"ckpt.write"`, ...) so a plan can target one
+//! logical stream of I/O without disturbing the others.
+
+use std::fs::File;
+use std::io::{self, Write as _};
+use std::path::Path;
+
+/// The disk operations the layer can intercept.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DiskOp {
+    /// A buffered or direct write of bytes ([`write_all`]).
+    Write,
+    /// A durability barrier ([`sync_data`] / [`sync_all`]).
+    Sync,
+    /// A whole-file read ([`read`]).
+    Read,
+    /// An atomic rename ([`rename`]).
+    Rename,
+}
+
+/// What goes wrong with one intercepted operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DiskFaultKind {
+    /// A strict prefix of the buffer reaches the file, then the write
+    /// errors — the on-disk state a crash mid-append leaves behind.
+    TornWrite,
+    /// The operation fails with `ENOSPC` (raw OS error 28) and writes
+    /// nothing.
+    Enospc,
+    /// The sync (or other operation) reports an I/O error; any buffered
+    /// data may or may not be durable.
+    SyncFail,
+    /// The read returns a strict prefix of the file.
+    ShortRead,
+}
+
+/// `write_all` through the fault layer. `tag` names the call site.
+pub fn write_all(file: &mut File, buf: &[u8], tag: &'static str) -> io::Result<()> {
+    match poll(DiskOp::Write, tag) {
+        None => file.write_all(buf),
+        Some((DiskFaultKind::Enospc, _)) => Err(io::Error::from_raw_os_error(28)),
+        Some((DiskFaultKind::TornWrite, salt)) => {
+            if !buf.is_empty() {
+                let keep = (salt % buf.len() as u64) as usize;
+                file.write_all(&buf[..keep])?;
+                let _ = file.sync_data();
+            }
+            Err(io::Error::other("injected torn write"))
+        }
+        Some((_, _)) => Err(io::Error::other("injected write failure")),
+    }
+}
+
+/// `File::sync_data` through the fault layer.
+pub fn sync_data(file: &File, tag: &'static str) -> io::Result<()> {
+    match poll(DiskOp::Sync, tag) {
+        None => file.sync_data(),
+        Some((DiskFaultKind::Enospc, _)) => Err(io::Error::from_raw_os_error(28)),
+        Some((_, _)) => Err(io::Error::other("injected fsync failure")),
+    }
+}
+
+/// `File::sync_all` through the fault layer.
+pub fn sync_all(file: &File, tag: &'static str) -> io::Result<()> {
+    match poll(DiskOp::Sync, tag) {
+        None => file.sync_all(),
+        Some((DiskFaultKind::Enospc, _)) => Err(io::Error::from_raw_os_error(28)),
+        Some((_, _)) => Err(io::Error::other("injected fsync failure")),
+    }
+}
+
+/// `std::fs::read` through the fault layer. A planned [`ShortRead`]
+/// returns a strict prefix of the file, exactly what a torn mirror or a
+/// failing disk hands back.
+///
+/// [`ShortRead`]: DiskFaultKind::ShortRead
+pub fn read(path: &Path, tag: &'static str) -> io::Result<Vec<u8>> {
+    match poll(DiskOp::Read, tag) {
+        None => std::fs::read(path),
+        Some((DiskFaultKind::ShortRead, salt)) => {
+            let mut bytes = std::fs::read(path)?;
+            if !bytes.is_empty() {
+                bytes.truncate((salt % bytes.len() as u64) as usize);
+            }
+            Ok(bytes)
+        }
+        Some((DiskFaultKind::Enospc, _)) => Err(io::Error::from_raw_os_error(28)),
+        Some((_, _)) => Err(io::Error::other("injected read failure")),
+    }
+}
+
+/// `std::fs::rename` through the fault layer. An injected fault fails
+/// the rename without moving anything (the commit point never happens).
+pub fn rename(from: &Path, to: &Path, tag: &'static str) -> io::Result<()> {
+    match poll(DiskOp::Rename, tag) {
+        None => std::fs::rename(from, to),
+        Some((DiskFaultKind::Enospc, _)) => Err(io::Error::from_raw_os_error(28)),
+        Some((_, _)) => Err(io::Error::other("injected rename failure")),
+    }
+}
+
+/// True when `e` means the disk is full — the one I/O failure the
+/// server degrades through rather than merely counting.
+pub fn is_disk_full(e: &io::Error) -> bool {
+    e.raw_os_error() == Some(28) || matches!(e.kind(), io::ErrorKind::StorageFull)
+}
+
+#[cfg(not(any(test, feature = "fault-injection")))]
+#[inline(always)]
+fn poll(_op: DiskOp, _tag: &str) -> Option<(DiskFaultKind, u64)> {
+    None
+}
+
+#[cfg(any(test, feature = "fault-injection"))]
+use inject::poll;
+
+/// The plan machinery: compiled only for tests and the
+/// `fault-injection` feature, exactly like `autophase_passes::fault`.
+#[cfg(any(test, feature = "fault-injection"))]
+pub mod inject {
+    use super::{DiskFaultKind, DiskOp};
+    use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+    use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+
+    /// One planned disk fault: the `nth` (1-based; 0 = every) matching
+    /// operation fails with `kind`.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct DiskFaultSpec {
+        /// Which operation class to sabotage.
+        pub op: DiskOp,
+        /// Restrict to one call-site tag (`None` matches any tag).
+        pub tag: Option<String>,
+        /// Which matching operation fails, 1-based. `0` means *every*
+        /// matching operation fails — the "disk stays full" mode.
+        pub nth: u64,
+        /// What goes wrong.
+        pub kind: DiskFaultKind,
+        /// Deterministic entropy for the fault shape (how many bytes a
+        /// torn write keeps, where a short read cuts).
+        pub salt: u64,
+    }
+
+    /// A set of planned disk faults plus a fired-count for assertions.
+    #[derive(Debug)]
+    pub struct DiskFaultPlan {
+        specs: Vec<DiskFaultSpec>,
+        seen: Vec<AtomicU64>,
+        fired: AtomicU64,
+    }
+
+    impl DiskFaultPlan {
+        /// A plan from explicit specs.
+        pub fn new(specs: Vec<DiskFaultSpec>) -> DiskFaultPlan {
+            let seen = specs.iter().map(|_| AtomicU64::new(0)).collect();
+            DiskFaultPlan {
+                specs,
+                seen,
+                fired: AtomicU64::new(0),
+            }
+        }
+
+        /// A reproducible plan derived from `seed`: one fault per
+        /// `(op, tag)` target, with an op-appropriate kind, a
+        /// pseudo-random `nth` in `1..=3`, and pseudo-random salt.
+        pub fn seeded(seed: u64, targets: &[(DiskOp, &str)]) -> DiskFaultPlan {
+            let mut state = seed;
+            let mut next = move || {
+                state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = state;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            let specs = targets
+                .iter()
+                .map(|&(op, tag)| DiskFaultSpec {
+                    op,
+                    tag: Some(tag.to_string()),
+                    nth: next() % 3 + 1,
+                    kind: match op {
+                        DiskOp::Write => {
+                            if next() % 2 == 0 {
+                                DiskFaultKind::TornWrite
+                            } else {
+                                DiskFaultKind::Enospc
+                            }
+                        }
+                        DiskOp::Sync => DiskFaultKind::SyncFail,
+                        DiskOp::Read => DiskFaultKind::ShortRead,
+                        DiskOp::Rename => DiskFaultKind::Enospc,
+                    },
+                    salt: next(),
+                })
+                .collect();
+            DiskFaultPlan::new(specs)
+        }
+
+        /// The planned faults.
+        pub fn specs(&self) -> &[DiskFaultSpec] {
+            &self.specs
+        }
+
+        /// How many planned faults have fired so far.
+        pub fn fired(&self) -> u64 {
+            self.fired.load(Ordering::Relaxed)
+        }
+    }
+
+    static ACTIVE: AtomicBool = AtomicBool::new(false);
+
+    fn plan_slot() -> &'static Mutex<Option<Arc<DiskFaultPlan>>> {
+        static SLOT: Mutex<Option<Arc<DiskFaultPlan>>> = Mutex::new(None);
+        &SLOT
+    }
+
+    fn lock_slot() -> MutexGuard<'static, Option<Arc<DiskFaultPlan>>> {
+        plan_slot().lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Arm `plan` process-wide; returns the shared handle for
+    /// [`DiskFaultPlan::fired`] assertions. Replaces any previous plan.
+    pub fn install_plan(plan: DiskFaultPlan) -> Arc<DiskFaultPlan> {
+        let plan = Arc::new(plan);
+        *lock_slot() = Some(Arc::clone(&plan));
+        ACTIVE.store(true, Ordering::Release);
+        plan
+    }
+
+    /// Disarm the harness (subsequent polls see no faults).
+    pub fn clear_plan() {
+        ACTIVE.store(false, Ordering::Release);
+        *lock_slot() = None;
+    }
+
+    /// Serialize tests that install plans: the slot is process-global.
+    pub fn test_guard() -> MutexGuard<'static, ()> {
+        static GUARD: Mutex<()> = Mutex::new(());
+        GUARD.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    pub(super) fn poll(op: DiskOp, tag: &str) -> Option<(DiskFaultKind, u64)> {
+        if !ACTIVE.load(Ordering::Acquire) {
+            return None;
+        }
+        let plan = lock_slot().clone()?;
+        for (i, s) in plan.specs.iter().enumerate() {
+            if s.op != op || s.tag.as_deref().is_some_and(|t| t != tag) {
+                continue;
+            }
+            let seen = plan.seen[i].fetch_add(1, Ordering::Relaxed) + 1;
+            if s.nth == 0 || s.nth == seen {
+                plan.fired.fetch_add(1, Ordering::Relaxed);
+                return Some((s.kind, s.salt));
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::inject::{clear_plan, install_plan, test_guard, DiskFaultPlan, DiskFaultSpec};
+    use super::*;
+    use std::io::Read as _;
+    use std::path::PathBuf;
+
+    fn tmp(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("autophase_faultfs_{}_{name}", std::process::id()))
+    }
+
+    #[test]
+    fn passthrough_when_idle() {
+        let _g = test_guard();
+        clear_plan();
+        let path = tmp("idle");
+        let mut f = File::create(&path).unwrap();
+        write_all(&mut f, b"hello", "t.write").unwrap();
+        sync_data(&f, "t.sync").unwrap();
+        sync_all(&f, "t.sync").unwrap();
+        drop(f);
+        assert_eq!(read(&path, "t.read").unwrap(), b"hello");
+        let to = tmp("idle2");
+        rename(&path, &to, "t.rename").unwrap();
+        assert_eq!(read(&to, "t.read").unwrap(), b"hello");
+        let _ = std::fs::remove_file(&to);
+    }
+
+    #[test]
+    fn torn_write_keeps_a_strict_prefix() {
+        let _g = test_guard();
+        let plan = install_plan(DiskFaultPlan::new(vec![DiskFaultSpec {
+            op: DiskOp::Write,
+            tag: Some("t.torn".into()),
+            nth: 2,
+            kind: DiskFaultKind::TornWrite,
+            salt: 3,
+        }]));
+        let path = tmp("torn");
+        let mut f = File::create(&path).unwrap();
+        write_all(&mut f, b"aaaa", "t.torn").unwrap(); // 1st: clean
+        let err = write_all(&mut f, b"bbbb", "t.torn").unwrap_err(); // 2nd: torn
+        assert!(err.to_string().contains("torn"));
+        drop(f);
+        let bytes = std::fs::read(&path).unwrap();
+        assert_eq!(bytes, b"aaaabbb", "salt=3 tears after 3 of 4 bytes");
+        assert_eq!(plan.fired(), 1);
+        clear_plan();
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn enospc_every_matching_write_until_cleared() {
+        let _g = test_guard();
+        install_plan(DiskFaultPlan::new(vec![DiskFaultSpec {
+            op: DiskOp::Write,
+            tag: Some("t.full".into()),
+            nth: 0,
+            kind: DiskFaultKind::Enospc,
+            salt: 0,
+        }]));
+        let path = tmp("full");
+        let mut f = File::create(&path).unwrap();
+        for _ in 0..3 {
+            let err = write_all(&mut f, b"x", "t.full").unwrap_err();
+            assert!(is_disk_full(&err), "{err}");
+        }
+        // Other tags are untouched.
+        write_all(&mut f, b"y", "t.other").unwrap();
+        clear_plan();
+        write_all(&mut f, b"z", "t.full").unwrap();
+        drop(f);
+        let mut s = String::new();
+        File::open(&path).unwrap().read_to_string(&mut s).unwrap();
+        assert_eq!(s, "yz", "faulted writes left no bytes behind");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn short_read_returns_strict_prefix() {
+        let _g = test_guard();
+        let path = tmp("short");
+        std::fs::write(&path, b"0123456789").unwrap();
+        install_plan(DiskFaultPlan::new(vec![DiskFaultSpec {
+            op: DiskOp::Read,
+            tag: None,
+            nth: 1,
+            kind: DiskFaultKind::ShortRead,
+            salt: 14, // 14 % 10 = 4
+        }]));
+        assert_eq!(read(&path, "t.read").unwrap(), b"0123");
+        assert_eq!(read(&path, "t.read").unwrap(), b"0123456789");
+        clear_plan();
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn sync_and_rename_faults_fire_deterministically() {
+        let _g = test_guard();
+        let plan = install_plan(DiskFaultPlan::seeded(
+            42,
+            &[(DiskOp::Sync, "t.s"), (DiskOp::Rename, "t.r")],
+        ));
+        let again = DiskFaultPlan::seeded(42, &[(DiskOp::Sync, "t.s"), (DiskOp::Rename, "t.r")]);
+        assert_eq!(plan.specs(), again.specs(), "seeded plans reproduce");
+        let path = tmp("syncfault");
+        let f = File::create(&path).unwrap();
+        let nth = plan.specs()[0].nth;
+        for i in 1..=nth {
+            let r = sync_data(&f, "t.s");
+            assert_eq!(r.is_err(), i == nth, "sync {i}/{nth}");
+        }
+        assert_eq!(plan.fired(), 1);
+        clear_plan();
+        let _ = std::fs::remove_file(&path);
+    }
+}

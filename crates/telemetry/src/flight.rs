@@ -215,6 +215,12 @@ pub struct FlightConfig {
     /// Hard cap on dump artifacts per recorder lifetime — a failure
     /// flood must not fill the disk.
     pub max_dumps: usize,
+    /// Rotation: at most this many `flight-*.jsonl` files are kept in
+    /// the dump directory; writing a new one deletes the oldest beyond
+    /// the cap. Unlike [`max_dumps`](FlightConfig::max_dumps) (which
+    /// bounds one recorder's lifetime), this bounds the *directory*
+    /// across daemon restarts. 0 disables rotation.
+    pub max_dump_files: usize,
     /// Outcomes that trigger a dump on sight (e.g. `refused:deadline`,
     /// `refused:overloaded`). Matched exactly.
     pub dump_outcomes: Vec<String>,
@@ -227,6 +233,7 @@ impl Default for FlightConfig {
             slow_threshold: None,
             dump_dir: None,
             max_dumps: 32,
+            max_dump_files: 64,
             dump_outcomes: Vec::new(),
         }
     }
@@ -392,7 +399,50 @@ impl FlightRecorder {
         let file = format!("flight-{:08}-{}.jsonl", offending.id, trigger.as_str());
         let path = crate::sink::write_artifact(dir.to_str()?, &file, &body)?;
         crate::incr("flight.dump", trigger.as_str(), 1);
+        rotate_dumps(dir, self.cfg.max_dump_files);
         Some(path)
+    }
+}
+
+/// Keep the newest `keep` `flight-*.jsonl` artifacts in `dir`, deleting
+/// the rest (oldest first, by modification time with the file name as a
+/// deterministic tie-break). Deleted files land in the
+/// `flight.dump_rotated` counter. Every error is swallowed — rotation is
+/// hygiene, and hygiene must never take the service down.
+fn rotate_dumps(dir: &std::path::Path, keep: usize) {
+    if keep == 0 {
+        return;
+    }
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    let mut dumps: Vec<(std::time::SystemTime, String, PathBuf)> = entries
+        .flatten()
+        .filter_map(|e| {
+            let name = e.file_name().to_str()?.to_string();
+            if !(name.starts_with("flight-") && name.ends_with(".jsonl")) {
+                return None;
+            }
+            let mtime = e
+                .metadata()
+                .and_then(|m| m.modified())
+                .unwrap_or(UNIX_EPOCH);
+            Some((mtime, name, e.path()))
+        })
+        .collect();
+    if dumps.len() <= keep {
+        return;
+    }
+    dumps.sort();
+    let excess = dumps.len() - keep;
+    let mut rotated = 0u64;
+    for (_, _, path) in dumps.into_iter().take(excess) {
+        if std::fs::remove_file(path).is_ok() {
+            rotated += 1;
+        }
+    }
+    if rotated > 0 {
+        crate::incr("flight.dump_rotated", "", rotated);
     }
 }
 
@@ -530,6 +580,41 @@ mod tests {
         let (_, p3) = rec.complete(t.finish());
         assert!(p3.is_none(), "max_dumps not enforced");
         assert_eq!(rec.dumps_written(), 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn dump_rotation_keeps_only_the_newest_files() {
+        let dir = std::env::temp_dir().join(format!("autophase_flight_rot_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let rec = FlightRecorder::new(FlightConfig {
+            dump_dir: Some(dir.clone()),
+            max_dumps: 16,
+            max_dump_files: 3,
+            ..FlightConfig::default()
+        });
+        for _ in 0..6 {
+            let mut t = rec.begin();
+            t.mark("rollout");
+            t.fault("rollout");
+            t.set_outcome("ok:baseline");
+            let (_, path) = rec.complete(t.finish());
+            assert!(path.is_some(), "fault must dump");
+        }
+        let mut names: Vec<String> = std::fs::read_dir(&dir)
+            .unwrap()
+            .flatten()
+            .filter_map(|e| e.file_name().to_str().map(String::from))
+            .filter(|n| n.starts_with("flight-") && n.ends_with(".jsonl"))
+            .collect();
+        names.sort();
+        assert_eq!(names.len(), 3, "rotation cap violated: {names:?}");
+        // Zero-padded ids sort lexicographically: the survivors are the
+        // three newest dumps.
+        assert!(
+            names[0].starts_with("flight-00000003"),
+            "oldest kept was {names:?}"
+        );
         let _ = std::fs::remove_dir_all(&dir);
     }
 

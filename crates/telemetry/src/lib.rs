@@ -53,6 +53,7 @@
 //! ```
 #![warn(missing_docs)]
 
+pub mod faultfs;
 pub mod flight;
 pub mod metrics;
 pub mod sink;
