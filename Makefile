@@ -3,9 +3,9 @@
 
 CARGO ?= cargo
 
-.PHONY: ci build test clippy fmt fmt-fix bench telemetry chaos perf-smoke serve-smoke trace-smoke corpus-smoke durability-smoke
+.PHONY: ci build test clippy fmt fmt-fix bench telemetry chaos perf-smoke serve-smoke trace-smoke corpus-smoke durability-smoke simd-matrix
 
-ci: build test telemetry chaos perf-smoke serve-smoke trace-smoke corpus-smoke durability-smoke clippy fmt
+ci: build test telemetry chaos perf-smoke serve-smoke trace-smoke corpus-smoke durability-smoke simd-matrix clippy fmt
 
 build:
 	$(CARGO) build --release
@@ -77,7 +77,28 @@ durability-smoke:
 # Incremental-evaluation perf gate (DESIGN.md §4f): the differential
 # suite proves the per-function caches are bit-invisible across every
 # Table-1 pass, then rollout_bench enforces the single-worker speedup
-# floor and refreshes BENCH_incremental.json.
+# floor and refreshes BENCH_incremental.json. gemm_bench re-checks the
+# SIMD kernels bitwise and enforces the single-op GEMM floor
+# (DESIGN.md §4k, ROADMAP item 2) while refreshing BENCH_gemm.json.
 perf-smoke:
 	$(CARGO) test -q --release -p autophase-features --test incremental_diff
 	$(CARGO) run --release -p autophase-bench --bin rollout_bench -- --scale medium --telemetry jsonl --min-speedup 1.5
+	$(CARGO) run --release -p autophase-bench --bin gemm_bench -- --min-speedup 4
+
+# SIMD feature matrix (DESIGN.md §4k): the nn crate must build, test,
+# and lint clean with the kernels at every width — default (`simd`),
+# forced-scalar (`--no-default-features`), and the nightly `std::simd`
+# backend when a nightly toolchain is installed (skipped on stable-only
+# machines).
+simd-matrix:
+	$(CARGO) test -q -p autophase-nn
+	$(CARGO) test -q -p autophase-nn --no-default-features
+	$(CARGO) clippy -p autophase-nn --all-targets -- -D warnings
+	$(CARGO) clippy -p autophase-nn --no-default-features --all-targets -- -D warnings
+	@if rustup toolchain list 2>/dev/null | grep -q nightly; then \
+		echo "nightly toolchain found: checking the std::simd backend"; \
+		$(CARGO) +nightly clippy -p autophase-nn --features nightly-simd --all-targets -- -D warnings && \
+		$(CARGO) +nightly test -q -p autophase-nn --features nightly-simd; \
+	else \
+		echo "no nightly toolchain: skipping the std::simd backend check"; \
+	fi

@@ -98,6 +98,131 @@ pub fn subtract(dst: &mut FeatureVector, src: &FeatureVector) {
     }
 }
 
+// ---- vectorized (tally-based) instruction counting ----
+//
+// Instead of bumping up to four scattered `f[...]` slots per instruction
+// through a 20-arm match, each instruction is classified once into a
+// compact opcode class; a block tallies classes into a dense counter
+// array (the "chunk"), and the chunk is scattered to feature indices in
+// one pass over a constant class→features table. Exact integer counts —
+// bit-identical to [`extract_function_reference`], which the
+// `extract_diff` suite pins.
+
+/// Compact opcode classes — one per distinct Table-2 counting behavior.
+#[derive(Clone, Copy)]
+#[repr(usize)]
+enum OpClass {
+    AShr = 0,
+    Add,
+    And,
+    LShr,
+    Mul,
+    Or,
+    Shl,
+    Sub,
+    Xor,
+    OtherBin,
+    ICmp,
+    Select,
+    Phi,
+    Alloca,
+    Load,
+    Store,
+    Gep,
+    BitCast,
+    SExt,
+    Trunc,
+    ZExt,
+    CallInt,
+    CallOther,
+    Br,
+    CondBr,
+    Switch,
+    Ret,
+    Unreachable,
+}
+
+const NUM_OP_CLASSES: usize = OpClass::Unreachable as usize + 1;
+
+/// Feature indices each class contributes one count to. Covers the plain
+/// per-instruction counters (25–49), the aggregates (15 branches,
+/// 23 unconditional, 32 Br insts, 33 calls, 16 int-returning calls,
+/// 41 rets, 52 memory, 55 unary); φ-arg and constant-operand features
+/// need operand payloads and are tallied separately.
+const CLASS_FEATURES: [&[usize]; NUM_OP_CLASSES] = [
+    &[25],         // AShr
+    &[26],         // Add
+    &[28],         // And
+    &[36],         // LShr
+    &[38],         // Mul
+    &[39],         // Or
+    &[44],         // Shl
+    &[46],         // Sub
+    &[48],         // Xor
+    &[],           // other binary ops
+    &[35],         // ICmp
+    &[43],         // Select
+    &[40],         // Phi
+    &[27],         // Alloca
+    &[37, 52, 55], // Load (memory, unary)
+    &[45, 52],     // Store (memory)
+    &[34],         // Gep
+    &[31, 55],     // BitCast (unary)
+    &[42, 55],     // SExt (unary)
+    &[47, 55],     // Trunc (unary)
+    &[49, 55],     // ZExt (unary)
+    &[33, 16],     // Call returning int
+    &[33],         // other Call
+    &[15, 23, 32], // Br (branch, unconditional, Br inst)
+    &[15, 32],     // CondBr (branch, Br inst)
+    &[15],         // Switch (branch)
+    &[41],         // Ret
+    &[],           // Unreachable
+];
+
+#[inline]
+fn classify(m: &Module, op: &Opcode) -> OpClass {
+    match op {
+        Opcode::Binary(op, ..) => match op {
+            BinOp::AShr => OpClass::AShr,
+            BinOp::Add => OpClass::Add,
+            BinOp::And => OpClass::And,
+            BinOp::LShr => OpClass::LShr,
+            BinOp::Mul => OpClass::Mul,
+            BinOp::Or => OpClass::Or,
+            BinOp::Shl => OpClass::Shl,
+            BinOp::Sub => OpClass::Sub,
+            BinOp::Xor => OpClass::Xor,
+            _ => OpClass::OtherBin,
+        },
+        Opcode::ICmp(..) => OpClass::ICmp,
+        Opcode::Select { .. } => OpClass::Select,
+        Opcode::Phi { .. } => OpClass::Phi,
+        Opcode::Alloca { .. } => OpClass::Alloca,
+        Opcode::Load { .. } => OpClass::Load,
+        Opcode::Store { .. } => OpClass::Store,
+        Opcode::Gep { .. } => OpClass::Gep,
+        Opcode::Cast(op, _) => match op {
+            CastOp::BitCast => OpClass::BitCast,
+            CastOp::SExt => OpClass::SExt,
+            CastOp::Trunc => OpClass::Trunc,
+            CastOp::ZExt => OpClass::ZExt,
+        },
+        Opcode::Call { callee, .. } => {
+            if m.func_exists(*callee) && m.func(*callee).ret_ty.is_int() {
+                OpClass::CallInt
+            } else {
+                OpClass::CallOther
+            }
+        }
+        Opcode::Br { .. } => OpClass::Br,
+        Opcode::CondBr { .. } => OpClass::CondBr,
+        Opcode::Switch { .. } => OpClass::Switch,
+        Opcode::Ret { .. } => OpClass::Ret,
+        Opcode::Unreachable => OpClass::Unreachable,
+    }
+}
+
 /// One function's contribution to the module feature vector.
 ///
 /// Almost every feature is function-local; the exception is feature 16
@@ -106,6 +231,124 @@ pub fn subtract(dst: &mut FeatureVector, src: &FeatureVector) {
 /// signature changes (the incremental extractor rebuilds from scratch on
 /// any signature or structural change).
 pub fn extract_function(m: &Module, fid: FuncId) -> FeatureVector {
+    let mut f = [0i64; NUM_FEATURES];
+    let func = m.func(fid);
+    let cfg = Cfg::new(func);
+    f[53] += 1; // non-external functions (all our functions have bodies)
+    f[17] += cfg.critical_edges().len() as i64;
+    f[18] += cfg.num_edges() as i64;
+
+    for bb in func.block_ids() {
+        f[50] += 1; // basic blocks
+        let preds = cfg.preds(bb).len();
+        let succs = cfg.succs(bb).len();
+
+        // Phase 1: tally the block's instructions by class, plus the
+        // operand-payload counters no class count can carry.
+        let mut counts = [0i64; NUM_OP_CLASSES];
+        let mut inst_count = 0i64;
+        let mut phi_args = 0i64;
+        let mut bin_const = 0i64;
+        let mut const_i32 = 0i64;
+        let mut const_i64 = 0i64;
+        let mut const_zero = 0i64;
+        let mut const_one = 0i64;
+        for (_, inst) in func.insts_in(bb) {
+            inst_count += 1;
+            counts[classify(m, &inst.op) as usize] += 1;
+            match &inst.op {
+                Opcode::Binary(_, a, b) if a.is_const() || b.is_const() => bin_const += 1,
+                Opcode::Phi { incoming } => phi_args += incoming.len() as i64,
+                _ => {}
+            }
+            inst.for_each_operand(|v| {
+                if let Value::ConstInt(ty, c) = v {
+                    match ty {
+                        autophase_ir::Type::I32 => const_i32 += 1,
+                        autophase_ir::Type::I64 => const_i64 += 1,
+                        _ => {}
+                    }
+                    if c == 0 {
+                        const_zero += 1;
+                    } else if v.is_one() {
+                        const_one += 1;
+                    }
+                }
+            });
+        }
+
+        // Phase 2: scatter the chunk to feature indices.
+        for (cls, &cnt) in counts.iter().enumerate() {
+            if cnt != 0 {
+                for &fi in CLASS_FEATURES[cls] {
+                    f[fi] += cnt;
+                }
+            }
+        }
+        f[51] += inst_count;
+        f[54] += phi_args;
+        f[24] += bin_const;
+        f[19] += const_i32;
+        f[20] += const_i64;
+        f[21] += const_zero;
+        f[22] += const_one;
+
+        // Block-shape features.
+        let phi_count = counts[OpClass::Phi as usize];
+        if phi_args > 5 {
+            f[0] += 1;
+        } else if phi_args >= 1 {
+            f[1] += 1;
+        }
+        if preds == 1 {
+            f[2] += 1;
+            if succs == 1 {
+                f[3] += 1;
+            }
+            if succs == 2 {
+                f[4] += 1;
+            }
+        }
+        if succs == 1 {
+            f[5] += 1;
+        }
+        if preds == 2 {
+            f[6] += 1;
+            if succs == 1 {
+                f[7] += 1;
+            }
+            if succs == 2 {
+                f[8] += 1;
+            }
+        }
+        if succs == 2 {
+            f[9] += 1;
+        }
+        if preds > 2 {
+            f[10] += 1;
+        }
+        if phi_count == 0 {
+            f[13] += 1;
+        } else if phi_count <= 3 {
+            f[11] += 1;
+        } else {
+            f[12] += 1;
+        }
+        f[14] += phi_count;
+        if (15..=500).contains(&inst_count) {
+            f[29] += 1;
+        } else if inst_count < 15 {
+            f[30] += 1;
+        }
+    }
+    f
+}
+
+/// The original per-instruction match-dispatch extractor, kept verbatim
+/// as the differential reference for the tally-based
+/// [`extract_function`] (see `tests/extract_diff.rs`).
+#[doc(hidden)]
+pub fn extract_function_reference(m: &Module, fid: FuncId) -> FeatureVector {
     let mut f = [0i64; NUM_FEATURES];
     {
         let func = m.func(fid);

@@ -82,15 +82,27 @@ pub fn extract_structural(m: &Module) -> [i64; NUM_STRUCTURAL_FEATURES] {
         // loops (itself included) whose block set contains its header;
         // nested loops appear as separate entries with overlapping block
         // sets, so containment counting recovers the nesting level.
+        //
+        // One pass over every loop's block list builds a dense per-block
+        // containment-count tally, replacing the former
+        // O(loops × blocks) membership scans (each of which re-walked
+        // `Loop::blocks` per query): depth(l) = contain[l.header], and a
+        // block is inside a loop iff its count is nonzero.
+        let mut contain = vec![0i64; func.block_capacity()];
+        for l in &loops {
+            for &bb in &l.blocks {
+                contain[bb.index()] += 1;
+            }
+        }
         let mut blocks_in_loops = 0i64;
         for bb in func.block_ids() {
-            if loops.iter().any(|l| l.contains(bb)) {
+            if contain[bb.index()] != 0 {
                 blocks_in_loops += 1;
             }
         }
         f[0] += loops.len() as i64;
         for l in &loops {
-            let depth = loops.iter().filter(|o| o.contains(l.header)).count() as i64;
+            let depth = contain[l.header.index()];
             match depth {
                 1 => f[1] += 1,
                 2 => f[2] += 1,

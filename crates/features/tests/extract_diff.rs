@@ -1,0 +1,123 @@
+//! Differential suite for the vectorized (tally-based) extractors.
+//!
+//! `extract_function` was rewritten from per-instruction match dispatch
+//! to chunked opcode-class tallies, and `extract_structural`'s loop
+//! metrics from O(loops × blocks) membership scans to a dense per-block
+//! containment-count pass. Both are integer counting — the results must
+//! be **exactly** equal to the original implementations on every
+//! function of every corpus program, pristine and after every pass.
+//!
+//! The Table-2 reference is the original extractor kept verbatim as
+//! [`autophase_features::extract::extract_function_reference`]; the
+//! structural reference is re-implemented here from the public loop API
+//! in the original membership-scan form.
+
+use autophase_features::extract::extract_function_reference;
+use autophase_features::{extract_function, extract_structural, NUM_STRUCTURAL_FEATURES};
+use autophase_ir::cfg::Cfg;
+use autophase_ir::dom::DomTree;
+use autophase_ir::loops::find_loops;
+use autophase_ir::Module;
+use autophase_passes::registry::{self, NUM_PASSES};
+use autophase_progen::{generate_valid, GenConfig};
+
+/// Generated-program seeds, matching `tests/pass_semantics_diff.rs`.
+const CORPUS_SEEDS: [u64; 5] = [11, 94, 233, 1042, 4711];
+
+/// The canonicalizing prefix of the pass-semantics suite's warmed state.
+const WARM_PREFIX: [usize; 3] = [23, 33, 10];
+
+fn corpus() -> Vec<(String, Module)> {
+    let mut corpus: Vec<(String, Module)> = autophase_benchmarks::suite()
+        .into_iter()
+        .map(|b| (b.name.to_string(), b.module))
+        .collect();
+    let cfg = GenConfig::default();
+    for &s in &CORPUS_SEEDS {
+        corpus.push((format!("gen{s}"), generate_valid(&cfg, s)));
+    }
+    let warmed: Vec<(String, Module)> = corpus
+        .iter()
+        .map(|(name, m)| {
+            let mut w = m.clone();
+            for &p in &WARM_PREFIX {
+                registry::apply(&mut w, p);
+            }
+            (format!("{name}+warm"), w)
+        })
+        .collect();
+    corpus.extend(warmed);
+    corpus
+}
+
+/// The original membership-scan loop metrics (structural features 0–8),
+/// preserved as the reference for the containment-count rewrite.
+fn loop_metrics_reference(m: &Module) -> [i64; 9] {
+    let mut f = [0i64; 9];
+    for fid in m.func_ids() {
+        let func = m.func(fid);
+        let cfg = Cfg::new(func);
+        let dt = DomTree::new(func, &cfg);
+        let loops = find_loops(func, &cfg, &dt);
+        let mut blocks_in_loops = 0i64;
+        for bb in func.block_ids() {
+            if loops.iter().any(|l| l.contains(bb)) {
+                blocks_in_loops += 1;
+            }
+        }
+        f[0] += loops.len() as i64;
+        for l in &loops {
+            let depth = loops.iter().filter(|o| o.contains(l.header)).count() as i64;
+            match depth {
+                1 => f[1] += 1,
+                2 => f[2] += 1,
+                _ => f[3] += 1,
+            }
+            f[4] = f[4].max(depth);
+            f[6] += l.exits.len() as i64;
+            f[7] += l.latches.len() as i64;
+            if l.latches.len() > 1 {
+                f[8] += 1;
+            }
+        }
+        f[5] += blocks_in_loops;
+    }
+    f
+}
+
+#[test]
+fn tally_extractor_matches_reference_on_corpus_and_after_every_pass() {
+    for (label, m0) in corpus() {
+        for pass in 0..NUM_PASSES {
+            let mut m = m0.clone();
+            registry::apply(&mut m, pass);
+            for fid in m.func_ids() {
+                assert_eq!(
+                    extract_function(&m, fid),
+                    extract_function_reference(&m, fid),
+                    "{label}: tally extractor diverged on function {fid:?} after {}",
+                    registry::pass_name(pass)
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn structural_loop_metrics_match_reference_on_corpus_and_after_every_pass() {
+    for (label, m0) in corpus() {
+        for pass in 0..NUM_PASSES {
+            let mut m = m0.clone();
+            registry::apply(&mut m, pass);
+            let got = extract_structural(&m);
+            assert_eq!(got.len(), NUM_STRUCTURAL_FEATURES);
+            let want = loop_metrics_reference(&m);
+            assert_eq!(
+                &got[..9],
+                &want[..],
+                "{label}: loop metrics diverged after {}",
+                registry::pass_name(pass)
+            );
+        }
+    }
+}

@@ -26,9 +26,14 @@
 //! assert!((y[0] - 0.5).abs() < 0.1);
 //! ```
 #![warn(missing_docs)]
+#![cfg_attr(feature = "nightly-simd", feature(portable_simd))]
 
 pub mod matrix;
 pub mod mlp;
+pub mod simd;
+pub mod soa;
 
 pub use matrix::Matrix;
-pub use mlp::{softmax, Activation, Mlp};
+pub use mlp::{softmax, Activation, GradScratch, Mlp, Workspace};
+pub use simd::KernelWidth;
+pub use soa::{BatchWorkspace, SoaMlp};

@@ -1,5 +1,6 @@
 //! Row-major matrices sized for 256-unit MLPs.
 
+use crate::simd;
 use rand::rngs::StdRng;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
@@ -55,12 +56,27 @@ impl Matrix {
 
     /// `y = W x` for a column vector `x` (length = cols).
     ///
+    /// This is the deliberately scalar row-major reference kernel (a
+    /// strict-order dot product per row); the SIMD path lives in the
+    /// k-major [`crate::SoaMlp`] layout and is bit-identical to this.
+    ///
     /// # Panics
     ///
     /// Panics if `x.len() != cols`.
     pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
-        assert_eq!(x.len(), self.cols, "matvec dimension mismatch");
         let mut y = vec![0.0; self.rows];
+        self.matvec_into(x, &mut y);
+        y
+    }
+
+    /// [`Matrix::matvec`] into a caller-owned buffer (no allocation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != cols` or `y.len() != rows`.
+    pub fn matvec_into(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.cols, "matvec dimension mismatch");
+        assert_eq!(y.len(), self.rows, "matvec output mismatch");
         for (yr, row) in y.iter_mut().zip(self.data.chunks_exact(self.cols)) {
             let mut acc = 0.0;
             for (w, xi) in row.iter().zip(x) {
@@ -68,7 +84,6 @@ impl Matrix {
             }
             *yr = acc;
         }
-        y
     }
 
     /// `y = Wᵀ x` for a column vector `x` (length = rows).
@@ -77,18 +92,32 @@ impl Matrix {
     ///
     /// Panics if `x.len() != rows`.
     pub fn matvec_t(&self, x: &[f64]) -> Vec<f64> {
-        assert_eq!(x.len(), self.rows, "matvec_t dimension mismatch");
         let mut y = vec![0.0; self.cols];
-        for (row, &xr) in self.data.chunks_exact(self.cols).zip(x) {
-            for (yc, w) in y.iter_mut().zip(row) {
-                *yc += w * xr;
-            }
-        }
+        self.matvec_t_into(x, &mut y);
         y
     }
 
+    /// [`Matrix::matvec_t`] accumulated into a zeroed caller buffer.
+    ///
+    /// Vectorized across columns; each output element still accumulates
+    /// over rows in ascending order, so the result is bit-identical to
+    /// the scalar loop at any kernel width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != rows` or `y.len() != cols`.
+    pub fn matvec_t_into(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.rows, "matvec_t dimension mismatch");
+        assert_eq!(y.len(), self.cols, "matvec_t output mismatch");
+        let width = simd::picked();
+        for (row, &xr) in self.data.chunks_exact(self.cols).zip(x) {
+            simd::axpy(y, xr, row, width);
+        }
+    }
+
     /// Rank-1 accumulate: `self += a · bᵀ` (outer product), used for
-    /// weight gradients.
+    /// weight gradients. Vectorized across columns (independent
+    /// elements, so bit-identical at any kernel width).
     ///
     /// # Panics
     ///
@@ -96,10 +125,9 @@ impl Matrix {
     pub fn add_outer(&mut self, a: &[f64], b: &[f64]) {
         assert_eq!(a.len(), self.rows);
         assert_eq!(b.len(), self.cols);
+        let width = simd::picked();
         for (row, &ar) in self.data.chunks_exact_mut(self.cols).zip(a) {
-            for (w, bi) in row.iter_mut().zip(b) {
-                *w += ar * bi;
-            }
+            simd::axpy(row, ar, b, width);
         }
     }
 

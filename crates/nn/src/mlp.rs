@@ -1,6 +1,7 @@
 //! Multi-layer perceptron with backprop and Adam.
 
 use crate::matrix::Matrix;
+use crate::soa::BatchWorkspace;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
@@ -15,7 +16,7 @@ pub enum Activation {
 }
 
 impl Activation {
-    fn apply(self, x: f64) -> f64 {
+    pub(crate) fn apply(self, x: f64) -> f64 {
         match self {
             Activation::Tanh => x.tanh(),
             Activation::Relu => x.max(0.0),
@@ -23,7 +24,7 @@ impl Activation {
     }
 
     /// Derivative expressed in terms of the activation *output*.
-    fn derivative_from_output(self, y: f64) -> f64 {
+    pub(crate) fn derivative_from_output(self, y: f64) -> f64 {
         match self {
             Activation::Tanh => 1.0 - y * y,
             Activation::Relu => {
@@ -109,21 +110,74 @@ impl Mlp {
         self.layers.last().expect("nonempty").w.rows()
     }
 
+    /// Number of dense layers.
+    pub fn num_layers(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Hidden activation function.
+    pub fn activation(&self) -> Activation {
+        self.activation
+    }
+
+    /// Weights and bias of layer `li` (for the SoA mirror).
+    pub(crate) fn layer_weights(&self, li: usize) -> (&Matrix, &[f64]) {
+        let layer = &self.layers[li];
+        (&layer.w, &layer.b)
+    }
+
     /// Forward pass.
+    ///
+    /// Allocates the output (and two transient buffers); hot paths
+    /// should hold a [`Workspace`] and call [`Mlp::forward_into`], or
+    /// batch through [`crate::SoaMlp`].
     ///
     /// # Panics
     ///
     /// Panics if `x.len() != input_dim()`.
     pub fn forward(&self, x: &[f64]) -> Vec<f64> {
-        self.forward_cached(x).pop().expect("nonempty activations")
+        let mut ws = Workspace::new();
+        self.forward_into(x, &mut ws).to_vec()
+    }
+
+    /// Forward pass into caller-owned scratch: zero heap allocation once
+    /// the workspace has warmed up. Returns the output slice, which
+    /// stays valid until the workspace is reused.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != input_dim()`.
+    pub fn forward_into<'w>(&self, x: &[f64], ws: &'w mut Workspace) -> &'w [f64] {
+        assert_eq!(x.len(), self.input_dim(), "forward dimension mismatch");
+        ws.cur.clear();
+        ws.cur.extend_from_slice(x);
+        for (li, layer) in self.layers.iter().enumerate() {
+            ws.nxt.clear();
+            ws.nxt.resize(layer.w.rows(), 0.0);
+            layer.w.matvec_into(&ws.cur, &mut ws.nxt);
+            for (yi, bi) in ws.nxt.iter_mut().zip(&layer.b) {
+                *yi += bi;
+            }
+            if li + 1 < self.layers.len() {
+                for v in &mut ws.nxt {
+                    *v = self.activation.apply(*v);
+                }
+            }
+            std::mem::swap(&mut ws.cur, &mut ws.nxt);
+        }
+        &ws.cur
     }
 
     /// Forward pass returning every layer's activation (last = output).
     fn forward_cached(&self, x: &[f64]) -> Vec<Vec<f64>> {
         let mut acts: Vec<Vec<f64>> = Vec::with_capacity(self.layers.len());
-        let mut cur = x.to_vec();
         for (li, layer) in self.layers.iter().enumerate() {
-            let mut y = layer.w.matvec(&cur);
+            let input: &[f64] = if li == 0 {
+                x
+            } else {
+                acts.last().expect("nonempty")
+            };
+            let mut y = layer.w.matvec(input);
             for (yi, bi) in y.iter_mut().zip(&layer.b) {
                 *yi += bi;
             }
@@ -132,8 +186,7 @@ impl Mlp {
                     *v = self.activation.apply(*v);
                 }
             }
-            acts.push(y.clone());
-            cur = y;
+            acts.push(y);
         }
         acts
     }
@@ -166,6 +219,63 @@ impl Mlp {
             }
         }
         self.pending += 1;
+    }
+
+    /// Accumulate gradients for a whole batch using the activations a
+    /// [`crate::SoaMlp::forward_batch`] already cached in `ws`.
+    ///
+    /// Semantically identical to calling [`Mlp::backward`] once per
+    /// staged sample in order (bit-identical gradients), but skips the
+    /// redundant per-sample forward pass `backward` performs and reuses
+    /// `scratch` instead of allocating delta vectors.
+    ///
+    /// `dl_dy` is row-major `[batch × output_dim]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ws` was staged for a different shape or
+    /// `dl_dy.len() != ws.batch() * output_dim()`.
+    pub fn backward_batch(
+        &mut self,
+        ws: &BatchWorkspace,
+        dl_dy: &[f64],
+        scratch: &mut GradScratch,
+    ) {
+        let out = self.output_dim();
+        let last = self.layers.len() - 1;
+        assert_eq!(dl_dy.len(), ws.batch() * out, "batch grad mismatch");
+        for b in 0..ws.batch() {
+            scratch.delta.clear();
+            scratch
+                .delta
+                .extend_from_slice(&dl_dy[b * out..(b + 1) * out]);
+            for li in (0..self.layers.len()).rev() {
+                let input: &[f64] = if li == 0 {
+                    ws.input(b)
+                } else {
+                    ws.activation(li - 1, b)
+                };
+                if li < last {
+                    let outs = ws.activation(li, b);
+                    for (d, &o) in scratch.delta.iter_mut().zip(outs) {
+                        *d *= self.activation.derivative_from_output(o);
+                    }
+                }
+                self.layers[li].gw.add_outer(&scratch.delta, input);
+                for (g, d) in self.layers[li].gb.iter_mut().zip(&scratch.delta) {
+                    *g += d;
+                }
+                if li > 0 {
+                    scratch.next.clear();
+                    scratch.next.resize(self.layers[li].w.cols(), 0.0);
+                    self.layers[li]
+                        .w
+                        .matvec_t_into(&scratch.delta, &mut scratch.next);
+                    std::mem::swap(&mut scratch.delta, &mut scratch.next);
+                }
+            }
+            self.pending += 1;
+        }
     }
 
     /// Apply one Adam update from the accumulated (mean) gradients, then
@@ -374,6 +484,35 @@ impl Mlp {
             t,
             pending: 0,
         })
+    }
+}
+
+/// Caller-owned scratch for [`Mlp::forward_into`]: two ping-pong
+/// activation buffers, reused across calls (no steady-state allocation).
+#[derive(Debug, Default, Clone)]
+pub struct Workspace {
+    cur: Vec<f64>,
+    nxt: Vec<f64>,
+}
+
+impl Workspace {
+    /// An empty workspace; buffers grow on first use.
+    pub fn new() -> Workspace {
+        Workspace::default()
+    }
+}
+
+/// Caller-owned scratch for [`Mlp::backward_batch`] delta vectors.
+#[derive(Debug, Default, Clone)]
+pub struct GradScratch {
+    delta: Vec<f64>,
+    next: Vec<f64>,
+}
+
+impl GradScratch {
+    /// An empty scratch; buffers grow on first use.
+    pub fn new() -> GradScratch {
+        GradScratch::default()
     }
 }
 

@@ -1,0 +1,691 @@
+//! Explicit-width f64 SIMD kernels with runtime width selection.
+//!
+//! The kernels here power the structure-of-arrays batched forward in
+//! [`crate::soa`] and the gradient accumulation in [`crate::Matrix`].
+//! They follow one **order-of-operations contract** that makes every
+//! width produce bit-identical results to the scalar reference:
+//!
+//! * Reductions run over `k` in ascending order per output element.
+//!   Vector lanes span *outputs* (`n`), never the reduction axis, so no
+//!   partial-sum reassociation ever happens.
+//! * Multiplies and adds are written as separate operations and the
+//!   crate never enables `fma` codegen, so no fused multiply-add can
+//!   change rounding (LLVM only contracts under fast-math flags, which
+//!   Rust does not set).
+//! * Transcendentals (`tanh`) use the scalar libm call per lane rather
+//!   than a polynomial approximation.
+//!
+//! Consequently the differential suite pins a tolerance of **zero**:
+//! `assert_eq!` on `f64::to_bits`.
+//!
+//! Width selection follows ratchet's `KernelElement` pattern: a small
+//! enum ([`KernelWidth`]) chosen once at startup (or forced by tests and
+//! benches), dispatching to monomorphized lane kernels.
+
+use std::sync::OnceLock;
+
+/// Vector width for the f64 kernels, à la ratchet's `KernelElement`.
+///
+/// `V4` maps to AVX `f64x4` on `x86_64` (runtime-detected; falls back to
+/// the generic 4-lane kernel elsewhere) or to `std::simd::f64x4` under
+/// the `nightly-simd` feature. `V2` is the SSE2-baseline 2-lane kernel.
+/// `Scalar` is a plain loop, used when the `simd` feature is disabled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum KernelWidth {
+    /// Four f64 lanes (AVX ymm / `std::simd::f64x4`).
+    V4,
+    /// Two f64 lanes (SSE2 xmm baseline).
+    V2,
+    /// One element at a time.
+    Scalar,
+}
+
+impl KernelWidth {
+    /// Number of f64 lanes per vector.
+    pub fn lanes(self) -> usize {
+        match self {
+            KernelWidth::V4 => 4,
+            KernelWidth::V2 => 2,
+            KernelWidth::Scalar => 1,
+        }
+    }
+
+    /// Stable name, accepted by [`KernelWidth::parse`].
+    pub fn name(self) -> &'static str {
+        match self {
+            KernelWidth::V4 => "v4",
+            KernelWidth::V2 => "v2",
+            KernelWidth::Scalar => "scalar",
+        }
+    }
+
+    /// Parse a width name (`v4`/`v2`/`scalar`), e.g. from a bench flag.
+    pub fn parse(s: &str) -> Option<KernelWidth> {
+        match s {
+            "v4" => Some(KernelWidth::V4),
+            "v2" => Some(KernelWidth::V2),
+            "scalar" => Some(KernelWidth::Scalar),
+            _ => None,
+        }
+    }
+
+    /// All widths, widest first (for differential sweeps).
+    pub fn all() -> [KernelWidth; 3] {
+        [KernelWidth::V4, KernelWidth::V2, KernelWidth::Scalar]
+    }
+
+    /// Select the widest kernel this build + CPU supports.
+    ///
+    /// With the `simd` feature disabled this is always `Scalar`. With
+    /// `nightly-simd` it is `V4` (portable lanes work everywhere).
+    /// Otherwise `V4` when the CPU reports AVX, else `V2`.
+    pub fn pick() -> KernelWidth {
+        pick_impl()
+    }
+}
+
+#[cfg(not(feature = "simd"))]
+fn pick_impl() -> KernelWidth {
+    KernelWidth::Scalar
+}
+
+#[cfg(all(feature = "simd", feature = "nightly-simd"))]
+fn pick_impl() -> KernelWidth {
+    KernelWidth::V4
+}
+
+#[cfg(all(feature = "simd", not(feature = "nightly-simd")))]
+fn pick_impl() -> KernelWidth {
+    #[cfg(target_arch = "x86_64")]
+    if std::arch::is_x86_feature_detected!("avx") {
+        return KernelWidth::V4;
+    }
+    KernelWidth::V2
+}
+
+/// [`KernelWidth::pick`], computed once and cached.
+pub fn picked() -> KernelWidth {
+    static PICKED: OnceLock<KernelWidth> = OnceLock::new();
+    *PICKED.get_or_init(KernelWidth::pick)
+}
+
+// ---- lane workers ----
+//
+// One generic body, monomorphized per lane count. The `L`-sized array
+// temporaries compile to vector registers; the remainder tail is scalar.
+// Per *element* the arithmetic is identical across `L`, which is what
+// the bit-identity contract rests on.
+
+#[inline(always)]
+fn axpy_lanes<const L: usize>(y: &mut [f64], a: f64, x: &[f64]) {
+    let n = y.len();
+    let main = n - n % L;
+    let (yv, yt) = y.split_at_mut(main);
+    let (xv, xt) = x.split_at(main);
+    for (yc, xc) in yv.chunks_exact_mut(L).zip(xv.chunks_exact(L)) {
+        let mut prod = [0.0f64; L];
+        for i in 0..L {
+            prod[i] = a * xc[i];
+        }
+        for i in 0..L {
+            yc[i] += prod[i];
+        }
+    }
+    for (yi, xi) in yt.iter_mut().zip(xt) {
+        *yi += a * *xi;
+    }
+}
+
+#[inline(always)]
+fn add_lanes<const L: usize>(y: &mut [f64], x: &[f64]) {
+    let n = y.len();
+    let main = n - n % L;
+    let (yv, yt) = y.split_at_mut(main);
+    let (xv, xt) = x.split_at(main);
+    for (yc, xc) in yv.chunks_exact_mut(L).zip(xv.chunks_exact(L)) {
+        for i in 0..L {
+            yc[i] += xc[i];
+        }
+    }
+    for (yi, xi) in yt.iter_mut().zip(xt) {
+        *yi += *xi;
+    }
+}
+
+/// `y[n] = Σ_k x[k] · wt[k·out + n]` for a k-major (transposed) weight
+/// slab, register-blocked: outputs advance in blocks of `4·L` whose four
+/// accumulator vectors stay in registers while `k` streams, so the
+/// weight slab is read once and `y` written once (an axpy formulation
+/// would re-read and re-write `y` for every `k`), and the four
+/// independent accumulation chains hide FP-add latency. Each output
+/// element still accumulates in ascending-`k` order with separate
+/// mul-then-add — bit-identical to the scalar matvec.
+#[inline(always)]
+fn gemv_kt_lanes<const L: usize>(wt: &[f64], x: &[f64], y: &mut [f64]) {
+    let out = y.len();
+    if out == 0 {
+        return;
+    }
+    let block = 4 * L;
+    let mut n = 0;
+    while n + block <= out {
+        let mut acc = [[0.0f64; L]; 4];
+        for (k, &xk) in x.iter().enumerate() {
+            let row = &wt[k * out + n..k * out + n + block];
+            for (u, a) in acc.iter_mut().enumerate() {
+                let mut prod = [0.0f64; L];
+                for l in 0..L {
+                    prod[l] = row[u * L + l] * xk;
+                }
+                for l in 0..L {
+                    a[l] += prod[l];
+                }
+            }
+        }
+        for (u, a) in acc.iter().enumerate() {
+            y[n + u * L..n + (u + 1) * L].copy_from_slice(a);
+        }
+        n += block;
+    }
+    // Output tail: plain dot products in the same ascending-k order.
+    for nn in n..out {
+        let mut a = 0.0;
+        for (k, &xk) in x.iter().enumerate() {
+            a += wt[k * out + nn] * xk;
+        }
+        y[nn] = a;
+    }
+}
+
+/// Batched GEMM over the same k-major slab: `batch` independent GEMVs
+/// computed together, row-blocked so each weight vector loaded from the
+/// slab is reused across [`GEMM_ROW_BLOCK`] batch rows before moving on —
+/// the weight-traffic amortization a gathered serving batch exists for.
+/// The per-element reduction order is exactly [`gemv_kt_lanes`]'s, so
+/// batching is bit-invisible.
+#[inline(always)]
+fn gemm_kt_lanes<const L: usize>(
+    wt: &[f64],
+    xs: &[f64],
+    ys: &mut [f64],
+    batch: usize,
+    kdim: usize,
+    out: usize,
+) {
+    const RB: usize = GEMM_ROW_BLOCK;
+    if out == 0 {
+        return;
+    }
+    let nb = 2 * L;
+    let mut b = 0;
+    while b + RB <= batch {
+        let xrow: [&[f64]; RB] = std::array::from_fn(|r| &xs[(b + r) * kdim..(b + r + 1) * kdim]);
+        let mut n = 0;
+        while n + nb <= out {
+            // RB rows × 2 vectors of L lanes: 8 independent accumulator
+            // chains in registers at L = 4, with each `row` load shared
+            // by all RB batch rows.
+            let mut acc = [[[0.0f64; L]; 2]; RB];
+            for k in 0..kdim {
+                let row = &wt[k * out + n..k * out + n + nb];
+                for (r, accr) in acc.iter_mut().enumerate() {
+                    let xk = xrow[r][k];
+                    for (u, a) in accr.iter_mut().enumerate() {
+                        let mut prod = [0.0f64; L];
+                        for l in 0..L {
+                            prod[l] = row[u * L + l] * xk;
+                        }
+                        for l in 0..L {
+                            a[l] += prod[l];
+                        }
+                    }
+                }
+            }
+            for (r, accr) in acc.iter().enumerate() {
+                for (u, a) in accr.iter().enumerate() {
+                    ys[(b + r) * out + n + u * L..(b + r) * out + n + (u + 1) * L]
+                        .copy_from_slice(a);
+                }
+            }
+            n += nb;
+        }
+        for nn in n..out {
+            for (r, xr) in xrow.iter().enumerate() {
+                let mut a = 0.0;
+                for (k, &xk) in xr.iter().enumerate() {
+                    a += wt[k * out + nn] * xk;
+                }
+                ys[(b + r) * out + nn] = a;
+            }
+        }
+        b += RB;
+    }
+    // Batch tail: plain per-row GEMV.
+    while b < batch {
+        gemv_kt_lanes::<L>(
+            wt,
+            &xs[b * kdim..(b + 1) * kdim],
+            &mut ys[b * out..(b + 1) * out],
+        );
+        b += 1;
+    }
+}
+
+/// Batch rows sharing one weight load in [`gemm_kt_lanes`].
+const GEMM_ROW_BLOCK: usize = 4;
+
+// ---- V4 backends ----
+//
+// `#[target_feature(enable = "avx")]` recompiles the generic 4-lane body
+// with ymm registers ("avx" only — never "fma", see the module contract).
+// The nightly path uses `std::simd` portable vectors instead; both are
+// lane-exact IEEE ops.
+
+#[cfg(all(not(feature = "nightly-simd"), target_arch = "x86_64"))]
+mod v4 {
+    #[target_feature(enable = "avx")]
+    pub unsafe fn axpy(y: &mut [f64], a: f64, x: &[f64]) {
+        super::axpy_lanes::<4>(y, a, x);
+    }
+
+    #[target_feature(enable = "avx")]
+    pub unsafe fn add(y: &mut [f64], x: &[f64]) {
+        super::add_lanes::<4>(y, x);
+    }
+
+    #[target_feature(enable = "avx")]
+    pub unsafe fn gemv_kt(wt: &[f64], x: &[f64], y: &mut [f64]) {
+        super::gemv_kt_lanes::<4>(wt, x, y);
+    }
+
+    #[target_feature(enable = "avx")]
+    pub unsafe fn gemm_kt(
+        wt: &[f64],
+        xs: &[f64],
+        ys: &mut [f64],
+        batch: usize,
+        kdim: usize,
+        out: usize,
+    ) {
+        super::gemm_kt_lanes::<4>(wt, xs, ys, batch, kdim, out);
+    }
+
+    pub fn avx_available() -> bool {
+        use std::sync::OnceLock;
+        static AVX: OnceLock<bool> = OnceLock::new();
+        *AVX.get_or_init(|| std::arch::is_x86_feature_detected!("avx"))
+    }
+}
+
+#[cfg(feature = "nightly-simd")]
+mod v4 {
+    use std::simd::f64x4;
+
+    pub fn axpy(y: &mut [f64], a: f64, x: &[f64]) {
+        let n = y.len();
+        let main = n - n % 4;
+        let av = f64x4::splat(a);
+        for (yc, xc) in y[..main].chunks_exact_mut(4).zip(x[..main].chunks_exact(4)) {
+            let r = f64x4::from_slice(yc) + av * f64x4::from_slice(xc);
+            r.copy_to_slice(yc);
+        }
+        for (yi, xi) in y[main..].iter_mut().zip(&x[main..]) {
+            *yi += a * *xi;
+        }
+    }
+
+    pub fn add(y: &mut [f64], x: &[f64]) {
+        let n = y.len();
+        let main = n - n % 4;
+        for (yc, xc) in y[..main].chunks_exact_mut(4).zip(x[..main].chunks_exact(4)) {
+            let r = f64x4::from_slice(yc) + f64x4::from_slice(xc);
+            r.copy_to_slice(yc);
+        }
+        for (yi, xi) in y[main..].iter_mut().zip(&x[main..]) {
+            *yi += *xi;
+        }
+    }
+
+    pub fn gemv_kt(wt: &[f64], x: &[f64], y: &mut [f64]) {
+        let out = y.len();
+        if out == 0 {
+            return;
+        }
+        let block = 16;
+        let mut n = 0;
+        while n + block <= out {
+            let mut acc = [f64x4::splat(0.0); 4];
+            for (k, &xk) in x.iter().enumerate() {
+                let row = &wt[k * out + n..k * out + n + block];
+                let xv = f64x4::splat(xk);
+                for (u, a) in acc.iter_mut().enumerate() {
+                    // Separate mul then add: portable-simd ops are strict
+                    // IEEE, never contracted to fma.
+                    *a += f64x4::from_slice(&row[u * 4..(u + 1) * 4]) * xv;
+                }
+            }
+            for (u, a) in acc.iter().enumerate() {
+                a.copy_to_slice(&mut y[n + u * 4..n + (u + 1) * 4]);
+            }
+            n += block;
+        }
+        for nn in n..out {
+            let mut a = 0.0;
+            for (k, &xk) in x.iter().enumerate() {
+                a += wt[k * out + nn] * xk;
+            }
+            y[nn] = a;
+        }
+    }
+
+    pub fn gemm_kt(wt: &[f64], xs: &[f64], ys: &mut [f64], batch: usize, kdim: usize, out: usize) {
+        const RB: usize = super::GEMM_ROW_BLOCK;
+        if out == 0 {
+            return;
+        }
+        let nb = 8;
+        let mut b = 0;
+        while b + RB <= batch {
+            let xrow: [&[f64]; RB] =
+                std::array::from_fn(|r| &xs[(b + r) * kdim..(b + r + 1) * kdim]);
+            let mut n = 0;
+            while n + nb <= out {
+                let mut acc = [[f64x4::splat(0.0); 2]; RB];
+                for k in 0..kdim {
+                    let row = &wt[k * out + n..k * out + n + nb];
+                    let r0 = f64x4::from_slice(&row[0..4]);
+                    let r1 = f64x4::from_slice(&row[4..8]);
+                    for (r, a) in acc.iter_mut().enumerate() {
+                        let xv = f64x4::splat(xrow[r][k]);
+                        a[0] += r0 * xv;
+                        a[1] += r1 * xv;
+                    }
+                }
+                for (r, a) in acc.iter().enumerate() {
+                    a[0].copy_to_slice(&mut ys[(b + r) * out + n..(b + r) * out + n + 4]);
+                    a[1].copy_to_slice(&mut ys[(b + r) * out + n + 4..(b + r) * out + n + 8]);
+                }
+                n += nb;
+            }
+            for nn in n..out {
+                for (r, xr) in xrow.iter().enumerate() {
+                    let mut a = 0.0;
+                    for (k, &xk) in xr.iter().enumerate() {
+                        a += wt[k * out + nn] * xk;
+                    }
+                    ys[(b + r) * out + nn] = a;
+                }
+            }
+            b += RB;
+        }
+        while b < batch {
+            gemv_kt(
+                wt,
+                &xs[b * kdim..(b + 1) * kdim],
+                &mut ys[b * out..(b + 1) * out],
+            );
+            b += 1;
+        }
+    }
+}
+
+fn axpy_v4(y: &mut [f64], a: f64, x: &[f64]) {
+    #[cfg(all(not(feature = "nightly-simd"), target_arch = "x86_64"))]
+    if v4::avx_available() {
+        // SAFETY: guarded by runtime AVX detection.
+        unsafe { v4::axpy(y, a, x) };
+        return;
+    }
+    #[cfg(feature = "nightly-simd")]
+    {
+        v4::axpy(y, a, x);
+        return;
+    }
+    #[allow(unreachable_code)]
+    axpy_lanes::<4>(y, a, x)
+}
+
+fn add_v4(y: &mut [f64], x: &[f64]) {
+    #[cfg(all(not(feature = "nightly-simd"), target_arch = "x86_64"))]
+    if v4::avx_available() {
+        // SAFETY: guarded by runtime AVX detection.
+        unsafe { v4::add(y, x) };
+        return;
+    }
+    #[cfg(feature = "nightly-simd")]
+    {
+        v4::add(y, x);
+        return;
+    }
+    #[allow(unreachable_code)]
+    add_lanes::<4>(y, x)
+}
+
+fn gemv_kt_v4(wt: &[f64], x: &[f64], y: &mut [f64]) {
+    #[cfg(all(not(feature = "nightly-simd"), target_arch = "x86_64"))]
+    if v4::avx_available() {
+        // SAFETY: guarded by runtime AVX detection.
+        unsafe { v4::gemv_kt(wt, x, y) };
+        return;
+    }
+    #[cfg(feature = "nightly-simd")]
+    {
+        v4::gemv_kt(wt, x, y);
+        return;
+    }
+    #[allow(unreachable_code)]
+    gemv_kt_lanes::<4>(wt, x, y)
+}
+
+fn gemm_kt_v4(wt: &[f64], xs: &[f64], ys: &mut [f64], batch: usize, kdim: usize, out: usize) {
+    #[cfg(all(not(feature = "nightly-simd"), target_arch = "x86_64"))]
+    if v4::avx_available() {
+        // SAFETY: guarded by runtime AVX detection.
+        unsafe { v4::gemm_kt(wt, xs, ys, batch, kdim, out) };
+        return;
+    }
+    #[cfg(feature = "nightly-simd")]
+    {
+        v4::gemm_kt(wt, xs, ys, batch, kdim, out);
+        return;
+    }
+    #[allow(unreachable_code)]
+    gemm_kt_lanes::<4>(wt, xs, ys, batch, kdim, out)
+}
+
+// ---- public dispatch ----
+
+/// `y[i] += a · x[i]`, vectorized over `i`.
+///
+/// # Panics
+///
+/// Panics if lengths differ.
+pub fn axpy(y: &mut [f64], a: f64, x: &[f64], width: KernelWidth) {
+    assert_eq!(y.len(), x.len(), "axpy length mismatch");
+    match width {
+        KernelWidth::V4 => axpy_v4(y, a, x),
+        KernelWidth::V2 => axpy_lanes::<2>(y, a, x),
+        KernelWidth::Scalar => axpy_lanes::<1>(y, a, x),
+    }
+}
+
+/// `y[i] += x[i]`, vectorized over `i` (bias application).
+///
+/// # Panics
+///
+/// Panics if lengths differ.
+pub fn add_assign(y: &mut [f64], x: &[f64], width: KernelWidth) {
+    assert_eq!(y.len(), x.len(), "add_assign length mismatch");
+    match width {
+        KernelWidth::V4 => add_v4(y, x),
+        KernelWidth::V2 => add_lanes::<2>(y, x),
+        KernelWidth::Scalar => add_lanes::<1>(y, x),
+    }
+}
+
+/// Dense GEMV over a **k-major** (input-major, i.e. transposed) weight
+/// slab: `y[n] = Σ_k x[k] · wt[k·y.len() + n]`.
+///
+/// Every output element accumulates over `k` in ascending order, making
+/// the result bit-identical to the row-major scalar
+/// [`crate::Matrix::matvec`] for the same weights.
+///
+/// # Panics
+///
+/// Panics if `wt.len() != x.len() * y.len()`.
+pub fn gemv_kt(wt: &[f64], x: &[f64], y: &mut [f64], width: KernelWidth) {
+    assert_eq!(wt.len(), x.len() * y.len(), "gemv_kt shape mismatch");
+    match width {
+        KernelWidth::V4 => gemv_kt_v4(wt, x, y),
+        KernelWidth::V2 => gemv_kt_lanes::<2>(wt, x, y),
+        KernelWidth::Scalar => gemv_kt_lanes::<1>(wt, x, y),
+    }
+}
+
+/// Batched [`gemv_kt`]: `batch` rows of `xs` (each `kdim` long) against
+/// one k-major slab, producing `batch` rows of `ys` (each `out` long).
+/// Row-blocked so each weight load is shared across batch rows; every
+/// output element's reduction order is exactly [`gemv_kt`]'s, so the
+/// results are bit-identical to `batch` independent GEMV calls.
+///
+/// # Panics
+///
+/// Panics if `xs`/`ys` are not whole multiples of `batch`, or the slab
+/// size does not match the per-row dimensions.
+pub fn gemm_kt(wt: &[f64], xs: &[f64], ys: &mut [f64], batch: usize, width: KernelWidth) {
+    if batch == 0 {
+        assert!(xs.is_empty() && ys.is_empty(), "gemm_kt shape mismatch");
+        return;
+    }
+    assert_eq!(xs.len() % batch, 0, "gemm_kt input shape mismatch");
+    assert_eq!(ys.len() % batch, 0, "gemm_kt output shape mismatch");
+    let kdim = xs.len() / batch;
+    let out = ys.len() / batch;
+    assert_eq!(wt.len(), kdim * out, "gemm_kt weight shape mismatch");
+    match width {
+        KernelWidth::V4 => gemm_kt_v4(wt, xs, ys, batch, kdim, out),
+        KernelWidth::V2 => gemm_kt_lanes::<2>(wt, xs, ys, batch, kdim, out),
+        KernelWidth::Scalar => gemm_kt_lanes::<1>(wt, xs, ys, batch, kdim, out),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn width_metadata() {
+        for w in KernelWidth::all() {
+            assert_eq!(KernelWidth::parse(w.name()), Some(w));
+            assert!(w.lanes().is_power_of_two());
+        }
+        assert_eq!(KernelWidth::parse("v8"), None);
+        // pick() honors the feature matrix.
+        if cfg!(feature = "simd") {
+            assert_ne!(KernelWidth::pick(), KernelWidth::Scalar);
+        } else {
+            assert_eq!(KernelWidth::pick(), KernelWidth::Scalar);
+        }
+        assert_eq!(picked(), KernelWidth::pick());
+    }
+
+    #[test]
+    fn axpy_bitwise_identical_across_widths() {
+        // Lengths straddling every remainder case for 2 and 4 lanes.
+        for n in [0usize, 1, 2, 3, 4, 5, 7, 8, 15, 56, 70, 257] {
+            let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.37).sin() * 3.0).collect();
+            let base: Vec<f64> = (0..n).map(|i| (i as f64 * 0.11).cos()).collect();
+            let mut want = base.clone();
+            axpy(&mut want, 1.7, &x, KernelWidth::Scalar);
+            for w in [KernelWidth::V2, KernelWidth::V4] {
+                let mut got = base.clone();
+                axpy(&mut got, 1.7, &x, w);
+                assert_eq!(
+                    got.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                    want.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                    "axpy width {w:?} n {n}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn gemv_kt_matches_scalar_reference() {
+        for (k, n) in [(3usize, 5usize), (56, 256), (70, 46), (1, 1), (8, 3)] {
+            let wt: Vec<f64> = (0..k * n)
+                .map(|i| ((i * 31 % 17) as f64 - 8.0) * 0.3)
+                .collect();
+            let x: Vec<f64> = (0..k).map(|i| (i as f64 - 2.0) * 0.5).collect();
+            // Scalar row-major reference in the exact matvec order.
+            let mut want = vec![0.0; n];
+            for (nn, w) in want.iter_mut().enumerate() {
+                let mut acc = 0.0;
+                for (kk, xv) in x.iter().enumerate() {
+                    acc += wt[kk * n + nn] * xv;
+                }
+                *w = acc;
+            }
+            for width in KernelWidth::all() {
+                let mut y = vec![f64::NAN; n];
+                gemv_kt(&wt, &x, &mut y, width);
+                assert_eq!(
+                    y.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                    want.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                    "gemv width {width:?} k {k} n {n}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn gemm_kt_matches_per_row_gemv() {
+        // Batches straddling the row-block boundary (4) and shapes
+        // straddling the n-block boundaries for every width.
+        for (batch, k, n) in [
+            (1usize, 5usize, 7usize),
+            (3, 56, 46),
+            (4, 8, 16),
+            (5, 3, 9),
+            (8, 56, 256),
+            (11, 17, 33),
+        ] {
+            let wt: Vec<f64> = (0..k * n)
+                .map(|i| ((i * 29 % 13) as f64 - 6.0) * 0.21)
+                .collect();
+            let xs: Vec<f64> = (0..batch * k)
+                .map(|i| ((i * 7 % 19) as f64 - 9.0) * 0.4)
+                .collect();
+            for width in KernelWidth::all() {
+                // Reference: batch independent GEMVs at the same width.
+                let mut want = vec![0.0; batch * n];
+                for b in 0..batch {
+                    gemv_kt(
+                        &wt,
+                        &xs[b * k..(b + 1) * k],
+                        &mut want[b * n..(b + 1) * n],
+                        width,
+                    );
+                }
+                let mut ys = vec![f64::NAN; batch * n];
+                gemm_kt(&wt, &xs, &mut ys, batch, width);
+                assert_eq!(
+                    ys.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                    want.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                    "gemm width {width:?} batch {batch} k {k} n {n}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn add_assign_all_widths() {
+        let b: Vec<f64> = (0..23).map(|i| i as f64 * 0.25).collect();
+        let mut want = vec![1.0; 23];
+        add_assign(&mut want, &b, KernelWidth::Scalar);
+        for w in [KernelWidth::V2, KernelWidth::V4] {
+            let mut got = vec![1.0; 23];
+            add_assign(&mut got, &b, w);
+            assert_eq!(got, want);
+        }
+    }
+}

@@ -1,0 +1,81 @@
+//! Steady-state allocation check for the scratch-buffer APIs.
+//!
+//! A counting global allocator wraps `System`; after one warm-up batch,
+//! `forward_into`, `forward_batch`, and `backward_batch` must not touch
+//! the heap at all. This file holds exactly one `#[test]` so no sibling
+//! test thread can allocate inside the measurement window.
+
+use autophase_nn::{Activation, BatchWorkspace, GradScratch, Mlp, SoaMlp, Workspace};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::SeqCst);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::SeqCst);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+#[test]
+fn steady_state_inference_and_training_do_not_allocate() {
+    let mut mlp = Mlp::new(&[56, 64, 46], Activation::Tanh, 5);
+    let soa = SoaMlp::from_mlp(&mlp);
+    let inputs: Vec<Vec<f64>> = (0..8)
+        .map(|b| {
+            (0..56)
+                .map(|i| ((b * 56 + i) as f64 * 0.05).sin())
+                .collect()
+        })
+        .collect();
+    let grads = vec![0.25f64; 8 * 46];
+
+    let mut ws = Workspace::new();
+    let mut bws = BatchWorkspace::new();
+    let mut scratch = GradScratch::new();
+
+    let run =
+        |mlp: &mut Mlp, ws: &mut Workspace, bws: &mut BatchWorkspace, scratch: &mut GradScratch| {
+            let mut sum = 0.0;
+            for x in &inputs {
+                sum += mlp.forward_into(x, ws)[0];
+            }
+            bws.begin(&soa);
+            for x in &inputs {
+                bws.push_input(x);
+            }
+            soa.forward_batch(bws);
+            mlp.backward_batch(bws, &grads, scratch);
+            mlp.zero_grad();
+            sum
+        };
+
+    // Warm-up grows every scratch buffer to its steady-state capacity.
+    let warm = run(&mut mlp, &mut ws, &mut bws, &mut scratch);
+
+    let before = ALLOCS.load(Ordering::SeqCst);
+    let steady = run(&mut mlp, &mut ws, &mut bws, &mut scratch);
+    let after = ALLOCS.load(Ordering::SeqCst);
+
+    assert_eq!(warm, steady, "runs must be deterministic");
+    assert_eq!(
+        after - before,
+        0,
+        "steady-state forward/backward must not allocate"
+    );
+}

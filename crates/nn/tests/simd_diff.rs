@@ -1,0 +1,159 @@
+//! Scalar-vs-SIMD differential suite (à la `pass_semantics_diff.rs`).
+//!
+//! The kernel contract (crates/nn/src/simd.rs) promises **bit-identical**
+//! results at every width — lanes span outputs, reductions stay in
+//! ascending-k order, no FMA contraction. So the pinned tolerance here is
+//! zero: every assertion compares `f64::to_bits`.
+
+use autophase_nn::{Activation, BatchWorkspace, GradScratch, KernelWidth, Mlp, SoaMlp, Workspace};
+use proptest::prelude::*;
+
+fn bits(v: &[f64]) -> Vec<u64> {
+    v.iter().map(|x| x.to_bits()).collect()
+}
+
+fn obs(dim: usize, salt: u64) -> Vec<f64> {
+    // Deterministic, sign-mixed, includes exact zeros (ReLU edge).
+    (0..dim)
+        .map(|i| {
+            let t = (i as u64)
+                .wrapping_mul(0x9e37_79b9)
+                .wrapping_add(salt * 0x85eb_ca6b);
+            if t.is_multiple_of(11) {
+                0.0
+            } else {
+                ((t % 997) as f64 - 498.0) * 0.01
+            }
+        })
+        .collect()
+}
+
+/// Layer shapes covering the serve/train nets (56- and 70-wide
+/// observations, 256-unit hidden) plus degenerate and odd sizes that
+/// exercise every remainder lane for 2- and 4-wide kernels.
+const SHAPES: &[&[usize]] = &[
+    &[56, 256, 256, 46],
+    &[70, 64, 64, 46],
+    &[56, 16, 1],
+    &[70, 8, 5],
+    &[1, 1],
+    &[2, 3, 2],
+    &[5, 7, 3],
+    &[9, 13, 11, 4],
+    &[3, 257, 2],
+];
+
+#[test]
+fn batched_forward_bit_identical_across_widths_shapes_and_remainders() {
+    for &shape in SHAPES {
+        for act in [Activation::Tanh, Activation::Relu] {
+            let mlp = Mlp::new(shape, act, 0xC0FFEE ^ shape.len() as u64);
+            let inputs: Vec<Vec<f64>> = (0..9).map(|b| obs(shape[0], b as u64)).collect();
+            let want: Vec<Vec<u64>> = inputs.iter().map(|x| bits(&mlp.forward(x))).collect();
+            for width in KernelWidth::all() {
+                let soa = SoaMlp::with_width(&mlp, width);
+                let mut ws = BatchWorkspace::new();
+                // Batch sizes 1..=9 cover batch % lanes != 0 for both
+                // 2- and 4-wide kernels.
+                for batch in 1..=inputs.len() {
+                    ws.begin(&soa);
+                    for x in &inputs[..batch] {
+                        ws.push_input(x);
+                    }
+                    soa.forward_batch(&mut ws);
+                    for (b, w) in want[..batch].iter().enumerate() {
+                        assert_eq!(
+                            bits(ws.logits(b)),
+                            *w,
+                            "shape {shape:?} act {act:?} width {width:?} batch {batch} row {b}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn forward_into_matches_forward() {
+    for &shape in SHAPES {
+        let mlp = Mlp::new(shape, Activation::Tanh, 7);
+        let x = obs(shape[0], 3);
+        let mut ws = Workspace::new();
+        // Reuse the workspace twice: stale state must not leak.
+        let _ = mlp.forward_into(&obs(shape[0], 9), &mut ws);
+        assert_eq!(bits(mlp.forward_into(&x, &mut ws)), bits(&mlp.forward(&x)));
+    }
+}
+
+#[test]
+fn backward_batch_bit_identical_to_sequential_backward() {
+    for &shape in &[&[56usize, 32, 46] as &[usize], &[7, 11, 5, 3], &[70, 9, 2]] {
+        for act in [Activation::Tanh, Activation::Relu] {
+            for width in KernelWidth::all() {
+                let mut seq = Mlp::new(shape, act, 99);
+                let mut bat = seq.clone();
+                let inputs: Vec<Vec<f64>> = (0..5).map(|b| obs(shape[0], 40 + b as u64)).collect();
+                let grads: Vec<Vec<f64>> = (0..5)
+                    .map(|b| obs(*shape.last().unwrap(), 80 + b as u64))
+                    .collect();
+
+                // Reference: per-sample backward (re-runs forward), one step.
+                for (x, g) in inputs.iter().zip(&grads) {
+                    seq.backward(x, g);
+                }
+                seq.step(1e-3);
+
+                // Batched: SoA forward caches activations, backward_batch
+                // reuses them.
+                let soa = SoaMlp::with_width(&bat, width);
+                let mut ws = BatchWorkspace::new();
+                ws.begin(&soa);
+                for x in &inputs {
+                    ws.push_input(x);
+                }
+                soa.forward_batch(&mut ws);
+                let flat: Vec<f64> = grads.concat();
+                let mut scratch = GradScratch::new();
+                bat.backward_batch(&ws, &flat, &mut scratch);
+                bat.step(1e-3);
+
+                assert_eq!(
+                    bits(&bat.parameters()),
+                    bits(&seq.parameters()),
+                    "shape {shape:?} act {act:?} width {width:?}"
+                );
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// Random shapes, batch sizes, and seeds: batched SoA forward is
+    /// bit-identical to the scalar forward at every width.
+    #[test]
+    fn prop_soa_forward_bit_identical(
+        inp in 1usize..80,
+        hidden in 1usize..40,
+        out in 1usize..50,
+        batch in 1usize..12,
+        seed in 0u64..1000,
+    ) {
+        let mlp = Mlp::new(&[inp, hidden, out], Activation::Tanh, seed);
+        let inputs: Vec<Vec<f64>> = (0..batch).map(|b| obs(inp, seed ^ b as u64)).collect();
+        for width in KernelWidth::all() {
+            let soa = SoaMlp::with_width(&mlp, width);
+            let mut ws = BatchWorkspace::new();
+            ws.begin(&soa);
+            for x in &inputs {
+                ws.push_input(x);
+            }
+            soa.forward_batch(&mut ws);
+            for (b, x) in inputs.iter().enumerate() {
+                prop_assert_eq!(bits(ws.logits(b)), bits(&mlp.forward(x)));
+            }
+        }
+    }
+}

@@ -169,6 +169,27 @@ pub fn apply_checked(m: &mut Module, id: PassId, budget: &FuelBudget) -> Result<
     apply_checked_with(m, id, budget, injected)
 }
 
+/// [`apply_checked`], but also returning the exact [`ChangeSet`] of a
+/// successful apply (empty on `Ok(false)`), so callers that maintain
+/// incremental feature state can resync only the dirty functions instead
+/// of re-extracting the whole module. Polls the injection plan exactly
+/// like [`apply_checked`].
+///
+/// # Errors
+///
+/// Returns the [`PassFault`] that was isolated (module already restored).
+pub fn apply_checked_changeset(
+    m: &mut Module,
+    id: PassId,
+    budget: &FuelBudget,
+) -> Result<(bool, ChangeSet), PassFault> {
+    #[cfg(any(test, feature = "fault-injection"))]
+    let injected = crate::fault::poll(id);
+    #[cfg(not(any(test, feature = "fault-injection")))]
+    let injected: Option<FaultKind> = None;
+    apply_checked_traced(m, id, budget, injected)
+}
+
 /// [`apply_checked`] with an explicit injected fault (or `None` for the
 /// plain checked path). Callers that poll the injection plan themselves —
 /// the phase-ordering environment does, so injection stays deterministic

@@ -3,7 +3,7 @@
 
 use crate::env::Environment;
 use crate::rollout::{self, record_steps_per_sec, Batch};
-use autophase_nn::{softmax, Activation, Mlp};
+use autophase_nn::{softmax, Activation, BatchWorkspace, GradScratch, Mlp, SoaMlp};
 use autophase_telemetry as telemetry;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -166,32 +166,65 @@ impl A2cAgent {
 
     /// Single on-policy gradient update (one pass over the batch, unlike
     /// PPO's multiple epochs — the sample-efficiency gap §2.2 describes).
+    ///
+    /// Weights stay fixed until the single step at the end, so the batch
+    /// runs through chunked SoA forwards + [`Mlp::backward_batch`]
+    /// (chunked only to bound workspace size) with bit-identical
+    /// gradients to the per-sample path.
     pub fn update(&mut self, batch: &Batch) {
         let (mut adv, ret) = rollout::gae(batch, self.cfg.gamma, self.cfg.lam);
         rollout::normalize(&mut adv);
-        for (i, t) in batch.transitions.iter().enumerate() {
-            let logits = self.policy.forward(&t.obs);
-            let probs = softmax(&logits);
-            let a = adv[i];
-            let mut grad = vec![0.0; probs.len()];
-            for (j, g) in grad.iter_mut().enumerate() {
-                let ind = if j == t.action { 1.0 } else { 0.0 };
-                // L = -A log π(a|s): dL/dlogit_j = -A (1{j=a} - p_j)
-                *g = -a * (ind - probs[j]);
+
+        let psoa = SoaMlp::from_mlp(&self.policy);
+        let vsoa = SoaMlp::from_mlp(&self.value);
+        let mut pws = BatchWorkspace::new();
+        let mut vws = BatchWorkspace::new();
+        let mut pscratch = GradScratch::new();
+        let mut vscratch = GradScratch::new();
+        let n_actions = self.policy.output_dim();
+        let mut pgrad: Vec<f64> = Vec::new();
+        let mut vgrad: Vec<f64> = Vec::new();
+
+        let order: Vec<usize> = (0..batch.transitions.len()).collect();
+        for chunk in order.chunks(64) {
+            pws.begin(&psoa);
+            vws.begin(&vsoa);
+            for &i in chunk {
+                let obs = &batch.transitions[i].obs;
+                pws.push_input(obs);
+                vws.push_input(obs);
             }
-            if self.cfg.entropy_coef > 0.0 {
-                let h: f64 = -probs
-                    .iter()
-                    .map(|&p| p.max(1e-12) * p.max(1e-12).ln())
-                    .sum::<f64>();
+            psoa.forward_batch(&mut pws);
+            vsoa.forward_batch(&mut vws);
+
+            pgrad.clear();
+            pgrad.resize(chunk.len() * n_actions, 0.0);
+            vgrad.clear();
+            vgrad.resize(chunk.len(), 0.0);
+            for (bi, &i) in chunk.iter().enumerate() {
+                let t = &batch.transitions[i];
+                let probs = softmax(pws.logits(bi));
+                let a = adv[i];
+                let grad = &mut pgrad[bi * n_actions..(bi + 1) * n_actions];
                 for (j, g) in grad.iter_mut().enumerate() {
-                    let dh = -probs[j] * (probs[j].max(1e-12).ln() + h);
-                    *g -= self.cfg.entropy_coef * dh;
+                    let ind = if j == t.action { 1.0 } else { 0.0 };
+                    // L = -A log π(a|s): dL/dlogit_j = -A (1{j=a} - p_j)
+                    *g = -a * (ind - probs[j]);
                 }
+                if self.cfg.entropy_coef > 0.0 {
+                    let h: f64 = -probs
+                        .iter()
+                        .map(|&p| p.max(1e-12) * p.max(1e-12).ln())
+                        .sum::<f64>();
+                    for (j, g) in grad.iter_mut().enumerate() {
+                        let dh = -probs[j] * (probs[j].max(1e-12).ln() + h);
+                        *g -= self.cfg.entropy_coef * dh;
+                    }
+                }
+                vgrad[bi] = vws.logits(bi)[0] - ret[i];
             }
-            self.policy.backward(&t.obs, &grad);
-            let v = self.value.forward(&t.obs)[0];
-            self.value.backward(&t.obs, &[v - ret[i]]);
+            self.policy.backward_batch(&pws, &pgrad, &mut pscratch);
+            self.value.backward_batch(&vws, &vgrad, &mut vscratch);
         }
         self.policy.step(self.cfg.lr);
         self.value.step(self.cfg.vf_lr);

@@ -139,6 +139,21 @@ impl PolicyCheckpoint {
         Ok(())
     }
 
+    /// Transpose the policy network into the structure-of-arrays layout
+    /// the batched SIMD kernels consume (see `autophase_nn::SoaMlp`).
+    /// Serving loads a checkpoint once and runs every forward through
+    /// this mirror; the transpose is lossless, so decisions stay
+    /// bit-identical to [`Mlp::forward`] on the checkpointed weights.
+    pub fn soa_policy(&self) -> autophase_nn::SoaMlp {
+        autophase_nn::SoaMlp::from_mlp(&self.policy)
+    }
+
+    /// Transpose the value network into the SoA kernel layout
+    /// (see [`PolicyCheckpoint::soa_policy`]).
+    pub fn soa_value(&self) -> autophase_nn::SoaMlp {
+        autophase_nn::SoaMlp::from_mlp(&self.value)
+    }
+
     /// Serialize to the versioned binary format.
     pub fn to_bytes(&self) -> Vec<u8> {
         let policy = self.policy.to_bytes();
@@ -424,6 +439,38 @@ mod tests {
         assert!(!path.exists(), "corrupt file moved out of the boot path");
         assert!(quarantined.exists(), "corrupt file preserved for forensics");
         let _ = std::fs::remove_file(&quarantined);
+    }
+
+    #[test]
+    fn soa_mirrors_match_checkpointed_networks_bitwise() {
+        let mut agent = PpoAgent::new(1, 2, &PpoConfig::default(), 17);
+        agent.train(&mut Bandit, 2);
+        let ckpt = PolicyCheckpoint::from_ppo(&agent);
+        let back = PolicyCheckpoint::from_bytes(&ckpt.to_bytes()).unwrap();
+        let psoa = back.soa_policy();
+        let vsoa = back.soa_value();
+        let mut pws = autophase_nn::BatchWorkspace::new();
+        let mut vws = autophase_nn::BatchWorkspace::new();
+        for salt in 0..4u64 {
+            let obs = vec![(salt as f64) * 0.37 - 1.0];
+            let want: Vec<u64> = agent
+                .policy
+                .forward(&obs)
+                .iter()
+                .map(|v| v.to_bits())
+                .collect();
+            let got: Vec<u64> = psoa
+                .forward_one(&obs, &mut pws)
+                .iter()
+                .map(|v| v.to_bits())
+                .collect();
+            assert_eq!(got, want, "policy SoA mirror diverged");
+            assert_eq!(
+                vsoa.forward_one(&obs, &mut vws)[0].to_bits(),
+                agent.value.forward(&obs)[0].to_bits(),
+                "value SoA mirror diverged"
+            );
+        }
     }
 
     #[test]

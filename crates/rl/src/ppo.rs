@@ -3,7 +3,7 @@
 
 use crate::env::Environment;
 use crate::rollout::{self, record_steps_per_sec, Batch};
-use autophase_nn::{softmax, Activation, Mlp};
+use autophase_nn::{softmax, Activation, BatchWorkspace, GradScratch, Mlp, SoaMlp};
 use autophase_telemetry as telemetry;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -187,19 +187,48 @@ impl PpoAgent {
     }
 
     /// One PPO optimization phase on a collected batch.
+    ///
+    /// Each minibatch runs one batched SoA forward per network; the
+    /// cached activations feed [`Mlp::backward_batch`], so the per-sample
+    /// path's *two* scalar forwards (one for the loss, one hidden inside
+    /// `backward`) collapse into one batched GEMM — with bit-identical
+    /// gradients and Adam trajectories (pinned by `simd_diff` tests).
     pub fn update(&mut self, batch: &Batch) {
         let (mut adv, ret) = rollout::gae(batch, self.cfg.gamma, self.cfg.lam);
         rollout::normalize(&mut adv);
         let n = batch.transitions.len();
         let mut order: Vec<usize> = (0..n).collect();
 
+        let mut psoa = SoaMlp::from_mlp(&self.policy);
+        let mut vsoa = SoaMlp::from_mlp(&self.value);
+        let mut pws = BatchWorkspace::new();
+        let mut vws = BatchWorkspace::new();
+        let mut pscratch = GradScratch::new();
+        let mut vscratch = GradScratch::new();
+        let n_actions = self.policy.output_dim();
+        let mut pgrad: Vec<f64> = Vec::new();
+        let mut vgrad: Vec<f64> = Vec::new();
+
         for _ in 0..self.cfg.epochs {
             order.shuffle(&mut self.rng);
             for chunk in order.chunks(self.cfg.minibatch.max(1)) {
+                pws.begin(&psoa);
+                vws.begin(&vsoa);
                 for &i in chunk {
+                    let obs = &batch.transitions[i].obs;
+                    pws.push_input(obs);
+                    vws.push_input(obs);
+                }
+                psoa.forward_batch(&mut pws);
+                vsoa.forward_batch(&mut vws);
+
+                pgrad.clear();
+                pgrad.resize(chunk.len() * n_actions, 0.0);
+                vgrad.clear();
+                vgrad.resize(chunk.len(), 0.0);
+                for (bi, &i) in chunk.iter().enumerate() {
                     let t = &batch.transitions[i];
-                    let logits = self.policy.forward(&t.obs);
-                    let probs = softmax(&logits);
+                    let probs = softmax(pws.logits(bi));
                     let logp_new = probs[t.action].max(1e-12).ln();
                     let ratio = (logp_new - t.logp).exp();
                     let a = adv[i];
@@ -209,7 +238,7 @@ impl PpoAgent {
                     let clipped = ratio.clamp(1.0 - self.cfg.clip, 1.0 + self.cfg.clip) * a;
                     let use_unclipped = unclipped <= clipped + 1e-12;
                     // dL/dlogits.
-                    let mut grad = vec![0.0; probs.len()];
+                    let grad = &mut pgrad[bi * n_actions..(bi + 1) * n_actions];
                     if use_unclipped {
                         // L = -ratio * A; dlogp/dlogit_j = 1{j=a} - p_j;
                         // dL/dlogit_j = -A * ratio * (1{j=a} - p_j)
@@ -229,14 +258,15 @@ impl PpoAgent {
                             *g -= self.cfg.entropy_coef * dh;
                         }
                     }
-                    self.policy.backward(&t.obs, &grad);
-
                     // Value regression: L = 0.5 (v - ret)^2.
-                    let v = self.value.forward(&t.obs)[0];
-                    self.value.backward(&t.obs, &[v - ret[i]]);
+                    vgrad[bi] = vws.logits(bi)[0] - ret[i];
                 }
+                self.policy.backward_batch(&pws, &pgrad, &mut pscratch);
+                self.value.backward_batch(&vws, &vgrad, &mut vscratch);
                 self.policy.step(self.cfg.lr);
                 self.value.step(self.cfg.vf_lr);
+                psoa.refresh(&self.policy);
+                vsoa.refresh(&self.value);
             }
         }
     }

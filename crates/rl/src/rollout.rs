@@ -13,7 +13,7 @@
 //!   count — the property the determinism tests pin down.
 
 use crate::env::Environment;
-use autophase_nn::{softmax, Mlp};
+use autophase_nn::{softmax, BatchWorkspace, Mlp, SoaMlp};
 use autophase_telemetry as telemetry;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -105,14 +105,21 @@ pub fn collect(
     rng: &mut StdRng,
 ) -> Batch {
     let _span = telemetry::span("rollout.batch");
+    // Weights are fixed for the whole collection, so transpose once into
+    // SoA mirrors and reuse two workspaces — per-step forwards then run
+    // allocation-free and bit-identical to `Mlp::forward`.
+    let psoa = SoaMlp::from_mlp(policy);
+    let vsoa = SoaMlp::from_mlp(value);
+    let mut pws = BatchWorkspace::new();
+    let mut vws = BatchWorkspace::new();
     let mut batch = Batch::default();
     while batch.transitions.len() < horizon {
         let mut obs = env.reset();
         let mut ep_return = 0.0;
         for t in 0..max_episode_len {
-            let logits = policy.forward(&obs);
-            let (action, logp) = sample_action(&logits, rng);
-            let v = value.forward(&obs)[0];
+            let logits = psoa.forward_one(&obs, &mut pws);
+            let (action, logp) = sample_action(logits, rng);
+            let v = vsoa.forward_one(&obs, &mut vws)[0];
             let step = env.step(action);
             ep_return += step.reward;
             let done = step.done || t + 1 == max_episode_len;
@@ -149,10 +156,17 @@ pub fn episode_seed(seed: u64, episode: u64) -> u64 {
 }
 
 /// Run one indexed episode and return its transitions and total reward.
+///
+/// Takes pre-transposed SoA mirrors (shared, read-only) plus caller-owned
+/// workspaces, so episode loops never re-transpose weights or allocate
+/// activations per step.
+#[allow(clippy::too_many_arguments)]
 fn run_episode(
     env: &mut dyn Environment,
-    policy: &Mlp,
-    value: &Mlp,
+    psoa: &SoaMlp,
+    vsoa: &SoaMlp,
+    pws: &mut BatchWorkspace,
+    vws: &mut BatchWorkspace,
     episode: u64,
     max_episode_len: usize,
     seed: u64,
@@ -163,9 +177,9 @@ fn run_episode(
     let mut transitions = Vec::new();
     let mut ep_return = 0.0;
     for t in 0..max_episode_len {
-        let logits = policy.forward(&obs);
-        let (action, logp) = sample_action(&logits, &mut rng);
-        let v = value.forward(&obs)[0];
+        let logits = psoa.forward_one(&obs, pws);
+        let (action, logp) = sample_action(logits, &mut rng);
+        let v = vsoa.forward_one(&obs, vws)[0];
         let step = env.step(action);
         ep_return += step.reward;
         let done = step.done || t + 1 == max_episode_len;
@@ -202,10 +216,22 @@ pub fn collect_episodes(
     seed: u64,
 ) -> Batch {
     let _span = telemetry::span("rollout.batch");
+    let psoa = SoaMlp::from_mlp(policy);
+    let vsoa = SoaMlp::from_mlp(value);
+    let mut pws = BatchWorkspace::new();
+    let mut vws = BatchWorkspace::new();
     let mut batch = Batch::default();
     for e in 0..n_episodes as u64 {
-        let (transitions, ep_return) =
-            run_episode(env, policy, value, base_episode + e, max_episode_len, seed);
+        let (transitions, ep_return) = run_episode(
+            env,
+            &psoa,
+            &vsoa,
+            &mut pws,
+            &mut vws,
+            base_episode + e,
+            max_episode_len,
+            seed,
+        );
         batch.transitions.extend(transitions);
         batch.episode_returns.push(ep_return);
     }
@@ -253,14 +279,18 @@ fn worker_loop(
     in_flight: &[AtomicU64],
     busy_ns: &[AtomicU64],
     env_slots: &[Mutex<&mut Box<dyn Environment + Send>>],
-    policy: &Mlp,
-    value: &Mlp,
+    psoa: &SoaMlp,
+    vsoa: &SoaMlp,
     base_episode: u64,
     max_episode_len: usize,
     seed: u64,
 ) {
     let _wspan = telemetry::span("rollout.worker");
     let wstart = telemetry::maybe_now();
+    // SoA mirrors are shared read-only across workers; activations are
+    // thread-local, so each worker owns its workspaces.
+    let mut pws = BatchWorkspace::new();
+    let mut vws = BatchWorkspace::new();
     loop {
         // Claim an episode and mark it in-flight under the queue lock, so
         // a panic can never lose an episode between the two updates
@@ -278,8 +308,10 @@ fn worker_loop(
         let mut env = lock_recover(&env_slots[w]);
         let out = run_episode(
             env.as_mut(),
-            policy,
-            value,
+            psoa,
+            vsoa,
+            &mut pws,
+            &mut vws,
             base_episode + e as u64,
             max_episode_len,
             seed,
@@ -329,6 +361,9 @@ pub fn collect_episodes_supervised(
     let _span = telemetry::span("rollout.batch");
     let batch_start = telemetry::maybe_now();
     let workers = envs.len();
+    // One SoA transpose for the whole batch, shared by every worker.
+    let psoa = SoaMlp::from_mlp(policy);
+    let vsoa = SoaMlp::from_mlp(value);
 
     let queue: Mutex<VecDeque<usize>> = Mutex::new((0..n_episodes).collect());
     let results: Vec<Mutex<Option<EpisodeResult>>> =
@@ -346,6 +381,7 @@ pub fn collect_episodes_supervised(
         let spawn = |w: usize| {
             let (queue, results, in_flight, busy_ns, env_slots) =
                 (&queue, &results, &in_flight, &busy_ns, &env_slots);
+            let (psoa, vsoa) = (&psoa, &vsoa);
             scope.spawn(move || {
                 worker_loop(
                     w,
@@ -354,8 +390,8 @@ pub fn collect_episodes_supervised(
                     in_flight,
                     busy_ns,
                     env_slots,
-                    policy,
-                    value,
+                    psoa,
+                    vsoa,
                     base_episode,
                     max_episode_len,
                     seed,

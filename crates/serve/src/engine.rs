@@ -3,10 +3,13 @@
 //! One dedicated thread owns the policy network. Request workers submit
 //! observations and block on a result slot; the engine thread collects
 //! everything that arrives within a small batching window (default
-//! 100 µs, capped at [`EngineConfig::max_batch`]) and runs the forward
-//! passes back-to-back — one wake-up and one queue-lock round per batch
-//! instead of per observation, which is where the throughput under
-//! concurrent load comes from. Batch sizes land in the
+//! 100 µs, capped at [`EngineConfig::max_batch`]) and runs the gathered
+//! batch through **one** SoA forward ([`SoaMlp::forward_batch`]) — one
+//! wake-up, one queue-lock round, and one batched GEMM per batch instead
+//! of per observation, which is where the throughput under concurrent
+//! load comes from. The SoA kernels are bit-identical to
+//! [`Mlp::forward`] (pinned by the nn crate's differential suite), so
+//! batching never changes a served decision. Batch sizes land in the
 //! `serve.batch_size` histogram, per-batch forward time in
 //! `serve.engine_ns{forward}` (kept out of the `serve.stage_ns` family,
 //! whose stages tile each request's timeline — a batch serves many
@@ -25,10 +28,11 @@ use autophase_core::env::{
     EnvConfig, FeatureNorm, ObservationKind, PhaseOrderEnv, RewardKind, FILTERED_PASSES,
 };
 use autophase_core::Quarantine;
-use autophase_features::{extract, inst_count_filtered, FILTERED_FEATURES};
+use autophase_features::{inst_count_filtered, IncrementalFeatures, FILTERED_FEATURES};
 use autophase_ir::Module;
 use autophase_nn::mlp::Mlp;
-use autophase_passes::checked::{apply_checked, FuelBudget};
+use autophase_nn::{BatchWorkspace, SoaMlp};
+use autophase_passes::checked::{apply_checked_changeset, FuelBudget};
 use autophase_telemetry as telemetry;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
@@ -158,11 +162,19 @@ pub struct RolloutReport {
     /// Total nanoseconds this request spent blocked on inference
     /// (enqueue → result, including batch linger).
     pub infer_wait_ns: u64,
+    /// Largest engine batch any of this request's inferences was served
+    /// in — 1 means every forward ran alone, larger values mean the
+    /// batched GEMM actually amortized work across concurrent requests.
+    pub infer_batch_max: u32,
     /// Pass applications that faulted (rolled back and quarantined).
     pub pass_faults: u32,
 }
 
-type Slot = Arc<(Mutex<Option<Result<Vec<f64>, PolicyFault>>>, Condvar)>;
+/// A successful inference: the logits plus the size of the engine batch
+/// that served it (for [`RolloutReport::infer_batch_max`]).
+type Inference = (Vec<f64>, u32);
+
+type Slot = Arc<(Mutex<Option<Result<Inference, PolicyFault>>>, Condvar)>;
 
 struct Job {
     obs: Vec<f64>,
@@ -327,6 +339,16 @@ impl InferenceEngine {
     /// [`PolicyFault`] when the forward pass faulted (or was injected to)
     /// or the engine is shutting down.
     pub fn infer(&self, obs: Vec<f64>) -> Result<Vec<f64>, PolicyFault> {
+        self.infer_sized(obs).map(|(logits, _)| logits)
+    }
+
+    /// [`infer`](InferenceEngine::infer), also reporting the size of the
+    /// engine batch the forward ran in (≥ 1).
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`infer`](InferenceEngine::infer).
+    pub fn infer_sized(&self, obs: Vec<f64>) -> Result<Inference, PolicyFault> {
         if self.disabled {
             return Err(PolicyFault::Inference);
         }
@@ -386,15 +408,20 @@ impl InferenceEngine {
         fuel: &FuelBudget,
     ) -> Result<RolloutReport, PolicyFault> {
         let mut histogram = vec![0.0f64; serve_num_actions()];
-        let mut feats = inst_count_filtered(&extract(m));
+        // Incremental feature state: seeded with one full extraction,
+        // then resynced from each successful apply's ChangeSet — a
+        // changing pass usually dirties a few functions, not the module.
+        let mut inc = IncrementalFeatures::new(m);
+        let mut feats = inst_count_filtered(&inc.total());
         let mut report = RolloutReport::default();
         for _ in 0..self.episode_len {
             let mut obs = feats.clone();
             obs.extend_from_slice(&histogram);
             let infer_start = std::time::Instant::now();
             report.infer_calls += 1;
-            let logits = self.infer(obs)?;
+            let (logits, batch) = self.infer_sized(obs)?;
             report.infer_wait_ns += infer_start.elapsed().as_nanos() as u64;
+            report.infer_batch_max = report.infer_batch_max.max(batch);
             let mut best: Option<(usize, f64)> = None;
             for (a, &score) in logits.iter().enumerate() {
                 if quarantine.is_quarantined(fp, FILTERED_PASSES[a]) {
@@ -407,12 +434,17 @@ impl InferenceEngine {
             // Everything quarantined for this program: nothing left to try.
             let Some((action, _)) = best else { break };
             let pass = FILTERED_PASSES[action];
-            match apply_checked(m, pass, fuel) {
-                Ok(true) => {
+            match apply_checked_changeset(m, pass, fuel) {
+                Ok((true, cs)) => {
                     report.applied.push(pass);
-                    feats = inst_count_filtered(&extract(m));
+                    if cs.needs_full_rebuild() {
+                        inc.rebuild(m);
+                    } else {
+                        inc.update(m, &cs.dirty_funcs);
+                    }
+                    feats = inst_count_filtered(&inc.total());
                 }
-                Ok(false) => {}
+                Ok((false, _)) => {}
                 Err(_fault) => {
                     // Rolled back by apply_checked; remember the offender
                     // so repeat faults stop costing attempts.
@@ -447,7 +479,7 @@ impl Drop for InferenceEngine {
     }
 }
 
-fn fill(slot: &Slot, result: Result<Vec<f64>, PolicyFault>) {
+fn fill(slot: &Slot, result: Result<Inference, PolicyFault>) {
     let (lock, cv) = &**slot;
     *lock_recover(lock) = Some(result);
     cv.notify_all();
@@ -478,6 +510,12 @@ fn engine_loop(
     policy: &Mlp,
     cfg: &EngineConfig,
 ) {
+    // The engine thread owns the policy for its whole life, so the SoA
+    // transpose happens once per (re)spawn and every batch reuses one
+    // workspace — a gathered batch is a single `forward_batch`, not
+    // max_batch separate matvec chains.
+    let psoa = SoaMlp::from_mlp(policy);
+    let mut ws = BatchWorkspace::new();
     let (lock, cv) = &**queue;
     let mut q = lock_recover(lock);
     loop {
@@ -517,22 +555,57 @@ fn engine_loop(
 
         telemetry::observe("serve.batch_size", "", batch.jobs.len() as u64);
         let t = telemetry::maybe_now();
-        for i in 0..batch.jobs.len() {
-            let job = &batch.jobs[i];
-            // One armed chaos fault consumes exactly one inference.
+        let batch_size = batch.jobs.len() as u32;
+
+        // Triage in arrival order before touching the network: armed
+        // chaos faults consume exactly one inference each (same drain
+        // semantics as the per-job forward had), and a wrong-width
+        // observation faults its own job instead of panicking the GEMM
+        // under the whole batch.
+        let mut faulted: Vec<Option<PolicyFault>> = Vec::with_capacity(batch.jobs.len());
+        ws.begin(&psoa);
+        for job in &batch.jobs {
             let injected = chaos
                 .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |n| n.checked_sub(1))
                 .is_ok();
-            let result = if injected {
+            if injected {
                 telemetry::incr("serve.policy_fault", "injected", 1);
-                Err(PolicyFault::Inference)
+                faulted.push(Some(PolicyFault::Inference));
+            } else if job.obs.len() != psoa.input_dim() {
+                telemetry::incr("serve.policy_fault", "shape", 1);
+                faulted.push(Some(PolicyFault::Inference));
             } else {
-                catch_unwind(AssertUnwindSafe(|| policy.forward(&job.obs))).map_err(|_| {
-                    telemetry::incr("serve.policy_fault", "panic", 1);
-                    PolicyFault::Inference
+                ws.push_input(&job.obs);
+                faulted.push(None);
+            }
+        }
+
+        // One batched forward for every live job. A panic here faults
+        // the live jobs (the armed/invalid ones keep their own verdicts);
+        // the workspace is rebuilt by `begin` next batch, so a torn state
+        // cannot leak forward.
+        let forward_ok = ws.batch() == 0
+            || catch_unwind(AssertUnwindSafe(|| psoa.forward_batch(&mut ws)))
+                .map_err(|_| {
+                    telemetry::incr("serve.policy_fault", "panic", ws.batch() as u64);
                 })
+                .is_ok();
+
+        let mut row = 0;
+        for (i, verdict) in faulted.iter_mut().enumerate() {
+            let result = match verdict.take() {
+                Some(fault) => Err(fault),
+                None => {
+                    let r = row;
+                    row += 1;
+                    if forward_ok {
+                        Ok((ws.logits(r).to_vec(), batch_size))
+                    } else {
+                        Err(PolicyFault::Inference)
+                    }
+                }
             };
-            fill(&job.slot, result);
+            fill(&batch.jobs[i].slot, result);
             batch.filled = i + 1;
         }
         telemetry::observe_since("serve.engine_ns", "forward", t);
@@ -543,6 +616,7 @@ fn engine_loop(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use autophase_passes::checked::apply_checked;
 
     fn test_policy(seed: u64) -> Mlp {
         Mlp::new(
@@ -581,6 +655,22 @@ mod tests {
         for t in threads {
             t.join().unwrap();
         }
+    }
+
+    #[test]
+    fn wrong_width_observation_faults_its_job_not_the_engine() {
+        let engine = InferenceEngine::start(test_policy(5), EngineConfig::default()).unwrap();
+        assert_eq!(engine.infer(vec![0.0; 3]), Err(PolicyFault::Inference));
+        // The engine keeps serving well-formed observations afterwards.
+        assert!(engine.infer(vec![0.0; serve_obs_dim()]).is_ok());
+    }
+
+    #[test]
+    fn infer_sized_reports_the_serving_batch() {
+        let engine = InferenceEngine::start(test_policy(6), EngineConfig::default()).unwrap();
+        let (logits, batch) = engine.infer_sized(vec![0.0; serve_obs_dim()]).unwrap();
+        assert_eq!(logits.len(), serve_num_actions());
+        assert_eq!(batch, 1, "a lone request is a batch of one");
     }
 
     #[test]

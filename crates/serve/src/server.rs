@@ -767,6 +767,7 @@ fn compile(
         Ok(report) => {
             trace.note("infer_calls", report.infer_calls);
             trace.note("infer_wait_ns", report.infer_wait_ns);
+            trace.note("infer_batch_max", report.infer_batch_max);
             if report.pass_faults > 0 {
                 // Quarantined and skipped inside the rollout: the answer
                 // is still policy-sourced, but the trace names the stage
