@@ -3,9 +3,9 @@
 
 CARGO ?= cargo
 
-.PHONY: ci build test clippy fmt fmt-fix bench telemetry chaos perf-smoke serve-smoke trace-smoke corpus-smoke durability-smoke simd-matrix
+.PHONY: ci build test clippy fmt fmt-fix bench telemetry chaos perf-smoke serve-smoke trace-smoke corpus-smoke durability-smoke online-smoke simd-matrix
 
-ci: build test telemetry chaos perf-smoke serve-smoke trace-smoke corpus-smoke durability-smoke simd-matrix clippy fmt
+ci: build test telemetry chaos perf-smoke serve-smoke trace-smoke corpus-smoke durability-smoke online-smoke simd-matrix clippy fmt
 
 build:
 	$(CARGO) build --release
@@ -73,6 +73,17 @@ durability-smoke:
 	$(CARGO) test -q --release -p autophase-serve --test durability
 	$(CARGO) test -q --release -p autophase-serve --features fault-injection --test faultfs_chaos
 	$(CARGO) run --release -p autophase-bench --bin durability_bench -- --smoke
+
+# Online-learning smoke (DESIGN.md §4l): the end-to-end learner loop on
+# a live daemon (train -> publish -> auto-promote), admin-gated
+# PROMOTE with A/B serving, the registry's manifest property tests, and
+# the corrupt/NaN candidate armor; then online_bench measures online
+# improvement on an unseen corpus plus hot-swap latency under live load
+# and refreshes BENCH_online.json. Under 30 seconds end to end.
+online-smoke:
+	$(CARGO) test -q --release -p autophase-rl --test registry_props
+	$(CARGO) test -q --release -p autophase-serve --test online
+	$(CARGO) run --release -p autophase-bench --bin online_bench -- --smoke
 
 # Incremental-evaluation perf gate (DESIGN.md §4f): the differential
 # suite proves the per-function caches are bit-invisible across every

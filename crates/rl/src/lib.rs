@@ -39,7 +39,10 @@ pub mod a2c;
 pub mod checkpoint;
 pub mod env;
 pub mod es;
+pub mod online;
 pub mod ppo;
+pub mod registry;
 pub mod rollout;
+pub mod serving;
 
 pub use env::{Environment, StepResult};

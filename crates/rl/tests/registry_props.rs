@@ -1,0 +1,177 @@
+//! Property tests for the model-registry manifest.
+//!
+//! The manifest is the online-learning subsystem's root of trust: a
+//! daemon restart trusts whatever it says about which checkpoint is
+//! active. Its durability story mirrors the serve store's, and so do
+//! the properties pinned here:
+//!
+//! * **round-trip** — any encodable registry state decodes back to
+//!   exactly itself (versions, metadata, active pointer);
+//! * **torn writes fail closed** — a manifest cut at *any* byte
+//!   boundary never parses (the trailing checksum line means a torn
+//!   prefix is detectable, so tmp+rename plus this property make a
+//!   half-written manifest impossible to trust);
+//! * **recovery** — a corrupt manifest on disk quarantines aside and
+//!   the registry rebuilds itself from the checkpoint files that still
+//!   decode, never refusing to open.
+
+use autophase_rl::checkpoint::PolicyCheckpoint;
+use autophase_rl::ppo::{PpoAgent, PpoConfig};
+use autophase_rl::registry::{encode_manifest, parse_manifest, ModelRegistry, VersionInfo};
+use proptest::prelude::*;
+use std::path::PathBuf;
+
+/// Arbitrary-but-valid registry state from raw generated parts:
+/// strictly increasing versions, plausible file names, an optional
+/// active pointer into the set (`active_sel == 12` means none).
+fn build_state(steps: Vec<(u64, u64, u64)>, active_sel: usize) -> (Vec<VersionInfo>, Option<u64>) {
+    let mut versions = Vec::new();
+    let mut v = 0u64;
+    for (delta, samples, updates) in steps {
+        v += delta;
+        versions.push(VersionInfo {
+            version: v,
+            file: format!("v{v}.ckpt"),
+            samples,
+            updates,
+        });
+    }
+    let active = if active_sel == 12 || versions.is_empty() {
+        None
+    } else {
+        Some(versions[active_sel % versions.len()].version)
+    };
+    (versions, active)
+}
+
+proptest! {
+    /// encode → parse is the identity on every valid registry state.
+    #[test]
+    fn manifest_roundtrips(
+        steps in collection::vec((1u64..5, 0u64..10_000, 0u64..500), 0..12),
+        active_sel in 0usize..13,
+    ) {
+        let (versions, active) = build_state(steps, active_sel);
+        let bytes = encode_manifest(&versions, active);
+        let (back_v, back_a) = parse_manifest(&bytes).expect("valid manifest must parse");
+        prop_assert_eq!(back_v, versions);
+        prop_assert_eq!(back_a, active);
+    }
+
+    /// Cutting the encoded manifest at any byte yields something that
+    /// fails to parse — a torn write can never masquerade as a shorter
+    /// valid registry.
+    #[test]
+    fn torn_prefixes_never_parse(
+        steps in collection::vec((1u64..5, 0u64..10_000, 0u64..500), 0..12),
+        active_sel in 0usize..13,
+    ) {
+        let (versions, active) = build_state(steps, active_sel);
+        let bytes = encode_manifest(&versions, active);
+        for cut in 0..bytes.len() {
+            prop_assert!(
+                parse_manifest(&bytes[..cut]).is_err(),
+                "prefix of {cut}/{} bytes parsed",
+                bytes.len()
+            );
+        }
+    }
+
+    /// Flipping any single byte of the manifest fails parsing (checksum
+    /// armor) — except inside the checksum line itself, where a flip
+    /// may instead break the hex field; either way the result is an
+    /// error, never silently different registry state.
+    #[test]
+    fn bitflips_are_detected(
+        steps in collection::vec((1u64..5, 0u64..10_000, 0u64..500), 0..12),
+        active_sel in 0usize..13,
+        flip in 0usize..4096,
+        bit in 0u8..8,
+    ) {
+        let (versions, active) = build_state(steps, active_sel);
+        let bytes = encode_manifest(&versions, active);
+        let i = flip % bytes.len();
+        let mut mangled = bytes.clone();
+        mangled[i] ^= 1 << bit;
+        if mangled != bytes {
+            prop_assert!(parse_manifest(&mangled).is_err(), "flip at byte {i} parsed");
+        }
+    }
+}
+
+fn tiny_ckpt(seed: u64) -> PolicyCheckpoint {
+    let cfg = PpoConfig {
+        hidden: vec![3],
+        ..PpoConfig::default()
+    };
+    PolicyCheckpoint::from_ppo(&PpoAgent::new(2, 3, &cfg, seed))
+}
+
+fn tmp(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("apreg_props_{}_{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Deterministic companion: build a real on-disk registry, then tear
+/// its manifest at every byte offset. Every reopen must (a) succeed,
+/// (b) flag the recovery, (c) rediscover every checkpoint that still
+/// decodes on disk — the active pointer degrades to the latest version
+/// but no published model is ever lost to a torn manifest.
+#[test]
+fn torn_manifest_on_disk_recovers_every_cut() {
+    let dir = tmp("torn");
+    {
+        let mut reg = ModelRegistry::open(&dir).unwrap();
+        for s in 1..=3u64 {
+            reg.publish(&tiny_ckpt(s), s * 100, s).unwrap();
+        }
+        reg.set_active(2).unwrap();
+    }
+    let manifest_path = dir.join("MANIFEST");
+    let intact = std::fs::read(&manifest_path).unwrap();
+
+    for cut in 0..intact.len() {
+        std::fs::write(&manifest_path, &intact[..cut]).unwrap();
+        // Remove the previous round's quarantined copy so the rename
+        // target is free.
+        let _ = std::fs::remove_file(dir.join("MANIFEST.corrupt"));
+        let reg = ModelRegistry::open(&dir).unwrap_or_else(|e| {
+            panic!("cut at {cut}/{} must reopen: {e}", intact.len());
+        });
+        assert!(
+            reg.recovered_from_corrupt_manifest(),
+            "cut at {cut}: recovery not flagged"
+        );
+        let versions: Vec<u64> = reg.versions().iter().map(|v| v.version).collect();
+        assert_eq!(versions, vec![1, 2, 3], "cut at {cut}: checkpoints lost");
+        assert_eq!(reg.active(), Some(3), "cut at {cut}: active not rebuilt");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The rebuilt manifest is durable: after one recovery, the next open
+/// is clean (no repeated quarantine) and preserves the rebuilt state.
+#[test]
+fn recovery_rewrites_a_valid_manifest() {
+    let dir = tmp("rewrite");
+    {
+        let mut reg = ModelRegistry::open(&dir).unwrap();
+        reg.publish(&tiny_ckpt(7), 700, 7).unwrap();
+        reg.publish(&tiny_ckpt(8), 800, 8).unwrap();
+    }
+    std::fs::write(dir.join("MANIFEST"), b"APREGISTRY1\ngarbage\n").unwrap();
+    {
+        let reg = ModelRegistry::open(&dir).unwrap();
+        assert!(reg.recovered_from_corrupt_manifest());
+        assert!(dir.join("MANIFEST.corrupt").exists(), "forensics preserved");
+    }
+    let reg = ModelRegistry::open(&dir).unwrap();
+    assert!(
+        !reg.recovered_from_corrupt_manifest(),
+        "second open must be clean"
+    );
+    assert_eq!(reg.versions().len(), 2);
+    assert_eq!(reg.active(), Some(2));
+    let _ = std::fs::remove_dir_all(&dir);
+}

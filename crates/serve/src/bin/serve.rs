@@ -4,9 +4,12 @@
 //! serve --checkpoint policy.ckpt [--addr 127.0.0.1:7463] [--store serve_store.log]
 //!       [--workers 4] [--queue-cap 64] [--deadline-ms 1000] [--chaos]
 //!       [--flight-dir results/flight_dumps] [--slow-ms 250] [--flight-capacity 256]
+//!       [--registry models/] [--learn] [--auto-promote] [--admin]
 //! serve stats --addr 127.0.0.1:7463            # one dashboard snapshot
 //! serve top --addr 127.0.0.1:7463 [--interval-ms 1000] [--count N]
 //! serve trace --addr 127.0.0.1:7463 [--n 16]   # recent traces, raw JSONL
+//! serve models --addr 127.0.0.1:7463           # registry + per-version win rates
+//! serve promote --addr 127.0.0.1:7463 --version 3 [--ab]
 //! ```
 //!
 //! Daemon mode loads the policy from an
@@ -16,14 +19,23 @@
 //! Without `--checkpoint` a freshly initialized (untrained) policy is
 //! used — handy for smoke tests, useless for quality.
 //!
+//! `--registry <dir>` turns on the online-learning subsystem (versioned
+//! model registry + `PROMOTE` accounting); `--learn` additionally runs
+//! the in-daemon background learner, and `--auto-promote` lets it
+//! hot-swap each validated version it publishes. `--admin` accepts the
+//! `PROMOTE` verb from clients.
+//!
 //! `stats` renders one dashboard from a live daemon's `STATS` reply;
 //! `top` polls it and refreshes in place (rates are deltas between
-//! polls); `trace` prints the flight recorder's recent request traces.
+//! polls); `trace` prints the flight recorder's recent request traces;
+//! `models` lists registry versions with per-version win rates;
+//! `promote` hot-swaps a registry version into the live engine.
 
 use autophase_nn::mlp::{Activation, Mlp};
 use autophase_rl::checkpoint::{ArmoredLoad, PolicyCheckpoint};
 use autophase_serve::client::Client;
 use autophase_serve::engine::{serve_num_actions, serve_obs_dim};
+use autophase_serve::learner::LearnerConfig;
 use autophase_serve::server::{Server, ServerConfig};
 use autophase_serve::stats::StatsSnapshot;
 use std::fmt::Write as _;
@@ -41,10 +53,12 @@ fn main() {
             "usage: serve [--checkpoint <path>] [--addr <host:port>] [--store <path>] \
              [--workers <n>] [--queue-cap <n>] [--deadline-ms <ms>] [--retry-hint-ms <ms>] \
              [--chaos] [--flight-dir <dir>] [--slow-ms <ms>] [--flight-capacity <n>] \
-             [--max-dump-files <n>]\n\
+             [--max-dump-files <n>] [--registry <dir>] [--learn] [--auto-promote] [--admin]\n\
              \x20      serve stats --addr <host:port>\n\
              \x20      serve top --addr <host:port> [--interval-ms <ms>] [--count <n>]\n\
-             \x20      serve trace --addr <host:port> [--n <k>]"
+             \x20      serve trace --addr <host:port> [--n <k>]\n\
+             \x20      serve models --addr <host:port>\n\
+             \x20      serve promote --addr <host:port> --version <n> [--ab]"
         );
         return;
     }
@@ -52,6 +66,8 @@ fn main() {
         Some("stats") => run_stats(&args),
         Some("top") => run_top(&args),
         Some("trace") => run_trace(&args),
+        Some("models") => run_models(&args),
+        Some("promote") => run_promote(&args),
         _ => run_daemon(&args),
     }
 }
@@ -88,6 +104,16 @@ fn daemon_cfg(args: &[String]) -> ServerConfig {
     }
     if let Some(n) = arg_value(args, "--max-dump-files").and_then(|v| v.parse().ok()) {
         cfg.flight.max_dump_files = n;
+    }
+    cfg.admin = args.iter().any(|a| a == "--admin");
+    if let Some(dir) = arg_value(args, "--registry") {
+        cfg.registry_dir = Some(PathBuf::from(dir));
+    }
+    if args.iter().any(|a| a == "--learn") {
+        cfg.learner = Some(LearnerConfig {
+            auto_promote: args.iter().any(|a| a == "--auto-promote"),
+            ..LearnerConfig::default()
+        });
     }
     cfg
 }
@@ -222,6 +248,85 @@ fn run_top(args: &[String]) {
             return;
         }
         std::thread::sleep(interval);
+    }
+}
+
+fn run_models(args: &[String]) {
+    let addr = require_addr(args);
+    let result = Client::connect(&addr).and_then(|mut c| {
+        c.set_read_timeout(Some(Duration::from_secs(5)))?;
+        c.models()
+    });
+    let snap = match result {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("serve: {e}");
+            std::process::exit(1);
+        }
+    };
+    if !snap.registry {
+        println!("no model registry (daemon started without --registry)");
+    }
+    println!(
+        "serving v{}   challenger {}   swaps {}",
+        snap.serving.map_or("-".into(), |v| v.to_string()),
+        snap.challenger.map_or("-".into(), |v| format!("v{v}")),
+        snap.swaps
+    );
+    if snap.versions.is_empty() {
+        return;
+    }
+    println!(
+        "{:<8} {:>8} {:>8} {:>9} {:>7} {:>8} {:>10} {:>7}",
+        "version", "samples", "updates", "requests", "wins", "inserts", "mean_impr", "role"
+    );
+    for v in &snap.versions {
+        let role = match (v.serving, v.challenger) {
+            (true, _) => "serving",
+            (_, true) => "B-side",
+            _ => "",
+        };
+        println!(
+            "v{:<7} {:>8} {:>8} {:>9} {:>7} {:>8} {:>9.2}% {:>7}",
+            v.version,
+            v.samples,
+            v.updates,
+            v.requests,
+            v.wins,
+            v.store_inserts,
+            v.mean_improvement * 100.0,
+            role
+        );
+    }
+}
+
+fn run_promote(args: &[String]) {
+    let addr = require_addr(args);
+    let version: u64 = match arg_value(args, "--version").and_then(|v| v.parse().ok()) {
+        Some(v) => v,
+        None => {
+            eprintln!("serve: promote needs --version <n>");
+            std::process::exit(2);
+        }
+    };
+    let ab = args.iter().any(|a| a == "--ab");
+    let result = Client::connect(&addr).and_then(|mut c| {
+        c.set_read_timeout(Some(Duration::from_secs(5)))?;
+        if ab {
+            c.promote_ab(version)
+        } else {
+            c.promote(version)
+        }
+    });
+    match result {
+        Ok(()) => println!(
+            "promoted v{version}{}",
+            if ab { " as B-side challenger" } else { "" }
+        ),
+        Err(e) => {
+            eprintln!("serve: {e}");
+            std::process::exit(1);
+        }
     }
 }
 

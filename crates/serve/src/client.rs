@@ -13,7 +13,7 @@
 //! `overloaded`/`deadline` refusals.
 
 use crate::protocol::{self, ErrKind, Reply, Request, Source};
-use crate::stats::StatsSnapshot;
+use crate::stats::{ModelsSnapshot, StatsSnapshot};
 use std::io::{BufReader, BufWriter};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::{Duration, Instant};
@@ -312,7 +312,7 @@ impl Client {
     ///
     /// Transport failures or a typed refusal (chaos disabled).
     pub fn chaos(&mut self, faults: u32) -> Result<(), ClientError> {
-        self.chaos_full(faults, 0)
+        self.chaos_full(faults, 0, 0)
     }
 
     /// Arm `n` injected engine crashes: each one panics the engine
@@ -323,11 +323,27 @@ impl Client {
     ///
     /// Transport failures or a typed refusal (chaos disabled).
     pub fn chaos_crash(&mut self, crashes: u32) -> Result<(), ClientError> {
-        self.chaos_full(0, crashes)
+        self.chaos_full(0, crashes, 0)
     }
 
-    fn chaos_full(&mut self, faults: u32, crashes: u32) -> Result<(), ClientError> {
-        match self.roundtrip(&Request::Chaos { faults, crashes })? {
+    /// Arm `n` swap corruptions: each upcoming `PROMOTE` candidate is
+    /// corrupted on disk before its armored load, which must quarantine
+    /// it while the old policy keeps serving. Server must run with
+    /// chaos on.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures or a typed refusal (chaos disabled).
+    pub fn chaos_swap(&mut self, swaps: u32) -> Result<(), ClientError> {
+        self.chaos_full(0, 0, swaps)
+    }
+
+    fn chaos_full(&mut self, faults: u32, crashes: u32, swaps: u32) -> Result<(), ClientError> {
+        match self.roundtrip(&Request::Chaos {
+            faults,
+            crashes,
+            swaps,
+        })? {
             Reply::Ack => Ok(()),
             Reply::Err {
                 kind,
@@ -337,6 +353,75 @@ impl Client {
             _ => Err(ClientError::Io(std::io::Error::new(
                 std::io::ErrorKind::InvalidData,
                 "unexpected reply to chaos",
+            ))),
+        }
+    }
+
+    /// Fetch the parsed model snapshot (`MODEL`): registry versions,
+    /// per-version win/insert rates, and what the engine serves now.
+    /// Bypasses admission like the other introspection verbs.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures or a typed refusal.
+    pub fn models(&mut self) -> Result<ModelsSnapshot, ClientError> {
+        Ok(ModelsSnapshot::parse(&self.models_raw()?))
+    }
+
+    /// Fetch the raw JSONL body of a `MODEL` reply.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures or a typed refusal.
+    pub fn models_raw(&mut self) -> Result<String, ClientError> {
+        match self.roundtrip(&Request::Model)? {
+            Reply::Models { body } => Ok(body),
+            Reply::Err {
+                kind,
+                retry_ms,
+                msg,
+            } => Err(ClientError::server(kind, retry_ms, msg)),
+            _ => Err(ClientError::Io(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                "unexpected reply to model",
+            ))),
+        }
+    }
+
+    /// Promote registry version `v` to the active serving policy
+    /// (`PROMOTE v=<n>`; daemon must run with admin on).
+    ///
+    /// # Errors
+    ///
+    /// Transport failures or a typed refusal — `bad_request` when admin
+    /// is off or the version does not exist, `internal` when the
+    /// candidate was quarantined or failed validation (the old policy
+    /// keeps serving).
+    pub fn promote(&mut self, version: u64) -> Result<(), ClientError> {
+        self.promote_inner(version, false)
+    }
+
+    /// Install registry version `v` as the B-side challenger for A/B
+    /// serving (`PROMOTE v=<n> ab=1`; daemon must run with admin on).
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`promote`](Client::promote).
+    pub fn promote_ab(&mut self, version: u64) -> Result<(), ClientError> {
+        self.promote_inner(version, true)
+    }
+
+    fn promote_inner(&mut self, version: u64, ab: bool) -> Result<(), ClientError> {
+        match self.roundtrip(&Request::Promote { version, ab })? {
+            Reply::Ack => Ok(()),
+            Reply::Err {
+                kind,
+                retry_ms,
+                msg,
+            } => Err(ClientError::server(kind, retry_ms, msg)),
+            _ => Err(ClientError::Io(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                "unexpected reply to promote",
             ))),
         }
     }

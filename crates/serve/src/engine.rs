@@ -31,8 +31,10 @@ use autophase_core::Quarantine;
 use autophase_features::{inst_count_filtered, IncrementalFeatures, FILTERED_FEATURES};
 use autophase_ir::Module;
 use autophase_nn::mlp::Mlp;
-use autophase_nn::{BatchWorkspace, SoaMlp};
+use autophase_nn::{softmax, BatchWorkspace, SoaMlp};
 use autophase_passes::checked::{apply_checked_changeset, FuelBudget};
+use autophase_rl::online::ExperienceStep;
+use autophase_rl::serving::ObsLayout;
 use autophase_telemetry as telemetry;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
@@ -93,15 +95,28 @@ pub fn serve_env_config() -> EnvConfig {
     }
 }
 
+/// The serving observation layout as an [`ObsLayout`] — the single
+/// source of truth the engine's rollout *and* the online learner share.
+/// Both sides compose observations through [`ObsLayout::compose`] and
+/// shape-check networks through it, so a feature-set change that
+/// widens one side without the other is caught, not silently misread.
+pub fn serve_layout() -> ObsLayout {
+    ObsLayout::new(
+        FILTERED_FEATURES.len(),
+        FILTERED_PASSES.len(),
+        SERVE_EPISODE_LEN,
+    )
+}
+
 /// Observation width of [`serve_env_config`]: filtered features plus the
 /// action histogram.
 pub fn serve_obs_dim() -> usize {
-    FILTERED_FEATURES.len() + FILTERED_PASSES.len()
+    serve_layout().obs_dim()
 }
 
 /// Action count of [`serve_env_config`].
 pub fn serve_num_actions() -> usize {
-    FILTERED_PASSES.len()
+    serve_layout().num_actions()
 }
 
 /// A sanity environment over `program` in the serving configuration —
@@ -153,7 +168,7 @@ impl Default for EngineConfig {
 /// per-request aggregates the flight recorder attaches as trace notes
 /// (the rollout interleaves inference and pass application, so its
 /// inner structure is aggregate counts, not timeline segments).
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct RolloutReport {
     /// The effective ordering (the passes that changed the module).
     pub applied: Vec<usize>,
@@ -168,16 +183,61 @@ pub struct RolloutReport {
     pub infer_batch_max: u32,
     /// Pass applications that faulted (rolled back and quarantined).
     pub pass_faults: u32,
+    /// Version of the policy that served this rollout (0 is the boot
+    /// checkpoint; published versions count from 1).
+    pub policy_version: u64,
+    /// The rollout's steps in learner form — what the policy saw, what
+    /// it chose, and the log-probability it assigned — ready to stream
+    /// into the online trainer as one episode.
+    pub steps: Vec<ExperienceStep>,
 }
 
-/// A successful inference: the logits plus the size of the engine batch
-/// that served it (for [`RolloutReport::infer_batch_max`]).
-type Inference = (Vec<f64>, u32);
+/// A successful inference: the logits, the size of the engine batch
+/// that served it (for [`RolloutReport::infer_batch_max`]), and the
+/// version of the policy that answered.
+type Inference = (Vec<f64>, u32, u64);
 
 type Slot = Arc<(Mutex<Option<Result<Inference, PolicyFault>>>, Condvar)>;
 
+/// Which serving policy a job is routed to: the active policy (A) or,
+/// under A/B mode, the challenger (B). Routing is decided once per
+/// rollout from the program fingerprint, so a request's whole episode
+/// is served by one policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Route {
+    A,
+    B,
+}
+
+/// A policy with its registry version, immutable once installed: swaps
+/// replace the `Arc`, never the weights behind it, so a batch that
+/// cloned the `Arc` keeps its exact network to the end.
+struct PolicyEntry {
+    version: u64,
+    mlp: Mlp,
+}
+
+/// The currently installed serving policies.
+#[derive(Clone)]
+struct ActiveSet {
+    a: Arc<PolicyEntry>,
+    /// A/B challenger, absent outside A/B mode.
+    b: Option<Arc<PolicyEntry>>,
+}
+
+/// Lock-free-on-the-hot-path policy slot. The engine thread caches the
+/// `ActiveSet` (and its SoA mirrors) and checks one relaxed-cost atomic
+/// `seq` load per *batch*; only when a swap bumped `seq` does it take
+/// the lock and rebuild the mirrors. A swap therefore never lands
+/// mid-batch, and steady-state serving never contends on the mutex.
+struct PolicySlot {
+    seq: AtomicU64,
+    set: Mutex<ActiveSet>,
+}
+
 struct Job {
     obs: Vec<f64>,
+    route: Route,
     slot: Slot,
 }
 
@@ -189,6 +249,8 @@ struct Queue {
 /// Handle to the inference thread (see module docs).
 pub struct InferenceEngine {
     queue: Arc<(Mutex<Queue>, Condvar)>,
+    /// Hot-swappable serving policies; `None` in baseline-only mode.
+    slot: Option<Arc<PolicySlot>>,
     /// Armed chaos faults: each pending fault makes one upcoming
     /// inference answer [`PolicyFault::Inference`].
     chaos: Arc<AtomicU32>,
@@ -197,6 +259,8 @@ pub struct InferenceEngine {
     crash: Arc<AtomicU32>,
     /// Times the supervisor respawned the engine loop after a panic.
     respawns: Arc<AtomicU64>,
+    /// Policy swaps installed over this engine's lifetime.
+    swaps: Arc<AtomicU64>,
     episode_len: usize,
     /// Baseline-only mode: no thread, every inference answers
     /// [`PolicyFault::Inference`] so callers take the baseline rung.
@@ -225,15 +289,26 @@ impl InferenceEngine {
     /// serving observation layout — a checkpoint from a different
     /// training configuration would silently misread every observation.
     pub fn start(policy: Mlp, cfg: EngineConfig) -> Result<InferenceEngine, ShapeError> {
-        if policy.input_dim() != serve_obs_dim() || policy.output_dim() != serve_num_actions() {
-            return Err(ShapeError(format!(
-                "policy is {}x{}, serving needs {}x{} (train with serve_env_config())",
-                policy.input_dim(),
-                policy.output_dim(),
-                serve_obs_dim(),
-                serve_num_actions()
-            )));
-        }
+        InferenceEngine::start_versioned(policy, 0, cfg)
+    }
+
+    /// [`start`](InferenceEngine::start) with an explicit registry
+    /// version for the boot policy (0 means "the boot checkpoint",
+    /// published versions count from 1). The version travels with every
+    /// inference so experience and A/B stats attribute to the policy
+    /// that actually answered.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`start`](InferenceEngine::start).
+    pub fn start_versioned(
+        policy: Mlp,
+        version: u64,
+        cfg: EngineConfig,
+    ) -> Result<InferenceEngine, ShapeError> {
+        serve_layout()
+            .check_policy(&policy)
+            .map_err(|e| ShapeError(format!("{e} (train with serve_env_config())")))?;
         let queue = Arc::new((
             Mutex::new(Queue {
                 jobs: Vec::new(),
@@ -241,11 +316,22 @@ impl InferenceEngine {
             }),
             Condvar::new(),
         ));
+        let slot = Arc::new(PolicySlot {
+            seq: AtomicU64::new(0),
+            set: Mutex::new(ActiveSet {
+                a: Arc::new(PolicyEntry {
+                    version,
+                    mlp: policy,
+                }),
+                b: None,
+            }),
+        });
         let chaos = Arc::new(AtomicU32::new(0));
         let crash = Arc::new(AtomicU32::new(0));
         let respawns = Arc::new(AtomicU64::new(0));
         let thread = {
             let queue = Arc::clone(&queue);
+            let slot = Arc::clone(&slot);
             let chaos = Arc::clone(&chaos);
             let crash = Arc::clone(&crash);
             let respawns = Arc::clone(&respawns);
@@ -260,7 +346,7 @@ impl InferenceEngine {
                     // means shutdown.
                     loop {
                         let run = catch_unwind(AssertUnwindSafe(|| {
-                            engine_loop(&queue, &chaos, &crash, &policy, &cfg)
+                            engine_loop(&queue, &chaos, &crash, &slot, &cfg)
                         }));
                         if run.is_ok() {
                             return;
@@ -273,9 +359,11 @@ impl InferenceEngine {
         };
         Ok(InferenceEngine {
             queue,
+            slot: Some(slot),
             chaos,
             crash,
             respawns,
+            swaps: Arc::new(AtomicU64::new(0)),
             episode_len: SERVE_EPISODE_LEN,
             disabled: false,
             thread: Some(thread),
@@ -295,9 +383,11 @@ impl InferenceEngine {
                 }),
                 Condvar::new(),
             )),
+            slot: None,
             chaos: Arc::new(AtomicU32::new(0)),
             crash: Arc::new(AtomicU32::new(0)),
             respawns: Arc::new(AtomicU64::new(0)),
+            swaps: Arc::new(AtomicU64::new(0)),
             episode_len: SERVE_EPISODE_LEN,
             disabled: true,
             thread: None,
@@ -331,6 +421,110 @@ impl InferenceEngine {
         self.respawns.load(Ordering::Relaxed)
     }
 
+    /// Hot-swap the active policy to `policy` (registry `version`),
+    /// clearing any A/B challenger. The swap is installed between
+    /// batches — in-flight batches finish on the policy they started
+    /// with, and no request is dropped.
+    ///
+    /// # Errors
+    ///
+    /// Rejects a policy that fails the serving-layout shape check, and
+    /// any swap on a baseline-only engine (it has no serving thread to
+    /// swap under).
+    pub fn swap_policy(&self, policy: Mlp, version: u64) -> Result<(), ShapeError> {
+        self.install(policy, version, false)
+    }
+
+    /// Install `policy` as the A/B challenger (slot B): requests
+    /// hash-split between it and the active policy until
+    /// [`clear_ab`](InferenceEngine::clear_ab) or a full
+    /// [`swap_policy`](InferenceEngine::swap_policy).
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`swap_policy`](InferenceEngine::swap_policy).
+    pub fn swap_ab(&self, policy: Mlp, version: u64) -> Result<(), ShapeError> {
+        self.install(policy, version, true)
+    }
+
+    fn install(&self, policy: Mlp, version: u64, as_challenger: bool) -> Result<(), ShapeError> {
+        let Some(slot) = &self.slot else {
+            return Err(ShapeError(
+                "baseline-only engine has no policy slot to swap".into(),
+            ));
+        };
+        serve_layout()
+            .check_policy(&policy)
+            .map_err(|e| ShapeError(e.to_string()))?;
+        let entry = Arc::new(PolicyEntry {
+            version,
+            mlp: policy,
+        });
+        {
+            let mut set = lock_recover(&slot.set);
+            if as_challenger {
+                set.b = Some(entry);
+            } else {
+                set.a = entry;
+                set.b = None;
+            }
+        }
+        // Publish after the set is consistent; the engine thread picks
+        // the new set up at its next batch boundary.
+        slot.seq.fetch_add(1, Ordering::Release);
+        self.swaps.fetch_add(1, Ordering::Relaxed);
+        telemetry::incr(
+            "serve.engine",
+            if as_challenger { "swap_ab" } else { "swap" },
+            1,
+        );
+        Ok(())
+    }
+
+    /// Drop the A/B challenger (if any); all traffic routes to the
+    /// active policy again.
+    pub fn clear_ab(&self) {
+        let Some(slot) = &self.slot else { return };
+        let had_b = {
+            let mut set = lock_recover(&slot.set);
+            set.b.take().is_some()
+        };
+        if had_b {
+            slot.seq.fetch_add(1, Ordering::Release);
+        }
+    }
+
+    /// The versions currently serving: `(active, challenger)`. `None`
+    /// on a baseline-only engine.
+    pub fn active_versions(&self) -> Option<(u64, Option<u64>)> {
+        let slot = self.slot.as_ref()?;
+        let set = lock_recover(&slot.set);
+        Some((set.a.version, set.b.as_ref().map(|e| e.version)))
+    }
+
+    /// Policy swaps installed over this engine's lifetime (full and
+    /// A/B).
+    pub fn swap_count(&self) -> u64 {
+        self.swaps.load(Ordering::Relaxed)
+    }
+
+    /// Which slot requests for `fp` route to under the current A/B
+    /// split. Stable per fingerprint (a program's episodes all land on
+    /// one policy); everything routes to A outside A/B mode.
+    fn route_for(&self, fp: u64) -> Route {
+        let Some(slot) = &self.slot else {
+            return Route::A;
+        };
+        if lock_recover(&slot.set).b.is_none() {
+            return Route::A;
+        }
+        if splitmix(fp) & 1 == 0 {
+            Route::A
+        } else {
+            Route::B
+        }
+    }
+
     /// One blocking forward pass through the batching queue: logits over
     /// the serving action space.
     ///
@@ -339,16 +533,22 @@ impl InferenceEngine {
     /// [`PolicyFault`] when the forward pass faulted (or was injected to)
     /// or the engine is shutting down.
     pub fn infer(&self, obs: Vec<f64>) -> Result<Vec<f64>, PolicyFault> {
-        self.infer_sized(obs).map(|(logits, _)| logits)
+        self.infer_sized(obs).map(|(logits, _, _)| logits)
     }
 
     /// [`infer`](InferenceEngine::infer), also reporting the size of the
-    /// engine batch the forward ran in (≥ 1).
+    /// engine batch the forward ran in (≥ 1) and the version of the
+    /// policy that answered. Always routes to the active policy; the
+    /// A/B split applies per rollout, not per raw inference.
     ///
     /// # Errors
     ///
     /// Same contract as [`infer`](InferenceEngine::infer).
     pub fn infer_sized(&self, obs: Vec<f64>) -> Result<Inference, PolicyFault> {
+        self.infer_routed(obs, Route::A)
+    }
+
+    fn infer_routed(&self, obs: Vec<f64>, route: Route) -> Result<Inference, PolicyFault> {
         if self.disabled {
             return Err(PolicyFault::Inference);
         }
@@ -361,6 +561,7 @@ impl InferenceEngine {
             }
             q.jobs.push(Job {
                 obs,
+                route,
                 slot: Arc::clone(&slot),
             });
             cv.notify_all();
@@ -407,7 +608,9 @@ impl InferenceEngine {
         quarantine: &Quarantine,
         fuel: &FuelBudget,
     ) -> Result<RolloutReport, PolicyFault> {
-        let mut histogram = vec![0.0f64; serve_num_actions()];
+        let layout = serve_layout();
+        let route = self.route_for(fp);
+        let mut histogram = vec![0.0f64; layout.num_actions()];
         // Incremental feature state: seeded with one full extraction,
         // then resynced from each successful apply's ChangeSet — a
         // changing pass usually dirties a few functions, not the module.
@@ -415,11 +618,11 @@ impl InferenceEngine {
         let mut feats = inst_count_filtered(&inc.total());
         let mut report = RolloutReport::default();
         for _ in 0..self.episode_len {
-            let mut obs = feats.clone();
-            obs.extend_from_slice(&histogram);
+            let obs = layout.compose(&feats, &histogram);
             let infer_start = std::time::Instant::now();
             report.infer_calls += 1;
-            let (logits, batch) = self.infer_sized(obs)?;
+            let (logits, batch, version) = self.infer_routed(obs.clone(), route)?;
+            report.policy_version = version;
             report.infer_wait_ns += infer_start.elapsed().as_nanos() as u64;
             report.infer_batch_max = report.infer_batch_max.max(batch);
             let mut best: Option<(usize, f64)> = None;
@@ -433,6 +636,15 @@ impl InferenceEngine {
             }
             // Everything quarantined for this program: nothing left to try.
             let Some((action, _)) = best else { break };
+            // Record the step for the online learner: the behavior
+            // log-probability is the softmax mass the serving policy
+            // put on the action it (greedily) took.
+            let probs = softmax(&logits);
+            report.steps.push(ExperienceStep {
+                obs,
+                action,
+                logp: probs[action].max(1e-12).ln(),
+            });
             let pass = FILTERED_PASSES[action];
             match apply_checked_changeset(m, pass, fuel) {
                 Ok((true, cs)) => {
@@ -503,19 +715,65 @@ impl Drop for BatchGuard {
     }
 }
 
+/// SplitMix64 finalizer — the A/B hash split over program fingerprints.
+fn splitmix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// The engine thread's cached view of the policy slot: the `Arc`s it
+/// cloned plus their SoA mirrors, rebuilt only when the slot's `seq`
+/// says a swap landed. The transpose cost is paid per swap, never per
+/// batch.
+struct Serving {
+    seq: u64,
+    a: Arc<PolicyEntry>,
+    a_soa: SoaMlp,
+    b: Option<(Arc<PolicyEntry>, SoaMlp)>,
+}
+
+fn refresh_serving(slot: &PolicySlot) -> Serving {
+    // Read `seq` before the set: a swap bumps `seq` *after* installing,
+    // so a stale `seq` paired with a newer set only causes one harmless
+    // extra refresh — never a missed swap.
+    let seq = slot.seq.load(Ordering::Acquire);
+    let set = lock_recover(&slot.set).clone();
+    let a_soa = SoaMlp::from_mlp(&set.a.mlp);
+    let b = set.b.map(|e| {
+        let soa = SoaMlp::from_mlp(&e.mlp);
+        (e, soa)
+    });
+    Serving {
+        seq,
+        a: set.a,
+        a_soa,
+        b,
+    }
+}
+
+/// Where a triaged job's answer comes from.
+enum Verdict {
+    Fault(PolicyFault),
+    Row(Route, usize),
+}
+
 fn engine_loop(
     queue: &Arc<(Mutex<Queue>, Condvar)>,
     chaos: &Arc<AtomicU32>,
     crash: &Arc<AtomicU32>,
-    policy: &Mlp,
+    slot: &Arc<PolicySlot>,
     cfg: &EngineConfig,
 ) {
-    // The engine thread owns the policy for its whole life, so the SoA
-    // transpose happens once per (re)spawn and every batch reuses one
-    // workspace — a gathered batch is a single `forward_batch`, not
-    // max_batch separate matvec chains.
-    let psoa = SoaMlp::from_mlp(policy);
-    let mut ws = BatchWorkspace::new();
+    // The engine thread caches the serving policies between swaps, so
+    // the SoA transpose happens once per (re)spawn or swap and every
+    // batch reuses the workspaces — a gathered batch is one
+    // `forward_batch` per serving policy, not max_batch separate
+    // matvec chains.
+    let mut serving = refresh_serving(slot);
+    let mut wsa = BatchWorkspace::new();
+    let mut wsb = BatchWorkspace::new();
     let (lock, cv) = &**queue;
     let mut q = lock_recover(lock);
     loop {
@@ -553,57 +811,84 @@ fn engine_loop(
             std::panic::panic_any(INJECTED_CRASH_MSG);
         }
 
+        // Hot-swap pickup: one atomic load per batch; only a bumped
+        // `seq` pays for the lock and the SoA rebuild. The swap lands
+        // here — at a batch boundary — never mid-batch.
+        if slot.seq.load(Ordering::Acquire) != serving.seq {
+            serving = refresh_serving(slot);
+            telemetry::incr("serve.engine", "swap_applied", 1);
+        }
+
         telemetry::observe("serve.batch_size", "", batch.jobs.len() as u64);
         let t = telemetry::maybe_now();
         let batch_size = batch.jobs.len() as u32;
 
-        // Triage in arrival order before touching the network: armed
+        // Triage in arrival order before touching the networks: armed
         // chaos faults consume exactly one inference each (same drain
         // semantics as the per-job forward had), and a wrong-width
         // observation faults its own job instead of panicking the GEMM
-        // under the whole batch.
-        let mut faulted: Vec<Option<PolicyFault>> = Vec::with_capacity(batch.jobs.len());
-        ws.begin(&psoa);
+        // under the whole batch. Live jobs split into the A and (under
+        // A/B mode) B sub-batches; a B-routed job with no challenger
+        // installed falls back to A.
+        let mut verdicts: Vec<Verdict> = Vec::with_capacity(batch.jobs.len());
+        let (mut row_a, mut row_b) = (0usize, 0usize);
+        wsa.begin(&serving.a_soa);
+        if let Some((_, b_soa)) = &serving.b {
+            wsb.begin(b_soa);
+        }
         for job in &batch.jobs {
             let injected = chaos
                 .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |n| n.checked_sub(1))
                 .is_ok();
             if injected {
                 telemetry::incr("serve.policy_fault", "injected", 1);
-                faulted.push(Some(PolicyFault::Inference));
-            } else if job.obs.len() != psoa.input_dim() {
+                verdicts.push(Verdict::Fault(PolicyFault::Inference));
+            } else if job.obs.len() != serving.a_soa.input_dim() {
                 telemetry::incr("serve.policy_fault", "shape", 1);
-                faulted.push(Some(PolicyFault::Inference));
+                verdicts.push(Verdict::Fault(PolicyFault::Inference));
+            } else if job.route == Route::B && serving.b.is_some() {
+                wsb.push_input(&job.obs);
+                verdicts.push(Verdict::Row(Route::B, row_b));
+                row_b += 1;
             } else {
-                ws.push_input(&job.obs);
-                faulted.push(None);
+                wsa.push_input(&job.obs);
+                verdicts.push(Verdict::Row(Route::A, row_a));
+                row_a += 1;
             }
         }
 
-        // One batched forward for every live job. A panic here faults
-        // the live jobs (the armed/invalid ones keep their own verdicts);
-        // the workspace is rebuilt by `begin` next batch, so a torn state
-        // cannot leak forward.
-        let forward_ok = ws.batch() == 0
-            || catch_unwind(AssertUnwindSafe(|| psoa.forward_batch(&mut ws)))
+        // One batched forward per serving policy. A panic faults that
+        // policy's jobs only (the armed/invalid ones keep their own
+        // verdicts); the workspaces are rebuilt by `begin` next batch,
+        // so a torn state cannot leak forward.
+        let ok_a = wsa.batch() == 0
+            || catch_unwind(AssertUnwindSafe(|| serving.a_soa.forward_batch(&mut wsa)))
                 .map_err(|_| {
-                    telemetry::incr("serve.policy_fault", "panic", ws.batch() as u64);
+                    telemetry::incr("serve.policy_fault", "panic", wsa.batch() as u64);
                 })
                 .is_ok();
+        let ok_b = match &serving.b {
+            Some((_, b_soa)) if wsb.batch() > 0 => {
+                catch_unwind(AssertUnwindSafe(|| b_soa.forward_batch(&mut wsb)))
+                    .map_err(|_| {
+                        telemetry::incr("serve.policy_fault", "panic", wsb.batch() as u64);
+                    })
+                    .is_ok()
+            }
+            _ => true,
+        };
 
-        let mut row = 0;
-        for (i, verdict) in faulted.iter_mut().enumerate() {
-            let result = match verdict.take() {
-                Some(fault) => Err(fault),
-                None => {
-                    let r = row;
-                    row += 1;
-                    if forward_ok {
-                        Ok((ws.logits(r).to_vec(), batch_size))
-                    } else {
-                        Err(PolicyFault::Inference)
-                    }
+        for (i, verdict) in verdicts.into_iter().enumerate() {
+            let result = match verdict {
+                Verdict::Fault(fault) => Err(fault),
+                Verdict::Row(Route::A, r) if ok_a => {
+                    Ok((wsa.logits(r).to_vec(), batch_size, serving.a.version))
                 }
+                Verdict::Row(Route::B, r) if ok_b => {
+                    let (entry, _) = serving.b.as_ref().expect("B row implies challenger");
+                    Ok((wsb.logits(r).to_vec(), batch_size, entry.version))
+                }
+                Verdict::Row(..) => Err(PolicyFault::Inference),
             };
             fill(&batch.jobs[i].slot, result);
             batch.filled = i + 1;
@@ -668,9 +953,125 @@ mod tests {
     #[test]
     fn infer_sized_reports_the_serving_batch() {
         let engine = InferenceEngine::start(test_policy(6), EngineConfig::default()).unwrap();
-        let (logits, batch) = engine.infer_sized(vec![0.0; serve_obs_dim()]).unwrap();
+        let (logits, batch, version) = engine.infer_sized(vec![0.0; serve_obs_dim()]).unwrap();
         assert_eq!(logits.len(), serve_num_actions());
         assert_eq!(batch, 1, "a lone request is a batch of one");
+        assert_eq!(version, 0, "boot policy serves as version 0");
+    }
+
+    #[test]
+    fn hot_swap_changes_answers_without_dropping_requests() {
+        let old = test_policy(31);
+        let new = test_policy(32);
+        let engine =
+            Arc::new(InferenceEngine::start(old.clone(), EngineConfig::default()).unwrap());
+        let obs: Vec<f64> = (0..serve_obs_dim()).map(|j| (j % 5) as f64 / 5.0).collect();
+        assert_eq!(engine.infer(obs.clone()).unwrap(), old.forward(&obs));
+
+        // Hammer inference from several threads across 20 swaps: every
+        // single request must get an Ok answer from one of the two
+        // policies (never a fault, never a hang).
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let workers: Vec<_> = (0..4)
+            .map(|_| {
+                let engine = Arc::clone(&engine);
+                let stop = Arc::clone(&stop);
+                let obs = obs.clone();
+                let old = old.clone();
+                let new = new.clone();
+                std::thread::spawn(move || {
+                    let mut served = 0u64;
+                    while !stop.load(Ordering::Relaxed) {
+                        let got = engine.infer(obs.clone()).expect("swap dropped a request");
+                        assert!(
+                            got == old.forward(&obs) || got == new.forward(&obs),
+                            "answer from neither installed policy"
+                        );
+                        served += 1;
+                    }
+                    served
+                })
+            })
+            .collect();
+        for i in 0..20 {
+            let policy = if i % 2 == 0 { new.clone() } else { old.clone() };
+            engine.swap_policy(policy, i + 1).unwrap();
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        stop.store(true, Ordering::Relaxed);
+        let total: u64 = workers.into_iter().map(|w| w.join().unwrap()).sum();
+        assert!(total > 0, "workers served during the swap storm");
+        assert_eq!(engine.swap_count(), 20);
+        assert_eq!(engine.active_versions(), Some((20, None)));
+        // After the storm every answer comes from the last policy in.
+        assert_eq!(engine.infer(obs.clone()).unwrap(), old.forward(&obs));
+    }
+
+    #[test]
+    fn swap_rejects_wrong_shape_and_baseline_only() {
+        let engine = InferenceEngine::start(test_policy(33), EngineConfig::default()).unwrap();
+        let bad = Mlp::new(&[3, 4, 2], autophase_nn::mlp::Activation::Tanh, 1);
+        assert!(engine.swap_policy(bad, 1).is_err());
+        assert_eq!(
+            engine.active_versions(),
+            Some((0, None)),
+            "rejected swap is a no-op"
+        );
+
+        let baseline = InferenceEngine::start_baseline_only();
+        assert!(baseline.swap_policy(test_policy(34), 1).is_err());
+        assert!(baseline.active_versions().is_none());
+    }
+
+    #[test]
+    fn ab_mode_splits_and_reports_versions() {
+        let a = test_policy(41);
+        let b = test_policy(42);
+        let engine = InferenceEngine::start(a.clone(), EngineConfig::default()).unwrap();
+        engine.swap_ab(b.clone(), 7).unwrap();
+        assert_eq!(engine.active_versions(), Some((0, Some(7))));
+        // Fingerprints split across both routes; each side's rollout
+        // answers carry that side's version.
+        let (mut saw_a, mut saw_b) = (false, false);
+        for fp in 0..32u64 {
+            match engine.route_for(fp) {
+                Route::A => saw_a = true,
+                Route::B => saw_b = true,
+            }
+        }
+        assert!(saw_a && saw_b, "hash split uses both slots");
+        let obs: Vec<f64> = (0..serve_obs_dim()).map(|j| (j % 3) as f64).collect();
+        let (logits_a, _, va) = engine.infer_routed(obs.clone(), Route::A).unwrap();
+        let (logits_b, _, vb) = engine.infer_routed(obs.clone(), Route::B).unwrap();
+        assert_eq!((va, vb), (0, 7));
+        assert_eq!(logits_a, a.forward(&obs));
+        assert_eq!(logits_b, b.forward(&obs));
+        // Clearing the challenger routes everything (even B) back to A.
+        engine.clear_ab();
+        assert_eq!(engine.active_versions(), Some((0, None)));
+        let (logits, _, v) = engine.infer_routed(obs.clone(), Route::B).unwrap();
+        assert_eq!((logits, v), (a.forward(&obs), 0));
+    }
+
+    #[test]
+    fn rollout_records_experience_steps() {
+        let mut m = autophase_benchmarks::suite()
+            .into_iter()
+            .find(|b| b.name == "gsm")
+            .expect("gsm present")
+            .module;
+        let engine = InferenceEngine::start(test_policy(51), EngineConfig::default()).unwrap();
+        let fp = autophase_core::eval_cache::fingerprint_module(&m);
+        let report = engine
+            .choose_sequence_report(&mut m, fp, &Quarantine::default(), &FuelBudget::default())
+            .unwrap();
+        assert_eq!(report.steps.len(), SERVE_EPISODE_LEN);
+        assert_eq!(report.policy_version, 0);
+        for step in &report.steps {
+            assert_eq!(step.obs.len(), serve_obs_dim());
+            assert!(step.action < serve_num_actions());
+            assert!(step.logp <= 0.0 && step.logp.is_finite());
+        }
     }
 
     #[test]

@@ -20,7 +20,11 @@
 //!   degradation ladder;
 //! * [`stats`] — the client-side parser for `STATS` replies (metrics
 //!   JSONL → lookup tables), feeding the `serve top` dashboard and the
-//!   benches.
+//!   benches;
+//! * [`learner`] — the online-learning subsystem: a background thread
+//!   training on cold-path outcomes, publishing versioned checkpoints
+//!   into a model registry, and (behind the admin-gated `PROMOTE`
+//!   verb or auto-promotion) hot-swapping them into the live engine.
 //!
 //! Every compile request carries a trace through the pipeline; the
 //! daemon's flight recorder keeps the recent ones and dumps
@@ -51,14 +55,18 @@
 
 pub mod client;
 pub mod engine;
+pub mod learner;
 pub mod protocol;
 pub mod server;
 pub mod stats;
 pub mod store;
 
 pub use client::{Client, ClientConfig, CompileReply, RetryPolicy, RetryingClient};
-pub use engine::{serve_env_config, InferenceEngine, RolloutReport, SERVE_EPISODE_LEN};
+pub use engine::{
+    serve_env_config, serve_layout, InferenceEngine, RolloutReport, SERVE_EPISODE_LEN,
+};
+pub use learner::{Learner, LearnerConfig};
 pub use protocol::{ErrKind, Source};
 pub use server::{Server, ServerConfig};
-pub use stats::{HistStat, StatsSnapshot};
+pub use stats::{HistStat, ModelVersionStat, ModelsSnapshot, StatsSnapshot};
 pub use store::{BestStore, CompactionPolicy};

@@ -49,6 +49,10 @@ pub enum Request {
         /// How many engine-thread crashes (panics mid-batch) to inject —
         /// exercises the supervisor's respawn path.
         crashes: u32,
+        /// How many upcoming `PROMOTE` candidates get their checkpoint
+        /// corrupted on disk first — proves the hot-swap armor
+        /// quarantines the candidate and keeps the old policy serving.
+        swaps: u32,
     },
     /// Ask the daemon to shut down cleanly.
     Shutdown,
@@ -59,6 +63,18 @@ pub enum Request {
         /// How many recent traces to return (server clamps to its ring
         /// capacity).
         n: usize,
+    },
+    /// List registry versions, the serving/challenger versions, and the
+    /// per-policy A/B stats (models JSONL body).
+    Model,
+    /// Hot-swap the serving policy to registry version `version`
+    /// (admin-gated).
+    Promote {
+        /// Registry version to promote.
+        version: u64,
+        /// Install as the A/B challenger instead of replacing the
+        /// active policy.
+        ab: bool,
     },
 }
 
@@ -160,6 +176,12 @@ pub enum Reply {
     /// Recent request traces: trace JSONL, newest first.
     Traces {
         /// The trace JSONL body.
+        body: String,
+    },
+    /// Model listing: models JSONL, one version per line plus a summary
+    /// line (see `stats::ModelsSnapshot`).
+    Models {
+        /// The models JSONL body.
         body: String,
     },
     /// Typed refusal.
@@ -277,10 +299,17 @@ pub fn write_request<W: Write>(w: &mut W, req: &Request) -> io::Result<()> {
             w.write_all(ir.as_bytes())?;
         }
         Request::Ping => w.write_all(format!("{PROTOCOL} PING\n").as_bytes())?,
-        Request::Chaos { faults, crashes } => {
+        Request::Chaos {
+            faults,
+            crashes,
+            swaps,
+        } => {
             let mut line = format!("{PROTOCOL} CHAOS n={faults}");
             if *crashes > 0 {
                 line.push_str(&format!(" crash={crashes}"));
+            }
+            if *swaps > 0 {
+                line.push_str(&format!(" swap={swaps}"));
             }
             line.push('\n');
             w.write_all(line.as_bytes())?;
@@ -288,6 +317,15 @@ pub fn write_request<W: Write>(w: &mut W, req: &Request) -> io::Result<()> {
         Request::Shutdown => w.write_all(format!("{PROTOCOL} SHUTDOWN\n").as_bytes())?,
         Request::Stats => w.write_all(format!("{PROTOCOL} STATS\n").as_bytes())?,
         Request::Trace { n } => w.write_all(format!("{PROTOCOL} TRACE n={n}\n").as_bytes())?,
+        Request::Model => w.write_all(format!("{PROTOCOL} MODEL\n").as_bytes())?,
+        Request::Promote { version, ab } => {
+            let mut line = format!("{PROTOCOL} PROMOTE v={version}");
+            if *ab {
+                line.push_str(" ab=1");
+            }
+            line.push('\n');
+            w.write_all(line.as_bytes())?;
+        }
     }
     w.flush()
 }
@@ -329,9 +367,11 @@ pub fn read_request<R: BufRead>(r: &mut R) -> io::Result<Option<Request>> {
             let faults =
                 get_u64(&kvs, "n")?.ok_or_else(|| ProtocolError("CHAOS without n".into()))?;
             let crashes = get_u64(&kvs, "crash")?.unwrap_or(0);
+            let swaps = get_u64(&kvs, "swap")?.unwrap_or(0);
             Ok(Some(Request::Chaos {
                 faults: faults.min(u32::MAX as u64) as u32,
                 crashes: crashes.min(u32::MAX as u64) as u32,
+                swaps: swaps.min(u32::MAX as u64) as u32,
             }))
         }
         "SHUTDOWN" => Ok(Some(Request::Shutdown)),
@@ -341,6 +381,13 @@ pub fn read_request<R: BufRead>(r: &mut R) -> io::Result<Option<Request>> {
             Ok(Some(Request::Trace {
                 n: n.min(usize::MAX as u64) as usize,
             }))
+        }
+        "MODEL" => Ok(Some(Request::Model)),
+        "PROMOTE" => {
+            let version =
+                get_u64(&kvs, "v")?.ok_or_else(|| ProtocolError("PROMOTE without v".into()))?;
+            let ab = get(&kvs, "ab") == Some("1");
+            Ok(Some(Request::Promote { version, ab }))
         }
         other => Err(ProtocolError(format!("unknown verb {other:?}")).into()),
     }
@@ -386,6 +433,10 @@ pub fn write_reply<W: Write>(w: &mut W, reply: &Reply) -> io::Result<()> {
         }
         Reply::Traces { body } => {
             w.write_all(format!("{PROTOCOL} OK traces_len={}\n", body.len()).as_bytes())?;
+            w.write_all(body.as_bytes())?;
+        }
+        Reply::Models { body } => {
+            w.write_all(format!("{PROTOCOL} OK models_len={}\n", body.len()).as_bytes())?;
             w.write_all(body.as_bytes())?;
         }
         Reply::Err {
@@ -476,6 +527,14 @@ pub fn read_reply<R: BufRead>(r: &mut R) -> io::Result<Reply> {
                 Ok(Reply::Traces {
                     body: read_body(r, len)?,
                 })
+            } else if let Some(len) = get_u64(&kvs, "models_len")? {
+                let len = len as usize;
+                if len > MAX_IR_LEN {
+                    return Err(ProtocolError(format!("models_len {len} over cap")).into());
+                }
+                Ok(Reply::Models {
+                    body: read_body(r, len)?,
+                })
             } else {
                 Ok(Reply::Ack)
             }
@@ -533,14 +592,30 @@ mod tests {
             Request::Chaos {
                 faults: 7,
                 crashes: 0,
+                swaps: 0,
             },
             Request::Chaos {
                 faults: 0,
                 crashes: 3,
+                swaps: 0,
+            },
+            Request::Chaos {
+                faults: 0,
+                crashes: 0,
+                swaps: 2,
             },
             Request::Shutdown,
             Request::Stats,
             Request::Trace { n: 32 },
+            Request::Model,
+            Request::Promote {
+                version: 4,
+                ab: false,
+            },
+            Request::Promote {
+                version: 9,
+                ab: true,
+            },
         ] {
             assert_eq!(roundtrip_request(req.clone()), req);
         }
@@ -569,6 +644,9 @@ mod tests {
             },
             Reply::Traces {
                 body: "{\"type\":\"trace\",\"id\":0,\"stages\":[[\"parse\",10]]}\n".into(),
+            },
+            Reply::Models {
+                body: "{\"type\":\"model\",\"version\":1,\"active\":true}\n".into(),
             },
             Reply::Err {
                 kind: ErrKind::Overloaded,
@@ -641,6 +719,9 @@ mod tests {
             "AUTOPHASE/1 CHAOS\n",
             "AUTOPHASE/1 TRACE\n",
             "AUTOPHASE/1 TRACE n=abc\n",
+            "AUTOPHASE/1 PROMOTE\n",
+            "AUTOPHASE/1 PROMOTE v=abc\n",
+            "AUTOPHASE/1 CHAOS n=1 swap=notanumber\n",
         ] {
             let mut r = BufReader::new(bad.as_bytes());
             assert!(read_request(&mut r).is_err(), "accepted {bad:?}");

@@ -41,7 +41,8 @@
 //! `serve.req{...}`; the waiting count lives in the `serve.queue_depth`
 //! gauge.
 
-use crate::engine::{EngineConfig, InferenceEngine};
+use crate::engine::{serve_layout, EngineConfig, InferenceEngine};
+use crate::learner::{Learner, LearnerConfig};
 use crate::protocol::{self, ErrKind, Reply, Request, Source};
 use crate::store::{BestEntry, BestStore, CompactionPolicy};
 use autophase_core::eval_cache::fingerprint_module;
@@ -51,17 +52,21 @@ use autophase_hls::HlsConfig;
 use autophase_ir::parser::parse_module;
 use autophase_ir::printer::print_module;
 use autophase_ir::verify::verify_module;
+use autophase_ir::Module;
 
 use autophase_nn::mlp::Mlp;
 use autophase_passes::checked::{apply_checked, FuelBudget};
 use autophase_passes::o3::o3_checked;
+use autophase_rl::checkpoint::ArmoredLoad;
+use autophase_rl::online::Experience;
+use autophase_rl::registry::{ModelRegistry, VersionInfo};
 use autophase_telemetry as telemetry;
 use autophase_telemetry::{FlightConfig, FlightRecorder, TraceBuilder};
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 use std::io::{self, BufReader, BufWriter};
 use std::net::{Shutdown as NetShutdown, SocketAddr, TcpListener, TcpStream};
-use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -117,6 +122,15 @@ pub struct ServerConfig {
     /// directory and triggers. The default keeps the ring but writes no
     /// dump artifacts (`dump_dir: None`).
     pub flight: FlightConfig,
+    /// Accept the admin-gated `PROMOTE` verb. Off by default: a daemon
+    /// exposed to untrusted clients must not let them pick its policy.
+    pub admin: bool,
+    /// Directory of the versioned model registry. `None` disables the
+    /// online-learning subsystem entirely (no registry, no `PROMOTE`,
+    /// no per-version win accounting).
+    pub registry_dir: Option<PathBuf>,
+    /// Run the in-daemon background learner (requires `registry_dir`).
+    pub learner: Option<LearnerConfig>,
 }
 
 impl Default for ServerConfig {
@@ -143,6 +157,9 @@ impl Default for ServerConfig {
                 ],
                 ..FlightConfig::default()
             },
+            admin: false,
+            registry_dir: None,
+            learner: None,
         }
     }
 }
@@ -214,9 +231,20 @@ impl Gate {
     }
 }
 
+/// Per-policy-version outcome counters behind the `MODEL` verb: the
+/// win rate (improvement over -O3) and store-insert rate are the A/B
+/// signals a promotion decision reads.
+#[derive(Debug, Clone, Copy, Default)]
+struct ModelStats {
+    requests: u64,
+    wins: u64,
+    store_inserts: u64,
+    improvement_sum: f64,
+}
+
 struct Shared {
     cfg: ServerConfig,
-    engine: InferenceEngine,
+    engine: Arc<InferenceEngine>,
     store: Mutex<BestStore>,
     /// While `Some(t)` and `now < t`, recording is down (the disk
     /// filled): compiles keep answering but skip persistence until the
@@ -232,6 +260,18 @@ struct Shared {
     conn_seq: AtomicU64,
     active_conns: AtomicUsize,
     local_addr: SocketAddr,
+    /// Versioned checkpoint store; `None` when online learning is off.
+    registry: Option<Arc<Mutex<ModelRegistry>>>,
+    /// Background learner thread; `None` unless configured.
+    learner: Option<Learner>,
+    /// Per-version outcome counters (`MODEL` verb).
+    models: Mutex<HashMap<u64, ModelStats>>,
+    /// `-O3` cycles by fingerprint, so the per-version win rate costs
+    /// one extra apply+profile per *unique* program, not per request.
+    o3_cycles: Mutex<HashMap<u64, u64>>,
+    /// Armed `CHAOS swap=` injections: each pending count corrupts the
+    /// next `PROMOTE` candidate on disk before its armored load.
+    chaos_swaps: AtomicU32,
 }
 
 impl Shared {
@@ -311,12 +351,39 @@ impl Server {
         if cfg.telemetry {
             telemetry::enable();
         }
+        let engine = Arc::new(engine);
+        let registry = match &cfg.registry_dir {
+            Some(dir) => {
+                let reg = ModelRegistry::open(dir)
+                    .map_err(|e| StartError(format!("registry {}: {e}", dir.display())))?;
+                Some(Arc::new(Mutex::new(reg)))
+            }
+            None => None,
+        };
+        let learner = match (&cfg.learner, &registry) {
+            (Some(lc), Some(reg)) => Some(Learner::start(
+                lc.clone(),
+                Arc::clone(&engine),
+                Arc::clone(reg),
+            )),
+            (Some(_), None) => {
+                return Err(StartError(
+                    "learner requires a model registry (set registry_dir)".into(),
+                ))
+            }
+            (None, _) => None,
+        };
         let shared = Arc::new(Shared {
             gate: Gate::new(cfg.workers, cfg.queue_cap),
             flight: FlightRecorder::new(cfg.flight.clone()),
             cfg,
             engine,
             store: Mutex::new(store),
+            registry,
+            learner,
+            models: Mutex::new(HashMap::new()),
+            o3_cycles: Mutex::new(HashMap::new()),
+            chaos_swaps: AtomicU32::new(0),
             record_down_until: Mutex::new(None),
             quarantine: Quarantine::default(),
             hls,
@@ -380,6 +447,11 @@ impl Server {
         while self.shared.active_conns.load(Ordering::SeqCst) > 0 && Instant::now() < drain_deadline
         {
             std::thread::sleep(Duration::from_millis(2));
+        }
+        // Stop the learner after the connections drain: late cold-path
+        // experiences still land in the queue and get trained on.
+        if let Some(learner) = &self.shared.learner {
+            learner.stop();
         }
         // Graceful shutdown folds the tail into a snapshot, so the next
         // open replays O(live entries) instead of the whole history.
@@ -480,10 +552,15 @@ fn handle_conn(shared: &Arc<Shared>, stream: TcpStream) {
             let (reply, hang_up) = match req {
                 Request::Ping => (Reply::Ack, false),
                 Request::Shutdown => (Reply::Ack, true),
-                Request::Chaos { faults, crashes } => {
+                Request::Chaos {
+                    faults,
+                    crashes,
+                    swaps,
+                } => {
                     if shared.cfg.chaos {
                         shared.engine.inject_faults(faults);
                         shared.engine.inject_crashes(crashes);
+                        shared.chaos_swaps.fetch_add(swaps, Ordering::SeqCst);
                         (Reply::Ack, false)
                     } else {
                         (
@@ -512,6 +589,8 @@ fn handle_conn(shared: &Arc<Shared>, stream: TcpStream) {
                     },
                     false,
                 ),
+                Request::Model => (model_reply(shared), false),
+                Request::Promote { version, ab } => (promote(shared, version, ab), false),
                 Request::Compile {
                     ir,
                     deadline_ms,
@@ -588,14 +667,18 @@ fn complete_trace(shared: &Shared, trace: TraceBuilder) {
 /// a disk known to be full; after the backoff the next record retries
 /// (`serve.store{record_retry}`) and re-arms the backoff if the disk is
 /// still full.
-fn record_best(shared: &Shared, fp: u64, entry: BestEntry) {
+///
+/// Returns whether the entry was actually inserted (new program or an
+/// improvement over the stored best) — the store-insert rate is one of
+/// the per-version signals behind the `MODEL` verb.
+fn record_best(shared: &Shared, fp: u64, entry: BestEntry) -> bool {
     let now = Instant::now();
     {
         let mut down = lock_recover(&shared.record_down_until);
         match *down {
             Some(until) if now < until => {
                 telemetry::incr("serve.store", "record_skipped", 1);
-                return;
+                return false;
             }
             Some(_) => {
                 *down = None;
@@ -604,12 +687,238 @@ fn record_best(shared: &Shared, fp: u64, entry: BestEntry) {
             None => {}
         }
     }
-    if let Err(e) = lock_recover(&shared.store).record(fp, entry) {
-        telemetry::incr("serve.store", "append_error", 1);
-        if autophase_telemetry::faultfs::is_disk_full(&e) {
-            telemetry::incr("serve.store", "enospc", 1);
-            *lock_recover(&shared.record_down_until) = Some(now + shared.cfg.store_retry);
+    match lock_recover(&shared.store).record(fp, entry) {
+        Ok(inserted) => inserted,
+        Err(e) => {
+            telemetry::incr("serve.store", "append_error", 1);
+            if autophase_telemetry::faultfs::is_disk_full(&e) {
+                telemetry::incr("serve.store", "enospc", 1);
+                *lock_recover(&shared.record_down_until) = Some(now + shared.cfg.store_retry);
+            }
+            false
         }
+    }
+}
+
+/// One JSONL line of the `MODEL` reply body.
+fn model_line(
+    version: u64,
+    info: Option<&VersionInfo>,
+    serving: Option<u64>,
+    challenger: Option<u64>,
+    stat: Option<&ModelStats>,
+) -> String {
+    let st = stat.copied().unwrap_or_default();
+    let mean_improvement = if st.requests > 0 {
+        st.improvement_sum / st.requests as f64
+    } else {
+        0.0
+    };
+    format!(
+        "{{\"type\":\"model\",\"version\":{version},\"samples\":{},\"updates\":{},\
+         \"serving\":{},\"challenger\":{},\"requests\":{},\"wins\":{},\
+         \"store_inserts\":{},\"mean_improvement\":{mean_improvement:.6}}}\n",
+        info.map_or(0, |i| i.samples),
+        info.map_or(0, |i| i.updates),
+        u8::from(serving == Some(version)),
+        u8::from(challenger == Some(version)),
+        st.requests,
+        st.wins,
+        st.store_inserts,
+    )
+}
+
+/// Answer `MODEL`: one line per registry version (plus any live-serving
+/// version the registry does not know, e.g. the boot policy's v0), then
+/// a summary line with what the engine is serving right now.
+fn model_reply(shared: &Shared) -> Reply {
+    let (serving, challenger) = match shared.engine.active_versions() {
+        Some((a, b)) => (Some(a), b),
+        None => (None, None),
+    };
+    let stats = lock_recover(&shared.models).clone();
+    let mut body = String::new();
+    let mut listed = BTreeSet::new();
+    if let Some(registry) = &shared.registry {
+        let reg = lock_recover(registry);
+        for v in reg.versions() {
+            listed.insert(v.version);
+            body.push_str(&model_line(
+                v.version,
+                Some(v),
+                serving,
+                challenger,
+                stats.get(&v.version),
+            ));
+        }
+    }
+    for v in [serving, challenger].into_iter().flatten() {
+        if listed.insert(v) {
+            body.push_str(&model_line(v, None, serving, challenger, stats.get(&v)));
+        }
+    }
+    body.push_str(&format!(
+        "{{\"type\":\"model_summary\",\"serving\":{},\"challenger\":{},\"swaps\":{},\"registry\":{}}}\n",
+        serving.map_or(-1, |v| v as i64),
+        challenger.map_or(-1, |v| v as i64),
+        shared.engine.swap_count(),
+        u8::from(shared.registry.is_some()),
+    ));
+    telemetry::incr("serve.req", "models", 1);
+    Reply::Models {
+        body: capped_jsonl(body),
+    }
+}
+
+/// Chaos injection for `CHAOS swap=`: truncate the candidate on disk so
+/// the next armored load must fail to decode and quarantine it. Real
+/// bytes are destroyed — this exercises the promotion armor against
+/// genuine corruption, not a simulated flag.
+fn corrupt_checkpoint(path: &Path) {
+    if let Ok(mut bytes) = std::fs::read(path) {
+        bytes.truncate(bytes.len() / 2);
+        let _ = std::fs::write(path, &bytes);
+    }
+}
+
+/// Handle `PROMOTE v=<n> [ab=1]` — the promotion armor. The candidate
+/// is read back through the registry's armored load (corrupt bytes are
+/// quarantined on disk), then shape/finiteness-validated against the
+/// serving layout *before* the engine ever sees it. A bad candidate
+/// refuses the verb and the old policy keeps serving; nothing on the
+/// request path notices. `ab=1` installs the version as the B-side
+/// challenger instead of replacing the active policy.
+fn promote(shared: &Shared, version: u64, ab: bool) -> Reply {
+    if !shared.cfg.admin {
+        return refuse(
+            ErrKind::BadRequest,
+            None,
+            "promotion disabled (daemon not started with admin)".into(),
+        );
+    }
+    let Some(registry) = &shared.registry else {
+        return refuse(
+            ErrKind::BadRequest,
+            None,
+            "no model registry configured".into(),
+        );
+    };
+    let mut reg = lock_recover(registry);
+    // Armed chaos corrupts the candidate on disk *before* the armored
+    // load, so the armor is proven against real on-disk damage.
+    let chaos_armed = shared
+        .chaos_swaps
+        .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| n.checked_sub(1))
+        .is_ok();
+    if chaos_armed {
+        if let Some(path) = reg.checkpoint_path(version) {
+            corrupt_checkpoint(&path);
+            telemetry::incr("serve.swap", "chaos_corrupted", 1);
+        }
+    }
+    let ckpt = match reg.load_armored(version) {
+        ArmoredLoad::Loaded(c) => c,
+        ArmoredLoad::Quarantined { error, .. } => {
+            telemetry::incr("serve.swap", "quarantined", 1);
+            return refuse(
+                ErrKind::Internal,
+                None,
+                format!("candidate v{version} quarantined: {error}"),
+            );
+        }
+        ArmoredLoad::Unreadable(e) => {
+            return refuse(
+                ErrKind::BadRequest,
+                None,
+                format!("no loadable version v{version}: {e}"),
+            );
+        }
+    };
+    if let Err(e) = serve_layout().validate_checkpoint(&ckpt) {
+        // Decodable but wrong-shaped or non-finite: quarantine it so a
+        // later PROMOTE cannot trip over it either.
+        let _ = reg.quarantine(version);
+        telemetry::incr("serve.swap", "rejected_invalid", 1);
+        return refuse(
+            ErrKind::Internal,
+            None,
+            format!("candidate v{version} invalid: {e}"),
+        );
+    }
+    let swapped = if ab {
+        shared.engine.swap_ab(ckpt.policy.clone(), version)
+    } else {
+        shared.engine.swap_policy(ckpt.policy.clone(), version)
+    };
+    match swapped {
+        Ok(()) => {
+            if !ab {
+                let _ = reg.set_active(version);
+            }
+            telemetry::incr("serve.swap", if ab { "promoted_ab" } else { "promoted" }, 1);
+            Reply::Ack
+        }
+        Err(e) => refuse(ErrKind::Internal, None, format!("swap failed: {e}")),
+    }
+}
+
+/// Per-version outcome accounting for a policy-served compile. Requests
+/// and store-inserts are always counted; the improvement-over-`-O3` win
+/// rate needs one extra `-O3` apply+profile per unique program, so it
+/// is computed (and cached by fingerprint) only when the online
+/// subsystem — the model registry — is enabled.
+fn note_model_outcome(
+    shared: &Shared,
+    version: u64,
+    fp: u64,
+    module: &Module,
+    cycles: u64,
+    inserted: bool,
+) {
+    // NB: the cache probe is a standalone statement — `if let` on the
+    // guard would keep `o3_cycles` locked through the else branch,
+    // deadlocking against the insert below.
+    let cached = match &shared.registry {
+        Some(_) => lock_recover(&shared.o3_cycles).get(&fp).copied(),
+        None => None,
+    };
+    let o3c = if shared.registry.is_none() {
+        None
+    } else if cached.is_some() {
+        cached
+    } else {
+        let mut m = module.clone();
+        let _ = o3_checked(&mut m, &shared.cfg.fuel);
+        match profile_module(&m, &shared.hls) {
+            Ok(r) => {
+                lock_recover(&shared.o3_cycles).insert(fp, r.cycles);
+                Some(r.cycles)
+            }
+            Err(_) => None,
+        }
+    };
+    let mut won = false;
+    {
+        let mut models = lock_recover(&shared.models);
+        let stat = models.entry(version).or_default();
+        stat.requests += 1;
+        if inserted {
+            stat.store_inserts += 1;
+        }
+        if let Some(o3c) = o3c {
+            stat.improvement_sum += (o3c as f64 - cycles as f64) / o3c.max(1) as f64;
+            if cycles <= o3c {
+                stat.wins += 1;
+                won = true;
+            }
+        }
+    }
+    telemetry::incr("serve.model", &format!("v{version}_req"), 1);
+    if inserted {
+        telemetry::incr("serve.model", &format!("v{version}_insert"), 1);
+    }
+    if won {
+        telemetry::incr("serve.model", &format!("v{version}_win"), 1);
     }
 }
 
@@ -758,6 +1067,8 @@ fn compile(
     trace.mark("baseline_profile");
 
     let mut optimized = module.clone();
+    let mut policy_version = None;
+    let mut steps = Vec::new();
     let (source, passes) = match shared.engine.choose_sequence_report(
         &mut optimized,
         fp,
@@ -768,6 +1079,7 @@ fn compile(
             trace.note("infer_calls", report.infer_calls);
             trace.note("infer_wait_ns", report.infer_wait_ns);
             trace.note("infer_batch_max", report.infer_batch_max);
+            trace.note("policy_version", report.policy_version);
             if report.pass_faults > 0 {
                 // Quarantined and skipped inside the rollout: the answer
                 // is still policy-sourced, but the trace names the stage
@@ -775,6 +1087,8 @@ fn compile(
                 trace.note("pass_faults", report.pass_faults);
                 trace.fault("rollout");
             }
+            policy_version = Some(report.policy_version);
+            steps = report.steps;
             (Source::Policy, report.applied)
         }
         Err(_fault) => {
@@ -813,8 +1127,25 @@ fn compile(
         baseline_cycles,
         seq: passes.iter().map(|&p| p as u16).collect(),
     };
-    record_best(shared, fp, entry);
+    let inserted = record_best(shared, fp, entry);
     trace.mark("record");
+
+    // Online-learning hooks, both strictly after the answer is computed:
+    // attribute the outcome to the policy version that produced it, and
+    // stream the rollout's episode to the learner (`offer` never blocks;
+    // a full queue sheds its oldest entry instead).
+    if let Some(version) = policy_version {
+        note_model_outcome(shared, version, fp, &module, cycles, inserted);
+        if let Some(learner) = &shared.learner {
+            if !steps.is_empty() {
+                learner.offer(Experience {
+                    steps: std::mem::take(&mut steps),
+                    cycles,
+                    baseline_cycles,
+                });
+            }
+        }
+    }
 
     if Instant::now() > deadline {
         return refuse(

@@ -135,6 +135,91 @@ impl StatsSnapshot {
     }
 }
 
+/// One registry (or live-serving) model version from a `MODEL` reply.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ModelVersionStat {
+    /// Registry version number (0 is the daemon's boot policy).
+    pub version: u64,
+    /// Transitions the learner had ingested when this version published.
+    pub samples: u64,
+    /// PPO updates behind this version.
+    pub updates: u64,
+    /// Whether the engine is serving this version on the A side.
+    pub serving: bool,
+    /// Whether this version is the B-side (challenger) of an A/B split.
+    pub challenger: bool,
+    /// Policy-sourced compiles this version answered.
+    pub requests: u64,
+    /// Of those, how many matched or beat the `-O3` cycle count.
+    pub wins: u64,
+    /// Of those, how many inserted/improved a persistent-store entry.
+    pub store_inserts: u64,
+    /// Mean relative improvement over `-O3` across this version's
+    /// requests (positive = fewer cycles than `-O3`).
+    pub mean_improvement: f64,
+}
+
+/// A parsed `MODEL` body: the registry's versions plus what the engine
+/// is serving right now.
+#[derive(Debug, Clone, Default)]
+pub struct ModelsSnapshot {
+    /// Every version line, in registry order.
+    pub versions: Vec<ModelVersionStat>,
+    /// Version currently serving on the A side, if any policy is live.
+    pub serving: Option<u64>,
+    /// B-side challenger version during an A/B split.
+    pub challenger: Option<u64>,
+    /// Lifetime hot-swaps the engine has applied.
+    pub swaps: u64,
+    /// Whether the daemon has a model registry at all.
+    pub registry: bool,
+}
+
+impl ModelsSnapshot {
+    /// Parse a `MODEL` JSONL body. Never fails: unparseable lines are
+    /// skipped, so a newer daemon stays readable by an older client.
+    pub fn parse(body: &str) -> ModelsSnapshot {
+        let mut snap = ModelsSnapshot::default();
+        for line in body.lines() {
+            match get_str(line, "type").as_deref() {
+                Some("model") => {
+                    let Some(version) = get_u64(line, "version") else {
+                        continue;
+                    };
+                    snap.versions.push(ModelVersionStat {
+                        version,
+                        samples: get_u64(line, "samples").unwrap_or(0),
+                        updates: get_u64(line, "updates").unwrap_or(0),
+                        serving: get_u64(line, "serving") == Some(1),
+                        challenger: get_u64(line, "challenger") == Some(1),
+                        requests: get_u64(line, "requests").unwrap_or(0),
+                        wins: get_u64(line, "wins").unwrap_or(0),
+                        store_inserts: get_u64(line, "store_inserts").unwrap_or(0),
+                        mean_improvement: get_f64(line, "mean_improvement").unwrap_or(0.0),
+                    });
+                }
+                Some("model_summary") => {
+                    snap.serving = get_i64(line, "serving")
+                        .filter(|&v| v >= 0)
+                        .map(|v| v as u64);
+                    snap.challenger = get_i64(line, "challenger")
+                        .filter(|&v| v >= 0)
+                        .map(|v| v as u64);
+                    snap.swaps = get_u64(line, "swaps").unwrap_or(0);
+                    snap.registry = get_u64(line, "registry") == Some(1);
+                }
+                _ => {}
+            }
+        }
+        snap
+    }
+
+    /// The stat line for one version, if present.
+    pub fn version(&self, version: u64) -> Option<&ModelVersionStat> {
+        self.versions.iter().find(|v| v.version == version)
+    }
+}
+
 /// Extract `"key":"string"` from a one-line JSON object, unescaping the
 /// common escapes the telemetry sink emits.
 fn get_str(line: &str, key: &str) -> Option<String> {
@@ -163,6 +248,10 @@ fn get_str(line: &str, key: &str) -> Option<String> {
 }
 
 fn get_u64(line: &str, key: &str) -> Option<u64> {
+    num_prefix(field(line, key)?).parse().ok()
+}
+
+fn get_i64(line: &str, key: &str) -> Option<i64> {
     num_prefix(field(line, key)?).parse().ok()
 }
 
@@ -221,6 +310,38 @@ mod tests {
         let fam = snap.hist_family("stats.test_ns");
         assert_eq!(fam.len(), 1);
         assert_eq!(fam[0].0, "parse");
+    }
+
+    #[test]
+    fn parses_model_bodies() {
+        let body = "{\"type\":\"model\",\"version\":1,\"samples\":96,\"updates\":2,\"serving\":0,\
+                    \"challenger\":1,\"requests\":10,\"wins\":7,\"store_inserts\":4,\
+                    \"mean_improvement\":0.125000}\n\
+                    {\"type\":\"model\",\"version\":2,\"samples\":192,\"updates\":4,\"serving\":1,\
+                    \"challenger\":0,\"requests\":3,\"wins\":3,\"store_inserts\":1,\
+                    \"mean_improvement\":0.200000}\n\
+                    garbage line\n\
+                    {\"type\":\"model_summary\",\"serving\":2,\"challenger\":1,\"swaps\":5,\"registry\":1}\n";
+        let snap = ModelsSnapshot::parse(body);
+        assert_eq!(snap.versions.len(), 2);
+        assert_eq!(snap.serving, Some(2));
+        assert_eq!(snap.challenger, Some(1));
+        assert_eq!(snap.swaps, 5);
+        assert!(snap.registry);
+        let v1 = snap.version(1).expect("v1 present");
+        assert!(v1.challenger && !v1.serving);
+        assert_eq!(v1.wins, 7);
+        assert!((v1.mean_improvement - 0.125).abs() < 1e-9);
+        assert!(snap.version(2).expect("v2 present").serving);
+        assert!(snap.version(9).is_none());
+
+        // A baseline-only daemon: no versions, serving=-1.
+        let empty = ModelsSnapshot::parse(
+            "{\"type\":\"model_summary\",\"serving\":-1,\"challenger\":-1,\"swaps\":0,\"registry\":0}\n",
+        );
+        assert!(empty.versions.is_empty());
+        assert_eq!(empty.serving, None);
+        assert!(!empty.registry);
     }
 
     #[test]

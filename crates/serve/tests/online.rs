@@ -1,0 +1,322 @@
+//! End-to-end drills of the online-learning subsystem on a live daemon:
+//! the background learner publishing and auto-promoting versions, the
+//! admin-gated `PROMOTE`/`MODEL` verbs with A/B serving, and — the
+//! chaos leg — corrupt and NaN candidates being quarantined while the
+//! old policy keeps answering every request.
+//!
+//! This is the test `make online-smoke` runs.
+
+use autophase_benchmarks::suite;
+use autophase_nn::mlp::{Activation, Mlp};
+use autophase_rl::checkpoint::{Algo, PolicyCheckpoint};
+use autophase_rl::registry::ModelRegistry;
+use autophase_serve::client::{Client, ClientError};
+use autophase_serve::engine::{serve_num_actions, serve_obs_dim};
+use autophase_serve::learner::LearnerConfig;
+use autophase_serve::protocol::{ErrKind, Source};
+use autophase_serve::server::{Server, ServerConfig};
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+fn tmp(name: &str) -> PathBuf {
+    let path = std::env::temp_dir().join(format!("autophase_online_{}_{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&path);
+    let _ = std::fs::remove_file(&path);
+    path
+}
+
+fn test_policy(seed: u64) -> Mlp {
+    Mlp::new(
+        &[serve_obs_dim(), 32, serve_num_actions()],
+        Activation::Tanh,
+        seed,
+    )
+}
+
+fn test_ckpt(seed: u64) -> PolicyCheckpoint {
+    PolicyCheckpoint {
+        algo: Algo::Ppo,
+        policy: test_policy(seed),
+        value: Mlp::new(&[serve_obs_dim(), 8, 1], Activation::Tanh, seed ^ 0xF00),
+    }
+}
+
+fn programs() -> Vec<String> {
+    suite()
+        .into_iter()
+        .map(|b| autophase_ir::printer::print_module(&b.module))
+        .collect()
+}
+
+/// Reprint `ir` under a new module name, so its fingerprint is fresh to
+/// the store and the compile goes down the cold (policy) path.
+fn renamed(ir: &str, tag: &str) -> String {
+    let mut m = autophase_ir::parser::parse_module(ir).unwrap();
+    m.name = format!("{}__{tag}", m.name);
+    autophase_ir::printer::print_module(&m)
+}
+
+fn connect(addr: std::net::SocketAddr) -> Client {
+    let mut client = Client::connect(addr).expect("connect");
+    client
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    client
+}
+
+/// The tentpole loop closed end-to-end: cold compiles stream experience
+/// to the in-daemon learner, which trains, publishes versions into the
+/// registry, and auto-promotes them into the live engine — all while
+/// the request path keeps answering.
+#[test]
+fn learner_trains_publishes_and_auto_promotes() {
+    let store = tmp("learn.log");
+    let registry_dir = tmp("learn_registry");
+    let cfg = ServerConfig {
+        store_path: store.clone(),
+        registry_dir: Some(registry_dir.clone()),
+        learner: Some(LearnerConfig {
+            // One episode (SERVE_EPISODE_LEN transitions) per update,
+            // publish every update: versions appear immediately.
+            min_batch: autophase_serve::SERVE_EPISODE_LEN,
+            publish_every: 1,
+            auto_promote: true,
+            ..LearnerConfig::default()
+        }),
+        ..ServerConfig::default()
+    };
+    let server = Server::start(test_policy(7), cfg).expect("server starts");
+    let addr = server.addr();
+    let mut client = connect(addr);
+
+    let progs = programs();
+    let deadline = Instant::now() + Duration::from_secs(60);
+    let mut round = 0u32;
+    let promoted = loop {
+        assert!(
+            Instant::now() < deadline,
+            "no auto-promotion after {round} rounds"
+        );
+        for (i, ir) in progs.iter().enumerate() {
+            let fresh = renamed(ir, &format!("r{round}p{i}"));
+            let reply = client
+                .compile(&fresh, Some(60_000), false)
+                .expect("cold compile during online learning");
+            assert_eq!(reply.source, Source::Policy);
+        }
+        round += 1;
+        let snap = client.models().expect("MODEL answers");
+        assert!(snap.registry, "registry must be on");
+        if let Some(v) = snap.serving.filter(|&v| v > 0) {
+            break snap.version(v).copied().expect("serving version listed");
+        }
+    };
+    assert!(promoted.serving, "serving flag set on the promoted line");
+    assert!(
+        promoted.samples >= autophase_serve::SERVE_EPISODE_LEN as u64,
+        "published version carries its sample count"
+    );
+
+    // The promoted version now answers requests and its per-version
+    // counters move.
+    for (i, ir) in progs.iter().enumerate() {
+        let fresh = renamed(ir, &format!("post{i}"));
+        client
+            .compile(&fresh, Some(60_000), false)
+            .expect("post-promotion compile");
+    }
+    let snap = client.models().expect("MODEL answers");
+    let serving = snap.serving.expect("still serving a policy");
+    assert!(serving > 0);
+    let line = snap.version(serving).expect("serving line present");
+    assert!(
+        line.requests > 0,
+        "promoted version must be attributed requests"
+    );
+    assert!(snap.swaps >= 1, "engine counted the hot-swap");
+
+    // The registry survives the daemon: reopen it directly.
+    server.shutdown();
+    let reg = ModelRegistry::open(&registry_dir).expect("registry reopens");
+    assert!(!reg.versions().is_empty(), "published versions persisted");
+    assert!(reg.active().is_some(), "active pointer persisted");
+    let _ = std::fs::remove_dir_all(&registry_dir);
+    let _ = std::fs::remove_file(&store);
+}
+
+/// `PROMOTE` + A/B: an admin daemon serves version 1, installs version
+/// 2 as the B-side challenger, and `MODEL` reports both roles while
+/// compiles keep answering.
+#[test]
+fn promote_and_ab_split_report_roles() {
+    let registry_dir = tmp("ab_registry");
+    {
+        let mut reg = ModelRegistry::open(&registry_dir).unwrap();
+        reg.publish(&test_ckpt(11), 100, 1).unwrap();
+        reg.publish(&test_ckpt(22), 200, 2).unwrap();
+    }
+    let store = tmp("ab.log");
+    let cfg = ServerConfig {
+        store_path: store.clone(),
+        registry_dir: Some(registry_dir.clone()),
+        admin: true,
+        ..ServerConfig::default()
+    };
+    let server = Server::start(test_policy(7), cfg).expect("server starts");
+    let mut client = connect(server.addr());
+
+    client.promote(1).expect("PROMOTE v=1");
+    client.promote_ab(2).expect("PROMOTE v=2 ab=1");
+    let snap = client.models().expect("MODEL answers");
+    assert_eq!(snap.serving, Some(1));
+    assert_eq!(snap.challenger, Some(2));
+    assert!(snap.version(1).unwrap().serving);
+    assert!(snap.version(2).unwrap().challenger);
+    assert_eq!(snap.swaps, 2);
+
+    // Compiles under the A/B split: every request answers, and the
+    // attributed versions are exactly the two live ones.
+    for (i, ir) in programs().iter().enumerate() {
+        let fresh = renamed(ir, &format!("ab{i}"));
+        let reply = client
+            .compile(&fresh, Some(60_000), false)
+            .expect("A/B compile");
+        assert_eq!(reply.source, Source::Policy);
+    }
+    let snap = client.models().expect("MODEL answers");
+    let attributed: u64 = snap.versions.iter().map(|v| v.requests).sum();
+    assert!(attributed > 0, "requests attributed under A/B");
+    for v in &snap.versions {
+        assert!(
+            v.requests == 0 || v.version == 1 || v.version == 2,
+            "v{} got requests while not serving",
+            v.version
+        );
+    }
+
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&registry_dir);
+    let _ = std::fs::remove_file(&store);
+}
+
+/// Admin gating: a daemon without `admin` refuses `PROMOTE` with a
+/// typed `bad_request`, and `MODEL` still answers (introspection is
+/// never admin-gated).
+#[test]
+fn promote_is_admin_gated() {
+    let registry_dir = tmp("gated_registry");
+    {
+        let mut reg = ModelRegistry::open(&registry_dir).unwrap();
+        reg.publish(&test_ckpt(5), 10, 1).unwrap();
+    }
+    let store = tmp("gated.log");
+    let cfg = ServerConfig {
+        store_path: store.clone(),
+        registry_dir: Some(registry_dir.clone()),
+        admin: false,
+        ..ServerConfig::default()
+    };
+    let server = Server::start(test_policy(7), cfg).expect("server starts");
+    let mut client = connect(server.addr());
+
+    match client.promote(1) {
+        Err(ClientError::Server { kind, .. }) => assert_eq!(kind, ErrKind::BadRequest),
+        other => panic!("expected bad_request, got {other:?}"),
+    }
+    let snap = client.models().expect("MODEL answers without admin");
+    assert_eq!(snap.serving, Some(0), "boot policy untouched");
+    assert_eq!(snap.swaps, 0);
+
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&registry_dir);
+    let _ = std::fs::remove_file(&store);
+}
+
+/// The chaos leg of the acceptance criteria: a candidate corrupted on
+/// disk mid-promotion (real bytes destroyed via `CHAOS swap=1`) is
+/// quarantined and refused; a NaN-poisoned candidate is caught by
+/// validation and quarantined too. Through both, the old policy keeps
+/// serving every request — corruption never reaches the engine.
+#[test]
+fn corrupt_and_nan_candidates_never_degrade_serving() {
+    let registry_dir = tmp("chaos_registry");
+    {
+        let mut reg = ModelRegistry::open(&registry_dir).unwrap();
+        // v1: chaos victim.
+        reg.publish(&test_ckpt(31), 10, 1).unwrap();
+        // v2: decodes fine but is NaN-poisoned — must fail validation.
+        let mut poisoned = test_ckpt(32);
+        let mut params = poisoned.policy.parameters();
+        params[0] = f64::NAN;
+        poisoned.policy.set_parameters(&params);
+        reg.publish(&poisoned, 20, 2).unwrap();
+        reg.publish(&test_ckpt(33), 30, 3).unwrap(); // v3: healthy
+    }
+    let store = tmp("chaos.log");
+    let cfg = ServerConfig {
+        store_path: store.clone(),
+        registry_dir: Some(registry_dir.clone()),
+        admin: true,
+        chaos: true,
+        ..ServerConfig::default()
+    };
+    let server = Server::start(test_policy(7), cfg).expect("server starts");
+    let mut client = connect(server.addr());
+    let progs = programs();
+
+    let assert_serving = |client: &mut Client, tag: &str| {
+        for (i, ir) in progs.iter().enumerate() {
+            let fresh = renamed(ir, &format!("{tag}{i}"));
+            let reply = client
+                .compile(&fresh, Some(60_000), false)
+                .unwrap_or_else(|e| panic!("{tag} p{i}: serving degraded: {e}"));
+            assert_eq!(reply.source, Source::Policy, "{tag} p{i} fell off policy");
+        }
+    };
+
+    // Leg 1: real on-disk corruption injected mid-promotion.
+    client.chaos_swap(1).expect("arm swap corruption");
+    match client.promote(1) {
+        Err(ClientError::Server { kind, msg, .. }) => {
+            assert_eq!(kind, ErrKind::Internal, "corrupt candidate: {msg}");
+        }
+        other => panic!("corrupt candidate must refuse, got {other:?}"),
+    }
+    assert!(
+        registry_dir.join("v1.ckpt.quarantined").exists(),
+        "corrupt candidate quarantined for forensics"
+    );
+    assert_serving(&mut client, "after_corrupt");
+
+    // The quarantined version is gone from the history: promoting it
+    // again is a bad request, not another quarantine.
+    match client.promote(1) {
+        Err(ClientError::Server { kind, .. }) => assert_eq!(kind, ErrKind::BadRequest),
+        other => panic!("dropped version must refuse, got {other:?}"),
+    }
+
+    // Leg 2: the NaN candidate decodes but fails validation.
+    match client.promote(2) {
+        Err(ClientError::Server { kind, msg, .. }) => {
+            assert_eq!(kind, ErrKind::Internal, "NaN candidate: {msg}");
+        }
+        other => panic!("NaN candidate must refuse, got {other:?}"),
+    }
+    assert_serving(&mut client, "after_nan");
+
+    // The engine never swapped: still the boot policy.
+    let snap = client.models().expect("MODEL answers");
+    assert_eq!(snap.serving, Some(0), "bad candidates must not swap");
+    assert_eq!(snap.swaps, 0);
+
+    // Leg 3: the healthy candidate promotes cleanly after both failures.
+    client.promote(3).expect("healthy candidate promotes");
+    let snap = client.models().expect("MODEL answers");
+    assert_eq!(snap.serving, Some(3));
+    assert_eq!(snap.swaps, 1);
+    assert_serving(&mut client, "after_promote");
+
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&registry_dir);
+    let _ = std::fs::remove_file(&store);
+}
